@@ -1,0 +1,96 @@
+//! Microbenchmarks of the cache-manager policy operations: LRU
+//! maintenance, hotness threshold recomputation, and reclassification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reo_cache::{CacheConfig, CacheManager};
+use reo_osd::{ObjectId, ObjectKey, PartitionId};
+use reo_sim::ByteSize;
+use std::hint::black_box;
+
+fn key(i: u64) -> ObjectKey {
+    ObjectKey::user(PartitionId::FIRST, ObjectId::new(0x20000 + i))
+}
+
+fn filled_manager(objects: u64) -> CacheManager {
+    let mut m = CacheManager::new(CacheConfig {
+        capacity: ByteSize::from_gib(2),
+        redundancy_reserve: 0.20,
+        hot_parity_overhead: CacheConfig::two_parity_overhead(5),
+        size_aware_hotness: true,
+    });
+    for i in 0..objects {
+        m.insert(
+            key(i),
+            ByteSize::from_kib(64 + (i % 128) * 16),
+            false,
+            false,
+        );
+        // Zipf-ish heat: early objects get more touches.
+        for _ in 0..(objects / (i + 1)).min(64) {
+            m.record_access(key(i));
+        }
+    }
+    m
+}
+
+fn bench_record_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_manager");
+    for n in [1_000u64, 4_000] {
+        let mut m = filled_manager(n);
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::new("record_access", n), &n, |b, &n| {
+            b.iter(|| {
+                i = (i + 1) % n;
+                black_box(m.record_access(key(i)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_manager");
+    for n in [1_000u64, 4_000] {
+        let mut m = filled_manager(n);
+        group.bench_with_input(
+            BenchmarkId::new("recompute_hot_threshold", n),
+            &n,
+            |b, _| b.iter(|| black_box(m.recompute_hot_threshold())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_refresh_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_manager");
+    let mut m = filled_manager(4_000);
+    group.bench_function("refresh_classification_4000", |b| {
+        b.iter(|| black_box(m.refresh_classification().len()))
+    });
+    group.finish();
+}
+
+fn bench_insert_evict_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_manager");
+    let mut m = filled_manager(4_000);
+    let mut i = 100_000u64;
+    group.bench_function("insert_then_evict_lru", |b| {
+        b.iter(|| {
+            i += 1;
+            m.insert(key(i), ByteSize::from_kib(256), false, false);
+            if let Some(victim) = m.lru_victim() {
+                m.remove(victim);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_record_access,
+    bench_threshold_recompute,
+    bench_refresh_classification,
+    bench_insert_evict_cycle
+);
+criterion_main!(benches);

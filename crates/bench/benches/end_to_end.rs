@@ -1,0 +1,80 @@
+//! End-to-end cache-server benchmarks: simulated requests per wall-clock
+//! second under each protection scheme, plus the failure path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reo_core::{CacheSystem, DeviceId, SchemeConfig, SystemConfig};
+use reo_sim::ByteSize;
+use reo_workload::{Trace, WorkloadSpec};
+use std::hint::black_box;
+
+fn small_trace() -> Trace {
+    WorkloadSpec::medium()
+        .with_objects(300)
+        .with_requests(2_000)
+        .generate(7)
+}
+
+fn system(scheme: SchemeConfig, trace: &Trace) -> CacheSystem {
+    let cache = trace.summary().data_set_bytes.scale(0.10);
+    let config =
+        SystemConfig::paper_defaults(scheme, cache).with_chunk_size(ByteSize::from_kib(64));
+    let mut sys = CacheSystem::new(config);
+    sys.populate(trace.objects());
+    sys
+}
+
+fn bench_request_throughput(c: &mut Criterion) {
+    let trace = small_trace();
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for scheme in [
+        SchemeConfig::Parity(0),
+        SchemeConfig::Parity(1),
+        SchemeConfig::Reo { reserve: 0.20 },
+        SchemeConfig::FullReplication,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("2000_requests", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter_with_setup(
+                    || system(scheme, &trace),
+                    |mut sys| {
+                        for r in trace.requests() {
+                            black_box(sys.handle(r));
+                        }
+                    },
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_failure_path(c: &mut Criterion) {
+    let trace = small_trace();
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("reo_failure_and_recovery", |b| {
+        b.iter_with_setup(
+            || {
+                let mut sys = system(SchemeConfig::Reo { reserve: 0.20 }, &trace);
+                for r in trace.requests().iter().take(1_000) {
+                    sys.handle(r);
+                }
+                sys
+            },
+            |mut sys| {
+                sys.fail_device(DeviceId(0));
+                sys.insert_spare(DeviceId(0));
+                for r in trace.requests().iter().skip(1_000) {
+                    black_box(sys.handle(r));
+                }
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_request_throughput, bench_failure_path);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Microbenchmarks of the erasure-coding substrate: GF(2^8) kernels,
+//! Reed–Solomon encode/decode throughput, and the two parity-update
+//! strategies of Section II-B (the delta-vs-direct ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reo_erasure::{delta, gf256, ReedSolomon};
+use std::hint::black_box;
+
+fn deterministic_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 24) as u8
+        })
+        .collect()
+}
+
+fn bench_gf_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256");
+    let len = 64 * 1024;
+    let src = deterministic_bytes(len, 1);
+    let mut dst = deterministic_bytes(len, 2);
+    group.throughput(Throughput::Bytes(len as u64));
+    group.bench_function("mul_acc_slice_64k", |b| {
+        b.iter(|| gf256::mul_acc_slice(black_box(&mut dst), black_box(&src), 0x1d))
+    });
+    group.bench_function("xor_slice_64k", |b| {
+        b.iter(|| gf256::xor_slice(black_box(&mut dst), black_box(&src)))
+    });
+    // The per-coefficient nibble-table kernel the codec hot path uses.
+    let table = gf256::MulTable::new(0x1d);
+    group.bench_function("mul_table_acc_slice_64k", |b| {
+        b.iter(|| table.mul_acc_slice(black_box(&mut dst), black_box(&src)))
+    });
+    group.finish();
+}
+
+fn bench_rs_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_encode");
+    // The stripe geometries Reo actually uses on a 5-device array.
+    for (m, k) in [(4usize, 1usize), (3, 2)] {
+        let chunk = 64 * 1024;
+        let data: Vec<Vec<u8>> = (0..m)
+            .map(|i| deterministic_bytes(chunk, i as u64))
+            .collect();
+        let rs = ReedSolomon::new(m, k).expect("valid geometry");
+        group.throughput(Throughput::Bytes((m * chunk) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode_64k_chunks", format!("{m}+{k}")),
+            &(rs, data),
+            |b, (rs, data)| b.iter(|| rs.encode(black_box(data)).expect("encode")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_rs_reconstruct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_reconstruct");
+    let (m, k) = (3usize, 2usize);
+    let chunk = 64 * 1024;
+    let data: Vec<Vec<u8>> = (0..m)
+        .map(|i| deterministic_bytes(chunk, i as u64))
+        .collect();
+    let rs = ReedSolomon::new(m, k).expect("valid geometry");
+    let parity = rs.encode(&data).expect("encode");
+    let full: Vec<Vec<u8>> = data.into_iter().chain(parity).collect();
+    group.throughput(Throughput::Bytes((m * chunk) as u64));
+    for losses in 1..=2usize {
+        group.bench_with_input(BenchmarkId::new("losses", losses), &losses, |b, &losses| {
+            b.iter(|| {
+                let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                for i in 0..losses {
+                    shards[i] = None;
+                }
+                rs.reconstruct(black_box(&mut shards)).expect("reconstruct")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The DESIGN.md ablation: delta parity-updating vs direct re-encoding
+/// for an in-place chunk overwrite, across stripe widths.
+fn bench_parity_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parity_update");
+    let chunk = 64 * 1024;
+    for (m, k) in [(4usize, 1usize), (3, 2), (8, 2)] {
+        let rs = ReedSolomon::new(m, k).expect("valid geometry");
+        let mut data: Vec<Vec<u8>> = (0..m)
+            .map(|i| deterministic_bytes(chunk, i as u64))
+            .collect();
+        let parity = rs.encode(&data).expect("encode");
+        let old = data[0].clone();
+        data[0] = deterministic_bytes(chunk, 99);
+
+        group.throughput(Throughput::Bytes(chunk as u64));
+        group.bench_with_input(
+            BenchmarkId::new("delta", format!("{m}+{k}")),
+            &(rs.clone(), parity.clone()),
+            |b, (rs, parity)| {
+                b.iter(|| {
+                    let mut p = parity.clone();
+                    delta::apply_delta_update(rs, 0, black_box(&old), black_box(&data[0]), &mut p)
+                        .expect("delta update")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("direct", format!("{m}+{k}")),
+            &rs,
+            |b, rs| b.iter(|| rs.encode(black_box(&data)).expect("re-encode")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gf_kernels,
+    bench_rs_encode,
+    bench_rs_reconstruct,
+    bench_parity_update
+);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Microbenchmarks of the stripe layer: placement arithmetic and
+//! store/read/rebuild paths over the simulated array.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reo_flashsim::{DeviceConfig, DeviceId, FlashArray};
+use reo_sim::{ByteSize, SimClock};
+use reo_stripe::{PlacementPolicy, RedundancyScheme, StripeLayout, StripeManager};
+use std::hint::black_box;
+
+fn manager() -> StripeManager {
+    let array = FlashArray::new(5, DeviceConfig::intel_540s(), SimClock::new());
+    StripeManager::new(array, ByteSize::from_kib(64))
+}
+
+fn bench_placement_math(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stripe_layout");
+    for scheme in [
+        RedundancyScheme::parity(1),
+        RedundancyScheme::parity(2),
+        RedundancyScheme::Replication,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("placements", scheme.to_string()),
+            &scheme,
+            |b, &scheme| {
+                let mut s = 0u64;
+                b.iter(|| {
+                    s += 1;
+                    black_box(StripeLayout::new(s, scheme, 5).placements())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_store_object(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stripe_store");
+    let size = ByteSize::from_mib(4);
+    group.throughput(Throughput::Bytes(size.as_bytes()));
+    for scheme in [
+        RedundancyScheme::parity(0),
+        RedundancyScheme::parity(2),
+        RedundancyScheme::Replication,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("4MiB_synthetic", scheme.to_string()),
+            &scheme,
+            |b, &scheme| {
+                let mut m = manager();
+                let mut owner = 0u64;
+                b.iter(|| {
+                    owner += 1;
+                    let layout = m.store_object(owner, size, scheme, None).expect("store");
+                    m.remove_object(&layout);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_degraded_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stripe_read");
+    let size = ByteSize::from_mib(4);
+    group.throughput(Throughput::Bytes(size.as_bytes()));
+
+    group.bench_function("intact_4MiB", |b| {
+        let mut m = manager();
+        let layout = m
+            .store_object(1, size, RedundancyScheme::parity(2), None)
+            .expect("store");
+        b.iter(|| black_box(m.read_object(&layout).expect("read")))
+    });
+
+    group.bench_function("degraded_4MiB_one_failure", |b| {
+        let mut m = manager();
+        let layout = m
+            .store_object(1, size, RedundancyScheme::parity(2), None)
+            .expect("store");
+        m.fail_device(DeviceId(0));
+        b.iter(|| black_box(m.read_object(&layout).expect("degraded read")))
+    });
+    group.finish();
+}
+
+fn bench_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stripe_rebuild");
+    let size = ByteSize::from_mib(4);
+    group.throughput(Throughput::Bytes(size.as_bytes()));
+    group.bench_function("rebuild_4MiB_after_spare", |b| {
+        b.iter_with_setup(
+            || {
+                let mut m = manager();
+                let layout = m
+                    .store_object(1, size, RedundancyScheme::parity(2), None)
+                    .expect("store");
+                m.fail_device(DeviceId(0));
+                m.replace_device(DeviceId(0));
+                (m, layout)
+            },
+            |(mut m, layout)| {
+                m.rebuild_object(black_box(&layout)).expect("rebuild");
+            },
+        )
+    });
+    group.finish();
+}
+
+/// DESIGN.md ablation: round-robin vs fixed (RAID-4-style) parity
+/// placement. Besides the time per store (measured here), the bench
+/// reports each policy's write-wear imbalance across devices once per
+/// run — the motivation for Reo's rotation (cf. Differential RAID).
+fn bench_parity_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parity_placement");
+    let size = ByteSize::from_mib(2);
+    for (label, placement) in [
+        ("round_robin", PlacementPolicy::RoundRobin),
+        ("fixed_raid4", PlacementPolicy::Fixed),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("store_2MiB", label),
+            &placement,
+            |b, &placement| {
+                let array = FlashArray::new(5, DeviceConfig::intel_540s(), SimClock::new());
+                let mut m = StripeManager::with_placement(array, ByteSize::from_kib(64), placement);
+                let mut owner = 0u64;
+                b.iter(|| {
+                    owner += 1;
+                    let layout = m
+                        .store_object(owner, size, RedundancyScheme::parity(1), None)
+                        .expect("store");
+                    m.remove_object(&layout);
+                });
+                // Report the wear spread once per policy.
+                let written: Vec<u64> = (0..5)
+                    .map(|d| m.array().device(DeviceId(d)).stats().bytes_written)
+                    .collect();
+                let max = *written.iter().max().expect("five devices") as f64;
+                let min = *written.iter().min().expect("five devices") as f64;
+                eprintln!(
+                    "parity_placement/{label}: per-device write imbalance max/min = {:.2}",
+                    if min > 0.0 { max / min } else { f64::INFINITY }
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_placement_math,
+    bench_store_object,
+    bench_degraded_read,
+    bench_rebuild,
+    bench_parity_placement
+);
+criterion_main!(benches);

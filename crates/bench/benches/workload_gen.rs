@@ -1,0 +1,44 @@
+//! Benchmarks of the workload generator: trace synthesis must stay cheap
+//! relative to simulation so parameter sweeps are not generation-bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reo_sim::rng::DetRng;
+use reo_workload::{WorkloadSpec, ZipfSampler};
+use std::hint::black_box;
+
+fn bench_zipf_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    for n in [1_000usize, 4_000] {
+        let zipf = ZipfSampler::new(n, 0.9);
+        let mut rng = DetRng::from_seed(7);
+        group.bench_with_input(BenchmarkId::new("zipf_sample", n), &n, |b, _| {
+            b.iter(|| black_box(zipf.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(10);
+    for (label, spec) in [
+        ("medium_paper_scale", WorkloadSpec::medium()),
+        (
+            "write_intensive_paper_scale",
+            WorkloadSpec::write_intensive(0.3),
+        ),
+    ] {
+        group.throughput(Throughput::Elements(spec.requests as u64));
+        group.bench_with_input(BenchmarkId::new("generate", label), &spec, |b, spec| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(spec.generate(seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zipf_sampling, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Calibration diagnostics: one-line summaries per scheme on the medium
+//! workload (hit ratio, bandwidth, space efficiency, classification
+//! counters). Useful when re-tuning the workload generator or service
+//! models; not one of the paper's figures.
+//!
+//! Usage:
+//!   cargo run --release -p reo-bench --bin diagnose [-- --quick]
+
+use reo_bench::{build_system, RunScale};
+use reo_core::SchemeConfig;
+use reo_osd::ObjectClass;
+use reo_sim::ByteSize;
+use reo_workload::WorkloadSpec;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let trace = scale.scale_spec(WorkloadSpec::medium()).generate(42);
+    println!(
+        "medium workload: {} objects / {:.2} GiB / {} requests; cache 10%, 64 KiB chunks",
+        trace.summary().objects,
+        trace.summary().data_set_bytes.as_gib_f64(),
+        trace.summary().requests
+    );
+    println!(
+        "{:<18}{:>8}{:>10}{:>8}{:>9}{:>7}{:>9}{:>9}",
+        "scheme", "hit %", "bw MB/s", "eff %", "cached", "hot", "reenc", "ctrl"
+    );
+    let mut schemes = SchemeConfig::normal_run_set();
+    schemes.push(SchemeConfig::FullReplication);
+    for scheme in schemes {
+        let mut sys = build_system(scheme, &trace, 0.10, ByteSize::from_kib(64));
+        for r in trace.requests() {
+            sys.handle(r);
+        }
+        let totals = sys.metrics().totals();
+        let stats = sys.target().stats();
+        let hot = trace
+            .objects()
+            .iter()
+            .filter(|o| sys.target().class_of(o.key) == Some(ObjectClass::HotClean))
+            .count();
+        println!(
+            "{:<18}{:>8.1}{:>10.1}{:>8.1}{:>9}{:>7}{:>9}{:>9}",
+            scheme.label(),
+            totals.hit_ratio_pct(),
+            totals.bandwidth_mib_s(),
+            100.0 * sys.space_efficiency(),
+            sys.cached_objects(),
+            hot,
+            stats.reencodes,
+            stats.control_messages,
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 9 — dirty data protection: hit ratio, bandwidth, and latency vs
+//! write ratio (10–50%) for uniform full replication vs Reo.
+//!
+//! Protocol (Section VI-D): five write-intensive medium workloads, 64 KB
+//! chunks, cache size 10% of the data set. Full replication must treat
+//! every object as potentially dirty (5 copies, 20% space efficiency);
+//! Reo replicates only the dirty objects and parity-protects the hot
+//! clean ones.
+//!
+//! Usage:
+//!   cargo run --release -p reo-bench --bin exp_dirty_protection [-- --quick]
+
+use reo_bench::{run_once, Panel, RunScale};
+use reo_core::{ExperimentPlan, SchemeConfig};
+use reo_sim::ByteSize;
+use reo_workload::WorkloadSpec;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    hit_ratio: Panel,
+    bandwidth: Panel,
+    latency: Panel,
+    space_efficiency: Panel,
+    dirty_lost: Panel,
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let write_ratios = [0.10, 0.20, 0.30, 0.40, 0.50];
+    let xs: Vec<f64> = write_ratios.iter().map(|w| w * 100.0).collect();
+
+    println!("### Figure 9 — dirty data protection: write-intensive medium workloads");
+
+    let mut hit = Panel::new("Hit Ratio (%)", "Write Ratio (%)", xs.clone());
+    let mut bw = Panel::new("Bandwidth (MB/sec)", "Write Ratio (%)", xs.clone());
+    let mut lat = Panel::new("Latency (ms)", "Write Ratio (%)", xs.clone());
+    let mut eff = Panel::new("Space Efficiency (%)", "Write Ratio (%)", xs.clone());
+    let mut lost = Panel::new("Dirty Objects Lost", "Write Ratio (%)", xs);
+
+    for &write_ratio in &write_ratios {
+        let spec = scale.scale_spec(WorkloadSpec::write_intensive(write_ratio));
+        let trace = spec.generate(42);
+        for scheme in [
+            SchemeConfig::FullReplication,
+            SchemeConfig::Reo { reserve: 0.10 },
+        ] {
+            let plan = ExperimentPlan {
+                warmup_passes: 1,
+                events: vec![],
+            };
+            let result = run_once(scheme, &trace, 0.10, ByteSize::from_kib(64), &plan);
+            let label = match scheme {
+                SchemeConfig::FullReplication => "Full replication".to_string(),
+                _ => "Reo".to_string(),
+            };
+            hit.push(&label, result.totals.hit_ratio_pct());
+            bw.push(&label, result.totals.bandwidth_mib_s());
+            lat.push(&label, result.totals.mean_latency_ms());
+            eff.push(&label, 100.0 * result.space_efficiency);
+            lost.push(&label, result.dirty_data_lost as f64);
+        }
+    }
+
+    hit.print();
+    bw.print();
+    lat.print();
+    eff.print();
+    lost.print();
+    reo_bench::write_json(
+        "fig9_dirty_protection",
+        &Report {
+            hit_ratio: hit,
+            bandwidth: bw,
+            latency: lat,
+            space_efficiency: eff,
+            dirty_lost: lost,
+        },
+    );
+}

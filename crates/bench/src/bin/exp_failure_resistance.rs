@@ -1,0 +1,72 @@
+//! Figure 8 — failure resistance: hit ratio, bandwidth, and latency as
+//! devices fail one by one.
+//!
+//! Protocol (Section VI-C): medium workload, cache fully warmed, cache
+//! size 10% of the data set, 1 MB chunks; four failure points injected at
+//! the 10,000th/20,000th/30,000th/40,000th requests, one additional
+//! failed device each time. Metrics are reported per window between
+//! failure points (x = number of failed devices).
+//!
+//! Usage:
+//!   cargo run --release -p reo-bench --bin exp_failure_resistance [-- --quick]
+
+use reo_bench::{build_system, Panel, RunScale};
+use reo_core::{ExperimentPlan, ExperimentRunner, SchemeConfig};
+use reo_sim::ByteSize;
+use reo_workload::WorkloadSpec;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    hit_ratio: Panel,
+    bandwidth: Panel,
+    latency: Panel,
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let spec = scale.scale_spec(WorkloadSpec::medium());
+    let trace = spec.generate(42);
+    let step = trace.requests().len() / 5;
+    let failures = 4;
+
+    println!(
+        "### Figure 8 — failure resistance: medium workload, {} requests, failures every {} requests",
+        trace.requests().len(),
+        step
+    );
+
+    let xs: Vec<f64> = (0..=failures).map(|i| i as f64).collect();
+    let mut hit = Panel::new("Hit Ratio (%)", "Number of Failed Devices", xs.clone());
+    let mut bw = Panel::new("Bandwidth (MB/sec)", "Number of Failed Devices", xs.clone());
+    let mut lat = Panel::new("Latency (ms)", "Number of Failed Devices", xs);
+
+    for scheme in SchemeConfig::normal_run_set() {
+        let mut system = build_system(scheme, &trace, 0.10, ByteSize::from_mib(1));
+        let plan = ExperimentPlan::staggered_failures(step, failures);
+        let result = ExperimentRunner::run(&mut system, &trace, &plan);
+        let label = scheme.label();
+        for window in result.windows() {
+            hit.push(&label, window.hit_ratio_pct());
+            bw.push(&label, window.bandwidth_mib_s());
+            lat.push(&label, window.mean_latency_ms());
+        }
+        println!(
+            "{label:<18} dirty-data-lost={} final-space-eff={:.1}%",
+            result.dirty_data_lost,
+            100.0 * result.space_efficiency
+        );
+    }
+
+    hit.print();
+    bw.print();
+    lat.print();
+    reo_bench::write_json(
+        "fig8_failure_resistance",
+        &Report {
+            hit_ratio: hit,
+            bandwidth: bw,
+            latency: lat,
+        },
+    );
+}

@@ -1,0 +1,101 @@
+//! Figures 5, 6, 7 — normal run: hit ratio, bandwidth, and latency vs
+//! cache size (4–12% of the data set) for the six protection schemes,
+//! under weak / medium / strong locality workloads.
+//!
+//! Usage:
+//!   cargo run --release -p reo-bench --bin exp_normal_run [-- --locality weak|medium|strong] [--quick]
+
+use reo_bench::{cache_size_sweep, run_once, Panel, RunScale};
+use reo_core::{ExperimentPlan, SchemeConfig};
+use reo_sim::ByteSize;
+use reo_workload::{Locality, WorkloadSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    locality: String,
+    hit_ratio: Panel,
+    bandwidth: Panel,
+    latency: Panel,
+}
+
+fn locality_arg() -> Vec<Locality> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--locality") {
+        match args.get(i + 1).map(String::as_str) {
+            Some("weak") => return vec![Locality::Weak],
+            Some("medium") => return vec![Locality::Medium],
+            Some("strong") => return vec![Locality::Strong],
+            other => {
+                eprintln!("unknown --locality {other:?}; running all three");
+            }
+        }
+    }
+    vec![Locality::Weak, Locality::Medium, Locality::Strong]
+}
+
+fn spec_for(locality: Locality) -> WorkloadSpec {
+    match locality {
+        Locality::Weak => WorkloadSpec::weak(),
+        Locality::Medium => WorkloadSpec::medium(),
+        Locality::Strong => WorkloadSpec::strong(),
+    }
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let figure = |l: Locality| match l {
+        Locality::Weak => 5,
+        Locality::Medium => 6,
+        Locality::Strong => 7,
+    };
+
+    for locality in locality_arg() {
+        let spec = scale.scale_spec(spec_for(locality));
+        let trace = spec.generate(42);
+        let summary = trace.summary();
+        println!(
+            "\n### Figure {} — {} locality: {} objects ({:.2} GiB), {} read requests ({:.2} GiB accessed)",
+            figure(locality),
+            locality,
+            summary.objects,
+            summary.data_set_bytes.as_gib_f64(),
+            summary.requests,
+            summary.accessed_bytes.as_gib_f64(),
+        );
+
+        let xs: Vec<f64> = cache_size_sweep().iter().map(|f| f * 100.0).collect();
+        let mut hit = Panel::new("Hit Ratio (%)", "Cache Size (%)", xs.clone());
+        let mut bw = Panel::new("Bandwidth (MB/sec)", "Cache Size (%)", xs.clone());
+        let mut lat = Panel::new("Latency (ms)", "Cache Size (%)", xs.clone());
+
+        for fraction in cache_size_sweep() {
+            for scheme in SchemeConfig::normal_run_set() {
+                let result = run_once(
+                    scheme,
+                    &trace,
+                    fraction,
+                    ByteSize::from_kib(64),
+                    &ExperimentPlan::normal_run(),
+                );
+                let label = scheme.label();
+                hit.push(&label, result.totals.hit_ratio_pct());
+                bw.push(&label, result.totals.bandwidth_mib_s());
+                lat.push(&label, result.totals.mean_latency_ms());
+            }
+        }
+
+        hit.print();
+        bw.print();
+        lat.print();
+        reo_bench::write_json(
+            &format!("fig{}_normal_run_{}", figure(locality), locality),
+            &Report {
+                locality: locality.to_string(),
+                hit_ratio: hit,
+                bandwidth: bw,
+                latency: lat,
+            },
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Section VI-B's space-efficiency check: "Reo-10% achieves 90.5%, 91.0%,
+//! and 90% average space efficiency for weak, medium, and strong workload,
+//! respectively. Reo-20% and Reo-40% also show space efficiency close to
+//! the specified parity percentage."
+//!
+//! Space efficiency is sampled every 500 requests during the run and
+//! averaged, per scheme and locality. The uniform baselines are included
+//! as the analytical anchors (100% / 80% / 60% / 20%).
+//!
+//! Usage:
+//!   cargo run --release -p reo-bench --bin exp_space_efficiency [-- --quick]
+
+use reo_bench::{build_system, RunScale};
+use reo_core::SchemeConfig;
+use reo_sim::ByteSize;
+use reo_workload::{Locality, WorkloadSpec};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Serialize)]
+struct Report {
+    /// scheme -> locality -> average space efficiency (%).
+    table: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let schemes: Vec<SchemeConfig> = SchemeConfig::normal_run_set()
+        .into_iter()
+        .chain([SchemeConfig::FullReplication])
+        .collect();
+    let localities = [Locality::Weak, Locality::Medium, Locality::Strong];
+
+    let mut table: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+
+    for &locality in &localities {
+        let spec = scale.scale_spec(match locality {
+            Locality::Weak => WorkloadSpec::weak(),
+            Locality::Medium => WorkloadSpec::medium(),
+            Locality::Strong => WorkloadSpec::strong(),
+        });
+        let trace = spec.generate(42);
+        for &scheme in &schemes {
+            // The paper uses a 4 GB memory / 64 KB chunk config; cache is
+            // sized at 10% of the data set for this check.
+            let mut system = build_system(scheme, &trace, 0.10, ByteSize::from_kib(64));
+            let mut samples = Vec::new();
+            for (i, request) in trace.requests().iter().enumerate() {
+                system.handle(request);
+                if i % 500 == 499 {
+                    samples.push(system.space_efficiency());
+                }
+            }
+            if samples.is_empty() {
+                samples.push(system.space_efficiency());
+            }
+            let avg = 100.0 * samples.iter().sum::<f64>() / samples.len() as f64;
+            table
+                .entry(scheme.label())
+                .or_default()
+                .insert(locality.to_string(), avg);
+        }
+    }
+
+    println!("\n== Average space efficiency (%) — Section VI-B ==");
+    print!("{:<18}", "scheme");
+    for l in &localities {
+        print!("{:>10}", l.to_string());
+    }
+    println!("{:>10}", "ideal");
+    for &scheme in &schemes {
+        let ideal: f64 = match scheme {
+            SchemeConfig::Parity(k) => 100.0 * (5 - k as u64) as f64 / 5.0,
+            SchemeConfig::FullReplication => 20.0,
+            SchemeConfig::Reo { reserve } => 100.0 * (1.0 - reserve),
+        };
+        print!("{:<18}", scheme.label());
+        for l in &localities {
+            print!("{:>10.1}", table[&scheme.label()][&l.to_string()]);
+        }
+        println!("{ideal:>10.1}");
+    }
+
+    reo_bench::write_json("space_efficiency", &Report { table });
+}

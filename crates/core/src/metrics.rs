@@ -1,0 +1,308 @@
+//! The four evaluation metrics: space efficiency, hit ratio, bandwidth,
+//! latency.
+
+use reo_sim::{ByteSize, Histogram, SimDuration, SimTime};
+
+/// A snapshot of the measurements over some interval.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests observed (reads + writes).
+    pub requests: u64,
+    /// Read requests observed.
+    pub reads: u64,
+    /// Read requests served from cache.
+    pub read_hits: u64,
+    /// Write requests observed (absorbed by the write-back cache).
+    pub writes: u64,
+    /// Reads served via on-the-fly reconstruction.
+    pub degraded_reads: u64,
+    /// Requested bytes moved (reads + writes).
+    pub bytes: ByteSize,
+    /// Wall-clock (simulated) span of the interval.
+    pub elapsed: SimDuration,
+    /// Mean request latency.
+    pub mean_latency: SimDuration,
+    /// 99th-percentile request latency.
+    pub p99_latency: SimDuration,
+}
+
+impl MetricsSnapshot {
+    /// Read hit ratio in percent (the paper's "Hit Ratio (%)"); 0 when no
+    /// reads were observed.
+    pub fn hit_ratio_pct(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            100.0 * self.read_hits as f64 / self.reads as f64
+        }
+    }
+
+    /// Bandwidth in MiB per simulated second (the paper's "Bandwidth
+    /// (MB/sec)"); 0 when no time elapsed.
+    pub fn bandwidth_mib_s(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes.as_mib_f64() / secs
+        }
+    }
+
+    /// Mean latency in milliseconds (the paper's "Latency (ms)").
+    pub fn mean_latency_ms(&self) -> f64 {
+        self.mean_latency.as_millis_f64()
+    }
+}
+
+/// Accumulates measurements with both running totals and a resettable
+/// window (the failure experiments report per-window values between
+/// injection points).
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    totals: Accum,
+    window: Accum,
+}
+
+#[derive(Clone, Debug)]
+struct Accum {
+    started_at: SimTime,
+    last_seen: SimTime,
+    requests: u64,
+    reads: u64,
+    read_hits: u64,
+    writes: u64,
+    degraded_reads: u64,
+    bytes: ByteSize,
+    latency: Histogram,
+}
+
+impl Accum {
+    fn new(now: SimTime) -> Self {
+        Accum {
+            started_at: now,
+            last_seen: now,
+            requests: 0,
+            reads: 0,
+            read_hits: 0,
+            writes: 0,
+            degraded_reads: 0,
+            bytes: ByteSize::ZERO,
+            latency: Histogram::new(),
+        }
+    }
+
+    fn record(
+        &mut self,
+        is_read: bool,
+        hit: bool,
+        degraded: bool,
+        bytes: ByteSize,
+        latency: SimDuration,
+        now: SimTime,
+    ) {
+        self.requests += 1;
+        if is_read {
+            self.reads += 1;
+            if hit {
+                self.read_hits += 1;
+            }
+            if degraded {
+                self.degraded_reads += 1;
+            }
+        } else {
+            self.writes += 1;
+        }
+        self.bytes += bytes;
+        self.latency.record(latency);
+        self.last_seen = now;
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests,
+            reads: self.reads,
+            read_hits: self.read_hits,
+            writes: self.writes,
+            degraded_reads: self.degraded_reads,
+            bytes: self.bytes,
+            elapsed: self.last_seen.saturating_since(self.started_at),
+            mean_latency: self.latency.mean().unwrap_or(SimDuration::ZERO),
+            p99_latency: self.latency.percentile(99.0).unwrap_or(SimDuration::ZERO),
+        }
+    }
+}
+
+impl Metrics {
+    /// Creates metrics anchored at `now`.
+    pub fn new(now: SimTime) -> Self {
+        Metrics {
+            totals: Accum::new(now),
+            window: Accum::new(now),
+        }
+    }
+
+    /// Records one completed request into both the totals and the window.
+    pub fn record(
+        &mut self,
+        is_read: bool,
+        hit: bool,
+        degraded: bool,
+        bytes: ByteSize,
+        latency: SimDuration,
+        now: SimTime,
+    ) {
+        self.totals
+            .record(is_read, hit, degraded, bytes, latency, now);
+        self.window
+            .record(is_read, hit, degraded, bytes, latency, now);
+    }
+
+    /// Snapshot since construction (or [`Metrics::reset_all`]).
+    pub fn totals(&self) -> MetricsSnapshot {
+        self.totals.snapshot()
+    }
+
+    /// Snapshot since the last [`Metrics::roll_window`].
+    pub fn window(&self) -> MetricsSnapshot {
+        self.window.snapshot()
+    }
+
+    /// Closes the current window, returning its snapshot, and starts a new
+    /// one at `now`.
+    pub fn roll_window(&mut self, now: SimTime) -> MetricsSnapshot {
+        let snap = self.window.snapshot();
+        self.window = Accum::new(now);
+        snap
+    }
+
+    /// Clears everything (end of warm-up).
+    pub fn reset_all(&mut self, now: SimTime) {
+        self.totals = Accum::new(now);
+        self.window = Accum::new(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn hit_ratio_counts_reads_only() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        m.record(
+            true,
+            true,
+            false,
+            ByteSize::from_mib(1),
+            SimDuration::from_millis(1),
+            t(1),
+        );
+        m.record(
+            true,
+            false,
+            false,
+            ByteSize::from_mib(1),
+            SimDuration::from_millis(2),
+            t(2),
+        );
+        m.record(
+            false,
+            false,
+            false,
+            ByteSize::from_mib(1),
+            SimDuration::from_millis(1),
+            t(3),
+        );
+        let s = m.totals();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.hit_ratio_pct(), 50.0);
+    }
+
+    #[test]
+    fn bandwidth_uses_simulated_elapsed_time() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        m.record(
+            true,
+            true,
+            false,
+            ByteSize::from_mib(100),
+            SimDuration::from_millis(500),
+            t(500),
+        );
+        let s = m.totals();
+        assert_eq!(s.elapsed, SimDuration::from_millis(500));
+        assert!((s.bandwidth_mib_s() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_rolls_independently_of_totals() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        m.record(
+            true,
+            true,
+            false,
+            ByteSize::from_mib(1),
+            SimDuration::from_millis(1),
+            t(1),
+        );
+        let w1 = m.roll_window(t(1));
+        assert_eq!(w1.requests, 1);
+        m.record(
+            true,
+            false,
+            false,
+            ByteSize::from_mib(1),
+            SimDuration::from_millis(1),
+            t(2),
+        );
+        let w2 = m.window();
+        assert_eq!(w2.requests, 1);
+        assert_eq!(w2.hit_ratio_pct(), 0.0);
+        assert_eq!(m.totals().requests, 2);
+        assert_eq!(m.totals().hit_ratio_pct(), 50.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zeroes() {
+        let m = Metrics::new(SimTime::ZERO);
+        let s = m.totals();
+        assert_eq!(s.hit_ratio_pct(), 0.0);
+        assert_eq!(s.bandwidth_mib_s(), 0.0);
+        assert_eq!(s.mean_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn degraded_reads_tracked() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        m.record(
+            true,
+            true,
+            true,
+            ByteSize::from_mib(1),
+            SimDuration::from_millis(3),
+            t(3),
+        );
+        assert_eq!(m.totals().degraded_reads, 1);
+    }
+
+    #[test]
+    fn reset_all_clears_everything() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        m.record(
+            true,
+            true,
+            false,
+            ByteSize::from_mib(1),
+            SimDuration::from_millis(1),
+            t(1),
+        );
+        m.reset_all(t(1));
+        assert_eq!(m.totals().requests, 0);
+        assert_eq!(m.window().requests, 0);
+    }
+}

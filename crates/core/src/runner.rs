@@ -1,0 +1,304 @@
+//! The experiment runner: warm-up, failure injection, windowed metrics.
+
+use reo_flashsim::DeviceId;
+use reo_workload::Trace;
+
+use crate::metrics::MetricsSnapshot;
+use crate::system::CacheSystem;
+
+/// An event injected at a request index (the paper injects failures "at
+/// the 10,000th, 20,000th, 30,000th, 40,000th requests").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlannedEvent {
+    /// Take a device offline (shootdown).
+    FailDevice(DeviceId),
+    /// Insert a blank spare in a (failed) device's slot and start
+    /// prioritized recovery.
+    InsertSpare(DeviceId),
+}
+
+/// The scripted schedule of an experiment.
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentPlan {
+    /// Full passes over the trace executed before measurement starts
+    /// ("we first fully warm up the cache", Section VI-C). Metrics reset
+    /// afterwards.
+    pub warmup_passes: usize,
+    /// `(request_index, event)` pairs, applied immediately before the
+    /// request with that index of the measured pass. Indices must be
+    /// non-decreasing.
+    pub events: Vec<(usize, PlannedEvent)>,
+}
+
+impl ExperimentPlan {
+    /// A plan with no warm-up and no events (the normal-run experiments).
+    pub fn normal_run() -> Self {
+        ExperimentPlan::default()
+    }
+
+    /// The paper's failure-resistance schedule: warm cache, then one
+    /// additional device failure every `step` requests, `failures` in
+    /// total.
+    pub fn staggered_failures(step: usize, failures: usize) -> Self {
+        ExperimentPlan {
+            warmup_passes: 1,
+            events: (0..failures)
+                .map(|i| ((i + 1) * step, PlannedEvent::FailDevice(DeviceId(i))))
+                .collect(),
+        }
+    }
+}
+
+/// The outcome of applying one planned event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventOutcome {
+    /// Request index the event fired at.
+    pub at_request: usize,
+    /// The event.
+    pub event: PlannedEvent,
+    /// The measurement window that *ended* when this event fired.
+    pub window_before: MetricsSnapshot,
+    /// Failed devices after the event.
+    pub failed_devices_after: usize,
+}
+
+/// Everything an experiment run produced.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Totals over the measured pass.
+    pub totals: MetricsSnapshot,
+    /// Per-event outcomes, each carrying the window that preceded it.
+    pub events: Vec<EventOutcome>,
+    /// The final window (after the last event, or the whole run when no
+    /// events fired).
+    pub final_window: MetricsSnapshot,
+    /// Space efficiency at the end of the run.
+    pub space_efficiency: f64,
+    /// Dirty objects permanently lost during the run.
+    pub dirty_data_lost: u64,
+}
+
+impl ExperimentResult {
+    /// The per-window snapshots in order: the window before each event,
+    /// then the final window. For the staggered-failure plan this is
+    /// exactly the paper's "0 failures, 1 failure, 2 failures, …" series.
+    pub fn windows(&self) -> Vec<&MetricsSnapshot> {
+        let mut out: Vec<&MetricsSnapshot> = self.events.iter().map(|e| &e.window_before).collect();
+        out.push(&self.final_window);
+        out
+    }
+}
+
+/// Drives traces through systems according to plans.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExperimentRunner;
+
+impl ExperimentRunner {
+    /// Runs `trace` through `system` under `plan`.
+    ///
+    /// The system should already be [`CacheSystem::populate`]d with the
+    /// trace's objects (this function does it again idempotently for
+    /// convenience — backend inserts are charge-free overwrites).
+    ///
+    /// # Panics
+    ///
+    /// Panics if event indices are not sorted in non-decreasing order.
+    pub fn run(system: &mut CacheSystem, trace: &Trace, plan: &ExperimentPlan) -> ExperimentResult {
+        assert!(
+            plan.events.windows(2).all(|w| w[0].0 <= w[1].0),
+            "event indices must be non-decreasing"
+        );
+        system.populate(trace.objects());
+
+        for _ in 0..plan.warmup_passes {
+            for request in trace.requests() {
+                system.handle(request);
+            }
+        }
+        let now = system.clock().now();
+        system.metrics_mut().reset_all(now);
+
+        let mut events = plan.events.iter().peekable();
+        let mut outcomes = Vec::new();
+        let mut failed: usize = 0;
+
+        for (i, request) in trace.requests().iter().enumerate() {
+            while let Some(&&(at, event)) = events.peek() {
+                if at > i {
+                    break;
+                }
+                events.next();
+                let now = system.clock().now();
+                let window_before = system.metrics_mut().roll_window(now);
+                match event {
+                    PlannedEvent::FailDevice(d) => {
+                        system.fail_device(d);
+                        failed += 1;
+                    }
+                    PlannedEvent::InsertSpare(d) => {
+                        system.insert_spare(d);
+                        failed = failed.saturating_sub(1);
+                    }
+                }
+                outcomes.push(EventOutcome {
+                    at_request: i,
+                    event,
+                    window_before,
+                    failed_devices_after: failed,
+                });
+            }
+            system.handle(request);
+        }
+        // Events scheduled past the end of the trace still fire.
+        for &(at, event) in events {
+            let now = system.clock().now();
+            let window_before = system.metrics_mut().roll_window(now);
+            match event {
+                PlannedEvent::FailDevice(d) => {
+                    system.fail_device(d);
+                    failed += 1;
+                }
+                PlannedEvent::InsertSpare(d) => {
+                    system.insert_spare(d);
+                    failed = failed.saturating_sub(1);
+                }
+            }
+            outcomes.push(EventOutcome {
+                at_request: at,
+                event,
+                window_before,
+                failed_devices_after: failed,
+            });
+        }
+
+        ExperimentResult {
+            totals: system.metrics().totals(),
+            events: outcomes,
+            final_window: system.metrics().window(),
+            space_efficiency: system.space_efficiency(),
+            dirty_data_lost: system.dirty_data_lost(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SchemeConfig, SystemConfig};
+    use reo_sim::ByteSize;
+    use reo_workload::{Locality, WorkloadSpec};
+
+    fn trace() -> Trace {
+        WorkloadSpec {
+            objects: 80,
+            mean_object_size: ByteSize::from_kib(128),
+            size_sigma: 0.5,
+            locality: Locality::Medium,
+            requests: 600,
+            write_ratio: 0.0,
+            temporal_reuse: reo_workload::Locality::Medium.temporal_reuse(),
+            reuse_window: 100,
+        }
+        .generate(3)
+    }
+
+    fn system(scheme: SchemeConfig, trace: &Trace) -> CacheSystem {
+        let cache = trace.summary().data_set_bytes.scale(0.15);
+        let mut cfg = SystemConfig::paper_defaults(scheme, cache);
+        cfg.chunk_size = ByteSize::from_kib(16);
+        CacheSystem::new(cfg)
+    }
+
+    #[test]
+    fn normal_run_has_one_window() {
+        let t = trace();
+        let mut sys = system(SchemeConfig::Parity(1), &t);
+        let result = ExperimentRunner::run(&mut sys, &t, &ExperimentPlan::normal_run());
+        assert!(result.events.is_empty());
+        assert_eq!(result.totals.requests, 600);
+        assert_eq!(result.windows().len(), 1);
+        assert_eq!(result.final_window.requests, 600);
+    }
+
+    #[test]
+    fn warmup_raises_measured_hit_ratio() {
+        let t = trace();
+        let mut cold = system(SchemeConfig::Parity(0), &t);
+        let cold_result = ExperimentRunner::run(&mut cold, &t, &ExperimentPlan::normal_run());
+
+        let mut warm = system(SchemeConfig::Parity(0), &t);
+        let warm_plan = ExperimentPlan {
+            warmup_passes: 1,
+            events: vec![],
+        };
+        let warm_result = ExperimentRunner::run(&mut warm, &t, &warm_plan);
+        assert!(
+            warm_result.totals.hit_ratio_pct() >= cold_result.totals.hit_ratio_pct(),
+            "warm {} < cold {}",
+            warm_result.totals.hit_ratio_pct(),
+            cold_result.totals.hit_ratio_pct()
+        );
+    }
+
+    #[test]
+    fn staggered_failures_produce_ordered_windows() {
+        let t = trace();
+        let mut sys = system(SchemeConfig::Reo { reserve: 0.20 }, &t);
+        let plan = ExperimentPlan::staggered_failures(150, 3);
+        let result = ExperimentRunner::run(&mut sys, &t, &plan);
+        assert_eq!(result.events.len(), 3);
+        assert_eq!(result.windows().len(), 4);
+        for (i, e) in result.events.iter().enumerate() {
+            assert_eq!(e.failed_devices_after, i + 1);
+            assert_eq!(e.at_request, (i + 1) * 150);
+        }
+        // Hit ratio after failures should not exceed the pre-failure one.
+        let pre = result.events[0].window_before.hit_ratio_pct();
+        let post = result.final_window.hit_ratio_pct();
+        assert!(post <= pre + 1e-9, "pre {pre} post {post}");
+    }
+
+    #[test]
+    fn spare_insertion_reduces_failed_count() {
+        let t = trace();
+        let mut sys = system(SchemeConfig::Reo { reserve: 0.20 }, &t);
+        let plan = ExperimentPlan {
+            warmup_passes: 0,
+            events: vec![
+                (100, PlannedEvent::FailDevice(DeviceId(0))),
+                (200, PlannedEvent::InsertSpare(DeviceId(0))),
+            ],
+        };
+        let result = ExperimentRunner::run(&mut sys, &t, &plan);
+        assert_eq!(result.events[0].failed_devices_after, 1);
+        assert_eq!(result.events[1].failed_devices_after, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unsorted_events_panic() {
+        let t = trace();
+        let mut sys = system(SchemeConfig::Parity(0), &t);
+        let plan = ExperimentPlan {
+            warmup_passes: 0,
+            events: vec![
+                (200, PlannedEvent::FailDevice(DeviceId(0))),
+                (100, PlannedEvent::FailDevice(DeviceId(1))),
+            ],
+        };
+        let _ = ExperimentRunner::run(&mut sys, &t, &plan);
+    }
+
+    #[test]
+    fn events_past_trace_end_still_fire() {
+        let t = trace();
+        let mut sys = system(SchemeConfig::Parity(1), &t);
+        let plan = ExperimentPlan {
+            warmup_passes: 0,
+            events: vec![(10_000, PlannedEvent::FailDevice(DeviceId(0)))],
+        };
+        let result = ExperimentRunner::run(&mut sys, &t, &plan);
+        assert_eq!(result.events.len(), 1);
+        assert_eq!(result.events[0].window_before.requests, 600);
+    }
+}

@@ -1,0 +1,387 @@
+//! Arithmetic in the Galois field GF(2^8).
+//!
+//! Elements are bytes; addition is XOR; multiplication is polynomial
+//! multiplication modulo the primitive polynomial
+//! `x^8 + x^4 + x^3 + x^2 + 1` (0x11d), the same field used by standard
+//! Reed–Solomon storage codes. Multiplication and division are table-driven
+//! (log/exp tables over the generator 2), built once at first use.
+
+/// The reducing polynomial for the field, sans the x^8 term.
+const POLY: u16 = 0x11d;
+
+/// Log/antilog tables for GF(2^8) with generator 2.
+struct Tables {
+    /// `exp[i] = 2^i`, doubled in length so products of logs need no mod.
+    exp: [u8; 512],
+    /// `log[x]` for x in 1..=255; `log[0]` is unused.
+    log: [u16; 256],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Adds two field elements (XOR).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(reo_erasure::gf256::add(0x53, 0xca), 0x99);
+/// // Addition is its own inverse.
+/// assert_eq!(reo_erasure::gf256::add(0x99, 0xca), 0x53);
+/// ```
+#[inline]
+pub const fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Subtracts two field elements (identical to [`add`] in GF(2^8)).
+#[inline]
+pub const fn sub(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplies two field elements.
+///
+/// # Examples
+///
+/// ```
+/// use reo_erasure::gf256;
+/// assert_eq!(gf256::mul(0, 0xff), 0);
+/// assert_eq!(gf256::mul(1, 0xff), 0xff);
+/// ```
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[(t.log[a as usize] + t.log[b as usize]) as usize]
+}
+
+/// Divides `a` by `b`.
+///
+/// # Panics
+///
+/// Panics if `b` is zero.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[(t.log[a as usize] + 255 - t.log[b as usize]) as usize]
+}
+
+/// The multiplicative inverse of `a`.
+///
+/// # Panics
+///
+/// Panics if `a` is zero (zero has no inverse).
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    div(1, a)
+}
+
+/// Raises `a` to the power `n`.
+pub fn pow(a: u8, mut n: u32) -> u8 {
+    if n == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    n %= 255;
+    let l = (t.log[a as usize] as u32 * n) % 255;
+    t.exp[l as usize]
+}
+
+/// `2^i` in the field — the generator raised to `i`.
+#[inline]
+pub fn exp2(i: u32) -> u8 {
+    tables().exp[(i % 255) as usize]
+}
+
+/// Multiplies every byte of `dst` by `c` and XORs in `src * c`:
+/// `dst[i] ^= c * src[i]`. This is the inner loop of Reed–Solomon encoding.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let t = tables();
+    let log_c = t.log[c as usize];
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= t.exp[(t.log[*s as usize] + log_c) as usize];
+        }
+    }
+}
+
+/// Multiplies every byte of `buf` by `c` in place.
+pub fn mul_slice(buf: &mut [u8], c: u8) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        buf.fill(0);
+        return;
+    }
+    let t = tables();
+    let log_c = t.log[c as usize];
+    for b in buf.iter_mut() {
+        if *b != 0 {
+            *b = t.exp[(t.log[*b as usize] + log_c) as usize];
+        }
+    }
+}
+
+/// XORs `src` into `dst`: `dst[i] ^= src[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// A precomputed multiply-by-constant table, split into low/high nibbles.
+///
+/// The classic storage-codec optimization: for a fixed coefficient `c`,
+/// `c * x = low[x & 0xf] ^ high[x >> 4]`, replacing two log-table lookups
+/// and an addition per byte with two direct 16-entry lookups. Build one
+/// per encoding coefficient and reuse it across the whole chunk.
+///
+/// # Examples
+///
+/// ```
+/// use reo_erasure::gf256::{mul, MulTable};
+///
+/// let t = MulTable::new(0x1d);
+/// for x in [0u8, 1, 7, 255] {
+///     assert_eq!(t.mul(x), mul(0x1d, x));
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct MulTable {
+    low: [u8; 16],
+    high: [u8; 16],
+}
+
+impl MulTable {
+    /// Builds the table for coefficient `c`.
+    pub fn new(c: u8) -> Self {
+        let mut low = [0u8; 16];
+        let mut high = [0u8; 16];
+        for i in 0..16u8 {
+            low[i as usize] = mul(c, i);
+            high[i as usize] = mul(c, i << 4);
+        }
+        MulTable { low, high }
+    }
+
+    /// Multiplies one byte by the table's coefficient.
+    #[inline]
+    pub fn mul(&self, x: u8) -> u8 {
+        self.low[(x & 0x0f) as usize] ^ self.high[(x >> 4) as usize]
+    }
+
+    /// `dst[i] ^= c * src[i]` using the precomputed table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn mul_acc_slice(&self, dst: &mut [u8], src: &[u8]) {
+        assert_eq!(dst.len(), src.len(), "slice length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= self.low[(s & 0x0f) as usize] ^ self.high[(s >> 4) as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn add_is_xor() {
+        assert_eq!(add(0b1010, 0b0110), 0b1100);
+        assert_eq!(sub(0b1100, 0b0110), 0b1010);
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        // Carry-less multiply mod POLY, bit by bit.
+        fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+            let mut r: u8 = 0;
+            while b != 0 {
+                if b & 1 != 0 {
+                    r ^= a;
+                }
+                let hi = a & 0x80 != 0;
+                a <<= 1;
+                if hi {
+                    a ^= (POLY & 0xff) as u8;
+                }
+                b >>= 1;
+            }
+            r
+        }
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        div(3, 0);
+    }
+
+    #[test]
+    fn pow_basics() {
+        assert_eq!(pow(7, 0), 1);
+        assert_eq!(pow(7, 1), 7);
+        assert_eq!(pow(7, 2), mul(7, 7));
+        assert_eq!(pow(0, 5), 0);
+        // Fermat: a^255 = 1 for nonzero a.
+        for a in 1..=255u8 {
+            assert_eq!(pow(a, 255), 1);
+        }
+    }
+
+    #[test]
+    fn exp2_generates_whole_field() {
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            seen[exp2(i) as usize] = true;
+        }
+        // 2 is a generator: all 255 nonzero elements appear.
+        assert!(seen[1..].iter().all(|&s| s));
+        assert!(!seen[0]);
+    }
+
+    #[test]
+    fn mul_acc_slice_matches_scalar() {
+        let src = [1u8, 2, 3, 0, 255];
+        let mut dst = [9u8, 8, 7, 6, 5];
+        let mut expect = dst;
+        for (e, s) in expect.iter_mut().zip(&src) {
+            *e ^= mul(*s, 0x1d);
+        }
+        mul_acc_slice(&mut dst, &src, 0x1d);
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn mul_slice_special_cases() {
+        let mut buf = [3u8, 5, 0, 7];
+        let orig = buf;
+        mul_slice(&mut buf, 1);
+        assert_eq!(buf, orig);
+        mul_slice(&mut buf, 0);
+        assert_eq!(buf, [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn mul_table_matches_scalar_for_all_inputs() {
+        for c in [0u8, 1, 2, 0x1d, 0x80, 0xff] {
+            let t = MulTable::new(c);
+            for x in 0..=255u8 {
+                assert_eq!(t.mul(x), mul(c, x), "c={c} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_table_slice_matches_mul_acc_slice() {
+        let src: Vec<u8> = (0..=255u8).collect();
+        for c in [0u8, 1, 0x1d, 0xa7] {
+            let mut a = vec![0x55u8; 256];
+            let mut b = a.clone();
+            mul_acc_slice(&mut a, &src, c);
+            MulTable::new(c).mul_acc_slice(&mut b, &src);
+            assert_eq!(a, b, "c={c}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutes(a: u8, b: u8) {
+            prop_assert_eq!(mul(a, b), mul(b, a));
+        }
+
+        #[test]
+        fn mul_associates(a: u8, b: u8, c: u8) {
+            prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+        }
+
+        #[test]
+        fn mul_distributes_over_add(a: u8, b: u8, c: u8) {
+            prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+        }
+
+        #[test]
+        fn div_inverts_mul(a: u8, b in 1u8..=255) {
+            prop_assert_eq!(div(mul(a, b), b), a);
+        }
+
+        #[test]
+        fn pow_adds_exponents(a in 1u8..=255, m in 0u32..300, n in 0u32..300) {
+            prop_assert_eq!(mul(pow(a, m), pow(a, n)), pow(a, m + n));
+        }
+    }
+}

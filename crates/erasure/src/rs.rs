@@ -1,0 +1,514 @@
+//! Systematic Reed–Solomon encoding and reconstruction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::gf256;
+use crate::matrix::Matrix;
+
+/// Errors returned by the Reed–Solomon codec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The requested geometry is invalid (zero data shards, zero total, or
+    /// more than 256 total shards).
+    InvalidShardCounts {
+        /// Requested number of data shards.
+        data: usize,
+        /// Requested number of parity shards.
+        parity: usize,
+    },
+    /// The number of shards passed does not match the codec geometry.
+    WrongShardCount {
+        /// Number of shards the codec expects.
+        expected: usize,
+        /// Number of shards provided.
+        actual: usize,
+    },
+    /// Shards have differing lengths (all shards in a stripe must be equal).
+    UnevenShards,
+    /// A shard slice was empty.
+    EmptyShards,
+    /// More shards are missing than the parity count can recover.
+    TooManyMissing {
+        /// Number of missing shards.
+        missing: usize,
+        /// Number of parity shards (the recovery capability).
+        parity: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::InvalidShardCounts { data, parity } => write!(
+                f,
+                "invalid shard geometry: {data} data + {parity} parity shards"
+            ),
+            CodecError::WrongShardCount { expected, actual } => {
+                write!(f, "expected {expected} shards, got {actual}")
+            }
+            CodecError::UnevenShards => write!(f, "shards have differing lengths"),
+            CodecError::EmptyShards => write!(f, "shards must be non-empty"),
+            CodecError::TooManyMissing { missing, parity } => write!(
+                f,
+                "{missing} shards missing but only {parity} parity shards available"
+            ),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// A systematic Reed–Solomon code with `m` data shards and `k` parity
+/// shards.
+///
+/// The encoding matrix is the classic Vandermonde construction: take the
+/// `(m + k) × m` Vandermonde matrix, normalize its top `m × m` block to the
+/// identity (multiplying the whole matrix by the block's inverse), and use
+/// the bottom `k` rows to produce parity. Any `m` of the `m + k` shards then
+/// suffice to reconstruct the rest — the recovery property the Reo paper
+/// relies on for its 1-parity and 2-parity stripes.
+///
+/// # Examples
+///
+/// ```
+/// use reo_erasure::ReedSolomon;
+///
+/// let rs = ReedSolomon::new(4, 2)?;
+/// assert_eq!(rs.data_shards(), 4);
+/// assert_eq!(rs.parity_shards(), 2);
+/// assert_eq!(rs.total_shards(), 6);
+/// # Ok::<(), reo_erasure::CodecError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    data: usize,
+    parity: usize,
+    /// Full `(data + parity) × data` encoding matrix with identity on top.
+    encode_matrix: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates a codec for `data` data shards plus `parity` parity shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidShardCounts`] if `data == 0`, or
+    /// `data + parity > 256` (GF(2^8) supports at most 256 shards).
+    /// `parity == 0` is allowed and yields a no-op code (matching Reo's
+    /// 0-parity stripes for cold clean data).
+    pub fn new(data: usize, parity: usize) -> Result<Self, CodecError> {
+        if data == 0 || data + parity > 256 {
+            return Err(CodecError::InvalidShardCounts { data, parity });
+        }
+        let total = data + parity;
+        let vand = Matrix::vandermonde(total, data);
+        let top = vand.select_rows(&(0..data).collect::<Vec<_>>());
+        let top_inv = top
+            .inverse()
+            .expect("top block of a Vandermonde matrix is always invertible");
+        let encode_matrix = vand.mul(&top_inv);
+        debug_assert_eq!(
+            encode_matrix.select_rows(&(0..data).collect::<Vec<_>>()),
+            Matrix::identity(data),
+            "systematic encode matrix must start with identity"
+        );
+        Ok(ReedSolomon {
+            data,
+            parity,
+            encode_matrix,
+        })
+    }
+
+    /// Number of data shards `m`.
+    pub fn data_shards(&self) -> usize {
+        self.data
+    }
+
+    /// Number of parity shards `k`.
+    pub fn parity_shards(&self) -> usize {
+        self.parity
+    }
+
+    /// Total shards `n = m + k`.
+    pub fn total_shards(&self) -> usize {
+        self.data + self.parity
+    }
+
+    /// The encoding coefficient applied to data shard `d` when computing
+    /// parity shard `p`.
+    ///
+    /// Exposed for the delta parity-update path, which needs individual
+    /// coefficients rather than whole-stripe encodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= parity_shards()` or `d >= data_shards()`.
+    pub fn parity_coefficient(&self, p: usize, d: usize) -> u8 {
+        assert!(p < self.parity, "parity index out of range");
+        assert!(d < self.data, "data index out of range");
+        self.encode_matrix.get(self.data + p, d)
+    }
+
+    fn check_shards<T: AsRef<[u8]>>(&self, shards: &[T]) -> Result<usize, CodecError> {
+        let len = shards
+            .first()
+            .map(|s| s.as_ref().len())
+            .ok_or(CodecError::EmptyShards)?;
+        if len == 0 {
+            return Err(CodecError::EmptyShards);
+        }
+        if shards.iter().any(|s| s.as_ref().len() != len) {
+            return Err(CodecError::UnevenShards);
+        }
+        Ok(len)
+    }
+
+    /// Encodes `parity_shards()` parity shards from exactly
+    /// `data_shards()` equal-length data shards.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodecError::WrongShardCount`] — wrong number of data shards.
+    /// * [`CodecError::UnevenShards`] — shards of differing lengths.
+    /// * [`CodecError::EmptyShards`] — zero-length shards.
+    pub fn encode<T: AsRef<[u8]>>(&self, data: &[T]) -> Result<Vec<Vec<u8>>, CodecError> {
+        if data.len() != self.data {
+            return Err(CodecError::WrongShardCount {
+                expected: self.data,
+                actual: data.len(),
+            });
+        }
+        let len = self.check_shards(data)?;
+        let mut parity = vec![vec![0u8; len]; self.parity];
+        for (p, out) in parity.iter_mut().enumerate() {
+            for (d, shard) in data.iter().enumerate() {
+                let c = self.encode_matrix.get(self.data + p, d);
+                match c {
+                    0 => {}
+                    1 => gf256::xor_slice(out, shard.as_ref()),
+                    // Per-coefficient nibble tables amortize over the
+                    // whole chunk (64 KiB ≫ 32 table entries).
+                    _ => gf256::MulTable::new(c).mul_acc_slice(out, shard.as_ref()),
+                }
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Verifies that the given full shard set (data followed by parity) is
+    /// consistent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors like [`CodecError::WrongShardCount`]; returns
+    /// `Ok(false)` if shapes are fine but parity does not match.
+    pub fn verify<T: AsRef<[u8]>>(&self, shards: &[T]) -> Result<bool, CodecError> {
+        if shards.len() != self.total_shards() {
+            return Err(CodecError::WrongShardCount {
+                expected: self.total_shards(),
+                actual: shards.len(),
+            });
+        }
+        self.check_shards(shards)?;
+        let recomputed = self.encode(&shards[..self.data])?;
+        Ok(recomputed
+            .iter()
+            .zip(&shards[self.data..])
+            .all(|(a, b)| a.as_slice() == b.as_ref()))
+    }
+
+    /// Reconstructs every missing shard (`None` entries) in place.
+    ///
+    /// `shards` must hold `total_shards()` entries — data shards first,
+    /// parity after — with `None` marking lost shards. On success all
+    /// entries are `Some` and hold consistent contents.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodecError::WrongShardCount`] — wrong number of entries.
+    /// * [`CodecError::TooManyMissing`] — more than `parity_shards()`
+    ///   entries are `None`.
+    /// * [`CodecError::UnevenShards`] / [`CodecError::EmptyShards`] — the
+    ///   surviving shards disagree on length or are empty.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodecError> {
+        if shards.len() != self.total_shards() {
+            return Err(CodecError::WrongShardCount {
+                expected: self.total_shards(),
+                actual: shards.len(),
+            });
+        }
+        let missing: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
+            .collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        if missing.len() > self.parity {
+            return Err(CodecError::TooManyMissing {
+                missing: missing.len(),
+                parity: self.parity,
+            });
+        }
+        let present: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_some().then_some(i))
+            .collect();
+        let survivors: Vec<&Vec<u8>> = present
+            .iter()
+            .take(self.data)
+            .map(|&i| shards[i].as_ref().expect("present index"))
+            .collect();
+        let len = self.check_shards(&survivors)?;
+
+        // Rows of the encode matrix for the first `data` surviving shards
+        // form an invertible matrix; inverting it maps survivors back to the
+        // original data shards.
+        let survivor_rows = self
+            .encode_matrix
+            .select_rows(&present[..self.data.min(present.len())]);
+        let decode = survivor_rows
+            .inverse()
+            .expect("any data-many rows of an RS encode matrix are independent");
+
+        // Recover original data shards for any that are missing.
+        let data_missing: Vec<usize> = missing.iter().copied().filter(|&i| i < self.data).collect();
+        let mut recovered: Vec<(usize, Vec<u8>)> = Vec::with_capacity(missing.len());
+        for &dm in &data_missing {
+            let mut out = vec![0u8; len];
+            for (j, shard) in survivors.iter().enumerate() {
+                match decode.get(dm, j) {
+                    0 => {}
+                    1 => gf256::xor_slice(&mut out, shard),
+                    c => gf256::MulTable::new(c).mul_acc_slice(&mut out, shard),
+                }
+            }
+            recovered.push((dm, out));
+        }
+        for (i, buf) in recovered {
+            shards[i] = Some(buf);
+        }
+
+        // With all data shards present, re-encode any missing parity shards.
+        let parity_missing: Vec<usize> = missing
+            .iter()
+            .copied()
+            .filter(|&i| i >= self.data)
+            .collect();
+        if !parity_missing.is_empty() {
+            let data_refs: Vec<&[u8]> = (0..self.data)
+                .map(|i| shards[i].as_deref().expect("data recovered above"))
+                .collect();
+            let parity = self.encode(&data_refs)?;
+            for i in parity_missing {
+                shards[i] = Some(parity[i - self.data].clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_data(m: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..m)
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 131 + j * 17 + 7) % 256) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_verify_roundtrip() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 64);
+        let parity = rs.encode(&data).unwrap();
+        assert_eq!(parity.len(), 2);
+        let mut all: Vec<Vec<u8>> = data.clone();
+        all.extend(parity);
+        assert!(rs.verify(&all).unwrap());
+        // Corrupt one byte and verification fails.
+        all[5][3] ^= 0xff;
+        assert!(!rs.verify(&all).unwrap());
+    }
+
+    #[test]
+    fn zero_parity_is_noop_code() {
+        let rs = ReedSolomon::new(3, 0).unwrap();
+        let data = sample_data(3, 16);
+        assert!(rs.encode(&data).unwrap().is_empty());
+        let mut shards: Vec<Option<Vec<u8>>> = data.into_iter().map(Some).collect();
+        rs.reconstruct(&mut shards).unwrap();
+        // A missing shard is unrecoverable with zero parity.
+        shards[0] = None;
+        let err = rs.reconstruct(&mut shards).unwrap_err();
+        assert!(matches!(err, CodecError::TooManyMissing { .. }));
+    }
+
+    #[test]
+    fn reconstruct_every_single_loss_pattern() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let data = sample_data(3, 32);
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+        for lost in 0..5 {
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            shards[lost] = None;
+            rs.reconstruct(&mut shards).unwrap();
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(
+                    s.as_ref().unwrap(),
+                    &full[i],
+                    "shard {i} after losing {lost}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_every_double_loss_pattern() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let data = sample_data(3, 32);
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                shards[a] = None;
+                shards[b] = None;
+                rs.reconstruct(&mut shards).unwrap();
+                for (i, s) in shards.iter().enumerate() {
+                    assert_eq!(s.as_ref().unwrap(), &full[i], "lost ({a},{b}), shard {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_missing_is_an_error() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let data = sample_data(3, 8);
+        let parity = rs.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data.into_iter().chain(parity).map(Some).collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        assert_eq!(
+            rs.reconstruct(&mut shards).unwrap_err(),
+            CodecError::TooManyMissing {
+                missing: 3,
+                parity: 2
+            }
+        );
+    }
+
+    #[test]
+    fn geometry_errors() {
+        assert!(matches!(
+            ReedSolomon::new(0, 2),
+            Err(CodecError::InvalidShardCounts { .. })
+        ));
+        assert!(matches!(
+            ReedSolomon::new(255, 2),
+            Err(CodecError::InvalidShardCounts { .. })
+        ));
+        assert!(ReedSolomon::new(254, 2).is_ok());
+    }
+
+    #[test]
+    fn shape_errors() {
+        let rs = ReedSolomon::new(2, 1).unwrap();
+        assert!(matches!(
+            rs.encode(&sample_data(3, 8)),
+            Err(CodecError::WrongShardCount {
+                expected: 2,
+                actual: 3
+            })
+        ));
+        let uneven = vec![vec![0u8; 8], vec![0u8; 9]];
+        assert_eq!(rs.encode(&uneven).unwrap_err(), CodecError::UnevenShards);
+        let empty: Vec<Vec<u8>> = vec![vec![], vec![]];
+        assert_eq!(rs.encode(&empty).unwrap_err(), CodecError::EmptyShards);
+    }
+
+    #[test]
+    fn parity_coefficient_matches_encode() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        // Encode unit-impulse data shards and check that parity equals the
+        // coefficient.
+        for d in 0..3 {
+            let mut data = vec![vec![0u8; 1]; 3];
+            data[d][0] = 1;
+            let parity = rs.encode(&data).unwrap();
+            for p in 0..2 {
+                assert_eq!(parity[p][0], rs.parity_coefficient(p, d));
+            }
+        }
+    }
+
+    #[test]
+    fn errors_display_cleanly() {
+        let e = CodecError::TooManyMissing {
+            missing: 3,
+            parity: 2,
+        };
+        assert_eq!(
+            e.to_string(),
+            "3 shards missing but only 2 parity shards available"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn random_reconstruct_roundtrip(
+            m in 1usize..6,
+            k in 0usize..4,
+            len in 1usize..64,
+            seed: u64,
+        ) {
+            let rs = ReedSolomon::new(m, k).unwrap();
+            let data: Vec<Vec<u8>> = (0..m)
+                .map(|i| {
+                    (0..len)
+                        .map(|j| (seed
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add((i * 1009 + j) as u64) >> 33) as u8)
+                        .collect()
+                })
+                .collect();
+            let parity = rs.encode(&data).unwrap();
+            let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+
+            // Choose up to k losses deterministically from the seed.
+            let total = m + k;
+            let losses = (seed as usize) % (k + 1);
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            let mut lost = Vec::new();
+            let mut idx = (seed as usize) % total;
+            while lost.len() < losses {
+                if !lost.contains(&idx) {
+                    lost.push(idx);
+                    shards[idx] = None;
+                }
+                // Step by 1: always visits every index, so the loop
+                // terminates for any `total`.
+                idx = (idx + 1) % total;
+            }
+            rs.reconstruct(&mut shards).unwrap();
+            for (i, s) in shards.iter().enumerate() {
+                prop_assert_eq!(s.as_ref().unwrap(), &full[i]);
+            }
+        }
+    }
+}

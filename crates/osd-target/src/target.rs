@@ -1,0 +1,1349 @@
+//! The object-storage target: index, command execution, recovery driver.
+
+use std::collections::{BTreeSet, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use reo_osd::attr::{AttributeId, AttributeSet, AttributeValue};
+use reo_osd::command::{CommandStatus, OsdCommand};
+use reo_osd::control::{ControlMessage, ControlMessageError};
+use reo_osd::{ObjectClass, ObjectKey, SenseCode};
+use reo_sim::{ByteSize, SimTime};
+use reo_stripe::{ObjectLayout, ObjectStatus, ReadOutcome, SpaceUsage, StripeError, StripeManager};
+
+use crate::policy::ProtectionPolicy;
+use crate::recovery::{RecoveryEngine, RecoveryItem};
+
+pub use reo_flashsim::DeviceId;
+
+/// Errors from target operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TargetError {
+    /// The key is not in the object index.
+    UnknownObject(ObjectKey),
+    /// CREATE of a key that already exists.
+    AlreadyExists(ObjectKey),
+    /// The object lost more chunks than its redundancy tolerates — the
+    /// condition behind sense code 0x63.
+    ObjectLost(ObjectKey),
+    /// Not enough flash space — the condition behind sense code 0x64.
+    CacheFull {
+        /// Bytes the operation needed.
+        requested: ByteSize,
+        /// Bytes available across healthy devices.
+        available: ByteSize,
+    },
+    /// A lower-level stripe error.
+    Stripe(StripeError),
+    /// A malformed control message.
+    Control(ControlMessageError),
+}
+
+impl fmt::Display for TargetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetError::UnknownObject(k) => write!(f, "no such object {k}"),
+            TargetError::AlreadyExists(k) => write!(f, "object {k} already exists"),
+            TargetError::ObjectLost(k) => write!(f, "object {k} is corrupted beyond recovery"),
+            TargetError::CacheFull {
+                requested,
+                available,
+            } => write!(f, "cache full: need {requested}, have {available}"),
+            TargetError::Stripe(e) => write!(f, "stripe error: {e}"),
+            TargetError::Control(e) => write!(f, "control message error: {e}"),
+        }
+    }
+}
+
+impl Error for TargetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TargetError::Stripe(e) => Some(e),
+            TargetError::Control(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ControlMessageError> for TargetError {
+    fn from(e: ControlMessageError) -> Self {
+        TargetError::Control(e)
+    }
+}
+
+impl TargetError {
+    /// The sense code (Table III) this error maps to on the wire.
+    pub fn sense(&self) -> SenseCode {
+        match self {
+            TargetError::UnknownObject(_) | TargetError::AlreadyExists(_) => SenseCode::Failure,
+            TargetError::ObjectLost(_) => SenseCode::Corrupted,
+            TargetError::CacheFull { .. } => SenseCode::CacheFull,
+            TargetError::Stripe(_) | TargetError::Control(_) => SenseCode::Failure,
+        }
+    }
+}
+
+/// Cumulative target counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TargetStats {
+    /// Objects created.
+    pub creates: u64,
+    /// Object reads served (intact or degraded).
+    pub reads: u64,
+    /// Reads that required on-the-fly reconstruction.
+    pub degraded_reads: u64,
+    /// Objects removed.
+    pub removes: u64,
+    /// Class changes that required re-encoding stripes.
+    pub reencodes: u64,
+    /// Objects rebuilt by the recovery engine.
+    pub rebuilds: u64,
+    /// Control messages decoded from the mailbox object.
+    pub control_messages: u64,
+}
+
+/// What happened to one item popped from the recovery queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The object was rebuilt; recovery completed at the given instant.
+    Rebuilt(ObjectKey, SimTime),
+    /// The object needed no work (already intact, e.g. healed by a class
+    /// change in the meantime) or was removed.
+    Skipped(ObjectKey),
+    /// The object became irrecoverable (a further failure); the caller
+    /// should evict it.
+    Lost(ObjectKey),
+}
+
+#[derive(Clone, Debug)]
+struct ObjectRecord {
+    layout: ObjectLayout,
+    class: ObjectClass,
+    attrs: AttributeSet,
+}
+
+impl ObjectRecord {
+    fn new(layout: ObjectLayout, class: ObjectClass, created_at: SimTime) -> Self {
+        let mut attrs = AttributeSet::new();
+        attrs.set(AttributeId::LOGICAL_LENGTH, layout.size().as_bytes());
+        attrs.set(AttributeId::CREATED_AT, created_at.as_nanos());
+        attrs.set(AttributeId::ACCESSED_AT, created_at.as_nanos());
+        attrs.set(AttributeId::ACCESS_FREQ, 0u64);
+        attrs.set_class(class);
+        ObjectRecord {
+            layout,
+            class,
+            attrs,
+        }
+    }
+
+    fn touch(&mut self, at: SimTime) {
+        let freq = self
+            .attrs
+            .get(AttributeId::ACCESS_FREQ)
+            .and_then(AttributeValue::as_u64)
+            .unwrap_or(0);
+        self.attrs.set(AttributeId::ACCESS_FREQ, freq + 1);
+        self.attrs.set(AttributeId::ACCESSED_AT, at.as_nanos());
+    }
+}
+
+/// The object storage target (see crate docs).
+#[derive(Clone, Debug)]
+pub struct OsdTarget {
+    stripes: StripeManager,
+    policy: ProtectionPolicy,
+    index: HashMap<ObjectKey, ObjectRecord>,
+    /// Collection objects (Table I): named groups of user objects for
+    /// fast indexing. The membership sets are metadata; each collection
+    /// is also backed by a small replicated class-0 object.
+    collections: HashMap<ObjectKey, BTreeSet<ObjectKey>>,
+    recovery: RecoveryEngine,
+    next_owner: u64,
+    recovery_active: bool,
+    stats: TargetStats,
+}
+
+impl OsdTarget {
+    /// Creates a target over a stripe manager with the given policy.
+    pub fn new(stripes: StripeManager, policy: ProtectionPolicy) -> Self {
+        OsdTarget {
+            stripes,
+            policy,
+            index: HashMap::new(),
+            collections: HashMap::new(),
+            recovery: RecoveryEngine::new(),
+            next_owner: 0,
+            recovery_active: false,
+            stats: TargetStats::default(),
+        }
+    }
+
+    /// Formats the device: creates the reserved metadata objects of
+    /// Table I (`exofs` layout) — the Root object, the first Partition
+    /// object, and the Super Block / Device Table / Root Directory objects
+    /// — all as class-0 system metadata (replicated across every device,
+    /// "similar to how Linux Ext4 handles the superblocks"). Each is 4 KiB,
+    /// matching "the largest one, root directory object, is only 4KB".
+    ///
+    /// Idempotent: already-present metadata objects are left alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors (a formatted device must have room for a
+    /// few replicated 4 KiB objects).
+    pub fn format(&mut self) -> Result<(), TargetError> {
+        use reo_osd::{ObjectId, PartitionId};
+        let metadata_keys = [
+            ObjectKey::new(PartitionId::ROOT, ObjectId::ZERO),
+            ObjectKey::new(PartitionId::FIRST, ObjectId::ZERO),
+            ObjectKey::new(PartitionId::FIRST, ObjectId::SUPER_BLOCK),
+            ObjectKey::new(PartitionId::FIRST, ObjectId::DEVICE_TABLE),
+            ObjectKey::new(PartitionId::FIRST, ObjectId::ROOT_DIRECTORY),
+        ];
+        for key in metadata_keys {
+            if self.index.contains_key(&key) {
+                continue;
+            }
+            self.create_object(key, ByteSize::from_kib(4), ObjectClass::Metadata, None)?;
+        }
+        Ok(())
+    }
+
+    /// The protection policy in force.
+    pub fn policy(&self) -> ProtectionPolicy {
+        self.policy
+    }
+
+    /// Switches the recovery engine to FIFO (block-order) rebuilds — the
+    /// ablation baseline. Call before any failure is injected; any queued
+    /// items are discarded.
+    pub fn set_unprioritized_recovery(&mut self) {
+        self.recovery = RecoveryEngine::new_unprioritized();
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> TargetStats {
+        self.stats
+    }
+
+    /// Number of indexed objects.
+    pub fn object_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Byte accounting from the stripe layer.
+    pub fn usage(&self) -> SpaceUsage {
+        self.stripes.usage()
+    }
+
+    /// Free bytes across healthy devices.
+    pub fn free_capacity(&self) -> ByteSize {
+        self.stripes.free_capacity()
+    }
+
+    /// Physical footprint an object of `size` in `class` would take under
+    /// the current policy and device health.
+    pub fn physical_bytes_needed(&self, size: ByteSize, class: ObjectClass) -> ByteSize {
+        self.stripes
+            .physical_bytes_needed(size, self.policy.scheme_for(class))
+    }
+
+    /// The shared simulation clock.
+    pub fn clock(&self) -> &reo_sim::SimClock {
+        self.stripes.array().clock()
+    }
+
+    /// Number of devices in the array (healthy or failed).
+    pub fn device_count(&self) -> usize {
+        self.stripes.array().device_count()
+    }
+
+    /// Number of currently failed devices.
+    pub fn failed_devices(&self) -> usize {
+        self.stripes.array().failed_count()
+    }
+
+    /// Keys of every indexed object, sorted (for whole-cache teardown).
+    pub fn keys(&self) -> Vec<ObjectKey> {
+        let mut keys: Vec<ObjectKey> = self.index.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The class currently recorded for `key`.
+    pub fn class_of(&self, key: ObjectKey) -> Option<ObjectClass> {
+        self.index.get(&key).map(|r| r.class)
+    }
+
+    /// `true` if `key` is indexed.
+    pub fn contains(&self, key: ObjectKey) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    /// Creates an object under the policy's scheme for `class`.
+    ///
+    /// # Errors
+    ///
+    /// * [`TargetError::AlreadyExists`] — duplicate CREATE.
+    /// * [`TargetError::CacheFull`] — insufficient flash space (sense
+    ///   0x64; the cache manager must evict and retry).
+    /// * [`TargetError::Stripe`] — other storage errors.
+    pub fn create_object(
+        &mut self,
+        key: ObjectKey,
+        size: ByteSize,
+        class: ObjectClass,
+        payload: Option<&[u8]>,
+    ) -> Result<SimTime, TargetError> {
+        if self.index.contains_key(&key) {
+            return Err(TargetError::AlreadyExists(key));
+        }
+        let scheme = self.policy.scheme_for(class);
+        let needed = self.stripes.physical_bytes_needed(size, scheme);
+        let available = self.stripes.free_capacity();
+        if needed > available {
+            return Err(TargetError::CacheFull {
+                requested: needed,
+                available,
+            });
+        }
+        let owner = self.next_owner;
+        self.next_owner += 1;
+        let layout = self
+            .stripes
+            .store_object(owner, size, scheme, payload)
+            .map_err(|e| match e {
+                StripeError::Flash(reo_flashsim::FlashError::DeviceFull {
+                    requested,
+                    available,
+                    ..
+                }) => TargetError::CacheFull {
+                    requested,
+                    available,
+                },
+                other => TargetError::Stripe(other),
+            })?;
+        let done = self.stripes.array().clock().now();
+        self.index
+            .insert(key, ObjectRecord::new(layout, class, done));
+        self.stats.creates += 1;
+        Ok(done)
+    }
+
+    /// Reads an object, reconstructing on the fly if degraded (sense 0x00
+    /// path; on-demand access has the highest priority, Section IV-D).
+    ///
+    /// # Errors
+    ///
+    /// * [`TargetError::UnknownObject`] — not indexed.
+    /// * [`TargetError::ObjectLost`] — irrecoverable (sense 0x63).
+    pub fn read_object(&mut self, key: ObjectKey) -> Result<ReadOutcome, TargetError> {
+        let layout = self
+            .index
+            .get(&key)
+            .ok_or(TargetError::UnknownObject(key))?
+            .layout
+            .clone();
+        let outcome = self.stripes.read_object(&layout).map_err(|e| match e {
+            StripeError::ObjectLost { .. } => TargetError::ObjectLost(key),
+            other => TargetError::Stripe(other),
+        })?;
+        self.stats.reads += 1;
+        if outcome.degraded {
+            self.stats.degraded_reads += 1;
+        }
+        let completed = outcome.completed_at;
+        if let Some(record) = self.index.get_mut(&key) {
+            record.touch(completed);
+        }
+        Ok(outcome)
+    }
+
+    /// The attribute pages of an object (Section II-A's per-object
+    /// attributes: logical length, timestamps, and Reo's cache page).
+    pub fn attributes(&self, key: ObjectKey) -> Option<&AttributeSet> {
+        self.index.get(&key).map(|r| &r.attrs)
+    }
+
+    /// Sets one attribute on an object (the OSD SET ATTRIBUTES path).
+    ///
+    /// # Errors
+    ///
+    /// [`TargetError::UnknownObject`] — not indexed.
+    pub fn set_attribute(
+        &mut self,
+        key: ObjectKey,
+        id: AttributeId,
+        value: impl Into<AttributeValue>,
+    ) -> Result<(), TargetError> {
+        let record = self
+            .index
+            .get_mut(&key)
+            .ok_or(TargetError::UnknownObject(key))?;
+        record.attrs.set(id, value);
+        Ok(())
+    }
+
+    /// Removes an object and frees its stripes.
+    ///
+    /// # Errors
+    ///
+    /// [`TargetError::UnknownObject`] — not indexed.
+    pub fn remove_object(&mut self, key: ObjectKey) -> Result<(), TargetError> {
+        let record = self
+            .index
+            .remove(&key)
+            .ok_or(TargetError::UnknownObject(key))?;
+        self.stripes.remove_object(&record.layout);
+        // Collection upkeep: removing a collection drops its membership
+        // set; removing a user object drops it from every collection.
+        self.collections.remove(&key);
+        for members in self.collections.values_mut() {
+            members.remove(&key);
+        }
+        self.stats.removes += 1;
+        Ok(())
+    }
+
+    /// The health of an object's stripes.
+    ///
+    /// # Errors
+    ///
+    /// [`TargetError::UnknownObject`] — not indexed.
+    pub fn object_status(&self, key: ObjectKey) -> Result<ObjectStatus, TargetError> {
+        let record = self
+            .index
+            .get(&key)
+            .ok_or(TargetError::UnknownObject(key))?;
+        self.stripes
+            .object_status(&record.layout)
+            .map_err(TargetError::Stripe)
+    }
+
+    /// Applies a class change (the decoded `#SETID#` message).
+    ///
+    /// If the policy maps the new class to a different redundancy scheme,
+    /// the object is re-encoded: read (degraded reads allowed), removed,
+    /// and stored again under the new scheme — charging realistic I/O
+    /// time. Otherwise only the label changes.
+    ///
+    /// # Errors
+    ///
+    /// * [`TargetError::UnknownObject`] — not indexed.
+    /// * [`TargetError::ObjectLost`] — the object cannot be read for
+    ///   re-encoding; the record keeps its old scheme and class.
+    /// * [`TargetError::CacheFull`] — no room for the new encoding. The
+    ///   old copy has already been released, so the object is **dropped
+    ///   from the index**; the caller must treat it as evicted.
+    pub fn set_class(
+        &mut self,
+        key: ObjectKey,
+        class: ObjectClass,
+    ) -> Result<SimTime, TargetError> {
+        let record = self
+            .index
+            .get(&key)
+            .ok_or(TargetError::UnknownObject(key))?;
+        let old_class = record.class;
+        let layout = record.layout.clone();
+
+        if !self.policy.requires_reencode(old_class, class) {
+            let record = self.index.get_mut(&key).expect("checked above");
+            record.class = class;
+            record.attrs.set_class(class);
+            return Ok(self.stripes.array().clock().now());
+        }
+
+        // Re-encode: read (possibly degraded), then replace.
+        let outcome = self.stripes.read_object(&layout).map_err(|e| match e {
+            StripeError::ObjectLost { .. } => TargetError::ObjectLost(key),
+            other => TargetError::Stripe(other),
+        })?;
+
+        let new_scheme = self.policy.scheme_for(class);
+        let old_scheme = self.policy.scheme_for(old_class);
+        let size = layout.size();
+        self.stripes.remove_object(&layout);
+        let owner = self.next_owner;
+        self.next_owner += 1;
+        let new_layout =
+            match self
+                .stripes
+                .store_object(owner, size, new_scheme, outcome.bytes.as_deref())
+            {
+                Ok(l) => l,
+                Err(first_err) => {
+                    // The new encoding did not fit. Fall back to re-storing
+                    // under the old scheme — that space sufficed a moment ago
+                    // — so a failed promotion does not evict the (usually
+                    // hottest) object.
+                    match self.stripes.store_object(
+                        owner,
+                        size,
+                        old_scheme,
+                        outcome.bytes.as_deref(),
+                    ) {
+                        Ok(restored) => {
+                            let now = self.stripes.array().clock().now();
+                            self.index
+                                .insert(key, ObjectRecord::new(restored, old_class, now));
+                            return Err(match first_err {
+                                StripeError::Flash(reo_flashsim::FlashError::DeviceFull {
+                                    requested,
+                                    available,
+                                    ..
+                                }) => TargetError::CacheFull {
+                                    requested,
+                                    available,
+                                },
+                                other => TargetError::Stripe(other),
+                            });
+                        }
+                        Err(_) => {
+                            // Even the old encoding no longer fits: the object
+                            // is gone; drop the record so state stays
+                            // consistent.
+                            self.index.remove(&key);
+                            return Err(TargetError::ObjectLost(key));
+                        }
+                    }
+                }
+            };
+        let done = self.stripes.array().clock().now();
+        self.index
+            .insert(key, ObjectRecord::new(new_layout, class, done));
+        self.stats.reencodes += 1;
+        Ok(done)
+    }
+
+    /// Overwrites a byte range of an object in place, maintaining parity
+    /// per chunk with the cheapest update strategy (Section II-B). This is
+    /// the OSD WRITE fast path for objects whose class (and therefore
+    /// scheme) is unchanged — e.g. a re-write of already-dirty data.
+    ///
+    /// Contents are synthetic (timing-only); byte-exact partial updates
+    /// of real payloads go through remove + create.
+    ///
+    /// # Errors
+    ///
+    /// * [`TargetError::UnknownObject`] — not indexed.
+    /// * [`TargetError::ObjectLost`] — a touched stripe is degraded or
+    ///   lost (overwrite needs intact stripes; recover first).
+    /// * [`TargetError::Stripe`] — other storage errors, including ranges
+    ///   past the end of the object.
+    pub fn write_range(
+        &mut self,
+        key: ObjectKey,
+        offset: u64,
+        length: u64,
+    ) -> Result<SimTime, TargetError> {
+        let record = self
+            .index
+            .get(&key)
+            .ok_or(TargetError::UnknownObject(key))?;
+        let layout = record.layout.clone();
+        let size = layout.size().as_bytes();
+        if length == 0 || offset.saturating_add(length) > size {
+            return Err(TargetError::Stripe(StripeError::PayloadSizeMismatch {
+                declared: size,
+                payload: offset.saturating_add(length),
+            }));
+        }
+        let chunk = self.stripes.chunk_size().as_bytes();
+        let first = offset / chunk;
+        let last = (offset + length - 1) / chunk;
+        let mut done = self.stripes.array().clock().now();
+        for ci in first..=last {
+            let (_, t) = self
+                .stripes
+                .overwrite_chunk(&layout, ci, None)
+                .map_err(|e| match e {
+                    StripeError::ObjectLost { .. } => TargetError::ObjectLost(key),
+                    other => TargetError::Stripe(other),
+                })?;
+            done = t;
+        }
+        Ok(done)
+    }
+
+    /// Scrubs every indexed object: verifies chunk intactness and repairs
+    /// recoverable damage in place (reading survivors and rewriting the
+    /// lost chunks). Returns `(repaired, lost)` object keys; lost objects
+    /// are left indexed for the caller to evict.
+    ///
+    /// This is the background integrity pass that catches the paper's
+    /// "partial data loss" wear-out failures before a second fault makes
+    /// them permanent.
+    pub fn scrub(&mut self) -> (Vec<ObjectKey>, Vec<ObjectKey>) {
+        let mut repaired = Vec::new();
+        let mut lost = Vec::new();
+        for key in self.keys() {
+            let layout = self.index[&key].layout.clone();
+            match self.stripes.object_status(&layout) {
+                Ok(ObjectStatus::Intact) => {}
+                Ok(ObjectStatus::Degraded) => match self.stripes.rebuild_object(&layout) {
+                    Ok(_) => {
+                        self.stats.rebuilds += 1;
+                        repaired.push(key);
+                    }
+                    Err(_) => lost.push(key),
+                },
+                Ok(ObjectStatus::Lost) | Err(_) => lost.push(key),
+            }
+        }
+        (repaired, lost)
+    }
+
+    /// Injects a partial failure: corrupts one data chunk of an object
+    /// (test/failure-injection hook mirroring the paper's wear-out mode).
+    ///
+    /// # Errors
+    ///
+    /// [`TargetError::UnknownObject`] — not indexed.
+    pub fn corrupt_chunk(&mut self, key: ObjectKey, chunk_index: u64) -> Result<(), TargetError> {
+        let layout = self
+            .index
+            .get(&key)
+            .ok_or(TargetError::UnknownObject(key))?
+            .layout
+            .clone();
+        self.stripes
+            .corrupt_data_chunk(&layout, chunk_index)
+            .map_err(TargetError::Stripe)
+    }
+
+    /// Creates a collection object (Table I): a named group of user
+    /// objects for fast indexing. Backed by a 4 KiB class-0 (replicated)
+    /// object like the other metadata.
+    ///
+    /// # Errors
+    ///
+    /// * [`TargetError::AlreadyExists`] — duplicate collection.
+    /// * Storage errors from creating the backing object.
+    pub fn create_collection(&mut self, key: ObjectKey) -> Result<(), TargetError> {
+        if self.collections.contains_key(&key) {
+            return Err(TargetError::AlreadyExists(key));
+        }
+        self.create_object(key, ByteSize::from_kib(4), ObjectClass::Metadata, None)?;
+        self.collections.insert(key, BTreeSet::new());
+        Ok(())
+    }
+
+    /// Adds a user object to a collection ("a user object belongs to no
+    /// or multiple collections").
+    ///
+    /// # Errors
+    ///
+    /// [`TargetError::UnknownObject`] — the collection or the member does
+    /// not exist.
+    pub fn add_to_collection(
+        &mut self,
+        collection: ObjectKey,
+        member: ObjectKey,
+    ) -> Result<(), TargetError> {
+        if !self.index.contains_key(&member) {
+            return Err(TargetError::UnknownObject(member));
+        }
+        self.collections
+            .get_mut(&collection)
+            .ok_or(TargetError::UnknownObject(collection))?
+            .insert(member);
+        Ok(())
+    }
+
+    /// Removes a user object from a collection. Absent members are a
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`TargetError::UnknownObject`] — the collection does not exist.
+    pub fn remove_from_collection(
+        &mut self,
+        collection: ObjectKey,
+        member: ObjectKey,
+    ) -> Result<(), TargetError> {
+        self.collections
+            .get_mut(&collection)
+            .ok_or(TargetError::UnknownObject(collection))?
+            .remove(&member);
+        Ok(())
+    }
+
+    /// The members of a collection, in key order.
+    ///
+    /// # Errors
+    ///
+    /// [`TargetError::UnknownObject`] — the collection does not exist.
+    pub fn collection_members(&self, collection: ObjectKey) -> Result<Vec<ObjectKey>, TargetError> {
+        self.collections
+            .get(&collection)
+            .map(|s| s.iter().copied().collect())
+            .ok_or(TargetError::UnknownObject(collection))
+    }
+
+    /// Per-object query (the decoded `#QUERY#` message): sense 0x00 if the
+    /// object is accessible (directly or through reconstruction), 0x63 if
+    /// corrupted beyond recovery, -1 if unknown.
+    pub fn query(&self, key: ObjectKey) -> SenseCode {
+        match self.object_status(key) {
+            Ok(ObjectStatus::Intact) | Ok(ObjectStatus::Degraded) => SenseCode::Success,
+            Ok(ObjectStatus::Lost) => SenseCode::Corrupted,
+            Err(_) => SenseCode::Failure,
+        }
+    }
+
+    /// The recovery-phase sense code: 0x65 while a rebuild queue is being
+    /// drained, 0x66 just after it drains, 0x00 otherwise.
+    pub fn recovery_sense(&mut self) -> SenseCode {
+        if self.recovery_active {
+            if self.recovery.is_idle() {
+                self.recovery_active = false;
+                SenseCode::RecoveryEnds
+            } else {
+                SenseCode::RecoveryStarts
+            }
+        } else {
+            SenseCode::Success
+        }
+    }
+
+    /// Injects a whole-device failure (the paper's "shootdown").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn fail_device(&mut self, id: DeviceId) {
+        self.stripes.fail_device(id);
+        // A new failure invalidates any in-flight rebuild plan.
+        self.recovery.clear();
+    }
+
+    /// Inserts a spare in place of (failed) device `id` and builds the
+    /// prioritized rebuild queue. Returns the keys that are irrecoverable
+    /// — the cache manager should evict them (their next access is a
+    /// plain miss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn insert_spare(&mut self, id: DeviceId) -> Vec<ObjectKey> {
+        self.stripes.replace_device(id);
+        self.recovery.clear();
+        let mut lost = Vec::new();
+        // Scan in key order so the rebuild queue (and therefore the whole
+        // experiment) is deterministic.
+        let mut keys: Vec<ObjectKey> = self.index.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let record = &self.index[&key];
+            match self.stripes.object_status(&record.layout) {
+                Ok(ObjectStatus::Intact) => {}
+                Ok(ObjectStatus::Degraded) => self.recovery.enqueue(key, record.class),
+                Ok(ObjectStatus::Lost) | Err(_) => lost.push(key),
+            }
+        }
+        self.recovery_active = true;
+        lost
+    }
+
+    /// Rebuilds that are still pending.
+    pub fn recovery_pending(&self) -> usize {
+        self.recovery.pending()
+    }
+
+    /// Pops and executes one rebuild from the queue (called between
+    /// on-demand requests, never ahead of them).
+    ///
+    /// Returns `None` when the queue is empty.
+    pub fn recover_next(&mut self) -> Option<RecoveryOutcome> {
+        let RecoveryItem { key, .. } = self.recovery.pop()?;
+        let Some(record) = self.index.get(&key) else {
+            return Some(RecoveryOutcome::Skipped(key));
+        };
+        let layout = record.layout.clone();
+        match self.stripes.object_status(&layout) {
+            Ok(ObjectStatus::Intact) => Some(RecoveryOutcome::Skipped(key)),
+            Ok(ObjectStatus::Degraded) => match self.stripes.rebuild_object(&layout) {
+                Ok(done) => {
+                    self.stats.rebuilds += 1;
+                    Some(RecoveryOutcome::Rebuilt(key, done))
+                }
+                Err(_) => Some(RecoveryOutcome::Lost(key)),
+            },
+            _ => Some(RecoveryOutcome::Lost(key)),
+        }
+    }
+
+    /// Executes an OSD command, returning its wire status. This is the
+    /// single entry point a SCSI transport would call.
+    pub fn execute(&mut self, cmd: &OsdCommand) -> CommandStatus {
+        match cmd {
+            OsdCommand::Create { key, size, class } => {
+                match self.create_object(*key, ByteSize::from_bytes(*size), *class, None) {
+                    Ok(_) => CommandStatus::success(*size),
+                    Err(e) => CommandStatus::of(e.sense()),
+                }
+            }
+            OsdCommand::Read { key, length, .. } => match self.read_object(*key) {
+                Ok(_) => CommandStatus::success(*length),
+                Err(e) => CommandStatus::of(e.sense()),
+            },
+            OsdCommand::Write {
+                key,
+                offset,
+                length,
+            } => match self.write_range(*key, *offset, *length) {
+                Ok(_) => CommandStatus::success(*length),
+                Err(e) => CommandStatus::of(e.sense()),
+            },
+            OsdCommand::Remove { key } => match self.remove_object(*key) {
+                Ok(()) => CommandStatus::success(0),
+                Err(e) => CommandStatus::of(e.sense()),
+            },
+            OsdCommand::Flush { .. } => CommandStatus::success(0),
+            OsdCommand::SetClass { key, class } => match self.set_class(*key, *class) {
+                Ok(_) => CommandStatus::success(0),
+                Err(e) => CommandStatus::of(e.sense()),
+            },
+            OsdCommand::Query { key } => CommandStatus::of(self.query(*key)),
+            OsdCommand::List { .. } => CommandStatus::success(0),
+        }
+    }
+
+    /// Handles a synchronous write to the control mailbox object
+    /// (OID 0x10004): decodes the message and applies it.
+    ///
+    /// # Errors
+    ///
+    /// [`TargetError::Control`] for malformed bytes; errors from the
+    /// applied operation otherwise.
+    pub fn handle_control_write(&mut self, bytes: &[u8]) -> Result<SenseCode, TargetError> {
+        let msg = ControlMessage::decode(bytes)?;
+        self.stats.control_messages += 1;
+        match msg {
+            ControlMessage::SetClass { key, class } => match self.set_class(key, class) {
+                Ok(_) => Ok(SenseCode::Success),
+                Err(e) => Ok(e.sense()),
+            },
+            ControlMessage::Query { key, .. } => Ok(self.query(key)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reo_flashsim::{DeviceConfig, FlashArray};
+    use reo_osd::{ObjectId, PartitionId};
+    use reo_sim::{ServiceModel, SimClock, SimDuration};
+    use reo_stripe::RedundancyScheme;
+
+    fn k(i: u64) -> ObjectKey {
+        ObjectKey::user(PartitionId::FIRST, ObjectId::new(0x20000 + i))
+    }
+
+    fn target_with(policy: ProtectionPolicy, capacity_mib: u64) -> OsdTarget {
+        let cfg = DeviceConfig {
+            capacity: ByteSize::from_mib(capacity_mib),
+            read: ServiceModel::new(SimDuration::from_micros(100), 512 * 1024 * 1024),
+            write: ServiceModel::new(SimDuration::from_micros(200), 512 * 1024 * 1024),
+            erase_block: ByteSize::from_kib(128),
+            pe_cycle_limit: 3000,
+        };
+        let array = FlashArray::new(5, cfg, SimClock::new());
+        OsdTarget::new(StripeManager::new(array, ByteSize::from_kib(4)), policy)
+    }
+
+    fn reo_target() -> OsdTarget {
+        target_with(ProtectionPolicy::differentiated(), 64)
+    }
+
+    #[test]
+    fn create_read_remove_lifecycle() {
+        let mut t = reo_target();
+        t.create_object(k(1), ByteSize::from_kib(40), ObjectClass::ColdClean, None)
+            .unwrap();
+        assert!(t.contains(k(1)));
+        assert_eq!(t.class_of(k(1)), Some(ObjectClass::ColdClean));
+        let out = t.read_object(k(1)).unwrap();
+        assert!(!out.degraded);
+        t.remove_object(k(1)).unwrap();
+        assert!(!t.contains(k(1)));
+        assert!(matches!(
+            t.read_object(k(1)),
+            Err(TargetError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut t = reo_target();
+        t.create_object(k(1), ByteSize::from_kib(4), ObjectClass::ColdClean, None)
+            .unwrap();
+        assert!(matches!(
+            t.create_object(k(1), ByteSize::from_kib(4), ObjectClass::ColdClean, None),
+            Err(TargetError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn policy_drives_redundancy_usage() {
+        let mut t = reo_target();
+        t.create_object(k(1), ByteSize::from_kib(12), ObjectClass::ColdClean, None)
+            .unwrap();
+        assert_eq!(t.usage().redundancy_bytes, ByteSize::ZERO);
+        t.create_object(k(2), ByteSize::from_kib(12), ObjectClass::HotClean, None)
+            .unwrap();
+        // 3 data chunks + 2 parity chunks.
+        assert_eq!(t.usage().redundancy_bytes, ByteSize::from_kib(8));
+        t.create_object(k(3), ByteSize::from_kib(4), ObjectClass::Dirty, None)
+            .unwrap();
+        // Replication: 4 extra copies.
+        assert_eq!(
+            t.usage().redundancy_bytes,
+            ByteSize::from_kib(8) + ByteSize::from_kib(16)
+        );
+    }
+
+    #[test]
+    fn cache_full_maps_to_sense_0x64() {
+        let mut t = target_with(ProtectionPolicy::differentiated(), 1);
+        // 5 devices x 1 MiB; a 6 MiB cold object cannot fit.
+        let err = t
+            .create_object(k(1), ByteSize::from_mib(6), ObjectClass::ColdClean, None)
+            .unwrap_err();
+        assert!(matches!(err, TargetError::CacheFull { .. }));
+        assert_eq!(err.sense(), SenseCode::CacheFull);
+    }
+
+    #[test]
+    fn dirty_objects_survive_four_failures() {
+        let mut t = reo_target();
+        t.create_object(k(1), ByteSize::from_kib(8), ObjectClass::Dirty, None)
+            .unwrap();
+        for d in 0..4 {
+            t.fail_device(DeviceId(d));
+        }
+        assert_eq!(t.query(k(1)), SenseCode::Success);
+        let out = t.read_object(k(1)).unwrap();
+        assert!(out.degraded);
+    }
+
+    #[test]
+    fn cold_objects_die_with_one_failure() {
+        let mut t = reo_target();
+        // Large enough to land chunks on every device.
+        t.create_object(k(1), ByteSize::from_kib(40), ObjectClass::ColdClean, None)
+            .unwrap();
+        t.fail_device(DeviceId(0));
+        assert_eq!(t.query(k(1)), SenseCode::Corrupted);
+        assert!(matches!(
+            t.read_object(k(1)),
+            Err(TargetError::ObjectLost(_))
+        ));
+    }
+
+    #[test]
+    fn hot_objects_survive_exactly_two_failures() {
+        let mut t = reo_target();
+        t.create_object(k(1), ByteSize::from_kib(40), ObjectClass::HotClean, None)
+            .unwrap();
+        t.fail_device(DeviceId(0));
+        t.fail_device(DeviceId(1));
+        assert_eq!(t.query(k(1)), SenseCode::Success);
+        t.fail_device(DeviceId(2));
+        assert_eq!(t.query(k(1)), SenseCode::Corrupted);
+    }
+
+    #[test]
+    fn reclassification_reencodes_and_changes_survivability() {
+        let mut t = reo_target();
+        t.create_object(k(1), ByteSize::from_kib(40), ObjectClass::ColdClean, None)
+            .unwrap();
+        t.set_class(k(1), ObjectClass::HotClean).unwrap();
+        assert_eq!(t.stats().reencodes, 1);
+        assert_eq!(t.class_of(k(1)), Some(ObjectClass::HotClean));
+        t.fail_device(DeviceId(3));
+        assert_eq!(t.query(k(1)), SenseCode::Success, "now 2-parity protected");
+    }
+
+    #[test]
+    fn label_only_class_change_is_free() {
+        let mut t = reo_target();
+        t.create_object(k(1), ByteSize::from_kib(8), ObjectClass::Dirty, None)
+            .unwrap();
+        let before = t.clock().now();
+        t.set_class(k(1), ObjectClass::Metadata).unwrap();
+        assert_eq!(t.clock().now(), before, "replication -> replication");
+        assert_eq!(t.stats().reencodes, 0);
+    }
+
+    #[test]
+    fn prioritized_recovery_order_and_outcomes() {
+        let mut t = reo_target();
+        // One object per class, all large enough to touch device 0.
+        t.create_object(k(0), ByteSize::from_kib(40), ObjectClass::Metadata, None)
+            .unwrap();
+        t.create_object(k(1), ByteSize::from_kib(40), ObjectClass::Dirty, None)
+            .unwrap();
+        t.create_object(k(2), ByteSize::from_kib(40), ObjectClass::HotClean, None)
+            .unwrap();
+        t.create_object(k(3), ByteSize::from_kib(40), ObjectClass::ColdClean, None)
+            .unwrap();
+
+        t.fail_device(DeviceId(0));
+        let lost = t.insert_spare(DeviceId(0));
+        // Only the cold (0-parity) object is irrecoverable.
+        assert_eq!(lost, vec![k(3)]);
+        assert_eq!(t.recovery_pending(), 3);
+        assert_eq!(t.recovery_sense(), SenseCode::RecoveryStarts);
+
+        let mut order = Vec::new();
+        while let Some(outcome) = t.recover_next() {
+            match outcome {
+                RecoveryOutcome::Rebuilt(key, _) => order.push(key),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(order, vec![k(0), k(1), k(2)], "class priority order");
+        assert_eq!(t.recovery_sense(), SenseCode::RecoveryEnds);
+        assert_eq!(t.recovery_sense(), SenseCode::Success);
+        // Everything rebuilt is intact again.
+        for key in order {
+            assert_eq!(t.object_status(key).unwrap(), ObjectStatus::Intact);
+        }
+        assert_eq!(t.stats().rebuilds, 3);
+    }
+
+    #[test]
+    fn recovery_skips_removed_objects() {
+        let mut t = reo_target();
+        t.create_object(k(1), ByteSize::from_kib(40), ObjectClass::HotClean, None)
+            .unwrap();
+        t.fail_device(DeviceId(0));
+        t.insert_spare(DeviceId(0));
+        t.remove_object(k(1)).unwrap();
+        assert_eq!(t.recover_next(), Some(RecoveryOutcome::Skipped(k(1))));
+        assert_eq!(t.recover_next(), None);
+    }
+
+    #[test]
+    fn second_failure_during_recovery_loses_hot_object() {
+        let mut t = reo_target();
+        t.create_object(k(1), ByteSize::from_kib(40), ObjectClass::HotClean, None)
+            .unwrap();
+        t.fail_device(DeviceId(0));
+        t.insert_spare(DeviceId(0));
+        // Before the rebuild runs, two more devices die: 2-parity data
+        // with chunks on three dead devices is gone.
+        t.fail_device(DeviceId(1));
+        t.fail_device(DeviceId(2));
+        // fail_device cleared the queue; rebuild it.
+        let lost = t.insert_spare(DeviceId(1));
+        assert!(lost.contains(&k(1)));
+    }
+
+    #[test]
+    fn control_mailbox_roundtrip() {
+        let mut t = reo_target();
+        t.create_object(k(1), ByteSize::from_kib(12), ObjectClass::ColdClean, None)
+            .unwrap();
+        let msg = ControlMessage::SetClass {
+            key: k(1),
+            class: ObjectClass::HotClean,
+        };
+        assert_eq!(
+            t.handle_control_write(&msg.encode()).unwrap(),
+            SenseCode::Success
+        );
+        assert_eq!(t.class_of(k(1)), Some(ObjectClass::HotClean));
+        assert_eq!(t.stats().control_messages, 1);
+
+        let query = ControlMessage::Query {
+            key: k(1),
+            op: reo_osd::control::QueryOp::Read,
+            offset: 0,
+            size: 4096,
+        };
+        assert_eq!(
+            t.handle_control_write(&query.encode()).unwrap(),
+            SenseCode::Success
+        );
+        assert!(matches!(
+            t.handle_control_write(b"#BOGUS#xxxxxxxxxxxxxxxxx"),
+            Err(TargetError::Control(_))
+        ));
+    }
+
+    #[test]
+    fn execute_maps_errors_to_sense_codes() {
+        let mut t = reo_target();
+        let read_missing = OsdCommand::Read {
+            key: k(9),
+            offset: 0,
+            length: 1,
+        };
+        assert_eq!(t.execute(&read_missing).sense(), SenseCode::Failure);
+
+        let create = OsdCommand::Create {
+            key: k(1),
+            size: 4096,
+            class: ObjectClass::ColdClean,
+        };
+        assert!(t.execute(&create).is_success());
+        assert_eq!(t.execute(&create).sense(), SenseCode::Failure);
+
+        let query = OsdCommand::Query { key: k(1) };
+        assert_eq!(t.execute(&query).sense(), SenseCode::Success);
+    }
+
+    #[test]
+    fn uniform_policy_baseline_dies_uniformly() {
+        let mut t = target_with(ProtectionPolicy::uniform(RedundancyScheme::parity(1)), 64);
+        t.create_object(k(1), ByteSize::from_kib(40), ObjectClass::Dirty, None)
+            .unwrap();
+        t.fail_device(DeviceId(0));
+        assert_eq!(t.query(k(1)), SenseCode::Success);
+        t.fail_device(DeviceId(1));
+        // Even dirty data dies at two failures under uniform 1-parity.
+        assert_eq!(t.query(k(1)), SenseCode::Corrupted);
+    }
+
+    #[test]
+    fn collections_group_user_objects() {
+        let mut t = reo_target();
+        let coll = ObjectKey::new(reo_osd::PartitionId::FIRST, reo_osd::ObjectId::new(0x30000));
+        t.create_collection(coll).unwrap();
+        assert!(matches!(
+            t.create_collection(coll),
+            Err(TargetError::AlreadyExists(_))
+        ));
+        // The backing object is replicated metadata.
+        assert_eq!(t.class_of(coll), Some(ObjectClass::Metadata));
+
+        // Members must exist.
+        assert!(matches!(
+            t.add_to_collection(coll, k(1)),
+            Err(TargetError::UnknownObject(_))
+        ));
+        for i in [3, 1, 2] {
+            t.create_object(k(i), ByteSize::from_kib(8), ObjectClass::ColdClean, None)
+                .unwrap();
+            t.add_to_collection(coll, k(i)).unwrap();
+        }
+        // Key order, duplicates collapse.
+        t.add_to_collection(coll, k(2)).unwrap();
+        assert_eq!(t.collection_members(coll).unwrap(), vec![k(1), k(2), k(3)]);
+
+        // Removing a member object drops it from the collection.
+        t.remove_object(k(2)).unwrap();
+        assert_eq!(t.collection_members(coll).unwrap(), vec![k(1), k(3)]);
+        // Explicit removal; absent members are a no-op.
+        t.remove_from_collection(coll, k(1)).unwrap();
+        t.remove_from_collection(coll, k(1)).unwrap();
+        assert_eq!(t.collection_members(coll).unwrap(), vec![k(3)]);
+
+        // Removing the collection object drops the membership set.
+        t.remove_object(coll).unwrap();
+        assert!(matches!(
+            t.collection_members(coll),
+            Err(TargetError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn attributes_track_lifecycle() {
+        use reo_osd::attr::{AttributeId, AttributeValue};
+        let mut t = reo_target();
+        t.create_object(k(1), ByteSize::from_kib(12), ObjectClass::ColdClean, None)
+            .unwrap();
+        let attrs = t.attributes(k(1)).unwrap();
+        assert_eq!(
+            attrs
+                .get(AttributeId::LOGICAL_LENGTH)
+                .and_then(AttributeValue::as_u64),
+            Some(12 * 1024)
+        );
+        assert_eq!(attrs.class(), Some(ObjectClass::ColdClean));
+        assert_eq!(
+            attrs
+                .get(AttributeId::ACCESS_FREQ)
+                .and_then(AttributeValue::as_u64),
+            Some(0)
+        );
+
+        // Reads bump frequency and the access timestamp.
+        t.read_object(k(1)).unwrap();
+        t.read_object(k(1)).unwrap();
+        let attrs = t.attributes(k(1)).unwrap();
+        assert_eq!(
+            attrs
+                .get(AttributeId::ACCESS_FREQ)
+                .and_then(AttributeValue::as_u64),
+            Some(2)
+        );
+        let accessed = attrs
+            .get(AttributeId::ACCESSED_AT)
+            .and_then(AttributeValue::as_u64);
+        let created = attrs
+            .get(AttributeId::CREATED_AT)
+            .and_then(AttributeValue::as_u64);
+        assert!(accessed > created);
+
+        // Class changes are mirrored into the attribute page (label-only
+        // and re-encoding paths both).
+        t.set_class(k(1), ObjectClass::HotClean).unwrap();
+        assert_eq!(
+            t.attributes(k(1)).unwrap().class(),
+            Some(ObjectClass::HotClean)
+        );
+
+        // Manual attribute writes (SET ATTRIBUTES path).
+        t.set_attribute(k(1), AttributeId::DIRTY, 1u64).unwrap();
+        assert_eq!(
+            t.attributes(k(1))
+                .unwrap()
+                .get(AttributeId::DIRTY)
+                .and_then(AttributeValue::as_u64),
+            Some(1)
+        );
+        assert!(matches!(
+            t.set_attribute(k(9), AttributeId::DIRTY, 1u64),
+            Err(TargetError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn format_creates_table_i_metadata_objects() {
+        use reo_osd::{ObjectId, PartitionId};
+        let mut t = reo_target();
+        t.format().unwrap();
+        let expected = [
+            ObjectKey::new(PartitionId::ROOT, ObjectId::ZERO),
+            ObjectKey::new(PartitionId::FIRST, ObjectId::ZERO),
+            ObjectKey::new(PartitionId::FIRST, ObjectId::SUPER_BLOCK),
+            ObjectKey::new(PartitionId::FIRST, ObjectId::DEVICE_TABLE),
+            ObjectKey::new(PartitionId::FIRST, ObjectId::ROOT_DIRECTORY),
+        ];
+        for key in expected {
+            assert_eq!(t.class_of(key), Some(ObjectClass::Metadata), "{key}");
+        }
+        // Replicated class 0: survives four of five devices failing.
+        for d in 0..4 {
+            t.fail_device(DeviceId(d));
+        }
+        for key in expected {
+            assert_eq!(t.query(key), SenseCode::Success, "{key}");
+        }
+        // Idempotent.
+        let count = t.object_count();
+        t.format().unwrap();
+        assert_eq!(t.object_count(), count);
+    }
+
+    #[test]
+    fn write_range_charges_time_and_validates() {
+        let mut t = reo_target();
+        t.create_object(k(1), ByteSize::from_kib(40), ObjectClass::HotClean, None)
+            .unwrap();
+        let before = t.clock().now();
+        let done = t.write_range(k(1), 0, 8 * 1024).unwrap();
+        assert!(done > before, "in-place write must cost device time");
+        // Range past the end is rejected.
+        assert!(matches!(
+            t.write_range(k(1), 36 * 1024, 8 * 1024),
+            Err(TargetError::Stripe(_))
+        ));
+        assert!(matches!(
+            t.write_range(k(9), 0, 1),
+            Err(TargetError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn write_command_uses_in_place_path() {
+        let mut t = reo_target();
+        t.create_object(k(1), ByteSize::from_kib(40), ObjectClass::Dirty, None)
+            .unwrap();
+        let cmd = OsdCommand::Write {
+            key: k(1),
+            offset: 0,
+            length: 4 * 1024,
+        };
+        assert!(t.execute(&cmd).is_success());
+        assert_eq!(t.stats().reencodes, 0, "no whole-object re-store");
+    }
+
+    #[test]
+    fn scrub_repairs_partial_corruption() {
+        let mut t = reo_target();
+        let data: Vec<u8> = (0..40_960u32).map(|i| (i % 253) as u8).collect();
+        t.create_object(
+            k(1),
+            ByteSize::from_bytes(data.len() as u64),
+            ObjectClass::HotClean,
+            Some(&data),
+        )
+        .unwrap();
+        t.corrupt_chunk(k(1), 3).unwrap();
+        assert_eq!(
+            t.object_status(k(1)).unwrap(),
+            reo_stripe::ObjectStatus::Degraded
+        );
+        let (repaired, lost) = t.scrub();
+        assert_eq!(repaired, vec![k(1)]);
+        assert!(lost.is_empty());
+        let out = t.read_object(k(1)).unwrap();
+        assert!(!out.degraded);
+        assert_eq!(out.bytes.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn scrub_reports_unrecoverable_objects() {
+        let mut t = reo_target();
+        // Cold = 0-parity: one corrupted chunk is fatal.
+        t.create_object(k(1), ByteSize::from_kib(40), ObjectClass::ColdClean, None)
+            .unwrap();
+        t.corrupt_chunk(k(1), 0).unwrap();
+        let (repaired, lost) = t.scrub();
+        assert!(repaired.is_empty());
+        assert_eq!(lost, vec![k(1)]);
+    }
+
+    #[test]
+    fn dirty_write_range_overwrites_replicas() {
+        let mut t = reo_target();
+        t.create_object(k(1), ByteSize::from_kib(8), ObjectClass::Dirty, None)
+            .unwrap();
+        let writes_before: u64 = t.stats().creates;
+        t.write_range(k(1), 0, 8 * 1024).unwrap();
+        // Still readable after four failures: all replicas were refreshed.
+        for d in 0..4 {
+            t.fail_device(DeviceId(d));
+        }
+        assert_eq!(t.query(k(1)), SenseCode::Success);
+        assert_eq!(t.stats().creates, writes_before);
+    }
+
+    #[test]
+    fn real_payload_survives_reencode_and_recovery() {
+        let mut t = reo_target();
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        t.create_object(
+            k(1),
+            ByteSize::from_bytes(data.len() as u64),
+            ObjectClass::ColdClean,
+            Some(&data),
+        )
+        .unwrap();
+        t.set_class(k(1), ObjectClass::HotClean).unwrap();
+        t.fail_device(DeviceId(2));
+        t.insert_spare(DeviceId(2));
+        while t.recover_next().is_some() {}
+        let out = t.read_object(k(1)).unwrap();
+        assert_eq!(out.bytes.as_deref(), Some(&data[..]));
+        assert!(!out.degraded);
+    }
+}

@@ -1,0 +1,301 @@
+//! OSD attribute pages.
+//!
+//! T10 OSD-2 attaches typed attributes to every object, grouped into
+//! numbered *pages*; commands can get/set attributes alongside data
+//! operations. Reo rides on this machinery implicitly — the class label,
+//! access statistics, and timestamps the cache manager reasons about are
+//! object attributes. This module models the subset the system uses:
+//!
+//! * [`AttributePage`] — the standard page numbers (User Info, Timestamps,
+//!   plus a vendor page for Reo's caching attributes).
+//! * [`AttributeId`] — a `(page, number)` pair.
+//! * [`AttributeValue`] — typed values (u64 / bytes / text).
+//! * [`AttributeSet`] — the per-object attribute store with well-known
+//!   helpers (logical length, access counts, class).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ObjectClass;
+
+/// Standard and vendor attribute pages.
+///
+/// Page numbers follow the OSD-2 convention of dedicating ranges to
+/// standard pages and leaving a vendor-specific range; the exact values of
+/// the vendor page are private to this implementation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AttributePage {
+    /// User object information page (logical length, used capacity).
+    UserInfo,
+    /// Timestamps page (created / last accessed / last modified).
+    Timestamps,
+    /// Vendor page carrying Reo's caching attributes (class ID, access
+    /// frequency, dirtiness).
+    ReoCache,
+}
+
+impl AttributePage {
+    /// The page's wire number.
+    pub const fn number(self) -> u32 {
+        match self {
+            AttributePage::UserInfo => 0x1,
+            AttributePage::Timestamps => 0x3,
+            AttributePage::ReoCache => 0xFFFF_F001,
+        }
+    }
+}
+
+impl fmt::Display for AttributePage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttributePage::UserInfo => "user-info",
+            AttributePage::Timestamps => "timestamps",
+            AttributePage::ReoCache => "reo-cache",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A `(page, number)` attribute address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttributeId {
+    /// The page.
+    pub page: AttributePage,
+    /// The attribute number within the page.
+    pub number: u32,
+}
+
+impl AttributeId {
+    /// Logical length of the object (User Info page).
+    pub const LOGICAL_LENGTH: AttributeId = AttributeId {
+        page: AttributePage::UserInfo,
+        number: 0x82,
+    };
+    /// Creation time (Timestamps page), nanoseconds of simulated time.
+    pub const CREATED_AT: AttributeId = AttributeId {
+        page: AttributePage::Timestamps,
+        number: 0x1,
+    };
+    /// Last data access time (Timestamps page).
+    pub const ACCESSED_AT: AttributeId = AttributeId {
+        page: AttributePage::Timestamps,
+        number: 0x2,
+    };
+    /// Reo: the object's class ID (0–3).
+    pub const CLASS_ID: AttributeId = AttributeId {
+        page: AttributePage::ReoCache,
+        number: 0x1,
+    };
+    /// Reo: accesses since the object entered the cache (`Freq`).
+    pub const ACCESS_FREQ: AttributeId = AttributeId {
+        page: AttributePage::ReoCache,
+        number: 0x2,
+    };
+    /// Reo: dirtiness flag (0 clean / 1 dirty).
+    pub const DIRTY: AttributeId = AttributeId {
+        page: AttributePage::ReoCache,
+        number: 0x3,
+    };
+}
+
+impl fmt::Display for AttributeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:#x}", self.page, self.number)
+    }
+}
+
+/// A typed attribute value.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttributeValue {
+    /// An unsigned integer (lengths, counters, timestamps, flags).
+    U64(u64),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// UTF-8 text.
+    Text(String),
+}
+
+impl AttributeValue {
+    /// The value as a `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            AttributeValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for AttributeValue {
+    fn from(v: u64) -> Self {
+        AttributeValue::U64(v)
+    }
+}
+
+impl From<&str> for AttributeValue {
+    fn from(v: &str) -> Self {
+        AttributeValue::Text(v.to_string())
+    }
+}
+
+/// The attributes of one object.
+///
+/// # Examples
+///
+/// ```
+/// use reo_osd::attr::{AttributeId, AttributeSet};
+/// use reo_osd::ObjectClass;
+///
+/// let mut attrs = AttributeSet::new();
+/// attrs.set(AttributeId::LOGICAL_LENGTH, 4096u64);
+/// attrs.set_class(ObjectClass::HotClean);
+/// assert_eq!(attrs.class(), Some(ObjectClass::HotClean));
+/// assert_eq!(attrs.get(AttributeId::LOGICAL_LENGTH).and_then(|v| v.as_u64()), Some(4096));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AttributeSet {
+    attrs: BTreeMap<AttributeId, AttributeValue>,
+}
+
+impl AttributeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        AttributeSet::default()
+    }
+
+    /// Number of attributes present.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` when no attributes are present.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Sets an attribute, returning the previous value if any.
+    pub fn set(
+        &mut self,
+        id: AttributeId,
+        value: impl Into<AttributeValue>,
+    ) -> Option<AttributeValue> {
+        self.attrs.insert(id, value.into())
+    }
+
+    /// Reads an attribute.
+    pub fn get(&self, id: AttributeId) -> Option<&AttributeValue> {
+        self.attrs.get(&id)
+    }
+
+    /// Removes an attribute, returning it if present.
+    pub fn remove(&mut self, id: AttributeId) -> Option<AttributeValue> {
+        self.attrs.remove(&id)
+    }
+
+    /// All attributes of one page, in number order.
+    pub fn page(
+        &self,
+        page: AttributePage,
+    ) -> impl Iterator<Item = (AttributeId, &AttributeValue)> {
+        self.attrs
+            .range(
+                AttributeId { page, number: 0 }..=AttributeId {
+                    page,
+                    number: u32::MAX,
+                },
+            )
+            .map(|(id, v)| (*id, v))
+    }
+
+    /// Convenience: stores the Reo class attribute.
+    pub fn set_class(&mut self, class: ObjectClass) {
+        self.set(AttributeId::CLASS_ID, class.id() as u64);
+    }
+
+    /// Convenience: reads the Reo class attribute.
+    pub fn class(&self) -> Option<ObjectClass> {
+        self.get(AttributeId::CLASS_ID)
+            .and_then(AttributeValue::as_u64)
+            .and_then(|v| u8::try_from(v).ok())
+            .and_then(ObjectClass::from_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove_roundtrip() {
+        let mut a = AttributeSet::new();
+        assert!(a.is_empty());
+        assert_eq!(a.set(AttributeId::ACCESS_FREQ, 1u64), None);
+        assert_eq!(
+            a.set(AttributeId::ACCESS_FREQ, 2u64),
+            Some(AttributeValue::U64(1))
+        );
+        assert_eq!(
+            a.get(AttributeId::ACCESS_FREQ).and_then(|v| v.as_u64()),
+            Some(2)
+        );
+        assert_eq!(
+            a.remove(AttributeId::ACCESS_FREQ),
+            Some(AttributeValue::U64(2))
+        );
+        assert!(a.get(AttributeId::ACCESS_FREQ).is_none());
+    }
+
+    #[test]
+    fn class_helpers_roundtrip_all_classes() {
+        let mut a = AttributeSet::new();
+        assert_eq!(a.class(), None);
+        for class in ObjectClass::ALL {
+            a.set_class(class);
+            assert_eq!(a.class(), Some(class));
+        }
+        // Garbage class ids surface as None.
+        a.set(AttributeId::CLASS_ID, 99u64);
+        assert_eq!(a.class(), None);
+    }
+
+    #[test]
+    fn page_iteration_is_scoped_and_ordered() {
+        let mut a = AttributeSet::new();
+        a.set(AttributeId::CLASS_ID, 1u64);
+        a.set(AttributeId::DIRTY, 1u64);
+        a.set(AttributeId::ACCESS_FREQ, 7u64);
+        a.set(AttributeId::LOGICAL_LENGTH, 4096u64);
+        let reo: Vec<u32> = a
+            .page(AttributePage::ReoCache)
+            .map(|(id, _)| id.number)
+            .collect();
+        assert_eq!(reo, vec![0x1, 0x2, 0x3]);
+        let info: Vec<u32> = a
+            .page(AttributePage::UserInfo)
+            .map(|(id, _)| id.number)
+            .collect();
+        assert_eq!(info, vec![0x82]);
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(AttributeValue::from(5u64).as_u64(), Some(5));
+        assert_eq!(AttributeValue::from("x"), AttributeValue::Text("x".into()));
+        assert_eq!(AttributeValue::Bytes(vec![1]).as_u64(), None);
+    }
+
+    #[test]
+    fn page_numbers_are_distinct() {
+        let pages = [
+            AttributePage::UserInfo,
+            AttributePage::Timestamps,
+            AttributePage::ReoCache,
+        ];
+        for (i, a) in pages.iter().enumerate() {
+            for b in &pages[i + 1..] {
+                assert_ne!(a.number(), b.number());
+            }
+        }
+    }
+}

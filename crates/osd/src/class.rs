@@ -1,0 +1,188 @@
+//! Semantic object classes — Table II of the Reo paper.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The four semantic importance classes Reo assigns to cached objects.
+///
+/// Lower class IDs are more important and receive stronger redundancy
+/// (Section IV-C.1):
+///
+/// | Class | Name            | Redundancy policy            |
+/// |-------|-----------------|------------------------------|
+/// | 0     | System metadata | full replication             |
+/// | 1     | Dirty data      | full replication             |
+/// | 2     | Hot clean data  | 2 parity chunks per stripe   |
+/// | 3     | Cold clean data | no redundancy                |
+///
+/// # Examples
+///
+/// ```
+/// use reo_osd::ObjectClass;
+///
+/// assert!(ObjectClass::Metadata < ObjectClass::ColdClean);
+/// assert_eq!(ObjectClass::HotClean.id(), 2);
+/// assert_eq!(ObjectClass::from_id(1), Some(ObjectClass::Dirty));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum ObjectClass {
+    /// Group #0: OSD/system metadata (root, partition, super block, device
+    /// table, root directory objects, and application metadata).
+    Metadata = 0,
+    /// Group #1: dirty cache data — the only valid copy in the system.
+    Dirty = 1,
+    /// Group #2: frequently read, clean data.
+    HotClean = 2,
+    /// Group #3: infrequently read, clean data — the cache majority.
+    ColdClean = 3,
+}
+
+impl ObjectClass {
+    /// All classes in priority order (most important first).
+    pub const ALL: [ObjectClass; 4] = [
+        ObjectClass::Metadata,
+        ObjectClass::Dirty,
+        ObjectClass::HotClean,
+        ObjectClass::ColdClean,
+    ];
+
+    /// The numeric class ID used on the wire (`CID` of the `#SETID#`
+    /// command).
+    pub const fn id(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a wire class ID.
+    pub const fn from_id(id: u8) -> Option<ObjectClass> {
+        match id {
+            0 => Some(ObjectClass::Metadata),
+            1 => Some(ObjectClass::Dirty),
+            2 => Some(ObjectClass::HotClean),
+            3 => Some(ObjectClass::ColdClean),
+            _ => None,
+        }
+    }
+
+    /// `true` if this class is replicated across all devices rather than
+    /// parity-protected.
+    pub const fn is_replicated(self) -> bool {
+        matches!(self, ObjectClass::Metadata | ObjectClass::Dirty)
+    }
+
+    /// Recovery priority: lower values are reconstructed first
+    /// (Section IV-D: "from Class 0 to Class 3, in that order").
+    pub const fn recovery_priority(self) -> u8 {
+        self.id()
+    }
+}
+
+impl fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ObjectClass::Metadata => "metadata",
+            ObjectClass::Dirty => "dirty",
+            ObjectClass::HotClean => "hot-clean",
+            ObjectClass::ColdClean => "cold-clean",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The attributes Table II uses to derive a class: is the object system
+/// metadata, is it read-frequently ("hot"), and is it dirty.
+///
+/// # Examples
+///
+/// ```
+/// use reo_osd::{ClassifierInputs, ObjectClass};
+///
+/// // Row B of Table II: dirty, read frequency irrelevant.
+/// let b = ClassifierInputs { metadata: false, hot: true, dirty: true };
+/// assert_eq!(b.classify(), ObjectClass::Dirty);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClassifierInputs {
+    /// The object is system metadata (Table II column "Metadata").
+    pub metadata: bool,
+    /// The object is read-frequently (`H > H_hot`; column "Read-freq").
+    pub hot: bool,
+    /// The object holds unsynchronized updates (column "Dirty").
+    pub dirty: bool,
+}
+
+impl ClassifierInputs {
+    /// Applies Table II. Metadata dominates, then dirtiness, then hotness.
+    pub fn classify(self) -> ObjectClass {
+        if self.metadata {
+            ObjectClass::Metadata
+        } else if self.dirty {
+            ObjectClass::Dirty
+        } else if self.hot {
+            ObjectClass::HotClean
+        } else {
+            ObjectClass::ColdClean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively checks Table II: all eight input combinations.
+    #[test]
+    fn table_ii_truth_table() {
+        use ObjectClass::*;
+        let cases = [
+            // (metadata, hot, dirty) -> class
+            ((true, false, false), Metadata),
+            ((true, true, false), Metadata), // "~" = irrelevant
+            ((true, false, true), Metadata),
+            ((true, true, true), Metadata),
+            ((false, false, true), Dirty), // row B: read-freq irrelevant
+            ((false, true, true), Dirty),
+            ((false, true, false), HotClean),   // row C
+            ((false, false, false), ColdClean), // row D
+        ];
+        for ((metadata, hot, dirty), want) in cases {
+            let got = ClassifierInputs {
+                metadata,
+                hot,
+                dirty,
+            }
+            .classify();
+            assert_eq!(got, want, "inputs ({metadata},{hot},{dirty})");
+        }
+    }
+
+    #[test]
+    fn ids_roundtrip() {
+        for class in ObjectClass::ALL {
+            assert_eq!(ObjectClass::from_id(class.id()), Some(class));
+        }
+        assert_eq!(ObjectClass::from_id(4), None);
+        assert_eq!(ObjectClass::from_id(255), None);
+    }
+
+    #[test]
+    fn priority_order_matches_importance() {
+        let mut sorted = ObjectClass::ALL;
+        sorted.sort_by_key(|c| c.recovery_priority());
+        assert_eq!(sorted, ObjectClass::ALL);
+    }
+
+    #[test]
+    fn replication_policy() {
+        assert!(ObjectClass::Metadata.is_replicated());
+        assert!(ObjectClass::Dirty.is_replicated());
+        assert!(!ObjectClass::HotClean.is_replicated());
+        assert!(!ObjectClass::ColdClean.is_replicated());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ObjectClass::HotClean.to_string(), "hot-clean");
+    }
+}

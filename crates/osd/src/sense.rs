@@ -1,0 +1,151 @@
+//! Command status codes — Table III of the Reo paper.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The sense codes the Reo object storage returns for commands and queries.
+///
+/// Reproduces Table III verbatim:
+///
+/// | Code  | Meaning                                       |
+/// |-------|-----------------------------------------------|
+/// | 0     | The command is successful                     |
+/// | -1    | The command is unsuccessful                   |
+/// | 0x63  | Data is corrupted                             |
+/// | 0x64  | The cache is full                             |
+/// | 0x65  | Recovery starts                               |
+/// | 0x66  | Recovery ends                                 |
+/// | 0x67  | The allocated space for data redundancy is full |
+///
+/// # Examples
+///
+/// ```
+/// use reo_osd::SenseCode;
+///
+/// assert_eq!(SenseCode::Success.as_i16(), 0);
+/// assert_eq!(SenseCode::from_i16(0x63), Some(SenseCode::Corrupted));
+/// assert!(SenseCode::Corrupted.is_error());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SenseCode {
+    /// `0`: the command is successful.
+    Success,
+    /// `-1`: the command is unsuccessful.
+    Failure,
+    /// `0x63`: the addressed data is corrupted (and, for queries during an
+    /// outage, irrecoverable).
+    Corrupted,
+    /// `0x64`: the cache is full — a replacement is demanded.
+    CacheFull,
+    /// `0x65`: recovery has started (a device failure occurred).
+    RecoveryStarts,
+    /// `0x66`: recovery has ended.
+    RecoveryEnds,
+    /// `0x67`: the space allocated for data redundancy is full.
+    RedundancySpaceFull,
+}
+
+impl SenseCode {
+    /// The wire value, matching Table III.
+    pub const fn as_i16(self) -> i16 {
+        match self {
+            SenseCode::Success => 0,
+            SenseCode::Failure => -1,
+            SenseCode::Corrupted => 0x63,
+            SenseCode::CacheFull => 0x64,
+            SenseCode::RecoveryStarts => 0x65,
+            SenseCode::RecoveryEnds => 0x66,
+            SenseCode::RedundancySpaceFull => 0x67,
+        }
+    }
+
+    /// Parses a wire value.
+    pub const fn from_i16(raw: i16) -> Option<SenseCode> {
+        match raw {
+            0 => Some(SenseCode::Success),
+            -1 => Some(SenseCode::Failure),
+            0x63 => Some(SenseCode::Corrupted),
+            0x64 => Some(SenseCode::CacheFull),
+            0x65 => Some(SenseCode::RecoveryStarts),
+            0x66 => Some(SenseCode::RecoveryEnds),
+            0x67 => Some(SenseCode::RedundancySpaceFull),
+            _ => None,
+        }
+    }
+
+    /// `true` for codes indicating the command did not succeed outright.
+    ///
+    /// Informational codes (recovery start/end, cache full, redundancy
+    /// space full) are conditions, not failures, but they are not
+    /// [`SenseCode::Success`] either; only `Failure` and `Corrupted` are
+    /// hard errors.
+    pub const fn is_error(self) -> bool {
+        matches!(self, SenseCode::Failure | SenseCode::Corrupted)
+    }
+}
+
+impl fmt::Display for SenseCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SenseCode::Success => "the command is successful",
+            SenseCode::Failure => "the command is unsuccessful",
+            SenseCode::Corrupted => "data is corrupted",
+            SenseCode::CacheFull => "the cache is full",
+            SenseCode::RecoveryStarts => "recovery starts",
+            SenseCode::RecoveryEnds => "recovery ends",
+            SenseCode::RedundancySpaceFull => "the allocated space for data redundancy is full",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [SenseCode; 7] = [
+        SenseCode::Success,
+        SenseCode::Failure,
+        SenseCode::Corrupted,
+        SenseCode::CacheFull,
+        SenseCode::RecoveryStarts,
+        SenseCode::RecoveryEnds,
+        SenseCode::RedundancySpaceFull,
+    ];
+
+    #[test]
+    fn table_iii_values() {
+        assert_eq!(SenseCode::Success.as_i16(), 0);
+        assert_eq!(SenseCode::Failure.as_i16(), -1);
+        assert_eq!(SenseCode::Corrupted.as_i16(), 0x63);
+        assert_eq!(SenseCode::CacheFull.as_i16(), 0x64);
+        assert_eq!(SenseCode::RecoveryStarts.as_i16(), 0x65);
+        assert_eq!(SenseCode::RecoveryEnds.as_i16(), 0x66);
+        assert_eq!(SenseCode::RedundancySpaceFull.as_i16(), 0x67);
+    }
+
+    #[test]
+    fn roundtrip_all() {
+        for code in ALL {
+            assert_eq!(SenseCode::from_i16(code.as_i16()), Some(code));
+        }
+        assert_eq!(SenseCode::from_i16(0x62), None);
+        assert_eq!(SenseCode::from_i16(2), None);
+    }
+
+    #[test]
+    fn error_classification() {
+        assert!(!SenseCode::Success.is_error());
+        assert!(SenseCode::Failure.is_error());
+        assert!(SenseCode::Corrupted.is_error());
+        assert!(!SenseCode::RecoveryStarts.is_error());
+        assert!(!SenseCode::CacheFull.is_error());
+    }
+
+    #[test]
+    fn display_matches_table_descriptions() {
+        assert_eq!(SenseCode::CacheFull.to_string(), "the cache is full");
+        assert_eq!(SenseCode::Corrupted.to_string(), "data is corrupted");
+    }
+}

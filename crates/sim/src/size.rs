@@ -1,0 +1,243 @@
+//! Byte-size newtype used across the workspace.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A number of bytes.
+///
+/// Object sizes, chunk sizes, cache capacities, and transfer volumes across
+/// the workspace are all `ByteSize` rather than bare `u64`, so they cannot be
+/// confused with counts or identifiers.
+///
+/// # Examples
+///
+/// ```
+/// use reo_sim::ByteSize;
+///
+/// let chunk = ByteSize::from_kib(64);
+/// let object = ByteSize::from_mib(4);
+/// assert_eq!(object / chunk, 64);
+/// assert_eq!(chunk * 4, ByteSize::from_kib(256));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Creates a size of `bytes` bytes.
+    pub const fn from_bytes(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+
+    /// Creates a size of `kib` kibibytes (1024 bytes).
+    pub const fn from_kib(kib: u64) -> Self {
+        ByteSize(kib * 1024)
+    }
+
+    /// Creates a size of `mib` mebibytes.
+    pub const fn from_mib(mib: u64) -> Self {
+        ByteSize(mib * 1024 * 1024)
+    }
+
+    /// Creates a size of `gib` gibibytes.
+    pub const fn from_gib(gib: u64) -> Self {
+        ByteSize(gib * 1024 * 1024 * 1024)
+    }
+
+    /// The size in bytes.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// The size in fractional mebibytes.
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// The size in fractional gibibytes.
+    pub fn as_gib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Returns `true` if the size is zero bytes.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `self - rhs`, or zero if `rhs > self`.
+    pub fn saturating_sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The number of `chunk`-sized pieces needed to hold `self`, i.e.
+    /// division rounding up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn div_ceil(self, chunk: ByteSize) -> u64 {
+        assert!(!chunk.is_zero(), "chunk size must be non-zero");
+        self.0.div_ceil(chunk.0)
+    }
+
+    /// Scales the size by a non-negative float, rounding to the nearest byte.
+    ///
+    /// Useful for "X% of the data set" style cache-size configuration.
+    pub fn scale(self, factor: f64) -> ByteSize {
+        debug_assert!(factor >= 0.0, "scale factor must be non-negative");
+        ByteSize((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Returns the smaller of two sizes.
+    pub fn min(self, other: ByteSize) -> ByteSize {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two sizes.
+    pub fn max(self, other: ByteSize) -> ByteSize {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Debug for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ByteSize({self})")
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= 1024 * 1024 * 1024 {
+            write!(f, "{:.2}GiB", b as f64 / (1024.0 * 1024.0 * 1024.0))
+        } else if b >= 1024 * 1024 {
+            write!(f, "{:.2}MiB", b as f64 / (1024.0 * 1024.0))
+        } else if b >= 1024 {
+            write!(f, "{:.2}KiB", b as f64 / 1024.0)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for ByteSize {
+    fn sub_assign(&mut self, rhs: ByteSize) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl Div<ByteSize> for ByteSize {
+    /// Whole number of `rhs`-sized pieces that fit in `self` (floor).
+    type Output = u64;
+    fn div(self, rhs: ByteSize) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for ByteSize {
+    fn from(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(ByteSize::from_kib(1).as_bytes(), 1024);
+        assert_eq!(ByteSize::from_mib(1), ByteSize::from_kib(1024));
+        assert_eq!(ByteSize::from_gib(1), ByteSize::from_mib(1024));
+    }
+
+    #[test]
+    fn div_ceil_rounds_up() {
+        let chunk = ByteSize::from_kib(64);
+        assert_eq!(ByteSize::from_kib(64).div_ceil(chunk), 1);
+        assert_eq!(ByteSize::from_kib(65).div_ceil(chunk), 2);
+        assert_eq!(ByteSize::ZERO.div_ceil(chunk), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn div_ceil_zero_chunk_panics() {
+        let _ = ByteSize::from_kib(1).div_ceil(ByteSize::ZERO);
+    }
+
+    #[test]
+    fn scale_is_percentage_friendly() {
+        let data_set = ByteSize::from_gib(17);
+        let cache = data_set.scale(0.10);
+        let exact = 17f64 * 1024.0 * 1024.0 * 1024.0 * 0.10;
+        assert!((cache.as_bytes() as f64 - exact).abs() <= 1.0);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = ByteSize::from_kib(1);
+        let b = ByteSize::from_kib(2);
+        assert_eq!(b.saturating_sub(a), a);
+        assert_eq!(a.saturating_sub(b), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(ByteSize::from_bytes(512).to_string(), "512B");
+        assert_eq!(ByteSize::from_kib(64).to_string(), "64.00KiB");
+        assert_eq!(ByteSize::from_mib(4).to_string(), "4.00MiB");
+        assert_eq!(ByteSize::from_gib(2).to_string(), "2.00GiB");
+    }
+
+    #[test]
+    fn sum_of_sizes() {
+        let total: ByteSize = (1..=3).map(ByteSize::from_kib).sum();
+        assert_eq!(total, ByteSize::from_kib(6));
+    }
+}

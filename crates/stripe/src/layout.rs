@@ -1,0 +1,290 @@
+//! Pure placement arithmetic for stripes.
+
+use reo_flashsim::DeviceId;
+
+use crate::scheme::RedundancyScheme;
+
+/// The role a chunk plays within its stripe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChunkRole {
+    /// The `i`-th data chunk of the stripe.
+    Data(usize),
+    /// The `p`-th parity chunk of the stripe.
+    Parity(usize),
+    /// The `r`-th replica of the (single) data chunk of a replicated
+    /// stripe. Replica 0 is the primary copy.
+    Replica(usize),
+}
+
+impl ChunkRole {
+    /// `true` for chunks that hold user data (including the primary
+    /// replica).
+    pub fn is_user_data(self) -> bool {
+        matches!(self, ChunkRole::Data(_) | ChunkRole::Replica(0))
+    }
+}
+
+/// Where parity chunks live across stripes.
+///
+/// Reo rotates parity round-robin "for an even distribution" (Section
+/// IV-C.3). The fixed policy concentrates parity on the lowest devices —
+/// the classic RAID-4 arrangement whose uneven write wear the Differential
+/// RAID line of work warns about; it exists here as the ablation baseline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PlacementPolicy {
+    /// Rotate parity with the stripe index (Reo's choice).
+    #[default]
+    RoundRobin,
+    /// Pin parity to the first `k` devices (RAID-4-style baseline).
+    Fixed,
+}
+
+/// Placement arithmetic for one stripe on an `n`-device array.
+///
+/// Under [`PlacementPolicy::RoundRobin`], stripe `s` places its `p`-th
+/// parity chunk on device `(s + p) mod n`, and its `j`-th data chunk on
+/// device `(s + k + j) mod n` where `k` is the parity count. Replicated
+/// stripes place replica `r` on device `(s + r) mod n`.
+///
+/// # Examples
+///
+/// ```
+/// use reo_stripe::{RedundancyScheme, StripeLayout};
+/// use reo_flashsim::DeviceId;
+///
+/// let l = StripeLayout::new(7, RedundancyScheme::parity(2), 5);
+/// // Stripe 7 on 5 devices: parity on devices 2 and 3, data on 4, 0, 1.
+/// assert_eq!(l.parity_device(0), DeviceId(2));
+/// assert_eq!(l.parity_device(1), DeviceId(3));
+/// assert_eq!(l.data_device(0), DeviceId(4));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StripeLayout {
+    stripe_index: u64,
+    scheme: RedundancyScheme,
+    devices: usize,
+    placement: PlacementPolicy,
+}
+
+impl StripeLayout {
+    /// Creates the layout of stripe `stripe_index` under `scheme` on a
+    /// `devices`-wide array with round-robin parity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme does not fit the array.
+    pub fn new(stripe_index: u64, scheme: RedundancyScheme, devices: usize) -> Self {
+        Self::with_placement(stripe_index, scheme, devices, PlacementPolicy::RoundRobin)
+    }
+
+    /// Creates the layout with an explicit parity placement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme does not fit the array.
+    pub fn with_placement(
+        stripe_index: u64,
+        scheme: RedundancyScheme,
+        devices: usize,
+        placement: PlacementPolicy,
+    ) -> Self {
+        // Validate geometry eagerly.
+        let _ = scheme.data_chunks_per_stripe(devices);
+        StripeLayout {
+            stripe_index,
+            scheme,
+            devices,
+            placement,
+        }
+    }
+
+    /// The scheme this layout was built with.
+    pub fn scheme(&self) -> RedundancyScheme {
+        self.scheme
+    }
+
+    /// Number of data chunk slots in the stripe.
+    pub fn data_slots(&self) -> usize {
+        self.scheme.data_chunks_per_stripe(self.devices)
+    }
+
+    /// Number of parity/replica slots in the stripe.
+    pub fn redundancy_slots(&self) -> usize {
+        self.scheme.parity_chunks(self.devices)
+    }
+
+    fn rotation(&self) -> usize {
+        match self.placement {
+            PlacementPolicy::RoundRobin => (self.stripe_index % self.devices as u64) as usize,
+            PlacementPolicy::Fixed => 0,
+        }
+    }
+
+    /// Device holding the `j`-th data chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range for the scheme.
+    pub fn data_device(&self, j: usize) -> DeviceId {
+        assert!(j < self.data_slots(), "data slot {j} out of range");
+        match self.scheme {
+            RedundancyScheme::Parity(k) => {
+                DeviceId((self.rotation() + k as usize + j) % self.devices)
+            }
+            RedundancyScheme::Replication => DeviceId(self.rotation()),
+        }
+    }
+
+    /// Device holding the `p`-th parity chunk (or `r`-th extra replica for
+    /// replication, where `p = r - 1` for replicas beyond the primary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range for the scheme.
+    pub fn parity_device(&self, p: usize) -> DeviceId {
+        assert!(p < self.redundancy_slots(), "parity slot {p} out of range");
+        match self.scheme {
+            RedundancyScheme::Parity(_) => DeviceId((self.rotation() + p) % self.devices),
+            RedundancyScheme::Replication => DeviceId((self.rotation() + 1 + p) % self.devices),
+        }
+    }
+
+    /// Every `(role, device)` pair of the stripe, data chunks first.
+    pub fn placements(&self) -> Vec<(ChunkRole, DeviceId)> {
+        let mut out = Vec::with_capacity(self.data_slots() + self.redundancy_slots());
+        match self.scheme {
+            RedundancyScheme::Parity(_) => {
+                for j in 0..self.data_slots() {
+                    out.push((ChunkRole::Data(j), self.data_device(j)));
+                }
+                for p in 0..self.redundancy_slots() {
+                    out.push((ChunkRole::Parity(p), self.parity_device(p)));
+                }
+            }
+            RedundancyScheme::Replication => {
+                out.push((ChunkRole::Replica(0), self.data_device(0)));
+                for r in 0..self.redundancy_slots() {
+                    out.push((ChunkRole::Replica(r + 1), self.parity_device(r)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_chunks_on_distinct_devices() {
+        for scheme in [
+            RedundancyScheme::parity(0),
+            RedundancyScheme::parity(1),
+            RedundancyScheme::parity(2),
+            RedundancyScheme::Replication,
+        ] {
+            for s in 0..20u64 {
+                let l = StripeLayout::new(s, scheme, 5);
+                let devices: HashSet<DeviceId> =
+                    l.placements().into_iter().map(|(_, d)| d).collect();
+                assert_eq!(
+                    devices.len(),
+                    l.data_slots() + l.redundancy_slots(),
+                    "scheme {scheme} stripe {s} reuses a device"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parity_rotates_round_robin() {
+        // Over n consecutive stripes, the 0th parity chunk visits every
+        // device exactly once.
+        let mut seen = HashSet::new();
+        for s in 0..5u64 {
+            let l = StripeLayout::new(s, RedundancyScheme::parity(1), 5);
+            seen.insert(l.parity_device(0));
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn parity_load_is_even_over_many_stripes() {
+        let mut counts = [0usize; 5];
+        for s in 0..100u64 {
+            let l = StripeLayout::new(s, RedundancyScheme::parity(2), 5);
+            for p in 0..2 {
+                counts[l.parity_device(p).0] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 40), "{counts:?}");
+    }
+
+    #[test]
+    fn replication_uses_every_device() {
+        let l = StripeLayout::new(3, RedundancyScheme::Replication, 5);
+        let placements = l.placements();
+        assert_eq!(placements.len(), 5);
+        assert!(matches!(placements[0].0, ChunkRole::Replica(0)));
+        let devices: HashSet<DeviceId> = placements.iter().map(|&(_, d)| d).collect();
+        assert_eq!(devices.len(), 5);
+    }
+
+    #[test]
+    fn role_user_data_flag() {
+        assert!(ChunkRole::Data(3).is_user_data());
+        assert!(ChunkRole::Replica(0).is_user_data());
+        assert!(!ChunkRole::Replica(1).is_user_data());
+        assert!(!ChunkRole::Parity(0).is_user_data());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn data_slot_bound_checked() {
+        let l = StripeLayout::new(0, RedundancyScheme::parity(2), 5);
+        let _ = l.data_device(3);
+    }
+
+    #[test]
+    fn fixed_placement_pins_parity() {
+        // RAID-4 style: parity always on devices 0..k, data on the rest.
+        for s in 0..20u64 {
+            let l = StripeLayout::with_placement(
+                s,
+                RedundancyScheme::parity(2),
+                5,
+                PlacementPolicy::Fixed,
+            );
+            assert_eq!(l.parity_device(0), DeviceId(0), "stripe {s}");
+            assert_eq!(l.parity_device(1), DeviceId(1), "stripe {s}");
+            assert_eq!(l.data_device(0), DeviceId(2), "stripe {s}");
+        }
+    }
+
+    #[test]
+    fn fixed_placement_concentrates_parity_load() {
+        let mut counts = [0usize; 5];
+        for s in 0..100u64 {
+            let l = StripeLayout::with_placement(
+                s,
+                RedundancyScheme::parity(1),
+                5,
+                PlacementPolicy::Fixed,
+            );
+            counts[l.parity_device(0).0] += 1;
+        }
+        assert_eq!(counts, [100, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn doc_example_layout() {
+        let l = StripeLayout::new(7, RedundancyScheme::parity(2), 5);
+        assert_eq!(l.parity_device(0), DeviceId(2));
+        assert_eq!(l.parity_device(1), DeviceId(3));
+        assert_eq!(l.data_device(0), DeviceId(4));
+        assert_eq!(l.data_device(1), DeviceId(0));
+        assert_eq!(l.data_device(2), DeviceId(1));
+    }
+}

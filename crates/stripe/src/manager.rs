@@ -1,0 +1,1903 @@
+//! The stateful stripe manager over a flash array.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use bytes::Bytes;
+use reo_erasure::{CodecError, ReedSolomon};
+use reo_flashsim::{ChunkHandle, DeviceId, FlashArray, FlashError, StoredChunk};
+use reo_sim::{ByteSize, SimTime};
+
+use crate::layout::{ChunkRole, PlacementPolicy, StripeLayout};
+use crate::scheme::RedundancyScheme;
+
+/// Identifier of a stripe within a [`StripeManager`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StripeId(u64);
+
+impl StripeId {
+    /// The raw value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for StripeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stripe#{}", self.0)
+    }
+}
+
+/// Errors from stripe-manager operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StripeError {
+    /// A device-level error (full, failed, unknown chunk).
+    Flash(FlashError),
+    /// An erasure-coding error (should not occur for well-formed stripes).
+    Codec(CodecError),
+    /// More chunks of a stripe are lost than its redundancy tolerates.
+    ObjectLost {
+        /// The stripe that cannot be recovered.
+        stripe: StripeId,
+        /// Chunks lost in that stripe.
+        lost: usize,
+        /// Failures the stripe's scheme tolerates.
+        tolerated: usize,
+    },
+    /// The layout references a stripe this manager does not know.
+    UnknownStripe(StripeId),
+    /// Objects must have a non-zero size.
+    EmptyObject,
+    /// A payload was supplied whose length disagrees with the object size.
+    PayloadSizeMismatch {
+        /// Declared object size.
+        declared: u64,
+        /// Supplied payload length.
+        payload: u64,
+    },
+    /// No healthy device remains in the array.
+    NoHealthyDevices,
+}
+
+impl fmt::Display for StripeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StripeError::Flash(e) => write!(f, "flash error: {e}"),
+            StripeError::Codec(e) => write!(f, "erasure codec error: {e}"),
+            StripeError::ObjectLost {
+                stripe,
+                lost,
+                tolerated,
+            } => write!(
+                f,
+                "{stripe} lost {lost} chunks but tolerates only {tolerated}"
+            ),
+            StripeError::UnknownStripe(s) => write!(f, "unknown stripe {s}"),
+            StripeError::EmptyObject => write!(f, "objects must be non-empty"),
+            StripeError::PayloadSizeMismatch { declared, payload } => write!(
+                f,
+                "payload is {payload} bytes but object declares {declared}"
+            ),
+            StripeError::NoHealthyDevices => write!(f, "no healthy device remains"),
+        }
+    }
+}
+
+impl Error for StripeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StripeError::Flash(e) => Some(e),
+            StripeError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlashError> for StripeError {
+    fn from(e: FlashError) -> Self {
+        StripeError::Flash(e)
+    }
+}
+
+impl From<CodecError> for StripeError {
+    fn from(e: CodecError) -> Self {
+        StripeError::Codec(e)
+    }
+}
+
+/// How [`StripeManager::overwrite_chunk`] maintained redundancy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParityUpdate {
+    /// No parity to maintain: the chunk (and any replicas) were simply
+    /// rewritten.
+    Rewrite,
+    /// Delta parity-updating: read the old chunk + parity, patch parity
+    /// with the XOR delta (Section II-B).
+    Delta,
+    /// Direct parity-updating: read the sibling data chunks and re-encode
+    /// parity from scratch.
+    Direct,
+}
+
+/// Health of an object's stripes after failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ObjectStatus {
+    /// Every chunk intact; reads are served directly.
+    Intact,
+    /// Some chunks lost but every stripe is reconstructable.
+    Degraded,
+    /// At least one stripe lost more chunks than its redundancy tolerates.
+    Lost,
+}
+
+/// Result of reading an object.
+#[derive(Clone, Debug)]
+pub struct ReadOutcome {
+    /// The object contents, when stored with a real payload.
+    pub bytes: Option<Vec<u8>>,
+    /// `true` if reconstruction (degraded read) was needed.
+    pub degraded: bool,
+    /// Simulated completion instant.
+    pub completed_at: SimTime,
+}
+
+/// Byte accounting split into user data vs redundancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpaceUsage {
+    /// Bytes holding user data (data chunks / primary replicas).
+    pub user_bytes: ByteSize,
+    /// Bytes holding parity or extra replicas.
+    pub redundancy_bytes: ByteSize,
+}
+
+impl SpaceUsage {
+    /// Total occupied bytes.
+    pub fn total(self) -> ByteSize {
+        self.user_bytes + self.redundancy_bytes
+    }
+
+    /// `user / (user + redundancy)`, the paper's space-efficiency metric
+    /// (Section VI-B). Returns 1.0 when nothing is stored.
+    pub fn space_efficiency(self) -> f64 {
+        let total = self.total().as_bytes();
+        if total == 0 {
+            return 1.0;
+        }
+        self.user_bytes.as_bytes() as f64 / total as f64
+    }
+}
+
+/// Where an object lives: the stripes that hold it.
+///
+/// Layouts are handed back from [`StripeManager::store_object`] and passed
+/// to the read/status/rebuild/remove operations. They are intentionally
+/// opaque beyond size and scheme.
+#[derive(Clone, Debug)]
+pub struct ObjectLayout {
+    owner: u64,
+    size: ByteSize,
+    scheme: RedundancyScheme,
+    stripes: Vec<StripeId>,
+}
+
+impl ObjectLayout {
+    /// The opaque owner tag supplied at store time.
+    pub fn owner(&self) -> u64 {
+        self.owner
+    }
+
+    /// Logical object size.
+    pub fn size(&self) -> ByteSize {
+        self.size
+    }
+
+    /// The redundancy scheme requested at store time.
+    pub fn scheme(&self) -> RedundancyScheme {
+        self.scheme
+    }
+
+    /// The stripes holding the object.
+    pub fn stripes(&self) -> &[StripeId] {
+        &self.stripes
+    }
+}
+
+#[derive(Clone, Debug)]
+struct StripeChunk {
+    role: ChunkRole,
+    device: DeviceId,
+    handle: ChunkHandle,
+    len: ByteSize,
+    /// Real payload retained at encode time? (Payload itself lives on the
+    /// device; this only records whether the stripe is in real-data mode.)
+    real: bool,
+}
+
+#[derive(Clone, Debug)]
+struct StripeMeta {
+    /// Effective scheme after clamping to the healthy-device count at
+    /// store time.
+    scheme: RedundancyScheme,
+    /// The data-shard count `m` the encoder used (store-time healthy
+    /// width minus parity). Short stripes hold fewer real data chunks and
+    /// were padded to `m` with phantom zero shards; decode must reuse the
+    /// same geometry.
+    encode_m: usize,
+    chunks: Vec<StripeChunk>,
+}
+
+impl StripeMeta {
+    fn tolerated(&self, width: usize) -> usize {
+        self.scheme.failures_tolerated(width)
+    }
+}
+
+/// Stores objects as variable-redundancy stripes on a [`FlashArray`].
+///
+/// See the crate docs for the model. One manager owns one array.
+#[derive(Clone, Debug)]
+pub struct StripeManager {
+    array: FlashArray,
+    chunk_size: ByteSize,
+    placement: PlacementPolicy,
+    next_handle: u64,
+    next_stripe: u64,
+    stripes: HashMap<StripeId, StripeMeta>,
+    usage: SpaceUsage,
+}
+
+impl StripeManager {
+    /// Creates a manager over `array` using `chunk_size` chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn new(array: FlashArray, chunk_size: ByteSize) -> Self {
+        Self::with_placement(array, chunk_size, PlacementPolicy::RoundRobin)
+    }
+
+    /// Creates a manager with an explicit parity placement policy (the
+    /// RAID-4-style [`PlacementPolicy::Fixed`] exists for the wear-balance
+    /// ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn with_placement(
+        array: FlashArray,
+        chunk_size: ByteSize,
+        placement: PlacementPolicy,
+    ) -> Self {
+        assert!(!chunk_size.is_zero(), "chunk size must be non-zero");
+        StripeManager {
+            array,
+            chunk_size,
+            placement,
+            next_handle: 0,
+            next_stripe: 0,
+            stripes: HashMap::new(),
+            usage: SpaceUsage::default(),
+        }
+    }
+
+    /// The configured chunk size.
+    pub fn chunk_size(&self) -> ByteSize {
+        self.chunk_size
+    }
+
+    /// Immutable access to the underlying array.
+    pub fn array(&self) -> &FlashArray {
+        &self.array
+    }
+
+    /// Current byte accounting.
+    pub fn usage(&self) -> SpaceUsage {
+        self.usage
+    }
+
+    /// Total free bytes across healthy devices.
+    pub fn free_capacity(&self) -> ByteSize {
+        self.array
+            .healthy_devices()
+            .into_iter()
+            .map(|d| self.array.device(d).available())
+            .sum()
+    }
+
+    /// Physical bytes an object of `size` will occupy under `scheme`,
+    /// including padding of partial chunks in parity stripes and all
+    /// replicas — what the cache manager budgets evictions against.
+    ///
+    /// The estimate uses the current healthy-device count, matching what
+    /// [`StripeManager::store_object`] would do right now.
+    pub fn physical_bytes_needed(&self, size: ByteSize, scheme: RedundancyScheme) -> ByteSize {
+        let healthy = self.array.healthy_devices().len();
+        if healthy == 0 || size.is_zero() {
+            return ByteSize::ZERO;
+        }
+        let scheme = clamp_scheme(scheme, healthy);
+        match scheme {
+            RedundancyScheme::Replication => size * healthy as u64,
+            RedundancyScheme::Parity(k) => {
+                if k == 0 {
+                    return size;
+                }
+                let m = healthy - k as usize;
+                let chunks = size.div_ceil(self.chunk_size);
+                let stripes = chunks.div_ceil(m as u64);
+                // Each stripe's parity chunks are as large as its largest
+                // data chunk; approximate with full chunk size.
+                size + self.chunk_size * (stripes * k as u64)
+            }
+        }
+    }
+
+    /// Fails a device in place ("shootdown").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn fail_device(&mut self, id: DeviceId) {
+        self.array.fail_device(id);
+    }
+
+    /// Replaces a device with a blank spare. Stripe metadata is retained;
+    /// run the rebuild path to repopulate the spare.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn replace_device(&mut self, id: DeviceId) {
+        self.array.replace_device(id);
+    }
+
+    fn alloc_handle(&mut self) -> ChunkHandle {
+        let h = ChunkHandle::new(self.next_handle);
+        self.next_handle += 1;
+        h
+    }
+
+    /// Splits a payload (or a size) into per-chunk lengths.
+    fn chunk_lengths(&self, size: ByteSize) -> Vec<ByteSize> {
+        let mut out = Vec::new();
+        let mut remaining = size.as_bytes();
+        let c = self.chunk_size.as_bytes();
+        while remaining > 0 {
+            let l = remaining.min(c);
+            out.push(ByteSize::from_bytes(l));
+            remaining -= l;
+        }
+        out
+    }
+
+    /// Stores an object and returns its layout.
+    ///
+    /// `owner` is an opaque tag echoed back in [`ObjectLayout::owner`];
+    /// `payload`, when given, must be exactly `size` bytes and enables real
+    /// byte-for-byte reads and reconstruction. Without it the stripes are
+    /// synthetic (sizes and timing only).
+    ///
+    /// If devices have failed, placement uses only the surviving devices
+    /// and the parity count is clamped to `healthy - 1`, so the cache keeps
+    /// accepting objects "as long as there is at least one working device"
+    /// (Section VI-C).
+    ///
+    /// # Errors
+    ///
+    /// * [`StripeError::EmptyObject`] — `size` is zero.
+    /// * [`StripeError::PayloadSizeMismatch`] — payload length ≠ `size`.
+    /// * [`StripeError::NoHealthyDevices`] — the whole array is down.
+    /// * [`StripeError::Flash`] — a device rejected a write (e.g. full);
+    ///   partially written chunks are rolled back.
+    pub fn store_object(
+        &mut self,
+        owner: u64,
+        size: ByteSize,
+        scheme: RedundancyScheme,
+        payload: Option<&[u8]>,
+    ) -> Result<ObjectLayout, StripeError> {
+        if size.is_zero() {
+            return Err(StripeError::EmptyObject);
+        }
+        if let Some(p) = payload {
+            if p.len() as u64 != size.as_bytes() {
+                return Err(StripeError::PayloadSizeMismatch {
+                    declared: size.as_bytes(),
+                    payload: p.len() as u64,
+                });
+            }
+        }
+        let healthy = self.array.healthy_devices();
+        if healthy.is_empty() {
+            return Err(StripeError::NoHealthyDevices);
+        }
+        let scheme = clamp_scheme(scheme, healthy.len());
+
+        let lens = self.chunk_lengths(size);
+        let m = scheme.data_chunks_per_stripe(healthy.len());
+
+        let mut stripe_ids = Vec::new();
+        let mut written: Vec<(DeviceId, ChunkHandle)> = Vec::new();
+        let mut completions: Vec<SimTime> = Vec::new();
+        let now = self.array.clock().now();
+        let usage_before = self.usage;
+
+        let result = (|this: &mut Self| -> Result<(), StripeError> {
+            for (stripe_no, group) in lens.chunks(m).enumerate() {
+                let stripe_index = this.next_stripe;
+                this.next_stripe += 1;
+                let id = StripeId(stripe_index);
+                let layout = StripeLayout::with_placement(
+                    stripe_index,
+                    scheme,
+                    healthy.len(),
+                    this.placement,
+                );
+
+                let mut chunks: Vec<StripeChunk> = Vec::new();
+                let parity_len = group.iter().copied().fold(ByteSize::ZERO, ByteSize::max);
+
+                // Data chunks (or primary replicas).
+                for (j, &len) in group.iter().enumerate() {
+                    let role = if scheme.is_replication() {
+                        ChunkRole::Replica(0)
+                    } else {
+                        ChunkRole::Data(j)
+                    };
+                    let slot = if scheme.is_replication() { 0 } else { j };
+                    let device = healthy[layout.data_device(slot).0];
+                    let handle = this.alloc_handle();
+                    let stored = match payload {
+                        Some(p) => {
+                            let off = (stripe_no * m + j) as u64 * this.chunk_size.as_bytes();
+                            let chunk_bytes = &p[off as usize..(off + len.as_bytes()) as usize];
+                            StoredChunk::real(Bytes::copy_from_slice(chunk_bytes))
+                        }
+                        None => StoredChunk::synthetic(len),
+                    };
+                    let done = this
+                        .array
+                        .device_mut(device)
+                        .write_chunk(handle, stored, now)?;
+                    completions.push(done);
+                    written.push((device, handle));
+                    chunks.push(StripeChunk {
+                        role,
+                        device,
+                        handle,
+                        len,
+                        real: payload.is_some(),
+                    });
+                    this.usage.user_bytes += len;
+                }
+
+                // Redundancy chunks.
+                match scheme {
+                    RedundancyScheme::Parity(0) => {}
+                    RedundancyScheme::Parity(k) => {
+                        let parity_payloads: Option<Vec<Vec<u8>>> = match payload {
+                            Some(_) => {
+                                // Pad each data chunk to parity_len and encode.
+                                let shards: Vec<Vec<u8>> = chunks
+                                    .iter()
+                                    .map(|c| {
+                                        let mut v = vec![0u8; parity_len.as_bytes() as usize];
+                                        if let Some(p) = payload {
+                                            let off = stripe_offset(
+                                                stripe_no,
+                                                m,
+                                                c.role,
+                                                this.chunk_size,
+                                            );
+                                            v[..c.len.as_bytes() as usize].copy_from_slice(
+                                                &p[off as usize..(off + c.len.as_bytes()) as usize],
+                                            );
+                                        }
+                                        v
+                                    })
+                                    .collect();
+                                // The codec wants exactly m data shards;
+                                // pad missing tail shards with zeros.
+                                let mut shards = shards;
+                                while shards.len() < m {
+                                    shards.push(vec![0u8; parity_len.as_bytes() as usize]);
+                                }
+                                let rs = ReedSolomon::new(m, k as usize)?;
+                                Some(rs.encode(&shards)?)
+                            }
+                            None => None,
+                        };
+                        for p in 0..k as usize {
+                            let device = healthy[layout.parity_device(p).0];
+                            let handle = this.alloc_handle();
+                            let stored = match &parity_payloads {
+                                Some(pp) => StoredChunk::real(Bytes::copy_from_slice(&pp[p])),
+                                None => StoredChunk::synthetic(parity_len),
+                            };
+                            let done = this
+                                .array
+                                .device_mut(device)
+                                .write_chunk(handle, stored, now)?;
+                            completions.push(done);
+                            written.push((device, handle));
+                            chunks.push(StripeChunk {
+                                role: ChunkRole::Parity(p),
+                                device,
+                                handle,
+                                len: parity_len,
+                                real: payload.is_some(),
+                            });
+                            this.usage.redundancy_bytes += parity_len;
+                        }
+                    }
+                    RedundancyScheme::Replication => {
+                        // One data chunk per stripe (m == 1); replicate it.
+                        let len = group[0];
+                        for r in 0..layout.redundancy_slots() {
+                            let device = healthy[layout.parity_device(r).0];
+                            let handle = this.alloc_handle();
+                            let stored = match payload {
+                                Some(p) => {
+                                    let off = stripe_no as u64 * this.chunk_size.as_bytes();
+                                    StoredChunk::real(Bytes::copy_from_slice(
+                                        &p[off as usize..(off + len.as_bytes()) as usize],
+                                    ))
+                                }
+                                None => StoredChunk::synthetic(len),
+                            };
+                            let done = this
+                                .array
+                                .device_mut(device)
+                                .write_chunk(handle, stored, now)?;
+                            completions.push(done);
+                            written.push((device, handle));
+                            chunks.push(StripeChunk {
+                                role: ChunkRole::Replica(r + 1),
+                                device,
+                                handle,
+                                len,
+                                real: payload.is_some(),
+                            });
+                            this.usage.redundancy_bytes += len;
+                        }
+                    }
+                }
+
+                this.stripes.insert(
+                    id,
+                    StripeMeta {
+                        scheme,
+                        encode_m: m,
+                        chunks,
+                    },
+                );
+                stripe_ids.push(id);
+            }
+            Ok(())
+        })(self);
+
+        if let Err(e) = result {
+            // Roll back anything written — chunks, stripe metadata, and
+            // accounting (including chunks of the stripe that was being
+            // assembled when the error hit).
+            for (device, handle) in written {
+                self.array.device_mut(device).remove_chunk(handle);
+            }
+            for id in stripe_ids {
+                self.stripes.remove(&id);
+            }
+            self.usage = usage_before;
+            return Err(e);
+        }
+
+        self.array.complete_batch(completions);
+        Ok(ObjectLayout {
+            owner,
+            size,
+            scheme,
+            stripes: stripe_ids,
+        })
+    }
+
+    fn stripe(&self, id: StripeId) -> Result<&StripeMeta, StripeError> {
+        self.stripes.get(&id).ok_or(StripeError::UnknownStripe(id))
+    }
+
+    fn chunk_intact(&self, c: &StripeChunk) -> bool {
+        self.array.device(c.device).chunk_is_intact(c.handle)
+    }
+
+    /// The object's health, computed from chunk intactness. Free — no
+    /// service time is charged (a metadata scan).
+    ///
+    /// # Errors
+    ///
+    /// [`StripeError::UnknownStripe`] if the layout references a removed
+    /// stripe.
+    pub fn object_status(&self, layout: &ObjectLayout) -> Result<ObjectStatus, StripeError> {
+        let mut degraded = false;
+        for &sid in &layout.stripes {
+            let meta = self.stripe(sid)?;
+            match self.stripe_health(meta) {
+                StripeHealth::Intact => {}
+                StripeHealth::Degraded(_) => degraded = true,
+                StripeHealth::Lost(_) => return Ok(ObjectStatus::Lost),
+            }
+        }
+        Ok(if degraded {
+            ObjectStatus::Degraded
+        } else {
+            ObjectStatus::Intact
+        })
+    }
+
+    fn stripe_health(&self, meta: &StripeMeta) -> StripeHealth {
+        let lost = meta.chunks.iter().filter(|c| !self.chunk_intact(c)).count();
+        if lost == 0 {
+            return StripeHealth::Intact;
+        }
+        if meta.scheme.is_replication() {
+            // Recoverable while any replica survives.
+            if lost == meta.chunks.len() {
+                StripeHealth::Lost(lost)
+            } else {
+                StripeHealth::Degraded(lost)
+            }
+        } else {
+            let width = meta.chunks.len();
+            if lost <= meta.tolerated(width) {
+                StripeHealth::Degraded(lost)
+            } else {
+                StripeHealth::Lost(lost)
+            }
+        }
+    }
+
+    /// Reads an object, reconstructing lost chunks on the fly when needed
+    /// (the paper's on-demand degraded read, Section IV-D).
+    ///
+    /// # Errors
+    ///
+    /// * [`StripeError::ObjectLost`] — some stripe lost more chunks than
+    ///   its redundancy tolerates.
+    /// * [`StripeError::UnknownStripe`] — stale layout.
+    /// * [`StripeError::Flash`] — unexpected device error.
+    pub fn read_object(&mut self, layout: &ObjectLayout) -> Result<ReadOutcome, StripeError> {
+        let now = self.array.clock().now();
+        let mut completions: Vec<SimTime> = Vec::new();
+        let mut degraded = false;
+        let mut assembled: Option<Vec<Vec<u8>>> = None;
+
+        for &sid in &layout.stripes {
+            let meta = self
+                .stripes
+                .get(&sid)
+                .ok_or(StripeError::UnknownStripe(sid))?
+                .clone();
+            match self.stripe_health(&meta) {
+                StripeHealth::Lost(lost) => {
+                    let tolerated = meta.tolerated(meta.chunks.len());
+                    return Err(StripeError::ObjectLost {
+                        stripe: sid,
+                        lost,
+                        tolerated,
+                    });
+                }
+                StripeHealth::Intact => {
+                    // Plain read of data chunks / primary replica.
+                    let stripe_bytes = self.read_stripe_data(&meta, now, &mut completions)?;
+                    if let Some(b) = stripe_bytes {
+                        assembled.get_or_insert_with(Vec::new).push(b);
+                    }
+                }
+                StripeHealth::Degraded(_) => {
+                    degraded = true;
+                    let stripe_bytes = self.degraded_read_stripe(&meta, now, &mut completions)?;
+                    if let Some(b) = stripe_bytes {
+                        assembled.get_or_insert_with(Vec::new).push(b);
+                    }
+                }
+            }
+        }
+
+        let completed_at = self.array.complete_batch(completions);
+        let bytes = assembled.map(|per_stripe| {
+            let mut out: Vec<u8> = per_stripe.into_iter().flatten().collect();
+            out.truncate(layout.size.as_bytes() as usize);
+            out
+        });
+        Ok(ReadOutcome {
+            bytes,
+            degraded,
+            completed_at,
+        })
+    }
+
+    /// Reads the data chunks of an intact stripe. Returns assembled bytes
+    /// if the stripe holds real payloads.
+    fn read_stripe_data(
+        &mut self,
+        meta: &StripeMeta,
+        now: SimTime,
+        completions: &mut Vec<SimTime>,
+    ) -> Result<Option<Vec<u8>>, StripeError> {
+        if meta.scheme.is_replication() {
+            // Primary replica only.
+            let primary = meta
+                .chunks
+                .iter()
+                .find(|c| matches!(c.role, ChunkRole::Replica(0)))
+                .expect("replicated stripe has a primary");
+            let (chunk, done) = self
+                .array
+                .device_mut(primary.device)
+                .read_chunk(primary.handle, now)?;
+            completions.push(done);
+            return Ok(chunk.payload().as_bytes().map(|b| b.to_vec()));
+        }
+        let mut parts: Vec<(usize, Option<Vec<u8>>)> = Vec::new();
+        for c in &meta.chunks {
+            if let ChunkRole::Data(j) = c.role {
+                let (chunk, done) = self.array.device_mut(c.device).read_chunk(c.handle, now)?;
+                completions.push(done);
+                parts.push((j, chunk.payload().as_bytes().map(|b| b.to_vec())));
+            }
+        }
+        parts.sort_by_key(|(j, _)| *j);
+        if parts.iter().all(|(_, b)| b.is_some()) && !parts.is_empty() {
+            Ok(Some(
+                parts.into_iter().flat_map(|(_, b)| b.unwrap()).collect(),
+            ))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Degraded read: read enough surviving chunks to reconstruct the
+    /// stripe's data, decode if payloads are real.
+    fn degraded_read_stripe(
+        &mut self,
+        meta: &StripeMeta,
+        now: SimTime,
+        completions: &mut Vec<SimTime>,
+    ) -> Result<Option<Vec<u8>>, StripeError> {
+        if meta.scheme.is_replication() {
+            // Any surviving replica serves the read.
+            let replica = meta
+                .chunks
+                .iter()
+                .find(|c| self.chunk_intact(c))
+                .expect("degraded (not lost) stripe has a survivor");
+            let (chunk, done) = self
+                .array
+                .device_mut(replica.device)
+                .read_chunk(replica.handle, now)?;
+            completions.push(done);
+            return Ok(chunk.payload().as_bytes().map(|b| b.to_vec()));
+        }
+
+        // Parity stripe: collect survivors (data + parity), read the first
+        // `m` of them, reconstruct.
+        let m_actual = meta
+            .chunks
+            .iter()
+            .filter(|c| matches!(c.role, ChunkRole::Data(_)))
+            .count();
+        let parity_count = meta.chunks.len() - m_actual;
+        let parity_len = meta
+            .chunks
+            .iter()
+            .map(|c| c.len)
+            .fold(ByteSize::ZERO, ByteSize::max);
+
+        // Build the shard array in codec order: data shards (padded to the
+        // encode-time `m` with phantom zero shards for short stripes),
+        // then parity shards.
+        let codec_m = meta.encode_m;
+
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; codec_m + parity_count];
+        let mut reads_done = 0usize;
+        let real = meta.chunks.first().map(|c| c.real).unwrap_or(false);
+
+        // Phantom zero shards (short stripes) are always "present".
+        for j in m_actual..codec_m {
+            shards[j] = Some(vec![0u8; parity_len.as_bytes() as usize]);
+        }
+
+        let mut missing_real = 0usize;
+        for c in &meta.chunks {
+            let idx = match c.role {
+                ChunkRole::Data(j) => j,
+                ChunkRole::Parity(p) => codec_m + p,
+                ChunkRole::Replica(_) => unreachable!("parity stripe"),
+            };
+            if self.chunk_intact(c) {
+                // Only read up to m shards total (phantoms are free).
+                if reads_done + (codec_m - m_actual) < codec_m {
+                    let (chunk, done) =
+                        self.array.device_mut(c.device).read_chunk(c.handle, now)?;
+                    completions.push(done);
+                    reads_done += 1;
+                    shards[idx] = Some(match chunk.payload().as_bytes() {
+                        Some(b) => {
+                            let mut v = b.to_vec();
+                            v.resize(parity_len.as_bytes() as usize, 0);
+                            v
+                        }
+                        None => vec![0u8; parity_len.as_bytes() as usize],
+                    });
+                }
+            } else {
+                missing_real += 1;
+            }
+        }
+        debug_assert!(missing_real <= parity_count);
+
+        if !real {
+            // Synthetic mode: timing already charged; nothing to decode.
+            return Ok(None);
+        }
+
+        let rs = ReedSolomon::new(codec_m, parity_count)?;
+        rs.reconstruct(&mut shards)?;
+
+        // Assemble data bytes in order, trimming to recorded lengths.
+        let mut out = Vec::new();
+        let mut lens: Vec<(usize, ByteSize)> = meta
+            .chunks
+            .iter()
+            .filter_map(|c| match c.role {
+                ChunkRole::Data(j) => Some((j, c.len)),
+                _ => None,
+            })
+            .collect();
+        lens.sort_by_key(|(j, _)| *j);
+        for (j, len) in lens {
+            let shard = shards[j].as_ref().expect("reconstructed");
+            out.extend_from_slice(&shard[..len.as_bytes() as usize]);
+        }
+        Ok(Some(out))
+    }
+
+    /// Overwrites one data chunk of an object in place, maintaining
+    /// parity with whichever update strategy costs fewer chunk reads
+    /// (Section II-B of the paper: direct re-encoding reads the `m - 1`
+    /// sibling data chunks; delta patching reads the old chunk plus the
+    /// `k` parity chunks).
+    ///
+    /// `chunk_index` counts the object's data chunks from zero in object
+    /// order. `new_payload`, when given, must match the chunk's stored
+    /// length; omit it for synthetic (timing-only) stripes.
+    ///
+    /// Returns the strategy used and the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// * [`StripeError::UnknownStripe`] — stale layout.
+    /// * [`StripeError::ObjectLost`] — the stripe has lost chunks and no
+    ///   update strategy can run without them (overwrite requires an
+    ///   intact stripe).
+    /// * [`StripeError::PayloadSizeMismatch`] — payload length differs
+    ///   from the chunk's.
+    /// * [`StripeError::Flash`] — device-level failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_index` is out of range for the layout.
+    pub fn overwrite_chunk(
+        &mut self,
+        layout: &ObjectLayout,
+        chunk_index: u64,
+        new_payload: Option<&[u8]>,
+    ) -> Result<(ParityUpdate, SimTime), StripeError> {
+        // Locate the stripe holding this data chunk.
+        let mut remaining = chunk_index;
+        let mut found: Option<(StripeId, usize)> = None;
+        for &sid in &layout.stripes {
+            let meta = self.stripe(sid)?;
+            let data_chunks = meta.chunks.iter().filter(|c| c.role.is_user_data()).count() as u64;
+            if remaining < data_chunks {
+                found = Some((sid, remaining as usize));
+                break;
+            }
+            remaining -= data_chunks;
+        }
+        let (sid, local_j) = found.unwrap_or_else(|| {
+            panic!(
+                "chunk index {chunk_index} out of range for object {}",
+                layout.owner
+            )
+        });
+        let meta = self
+            .stripes
+            .get(&sid)
+            .ok_or(StripeError::UnknownStripe(sid))?
+            .clone();
+
+        // Overwrites need the stripe intact: reconstructing *and*
+        // updating in one step is the rebuild path's job.
+        if let StripeHealth::Degraded(lost) | StripeHealth::Lost(lost) = self.stripe_health(&meta) {
+            return Err(StripeError::ObjectLost {
+                stripe: sid,
+                lost,
+                tolerated: meta.tolerated(meta.chunks.len()),
+            });
+        }
+
+        let now = self.array.clock().now();
+        let mut completions: Vec<SimTime> = Vec::new();
+
+        let target_chunk = meta
+            .chunks
+            .iter()
+            .filter(|c| c.role.is_user_data())
+            .nth(local_j)
+            .expect("local index within stripe")
+            .clone();
+        if let Some(p) = new_payload {
+            if p.len() as u64 != target_chunk.len.as_bytes() {
+                return Err(StripeError::PayloadSizeMismatch {
+                    declared: target_chunk.len.as_bytes(),
+                    payload: p.len() as u64,
+                });
+            }
+        }
+
+        let method = match meta.scheme {
+            RedundancyScheme::Replication => {
+                // Rewrite every replica with the new contents.
+                for c in &meta.chunks {
+                    let stored = match new_payload {
+                        Some(p) => StoredChunk::real(Bytes::copy_from_slice(p)),
+                        None => StoredChunk::synthetic(c.len),
+                    };
+                    let done = self
+                        .array
+                        .device_mut(c.device)
+                        .write_chunk(c.handle, stored, now)?;
+                    completions.push(done);
+                }
+                ParityUpdate::Rewrite
+            }
+            RedundancyScheme::Parity(0) => {
+                let stored = match new_payload {
+                    Some(p) => StoredChunk::real(Bytes::copy_from_slice(p)),
+                    None => StoredChunk::synthetic(target_chunk.len),
+                };
+                let done = self.array.device_mut(target_chunk.device).write_chunk(
+                    target_chunk.handle,
+                    stored,
+                    now,
+                )?;
+                completions.push(done);
+                ParityUpdate::Rewrite
+            }
+            RedundancyScheme::Parity(_) => self.overwrite_with_parity(
+                &meta,
+                &target_chunk,
+                local_j,
+                new_payload,
+                now,
+                &mut completions,
+            )?,
+        };
+
+        Ok((method, self.array.complete_batch(completions)))
+    }
+
+    /// The parity-maintaining overwrite: picks delta vs direct by read
+    /// count, reads what it needs, recomputes parity, writes back.
+    fn overwrite_with_parity(
+        &mut self,
+        meta: &StripeMeta,
+        target: &StripeChunk,
+        local_j: usize,
+        new_payload: Option<&[u8]>,
+        now: SimTime,
+        completions: &mut Vec<SimTime>,
+    ) -> Result<ParityUpdate, StripeError> {
+        let parity_chunks: Vec<StripeChunk> = meta
+            .chunks
+            .iter()
+            .filter(|c| matches!(c.role, ChunkRole::Parity(_)))
+            .cloned()
+            .collect();
+        let data_chunks: Vec<StripeChunk> = meta
+            .chunks
+            .iter()
+            .filter(|c| matches!(c.role, ChunkRole::Data(_)))
+            .cloned()
+            .collect();
+        let k = parity_chunks.len();
+        let m_actual = data_chunks.len();
+        let parity_len = meta
+            .chunks
+            .iter()
+            .map(|c| c.len)
+            .fold(ByteSize::ZERO, ByteSize::max);
+        let real = target.real;
+
+        // Section II-B's rule: the method with the fewest chunk reads.
+        let delta_reads = 1 + k;
+        let direct_reads = m_actual.saturating_sub(1);
+        let use_delta = delta_reads <= direct_reads;
+
+        let pad = |v: &[u8]| {
+            let mut out = v.to_vec();
+            out.resize(parity_len.as_bytes() as usize, 0);
+            out
+        };
+
+        let new_parities: Option<Vec<Vec<u8>>> = if use_delta {
+            // Read the old chunk and all parity chunks.
+            let (old_chunk, done) = self
+                .array
+                .device_mut(target.device)
+                .read_chunk(target.handle, now)?;
+            completions.push(done);
+            let mut old_parities = Vec::with_capacity(k);
+            for c in &parity_chunks {
+                let (chunk, done) = self.array.device_mut(c.device).read_chunk(c.handle, now)?;
+                completions.push(done);
+                old_parities.push(chunk);
+            }
+            if real {
+                let rs = ReedSolomon::new(meta.encode_m, k)?;
+                let old = pad(old_chunk.payload().as_bytes().expect("real stripe"));
+                let new = pad(new_payload.expect("real stripes get real payloads"));
+                let mut parities: Vec<Vec<u8>> = old_parities
+                    .iter()
+                    .map(|c| pad(c.payload().as_bytes().expect("real stripe")))
+                    .collect();
+                reo_erasure::delta::apply_delta_update(&rs, local_j, &old, &new, &mut parities)?;
+                Some(parities)
+            } else {
+                None
+            }
+        } else {
+            // Read the sibling data chunks and re-encode from scratch.
+            let mut shards: Vec<Vec<u8>> = Vec::with_capacity(meta.encode_m);
+            for (j, c) in data_chunks.iter().enumerate() {
+                if j == local_j {
+                    shards.push(match new_payload {
+                        Some(p) => pad(p),
+                        None => vec![0u8; parity_len.as_bytes() as usize],
+                    });
+                    continue;
+                }
+                let (chunk, done) = self.array.device_mut(c.device).read_chunk(c.handle, now)?;
+                completions.push(done);
+                shards.push(match chunk.payload().as_bytes() {
+                    Some(b) => pad(b),
+                    None => vec![0u8; parity_len.as_bytes() as usize],
+                });
+            }
+            while shards.len() < meta.encode_m {
+                shards.push(vec![0u8; parity_len.as_bytes() as usize]);
+            }
+            if real {
+                let rs = ReedSolomon::new(meta.encode_m, k)?;
+                Some(rs.encode(&shards)?)
+            } else {
+                None
+            }
+        };
+
+        // Write the new data chunk and the refreshed parity chunks.
+        let stored = match new_payload {
+            Some(p) => StoredChunk::real(Bytes::copy_from_slice(p)),
+            None => StoredChunk::synthetic(target.len),
+        };
+        let done = self
+            .array
+            .device_mut(target.device)
+            .write_chunk(target.handle, stored, now)?;
+        completions.push(done);
+        for (p, c) in parity_chunks.iter().enumerate() {
+            let stored = match &new_parities {
+                Some(np) => StoredChunk::real(Bytes::copy_from_slice(&np[p])),
+                None => StoredChunk::synthetic(c.len),
+            };
+            let done = self
+                .array
+                .device_mut(c.device)
+                .write_chunk(c.handle, stored, now)?;
+            completions.push(done);
+        }
+
+        Ok(if use_delta {
+            ParityUpdate::Delta
+        } else {
+            ParityUpdate::Direct
+        })
+    }
+
+    /// Rebuilds every lost chunk of an object back onto its (replaced)
+    /// devices. Reads `m` survivors per damaged stripe, re-encodes, and
+    /// writes the missing chunks. No-op for intact objects.
+    ///
+    /// Returns the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// * [`StripeError::ObjectLost`] — a stripe is beyond recovery.
+    /// * [`StripeError::UnknownStripe`] — stale layout.
+    /// * [`StripeError::Flash`] — the rebuild target device rejected a
+    ///   write (e.g. it is still failed).
+    pub fn rebuild_object(&mut self, layout: &ObjectLayout) -> Result<SimTime, StripeError> {
+        let now = self.array.clock().now();
+        let mut completions: Vec<SimTime> = Vec::new();
+
+        for &sid in &layout.stripes {
+            let meta = self
+                .stripes
+                .get(&sid)
+                .ok_or(StripeError::UnknownStripe(sid))?
+                .clone();
+            match self.stripe_health(&meta) {
+                StripeHealth::Intact => continue,
+                StripeHealth::Lost(lost) => {
+                    return Err(StripeError::ObjectLost {
+                        stripe: sid,
+                        lost,
+                        tolerated: meta.tolerated(meta.chunks.len()),
+                    });
+                }
+                StripeHealth::Degraded(_) => {}
+            }
+
+            if meta.scheme.is_replication() {
+                // Copy a surviving replica onto each lost slot.
+                let survivor = meta
+                    .chunks
+                    .iter()
+                    .find(|c| self.chunk_intact(c))
+                    .expect("degraded stripe has a survivor")
+                    .clone();
+                let (src, done) = self
+                    .array
+                    .device_mut(survivor.device)
+                    .read_chunk(survivor.handle, now)?;
+                completions.push(done);
+                let lost: Vec<StripeChunk> = meta
+                    .chunks
+                    .iter()
+                    .filter(|c| !self.chunk_intact(c))
+                    .cloned()
+                    .collect();
+                for c in lost {
+                    let stored = match src.payload().as_bytes() {
+                        Some(b) => StoredChunk::real(b.clone()),
+                        None => StoredChunk::synthetic(c.len),
+                    };
+                    let done = self
+                        .array
+                        .device_mut(c.device)
+                        .write_chunk(c.handle, stored, now)?;
+                    completions.push(done);
+                }
+            } else {
+                // Parity stripe: reconstruct all shards, write back lost.
+                let parity_len = meta
+                    .chunks
+                    .iter()
+                    .map(|c| c.len)
+                    .fold(ByteSize::ZERO, ByteSize::max);
+                let codec_m = meta.encode_m;
+                let real = meta.chunks.first().map(|c| c.real).unwrap_or(false);
+                let parity_count = meta
+                    .chunks
+                    .iter()
+                    .filter(|c| matches!(c.role, ChunkRole::Parity(_)))
+                    .count();
+                let m_actual = meta.chunks.len() - parity_count;
+
+                let mut shards: Vec<Option<Vec<u8>>> = vec![None; codec_m + parity_count];
+                for j in m_actual..codec_m {
+                    shards[j] = Some(vec![0u8; parity_len.as_bytes() as usize]);
+                }
+                let mut survivors_read = 0usize;
+                for c in &meta.chunks {
+                    if !self.chunk_intact(c) {
+                        continue;
+                    }
+                    if survivors_read + (codec_m - m_actual) >= codec_m {
+                        break;
+                    }
+                    let idx = match c.role {
+                        ChunkRole::Data(j) => j,
+                        ChunkRole::Parity(p) => codec_m + p,
+                        ChunkRole::Replica(_) => unreachable!(),
+                    };
+                    let (chunk, done) =
+                        self.array.device_mut(c.device).read_chunk(c.handle, now)?;
+                    completions.push(done);
+                    survivors_read += 1;
+                    shards[idx] = Some(match chunk.payload().as_bytes() {
+                        Some(b) => {
+                            let mut v = b.to_vec();
+                            v.resize(parity_len.as_bytes() as usize, 0);
+                            v
+                        }
+                        None => vec![0u8; parity_len.as_bytes() as usize],
+                    });
+                }
+
+                if real {
+                    let rs = ReedSolomon::new(codec_m, parity_count)?;
+                    rs.reconstruct(&mut shards)?;
+                }
+
+                let lost: Vec<StripeChunk> = meta
+                    .chunks
+                    .iter()
+                    .filter(|c| !self.chunk_intact(c))
+                    .cloned()
+                    .collect();
+                for c in lost {
+                    let idx = match c.role {
+                        ChunkRole::Data(j) => j,
+                        ChunkRole::Parity(p) => codec_m + p,
+                        ChunkRole::Replica(_) => unreachable!(),
+                    };
+                    let stored = if real {
+                        let shard = shards[idx].as_ref().expect("reconstructed");
+                        StoredChunk::real(Bytes::copy_from_slice(
+                            &shard[..c.len.as_bytes() as usize],
+                        ))
+                    } else {
+                        StoredChunk::synthetic(c.len)
+                    };
+                    let done = self
+                        .array
+                        .device_mut(c.device)
+                        .write_chunk(c.handle, stored, now)?;
+                    completions.push(done);
+                }
+            }
+        }
+        Ok(self.array.complete_batch(completions))
+    }
+
+    /// Corrupts one data chunk of an object in place (a partial flash
+    /// failure — a worn-out block — rather than a whole-device loss). The
+    /// object becomes [`ObjectStatus::Degraded`] (or
+    /// [`ObjectStatus::Lost`] if its redundancy cannot cover the damage).
+    ///
+    /// # Errors
+    ///
+    /// [`StripeError::UnknownStripe`] for stale layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_index` is out of range.
+    pub fn corrupt_data_chunk(
+        &mut self,
+        layout: &ObjectLayout,
+        chunk_index: u64,
+    ) -> Result<(), StripeError> {
+        let mut remaining = chunk_index;
+        for &sid in &layout.stripes {
+            let meta = self.stripe(sid)?;
+            let data: Vec<(DeviceId, ChunkHandle)> = meta
+                .chunks
+                .iter()
+                .filter(|c| c.role.is_user_data())
+                .map(|c| (c.device, c.handle))
+                .collect();
+            if (remaining as usize) < data.len() {
+                let (device, handle) = data[remaining as usize];
+                self.array.device_mut(device).corrupt_chunk(handle);
+                return Ok(());
+            }
+            remaining -= data.len() as u64;
+        }
+        panic!(
+            "chunk index {chunk_index} out of range for object {}",
+            layout.owner
+        );
+    }
+
+    /// Removes an object, releasing all its chunks and accounting. Chunks
+    /// on failed devices are forgotten (their space died with the device).
+    ///
+    /// Stale layouts (already removed) are a no-op.
+    pub fn remove_object(&mut self, layout: &ObjectLayout) {
+        for &sid in &layout.stripes {
+            if let Some(meta) = self.stripes.remove(&sid) {
+                for c in meta.chunks {
+                    self.array.device_mut(c.device).remove_chunk(c.handle);
+                    match c.role {
+                        ChunkRole::Data(_) | ChunkRole::Replica(0) => {
+                            self.usage.user_bytes = self.usage.user_bytes.saturating_sub(c.len)
+                        }
+                        _ => {
+                            self.usage.redundancy_bytes =
+                                self.usage.redundancy_bytes.saturating_sub(c.len)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of live stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StripeHealth {
+    Intact,
+    Degraded(usize),
+    Lost(usize),
+}
+
+fn clamp_scheme(scheme: RedundancyScheme, healthy: usize) -> RedundancyScheme {
+    match scheme {
+        RedundancyScheme::Parity(k) => {
+            RedundancyScheme::Parity(k.min((healthy.saturating_sub(1)) as u8))
+        }
+        RedundancyScheme::Replication => RedundancyScheme::Replication,
+    }
+}
+
+fn stripe_offset(stripe_no: usize, m: usize, role: ChunkRole, chunk_size: ByteSize) -> u64 {
+    let j = match role {
+        ChunkRole::Data(j) => j,
+        ChunkRole::Replica(0) => 0,
+        _ => 0,
+    };
+    (stripe_no * m + j) as u64 * chunk_size.as_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reo_flashsim::DeviceConfig;
+    use reo_sim::{ServiceModel, SimClock, SimDuration};
+
+    fn test_array(n: usize, capacity_mib: u64) -> FlashArray {
+        let cfg = DeviceConfig {
+            capacity: ByteSize::from_mib(capacity_mib),
+            read: ServiceModel::new(SimDuration::from_micros(100), 512 * 1024 * 1024),
+            write: ServiceModel::new(SimDuration::from_micros(200), 512 * 1024 * 1024),
+            erase_block: ByteSize::from_kib(128),
+            pe_cycle_limit: 3000,
+        };
+        FlashArray::new(n, cfg, SimClock::new())
+    }
+
+    fn mgr(n: usize) -> StripeManager {
+        StripeManager::new(test_array(n, 64), ByteSize::from_kib(4))
+    }
+
+    fn payload(len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i * 131 + 17) % 256) as u8).collect()
+    }
+
+    #[test]
+    fn store_and_read_real_payload() {
+        let mut m = mgr(5);
+        let data = payload(10_000); // 3 chunks of 4KiB: 4096+4096+1808
+        let layout = m
+            .store_object(
+                7,
+                ByteSize::from_bytes(10_000),
+                RedundancyScheme::parity(2),
+                Some(&data),
+            )
+            .unwrap();
+        assert_eq!(layout.owner(), 7);
+        let out = m.read_object(&layout).unwrap();
+        assert!(!out.degraded);
+        assert_eq!(out.bytes.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn degraded_read_reconstructs_real_bytes() {
+        let mut m = mgr(5);
+        let data = payload(20_000);
+        let layout = m
+            .store_object(
+                1,
+                ByteSize::from_bytes(20_000),
+                RedundancyScheme::parity(2),
+                Some(&data),
+            )
+            .unwrap();
+        // Fail two devices: 2-parity must still serve every byte.
+        m.fail_device(DeviceId(0));
+        m.fail_device(DeviceId(3));
+        assert_eq!(m.object_status(&layout).unwrap(), ObjectStatus::Degraded);
+        let out = m.read_object(&layout).unwrap();
+        assert!(out.degraded);
+        assert_eq!(out.bytes.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn three_failures_exceed_two_parity() {
+        let mut m = mgr(5);
+        let data = payload(20_000);
+        let layout = m
+            .store_object(
+                1,
+                ByteSize::from_bytes(20_000),
+                RedundancyScheme::parity(2),
+                Some(&data),
+            )
+            .unwrap();
+        m.fail_device(DeviceId(0));
+        m.fail_device(DeviceId(1));
+        m.fail_device(DeviceId(2));
+        assert_eq!(m.object_status(&layout).unwrap(), ObjectStatus::Lost);
+        assert!(matches!(
+            m.read_object(&layout),
+            Err(StripeError::ObjectLost { .. })
+        ));
+    }
+
+    #[test]
+    fn replication_survives_all_but_one() {
+        let mut m = mgr(5);
+        let data = payload(6_000);
+        let layout = m
+            .store_object(
+                2,
+                ByteSize::from_bytes(6_000),
+                RedundancyScheme::Replication,
+                Some(&data),
+            )
+            .unwrap();
+        for d in 0..4 {
+            m.fail_device(DeviceId(d));
+        }
+        assert_eq!(m.object_status(&layout).unwrap(), ObjectStatus::Degraded);
+        let out = m.read_object(&layout).unwrap();
+        assert_eq!(out.bytes.as_deref(), Some(&data[..]));
+        m.fail_device(DeviceId(4));
+        assert_eq!(m.object_status(&layout).unwrap(), ObjectStatus::Lost);
+    }
+
+    #[test]
+    fn zero_parity_loss_is_fatal() {
+        let mut m = mgr(5);
+        let layout = m
+            .store_object(3, ByteSize::from_kib(40), RedundancyScheme::parity(0), None)
+            .unwrap();
+        // 40 KiB / 4 KiB = 10 chunks across 5 devices: every device holds some.
+        m.fail_device(DeviceId(2));
+        assert_eq!(m.object_status(&layout).unwrap(), ObjectStatus::Lost);
+    }
+
+    #[test]
+    fn rebuild_after_spare_insertion_real() {
+        let mut m = mgr(5);
+        let data = payload(30_000);
+        let layout = m
+            .store_object(
+                4,
+                ByteSize::from_bytes(30_000),
+                RedundancyScheme::parity(1),
+                Some(&data),
+            )
+            .unwrap();
+        m.fail_device(DeviceId(1));
+        assert_eq!(m.object_status(&layout).unwrap(), ObjectStatus::Degraded);
+        m.replace_device(DeviceId(1));
+        m.rebuild_object(&layout).unwrap();
+        assert_eq!(m.object_status(&layout).unwrap(), ObjectStatus::Intact);
+        // Post-rebuild reads are non-degraded and byte-identical.
+        let out = m.read_object(&layout).unwrap();
+        assert!(!out.degraded);
+        assert_eq!(out.bytes.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn rebuild_replicated_object() {
+        let mut m = mgr(3);
+        let data = payload(5_000);
+        let layout = m
+            .store_object(
+                5,
+                ByteSize::from_bytes(5_000),
+                RedundancyScheme::Replication,
+                Some(&data),
+            )
+            .unwrap();
+        m.fail_device(DeviceId(0));
+        m.replace_device(DeviceId(0));
+        m.rebuild_object(&layout).unwrap();
+        assert_eq!(m.object_status(&layout).unwrap(), ObjectStatus::Intact);
+        let out = m.read_object(&layout).unwrap();
+        assert_eq!(out.bytes.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn synthetic_objects_track_space_and_timing() {
+        let mut m = mgr(5);
+        let layout = m
+            .store_object(6, ByteSize::from_kib(12), RedundancyScheme::parity(1), None)
+            .unwrap();
+        // 3 data chunks + 1 parity chunk (one stripe of m=4).
+        let usage = m.usage();
+        assert_eq!(usage.user_bytes, ByteSize::from_kib(12));
+        assert_eq!(usage.redundancy_bytes, ByteSize::from_kib(4));
+        let out = m.read_object(&layout).unwrap();
+        assert!(out.bytes.is_none());
+        assert!(out.completed_at.as_nanos() > 0);
+    }
+
+    #[test]
+    fn space_efficiency_matches_scheme_for_large_objects() {
+        let mut m = mgr(5);
+        // 2-parity on 5 devices: 60% ideal. A 12-chunk object fills 4
+        // stripes of m=3 exactly.
+        m.store_object(1, ByteSize::from_kib(48), RedundancyScheme::parity(2), None)
+            .unwrap();
+        let eff = m.usage().space_efficiency();
+        assert!((eff - 0.6).abs() < 1e-9, "eff = {eff}");
+    }
+
+    #[test]
+    fn remove_object_releases_everything() {
+        let mut m = mgr(5);
+        let layout = m
+            .store_object(9, ByteSize::from_kib(40), RedundancyScheme::parity(2), None)
+            .unwrap();
+        assert!(m.stripe_count() > 0);
+        m.remove_object(&layout);
+        assert_eq!(m.stripe_count(), 0);
+        assert_eq!(m.usage().total(), ByteSize::ZERO);
+        assert!(matches!(
+            m.read_object(&layout),
+            Err(StripeError::UnknownStripe(_))
+        ));
+        // Idempotent.
+        m.remove_object(&layout);
+    }
+
+    #[test]
+    fn store_after_failures_uses_survivors() {
+        let mut m = mgr(5);
+        m.fail_device(DeviceId(0));
+        m.fail_device(DeviceId(1));
+        // 2-parity clamps to the 3 healthy devices (k=2 still fits).
+        let layout = m
+            .store_object(1, ByteSize::from_kib(8), RedundancyScheme::parity(2), None)
+            .unwrap();
+        let out = m.read_object(&layout).unwrap();
+        assert!(!out.degraded);
+        // With only 2 healthy devices, parity clamps to 1.
+        m.fail_device(DeviceId(2));
+        let layout2 = m
+            .store_object(2, ByteSize::from_kib(8), RedundancyScheme::parity(2), None)
+            .unwrap();
+        assert_eq!(layout2.scheme(), RedundancyScheme::parity(1));
+        // With zero healthy devices, storing fails.
+        m.fail_device(DeviceId(3));
+        m.fail_device(DeviceId(4));
+        assert!(matches!(
+            m.store_object(3, ByteSize::from_kib(4), RedundancyScheme::parity(0), None),
+            Err(StripeError::NoHealthyDevices)
+        ));
+    }
+
+    #[test]
+    fn full_array_rolls_back_cleanly() {
+        let mut m = StripeManager::new(test_array(2, 1), ByteSize::from_kib(64));
+        // Fill device space (2 MiB total, replication doubles usage).
+        let r1 = m.store_object(
+            1,
+            ByteSize::from_kib(900),
+            RedundancyScheme::Replication,
+            None,
+        );
+        assert!(r1.is_ok());
+        let before = m.usage();
+        let count_before = m.stripe_count();
+        let r2 = m.store_object(
+            2,
+            ByteSize::from_kib(900),
+            RedundancyScheme::Replication,
+            None,
+        );
+        assert!(matches!(
+            r2,
+            Err(StripeError::Flash(FlashError::DeviceFull { .. }))
+        ));
+        assert_eq!(m.usage(), before, "failed store must not leak accounting");
+        assert_eq!(
+            m.stripe_count(),
+            count_before,
+            "failed store must not leak stripes"
+        );
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut m = mgr(3);
+        assert!(matches!(
+            m.store_object(1, ByteSize::ZERO, RedundancyScheme::parity(0), None),
+            Err(StripeError::EmptyObject)
+        ));
+        assert!(matches!(
+            m.store_object(
+                1,
+                ByteSize::from_kib(4),
+                RedundancyScheme::parity(0),
+                Some(&[1, 2])
+            ),
+            Err(StripeError::PayloadSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn physical_bytes_needed_estimates() {
+        let m = mgr(5);
+        // 0-parity: exactly the size.
+        assert_eq!(
+            m.physical_bytes_needed(ByteSize::from_kib(10), RedundancyScheme::parity(0)),
+            ByteSize::from_kib(10)
+        );
+        // Replication on 5 devices: 5x.
+        assert_eq!(
+            m.physical_bytes_needed(ByteSize::from_kib(10), RedundancyScheme::Replication),
+            ByteSize::from_kib(50)
+        );
+        // 2-parity, 12 KiB = 3 chunks = 1 stripe => + 2 parity chunks.
+        assert_eq!(
+            m.physical_bytes_needed(ByteSize::from_kib(12), RedundancyScheme::parity(2)),
+            ByteSize::from_kib(12 + 8)
+        );
+    }
+
+    #[test]
+    fn degraded_read_costs_more_time_than_intact() {
+        // Compare two identical managers; one suffers a failure.
+        let data = payload(64 * 1024);
+        let mk = || {
+            let mut m = StripeManager::new(test_array(5, 64), ByteSize::from_kib(16));
+            let l = m
+                .store_object(
+                    1,
+                    ByteSize::from_bytes(data.len() as u64),
+                    RedundancyScheme::parity(2),
+                    Some(&data),
+                )
+                .unwrap();
+            (m, l)
+        };
+        let (mut intact, l1) = mk();
+        let t0 = intact.array().clock().now();
+        intact.read_object(&l1).unwrap();
+        let intact_cost = intact.array().clock().now().saturating_since(t0);
+
+        let (mut broken, l2) = mk();
+        broken.fail_device(DeviceId(1));
+        let t0 = broken.array().clock().now();
+        let out = broken.read_object(&l2).unwrap();
+        assert!(out.degraded);
+        let degraded_cost = broken.array().clock().now().saturating_since(t0);
+        assert!(
+            degraded_cost >= intact_cost,
+            "degraded {degraded_cost} < intact {intact_cost}"
+        );
+    }
+
+    #[test]
+    fn usage_space_efficiency_empty_is_one() {
+        assert_eq!(SpaceUsage::default().space_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn errors_have_sources_and_display() {
+        let e = StripeError::Flash(FlashError::DeviceFailed(DeviceId(3)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("ssd3"));
+        let e2 = StripeError::ObjectLost {
+            stripe: StripeId(9),
+            lost: 3,
+            tolerated: 2,
+        };
+        assert!(e2.to_string().contains("stripe#9"));
+    }
+}
+
+#[cfg(test)]
+mod overwrite_tests {
+    use super::*;
+    use reo_flashsim::DeviceConfig;
+    use reo_sim::{ServiceModel, SimClock, SimDuration};
+
+    fn test_array(n: usize) -> FlashArray {
+        let cfg = DeviceConfig {
+            capacity: ByteSize::from_mib(64),
+            read: ServiceModel::new(SimDuration::from_micros(100), 512 * 1024 * 1024),
+            write: ServiceModel::new(SimDuration::from_micros(200), 512 * 1024 * 1024),
+            erase_block: ByteSize::from_kib(128),
+            pe_cycle_limit: 3000,
+        };
+        FlashArray::new(n, cfg, SimClock::new())
+    }
+
+    fn payload(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(7).wrapping_add(seed))
+            .collect()
+    }
+
+    /// Overwrite each chunk in turn and verify the object reads back with
+    /// the patch applied and parity still consistent (degraded read after
+    /// a failure must succeed).
+    #[test]
+    fn overwrite_keeps_parity_consistent_for_all_chunks() {
+        let chunk = ByteSize::from_kib(4);
+        for k in 1..=2u8 {
+            let mut m = StripeManager::new(test_array(5), chunk);
+            let mut data = payload(20_000, k);
+            let layout = m
+                .store_object(
+                    1,
+                    ByteSize::from_bytes(data.len() as u64),
+                    RedundancyScheme::parity(k),
+                    Some(&data),
+                )
+                .unwrap();
+            let chunks = (data.len() as u64).div_ceil(chunk.as_bytes());
+            for ci in 0..chunks {
+                let start = (ci * chunk.as_bytes()) as usize;
+                let end = (start + chunk.as_bytes() as usize).min(data.len());
+                let new_chunk = payload(end - start, k.wrapping_add(ci as u8 + 1));
+                data[start..end].copy_from_slice(&new_chunk);
+                m.overwrite_chunk(&layout, ci, Some(&new_chunk)).unwrap();
+
+                // Parity must still reconstruct the patched data.
+                let direct = m.read_object(&layout).unwrap();
+                assert_eq!(direct.bytes.as_deref(), Some(&data[..]), "k={k} chunk={ci}");
+            }
+            // Now check degraded consistency: fail a device and re-read.
+            m.fail_device(reo_flashsim::DeviceId(2));
+            let degraded = m.read_object(&layout).unwrap();
+            assert_eq!(degraded.bytes.as_deref(), Some(&data[..]), "k={k} degraded");
+        }
+    }
+
+    #[test]
+    fn strategy_follows_read_cost_rule() {
+        // 5 devices, 1 parity: m = 4 data chunks per stripe. Delta reads
+        // 1 + 1 = 2; direct reads m - 1 = 3 -> delta.
+        let chunk = ByteSize::from_kib(4);
+        let mut m = StripeManager::new(test_array(5), chunk);
+        let data = payload(16_384, 1);
+        let layout = m
+            .store_object(
+                1,
+                ByteSize::from_bytes(data.len() as u64),
+                RedundancyScheme::parity(1),
+                Some(&data),
+            )
+            .unwrap();
+        let (method, _) = m
+            .overwrite_chunk(&layout, 0, Some(&payload(4096, 9)))
+            .unwrap();
+        assert_eq!(method, ParityUpdate::Delta);
+
+        // 3 devices, 2 parity: m = 1 data chunk. Delta reads 3; direct
+        // reads 0 -> direct.
+        let mut m3 = StripeManager::new(test_array(3), chunk);
+        let data3 = payload(4_096, 2);
+        let layout3 = m3
+            .store_object(
+                1,
+                ByteSize::from_bytes(data3.len() as u64),
+                RedundancyScheme::parity(2),
+                Some(&data3),
+            )
+            .unwrap();
+        let (method3, _) = m3
+            .overwrite_chunk(&layout3, 0, Some(&payload(4096, 5)))
+            .unwrap();
+        assert_eq!(method3, ParityUpdate::Direct);
+    }
+
+    #[test]
+    fn replication_overwrite_rewrites_all_replicas() {
+        let chunk = ByteSize::from_kib(4);
+        let mut m = StripeManager::new(test_array(4), chunk);
+        let data = payload(4_000, 3);
+        let layout = m
+            .store_object(
+                1,
+                ByteSize::from_bytes(data.len() as u64),
+                RedundancyScheme::Replication,
+                Some(&data),
+            )
+            .unwrap();
+        let new_data = payload(4_000, 8);
+        let (method, _) = m.overwrite_chunk(&layout, 0, Some(&new_data)).unwrap();
+        assert_eq!(method, ParityUpdate::Rewrite);
+        // Every replica carries the new bytes: any 3 failures still serve.
+        for d in 0..3 {
+            m.fail_device(reo_flashsim::DeviceId(d));
+        }
+        let out = m.read_object(&layout).unwrap();
+        assert_eq!(out.bytes.as_deref(), Some(&new_data[..]));
+    }
+
+    #[test]
+    fn zero_parity_overwrite_touches_one_chunk() {
+        let chunk = ByteSize::from_kib(4);
+        let mut m = StripeManager::new(test_array(5), chunk);
+        let data = payload(12_000, 4);
+        let layout = m
+            .store_object(
+                1,
+                ByteSize::from_bytes(data.len() as u64),
+                RedundancyScheme::parity(0),
+                Some(&data),
+            )
+            .unwrap();
+        let reads_before = m.array().stats().reads;
+        let (method, _) = m
+            .overwrite_chunk(&layout, 1, Some(&payload(4096, 6)))
+            .unwrap();
+        assert_eq!(method, ParityUpdate::Rewrite);
+        assert_eq!(m.array().stats().reads, reads_before, "no reads needed");
+    }
+
+    #[test]
+    fn overwrite_validates_inputs() {
+        let chunk = ByteSize::from_kib(4);
+        let mut m = StripeManager::new(test_array(5), chunk);
+        let data = payload(8_192, 5);
+        let layout = m
+            .store_object(
+                1,
+                ByteSize::from_bytes(data.len() as u64),
+                RedundancyScheme::parity(1),
+                Some(&data),
+            )
+            .unwrap();
+        // Wrong payload size.
+        assert!(matches!(
+            m.overwrite_chunk(&layout, 0, Some(&[1, 2, 3])),
+            Err(StripeError::PayloadSizeMismatch { .. })
+        ));
+        // Degraded stripe refuses overwrite.
+        m.fail_device(reo_flashsim::DeviceId(0));
+        let degraded_any = (0..2).any(|ci| {
+            matches!(
+                m.overwrite_chunk(&layout, ci, Some(&payload(4096, 1))),
+                Err(StripeError::ObjectLost { .. })
+            )
+        });
+        assert!(degraded_any, "some chunk must be on the failed device");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn overwrite_bad_index_panics() {
+        let chunk = ByteSize::from_kib(4);
+        let mut m = StripeManager::new(test_array(5), chunk);
+        let layout = m
+            .store_object(1, ByteSize::from_kib(8), RedundancyScheme::parity(0), None)
+            .unwrap();
+        let _ = m.overwrite_chunk(&layout, 99, None);
+    }
+
+    #[test]
+    fn synthetic_overwrite_charges_time() {
+        let chunk = ByteSize::from_kib(4);
+        let mut m = StripeManager::new(test_array(5), chunk);
+        let layout = m
+            .store_object(1, ByteSize::from_kib(16), RedundancyScheme::parity(2), None)
+            .unwrap();
+        let before = m.array().clock().now();
+        let (_, done) = m.overwrite_chunk(&layout, 0, None).unwrap();
+        assert!(done > before);
+    }
+}

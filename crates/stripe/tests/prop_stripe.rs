@@ -1,0 +1,187 @@
+//! Property tests: random operation sequences against the stripe manager
+//! must preserve its invariants.
+
+use proptest::prelude::*;
+use reo_flashsim::{DeviceConfig, DeviceId, FlashArray};
+use reo_sim::{ByteSize, ServiceModel, SimClock, SimDuration};
+use reo_stripe::{ObjectLayout, ObjectStatus, RedundancyScheme, StripeError, StripeManager};
+
+fn test_array(n: usize) -> FlashArray {
+    let cfg = DeviceConfig {
+        capacity: ByteSize::from_mib(256),
+        read: ServiceModel::new(SimDuration::from_micros(100), 512 * 1024 * 1024),
+        write: ServiceModel::new(SimDuration::from_micros(200), 512 * 1024 * 1024),
+        erase_block: ByteSize::from_kib(128),
+        pe_cycle_limit: 3000,
+    };
+    FlashArray::new(n, cfg, SimClock::new())
+}
+
+/// One step of a random workload against the manager.
+#[derive(Clone, Debug)]
+enum Op {
+    Store { size_kib: u64, scheme: u8 },
+    Read { slot: usize },
+    Remove { slot: usize },
+    FailDevice { device: usize },
+    ReplaceAndRebuild { device: usize },
+    Overwrite { slot: usize, chunk: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..200, 0u8..4).prop_map(|(size_kib, scheme)| Op::Store { size_kib, scheme }),
+        (0usize..16).prop_map(|slot| Op::Read { slot }),
+        (0usize..16).prop_map(|slot| Op::Remove { slot }),
+        (0usize..5).prop_map(|device| Op::FailDevice { device }),
+        (0usize..5).prop_map(|device| Op::ReplaceAndRebuild { device }),
+        (0usize..16, 0u64..4).prop_map(|(slot, chunk)| Op::Overwrite { slot, chunk }),
+    ]
+}
+
+fn scheme_of(code: u8) -> RedundancyScheme {
+    match code {
+        0 => RedundancyScheme::parity(0),
+        1 => RedundancyScheme::parity(1),
+        2 => RedundancyScheme::parity(2),
+        _ => RedundancyScheme::Replication,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever happens — stores, removals, failures, spares, rebuilds,
+    /// overwrites — the manager's byte accounting never goes negative,
+    /// its status reports never panic, simulated time never rewinds, and
+    /// removing everything at the end returns the accounting to zero.
+    #[test]
+    fn random_ops_preserve_invariants(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let mut mgr = StripeManager::new(test_array(5), ByteSize::from_kib(16));
+        let mut live: Vec<ObjectLayout> = Vec::new();
+        let mut owner = 0u64;
+        let mut last_time = mgr.array().clock().now();
+
+        for op in ops {
+            match op {
+                Op::Store { size_kib, scheme } => {
+                    owner += 1;
+                    match mgr.store_object(
+                        owner,
+                        ByteSize::from_kib(size_kib),
+                        scheme_of(scheme),
+                        None,
+                    ) {
+                        Ok(layout) => {
+                            if live.len() < 16 {
+                                live.push(layout);
+                            } else {
+                                let removed = live.swap_remove(0);
+                                mgr.remove_object(&removed);
+                                live.push(layout);
+                            }
+                        }
+                        Err(StripeError::Flash(_)) | Err(StripeError::NoHealthyDevices) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("store: {e}"))),
+                    }
+                }
+                Op::Read { slot } => {
+                    if let Some(layout) = live.get(slot) {
+                        match mgr.read_object(layout) {
+                            Ok(_) | Err(StripeError::ObjectLost { .. }) => {}
+                            Err(StripeError::Flash(_)) => {}
+                            Err(e) => return Err(TestCaseError::fail(format!("read: {e}"))),
+                        }
+                    }
+                }
+                Op::Remove { slot } => {
+                    if slot < live.len() {
+                        let layout = live.swap_remove(slot);
+                        mgr.remove_object(&layout);
+                    }
+                }
+                Op::FailDevice { device } => {
+                    mgr.fail_device(DeviceId(device));
+                }
+                Op::ReplaceAndRebuild { device } => {
+                    mgr.replace_device(DeviceId(device));
+                    // Rebuild what can be rebuilt; drop what cannot.
+                    let mut keep = Vec::new();
+                    for layout in live.drain(..) {
+                        match mgr.object_status(&layout) {
+                            Ok(ObjectStatus::Lost) | Err(_) => {
+                                mgr.remove_object(&layout);
+                            }
+                            Ok(ObjectStatus::Degraded) => {
+                                match mgr.rebuild_object(&layout) {
+                                    Ok(_) => keep.push(layout),
+                                    Err(_) => {
+                                        mgr.remove_object(&layout);
+                                    }
+                                }
+                            }
+                            Ok(ObjectStatus::Intact) => keep.push(layout),
+                        }
+                    }
+                    live = keep;
+                }
+                Op::Overwrite { slot, chunk } => {
+                    if let Some(layout) = live.get(slot) {
+                        let chunks = layout.size().div_ceil(mgr.chunk_size());
+                        if chunk < chunks {
+                            match mgr.overwrite_chunk(layout, chunk, None) {
+                                Ok(_)
+                                | Err(StripeError::ObjectLost { .. })
+                                | Err(StripeError::Flash(_)) => {}
+                                Err(e) => {
+                                    return Err(TestCaseError::fail(format!("overwrite: {e}")))
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Invariants that must hold after every step.
+            let now = mgr.array().clock().now();
+            prop_assert!(now >= last_time, "simulated time went backwards");
+            last_time = now;
+            let usage = mgr.usage();
+            prop_assert!(usage.total() >= usage.user_bytes);
+            let eff = usage.space_efficiency();
+            prop_assert!((0.0..=1.0).contains(&eff), "efficiency {eff} out of range");
+            for layout in &live {
+                // Status must be computable for every live object.
+                prop_assert!(mgr.object_status(layout).is_ok());
+            }
+        }
+
+        // Drain: all accounting returns to zero.
+        for layout in live.drain(..) {
+            mgr.remove_object(&layout);
+        }
+        prop_assert_eq!(mgr.usage().total(), ByteSize::ZERO);
+        prop_assert_eq!(mgr.stripe_count(), 0);
+    }
+
+    /// Real payloads survive any single-device failure for every scheme
+    /// that tolerates one, across random sizes.
+    #[test]
+    fn single_failure_payload_integrity(
+        size in 1usize..100_000,
+        victim in 0usize..5,
+        scheme in 1u8..4,
+        seed: u64,
+    ) {
+        let mut mgr = StripeManager::new(test_array(5), ByteSize::from_kib(8));
+        let data: Vec<u8> = (0..size)
+            .map(|i| (seed.wrapping_add(i as u64).wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
+        let layout = mgr
+            .store_object(1, ByteSize::from_bytes(size as u64), scheme_of(scheme), Some(&data))
+            .expect("store");
+        mgr.fail_device(DeviceId(victim));
+        let out = mgr.read_object(&layout).expect("schemes with k >= 1 survive one failure");
+        prop_assert_eq!(out.bytes.as_deref(), Some(&data[..]));
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! MediSyn-style synthetic workload generation.
+//!
+//! The paper drives its evaluation with MediSyn [Tang et al., NOSSDAV'03],
+//! a streaming-media workload generator, configured to produce "three
+//! representative workloads with various access patterns following Zipfian
+//! distributions": *weak*, *medium*, and *strong* locality. All three use
+//! a data set of 4,000 unique objects averaging ~4.4 MB (≈17.04 GB total)
+//! and issue 25,616 / 51,057 / 89,723 whole-object read requests
+//! respectively. Section VI-D adds five write-intensive variants of the
+//! medium workload with 10–50% write ratios.
+//!
+//! MediSyn itself is long-unmaintained C; this crate regenerates workloads
+//! with the same published statistics:
+//!
+//! * [`ZipfSampler`] — object popularity ranks follow a Zipf distribution
+//!   whose exponent encodes the locality strength.
+//! * Object sizes are lognormal (MediSyn's body distribution), scaled so
+//!   the data set hits the paper's mean size and total volume.
+//! * [`WorkloadSpec`] — the full parameter set, with
+//!   [`WorkloadSpec::weak`], [`WorkloadSpec::medium`],
+//!   [`WorkloadSpec::strong`], and [`WorkloadSpec::write_intensive`]
+//!   presets matching the paper.
+//! * [`Trace`] — the generated object table and request stream,
+//!   deterministic in the seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use reo_workload::WorkloadSpec;
+//!
+//! let trace = WorkloadSpec::medium().with_requests(2_000).generate(42);
+//! assert_eq!(trace.objects().len(), 4_000);
+//! assert_eq!(trace.requests().len(), 2_000);
+//! // Deterministic in the seed.
+//! let again = WorkloadSpec::medium().with_requests(2_000).generate(42);
+//! assert_eq!(trace.requests()[0], again.requests()[0]);
+//! ```
+
+mod spec;
+mod trace;
+mod zipf;
+
+pub use spec::{Locality, WorkloadSpec};
+pub use trace::{Operation, Request, Trace, TraceSummary, WorkloadObject};
+pub use zipf::ZipfSampler;

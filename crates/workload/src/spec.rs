@@ -1,0 +1,366 @@
+//! Workload parameter sets and generation.
+
+use reo_sim::rng::DetRng;
+use reo_sim::ByteSize;
+use serde::{Deserialize, Serialize};
+
+use crate::trace::{object_key, Operation, Request, Trace, WorkloadObject};
+use crate::zipf::ZipfSampler;
+
+/// The three locality strengths of the paper's read workloads.
+///
+/// Locality is encoded as the Zipf exponent of object popularity: the
+/// stronger the locality, the more mass concentrates on a few hot objects
+/// and the better a small cache performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Locality {
+    /// Weak locality (Figure 5).
+    Weak,
+    /// Medium locality (Figures 6, 8, 9).
+    Medium,
+    /// Strong locality (Figure 7).
+    Strong,
+}
+
+impl Locality {
+    /// The Zipf exponent this preset maps to.
+    ///
+    /// Together with [`Locality::temporal_reuse`], the exponents are
+    /// calibrated so that an LRU cache sized at 10% of the data set
+    /// reaches hit ratios in the bands the paper's figures show for the
+    /// corresponding workloads (weak ≈ 50%, medium ≈ 70%, strong ≈ 80%
+    /// once warm), while a ~2%-effective cache (the full-replication
+    /// baseline of Figure 9) stays near the paper's 27%.
+    pub fn zipf_alpha(self) -> f64 {
+        match self {
+            Locality::Weak => 0.65,
+            Locality::Medium => 0.75,
+            Locality::Strong => 0.90,
+        }
+    }
+
+    /// The probability that a request re-references an object from the
+    /// recent-request window instead of drawing fresh from the Zipf
+    /// popularity distribution.
+    ///
+    /// MediSyn models streaming media, where short-term popularity bursts
+    /// (sessions, trending content) dominate; a pure independent Zipf
+    /// draw cannot reproduce both the paper's moderate-cache hit ratios
+    /// and its small-cache ones. This recency component captures that.
+    pub fn temporal_reuse(self) -> f64 {
+        match self {
+            Locality::Weak => 0.35,
+            Locality::Medium => 0.50,
+            Locality::Strong => 0.62,
+        }
+    }
+
+    /// The paper's request count for this preset.
+    pub fn paper_request_count(self) -> usize {
+        match self {
+            Locality::Weak => 25_616,
+            Locality::Medium => 51_057,
+            Locality::Strong => 89_723,
+        }
+    }
+}
+
+impl std::fmt::Display for Locality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Locality::Weak => "weak",
+            Locality::Medium => "medium",
+            Locality::Strong => "strong",
+        })
+    }
+}
+
+/// The full parameter set of a synthetic workload.
+///
+/// # Examples
+///
+/// ```
+/// use reo_workload::{Locality, WorkloadSpec};
+///
+/// // The paper's medium workload, shrunk for a quick test run.
+/// let spec = WorkloadSpec::medium().with_requests(1_000);
+/// assert_eq!(spec.locality, Locality::Medium);
+/// let trace = spec.generate(7);
+/// assert_eq!(trace.requests().len(), 1_000);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Unique objects in the data set (the paper uses 4,000).
+    pub objects: usize,
+    /// Mean object size (the paper's data set averages ~4.4 MB).
+    pub mean_object_size: ByteSize,
+    /// Lognormal shape parameter for sizes (σ of the underlying normal).
+    pub size_sigma: f64,
+    /// Popularity skew.
+    pub locality: Locality,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Fraction of requests that are writes (0.0 for the read workloads;
+    /// 0.1–0.5 for Section VI-D).
+    pub write_ratio: f64,
+    /// Probability of re-referencing an object from the recent-request
+    /// window rather than drawing fresh from the Zipf distribution
+    /// (defaults to the locality preset's value).
+    pub temporal_reuse: f64,
+    /// Length (in requests) of the recency window temporal re-references
+    /// draw from.
+    pub reuse_window: usize,
+}
+
+impl WorkloadSpec {
+    fn paper_base(locality: Locality) -> Self {
+        WorkloadSpec {
+            objects: 4_000,
+            mean_object_size: ByteSize::from_bytes((4.4 * 1024.0 * 1024.0) as u64),
+            size_sigma: 1.0,
+            locality,
+            requests: locality.paper_request_count(),
+            write_ratio: 0.0,
+            temporal_reuse: locality.temporal_reuse(),
+            reuse_window: 800,
+        }
+    }
+
+    /// The weak-locality read workload (Figure 5): 25,616 requests.
+    pub fn weak() -> Self {
+        Self::paper_base(Locality::Weak)
+    }
+
+    /// The medium-locality read workload (Figures 6 and 8): 51,057
+    /// requests.
+    pub fn medium() -> Self {
+        Self::paper_base(Locality::Medium)
+    }
+
+    /// The strong-locality read workload (Figure 7): 89,723 requests.
+    pub fn strong() -> Self {
+        Self::paper_base(Locality::Strong)
+    }
+
+    /// A write-intensive medium workload (Section VI-D) with the given
+    /// write ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write_ratio` is outside `[0, 1]`.
+    pub fn write_intensive(write_ratio: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&write_ratio),
+            "write ratio must be in [0, 1]"
+        );
+        WorkloadSpec {
+            write_ratio,
+            ..Self::paper_base(Locality::Medium)
+        }
+    }
+
+    /// Returns the spec with a different request count (for fast test and
+    /// CI runs).
+    pub fn with_requests(mut self, requests: usize) -> Self {
+        self.requests = requests;
+        self
+    }
+
+    /// Returns the spec with a different object count.
+    pub fn with_objects(mut self, objects: usize) -> Self {
+        self.objects = objects;
+        self
+    }
+
+    /// Generates the deterministic trace for this spec and `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objects` is zero.
+    pub fn generate(&self, seed: u64) -> Trace {
+        assert!(self.objects > 0, "need at least one object");
+        let root = DetRng::from_seed(seed);
+
+        // Sizes: lognormal, then scaled so the mean is exactly
+        // `mean_object_size` (MediSyn calibrates to a target volume; the
+        // paper reports the realized mean, so we pin it).
+        let mut size_rng = root.derive("sizes");
+        let mu = 0.0; // scale fixed post-hoc
+        let raw: Vec<f64> = (0..self.objects)
+            .map(|_| size_rng.lognormal(mu, self.size_sigma))
+            .collect();
+        let raw_mean = raw.iter().sum::<f64>() / raw.len() as f64;
+        let scale = self.mean_object_size.as_bytes() as f64 / raw_mean;
+        let min_size = 64 * 1024; // floor: 64 KiB, objects are media files
+        let objects: Vec<WorkloadObject> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| WorkloadObject {
+                key: object_key(i),
+                size: ByteSize::from_bytes(((r * scale) as u64).max(min_size)),
+            })
+            .collect();
+
+        // Popularity: Zipf over a random permutation of objects, so rank
+        // and size are uncorrelated.
+        let zipf = ZipfSampler::new(self.objects, self.locality.zipf_alpha());
+        let mut perm: Vec<usize> = (0..self.objects).collect();
+        let mut perm_rng = root.derive("popularity-permutation");
+        // Fisher–Yates.
+        for i in (1..perm.len()).rev() {
+            let j = perm_rng.below((i + 1) as u64) as usize;
+            perm.swap(i, j);
+        }
+
+        assert!(
+            (0.0..=1.0).contains(&self.temporal_reuse),
+            "temporal_reuse must be in [0, 1]"
+        );
+        let mut req_rng = root.derive("requests");
+        let mut op_rng = root.derive("operations");
+        let mut reuse_rng = root.derive("temporal-reuse");
+        let window = self.reuse_window.max(1);
+        let mut recent: Vec<usize> = Vec::with_capacity(window);
+        let mut recent_pos = 0usize;
+
+        let mut requests: Vec<Request> = Vec::with_capacity(self.requests);
+        for _ in 0..self.requests {
+            // Either a short-term re-reference (session/trending burst) or
+            // a fresh Zipf popularity draw.
+            let obj_index = if !recent.is_empty() && reuse_rng.chance(self.temporal_reuse) {
+                recent[reuse_rng.below(recent.len() as u64) as usize]
+            } else {
+                perm[zipf.sample(&mut req_rng)]
+            };
+            if recent.len() < window {
+                recent.push(obj_index);
+            } else {
+                recent[recent_pos] = obj_index;
+                recent_pos = (recent_pos + 1) % window;
+            }
+            let obj = &objects[obj_index];
+            let op = if self.write_ratio > 0.0 && op_rng.chance(self.write_ratio) {
+                Operation::Write
+            } else {
+                Operation::Read
+            };
+            requests.push(Request {
+                key: obj.key,
+                op,
+                size: obj.size,
+            });
+        }
+
+        Trace::new(objects, requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_match_published_counts() {
+        assert_eq!(WorkloadSpec::weak().requests, 25_616);
+        assert_eq!(WorkloadSpec::medium().requests, 51_057);
+        assert_eq!(WorkloadSpec::strong().requests, 89_723);
+        for spec in [
+            WorkloadSpec::weak(),
+            WorkloadSpec::medium(),
+            WorkloadSpec::strong(),
+        ] {
+            assert_eq!(spec.objects, 4_000);
+            assert_eq!(spec.write_ratio, 0.0);
+        }
+    }
+
+    #[test]
+    fn data_set_volume_matches_paper() {
+        // ~4.4 MB x 4000 ≈ 17 GB ("about 17.04 GB").
+        let trace = WorkloadSpec::medium().with_requests(1).generate(3);
+        let gib = trace.summary().data_set_bytes.as_gib_f64();
+        assert!((16.0..19.0).contains(&gib), "data set = {gib} GiB");
+    }
+
+    #[test]
+    fn mean_object_size_is_calibrated() {
+        let trace = WorkloadSpec::medium().with_requests(1).generate(3);
+        let mean_mib = trace.summary().mean_object_bytes / (1024.0 * 1024.0);
+        // The 64 KiB floor biases the mean up slightly; accept 4.4–4.8.
+        assert!((4.3..4.9).contains(&mean_mib), "mean = {mean_mib} MiB");
+    }
+
+    #[test]
+    fn stronger_locality_concentrates_accesses() {
+        fn top_decile_share(locality: Locality) -> f64 {
+            let spec = WorkloadSpec {
+                objects: 1000,
+                mean_object_size: ByteSize::from_kib(128),
+                size_sigma: 0.5,
+                locality,
+                requests: 20_000,
+                write_ratio: 0.0,
+                temporal_reuse: locality.temporal_reuse(),
+                reuse_window: 200,
+            };
+            let trace = spec.generate(11);
+            let mut counts = std::collections::HashMap::new();
+            for r in trace.requests() {
+                *counts.entry(r.key).or_insert(0usize) += 1;
+            }
+            let mut freqs: Vec<usize> = counts.into_values().collect();
+            freqs.sort_unstable_by(|a, b| b.cmp(a));
+            let top: usize = freqs.iter().take(100).sum();
+            top as f64 / trace.requests().len() as f64
+        }
+        let weak = top_decile_share(Locality::Weak);
+        let medium = top_decile_share(Locality::Medium);
+        let strong = top_decile_share(Locality::Strong);
+        assert!(weak < medium && medium < strong, "{weak} {medium} {strong}");
+    }
+
+    #[test]
+    fn write_ratio_is_respected() {
+        let trace = WorkloadSpec::write_intensive(0.3)
+            .with_requests(20_000)
+            .generate(5);
+        let s = trace.summary();
+        let ratio = s.writes as f64 / s.requests as f64;
+        assert!((ratio - 0.3).abs() < 0.02, "write ratio = {ratio}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = WorkloadSpec::weak().with_requests(500).generate(1);
+        let b = WorkloadSpec::weak().with_requests(500).generate(1);
+        let c = WorkloadSpec::weak().with_requests(500).generate(2);
+        assert_eq!(a.requests(), b.requests());
+        assert_ne!(a.requests(), c.requests());
+    }
+
+    #[test]
+    fn rank_and_size_are_uncorrelated() {
+        // The hottest object should not systematically be the largest:
+        // check that the most-accessed object's size is not always the max.
+        let trace = WorkloadSpec::medium().with_requests(10_000).generate(17);
+        let mut counts = std::collections::HashMap::new();
+        for r in trace.requests() {
+            *counts.entry(r.key).or_insert(0usize) += 1;
+        }
+        let hottest = counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0;
+        let hottest_size = trace
+            .objects()
+            .iter()
+            .find(|o| o.key == hottest)
+            .unwrap()
+            .size;
+        let max_size = trace.objects().iter().map(|o| o.size).max().unwrap();
+        assert!(hottest_size < max_size);
+    }
+
+    #[test]
+    #[should_panic(expected = "write ratio")]
+    fn bad_write_ratio_panics() {
+        let _ = WorkloadSpec::write_intensive(1.5);
+    }
+}

@@ -1,0 +1,167 @@
+//! Zipf-distributed rank sampling.
+
+use reo_sim::rng::DetRng;
+
+/// Samples ranks `0..n` with probability proportional to
+/// `1 / (rank + 1)^alpha`.
+///
+/// Built once per workload (O(n) setup), sampled by binary search over the
+/// cumulative distribution (O(log n) per draw).
+///
+/// # Examples
+///
+/// ```
+/// use reo_sim::rng::DetRng;
+/// use reo_workload::ZipfSampler;
+///
+/// let zipf = ZipfSampler::new(1000, 0.99);
+/// let mut rng = DetRng::from_seed(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with exponent `alpha`.
+    ///
+    /// `alpha = 0` degenerates to uniform; larger values concentrate mass
+    /// on the lowest ranks (stronger locality).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "rank space must be non-empty");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be a non-negative finite number"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf, alpha }
+    }
+
+    /// The exponent this sampler was built with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if the rank space is empty (never true — construction
+    /// requires `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.unit_f64();
+        // partition_point returns the first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of rank `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn mass(&self, r: usize) -> f64 {
+        assert!(r < self.cdf.len(), "rank out of range");
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masses_sum_to_one() {
+        let z = ZipfSampler::new(100, 0.9);
+        let total: f64 = (0..100).map(|r| z.mass(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_ranks_dominate_with_high_alpha() {
+        let z = ZipfSampler::new(1000, 1.2);
+        assert!(z.mass(0) > z.mass(1));
+        assert!(z.mass(1) > z.mass(100));
+        // Top 10% of ranks should carry well over half the mass.
+        let top: f64 = (0..100).map(|r| z.mass(r)).sum();
+        assert!(top > 0.7, "top mass = {top}");
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.mass(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_masses() {
+        let z = ZipfSampler::new(50, 1.0);
+        let mut rng = DetRng::from_seed(99);
+        let n = 200_000;
+        let mut counts = vec![0usize; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in [0usize, 1, 5, 20] {
+            let observed = counts[r] as f64 / n as f64;
+            let expected = z.mass(r);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {r}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let z = ZipfSampler::new(100, 0.8);
+        let a: Vec<usize> = {
+            let mut rng = DetRng::from_seed(5);
+            (0..32).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = DetRng::from_seed(5);
+            (0..32).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn negative_alpha_panics() {
+        let _ = ZipfSampler::new(10, -1.0);
+    }
+}

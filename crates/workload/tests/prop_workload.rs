@@ -1,0 +1,126 @@
+//! Property tests for the workload generator: structural validity,
+//! determinism, and distributional sanity across the parameter space.
+
+use proptest::prelude::*;
+use reo_sim::ByteSize;
+use reo_workload::{Locality, Operation, WorkloadSpec};
+
+fn arb_locality() -> impl Strategy<Value = Locality> {
+    prop_oneof![
+        Just(Locality::Weak),
+        Just(Locality::Medium),
+        Just(Locality::Strong)
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        2usize..200,
+        64u64..4096,
+        0.1f64..1.5,
+        arb_locality(),
+        1usize..400,
+        0.0f64..0.6,
+        0.0f64..0.8,
+        1usize..200,
+    )
+        .prop_map(
+            |(objects, mean_kib, sigma, locality, requests, writes, reuse, window)| WorkloadSpec {
+                objects,
+                mean_object_size: ByteSize::from_kib(mean_kib),
+                size_sigma: sigma,
+                locality,
+                requests,
+                write_ratio: writes,
+                temporal_reuse: reuse,
+                reuse_window: window,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated trace is structurally valid (Trace::new validates
+    /// keys and sizes internally) and matches its spec's counts.
+    #[test]
+    fn traces_match_their_specs(spec in arb_spec(), seed: u64) {
+        let trace = spec.generate(seed);
+        prop_assert_eq!(trace.objects().len(), spec.objects);
+        prop_assert_eq!(trace.requests().len(), spec.requests);
+        let s = trace.summary();
+        prop_assert_eq!(s.reads + s.writes, s.requests);
+        // Every object key is unique.
+        let mut keys: Vec<_> = trace.objects().iter().map(|o| o.key).collect();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), spec.objects);
+        // Sizes respect the 64 KiB floor.
+        for o in trace.objects() {
+            prop_assert!(o.size >= ByteSize::from_kib(64));
+        }
+    }
+
+    /// Same seed, same trace; different seed, (almost surely) different.
+    #[test]
+    fn determinism(spec in arb_spec(), seed: u64) {
+        let a = spec.generate(seed);
+        let b = spec.generate(seed);
+        prop_assert_eq!(a.requests(), b.requests());
+        prop_assert_eq!(a.objects(), b.objects());
+    }
+
+    /// The realized write ratio concentrates near the requested one.
+    #[test]
+    fn write_ratio_concentrates(ratio in 0.0f64..1.0, seed: u64) {
+        let spec = WorkloadSpec {
+            write_ratio: ratio,
+            ..WorkloadSpec::medium()
+        }
+        .with_objects(100)
+        .with_requests(5_000);
+        let s = spec.generate(seed).summary();
+        let realized = s.writes as f64 / s.requests as f64;
+        prop_assert!((realized - ratio).abs() < 0.05, "requested {ratio}, got {realized}");
+    }
+
+    /// With temporal_reuse = 0 and alpha = 0 the stream is uniform: no
+    /// object should dominate.
+    #[test]
+    fn uniform_stream_has_no_hotspot(seed: u64) {
+        let spec = WorkloadSpec {
+            objects: 50,
+            mean_object_size: ByteSize::from_kib(64),
+            size_sigma: 0.1,
+            locality: Locality::Weak, // alpha overridden below via reuse = 0
+            requests: 10_000,
+            write_ratio: 0.0,
+            temporal_reuse: 0.0,
+            reuse_window: 1,
+        };
+        let trace = spec.generate(seed);
+        let mut counts = std::collections::HashMap::new();
+        for r in trace.requests() {
+            *counts.entry(r.key).or_insert(0usize) += 1;
+        }
+        // Weak alpha = 0.65 still concentrates a bit; nothing should
+        // exceed ~15% of all requests for 50 objects.
+        let max = counts.values().copied().max().unwrap_or(0);
+        prop_assert!(max < 1_500, "hotspot of {max} requests");
+    }
+
+    /// All requests address objects from the table with consistent sizes
+    /// (redundant with Trace::new, but through the public API).
+    #[test]
+    fn requests_are_consistent_with_objects(spec in arb_spec(), seed: u64) {
+        let trace = spec.generate(seed);
+        let sizes: std::collections::HashMap<_, _> =
+            trace.objects().iter().map(|o| (o.key, o.size)).collect();
+        for r in trace.requests() {
+            prop_assert_eq!(sizes.get(&r.key).copied(), Some(r.size));
+            match r.op {
+                Operation::Read | Operation::Write => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Traces are archival artifacts: they must round-trip through serde so
+//! experiments can be replayed from disk.
+
+use reo_workload::{Trace, WorkloadSpec};
+
+#[test]
+fn trace_roundtrips_through_json() {
+    let trace = WorkloadSpec::medium()
+        .with_objects(50)
+        .with_requests(300)
+        .generate(7);
+    let json = serde_json::to_string(&trace).expect("serialize");
+    let back: Trace = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.objects(), trace.objects());
+    assert_eq!(back.requests(), trace.requests());
+    assert_eq!(back.summary(), trace.summary());
+}
+
+#[test]
+fn spec_roundtrips_through_json() {
+    let spec = WorkloadSpec::write_intensive(0.3).with_requests(100);
+    let json = serde_json::to_string(&spec).expect("serialize");
+    let back: WorkloadSpec = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, spec);
+    // A replayed spec regenerates the identical trace.
+    assert_eq!(back.generate(9).requests(), spec.generate(9).requests());
+}
+
+#[test]
+fn summary_is_serializable_for_reports() {
+    let summary = WorkloadSpec::weak()
+        .with_objects(20)
+        .with_requests(50)
+        .generate(1)
+        .summary();
+    let json = serde_json::to_string(&summary).expect("serialize");
+    assert!(json.contains("accessed_bytes"));
+}

@@ -1,0 +1,78 @@
+//! The object storage interface, bottom-up: drive the OSD target directly
+//! with real payloads — create objects, ship `#SETID#` classification
+//! messages through the control mailbox, shoot a device down, and verify
+//! byte-exact reconstruction.
+//!
+//! Run with:
+//!   cargo run --release --example osd_interface
+
+use reo_repro::flashsim::{DeviceConfig, DeviceId, FlashArray};
+use reo_repro::osd::control::ControlMessage;
+use reo_repro::osd::{ObjectClass, ObjectId, ObjectKey, PartitionId, SenseCode};
+use reo_repro::osd_target::{OsdTarget, ProtectionPolicy};
+use reo_repro::sim::{ByteSize, SimClock};
+use reo_repro::stripe::StripeManager;
+
+fn main() {
+    // A 5-SSD array managed in 64 KiB chunks, under Reo's differentiated
+    // policy.
+    let clock = SimClock::new();
+    let array = FlashArray::new(5, DeviceConfig::intel_540s(), clock.clone());
+    let stripes = StripeManager::new(array, ByteSize::from_kib(64));
+    let mut target = OsdTarget::new(stripes, ProtectionPolicy::differentiated());
+
+    // Create a user object with a real payload (cold clean: class 3, no
+    // redundancy).
+    let key = ObjectKey::user(PartitionId::FIRST, ObjectId::new(0x2_0000));
+    let payload: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
+    target
+        .create_object(
+            key,
+            ByteSize::from_bytes(payload.len() as u64),
+            ObjectClass::ColdClean,
+            Some(&payload),
+        )
+        .expect("create");
+    println!("created {key} as {}", ObjectClass::ColdClean);
+
+    // The cache manager decides it is hot and ships a classification
+    // command to the mailbox object (OID 0x10004).
+    let msg = ControlMessage::SetClass {
+        key,
+        class: ObjectClass::HotClean,
+    };
+    let sense = target.handle_control_write(&msg.encode()).expect("decode");
+    println!(
+        "#SETID# -> sense {} ({sense}); object re-encoded with 2 parity chunks",
+        sense.as_i16()
+    );
+    assert_eq!(sense, SenseCode::Success);
+
+    // Shootdown: device 1 dies. The object stays accessible via
+    // reconstruction.
+    target.fail_device(DeviceId(1));
+    let q = target.query(key);
+    println!("after shootdown of ssd1: query -> {} ({q})", q.as_i16());
+    let degraded = target.read_object(key).expect("degraded read");
+    assert!(degraded.degraded);
+    assert_eq!(degraded.bytes.as_deref(), Some(&payload[..]));
+    println!("degraded read returned all {} bytes intact", payload.len());
+
+    // A spare arrives; prioritized recovery rebuilds the object.
+    let lost = target.insert_spare(DeviceId(1));
+    println!(
+        "spare inserted: {} irrecoverable objects, {} rebuilds queued",
+        lost.len(),
+        target.recovery_pending()
+    );
+    while let Some(outcome) = target.recover_next() {
+        println!("  recovery: {outcome:?}");
+    }
+    let healthy = target.read_object(key).expect("healthy read");
+    assert!(!healthy.degraded);
+    assert_eq!(healthy.bytes.as_deref(), Some(&payload[..]));
+    println!(
+        "object fully rebuilt; simulated time elapsed: {}",
+        target.clock().now()
+    );
+}

@@ -1,0 +1,93 @@
+//! Scrub patrol: catching partial flash failures before they become
+//! permanent.
+//!
+//! Whole-device failures are dramatic, but NAND mostly dies in small
+//! pieces — a worn-out block here, an uncorrectable page there (the
+//! paper's "partial data loss"). A degraded-but-recoverable object is a
+//! ticking clock: one more fault and it is gone. The scrubber walks the
+//! object index, verifies every chunk, and repairs recoverable damage in
+//! place while the damage is still recoverable.
+//!
+//! Run with:
+//!   cargo run --release --example scrub_patrol
+
+use reo_repro::flashsim::{DeviceConfig, FlashArray};
+use reo_repro::osd::{ObjectClass, ObjectId, ObjectKey, PartitionId};
+use reo_repro::osd_target::{OsdTarget, ProtectionPolicy};
+use reo_repro::sim::{ByteSize, SimClock};
+use reo_repro::stripe::StripeManager;
+
+fn key(i: u64) -> ObjectKey {
+    ObjectKey::user(PartitionId::FIRST, ObjectId::new(0x20000 + i))
+}
+
+fn main() {
+    let clock = SimClock::new();
+    let array = FlashArray::new(5, DeviceConfig::intel_540s(), clock.clone());
+    let stripes = StripeManager::new(array, ByteSize::from_kib(64));
+    let mut target = OsdTarget::new(stripes, ProtectionPolicy::differentiated());
+    target.format().expect("format");
+
+    // A population of objects with real payloads across all classes.
+    let mut payloads = Vec::new();
+    for i in 0..12u64 {
+        let class = match i % 3 {
+            0 => ObjectClass::Dirty,
+            1 => ObjectClass::HotClean,
+            _ => ObjectClass::ColdClean,
+        };
+        let data: Vec<u8> = (0..300_000u32)
+            .map(|j| (j.wrapping_mul(31).wrapping_add(i as u32) % 251) as u8)
+            .collect();
+        target
+            .create_object(
+                key(i),
+                ByteSize::from_bytes(data.len() as u64),
+                class,
+                Some(&data),
+            )
+            .expect("create");
+        payloads.push((key(i), class, data));
+    }
+    println!(
+        "created {} objects (dirty / hot / cold mix)",
+        payloads.len()
+    );
+
+    // Flash wear strikes: a handful of random-ish chunks rot away.
+    for (i, (k, class, _)) in payloads.iter().enumerate() {
+        if i % 2 == 0 {
+            target.corrupt_chunk(*k, (i as u64) % 3).expect("inject");
+            println!("  corrupted a chunk of {k} ({class})");
+        }
+    }
+
+    // Patrol pass.
+    let (repaired, lost) = target.scrub();
+    println!(
+        "\nscrub: {} repaired, {} beyond repair",
+        repaired.len(),
+        lost.len()
+    );
+    for k in &repaired {
+        println!("  repaired {k}");
+    }
+    for k in &lost {
+        println!("  LOST     {k}  (cold clean: no redundancy — next read refetches from backend)");
+    }
+
+    // Every surviving object still returns byte-exact contents.
+    let mut verified = 0;
+    for (k, _, data) in &payloads {
+        if lost.contains(k) {
+            continue;
+        }
+        let out = target.read_object(*k).expect("read");
+        assert!(!out.degraded, "scrub must have healed {k}");
+        assert_eq!(out.bytes.as_deref(), Some(&data[..]), "{k} corrupted");
+        verified += 1;
+    }
+    println!("\n{verified} objects verified byte-exact after the patrol.");
+    println!("Only unprotected cold-clean objects were lost — and those are");
+    println!("clean by definition, so the backend still has them.");
+}

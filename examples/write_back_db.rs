@@ -1,0 +1,68 @@
+//! Write-back database page cache: why dirty data needs differentiated
+//! protection.
+//!
+//! A database fronts its table files with a write-back flash cache:
+//! updates are absorbed in flash and flushed later. If the flash copy of
+//! a dirty page is lost before the flush, the update is gone forever —
+//! the failure mode the paper's Section VI-D targets. This example runs
+//! a write-heavy workload and reports, per scheme, how many dirty objects
+//! a double device failure destroys, and what each scheme paid in cache
+//! hit ratio for its protection.
+//!
+//! Run with:
+//!   cargo run --release --example write_back_db
+
+use reo_repro::core::{CacheSystem, DeviceId, SchemeConfig, SystemConfig};
+use reo_repro::workload::WorkloadSpec;
+
+fn run(scheme: SchemeConfig, trace: &reo_repro::workload::Trace) -> (String, f64, f64, u64) {
+    let cache_capacity = trace.summary().data_set_bytes.scale(0.10);
+    let config = SystemConfig::paper_defaults(scheme, cache_capacity);
+    let mut db_cache = CacheSystem::new(config);
+    db_cache.populate(trace.objects());
+
+    for request in trace.requests() {
+        db_cache.handle(request);
+    }
+    let hit = db_cache.metrics().totals().hit_ratio_pct();
+    let eff = 100.0 * db_cache.space_efficiency();
+
+    // Two SSDs die before the dirty set is flushed.
+    db_cache.fail_device(DeviceId(0));
+    db_cache.fail_device(DeviceId(3));
+
+    (scheme.label(), hit, eff, db_cache.dirty_data_lost())
+}
+
+fn main() {
+    // 30% of requests are page updates.
+    let trace = WorkloadSpec::write_intensive(0.30)
+        .with_objects(400)
+        .with_requests(6_000)
+        .generate(99);
+    println!(
+        "write-back cache: {} objects, {:.1} GiB, {} writes / {} reads\n",
+        trace.summary().objects,
+        trace.summary().data_set_bytes.as_gib_f64(),
+        trace.summary().writes,
+        trace.summary().reads
+    );
+
+    println!(
+        "{:<18}{:>12}{:>16}{:>24}",
+        "scheme", "read hit %", "space eff %", "dirty lost @2 failures"
+    );
+    for scheme in [
+        SchemeConfig::Parity(1),
+        SchemeConfig::FullReplication,
+        SchemeConfig::Reo { reserve: 0.10 },
+    ] {
+        let (label, hit, eff, lost) = run(scheme, &trace);
+        println!("{label:<18}{hit:>12.1}{eff:>16.1}{lost:>24}");
+    }
+
+    println!("\n1-parity keeps a high hit ratio but loses dirty pages at the second");
+    println!("failure; full replication protects them at a 20% space efficiency;");
+    println!("Reo replicates only what is actually dirty and parity-protects the");
+    println!("hot clean pages — no dirty loss, and most of the hit ratio.");
+}

@@ -1,0 +1,16 @@
+//! Workspace umbrella crate for the Reo reproduction.
+//!
+//! This crate exists so that the repository-level `tests/` and `examples/`
+//! directories can span every crate in the workspace. It only re-exports the
+//! member crates under stable names; all functionality lives in the members.
+
+pub use reo_backend as backend;
+pub use reo_cache as cache;
+pub use reo_core as core;
+pub use reo_erasure as erasure;
+pub use reo_flashsim as flashsim;
+pub use reo_osd as osd;
+pub use reo_osd_target as osd_target;
+pub use reo_sim as sim;
+pub use reo_stripe as stripe;
+pub use reo_workload as workload;

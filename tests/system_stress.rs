@@ -1,0 +1,116 @@
+//! Long-running system-level stress: random failures and spares woven
+//! through a live workload, with invariants checked continuously.
+
+use reo_repro::core::{CacheSystem, DeviceId, SchemeConfig, SystemConfig};
+use reo_repro::sim::rng::DetRng;
+use reo_repro::sim::ByteSize;
+use reo_repro::workload::{Locality, Trace, WorkloadSpec};
+
+fn trace(seed: u64) -> Trace {
+    WorkloadSpec {
+        objects: 200,
+        mean_object_size: ByteSize::from_kib(192),
+        size_sigma: 0.8,
+        locality: Locality::Medium,
+        requests: 4_000,
+        write_ratio: 0.25,
+        temporal_reuse: 0.4,
+        reuse_window: 150,
+    }
+    .generate(seed)
+}
+
+fn stress(scheme: SchemeConfig, seed: u64) {
+    let t = trace(seed);
+    let cache = t.summary().data_set_bytes.scale(0.12);
+    let config =
+        SystemConfig::paper_defaults(scheme, cache).with_chunk_size(ByteSize::from_kib(32));
+    let mut sys = CacheSystem::new(config);
+    sys.populate(t.objects());
+
+    let mut rng = DetRng::from_seed(seed ^ 0xdead_beef);
+    let mut failed = [false; 5];
+    let mut last_time = sys.clock().now();
+
+    for (i, r) in t.requests().iter().enumerate() {
+        // Random chaos: occasionally fail a healthy device or insert a
+        // spare for a failed one (keeping at least one device alive).
+        if i % 97 == 96 {
+            let d = rng.below(5) as usize;
+            if failed[d] {
+                sys.insert_spare(DeviceId(d));
+                failed[d] = false;
+            } else if failed.iter().filter(|&&f| f).count() < 4 && rng.chance(0.5) {
+                sys.fail_device(DeviceId(d));
+                failed[d] = true;
+            }
+        }
+        sys.handle(r);
+
+        // Invariants after every request.
+        let now = sys.clock().now();
+        assert!(now >= last_time, "time went backwards at request {i}");
+        last_time = now;
+        let totals = sys.metrics().totals();
+        assert_eq!(totals.requests, (i + 1) as u64, "metrics lost a request");
+        assert!(totals.read_hits <= totals.reads);
+        let eff = sys.space_efficiency();
+        assert!((0.0..=1.0).contains(&eff), "eff {eff} at request {i}");
+    }
+
+    // Under Reo, no dirty data may ever be permanently lost while at
+    // least one device survived (which the chaos loop guarantees).
+    if scheme.is_differentiated() {
+        assert_eq!(
+            sys.dirty_data_lost(),
+            0,
+            "{} lost dirty data despite replication",
+            scheme.label()
+        );
+    }
+    // The system is still serviceable at the end.
+    let before = sys.metrics().totals().requests;
+    for r in t.requests().iter().take(50) {
+        sys.handle(r);
+    }
+    assert_eq!(sys.metrics().totals().requests, before + 50);
+}
+
+#[test]
+fn chaos_reo_survives_and_keeps_dirty_data() {
+    for seed in [1u64, 7, 23] {
+        stress(SchemeConfig::Reo { reserve: 0.20 }, seed);
+    }
+}
+
+#[test]
+fn chaos_uniform_parity_stays_consistent() {
+    // Uniform schemes may go offline (and lose dirty data) — the invariant
+    // checked here is bookkeeping consistency, not survival.
+    for seed in [3u64, 11] {
+        stress(SchemeConfig::Parity(1), seed);
+    }
+}
+
+#[test]
+fn chaos_full_replication_never_loses_dirty_data_until_total_loss() {
+    // Full replication survives anything short of all five devices, which
+    // the chaos loop never does.
+    let t = trace(5);
+    let cache = t.summary().data_set_bytes.scale(0.12);
+    let config = SystemConfig::paper_defaults(SchemeConfig::FullReplication, cache)
+        .with_chunk_size(ByteSize::from_kib(32));
+    let mut sys = CacheSystem::new(config);
+    sys.populate(t.objects());
+    for (i, r) in t.requests().iter().enumerate() {
+        if i == 1_000 {
+            sys.fail_device(DeviceId(0));
+        }
+        if i == 2_000 {
+            sys.fail_device(DeviceId(3));
+        }
+        sys.handle(r);
+    }
+    assert_eq!(sys.dirty_data_lost(), 0);
+    assert!(!sys.is_offline(), "replication tolerates n-1 failures");
+}
