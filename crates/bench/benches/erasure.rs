@@ -72,8 +72,8 @@ fn bench_rs_reconstruct(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("losses", losses), &losses, |b, &losses| {
             b.iter(|| {
                 let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
-                for i in 0..losses {
-                    shards[i] = None;
+                for shard in shards.iter_mut().take(losses) {
+                    *shard = None;
                 }
                 rs.reconstruct(black_box(&mut shards)).expect("reconstruct")
             })

@@ -1,0 +1,120 @@
+//! Partial-failure injection: hit ratio, latency, and repair activity as
+//! latent chunk corruption escalates under transient read timeouts.
+//!
+//! Unlike `exp_failure_resistance` (whole-device shootdowns), this run
+//! keeps every device "healthy" while injecting the smaller failures real
+//! deployments see first: per-chunk latent corruption and per-read
+//! transient timeouts. The background scrubber and one throttled device
+//! are armed up front; a fresh round of seeded corruption lands at each
+//! window boundary with an escalating per-chunk rate. Windows are
+//! reported per corruption rate (x = corruption probability in parts per
+//! million), alongside the repair/medium-error/fallback counters that
+//! show where the degraded read path absorbed the damage.
+//!
+//! Usage:
+//!   cargo run --release -p reo-bench --bin exp_partial_failure [-- --quick]
+
+use reo_bench::{build_system, Panel, RunScale};
+use reo_core::{ExperimentPlan, ExperimentRunner, PlannedEvent, SchemeConfig};
+use reo_flashsim::DeviceId;
+use reo_sim::ByteSize;
+use reo_workload::WorkloadSpec;
+use serde::Serialize;
+
+/// Per-chunk corruption rates injected at each window boundary, in parts
+/// per million (0 = the clean baseline window).
+const CORRUPTION_PPM: [u32; 5] = [0, 5_000, 20_000, 50_000, 100_000];
+
+/// Per-read transient-timeout probability armed for the whole run.
+const TRANSIENT_PPM: u32 = 2_000;
+
+#[derive(Serialize)]
+struct Report {
+    hit_ratio: Panel,
+    latency: Panel,
+    medium_errors: Panel,
+    repairs: Panel,
+    fallbacks: Panel,
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let spec = scale.scale_spec(WorkloadSpec::medium());
+    let trace = spec.generate(42);
+    let step = trace.requests().len() / CORRUPTION_PPM.len();
+
+    println!(
+        "### Partial failure — medium workload, {} requests, corruption every {} requests, transient timeouts at {} ppm",
+        trace.requests().len(),
+        step,
+        TRANSIENT_PPM
+    );
+
+    let xs: Vec<f64> = CORRUPTION_PPM.iter().map(|&p| f64::from(p)).collect();
+    let mut hit = Panel::new("Hit Ratio (%)", "Corruption Rate (ppm)", xs.clone());
+    let mut lat = Panel::new("Latency (ms)", "Corruption Rate (ppm)", xs.clone());
+    let mut med = Panel::new("Medium Errors", "Corruption Rate (ppm)", xs.clone());
+    let mut rep = Panel::new("Repairs", "Corruption Rate (ppm)", xs.clone());
+    let mut fall = Panel::new("Backend Fallbacks", "Corruption Rate (ppm)", xs);
+
+    // Arm the always-on faults at request 0, then land one corruption
+    // round at each subsequent window boundary.
+    let mut events = vec![
+        (0, PlannedEvent::StartScrub),
+        (0, PlannedEvent::TransientFaults { ppm: TRANSIENT_PPM }),
+        (
+            0,
+            PlannedEvent::SlowDevice {
+                device: DeviceId(1),
+                factor_pct: 200,
+            },
+        ),
+    ];
+    for (i, &ppm) in CORRUPTION_PPM.iter().enumerate().skip(1) {
+        events.push((i * step, PlannedEvent::CorruptChunks { ppm }));
+    }
+    let plan = ExperimentPlan {
+        warmup_passes: 1,
+        events,
+    };
+
+    for scheme in SchemeConfig::normal_run_set() {
+        let mut system = build_system(scheme, &trace, 0.10, ByteSize::from_mib(1));
+        let result = ExperimentRunner::run(&mut system, &trace, &plan);
+        let label = scheme.label();
+        // The three arming events at request 0 produce empty leading
+        // windows; keep only the windows that carry traffic so each row
+        // lines up with one corruption rate.
+        for window in result.windows().into_iter().filter(|w| w.requests > 0) {
+            hit.push(&label, window.hit_ratio_pct());
+            lat.push(&label, window.mean_latency_ms());
+            med.push(&label, window.medium_errors as f64);
+            rep.push(&label, window.repairs as f64);
+            fall.push(&label, window.unrecoverable_fallbacks as f64);
+        }
+        println!(
+            "{label:<18} repairs={} medium-errors={} fallbacks={} scrub-passes={} retries={}",
+            result.totals.repairs,
+            result.totals.medium_errors,
+            result.totals.unrecoverable_fallbacks,
+            result.totals.scrub_passes,
+            system.transient_retries(),
+        );
+    }
+
+    hit.print();
+    lat.print();
+    med.print();
+    rep.print();
+    fall.print();
+    reo_bench::write_json(
+        "partial_failure",
+        &Report {
+            hit_ratio: hit,
+            latency: lat,
+            medium_errors: med,
+            repairs: rep,
+            fallbacks: fall,
+        },
+    );
+}

@@ -130,6 +130,16 @@ pub struct SystemConfig {
     /// write-amplification model, or `None` to disable it (the paper's
     /// comparisons do not model GC; enable for wear studies).
     pub write_amplification: Option<f64>,
+    /// Seed of the partial-failure injector. Systems built with equal
+    /// configurations, traces, and seeds suffer byte-for-byte identical
+    /// injected damage.
+    pub fault_seed: u64,
+    /// Run one background-scrubber step every this many requests; `0`
+    /// disables the scrubber (the default — the normal-run experiments
+    /// predate it).
+    pub scrub_period: usize,
+    /// Objects whose chunk integrity one scrubber step verifies.
+    pub scrub_budget: usize,
 }
 
 impl SystemConfig {
@@ -163,6 +173,9 @@ impl SystemConfig {
             dirty_flush_watermark: 0.05,
             size_aware_hotness: true,
             write_amplification: None,
+            fault_seed: 0x5EED_FA17,
+            scrub_period: 0,
+            scrub_budget: 8,
         }
     }
 

@@ -24,6 +24,16 @@ pub struct MetricsSnapshot {
     pub mean_latency: SimDuration,
     /// 99th-percentile request latency.
     pub p99_latency: SimDuration,
+    /// Medium errors the flash surfaced (degraded reads and scrub hits on
+    /// corrupt chunks).
+    pub medium_errors: u64,
+    /// In-place repairs (read-repair and scrubber rewrites).
+    pub repairs: u64,
+    /// Completed background-scrubber passes over the object index.
+    pub scrub_passes: u64,
+    /// Reads whose cache copy was damaged beyond the stripe's tolerance:
+    /// served correctly from the backend and counted as misses.
+    pub unrecoverable_fallbacks: u64,
 }
 
 impl MetricsSnapshot {
@@ -74,6 +84,10 @@ struct Accum {
     degraded_reads: u64,
     bytes: ByteSize,
     latency: Histogram,
+    medium_errors: u64,
+    repairs: u64,
+    scrub_passes: u64,
+    unrecoverable_fallbacks: u64,
 }
 
 impl Accum {
@@ -88,7 +102,18 @@ impl Accum {
             degraded_reads: 0,
             bytes: ByteSize::ZERO,
             latency: Histogram::new(),
+            medium_errors: 0,
+            repairs: 0,
+            scrub_passes: 0,
+            unrecoverable_fallbacks: 0,
         }
+    }
+
+    fn note_faults(&mut self, medium_errors: u64, repairs: u64, scrub_passes: u64, fallbacks: u64) {
+        self.medium_errors += medium_errors;
+        self.repairs += repairs;
+        self.scrub_passes += scrub_passes;
+        self.unrecoverable_fallbacks += fallbacks;
     }
 
     fn record(
@@ -128,6 +153,10 @@ impl Accum {
             elapsed: self.last_seen.saturating_since(self.started_at),
             mean_latency: self.latency.mean().unwrap_or(SimDuration::ZERO),
             p99_latency: self.latency.percentile(99.0).unwrap_or(SimDuration::ZERO),
+            medium_errors: self.medium_errors,
+            repairs: self.repairs,
+            scrub_passes: self.scrub_passes,
+            unrecoverable_fallbacks: self.unrecoverable_fallbacks,
         }
     }
 }
@@ -155,6 +184,22 @@ impl Metrics {
             .record(is_read, hit, degraded, bytes, latency, now);
         self.window
             .record(is_read, hit, degraded, bytes, latency, now);
+    }
+
+    /// Adds fault-path deltas (medium errors, repairs, scrub passes,
+    /// backend fallbacks after unrecoverable damage) to both the totals
+    /// and the window.
+    pub fn note_faults(
+        &mut self,
+        medium_errors: u64,
+        repairs: u64,
+        scrub_passes: u64,
+        fallbacks: u64,
+    ) {
+        self.totals
+            .note_faults(medium_errors, repairs, scrub_passes, fallbacks);
+        self.window
+            .note_faults(medium_errors, repairs, scrub_passes, fallbacks);
     }
 
     /// Snapshot since construction (or [`Metrics::reset_all`]).
@@ -304,5 +349,18 @@ mod tests {
         m.reset_all(t(1));
         assert_eq!(m.totals().requests, 0);
         assert_eq!(m.window().requests, 0);
+    }
+
+    #[test]
+    fn fault_counters_roll_with_the_window() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        m.note_faults(3, 2, 1, 1);
+        assert_eq!(m.totals().medium_errors, 3);
+        assert_eq!(m.window().repairs, 2);
+        let w = m.roll_window(t(1));
+        assert_eq!(w.scrub_passes, 1);
+        assert_eq!(w.unrecoverable_fallbacks, 1);
+        assert_eq!(m.window().medium_errors, 0, "window reset");
+        assert_eq!(m.totals().medium_errors, 3, "totals persist");
     }
 }

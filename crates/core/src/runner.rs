@@ -15,6 +15,30 @@ pub enum PlannedEvent {
     /// Insert a blank spare in a (failed) device's slot and start
     /// prioritized recovery.
     InsertSpare(DeviceId),
+    /// One round of seeded latent corruption: every intact chunk is
+    /// independently lost with probability `ppm` parts per million
+    /// (integer so the event stays `Eq`/hashable for plan comparisons).
+    CorruptChunks {
+        /// Per-chunk corruption probability in parts per million.
+        ppm: u32,
+    },
+    /// Arm per-read transient timeouts at `ppm` parts per million on
+    /// every device (`0` disarms).
+    TransientFaults {
+        /// Per-read timeout probability in parts per million.
+        ppm: u32,
+    },
+    /// Scale one device's service times to `factor_pct` percent of
+    /// nominal cost (e.g. `400` = 4x slower; `100` restores full speed).
+    SlowDevice {
+        /// The device to throttle.
+        device: DeviceId,
+        /// Service-time multiplier in percent (must be positive).
+        factor_pct: u32,
+    },
+    /// Turn on the background scrubber (see
+    /// [`CacheSystem::enable_scrubber`]).
+    StartScrub,
 }
 
 /// The scripted schedule of an experiment.
@@ -89,6 +113,32 @@ impl ExperimentResult {
     }
 }
 
+
+/// Applies one planned event to the system, maintaining the failed-device
+/// count the windows are labeled with.
+fn apply_event(system: &mut CacheSystem, event: PlannedEvent, failed: &mut usize) {
+    match event {
+        PlannedEvent::FailDevice(d) => {
+            system.fail_device(d);
+            *failed += 1;
+        }
+        PlannedEvent::InsertSpare(d) => {
+            system.insert_spare(d);
+            *failed = failed.saturating_sub(1);
+        }
+        PlannedEvent::CorruptChunks { ppm } => {
+            system.inject_chunk_corruption(f64::from(ppm) / 1e6);
+        }
+        PlannedEvent::TransientFaults { ppm } => {
+            system.arm_transient_faults(f64::from(ppm) / 1e6);
+        }
+        PlannedEvent::SlowDevice { device, factor_pct } => {
+            system.slow_device(device, f64::from(factor_pct) / 100.0);
+        }
+        PlannedEvent::StartScrub => system.enable_scrubber(),
+    }
+}
+
 /// Drives traces through systems according to plans.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ExperimentRunner;
@@ -130,16 +180,7 @@ impl ExperimentRunner {
                 events.next();
                 let now = system.clock().now();
                 let window_before = system.metrics_mut().roll_window(now);
-                match event {
-                    PlannedEvent::FailDevice(d) => {
-                        system.fail_device(d);
-                        failed += 1;
-                    }
-                    PlannedEvent::InsertSpare(d) => {
-                        system.insert_spare(d);
-                        failed = failed.saturating_sub(1);
-                    }
-                }
+                apply_event(system, event, &mut failed);
                 outcomes.push(EventOutcome {
                     at_request: i,
                     event,
@@ -153,16 +194,7 @@ impl ExperimentRunner {
         for &(at, event) in events {
             let now = system.clock().now();
             let window_before = system.metrics_mut().roll_window(now);
-            match event {
-                PlannedEvent::FailDevice(d) => {
-                    system.fail_device(d);
-                    failed += 1;
-                }
-                PlannedEvent::InsertSpare(d) => {
-                    system.insert_spare(d);
-                    failed = failed.saturating_sub(1);
-                }
-            }
+            apply_event(system, event, &mut failed);
             outcomes.push(EventOutcome {
                 at_request: at,
                 event,
@@ -300,5 +332,35 @@ mod tests {
         let result = ExperimentRunner::run(&mut sys, &t, &plan);
         assert_eq!(result.events.len(), 1);
         assert_eq!(result.events[0].window_before.requests, 600);
+    }
+
+    #[test]
+    fn partial_failure_events_drive_the_fault_machinery() {
+        let t = trace();
+        let mut sys = system(SchemeConfig::Reo { reserve: 0.20 }, &t);
+        let plan = ExperimentPlan {
+            warmup_passes: 1,
+            events: vec![
+                (0, PlannedEvent::StartScrub),
+                (0, PlannedEvent::TransientFaults { ppm: 2_000 }),
+                (150, PlannedEvent::CorruptChunks { ppm: 50_000 }),
+                (300, PlannedEvent::SlowDevice {
+                    device: DeviceId(1),
+                    factor_pct: 300,
+                }),
+            ],
+        };
+        let result = ExperimentRunner::run(&mut sys, &t, &plan);
+        assert_eq!(result.events.len(), 4);
+        // Partial failures never change the failed-device count.
+        assert!(result.events.iter().all(|e| e.failed_devices_after == 0));
+        assert_eq!(result.totals.requests, 600);
+        // The injected corruption surfaced somewhere: as a degraded read
+        // (repaired or not) or as a scrubber catch.
+        assert!(
+            result.totals.medium_errors > 0,
+            "5% chunk corruption over 450 requests must surface"
+        );
+        assert!(result.totals.scrub_passes > 0, "scrubber ran");
     }
 }

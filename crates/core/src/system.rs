@@ -2,7 +2,7 @@
 
 use reo_backend::BackendStore;
 use reo_cache::{CacheConfig, CacheManager};
-use reo_flashsim::{DeviceId, FlashArray};
+use reo_flashsim::{DeviceId, FaultPlan, FlashArray};
 use reo_osd::control::ControlMessage;
 use reo_osd::{ObjectClass, ObjectKey, SenseCode};
 use reo_osd_target::{OsdTarget, RecoveryOutcome, TargetError};
@@ -42,6 +42,10 @@ pub struct CacheSystem {
     requests_seen: usize,
     dirty_data_lost: u64,
     offline: bool,
+    faults: FaultPlan,
+    /// Target fault counters already folded into the metrics
+    /// (medium errors, repairs, scrub passes) — the delta base.
+    fault_stats_seen: (u64, u64, u64),
 }
 
 impl CacheSystem {
@@ -70,6 +74,7 @@ impl CacheSystem {
         });
         let backend = BackendStore::new(config.backend, clock.clone());
         let metrics = Metrics::new(clock.now());
+        let faults = FaultPlan::new(config.fault_seed);
         target
             .format()
             .expect("cache devices must have room for the metadata objects");
@@ -83,6 +88,8 @@ impl CacheSystem {
             requests_seen: 0,
             dirty_data_lost: 0,
             offline: false,
+            faults,
+            fault_stats_seen: (0, 0, 0),
         }
     }
 
@@ -154,6 +161,47 @@ impl CacheSystem {
         for o in objects {
             self.backend.insert(o.key, o.size, None);
         }
+    }
+
+    /// One round of seeded latent corruption across the cache's flash
+    /// array: every intact chunk is independently lost with probability
+    /// `rate` (the uncorrectable-error-rate failure mode). Returns the
+    /// number of chunks corrupted. Draws come from the configured
+    /// [`SystemConfig::fault_seed`], so equal seeds damage equal chunks.
+    pub fn inject_chunk_corruption(&mut self, rate: f64) -> usize {
+        self.target.inject_latent_corruption(&mut self.faults, rate)
+    }
+
+    /// Arms per-read transient timeouts at `rate` on every flash device;
+    /// `0.0` disarms. The stripe layer absorbs them with bounded
+    /// retry-with-backoff, so they surface as latency, not errors.
+    pub fn arm_transient_faults(&mut self, rate: f64) {
+        self.target.arm_transient_faults(&mut self.faults, rate);
+    }
+
+    /// Scales one device's service times (a stuck or throttled device;
+    /// `1.0` restores nominal speed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range or `factor` is not finite and
+    /// positive.
+    pub fn slow_device(&mut self, device: DeviceId, factor: f64) {
+        self.target.slow_device(&mut self.faults, device, factor);
+    }
+
+    /// Turns the background scrubber on at runtime (the `StartScrub`
+    /// planned event): keeps the configured [`SystemConfig::scrub_period`]
+    /// if one is set, otherwise scrubs a step every 32 requests.
+    pub fn enable_scrubber(&mut self) {
+        if self.config.scrub_period == 0 {
+            self.config.scrub_period = 32;
+        }
+    }
+
+    /// Stripe reads retried past a transient device timeout so far.
+    pub fn transient_retries(&self) -> u64 {
+        self.target.transient_retries()
     }
 
     /// Injects a whole-device failure (the "shootdown" command).
@@ -313,16 +361,27 @@ impl CacheSystem {
         // device time but is not part of this request's latency.
         if self.config.scheme.is_differentiated()
             && self.config.classification_period > 0
-            && self.requests_seen % self.config.classification_period == 0
+            && self
+                .requests_seen
+                .is_multiple_of(self.config.classification_period)
         {
             self.refresh_classification();
         }
         if self.target.recovery_pending() > 0
-            && self.requests_seen % self.config.recovery_period.max(1) == 0
+            && self
+                .requests_seen
+                .is_multiple_of(self.config.recovery_period.max(1))
         {
             self.run_recovery_batch();
         }
         self.run_flusher();
+        if !self.offline
+            && self.config.scrub_period > 0
+            && self.requests_seen.is_multiple_of(self.config.scrub_period)
+        {
+            self.run_scrubber();
+        }
+        self.sync_fault_metrics();
 
         RequestOutcome {
             hit,
@@ -352,7 +411,9 @@ impl CacheSystem {
                     // Irrecoverable in cache (or dropped by a failed
                     // re-encode): evict and fall through to the backend —
                     // possible only for clean data, which is why cold
-                    // clean objects may go unprotected at all.
+                    // clean objects may go unprotected at all. The client
+                    // still gets correct bytes; only performance degrades.
+                    self.metrics.note_faults(0, 0, 0, 1);
                     self.evict_lost(key);
                 }
             }
@@ -565,6 +626,31 @@ impl CacheSystem {
                     Err(_) => self.evict_lost(key),
                 }
             }
+        }
+    }
+
+    /// One bounded background-scrubber step: verifies chunk integrity of
+    /// the next `scrub_budget` objects, repairing recoverable damage
+    /// proactively; objects found irrecoverable are evicted so their next
+    /// access is a clean miss instead of a medium error.
+    fn run_scrubber(&mut self) {
+        let report = self.target.scrub_step(self.config.scrub_budget);
+        for key in report.lost {
+            self.evict_lost(key);
+        }
+    }
+
+    /// Folds the target's fault counters (medium errors, repairs, scrub
+    /// passes) into the metrics as deltas since the last call.
+    fn sync_fault_metrics(&mut self) {
+        let stats = self.target.stats();
+        let (seen_me, seen_rp, seen_sp) = self.fault_stats_seen;
+        let d_me = stats.medium_errors - seen_me;
+        let d_rp = stats.repairs - seen_rp;
+        let d_sp = stats.scrub_passes - seen_sp;
+        if d_me != 0 || d_rp != 0 || d_sp != 0 {
+            self.metrics.note_faults(d_me, d_rp, d_sp, 0);
+            self.fault_stats_seen = (stats.medium_errors, stats.repairs, stats.scrub_passes);
         }
     }
 

@@ -449,8 +449,8 @@ mod tests {
             let mut data = vec![vec![0u8; 1]; 3];
             data[d][0] = 1;
             let parity = rs.encode(&data).unwrap();
-            for p in 0..2 {
-                assert_eq!(parity[p][0], rs.parity_coefficient(p, d));
+            for (p, row) in parity.iter().enumerate().take(2) {
+                assert_eq!(row[0], rs.parity_coefficient(p, d));
             }
         }
     }

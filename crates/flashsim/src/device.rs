@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
+use reo_sim::rng::DetRng;
 use reo_sim::{ByteSize, ServiceModel, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -138,6 +139,15 @@ pub enum FlashError {
         /// Bytes available.
         available: ByteSize,
     },
+    /// A transient media hiccup: the read timed out without losing data.
+    /// Unlike [`FlashError::Corrupted`] the chunk is fine — retrying
+    /// after a short backoff is expected to succeed.
+    TransientTimeout {
+        /// Device that timed out.
+        device: DeviceId,
+        /// The chunk whose read timed out.
+        handle: ChunkHandle,
+    },
 }
 
 impl fmt::Display for FlashError {
@@ -154,6 +164,9 @@ impl fmt::Display for FlashError {
                 f,
                 "device {device} full: requested {requested}, available {available}"
             ),
+            FlashError::TransientTimeout { device, handle } => {
+                write!(f, "transient timeout reading {handle} on device {device}")
+            }
         }
     }
 }
@@ -192,6 +205,16 @@ pub struct FlashDevice {
     busy_until: SimTime,
     stats: DeviceStats,
     write_amplification: Option<WriteAmplification>,
+    transient: Option<TransientFaults>,
+    slowdown: f64,
+}
+
+/// Armed transient-fault injector: each read independently times out with
+/// probability `rate`, drawn from a dedicated deterministic stream.
+#[derive(Clone, Debug)]
+struct TransientFaults {
+    rate: f64,
+    rng: DetRng,
 }
 
 #[derive(Clone, Debug)]
@@ -214,6 +237,54 @@ impl FlashDevice {
             busy_until: SimTime::ZERO,
             stats: DeviceStats::default(),
             write_amplification: None,
+            transient: None,
+            slowdown: 1.0,
+        }
+    }
+
+    /// Arms per-read transient timeouts: every chunk read independently
+    /// fails with [`FlashError::TransientTimeout`] at probability `rate`,
+    /// drawn from `rng`. A rate of zero (or less) disarms the injector.
+    ///
+    /// Transient faults model recoverable media hiccups (command timeouts,
+    /// retried ECC corrections), so they never touch stored bytes.
+    pub fn arm_transient_faults(&mut self, rate: f64, rng: DetRng) {
+        self.transient = if rate > 0.0 {
+            Some(TransientFaults { rate, rng })
+        } else {
+            None
+        };
+    }
+
+    /// `true` when a transient-fault injector is armed.
+    pub fn transient_faults_armed(&self) -> bool {
+        self.transient.is_some()
+    }
+
+    /// Scales every service time by `factor` — a stuck or throttled device
+    /// (`factor > 1`) or nominal speed (`1.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "slowdown factor must be positive and finite"
+        );
+        self.slowdown = factor;
+    }
+
+    /// The current service-time scale factor.
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    fn scaled(&self, d: SimDuration) -> SimDuration {
+        if self.slowdown == 1.0 {
+            d
+        } else {
+            SimDuration::from_nanos((d.as_nanos() as f64 * self.slowdown).round() as u64)
         }
     }
 
@@ -290,6 +361,9 @@ impl FlashDevice {
         self.chunks.clear();
         self.used = ByteSize::ZERO;
         self.stats = DeviceStats::default();
+        // A fresh spare has nominal speed and no injected media faults.
+        self.transient = None;
+        self.slowdown = 1.0;
         // busy_until is preserved: the new device cannot retroactively have
         // been idle in the past.
     }
@@ -344,7 +418,7 @@ impl FlashDevice {
         self.stats.erases_estimated = self.stats.bytes_written / self.config.erase_block.as_bytes();
 
         let start = self.busy_until.max(now);
-        let done = start + self.config.write.service_time(physical);
+        let done = start + self.scaled(self.config.write.service_time(physical));
         self.busy_until = done;
         Ok(done)
     }
@@ -370,10 +444,18 @@ impl FlashDevice {
             Some(ChunkSlot::Lost(_)) => return Err(FlashError::Corrupted(handle)),
             Some(ChunkSlot::Intact(c)) => c.clone(),
         };
+        if let Some(t) = &mut self.transient {
+            if t.rng.chance(t.rate) {
+                return Err(FlashError::TransientTimeout {
+                    device: self.id,
+                    handle,
+                });
+            }
+        }
         self.stats.reads += 1;
         self.stats.bytes_read += chunk.len().as_bytes();
         let start = self.busy_until.max(now);
-        let done = start + self.config.read.service_time(chunk.len());
+        let done = start + self.scaled(self.config.read.service_time(chunk.len()));
         self.busy_until = done;
         Ok((chunk, done))
     }
@@ -396,6 +478,34 @@ impl FlashDevice {
                 *slot = ChunkSlot::Lost(chunk.len());
             }
         }
+    }
+
+    /// Handles of intact chunks in sorted order — the deterministic
+    /// iteration order fault injection walks.
+    pub fn intact_handles(&self) -> Vec<ChunkHandle> {
+        let mut handles: Vec<ChunkHandle> = self
+            .chunks
+            .iter()
+            .filter(|(_, slot)| matches!(slot, ChunkSlot::Intact(_)))
+            .map(|(h, _)| *h)
+            .collect();
+        handles.sort_unstable();
+        handles
+    }
+
+    /// Latent (UER-style) corruption: each intact chunk is independently
+    /// lost with probability `rate`, drawing from `rng` in sorted-handle
+    /// order so equal seeds corrupt equal chunks. Returns how many chunks
+    /// were corrupted. The device stays healthy.
+    pub fn corrupt_chunks_randomly(&mut self, rate: f64, rng: &mut DetRng) -> usize {
+        let mut corrupted = 0;
+        for handle in self.intact_handles() {
+            if rng.chance(rate) {
+                self.corrupt_chunk(handle);
+                corrupted += 1;
+            }
+        }
+        corrupted
     }
 
     /// Removes a chunk, releasing its space. Unknown handles are ignored
@@ -670,6 +780,91 @@ mod tests {
         );
         assert!(amplified.wear_fraction() > plain.wear_fraction());
         assert!(amplified.busy_until() > plain.busy_until());
+    }
+
+    #[test]
+    fn transient_faults_are_recoverable_and_deterministic() {
+        let mut a = dev();
+        let mut b = dev();
+        let h = ChunkHandle::new(1);
+        for d in [&mut a, &mut b] {
+            d.write_chunk(
+                h,
+                StoredChunk::synthetic(ByteSize::from_kib(4)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+            d.arm_transient_faults(0.5, DetRng::from_seed(7));
+        }
+        let mut outcomes_a = Vec::new();
+        let mut outcomes_b = Vec::new();
+        for _ in 0..32 {
+            outcomes_a.push(a.read_chunk(h, SimTime::ZERO).is_ok());
+            outcomes_b.push(b.read_chunk(h, SimTime::ZERO).is_ok());
+        }
+        assert_eq!(outcomes_a, outcomes_b, "same seed, same timeout pattern");
+        assert!(outcomes_a.iter().any(|ok| *ok), "not every read times out");
+        assert!(outcomes_a.iter().any(|ok| !ok), "some reads time out");
+        // The data is never lost: the chunk stays intact throughout.
+        assert!(a.chunk_is_intact(h));
+        // Disarming restores reliable reads.
+        a.arm_transient_faults(0.0, DetRng::from_seed(7));
+        assert!(!a.transient_faults_armed());
+        for _ in 0..8 {
+            assert!(a.read_chunk(h, SimTime::ZERO).is_ok());
+        }
+    }
+
+    #[test]
+    fn slowdown_scales_service_times() {
+        let mut nominal = dev();
+        let mut stuck = dev();
+        stuck.set_slowdown(4.0);
+        let h = ChunkHandle::new(1);
+        let c = StoredChunk::synthetic(ByteSize::from_kib(64));
+        let t_nominal = nominal.write_chunk(h, c.clone(), SimTime::ZERO).unwrap();
+        let t_stuck = stuck.write_chunk(h, c, SimTime::ZERO).unwrap();
+        assert_eq!(t_stuck.as_nanos(), 4 * t_nominal.as_nanos());
+        let (_, r_nominal) = nominal.read_chunk(h, t_nominal).unwrap();
+        let (_, r_stuck) = stuck.read_chunk(h, t_stuck).unwrap();
+        assert!(
+            r_stuck.saturating_since(t_stuck).as_nanos()
+                == 4 * r_nominal.saturating_since(t_nominal).as_nanos()
+        );
+        // A spare replacement clears the slowdown.
+        stuck.fail();
+        stuck.replace_with_spare();
+        assert_eq!(stuck.slowdown(), 1.0);
+    }
+
+    #[test]
+    fn random_corruption_walks_sorted_handles_deterministically() {
+        let build = || {
+            let mut d = dev();
+            for i in 0..32u64 {
+                d.write_chunk(
+                    ChunkHandle::new(i),
+                    StoredChunk::synthetic(ByteSize::from_kib(16)),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            }
+            d
+        };
+        let mut a = build();
+        let mut b = build();
+        let hit_a = a.corrupt_chunks_randomly(0.25, &mut DetRng::from_seed(11));
+        let hit_b = b.corrupt_chunks_randomly(0.25, &mut DetRng::from_seed(11));
+        assert_eq!(hit_a, hit_b);
+        assert!(hit_a > 0, "a quarter of 32 chunks should hit at least once");
+        assert!(hit_a < 32, "rate 0.25 must not corrupt everything");
+        for i in 0..32u64 {
+            let h = ChunkHandle::new(i);
+            assert_eq!(a.chunk_is_intact(h), b.chunk_is_intact(h));
+        }
+        // Already-lost chunks are skipped by a second pass's walk.
+        let intact_before = a.intact_handles().len();
+        assert_eq!(intact_before, 32 - hit_a);
     }
 
     #[test]

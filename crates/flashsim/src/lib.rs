@@ -15,6 +15,9 @@
 //!   with whole-device failure injection and spare insertion
 //!   ([`FlashArray::replace_device`]) that triggers the caller's rebuild
 //!   path.
+//! * [`FaultPlan`] — seeded partial-failure injection: latent per-chunk
+//!   corruption, transient read timeouts, and stuck-device slowdowns, all
+//!   deterministic under one seed.
 //! * [`ChunkHandle`] / [`StoredChunk`] — chunk addressing and contents.
 //!   Chunks can carry real payloads (used by the tests and examples to
 //!   verify reconstruction byte-for-byte) or be payload-free, in which case
@@ -43,9 +46,11 @@
 mod array;
 mod chunk;
 mod device;
+mod fault;
 
 pub use array::{ArrayStats, FlashArray};
 pub use chunk::{ChunkHandle, ChunkPayload, StoredChunk};
 pub use device::{
     DeviceConfig, DeviceId, DeviceState, DeviceStats, FlashDevice, FlashError, WriteAmplification,
 };
+pub use fault::{FaultPlan, FaultStats};

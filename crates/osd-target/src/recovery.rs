@@ -222,4 +222,28 @@ mod tests {
         assert!(e.is_idle());
         assert_eq!(e.completed_total(), 1, "clear is not completion");
     }
+
+    #[test]
+    fn clear_drops_pending_items_without_completing_them() {
+        // Regression companion to `OsdTarget::fail_device`: after a second
+        // failure clears the queue, nothing pending may remain and nothing
+        // may count as completed — the queue was invalidated, not drained.
+        let mut e = RecoveryEngine::new();
+        e.enqueue(k(1), ObjectClass::Dirty);
+        e.enqueue(k(2), ObjectClass::HotClean);
+        e.enqueue(k(3), ObjectClass::ColdClean);
+        e.pop();
+        e.clear();
+        assert_eq!(e.pending(), 0);
+        assert_eq!(e.pop(), None);
+        assert_eq!(e.enqueued_total(), 3);
+        assert_eq!(e.completed_total(), 1);
+        // The engine is reusable after a clear: fresh items queue and
+        // drain in class order as usual.
+        e.enqueue(k(4), ObjectClass::HotClean);
+        e.enqueue(k(5), ObjectClass::Dirty);
+        assert_eq!(e.pop().unwrap().key, k(5), "dirty first");
+        assert_eq!(e.pop().unwrap().key, k(4));
+        assert!(e.is_idle());
+    }
 }

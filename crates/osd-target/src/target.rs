@@ -16,6 +16,8 @@ use crate::recovery::{RecoveryEngine, RecoveryItem};
 
 pub use reo_flashsim::DeviceId;
 
+use reo_flashsim::{FaultPlan, FlashError};
+
 /// Errors from target operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -79,6 +81,11 @@ impl TargetError {
             TargetError::UnknownObject(_) | TargetError::AlreadyExists(_) => SenseCode::Failure,
             TargetError::ObjectLost(_) => SenseCode::Corrupted,
             TargetError::CacheFull { .. } => SenseCode::CacheFull,
+            // A chunk-level read of corrupt media is the T10 medium-error
+            // analog; whole-object loss stays on Table III's 0x63 above.
+            TargetError::Stripe(StripeError::Flash(FlashError::Corrupted(_))) => {
+                SenseCode::MediumError
+            }
             TargetError::Stripe(_) | TargetError::Control(_) => SenseCode::Failure,
         }
     }
@@ -101,6 +108,13 @@ pub struct TargetStats {
     pub rebuilds: u64,
     /// Control messages decoded from the mailbox object.
     pub control_messages: u64,
+    /// Degraded reads and scrub hits on corrupt chunks — the medium
+    /// errors the flash surfaced.
+    pub medium_errors: u64,
+    /// Proactive in-place repairs (read-repair and scrub rewrites).
+    pub repairs: u64,
+    /// Completed full passes of the background scrubber.
+    pub scrub_passes: u64,
 }
 
 /// What happened to one item popped from the recovery queue.
@@ -163,6 +177,21 @@ pub struct OsdTarget {
     next_owner: u64,
     recovery_active: bool,
     stats: TargetStats,
+    /// Last key the bounded scrubber examined; `None` at pass boundaries.
+    scrub_cursor: Option<ObjectKey>,
+}
+
+/// Progress report of one bounded [`OsdTarget::scrub_step`].
+#[derive(Clone, Debug, Default)]
+pub struct ScrubReport {
+    /// Objects whose chunk integrity was checked this step.
+    pub examined: usize,
+    /// Objects repaired in place (recoverable damage found).
+    pub repaired: Vec<ObjectKey>,
+    /// Objects found irrecoverable — the caller should evict them.
+    pub lost: Vec<ObjectKey>,
+    /// `true` when this step finished a full pass over the index.
+    pub completed_pass: bool,
 }
 
 impl OsdTarget {
@@ -177,6 +206,7 @@ impl OsdTarget {
             next_owner: 0,
             recovery_active: false,
             stats: TargetStats::default(),
+            scrub_cursor: None,
         }
     }
 
@@ -353,6 +383,16 @@ impl OsdTarget {
         self.stats.reads += 1;
         if outcome.degraded {
             self.stats.degraded_reads += 1;
+            self.stats.medium_errors += 1;
+            // Read-repair: when the damage is chunk-level corruption (no
+            // device is down), rewrite the reconstructed chunks now so the
+            // next read is clean. With a failed device the rebuild belongs
+            // to the recovery engine, not the read path.
+            if self.stripes.array().failed_count() == 0
+                && self.stripes.rebuild_object(&layout).is_ok()
+            {
+                self.stats.repairs += 1;
+            }
         }
         let completed = outcome.completed_at;
         if let Some(record) = self.index.get_mut(&key) {
@@ -583,17 +623,72 @@ impl OsdTarget {
             let layout = self.index[&key].layout.clone();
             match self.stripes.object_status(&layout) {
                 Ok(ObjectStatus::Intact) => {}
-                Ok(ObjectStatus::Degraded) => match self.stripes.rebuild_object(&layout) {
-                    Ok(_) => {
-                        self.stats.rebuilds += 1;
-                        repaired.push(key);
+                Ok(ObjectStatus::Degraded) => {
+                    self.stats.medium_errors += 1;
+                    match self.stripes.rebuild_object(&layout) {
+                        Ok(_) => {
+                            self.stats.rebuilds += 1;
+                            self.stats.repairs += 1;
+                            repaired.push(key);
+                        }
+                        Err(_) => lost.push(key),
                     }
-                    Err(_) => lost.push(key),
-                },
+                }
                 Ok(ObjectStatus::Lost) | Err(_) => lost.push(key),
             }
         }
+        self.scrub_cursor = None;
+        self.stats.scrub_passes += 1;
         (repaired, lost)
+    }
+
+    /// One bounded step of the background scrubber: verifies the chunk
+    /// integrity of up to `budget` objects past the scrub cursor,
+    /// repairing recoverable damage in place, then advances the cursor.
+    /// Finishing the index completes a pass (counted in
+    /// [`TargetStats::scrub_passes`]) and rewinds the cursor, so repeated
+    /// calls scrub the cache continuously.
+    pub fn scrub_step(&mut self, budget: usize) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        if budget == 0 {
+            return report;
+        }
+        let keys = self.keys();
+        let mut idx = match self.scrub_cursor {
+            // `keys` is sorted; resume just past the cursor even if that
+            // exact key has been removed since the last step.
+            Some(cursor) => keys.partition_point(|&k| k <= cursor),
+            None => 0,
+        };
+        while report.examined < budget && idx < keys.len() {
+            let key = keys[idx];
+            idx += 1;
+            report.examined += 1;
+            let layout = self.index[&key].layout.clone();
+            match self.stripes.object_status(&layout) {
+                Ok(ObjectStatus::Intact) => {}
+                Ok(ObjectStatus::Degraded) => {
+                    self.stats.medium_errors += 1;
+                    match self.stripes.rebuild_object(&layout) {
+                        Ok(_) => {
+                            self.stats.rebuilds += 1;
+                            self.stats.repairs += 1;
+                            report.repaired.push(key);
+                        }
+                        Err(_) => report.lost.push(key),
+                    }
+                }
+                Ok(ObjectStatus::Lost) | Err(_) => report.lost.push(key),
+            }
+        }
+        if idx >= keys.len() {
+            self.scrub_cursor = None;
+            self.stats.scrub_passes += 1;
+            report.completed_pass = true;
+        } else {
+            self.scrub_cursor = Some(keys[idx - 1]);
+        }
+        report
     }
 
     /// Injects a partial failure: corrupts one data chunk of an object
@@ -612,6 +707,34 @@ impl OsdTarget {
         self.stripes
             .corrupt_data_chunk(&layout, chunk_index)
             .map_err(TargetError::Stripe)
+    }
+
+    /// One round of seeded latent corruption across the flash array (see
+    /// [`FaultPlan::inject_latent_corruption`]). Returns the number of
+    /// chunks corrupted.
+    pub fn inject_latent_corruption(&mut self, plan: &mut FaultPlan, rate: f64) -> usize {
+        self.stripes.inject_latent_corruption(plan, rate)
+    }
+
+    /// Arms per-read transient timeouts on every device (see
+    /// [`FaultPlan::arm_transient_faults`]).
+    pub fn arm_transient_faults(&mut self, plan: &mut FaultPlan, rate: f64) {
+        self.stripes.arm_transient_faults(plan, rate);
+    }
+
+    /// Scales one device's service times (see [`FaultPlan::slow_device`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or `factor` is not finite and
+    /// positive.
+    pub fn slow_device(&mut self, plan: &mut FaultPlan, id: DeviceId, factor: f64) {
+        self.stripes.slow_device(plan, id, factor);
+    }
+
+    /// Chunk reads retried after a transient timeout, cumulatively.
+    pub fn transient_retries(&self) -> u64 {
+        self.stripes.transient_retries()
     }
 
     /// Creates a collection object (Table I): a named group of user
@@ -716,8 +839,12 @@ impl OsdTarget {
     /// Panics if `id` is out of range.
     pub fn fail_device(&mut self, id: DeviceId) {
         self.stripes.fail_device(id);
-        // A new failure invalidates any in-flight rebuild plan.
+        // A new failure invalidates any in-flight rebuild plan. The
+        // recovery phase is aborted, not completed, so the sense protocol
+        // must not report 0x66 (recovery ends) for the drained queue; a
+        // fresh queue is built when the next spare is inserted.
         self.recovery.clear();
+        self.recovery_active = false;
     }
 
     /// Inserts a spare in place of (failed) device `id` and builds the
@@ -787,6 +914,9 @@ impl OsdTarget {
                 }
             }
             OsdCommand::Read { key, length, .. } => match self.read_object(*key) {
+                // Degraded reads served good data after reconstruction:
+                // T10's recovered-error, not a plain success.
+                Ok(out) if out.degraded => CommandStatus::recovered(*length),
                 Ok(_) => CommandStatus::success(*length),
                 Err(e) => CommandStatus::of(e.sense()),
             },
@@ -1345,5 +1475,161 @@ mod tests {
         let out = t.read_object(k(1)).unwrap();
         assert_eq!(out.bytes.as_deref(), Some(&data[..]));
         assert!(!out.degraded);
+    }
+
+    #[test]
+    fn second_failure_aborts_recovery_without_false_end_signal() {
+        // Regression test for the `clear()` in `fail_device`: a failure
+        // mid-recovery drops the pending queue, and the sense protocol
+        // must treat the recovery as aborted — never reporting 0x66
+        // (recovery ends) for work that was thrown away, not completed.
+        let mut t = reo_target();
+        for i in 0..6 {
+            t.create_object(k(i), ByteSize::from_kib(24), ObjectClass::HotClean, None)
+                .unwrap();
+        }
+        t.fail_device(DeviceId(0));
+        t.insert_spare(DeviceId(0));
+        assert!(t.recovery_pending() > 0);
+        assert_eq!(t.recovery_sense(), SenseCode::RecoveryStarts);
+
+        // Second failure strikes while the queue is still draining.
+        t.fail_device(DeviceId(1));
+        assert_eq!(t.recovery_pending(), 0, "pending rebuilds dropped");
+        assert_eq!(t.recover_next(), None);
+        let sense = t.recovery_sense();
+        assert_ne!(
+            sense,
+            SenseCode::RecoveryEnds,
+            "an aborted recovery must not report completion"
+        );
+        assert_eq!(sense, SenseCode::Success);
+
+        // A fresh spare restarts the protocol from the beginning.
+        t.insert_spare(DeviceId(1));
+        assert!(t.recovery_pending() > 0);
+        assert_eq!(t.recovery_sense(), SenseCode::RecoveryStarts);
+        while t.recover_next().is_some() {}
+        assert_eq!(t.recovery_sense(), SenseCode::RecoveryEnds);
+        assert_eq!(t.recovery_sense(), SenseCode::Success);
+    }
+
+    #[test]
+    fn read_repair_heals_partial_corruption() {
+        let mut t = reo_target();
+        let data: Vec<u8> = (0..40_960u32).map(|i| (i % 249) as u8).collect();
+        t.create_object(
+            k(1),
+            ByteSize::from_bytes(data.len() as u64),
+            ObjectClass::HotClean,
+            Some(&data),
+        )
+        .unwrap();
+        t.corrupt_chunk(k(1), 2).unwrap();
+
+        // The degraded read returns the original bytes AND repairs the
+        // damage in place.
+        let out = t.read_object(k(1)).unwrap();
+        assert!(out.degraded);
+        assert_eq!(out.bytes.as_deref(), Some(&data[..]));
+        assert_eq!(t.stats().medium_errors, 1);
+        assert_eq!(t.stats().repairs, 1);
+
+        // The second read is clean: no reconstruction needed.
+        let again = t.read_object(k(1)).unwrap();
+        assert!(!again.degraded);
+        assert_eq!(again.bytes.as_deref(), Some(&data[..]));
+        assert_eq!(t.stats().repairs, 1, "no further repair needed");
+    }
+
+    #[test]
+    fn read_repair_defers_to_recovery_when_a_device_is_down() {
+        let mut t = reo_target();
+        t.create_object(k(1), ByteSize::from_kib(40), ObjectClass::HotClean, None)
+            .unwrap();
+        t.fail_device(DeviceId(0));
+        let before = t.stats().repairs;
+        // Degraded reads under a whole-device failure must not trigger
+        // read-repair (the rebuild target is still failed; recovery owns
+        // the rebuild once a spare arrives).
+        let _ = t.read_object(k(1));
+        assert_eq!(t.stats().repairs, before);
+    }
+
+    #[test]
+    fn scrub_step_covers_the_index_in_bounded_pieces() {
+        let mut t = reo_target();
+        let data: Vec<u8> = (0..24_576u32).map(|i| (i % 241) as u8).collect();
+        for i in 0..8 {
+            // Hot-clean objects carry parity under the differentiated
+            // policy, so chunk corruption is repairable, not fatal.
+            t.create_object(
+                k(i),
+                ByteSize::from_bytes(data.len() as u64),
+                ObjectClass::HotClean,
+                Some(&data),
+            )
+            .unwrap();
+        }
+        t.corrupt_chunk(k(6), 1).unwrap();
+
+        // Budgeted steps eventually find and repair the damage, and a
+        // full pass is counted exactly once per sweep of the index.
+        let mut repaired = Vec::new();
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            let report = t.scrub_step(3);
+            assert!(report.examined <= 3);
+            repaired.extend(report.repaired);
+            assert!(report.lost.is_empty());
+            if report.completed_pass {
+                break;
+            }
+            assert!(steps < 100, "scrub must terminate");
+        }
+        assert!(steps > 1, "budget 3 cannot cover the index in one step");
+        assert_eq!(repaired, vec![k(6)]);
+        assert_eq!(t.stats().scrub_passes, 1);
+        let out = t.read_object(k(6)).unwrap();
+        assert!(!out.degraded);
+        assert_eq!(out.bytes.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn medium_error_sense_for_chunk_corruption() {
+        // Chunk-level corruption errors map to the medium-error sense
+        // (0x68); whole-object loss keeps Table III's 0x63.
+        let e = TargetError::Stripe(StripeError::Flash(
+            reo_flashsim::FlashError::Corrupted(reo_flashsim::ChunkHandle::new(7)),
+        ));
+        assert_eq!(e.sense(), SenseCode::MediumError);
+        assert!(e.sense().is_error());
+        assert_eq!(TargetError::ObjectLost(k(1)).sense(), SenseCode::Corrupted);
+    }
+
+    #[test]
+    fn degraded_reads_report_recovered_error_on_the_wire() {
+        let mut t = reo_target();
+        let data: Vec<u8> = (0..16_384u32).map(|i| (i % 239) as u8).collect();
+        t.create_object(
+            k(1),
+            ByteSize::from_bytes(data.len() as u64),
+            ObjectClass::HotClean,
+            Some(&data),
+        )
+        .unwrap();
+        t.corrupt_chunk(k(1), 0).unwrap();
+        let read = OsdCommand::Read {
+            key: k(1),
+            offset: 0,
+            length: data.len() as u64,
+        };
+        let status = t.execute(&read);
+        assert_eq!(status.sense(), SenseCode::RecoveredError);
+        assert!(!status.sense().is_error());
+        assert_eq!(status.bytes_transferred(), data.len() as u64);
+        // Read-repair kicked in, so the next read is a plain success.
+        assert!(t.execute(&read).is_success());
     }
 }

@@ -177,6 +177,16 @@ impl CommandStatus {
         }
     }
 
+    /// A completion that moved `bytes` of payload, but only after error
+    /// recovery (a degraded read or retried transient fault): the data is
+    /// good, and [`SenseCode::RecoveredError`] tells the initiator so.
+    pub const fn recovered(bytes: u64) -> Self {
+        CommandStatus {
+            sense: SenseCode::RecoveredError,
+            bytes_transferred: bytes,
+        }
+    }
+
     /// The sense code.
     pub const fn sense(self) -> SenseCode {
         self.sense

@@ -274,8 +274,9 @@ mod tests {
     #[test]
     fn messages_are_a_few_dozen_bytes() {
         // The paper: "a message accounts for only a few dozen bytes".
-        assert!(SETID_LEN <= 48);
-        assert!(QUERY_LEN <= 48);
+        // Checked at compile time; the test pins the claim by name.
+        const _: () = assert!(SETID_LEN <= 48);
+        const _: () = assert!(QUERY_LEN <= 48);
     }
 
     #[test]

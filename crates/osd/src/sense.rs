@@ -18,6 +18,14 @@ use serde::{Deserialize, Serialize};
 /// | 0x66  | Recovery ends                                 |
 /// | 0x67  | The allocated space for data redundancy is full |
 ///
+/// Two codes extend the table for partial (sub-device) failures, modeled
+/// on the T10 SCSI sense keys the paper's OSD layer mirrors:
+///
+/// | Code  | Meaning                                       |
+/// |-------|-----------------------------------------------|
+/// | 0x68  | Medium error: a chunk read hit corrupt media (T10 `3h`) |
+/// | 0x69  | Recovered error: data was served after repair (T10 `1h`) |
+///
 /// # Examples
 ///
 /// ```
@@ -44,6 +52,14 @@ pub enum SenseCode {
     RecoveryEnds,
     /// `0x67`: the space allocated for data redundancy is full.
     RedundancySpaceFull,
+    /// `0x68`: a chunk read hit corrupt media (the analog of the T10
+    /// `MEDIUM ERROR` sense key). The addressed data could not be served
+    /// from flash; redundancy may still recover it.
+    MediumError,
+    /// `0x69`: the command succeeded, but only after error recovery — a
+    /// degraded read or retried transient fault (the analog of the T10
+    /// `RECOVERED ERROR` sense key). Not an error.
+    RecoveredError,
 }
 
 impl SenseCode {
@@ -57,6 +73,8 @@ impl SenseCode {
             SenseCode::RecoveryStarts => 0x65,
             SenseCode::RecoveryEnds => 0x66,
             SenseCode::RedundancySpaceFull => 0x67,
+            SenseCode::MediumError => 0x68,
+            SenseCode::RecoveredError => 0x69,
         }
     }
 
@@ -70,6 +88,8 @@ impl SenseCode {
             0x65 => Some(SenseCode::RecoveryStarts),
             0x66 => Some(SenseCode::RecoveryEnds),
             0x67 => Some(SenseCode::RedundancySpaceFull),
+            0x68 => Some(SenseCode::MediumError),
+            0x69 => Some(SenseCode::RecoveredError),
             _ => None,
         }
     }
@@ -78,10 +98,14 @@ impl SenseCode {
     ///
     /// Informational codes (recovery start/end, cache full, redundancy
     /// space full) are conditions, not failures, but they are not
-    /// [`SenseCode::Success`] either; only `Failure` and `Corrupted` are
-    /// hard errors.
+    /// [`SenseCode::Success`] either; `Failure`, `Corrupted`, and
+    /// `MediumError` are hard errors. `RecoveredError` reports success
+    /// with a caveat, matching T10's classification of its `1h` key.
     pub const fn is_error(self) -> bool {
-        matches!(self, SenseCode::Failure | SenseCode::Corrupted)
+        matches!(
+            self,
+            SenseCode::Failure | SenseCode::Corrupted | SenseCode::MediumError
+        )
     }
 }
 
@@ -95,6 +119,8 @@ impl fmt::Display for SenseCode {
             SenseCode::RecoveryStarts => "recovery starts",
             SenseCode::RecoveryEnds => "recovery ends",
             SenseCode::RedundancySpaceFull => "the allocated space for data redundancy is full",
+            SenseCode::MediumError => "medium error: corrupt media under the addressed data",
+            SenseCode::RecoveredError => "the command succeeded after error recovery",
         };
         f.write_str(s)
     }
@@ -104,7 +130,7 @@ impl fmt::Display for SenseCode {
 mod tests {
     use super::*;
 
-    const ALL: [SenseCode; 7] = [
+    const ALL: [SenseCode; 9] = [
         SenseCode::Success,
         SenseCode::Failure,
         SenseCode::Corrupted,
@@ -112,6 +138,8 @@ mod tests {
         SenseCode::RecoveryStarts,
         SenseCode::RecoveryEnds,
         SenseCode::RedundancySpaceFull,
+        SenseCode::MediumError,
+        SenseCode::RecoveredError,
     ];
 
     #[test]
@@ -123,6 +151,9 @@ mod tests {
         assert_eq!(SenseCode::RecoveryStarts.as_i16(), 0x65);
         assert_eq!(SenseCode::RecoveryEnds.as_i16(), 0x66);
         assert_eq!(SenseCode::RedundancySpaceFull.as_i16(), 0x67);
+        // Partial-failure extensions, outside Table III's range.
+        assert_eq!(SenseCode::MediumError.as_i16(), 0x68);
+        assert_eq!(SenseCode::RecoveredError.as_i16(), 0x69);
     }
 
     #[test]
@@ -141,6 +172,8 @@ mod tests {
         assert!(SenseCode::Corrupted.is_error());
         assert!(!SenseCode::RecoveryStarts.is_error());
         assert!(!SenseCode::CacheFull.is_error());
+        assert!(SenseCode::MediumError.is_error());
+        assert!(!SenseCode::RecoveredError.is_error());
     }
 
     #[test]

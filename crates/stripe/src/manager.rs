@@ -6,8 +6,8 @@ use std::fmt;
 
 use bytes::Bytes;
 use reo_erasure::{CodecError, ReedSolomon};
-use reo_flashsim::{ChunkHandle, DeviceId, FlashArray, FlashError, StoredChunk};
-use reo_sim::{ByteSize, SimTime};
+use reo_flashsim::{ChunkHandle, DeviceId, FaultPlan, FlashArray, FlashError, StoredChunk};
+use reo_sim::{ByteSize, SimDuration, SimTime};
 
 use crate::layout::{ChunkRole, PlacementPolicy, StripeLayout};
 use crate::scheme::RedundancyScheme;
@@ -246,7 +246,13 @@ pub struct StripeManager {
     next_stripe: u64,
     stripes: HashMap<StripeId, StripeMeta>,
     usage: SpaceUsage,
+    transient_retries: u64,
 }
+
+/// Retries per chunk read before a transient timeout is escalated.
+const TRANSIENT_RETRY_LIMIT: u32 = 3;
+/// Backoff before the first retry; doubles on each subsequent one.
+const TRANSIENT_BACKOFF: SimDuration = SimDuration::from_micros(500);
 
 impl StripeManager {
     /// Creates a manager over `array` using `chunk_size` chunks.
@@ -279,7 +285,63 @@ impl StripeManager {
             next_stripe: 0,
             stripes: HashMap::new(),
             usage: SpaceUsage::default(),
+            transient_retries: 0,
         }
+    }
+
+    /// Reads a chunk, absorbing transient timeouts: waits out a doubling
+    /// backoff and retries up to [`TRANSIENT_RETRY_LIMIT`] times before
+    /// letting the error escalate. The backoff is charged to the
+    /// operation's timeline (the retried read starts later), so transient
+    /// faults surface as latency, not data loss.
+    fn read_chunk_retrying(
+        &mut self,
+        device: DeviceId,
+        handle: ChunkHandle,
+        now: SimTime,
+    ) -> Result<(StoredChunk, SimTime), FlashError> {
+        let mut at = now;
+        let mut backoff = TRANSIENT_BACKOFF;
+        let mut attempts = 0;
+        loop {
+            match self.array.device_mut(device).read_chunk(handle, at) {
+                Err(FlashError::TransientTimeout { .. }) if attempts < TRANSIENT_RETRY_LIMIT => {
+                    attempts += 1;
+                    self.transient_retries += 1;
+                    at += backoff;
+                    backoff = backoff * 2;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Chunk reads retried after a transient timeout, cumulatively.
+    pub fn transient_retries(&self) -> u64 {
+        self.transient_retries
+    }
+
+    /// One round of seeded latent corruption across the array (see
+    /// [`FaultPlan::inject_latent_corruption`]). Returns the number of
+    /// chunks corrupted.
+    pub fn inject_latent_corruption(&mut self, plan: &mut FaultPlan, rate: f64) -> usize {
+        plan.inject_latent_corruption(&mut self.array, rate)
+    }
+
+    /// Arms per-read transient timeouts on every device (see
+    /// [`FaultPlan::arm_transient_faults`]).
+    pub fn arm_transient_faults(&mut self, plan: &mut FaultPlan, rate: f64) {
+        plan.arm_transient_faults(&mut self.array, rate);
+    }
+
+    /// Scales one device's service times (see [`FaultPlan::slow_device`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or `factor` is not finite and
+    /// positive.
+    pub fn slow_device(&mut self, plan: &mut FaultPlan, id: DeviceId, factor: f64) {
+        plan.slow_device(&mut self.array, id, factor);
     }
 
     /// The configured chunk size.
@@ -730,17 +792,14 @@ impl StripeManager {
                 .iter()
                 .find(|c| matches!(c.role, ChunkRole::Replica(0)))
                 .expect("replicated stripe has a primary");
-            let (chunk, done) = self
-                .array
-                .device_mut(primary.device)
-                .read_chunk(primary.handle, now)?;
+            let (chunk, done) = self.read_chunk_retrying(primary.device, primary.handle, now)?;
             completions.push(done);
             return Ok(chunk.payload().as_bytes().map(|b| b.to_vec()));
         }
         let mut parts: Vec<(usize, Option<Vec<u8>>)> = Vec::new();
         for c in &meta.chunks {
             if let ChunkRole::Data(j) = c.role {
-                let (chunk, done) = self.array.device_mut(c.device).read_chunk(c.handle, now)?;
+                let (chunk, done) = self.read_chunk_retrying(c.device, c.handle, now)?;
                 completions.push(done);
                 parts.push((j, chunk.payload().as_bytes().map(|b| b.to_vec())));
             }
@@ -770,10 +829,7 @@ impl StripeManager {
                 .iter()
                 .find(|c| self.chunk_intact(c))
                 .expect("degraded (not lost) stripe has a survivor");
-            let (chunk, done) = self
-                .array
-                .device_mut(replica.device)
-                .read_chunk(replica.handle, now)?;
+            let (chunk, done) = self.read_chunk_retrying(replica.device, replica.handle, now)?;
             completions.push(done);
             return Ok(chunk.payload().as_bytes().map(|b| b.to_vec()));
         }
@@ -802,8 +858,8 @@ impl StripeManager {
         let real = meta.chunks.first().map(|c| c.real).unwrap_or(false);
 
         // Phantom zero shards (short stripes) are always "present".
-        for j in m_actual..codec_m {
-            shards[j] = Some(vec![0u8; parity_len.as_bytes() as usize]);
+        for shard in shards.iter_mut().take(codec_m).skip(m_actual) {
+            *shard = Some(vec![0u8; parity_len.as_bytes() as usize]);
         }
 
         let mut missing_real = 0usize;
@@ -816,8 +872,7 @@ impl StripeManager {
             if self.chunk_intact(c) {
                 // Only read up to m shards total (phantoms are free).
                 if reads_done + (codec_m - m_actual) < codec_m {
-                    let (chunk, done) =
-                        self.array.device_mut(c.device).read_chunk(c.handle, now)?;
+                    let (chunk, done) = self.read_chunk_retrying(c.device, c.handle, now)?;
                     completions.push(done);
                     reads_done += 1;
                     shards[idx] = Some(match chunk.payload().as_bytes() {
@@ -1032,14 +1087,11 @@ impl StripeManager {
 
         let new_parities: Option<Vec<Vec<u8>>> = if use_delta {
             // Read the old chunk and all parity chunks.
-            let (old_chunk, done) = self
-                .array
-                .device_mut(target.device)
-                .read_chunk(target.handle, now)?;
+            let (old_chunk, done) = self.read_chunk_retrying(target.device, target.handle, now)?;
             completions.push(done);
             let mut old_parities = Vec::with_capacity(k);
             for c in &parity_chunks {
-                let (chunk, done) = self.array.device_mut(c.device).read_chunk(c.handle, now)?;
+                let (chunk, done) = self.read_chunk_retrying(c.device, c.handle, now)?;
                 completions.push(done);
                 old_parities.push(chunk);
             }
@@ -1067,7 +1119,7 @@ impl StripeManager {
                     });
                     continue;
                 }
-                let (chunk, done) = self.array.device_mut(c.device).read_chunk(c.handle, now)?;
+                let (chunk, done) = self.read_chunk_retrying(c.device, c.handle, now)?;
                 completions.push(done);
                 shards.push(match chunk.payload().as_bytes() {
                     Some(b) => pad(b),
@@ -1156,10 +1208,7 @@ impl StripeManager {
                     .find(|c| self.chunk_intact(c))
                     .expect("degraded stripe has a survivor")
                     .clone();
-                let (src, done) = self
-                    .array
-                    .device_mut(survivor.device)
-                    .read_chunk(survivor.handle, now)?;
+                let (src, done) = self.read_chunk_retrying(survivor.device, survivor.handle, now)?;
                 completions.push(done);
                 let lost: Vec<StripeChunk> = meta
                     .chunks
@@ -1195,8 +1244,8 @@ impl StripeManager {
                 let m_actual = meta.chunks.len() - parity_count;
 
                 let mut shards: Vec<Option<Vec<u8>>> = vec![None; codec_m + parity_count];
-                for j in m_actual..codec_m {
-                    shards[j] = Some(vec![0u8; parity_len.as_bytes() as usize]);
+                for shard in shards.iter_mut().take(codec_m).skip(m_actual) {
+                    *shard = Some(vec![0u8; parity_len.as_bytes() as usize]);
                 }
                 let mut survivors_read = 0usize;
                 for c in &meta.chunks {
@@ -1211,8 +1260,7 @@ impl StripeManager {
                         ChunkRole::Parity(p) => codec_m + p,
                         ChunkRole::Replica(_) => unreachable!(),
                     };
-                    let (chunk, done) =
-                        self.array.device_mut(c.device).read_chunk(c.handle, now)?;
+                    let (chunk, done) = self.read_chunk_retrying(c.device, c.handle, now)?;
                     completions.push(done);
                     survivors_read += 1;
                     shards[idx] = Some(match chunk.payload().as_bytes() {

@@ -184,4 +184,60 @@ proptest! {
         let out = mgr.read_object(&layout).expect("schemes with k >= 1 survive one failure");
         prop_assert_eq!(out.bytes.as_deref(), Some(&data[..]));
     }
+
+    /// The Reed–Solomon tolerance boundary is exact: corrupting any
+    /// subset of a stripe's data chunks no larger than its parity count
+    /// `m` reads back byte-for-byte; any larger subset errors out —
+    /// never silently wrong data.
+    #[test]
+    fn parity_tolerance_boundary_is_exact(
+        m in 1u8..3,
+        mask in 0u32..32,
+        seed: u64,
+    ) {
+        let mut mgr = StripeManager::new(test_array(5), ByteSize::from_kib(8));
+        // Size the object to exactly one full (5 - m) + m stripe.
+        let data_chunks = 5 - m as usize;
+        let size = data_chunks * 8 * 1024;
+        let data: Vec<u8> = (0..size)
+            .map(|i| (seed.wrapping_add(i as u64).wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
+        let layout = mgr
+            .store_object(
+                1,
+                ByteSize::from_bytes(size as u64),
+                RedundancyScheme::parity(m),
+                Some(&data),
+            )
+            .expect("store");
+
+        let victims: Vec<u64> = (0..data_chunks as u64)
+            .filter(|i| mask & (1 << i) != 0)
+            .collect();
+        for &v in &victims {
+            mgr.corrupt_data_chunk(&layout, v).expect("corrupt");
+        }
+
+        match mgr.read_object(&layout) {
+            Ok(out) => {
+                prop_assert!(
+                    victims.len() <= m as usize,
+                    "{} corruptions must exceed {} parity",
+                    victims.len(),
+                    m
+                );
+                prop_assert_eq!(out.bytes.as_deref(), Some(&data[..]));
+                prop_assert_eq!(out.degraded, !victims.is_empty());
+            }
+            Err(StripeError::ObjectLost { .. }) => {
+                prop_assert!(
+                    victims.len() > m as usize,
+                    "{} corruptions within {} parity must be repairable",
+                    victims.len(),
+                    m
+                );
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("read: {e}"))),
+        }
+    }
 }

@@ -206,3 +206,197 @@ fn mixed_population_failure_cycle() {
         "protected classes must all survive three failure cycles"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Partial-failure injection: latent corruption, degraded reads with
+// read-repair, transient timeouts, and end-to-end determinism.
+// ---------------------------------------------------------------------------
+
+use reo_repro::core::{
+    CacheSystem, ExperimentPlan, ExperimentRunner, PlannedEvent, SchemeConfig, SystemConfig,
+};
+use reo_repro::flashsim::FaultPlan;
+use reo_repro::workload::{Locality, Trace, WorkloadSpec};
+
+/// Corruption within the parity tolerance is served byte-exact through the
+/// degraded read path, which also repairs the object in place: the next
+/// read is intact again and the medium-error/repair counters advance.
+#[test]
+fn tolerated_corruption_is_served_exactly_and_read_repaired() {
+    let mut t = target();
+    let data = payload(96_000, 21); // 6 chunks of 16 KiB across two 3+2 stripes
+    t.create_object(
+        key(1),
+        ByteSize::from_bytes(data.len() as u64),
+        ObjectClass::HotClean,
+        Some(&data),
+    )
+    .unwrap();
+    t.corrupt_chunk(key(1), 0).unwrap();
+    t.corrupt_chunk(key(1), 4).unwrap();
+
+    let out = t.read_object(key(1)).unwrap();
+    assert!(out.degraded);
+    assert_eq!(out.bytes.as_deref(), Some(&data[..]), "zero corrupt payloads");
+    let stats = t.stats();
+    assert!(stats.medium_errors >= 1);
+    assert!(stats.repairs >= 1, "degraded read must repair in place");
+
+    // Read-repair healed it: the second read is clean.
+    let again = t.read_object(key(1)).unwrap();
+    assert!(!again.degraded, "read-repair must leave the object intact");
+    assert_eq!(again.bytes.as_deref(), Some(&data[..]));
+}
+
+/// Corruption beyond the tolerance fails loudly — an error, never wrong
+/// bytes — for a hot (2-parity) object with all three data chunks of a
+/// stripe gone, and for a cold (unprotected) object with a single hit.
+#[test]
+fn excess_corruption_fails_loudly_never_wrong_data() {
+    let data = payload(48_000, 23); // 3 chunks = exactly one 3+2 stripe
+    let mut t = target();
+    t.create_object(
+        key(1),
+        ByteSize::from_bytes(data.len() as u64),
+        ObjectClass::HotClean,
+        Some(&data),
+    )
+    .unwrap();
+    for chunk in 0..3 {
+        t.corrupt_chunk(key(1), chunk).unwrap();
+    }
+    assert_eq!(t.object_status(key(1)).unwrap(), ObjectStatus::Lost);
+    assert!(t.read_object(key(1)).is_err(), "3 of 3+2 gone must error");
+
+    let mut t = target();
+    t.create_object(
+        key(2),
+        ByteSize::from_bytes(data.len() as u64),
+        ObjectClass::ColdClean,
+        Some(&data),
+    )
+    .unwrap();
+    t.corrupt_chunk(key(2), 1).unwrap();
+    assert_eq!(t.object_status(key(2)).unwrap(), ObjectStatus::Lost);
+    assert!(
+        t.read_object(key(2)).is_err(),
+        "unprotected cold objects die with their first corrupt chunk"
+    );
+}
+
+/// Transient read timeouts are absorbed by the stripe layer's bounded
+/// retries: every read still returns the exact payload, and the retry
+/// counter shows the faults actually fired.
+#[test]
+fn transient_timeouts_are_retried_to_byte_exact_reads() {
+    let mut t = target();
+    let mut plan = FaultPlan::new(0xEE);
+    let mut bodies = Vec::new();
+    for i in 0..12u64 {
+        let data = payload(40_000 + i as usize * 3_000, i as u8);
+        t.create_object(
+            key(i),
+            ByteSize::from_bytes(data.len() as u64),
+            ObjectClass::HotClean,
+            Some(&data),
+        )
+        .unwrap();
+        bodies.push(data);
+    }
+    t.arm_transient_faults(&mut plan, 0.10);
+    for round in 0..4 {
+        for (i, data) in bodies.iter().enumerate() {
+            let out = t.read_object(key(i as u64)).unwrap();
+            assert!(!out.degraded, "round {round} object {i}");
+            assert_eq!(out.bytes.as_deref(), Some(&data[..]), "round {round} object {i}");
+        }
+    }
+    assert!(
+        t.transient_retries() > 0,
+        "a 10% timeout rate over hundreds of chunk reads must trip retries"
+    );
+}
+
+fn fault_trace(seed: u64) -> Trace {
+    WorkloadSpec {
+        objects: 120,
+        mean_object_size: ByteSize::from_kib(192),
+        size_sigma: 0.6,
+        locality: Locality::Medium,
+        requests: 900,
+        write_ratio: 0.0,
+        temporal_reuse: Locality::Medium.temporal_reuse(),
+        reuse_window: 100,
+    }
+    .generate(seed)
+}
+
+fn fault_system(t: &Trace) -> CacheSystem {
+    let cache = t.summary().data_set_bytes.scale(0.40);
+    let config = SystemConfig::paper_defaults(SchemeConfig::Reo { reserve: 0.20 }, cache)
+        .with_chunk_size(ByteSize::from_kib(32));
+    let mut sys = CacheSystem::new(config);
+    sys.populate(t.objects());
+    sys
+}
+
+/// Heavy latent corruption mid-run: the system keeps serving every request
+/// (no panics), falls back to the backend for irrecoverably damaged
+/// objects, and counts those fallbacks.
+#[test]
+fn heavy_corruption_degrades_to_backend_fallbacks() {
+    let t = fault_trace(11);
+    let mut sys = fault_system(&t);
+    let plan = ExperimentPlan {
+        warmup_passes: 1,
+        events: vec![
+            (300, PlannedEvent::CorruptChunks { ppm: 800_000 }),
+            (500, PlannedEvent::CorruptChunks { ppm: 800_000 }),
+            (700, PlannedEvent::CorruptChunks { ppm: 800_000 }),
+        ],
+    };
+    let result = ExperimentRunner::run(&mut sys, &t, &plan);
+    assert_eq!(result.totals.requests, 900, "every request must be served");
+    assert!(
+        result.totals.unrecoverable_fallbacks > 0,
+        "80% chunk corruption must push some reads to the backend"
+    );
+    // Correct bytes still flow: every fallback was served from the backend
+    // (the trace completed), and the damaged objects were evicted rather
+    // than served corrupt.
+    assert!(result.totals.read_hits > 0, "the cache must keep working");
+}
+
+/// The full injected-fault pipeline is deterministic: two systems with
+/// equal configurations, traces, and fault seeds produce identical
+/// metrics, window by window, counter by counter.
+#[test]
+fn fault_injection_is_deterministic_end_to_end() {
+    let t = fault_trace(13);
+    let plan = ExperimentPlan {
+        warmup_passes: 1,
+        events: vec![
+            (0, PlannedEvent::TransientFaults { ppm: 20_000 }),
+            (0, PlannedEvent::StartScrub),
+            (250, PlannedEvent::CorruptChunks { ppm: 100_000 }),
+            (500, PlannedEvent::SlowDevice {
+                device: DeviceId(2),
+                factor_pct: 400,
+            }),
+            (700, PlannedEvent::CorruptChunks { ppm: 200_000 }),
+        ],
+    };
+    let run = || {
+        let mut sys = fault_system(&t);
+        let result = ExperimentRunner::run(&mut sys, &t, &plan);
+        let windows: Vec<_> = result.windows().into_iter().cloned().collect();
+        (result.totals.clone(), windows, sys.transient_retries())
+    };
+    let (totals_a, windows_a, retries_a) = run();
+    let (totals_b, windows_b, retries_b) = run();
+    assert_eq!(totals_a, totals_b, "totals must match byte for byte");
+    assert_eq!(windows_a, windows_b, "every window must match");
+    assert_eq!(retries_a, retries_b);
+    assert!(totals_a.medium_errors > 0, "the faults must actually fire");
+    assert!(totals_a.scrub_passes > 0);
+}

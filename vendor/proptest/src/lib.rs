@@ -1,0 +1,552 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of proptest it uses: the [`strategy::Strategy`]
+//! trait with `prop_map` / `prop_filter` / `prop_perturb`, range and
+//! tuple strategies, [`prelude::any`], `proptest::collection::vec`,
+//! `Just`, `prop_oneof!`, and the `proptest!` test macro with
+//! `prop_assert*`. Generation is deterministic: each test derives its RNG
+//! seed from the test name, so failures reproduce exactly. There is no
+//! shrinking — a failing case reports the assertion message and the case
+//! number instead of a minimized input.
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+    use std::fmt;
+
+    /// Per-test configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed test case.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Creates a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The deterministic RNG driving value generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: SmallRng,
+    }
+
+    impl TestRng {
+        /// Seeds a generator from a test's name (FNV-1a over the bytes),
+        /// so every test has its own reproducible stream.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { inner: SmallRng::seed_from_u64(h) }
+        }
+
+        /// Forks an independent generator from this one's stream.
+        pub fn fork(&mut self) -> Self {
+            let seed = self.inner.next_u64();
+            TestRng { inner: SmallRng::seed_from_u64(seed) }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.inner.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.inner.fill_bytes(dest)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values passing `pred`, regenerating otherwise.
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, reason: reason.into(), pred }
+        }
+
+        /// Post-processes generated values with access to an RNG.
+        fn prop_perturb<O, F>(self, f: F) -> Perturb<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value, TestRng) -> O,
+        {
+            Perturb { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let candidate = self.inner.generate(rng);
+                if (self.pred)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!("prop_filter gave up: {}", self.reason);
+        }
+    }
+
+    /// See [`Strategy::prop_perturb`].
+    pub struct Perturb<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value, TestRng) -> O> Strategy for Perturb<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            let value = self.inner.generate(rng);
+            (self.f)(value, rng.fork())
+        }
+    }
+
+    /// A boxed generator closure: one alternative of a [`Union`].
+    pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+    /// Uniform choice among boxed alternatives (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<UnionArm<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from generator closures.
+        pub fn new(arms: Vec<UnionArm<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.random_range(0..self.arms.len());
+            (self.arms[idx])(rng)
+        }
+    }
+
+    /// Boxes one `prop_oneof!` alternative.
+    pub fn union_arm<S>(strategy: S) -> UnionArm<S::Value>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(move |rng| strategy.generate(rng))
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident/$idx:tt),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!(
+        (A/0, B/1),
+        (A/0, B/1, C/2),
+        (A/0, B/1, C/2, D/3),
+        (A/0, B/1, C/2, D/3, E/4),
+        (A/0, B/1, C/2, D/3, E/4, F/5),
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6),
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+    );
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T> {
+        _marker: PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy { _marker: PhantomData }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A length specification for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// A strategy producing `Vec`s of another strategy's values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi_exclusive {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..self.size.hi_exclusive)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::arbitrary::{any, Arbitrary};
+    pub use super::collection;
+    pub use super::strategy::{Just, Strategy, Union};
+    pub use super::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use rand::RngCore;
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm($arm)),+
+        ])
+    }};
+}
+
+/// Asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`", __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}", __l, __r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`", __l, __r
+            )));
+        }
+    }};
+}
+
+/// Declares property tests. Each `#[test] fn name(args) { body }` becomes
+/// a normal test running the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    $crate::__proptest_bind!(__rng; [$($args)*] () $body);
+                if let Err(__e) = __result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name), __case + 1, __config.cases, __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; [] ($($bound:tt)*) $body:block) => {{
+        $($bound)*
+        #[allow(unused_mut)]
+        let mut __run = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+            $body
+            Ok(())
+        };
+        __run()
+    }};
+    ($rng:ident; [$pat:pat in $strategy:expr, $($rest:tt)*] ($($bound:tt)*) $body:block) => {
+        $crate::__proptest_bind!($rng; [$($rest)*] ($($bound)*
+            let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut $rng);
+        ) $body)
+    };
+    ($rng:ident; [$pat:pat in $strategy:expr] ($($bound:tt)*) $body:block) => {
+        $crate::__proptest_bind!($rng; [] ($($bound)*
+            let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut $rng);
+        ) $body)
+    };
+    ($rng:ident; [$arg:ident : $ty:ty, $($rest:tt)*] ($($bound:tt)*) $body:block) => {
+        $crate::__proptest_bind!($rng; [$($rest)*] ($($bound)*
+            let $arg: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        ) $body)
+    };
+    ($rng:ident; [$arg:ident : $ty:ty] ($($bound:tt)*) $body:block) => {
+        $crate::__proptest_bind!($rng; [] ($($bound)*
+            let $arg: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        ) $body)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u64..10, (a, b) in (0u8..4, 0.0f64..1.0), flag: bool) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 4);
+            prop_assert!((0.0..1.0).contains(&b));
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_vec_map_filter(ops in collection::vec(
+            prop_oneof![
+                (1u8..5).prop_map(|n| n as u64),
+                Just(99u64),
+            ].prop_filter("nonzero", |v| *v > 0),
+            1..20,
+        )) {
+            prop_assert!(!ops.is_empty());
+            prop_assert!(ops.iter().all(|&v| (1..5).contains(&v) || v == 99));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("other");
+        let _ = c.next_u64();
+    }
+
+}

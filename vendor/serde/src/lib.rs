@@ -1,0 +1,417 @@
+//! Vendored minimal stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a small value-tree serialization framework under
+//! serde's names. Types implement [`Serialize`]/[`Deserialize`] by
+//! converting to and from a JSON-shaped [`Value`]; the companion
+//! `serde_json` stub renders that tree as text. The `derive` feature
+//! re-exports `#[derive(Serialize, Deserialize)]` proc-macros that follow
+//! serde's externally-tagged data model for structs and enums, which is
+//! all this repository uses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the serialization data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer (covers `u128`, keeping full precision).
+    U(u128),
+    /// A negative integer.
+    I(i128),
+    /// A floating-point number.
+    F(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered key-value map.
+    Map(Vec<(String, Value)>),
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Clone, Debug)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses a value tree into `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- helpers used by derive-generated code ----------------------------
+
+/// Looks up `name` in a map value.
+pub fn __get<'a>(v: &'a Value, name: &str) -> Result<&'a Value, DeError> {
+    match v {
+        Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::custom(format!("missing field `{name}`"))),
+        other => Err(DeError::custom(format!(
+            "expected map with field `{name}`, found {}",
+            kind(other)
+        ))),
+    }
+}
+
+/// Deserializes field `name` of a map value.
+pub fn __field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    T::from_value(__get(v, name)?)
+        .map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+}
+
+/// For externally-tagged enums: if `v` is a single-entry map keyed by
+/// `variant`, returns the payload.
+pub fn __variant<'a>(v: &'a Value, variant: &str) -> Option<&'a Value> {
+    match v {
+        Value::Map(entries) if entries.len() == 1 && entries[0].0 == variant => {
+            Some(&entries[0].1)
+        }
+        _ => None,
+    }
+}
+
+/// Interprets `v` as a sequence.
+pub fn __seq(v: &Value) -> Result<&[Value], DeError> {
+    match v {
+        Value::Seq(items) => Ok(items),
+        other => Err(DeError::custom(format!("expected sequence, found {}", kind(other)))),
+    }
+}
+
+/// Deserializes element `idx` of a sequence slice.
+pub fn __seq_item<T: Deserialize>(items: &[Value], idx: usize) -> Result<T, DeError> {
+    let item = items
+        .get(idx)
+        .ok_or_else(|| DeError::custom(format!("sequence too short (wanted index {idx})")))?;
+    T::from_value(item)
+}
+
+fn kind(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::U(_) | Value::I(_) => "integer",
+        Value::F(_) => "float",
+        Value::Str(_) => "string",
+        Value::Seq(_) => "sequence",
+        Value::Map(_) => "map",
+    }
+}
+
+// ---- primitive impls ---------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U(*self as u128)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U(u) => <$ty>::try_from(*u)
+                        .map_err(|_| DeError::custom(format!("{u} out of range for {}", stringify!($ty)))),
+                    other => Err(DeError::custom(format!(
+                        "expected {}, found {}", stringify!($ty), kind(other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_serde_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let n = *self as i128;
+                if n >= 0 { Value::U(n as u128) } else { Value::I(n) }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i128 = match v {
+                    Value::U(u) => i128::try_from(*u)
+                        .map_err(|_| DeError::custom(format!("{u} out of range")))?,
+                    Value::I(i) => *i,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected {}, found {}", stringify!($ty), kind(other)
+                        )))
+                    }
+                };
+                <$ty>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serde_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::F(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::F(f) => Ok(*f as $ty),
+                    Value::U(u) => Ok(*u as $ty),
+                    Value::I(i) => Ok(*i as $ty),
+                    other => Err(DeError::custom(format!(
+                        "expected {}, found {}", stringify!($ty), kind(other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, found {}", kind(other)))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, found {}", kind(other)))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::custom(format!("expected char, found {}", kind(other)))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        __seq(v)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| DeError::custom(format!("expected {N} elements, found {}", items.len())))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident/$idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = __seq(v)?;
+                Ok(($(__seq_item::<$name>(items, $idx)?,)+))
+            }
+        }
+    )+};
+}
+impl_serde_tuple!(
+    (A/0),
+    (A/0, B/1),
+    (A/0, B/1, C/2),
+    (A/0, B/1, C/2, D/3),
+    (A/0, B/1, C/2, D/3, E/4)
+);
+
+/// Renders a serialized value as a JSON object key. Maps in this data
+/// model key on strings, so integer and string keys are supported — the
+/// same set `serde_json` accepts at runtime.
+fn key_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::U(u) => u.to_string(),
+        Value::I(i) => i.to_string(),
+        other => panic!("unsupported map key type: {}", kind(other)),
+    }
+}
+
+/// Rebuilds a key type from its object-key string.
+fn key_value<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    // Try integer readings first (covers numeric newtype keys), then the
+    // plain string reading.
+    if let Ok(u) = s.parse::<u128>() {
+        if let Ok(k) = K::from_value(&Value::U(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = s.parse::<i128>() {
+        if let Ok(k) = K::from_value(&Value::I(i)) {
+            return Ok(k);
+        }
+    }
+    K::from_value(&Value::Str(s.to_string()))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_value::<K>(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected map, found {}", kind(other)))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(
+            u128::from_value(&(u128::MAX).to_value()).unwrap(),
+            u128::MAX
+        );
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<u8> = Vec::from_value(&vec![1u8, 2, 3].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let t: (u8, f64) = Deserialize::from_value(&(7u8, 0.25f64).to_value()).unwrap();
+        assert_eq!(t, (7, 0.25));
+        let none: Option<u8> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn numeric_map_keys_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "x".to_string());
+        let back: BTreeMap<u32, String> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+}

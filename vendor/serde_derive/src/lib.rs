@@ -1,0 +1,352 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the serde stand-in.
+//!
+//! Implemented directly on `proc_macro` token trees (no syn/quote in the
+//! offline build). Supports the shapes this repository uses, following
+//! serde's externally-tagged data model:
+//!
+//! - structs with named fields → map
+//! - newtype structs → transparent inner value
+//! - tuple structs → sequence
+//! - unit structs → null
+//! - enums with unit / tuple / struct variants (externally tagged)
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported;
+//! hitting one is a compile-time panic rather than silent misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---- parsing -----------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes, visibility, and misc qualifiers until the
+    // `struct` / `enum` keyword.
+    let keyword = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // pub / crate / etc.
+            }
+            Some(TokenTree::Group(_)) => i += 1, // pub(crate)'s group
+            other => panic!("serde derive: unexpected token {:?}", other),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {:?}", other),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive stub: generic type `{name}` is unsupported");
+        }
+    }
+
+    let kind = if keyword == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde derive: unexpected struct body {:?}", other),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body {:?}", other),
+        }
+    };
+
+    Item { name, kind }
+}
+
+/// Splits a token stream on top-level commas (commas inside `<...>` do
+/// not split; bracketed groups are opaque single tokens already).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth: i32 = 0;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().unwrap().push(tok);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Strips leading attributes and visibility from a field/variant chunk.
+fn skip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &chunk[i..],
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let rest = skip_attrs_and_vis(chunk);
+            match rest.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde derive: expected field name, found {:?}", other),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let rest = skip_attrs_and_vis(chunk);
+            let name = match rest.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde derive: expected variant name, found {:?}", other),
+            };
+            // After the name: payload group, an explicit `= discriminant`
+            // (skipped), or nothing.
+            let kind = match rest.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(parse_named_fields(g.stream()))
+                }
+                _ => VariantKind::Unit,
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---- code generation ---------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push(({f:?}.to_string(), serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __m: Vec<(String, serde::Value)> = Vec::new();\n{pushes}serde::Value::Map(__m)"
+            )
+        }
+        Kind::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => serde::Value::Str({vname:?}.to_string()),\n"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => serde::Value::Map(vec![({vname:?}.to_string(), serde::Serialize::to_value(__f0))]),\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => serde::Value::Map(vec![({vname:?}.to_string(), serde::Value::Seq(vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value({f}))"))
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => serde::Value::Map(vec![({vname:?}.to_string(), serde::Value::Map(vec![{}]))]),\n",
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::__field(__v, {f:?})?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::__seq_item(__items, {i})?"))
+                .collect();
+            format!(
+                "let __items = serde::__seq(__v)?;\nOk({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!(
+            "match __v {{ serde::Value::Null => Ok({name}), _ => Err(serde::DeError::custom(\"expected null\")) }}"
+        ),
+        Kind::Enum(variants) => {
+            let mut code = String::new();
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => return Ok({name}::{}),\n", v.name, v.name))
+                .collect();
+            if !unit_arms.is_empty() {
+                code.push_str(&format!(
+                    "if let serde::Value::Str(__s) = __v {{\nmatch __s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n}}\n"
+                ));
+            }
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => code.push_str(&format!(
+                        "if let Some(__inner) = serde::__variant(__v, {vname:?}) {{\nreturn Ok({name}::{vname}(serde::Deserialize::from_value(__inner)?));\n}}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::__seq_item(__items, {i})?"))
+                            .collect();
+                        code.push_str(&format!(
+                            "if let Some(__inner) = serde::__variant(__v, {vname:?}) {{\nlet __items = serde::__seq(__inner)?;\nreturn Ok({name}::{vname}({}));\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: serde::__field(__inner, {f:?})?"))
+                            .collect();
+                        code.push_str(&format!(
+                            "if let Some(__inner) = serde::__variant(__v, {vname:?}) {{\nreturn Ok({name}::{vname} {{ {} }});\n}}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            code.push_str(&format!(
+                "Err(serde::DeError::custom(format!(\"no variant of {name} matched\")))"
+            ));
+            code
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &serde::Value) -> Result<{name}, serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
