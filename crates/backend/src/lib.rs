@@ -40,7 +40,7 @@ use std::fmt;
 
 use bytes::Bytes;
 use reo_osd::ObjectKey;
-use reo_sim::{ByteSize, ServiceModel, SimClock, SimDuration, SimTime};
+use reo_sim::{ByteSize, Layer, ServiceModel, SimClock, SimDuration, SimTime, Tracer};
 
 /// Service-time parameters of the backend server.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -142,6 +142,7 @@ pub struct BackendStore {
     objects: HashMap<ObjectKey, StoredObject>,
     busy_until: SimTime,
     stats: BackendStats,
+    tracer: Tracer,
 }
 
 impl BackendStore {
@@ -153,12 +154,24 @@ impl BackendStore {
             objects: HashMap::new(),
             busy_until: SimTime::ZERO,
             stats: BackendStats::default(),
+            tracer: Tracer::new(),
         }
     }
 
     /// The store's configuration.
     pub fn config(&self) -> &BackendConfig {
         &self.config
+    }
+
+    /// Installs a shared tracer handle; backend-layer spans are recorded
+    /// through it from then on.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer handle (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Cumulative counters.
@@ -231,14 +244,16 @@ impl BackendStore {
         );
     }
 
-    fn service(&mut self, bytes: ByteSize) -> SimTime {
+    fn service(&mut self, op: &'static str, bytes: ByteSize) -> SimTime {
         let now = self.clock.now();
         let start = self.busy_until.max(now);
         let disk = self.config.disk.service_time(bytes);
         let net = self.config.network.service_time(bytes);
         let done = start + disk + net;
         self.busy_until = done;
-        self.clock.advance_to(done)
+        let t = self.clock.advance_to(done);
+        self.tracer.record_span(Layer::Backend, op, now, t);
+        t
     }
 
     /// Reads an object, charging disk + network time.
@@ -254,7 +269,7 @@ impl BackendStore {
                 .ok_or(BackendError::UnknownObject(key))?;
             (obj.size, obj.bytes.clone())
         };
-        let completed_at = self.service(size);
+        let completed_at = self.service("read", size);
         self.stats.reads += 1;
         self.stats.bytes_read += size.as_bytes();
         Ok(FetchedObject {
@@ -297,7 +312,7 @@ impl BackendStore {
                 version,
             },
         );
-        let completed_at = self.service(size);
+        let completed_at = self.service("write", size);
         self.stats.writes += 1;
         self.stats.bytes_written += size.as_bytes();
         Ok(completed_at)
@@ -347,6 +362,10 @@ impl BackendStore {
         self.busy_until = done;
         self.stats.writes += 1;
         self.stats.bytes_written += size.as_bytes();
+        // Background writes do not advance the clock; the span covers the
+        // disk occupancy (start may be in the clock's future).
+        self.tracer
+            .record_span(Layer::Backend, "write_bg", start, done);
         Ok(done)
     }
 }

@@ -1,13 +1,15 @@
 //! Calibration diagnostics: one-line summaries per scheme on the medium
 //! workload (hit ratio, bandwidth, space efficiency, classification
-//! counters). Useful when re-tuning the workload generator or service
-//! models; not one of the paper's figures.
+//! counters), followed by a traced Reo-20% deep dive through the shared
+//! exporter (per-layer latency breakdown, per-class rows, device table,
+//! amplification). Useful when re-tuning the workload generator or
+//! service models; not one of the paper's figures.
 //!
 //! Usage:
 //!   cargo run --release -p reo-bench --bin diagnose [-- --quick]
 
-use reo_bench::{build_system, RunScale};
-use reo_core::SchemeConfig;
+use reo_bench::{build_system, export, RunScale};
+use reo_core::{ExperimentPlan, ExperimentRunner, SchemeConfig};
 use reo_osd::ObjectClass;
 use reo_sim::ByteSize;
 use reo_workload::WorkloadSpec;
@@ -51,4 +53,14 @@ fn main() {
             stats.control_messages,
         );
     }
+
+    // Traced deep dive: where the time and bytes of a Reo-20% run go.
+    let scheme = SchemeConfig::Reo { reserve: 0.20 };
+    let mut sys = build_system(scheme, &trace, 0.10, ByteSize::from_kib(64));
+    sys.enable_tracing();
+    let sample_every = (trace.requests().len() / 8).max(1);
+    let plan = ExperimentPlan::normal_run().with_sampling(sample_every);
+    let result = ExperimentRunner::run(&mut sys, &trace, &plan);
+    let report = export::collect_run_report("diagnose", &scheme.label(), &sys, &result);
+    print!("{}", export::render_summary(&report));
 }

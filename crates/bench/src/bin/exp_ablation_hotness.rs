@@ -15,21 +15,41 @@
 //! Usage:
 //!   cargo run --release -p reo-bench --bin exp_ablation_hotness [-- --quick]
 
-use reo_bench::RunScale;
+use reo_bench::{FigureReport, RunScale};
 use reo_core::{CacheSystem, DeviceId, SchemeConfig, SystemConfig};
 use reo_osd::ObjectClass;
 use reo_sim::ByteSize;
 use reo_workload::WorkloadSpec;
-use serde::Serialize;
 use std::collections::BTreeMap;
 
-#[derive(Serialize)]
 struct Row {
     pre_failure_hit_pct: f64,
     post_failure_hit_pct: f64,
     drop_pp: f64,
     protected_objects: usize,
     space_efficiency_pct: f64,
+}
+
+impl Row {
+    /// The row as exporter table columns.
+    fn columns(&self) -> BTreeMap<String, f64> {
+        BTreeMap::from([
+            ("pre_failure_hit_pct".to_string(), self.pre_failure_hit_pct),
+            (
+                "post_failure_hit_pct".to_string(),
+                self.post_failure_hit_pct,
+            ),
+            ("drop_pp".to_string(), self.drop_pp),
+            (
+                "protected_objects".to_string(),
+                self.protected_objects as f64,
+            ),
+            (
+                "space_efficiency_pct".to_string(),
+                self.space_efficiency_pct,
+            ),
+        ])
+    }
 }
 
 fn run(
@@ -104,7 +124,7 @@ fn main() {
         ("no classification (all cold)", true, 0),
     ];
 
-    let mut table: BTreeMap<String, Row> = BTreeMap::new();
+    let mut table: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
     println!(
         "{:<36}{:>13}{:>14}{:>9}{:>11}{:>8}",
         "variant", "pre-fail hit%", "post-fail hit%", "drop pp", "protected", "eff %"
@@ -119,8 +139,11 @@ fn main() {
             row.protected_objects,
             row.space_efficiency_pct,
         );
-        table.insert(label.to_string(), row);
+        table.insert(label.to_string(), row.columns());
     }
 
-    reo_bench::write_json("ablation_hotness", &table);
+    FigureReport::new("ablation_hotness")
+        .param("window", window)
+        .table("variants", table)
+        .write("ablation_hotness");
 }

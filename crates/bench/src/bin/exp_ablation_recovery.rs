@@ -18,20 +18,13 @@
 //! Usage:
 //!   cargo run --release -p reo-bench --bin exp_ablation_recovery [-- --quick]
 
-use reo_bench::RunScale;
+use reo_bench::{FigureReport, RunScale};
 use reo_core::{CacheSystem, DeviceId, SchemeConfig, SystemConfig};
 use reo_osd::ObjectClass;
 use reo_sim::ByteSize;
 use reo_stripe::ObjectStatus;
 use reo_workload::WorkloadSpec;
-use serde::Serialize;
 use std::collections::BTreeMap;
-
-#[derive(Serialize)]
-struct Report {
-    /// engine -> class -> requests until the class was fully re-protected.
-    exposure: BTreeMap<String, BTreeMap<String, usize>>,
-}
 
 /// Requests until each class has no degraded objects left, per engine.
 fn run(
@@ -115,9 +108,8 @@ fn main() {
     println!("### Ablation — prioritized vs FIFO recovery: per-class exposure window after spare insertion");
     println!("(write-intensive medium workload, Reo-20%, rebuild = 1 object / 20 requests)\n");
 
-    let mut report = Report {
-        exposure: BTreeMap::new(),
-    };
+    // engine -> class -> requests until the class was fully re-protected.
+    let mut exposure_table: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
     println!(
         "{:<22}{:>12}{:>12}{:>12}",
         "engine", "metadata", "dirty", "hot-clean"
@@ -128,10 +120,17 @@ fn main() {
             "{label:<22}{:>12}{:>12}{:>12}",
             exposure["metadata"], exposure["dirty"], exposure["hot-clean"]
         );
-        report.exposure.insert(label.to_string(), exposure);
+        exposure_table.insert(
+            label.to_string(),
+            exposure.into_iter().map(|(k, v)| (k, v as f64)).collect(),
+        );
     }
 
     println!("\nLower is better: requests during which the class still had objects");
     println!("missing redundancy (the paper's 'vulnerable window').");
-    reo_bench::write_json("ablation_recovery", &report);
+    FigureReport::new("ablation_recovery")
+        .param("max_requests", max_requests)
+        .param("probe_every", probe_every)
+        .table("exposure_requests", exposure_table)
+        .write("ablation_recovery");
 }

@@ -10,20 +10,10 @@
 //! Usage:
 //!   cargo run --release -p reo-bench --bin exp_dirty_protection [-- --quick]
 
-use reo_bench::{run_once, Panel, RunScale};
+use reo_bench::{run_once, FigureReport, Panel, RunScale};
 use reo_core::{ExperimentPlan, SchemeConfig};
 use reo_sim::ByteSize;
 use reo_workload::WorkloadSpec;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Report {
-    hit_ratio: Panel,
-    bandwidth: Panel,
-    latency: Panel,
-    space_efficiency: Panel,
-    dirty_lost: Panel,
-}
 
 fn main() {
     let scale = RunScale::from_args();
@@ -48,6 +38,7 @@ fn main() {
             let plan = ExperimentPlan {
                 warmup_passes: 1,
                 events: vec![],
+                ..Default::default()
             };
             let result = run_once(scheme, &trace, 0.10, ByteSize::from_kib(64), &plan);
             let label = match scheme {
@@ -62,19 +53,12 @@ fn main() {
         }
     }
 
-    hit.print();
-    bw.print();
-    lat.print();
-    eff.print();
-    lost.print();
-    reo_bench::write_json(
-        "fig9_dirty_protection",
-        &Report {
-            hit_ratio: hit,
-            bandwidth: bw,
-            latency: lat,
-            space_efficiency: eff,
-            dirty_lost: lost,
-        },
-    );
+    FigureReport::new("dirty_protection")
+        .param("cache_fraction", 0.10)
+        .panel(hit)
+        .panel(bw)
+        .panel(lat)
+        .panel(eff)
+        .panel(lost)
+        .write("fig9_dirty_protection");
 }

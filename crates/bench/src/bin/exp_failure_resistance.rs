@@ -10,18 +10,10 @@
 //! Usage:
 //!   cargo run --release -p reo-bench --bin exp_failure_resistance [-- --quick]
 
-use reo_bench::{build_system, Panel, RunScale};
+use reo_bench::{build_system, FigureReport, Panel, RunScale};
 use reo_core::{ExperimentPlan, ExperimentRunner, SchemeConfig};
 use reo_sim::ByteSize;
 use reo_workload::WorkloadSpec;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Report {
-    hit_ratio: Panel,
-    bandwidth: Panel,
-    latency: Panel,
-}
 
 fn main() {
     let scale = RunScale::from_args();
@@ -58,15 +50,11 @@ fn main() {
         );
     }
 
-    hit.print();
-    bw.print();
-    lat.print();
-    reo_bench::write_json(
-        "fig8_failure_resistance",
-        &Report {
-            hit_ratio: hit,
-            bandwidth: bw,
-            latency: lat,
-        },
-    );
+    FigureReport::new("failure_resistance")
+        .param("failure_step", step)
+        .param("failures", failures)
+        .panel(hit)
+        .panel(bw)
+        .panel(lat)
+        .write("fig8_failure_resistance");
 }

@@ -2,22 +2,19 @@
 //! cache size (4–12% of the data set) for the six protection schemes,
 //! under weak / medium / strong locality workloads.
 //!
+//! With `--trace`, one additional deep-dive run per locality (Reo-20%,
+//! 10% cache) records per-layer spans, per-class rows, the device table,
+//! and a windowed time series, printing the exporter summary and writing
+//! `results/trace_normal_run_<locality>.jsonl` (the schema the CI smoke
+//! job validates).
+//!
 //! Usage:
-//!   cargo run --release -p reo-bench --bin exp_normal_run [-- --locality weak|medium|strong] [--quick]
+//!   cargo run --release -p reo-bench --bin exp_normal_run [-- --locality weak|medium|strong] [--quick] [--trace]
 
-use reo_bench::{cache_size_sweep, run_once, Panel, RunScale};
-use reo_core::{ExperimentPlan, SchemeConfig};
+use reo_bench::{build_system, cache_size_sweep, export, run_once, FigureReport, Panel, RunScale};
+use reo_core::{ExperimentPlan, ExperimentRunner, SchemeConfig};
 use reo_sim::ByteSize;
-use reo_workload::{Locality, WorkloadSpec};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Report {
-    locality: String,
-    hit_ratio: Panel,
-    bandwidth: Panel,
-    latency: Panel,
-}
+use reo_workload::{Locality, Trace, WorkloadSpec};
 
 fn locality_arg() -> Vec<Locality> {
     let args: Vec<String> = std::env::args().collect();
@@ -42,8 +39,23 @@ fn spec_for(locality: Locality) -> WorkloadSpec {
     }
 }
 
+/// The `--trace` deep dive: one traced, sampled Reo-20% run through the
+/// shared exporter.
+fn traced_run(locality: Locality, trace: &Trace) {
+    let scheme = SchemeConfig::Reo { reserve: 0.20 };
+    let mut system = build_system(scheme, trace, 0.10, ByteSize::from_kib(64));
+    system.enable_tracing();
+    let sample_every = (trace.requests().len() / 10).max(1);
+    let plan = ExperimentPlan::normal_run().with_sampling(sample_every);
+    let result = ExperimentRunner::run(&mut system, trace, &plan);
+    let report = export::collect_run_report("normal_run", &scheme.label(), &system, &result);
+    print!("{}", export::render_summary(&report));
+    export::write_jsonl(&format!("trace_normal_run_{locality}"), &report);
+}
+
 fn main() {
     let scale = RunScale::from_args();
+    let traced = std::env::args().any(|a| a == "--trace");
     let figure = |l: Locality| match l {
         Locality::Weak => 5,
         Locality::Medium => 6,
@@ -85,17 +97,15 @@ fn main() {
             }
         }
 
-        hit.print();
-        bw.print();
-        lat.print();
-        reo_bench::write_json(
-            &format!("fig{}_normal_run_{}", figure(locality), locality),
-            &Report {
-                locality: locality.to_string(),
-                hit_ratio: hit,
-                bandwidth: bw,
-                latency: lat,
-            },
-        );
+        FigureReport::new("normal_run")
+            .param("locality", locality)
+            .panel(hit)
+            .panel(bw)
+            .panel(lat)
+            .write(&format!("fig{}_normal_run_{}", figure(locality), locality));
+
+        if traced {
+            traced_run(locality, &trace);
+        }
     }
 }

@@ -14,12 +14,11 @@
 //! Usage:
 //!   cargo run --release -p reo-bench --bin exp_partial_failure [-- --quick]
 
-use reo_bench::{build_system, Panel, RunScale};
+use reo_bench::{build_system, FigureReport, Panel, RunScale};
 use reo_core::{ExperimentPlan, ExperimentRunner, PlannedEvent, SchemeConfig};
 use reo_flashsim::DeviceId;
 use reo_sim::ByteSize;
 use reo_workload::WorkloadSpec;
-use serde::Serialize;
 
 /// Per-chunk corruption rates injected at each window boundary, in parts
 /// per million (0 = the clean baseline window).
@@ -27,15 +26,6 @@ const CORRUPTION_PPM: [u32; 5] = [0, 5_000, 20_000, 50_000, 100_000];
 
 /// Per-read transient-timeout probability armed for the whole run.
 const TRANSIENT_PPM: u32 = 2_000;
-
-#[derive(Serialize)]
-struct Report {
-    hit_ratio: Panel,
-    latency: Panel,
-    medium_errors: Panel,
-    repairs: Panel,
-    fallbacks: Panel,
-}
 
 fn main() {
     let scale = RunScale::from_args();
@@ -76,6 +66,7 @@ fn main() {
     let plan = ExperimentPlan {
         warmup_passes: 1,
         events,
+        ..Default::default()
     };
 
     for scheme in SchemeConfig::normal_run_set() {
@@ -102,19 +93,12 @@ fn main() {
         );
     }
 
-    hit.print();
-    lat.print();
-    med.print();
-    rep.print();
-    fall.print();
-    reo_bench::write_json(
-        "partial_failure",
-        &Report {
-            hit_ratio: hit,
-            latency: lat,
-            medium_errors: med,
-            repairs: rep,
-            fallbacks: fall,
-        },
-    );
+    FigureReport::new("partial_failure")
+        .param("transient_ppm", TRANSIENT_PPM)
+        .panel(hit)
+        .panel(lat)
+        .panel(med)
+        .panel(rep)
+        .panel(fall)
+        .write("partial_failure");
 }

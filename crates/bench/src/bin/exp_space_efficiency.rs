@@ -10,18 +10,11 @@
 //! Usage:
 //!   cargo run --release -p reo-bench --bin exp_space_efficiency [-- --quick]
 
-use reo_bench::{build_system, RunScale};
+use reo_bench::{build_system, FigureReport, RunScale};
 use reo_core::SchemeConfig;
 use reo_sim::ByteSize;
 use reo_workload::{Locality, WorkloadSpec};
-use serde::Serialize;
 use std::collections::BTreeMap;
-
-#[derive(Serialize)]
-struct Report {
-    /// scheme -> locality -> average space efficiency (%).
-    table: BTreeMap<String, BTreeMap<String, f64>>,
-}
 
 fn main() {
     let scale = RunScale::from_args();
@@ -81,5 +74,8 @@ fn main() {
         println!("{ideal:>10.1}");
     }
 
-    reo_bench::write_json("space_efficiency", &Report { table });
+    FigureReport::new("space_efficiency")
+        .param("cache_fraction", 0.10)
+        .table("avg_space_efficiency_pct", table)
+        .write("space_efficiency");
 }

@@ -18,16 +18,10 @@
 //! Usage:
 //!   cargo run --release -p reo-bench --bin exp_warmup [-- --quick]
 
-use reo_bench::{build_system, Panel, RunScale};
+use reo_bench::{build_system, FigureReport, Panel, RunScale};
 use reo_core::{CacheSystem, DeviceId, SchemeConfig};
 use reo_sim::ByteSize;
 use reo_workload::WorkloadSpec;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Report {
-    hit_ratio: Panel,
-}
 
 fn measure_windows(
     system: &mut CacheSystem,
@@ -120,7 +114,6 @@ fn main() {
         panel.push("1-parity after 2 failures (wiped)", y);
     }
 
-    panel.print();
     println!(
         "\nBackend bytes fetched in the first {window_len}-request window (the re-warm burst):"
     );
@@ -129,5 +122,10 @@ fn main() {
     println!("\nThe Reo curve starts at its steady state; a cold cache pays an extra");
     println!("re-warm burst through the backend. The effect scales with cache size —");
     println!("at the paper's terabyte scale the cold burst stretches to hours.");
-    reo_bench::write_json("warmup_study", &Report { hit_ratio: panel });
+    FigureReport::new("warmup_study")
+        .param("window_len", window_len)
+        .param("cold_refill_gib", format!("{cold_refill:.3}"))
+        .param("reo_refill_gib", format!("{reo_refill:.3}"))
+        .panel(panel)
+        .write("warmup_study");
 }

@@ -273,6 +273,7 @@ fn plan_from_flags(flags: &Flags) -> Result<ExperimentPlan, String> {
     Ok(ExperimentPlan {
         warmup_passes: usize::from(flags.has("warmup")),
         events,
+        ..Default::default()
     })
 }
 

@@ -1,0 +1,645 @@
+//! The shared run-report exporter: one schema for every experiment
+//! binary.
+//!
+//! A [`RunReport`] bundles everything one experiment run measured — the
+//! request totals with their per-class rows, the `reo-trace` per-layer
+//! latency breakdown, the per-device table of the flash array, the cache
+//! manager's policy counters, and the windowed time series — and renders
+//! it two ways:
+//!
+//! * [`jsonl`] — machine-readable JSON lines, one record per line, each
+//!   tagged with a `kind` field (`meta`, `totals`, `class`, `layer`,
+//!   `device`, `cache`, `series`). The first line is always the `meta`
+//!   record carrying [`SCHEMA_VERSION`]; [`validate_jsonl`] checks a
+//!   document against this schema (the CI smoke job runs it on a real
+//!   `exp_normal_run --trace` output).
+//! * [`render_summary`] — the aligned human tables the binaries print.
+//!
+//! Latencies are exported in milliseconds, byte volumes in MiB; raw
+//! counters stay counts.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+
+use reo_core::{CacheSystem, DeviceReport, ExperimentResult, MetricsSnapshot, TimeSeriesPoint};
+use reo_sim::{Layer, TraceBreakdown};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Version stamp of the JSON-lines schema; bumped whenever a record kind
+/// gains, loses, or renames a field.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The record kinds a JSON-lines document may contain.
+pub const RECORD_KINDS: [&str; 7] = [
+    "meta", "totals", "class", "layer", "device", "cache", "series",
+];
+
+/// Everything one run exports (see the module docs).
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The experiment that produced the run, e.g. `"normal_run"`.
+    pub experiment: String,
+    /// The protection scheme label, e.g. `"Reo-20%"`.
+    pub scheme: String,
+    /// Request totals over the measured pass, with per-class rows.
+    pub totals: MetricsSnapshot,
+    /// Per-layer latency breakdown (empty when tracing was off).
+    pub breakdown: TraceBreakdown,
+    /// Per-device rows of the flash array.
+    pub devices: Vec<DeviceReport>,
+    /// Cache-manager policy counters.
+    pub cache: reo_cache::CacheStats,
+    /// Periodic samples (empty unless the plan set `sample_every`).
+    pub series: Vec<TimeSeriesPoint>,
+    /// Space efficiency at the end of the run.
+    pub space_efficiency: f64,
+}
+
+/// Gathers a [`RunReport`] from a finished system and its experiment
+/// result.
+pub fn collect_run_report(
+    experiment: &str,
+    scheme: &str,
+    system: &CacheSystem,
+    result: &ExperimentResult,
+) -> RunReport {
+    RunReport {
+        experiment: experiment.to_string(),
+        scheme: scheme.to_string(),
+        totals: result.totals.clone(),
+        breakdown: system.tracer().breakdown(),
+        devices: system.device_stats(),
+        cache: system.cache_stats(),
+        series: result.series.clone(),
+        space_efficiency: result.space_efficiency,
+    }
+}
+
+// ---- value plumbing ----------------------------------------------------
+
+/// A raw value tree; lets the exporter hand-build records (a `kind`
+/// discriminator plus flat fields) without a struct per record kind.
+struct Raw(Value);
+
+impl Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for Raw {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Raw(v.clone()))
+    }
+}
+
+fn rec(kind: &str, fields: Vec<(&str, Value)>) -> Value {
+    let mut entries = vec![("kind".to_string(), Value::Str(kind.to_string()))];
+    entries.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Value::Map(entries)
+}
+
+fn u(v: u64) -> Value {
+    Value::U(v as u128)
+}
+
+fn f(v: f64) -> Value {
+    Value::F(v)
+}
+
+fn s(v: &str) -> Value {
+    Value::Str(v.to_string())
+}
+
+// ---- JSON-lines rendering ----------------------------------------------
+
+fn totals_fields(snap: &MetricsSnapshot) -> Vec<(&'static str, Value)> {
+    vec![
+        ("requests", u(snap.requests)),
+        ("reads", u(snap.reads)),
+        ("read_hits", u(snap.read_hits)),
+        ("hit_ratio_pct", f(snap.hit_ratio_pct())),
+        ("writes", u(snap.writes)),
+        ("degraded_reads", u(snap.degraded_reads)),
+        ("requested_mib", f(snap.requested_bytes.as_mib_f64())),
+        ("device_mib", f(snap.device_bytes.as_mib_f64())),
+        ("backend_mib", f(snap.backend_bytes.as_mib_f64())),
+        ("amplification", f(snap.amplification())),
+        ("write_amplification", f(snap.write_amplification())),
+        ("read_amplification", f(snap.read_amplification())),
+        ("bandwidth_mib_s", f(snap.bandwidth_mib_s())),
+        ("mean_latency_ms", f(snap.mean_latency_ms())),
+        ("p99_latency_ms", f(snap.p99_latency.as_millis_f64())),
+        ("medium_errors", u(snap.medium_errors)),
+        ("repairs", u(snap.repairs)),
+        ("scrub_passes", u(snap.scrub_passes)),
+        ("unrecoverable_fallbacks", u(snap.unrecoverable_fallbacks)),
+    ]
+}
+
+fn records(report: &RunReport) -> Vec<Value> {
+    let mut out = Vec::new();
+    out.push(rec(
+        "meta",
+        vec![
+            ("schema_version", u(SCHEMA_VERSION)),
+            ("experiment", s(&report.experiment)),
+            ("scheme", s(&report.scheme)),
+            ("requests", u(report.totals.requests)),
+            ("traced_requests", u(report.breakdown.requests)),
+            ("space_efficiency_pct", f(100.0 * report.space_efficiency)),
+        ],
+    ));
+    out.push(rec("totals", totals_fields(&report.totals)));
+    for class in &report.totals.classes {
+        out.push(rec(
+            "class",
+            vec![
+                ("class", s(class.label)),
+                ("requests", u(class.requests)),
+                ("reads", u(class.reads)),
+                ("read_hits", u(class.read_hits)),
+                ("hit_ratio_pct", f(class.hit_ratio_pct())),
+                ("writes", u(class.writes)),
+                ("degraded_reads", u(class.degraded_reads)),
+                ("requested_mib", f(class.requested_bytes.as_mib_f64())),
+                ("mean_latency_ms", f(class.mean_latency.as_millis_f64())),
+                ("p99_latency_ms", f(class.p99_latency.as_millis_f64())),
+            ],
+        ));
+    }
+    for layer in &report.breakdown.layers {
+        out.push(rec(
+            "layer",
+            vec![
+                ("layer", s(layer.layer.as_str())),
+                ("spans", u(layer.spans)),
+                ("total_ms", f(layer.total.as_millis_f64())),
+                (
+                    "exclusive_ms",
+                    f(report.breakdown.exclusive(layer.layer).as_millis_f64()),
+                ),
+                ("mean_ms", f(layer.mean.as_millis_f64())),
+                ("p99_ms", f(layer.p99.as_millis_f64())),
+            ],
+        ));
+    }
+    for d in &report.devices {
+        out.push(rec(
+            "device",
+            vec![
+                ("device", u(d.id.0 as u64)),
+                ("healthy", Value::Bool(d.healthy)),
+                ("wear_pct", f(100.0 * d.wear)),
+                ("used_mib", f(d.used.as_mib_f64())),
+                ("reads", u(d.stats.reads)),
+                ("writes", u(d.stats.writes)),
+                ("read_mib", f(d.stats.bytes_read as f64 / (1024.0 * 1024.0))),
+                (
+                    "written_mib",
+                    f(d.stats.bytes_written as f64 / (1024.0 * 1024.0)),
+                ),
+                ("erases", u(d.stats.erases_estimated)),
+                (
+                    "mean_queue_delay_ms",
+                    f(d.stats.mean_queue_delay().as_millis_f64()),
+                ),
+                (
+                    "mean_service_time_ms",
+                    f(d.stats.mean_service_time().as_millis_f64()),
+                ),
+                ("transient_timeouts", u(d.stats.transient_timeouts)),
+            ],
+        ));
+    }
+    out.push(rec(
+        "cache",
+        vec![
+            ("admissions", u(report.cache.admissions)),
+            ("refreshes", u(report.cache.refreshes)),
+            ("removals", u(report.cache.removals)),
+            ("promotions", u(report.cache.promotions)),
+            ("demotions", u(report.cache.demotions)),
+        ],
+    ));
+    for point in &report.series {
+        let mut fields = vec![
+            ("at_request", u(point.at_request as u64)),
+            ("time_ms", f(point.time.as_secs_f64() * 1e3)),
+        ];
+        fields.extend(totals_fields(&point.window));
+        out.push(rec("series", fields));
+    }
+    out
+}
+
+/// Renders the report as JSON lines (one record per line, `meta` first,
+/// trailing newline).
+pub fn jsonl(report: &RunReport) -> String {
+    let mut out = String::new();
+    for record in records(report) {
+        out.push_str(&serde_json::to_string(&Raw(record)).expect("jsonl serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the report's JSON lines to `results/{name}.jsonl`.
+pub fn write_jsonl(name: &str, report: &RunReport) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.jsonl"));
+    match std::fs::File::create(&path) {
+        Ok(mut file) => {
+            if file.write_all(jsonl(report).as_bytes()).is_ok() {
+                println!("\n[trace report written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+// ---- validation --------------------------------------------------------
+
+/// What [`validate_jsonl`] found in a valid document.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JsonlSummary {
+    /// Total records.
+    pub records: usize,
+    /// Record count per kind.
+    pub kinds: BTreeMap<String, usize>,
+}
+
+fn get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn require_number(map: &[(String, Value)], key: &str, line: usize) -> Result<(), String> {
+    match get(map, key) {
+        Some(Value::U(_) | Value::I(_) | Value::F(_)) => Ok(()),
+        Some(other) => Err(format!(
+            "line {line}: field `{key}` is not a number ({other:?})"
+        )),
+        None => Err(format!("line {line}: missing field `{key}`")),
+    }
+}
+
+fn require_string(map: &[(String, Value)], key: &str, line: usize) -> Result<(), String> {
+    match get(map, key) {
+        Some(Value::Str(_)) => Ok(()),
+        Some(_) => Err(format!("line {line}: field `{key}` is not a string")),
+        None => Err(format!("line {line}: missing field `{key}`")),
+    }
+}
+
+/// Numeric fields every record of a kind must carry (strings checked
+/// separately).
+fn required_numbers(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "meta" => &["schema_version", "requests", "space_efficiency_pct"],
+        "totals" | "series" => &[
+            "requests",
+            "reads",
+            "read_hits",
+            "hit_ratio_pct",
+            "requested_mib",
+            "device_mib",
+            "amplification",
+            "write_amplification",
+            "mean_latency_ms",
+            "p99_latency_ms",
+        ],
+        "class" => &["requests", "reads", "hit_ratio_pct", "p99_latency_ms"],
+        "layer" => &["spans", "total_ms", "exclusive_ms", "mean_ms", "p99_ms"],
+        "device" => &["device", "wear_pct", "reads", "writes", "erases"],
+        "cache" => &[
+            "admissions",
+            "refreshes",
+            "removals",
+            "promotions",
+            "demotions",
+        ],
+        _ => &[],
+    }
+}
+
+/// Validates a JSON-lines document against the exporter schema:
+/// every line parses as an object with a known `kind`, the first record
+/// is `meta` with the current [`SCHEMA_VERSION`], `totals` and `cache`
+/// appear exactly once, and each record carries its kind's required
+/// fields.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
+    let mut summary = JsonlSummary::default();
+    for (i, raw_line) in text.lines().enumerate() {
+        let line = i + 1;
+        if raw_line.trim().is_empty() {
+            return Err(format!("line {line}: blank line"));
+        }
+        let Raw(value) = serde_json::from_str(raw_line).map_err(|e| format!("line {line}: {e}"))?;
+        let Value::Map(map) = &value else {
+            return Err(format!("line {line}: record is not an object"));
+        };
+        let kind = match get(map, "kind") {
+            Some(Value::Str(kind)) => kind.clone(),
+            _ => return Err(format!("line {line}: missing string field `kind`")),
+        };
+        if !RECORD_KINDS.contains(&kind.as_str()) {
+            return Err(format!("line {line}: unknown record kind `{kind}`"));
+        }
+        if summary.records == 0 {
+            if kind != "meta" {
+                return Err(format!(
+                    "line {line}: first record must be `meta`, got `{kind}`"
+                ));
+            }
+            match get(map, "schema_version") {
+                Some(Value::U(v)) if *v == SCHEMA_VERSION as u128 => {}
+                Some(Value::U(v)) => {
+                    return Err(format!(
+                        "line {line}: schema_version {v} (this validator knows {SCHEMA_VERSION})"
+                    ));
+                }
+                _ => return Err(format!("line {line}: missing numeric `schema_version`")),
+            }
+        } else if kind == "meta" {
+            return Err(format!("line {line}: duplicate `meta` record"));
+        }
+        match kind.as_str() {
+            "meta" => {
+                require_string(map, "experiment", line)?;
+                require_string(map, "scheme", line)?;
+            }
+            "class" => require_string(map, "class", line)?,
+            "layer" => require_string(map, "layer", line)?,
+            _ => {}
+        }
+        for field in required_numbers(&kind) {
+            require_number(map, field, line)?;
+        }
+        summary.records += 1;
+        *summary.kinds.entry(kind).or_default() += 1;
+    }
+    if summary.records == 0 {
+        return Err("empty document".to_string());
+    }
+    for singleton in ["totals", "cache"] {
+        match summary.kinds.get(singleton).copied().unwrap_or(0) {
+            1 => {}
+            n => {
+                return Err(format!(
+                    "expected exactly one `{singleton}` record, found {n}"
+                ))
+            }
+        }
+    }
+    Ok(summary)
+}
+
+// ---- human summary -----------------------------------------------------
+
+/// Renders the aligned human tables (per-layer breakdown, per-class
+/// rows, per-device table, cache counters) the binaries print.
+pub fn render_summary(report: &RunReport) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let t = &report.totals;
+    let _ = writeln!(
+        out,
+        "\n== run report: {} / {} ==",
+        report.experiment, report.scheme
+    );
+    let _ = writeln!(
+        out,
+        "requests {}  hit {:.1}%  bw {:.1} MB/s  mean {:.2} ms  p99 {:.2} ms  eff {:.1}%",
+        t.requests,
+        t.hit_ratio_pct(),
+        t.bandwidth_mib_s(),
+        t.mean_latency_ms(),
+        t.p99_latency.as_millis_f64(),
+        100.0 * report.space_efficiency,
+    );
+    let _ = writeln!(
+        out,
+        "amplification: total {:.2}x  write {:.2}x  read {:.2}x  (requested {:.1} MiB, device {:.1} MiB, backend {:.1} MiB)",
+        t.amplification(),
+        t.write_amplification(),
+        t.read_amplification(),
+        t.requested_bytes.as_mib_f64(),
+        t.device_bytes.as_mib_f64(),
+        t.backend_bytes.as_mib_f64(),
+    );
+
+    if !report.breakdown.layers.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<10}{:>10}{:>12}{:>14}{:>10}{:>10}",
+            "layer", "spans", "total ms", "exclusive ms", "mean ms", "p99 ms"
+        );
+        for layer in Layer::ALL {
+            let Some(row) = report.breakdown.layer(layer) else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "{:<10}{:>10}{:>12.2}{:>14.2}{:>10.3}{:>10.3}",
+                layer.as_str(),
+                row.spans,
+                row.total.as_millis_f64(),
+                report.breakdown.exclusive(layer).as_millis_f64(),
+                row.mean.as_millis_f64(),
+                row.p99.as_millis_f64(),
+            );
+        }
+    }
+
+    if !t.classes.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<12}{:>9}{:>8}{:>8}{:>10}{:>10}{:>10}",
+            "class", "reqs", "reads", "hit %", "degraded", "mean ms", "p99 ms"
+        );
+        for class in &t.classes {
+            let _ = writeln!(
+                out,
+                "{:<12}{:>9}{:>8}{:>8.1}{:>10}{:>10.2}{:>10.2}",
+                class.label,
+                class.requests,
+                class.reads,
+                class.hit_ratio_pct(),
+                class.degraded_reads,
+                class.mean_latency.as_millis_f64(),
+                class.p99_latency.as_millis_f64(),
+            );
+        }
+    }
+
+    if !report.devices.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<8}{:>9}{:>8}{:>10}{:>9}{:>9}{:>11}{:>11}{:>10}",
+            "device",
+            "healthy",
+            "wear %",
+            "used MiB",
+            "reads",
+            "writes",
+            "queue ms",
+            "service ms",
+            "timeouts"
+        );
+        for d in &report.devices {
+            let _ = writeln!(
+                out,
+                "{:<8}{:>9}{:>8.2}{:>10.1}{:>9}{:>9}{:>11.3}{:>11.3}{:>10}",
+                d.id.0,
+                if d.healthy { "yes" } else { "no" },
+                100.0 * d.wear,
+                d.used.as_mib_f64(),
+                d.stats.reads,
+                d.stats.writes,
+                d.stats.mean_queue_delay().as_millis_f64(),
+                d.stats.mean_service_time().as_millis_f64(),
+                d.stats.transient_timeouts,
+            );
+        }
+    }
+
+    let c = &report.cache;
+    let _ = writeln!(
+        out,
+        "\ncache policy: admissions {}  refreshes {}  removals {}  promotions {}  demotions {}",
+        c.admissions, c.refreshes, c.removals, c.promotions, c.demotions,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reo_core::{ExperimentPlan, ExperimentRunner, SchemeConfig};
+    use reo_sim::ByteSize;
+    use reo_workload::WorkloadSpec;
+
+    fn traced_report() -> RunReport {
+        let trace = WorkloadSpec::medium()
+            .with_objects(60)
+            .with_requests(600)
+            .generate(7);
+        let mut system = crate::build_system(
+            SchemeConfig::Reo { reserve: 0.20 },
+            &trace,
+            0.2,
+            ByteSize::from_kib(32),
+        );
+        system.enable_tracing();
+        let plan = ExperimentPlan::normal_run().with_sampling(200);
+        let result = ExperimentRunner::run(&mut system, &trace, &plan);
+        collect_run_report("unit_test", "Reo-20%", &system, &result)
+    }
+
+    #[test]
+    fn report_covers_every_dimension() {
+        let report = traced_report();
+        assert_eq!(report.totals.requests, 600);
+        assert!(!report.breakdown.layers.is_empty(), "tracing was enabled");
+        assert_eq!(report.devices.len(), 5);
+        assert!(report.cache.admissions > 0);
+        assert_eq!(report.series.len(), 3);
+        assert!(report.totals.classes.iter().any(|c| c.requests > 0));
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_validator() {
+        let report = traced_report();
+        let text = jsonl(&report);
+        let summary = validate_jsonl(&text).expect("own output must validate");
+        assert_eq!(summary.kinds["meta"], 1);
+        assert_eq!(summary.kinds["totals"], 1);
+        assert_eq!(summary.kinds["cache"], 1);
+        assert_eq!(summary.kinds["device"], 5);
+        assert_eq!(summary.kinds["series"], 3);
+        assert!(
+            summary.kinds["layer"] >= 4,
+            "cache/target/stripe/flash at least"
+        );
+        assert_eq!(
+            summary.records,
+            text.lines().count(),
+            "every line is one record"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        let report = traced_report();
+        let good = jsonl(&report);
+
+        assert!(validate_jsonl("").unwrap_err().contains("empty"));
+        assert!(validate_jsonl("{\"kind\":\"totals\"}\n")
+            .unwrap_err()
+            .contains("first record must be `meta`"));
+        assert!(validate_jsonl("not json\n").unwrap_err().contains("line 1"));
+
+        // Wrong schema version.
+        let bumped = good.replacen(
+            &format!("\"schema_version\":{SCHEMA_VERSION}"),
+            &format!("\"schema_version\":{}", SCHEMA_VERSION + 1),
+            1,
+        );
+        assert!(validate_jsonl(&bumped)
+            .unwrap_err()
+            .contains("schema_version"));
+
+        // Unknown kind.
+        let unknown = format!("{good}{{\"kind\":\"mystery\"}}\n");
+        assert!(validate_jsonl(&unknown)
+            .unwrap_err()
+            .contains("unknown record kind"));
+
+        // Duplicate totals.
+        let dup = format!("{good}{}\n", good.lines().nth(1).expect("totals line"));
+        assert!(validate_jsonl(&dup)
+            .unwrap_err()
+            .contains("exactly one `totals`"));
+    }
+
+    #[test]
+    fn summary_renders_every_section() {
+        let report = traced_report();
+        let text = render_summary(&report);
+        for needle in [
+            "run report: unit_test / Reo-20%",
+            "amplification:",
+            "layer",
+            "flash",
+            "class",
+            "device",
+            "cache policy:",
+        ] {
+            assert!(text.contains(needle), "summary missing `{needle}`:\n{text}");
+        }
+    }
+
+    #[test]
+    fn untraced_report_omits_layers_but_still_validates() {
+        let trace = WorkloadSpec::medium()
+            .with_objects(40)
+            .with_requests(200)
+            .generate(3);
+        let mut system =
+            crate::build_system(SchemeConfig::Parity(1), &trace, 0.2, ByteSize::from_kib(32));
+        let result = ExperimentRunner::run(&mut system, &trace, &ExperimentPlan::normal_run());
+        let report = collect_run_report("untraced", "1-parity", &system, &result);
+        assert!(report.breakdown.layers.is_empty());
+        let summary = validate_jsonl(&jsonl(&report)).expect("valid without layer records");
+        assert!(!summary.kinds.contains_key("layer"));
+        assert!(!summary.kinds.contains_key("series"));
+    }
+}

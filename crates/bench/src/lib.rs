@@ -9,6 +9,8 @@
 //! Binaries accept `--quick` to shrink the workloads for smoke runs; the
 //! full (default) runs use the paper's parameters.
 
+pub mod export;
+
 use std::collections::BTreeMap;
 use std::io::Write as _;
 
@@ -124,6 +126,65 @@ impl Panel {
             }
             println!();
         }
+    }
+}
+
+/// The one results-JSON shape every experiment binary writes: the
+/// experiment name, its free-form parameters, the figure panels, and any
+/// named tables (table -> row -> column -> value).
+///
+/// Replaces the per-binary `struct Report` wrappers: build the report
+/// with the chained helpers, then [`FigureReport::write`] prints each
+/// panel and writes `results/{name}.json` in one step.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct FigureReport {
+    /// Which experiment produced the report, e.g. `"normal_run"`.
+    pub experiment: String,
+    /// Free-form run parameters, e.g. `locality -> "medium"`.
+    pub params: BTreeMap<String, String>,
+    /// Figure panels, in print order.
+    pub panels: Vec<Panel>,
+    /// Named tables: table name -> row label -> column label -> value.
+    pub tables: BTreeMap<String, BTreeMap<String, BTreeMap<String, f64>>>,
+}
+
+impl FigureReport {
+    /// Creates an empty report for `experiment`.
+    pub fn new(experiment: &str) -> FigureReport {
+        FigureReport {
+            experiment: experiment.to_string(),
+            ..FigureReport::default()
+        }
+    }
+
+    /// Records a run parameter.
+    pub fn param(mut self, key: &str, value: impl std::fmt::Display) -> FigureReport {
+        self.params.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Appends a panel.
+    pub fn panel(mut self, panel: Panel) -> FigureReport {
+        self.panels.push(panel);
+        self
+    }
+
+    /// Appends a named table.
+    pub fn table(
+        mut self,
+        name: &str,
+        rows: BTreeMap<String, BTreeMap<String, f64>>,
+    ) -> FigureReport {
+        self.tables.insert(name.to_string(), rows);
+        self
+    }
+
+    /// Prints every panel and writes the report to `results/{name}.json`.
+    pub fn write(&self, name: &str) {
+        for panel in &self.panels {
+            panel.print();
+        }
+        write_json(name, self);
     }
 }
 

@@ -41,6 +41,23 @@ impl CacheConfig {
     }
 }
 
+/// Cumulative cache-policy counters: admission, removal, and periodic
+/// reclassification activity. Consumed by the observability exporter
+/// (class-move volume explains re-encode traffic on the flash array).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// New objects admitted into the index.
+    pub admissions: u64,
+    /// Re-inserts of an already-indexed key (size/dirty refresh).
+    pub refreshes: u64,
+    /// Objects removed (evictions, losses, and teardown).
+    pub removals: u64,
+    /// Periodic reclassifications into [`ObjectClass::HotClean`].
+    pub promotions: u64,
+    /// Periodic reclassifications out of [`ObjectClass::HotClean`].
+    pub demotions: u64,
+}
+
 /// A class change the manager wants shipped to the object storage as a
 /// `#SETID#` control message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,6 +79,7 @@ pub struct CacheManager {
     used: ByteSize,
     dirty_used: ByteSize,
     h_hot: f64,
+    stats: CacheStats,
 }
 
 impl CacheManager {
@@ -87,12 +105,18 @@ impl CacheManager {
             used: ByteSize::ZERO,
             dirty_used: ByteSize::ZERO,
             h_hot: f64::INFINITY,
+            stats: CacheStats::default(),
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &CacheConfig {
         &self.config
+    }
+
+    /// Cumulative policy counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
     }
 
     /// Updates the topology-dependent parameters after device failures or
@@ -208,6 +232,7 @@ impl CacheManager {
                     self.dirty_used += size;
                 }
                 *existing = updated;
+                self.stats.refreshes += 1;
             }
             None => {
                 let mut entry = CacheEntry::new(key, size, dirty, metadata);
@@ -223,6 +248,7 @@ impl CacheManager {
                 }
                 self.entries.insert(key, entry);
                 self.used += size;
+                self.stats.admissions += 1;
             }
         }
         self.lru.touch(key);
@@ -290,6 +316,7 @@ impl CacheManager {
     /// Removes an object from the index; returns its entry if present.
     pub fn remove(&mut self, key: ObjectKey) -> Option<CacheEntry> {
         let e = self.entries.remove(&key)?;
+        self.stats.removals += 1;
         self.lru.remove(key);
         self.used = self.used.saturating_sub(e.size());
         if e.is_dirty() {
@@ -365,6 +392,11 @@ impl CacheManager {
             let hot = Self::is_hot(&config, e, h);
             let to = e.reclassify_as(hot);
             if from != to {
+                if to == ObjectClass::HotClean {
+                    self.stats.promotions += 1;
+                } else if from == ObjectClass::HotClean {
+                    self.stats.demotions += 1;
+                }
                 changes.push(ClassChange {
                     key: *key,
                     from,

@@ -58,8 +58,10 @@ mod runner;
 mod system;
 
 pub use config::{SchemeConfig, SystemConfig};
-pub use metrics::{Metrics, MetricsSnapshot};
-pub use runner::{EventOutcome, ExperimentPlan, ExperimentResult, ExperimentRunner, PlannedEvent};
+pub use metrics::{ClassSnapshot, Metrics, MetricsSnapshot, RequestSample, CLASS_LABELS};
+pub use runner::{
+    EventOutcome, ExperimentPlan, ExperimentResult, ExperimentRunner, PlannedEvent, TimeSeriesPoint,
+};
 pub use system::{CacheSystem, RequestOutcome};
 
-pub use reo_flashsim::DeviceId;
+pub use reo_flashsim::{DeviceId, DeviceReport};

@@ -1,7 +1,123 @@
-//! The four evaluation metrics: space efficiency, hit ratio, bandwidth,
-//! latency.
+//! The four evaluation metrics — space efficiency, hit ratio, bandwidth,
+//! latency — extended with the observability dimensions the exporter
+//! reports: per-redundancy-class counters, requested-vs-device byte
+//! accounting (amplification), and a periodic time-series window.
 
+use reo_osd::ObjectClass;
 use reo_sim::{ByteSize, Histogram, SimDuration, SimTime};
+
+/// One completed request, as the system reports it to [`Metrics::record`].
+///
+/// `requested` is what the client asked for; the `device_*`/`backend_bytes`
+/// fields are the bytes the sample *attributes* to this request — typically
+/// the flash-array and backend counter deltas since the previous request,
+/// which also folds housekeeping traffic (flushes, scrubs, rebuilds) into
+/// the amplification totals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestSample {
+    /// `true` for reads, `false` for writes.
+    pub is_read: bool,
+    /// `true` if a read was served from cache.
+    pub hit: bool,
+    /// `true` if serving required on-the-fly reconstruction.
+    pub degraded: bool,
+    /// The redundancy class that served the request (`None` for misses,
+    /// write-throughs, and offline operation).
+    pub class: Option<ObjectClass>,
+    /// Bytes the client requested.
+    pub requested: ByteSize,
+    /// Flash-array bytes moved (reads + writes, parity included).
+    pub device_bytes: ByteSize,
+    /// The write portion of [`RequestSample::device_bytes`].
+    pub device_write_bytes: ByteSize,
+    /// Backend bytes moved (miss fills and write-back flushes).
+    pub backend_bytes: ByteSize,
+    /// End-to-end request latency.
+    pub latency: SimDuration,
+    /// Completion instant.
+    pub completed_at: SimTime,
+}
+
+impl RequestSample {
+    /// A sample with only the request-level fields set (no byte
+    /// attribution) — enough for the paper's four headline metrics.
+    pub fn basic(
+        is_read: bool,
+        hit: bool,
+        degraded: bool,
+        requested: ByteSize,
+        latency: SimDuration,
+        completed_at: SimTime,
+    ) -> Self {
+        RequestSample {
+            is_read,
+            hit,
+            degraded,
+            class: None,
+            requested,
+            device_bytes: ByteSize::ZERO,
+            device_write_bytes: ByteSize::ZERO,
+            backend_bytes: ByteSize::ZERO,
+            latency,
+            completed_at,
+        }
+    }
+
+    /// Sets the serving class.
+    pub fn with_class(mut self, class: Option<ObjectClass>) -> Self {
+        self.class = class;
+        self
+    }
+}
+
+/// Label of a per-class accumulator row: one of the paper's four
+/// redundancy classes, or the pseudo-class for requests no cached object
+/// served (misses, write-throughs, offline).
+pub const CLASS_LABELS: [&str; 5] = ["metadata", "dirty", "hot_clean", "cold_clean", "uncached"];
+
+fn class_slot(class: Option<ObjectClass>) -> usize {
+    match class {
+        Some(ObjectClass::Metadata) => 0,
+        Some(ObjectClass::Dirty) => 1,
+        Some(ObjectClass::HotClean) => 2,
+        Some(ObjectClass::ColdClean) => 3,
+        None => 4,
+    }
+}
+
+/// Per-redundancy-class measurements over an interval.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClassSnapshot {
+    /// Which row this is (see [`CLASS_LABELS`]).
+    pub label: &'static str,
+    /// Requests attributed to the class.
+    pub requests: u64,
+    /// Reads attributed to the class.
+    pub reads: u64,
+    /// Reads served from cache.
+    pub read_hits: u64,
+    /// Writes attributed to the class.
+    pub writes: u64,
+    /// Reads served via reconstruction.
+    pub degraded_reads: u64,
+    /// Requested bytes.
+    pub requested_bytes: ByteSize,
+    /// Mean request latency.
+    pub mean_latency: SimDuration,
+    /// 99th-percentile request latency.
+    pub p99_latency: SimDuration,
+}
+
+impl ClassSnapshot {
+    /// Read hit ratio in percent; 0 when no reads were observed.
+    pub fn hit_ratio_pct(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            100.0 * self.read_hits as f64 / self.reads as f64
+        }
+    }
+}
 
 /// A snapshot of the measurements over some interval.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -16,8 +132,17 @@ pub struct MetricsSnapshot {
     pub writes: u64,
     /// Reads served via on-the-fly reconstruction.
     pub degraded_reads: u64,
-    /// Requested bytes moved (reads + writes).
-    pub bytes: ByteSize,
+    /// Bytes clients requested (reads + writes) — the paper-comparable
+    /// bandwidth numerator.
+    pub requested_bytes: ByteSize,
+    /// The write portion of [`MetricsSnapshot::requested_bytes`].
+    pub requested_write_bytes: ByteSize,
+    /// Flash-array bytes moved, parity and housekeeping included.
+    pub device_bytes: ByteSize,
+    /// The write portion of [`MetricsSnapshot::device_bytes`].
+    pub device_write_bytes: ByteSize,
+    /// Backend bytes moved (miss fills and write-back flushes).
+    pub backend_bytes: ByteSize,
     /// Wall-clock (simulated) span of the interval.
     pub elapsed: SimDuration,
     /// Mean request latency.
@@ -34,6 +159,8 @@ pub struct MetricsSnapshot {
     /// Reads whose cache copy was damaged beyond the stripe's tolerance:
     /// served correctly from the backend and counted as misses.
     pub unrecoverable_fallbacks: u64,
+    /// Per-redundancy-class breakdown (empty when nothing was recorded).
+    pub classes: Vec<ClassSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -48,13 +175,13 @@ impl MetricsSnapshot {
     }
 
     /// Bandwidth in MiB per simulated second (the paper's "Bandwidth
-    /// (MB/sec)"); 0 when no time elapsed.
+    /// (MB/sec)"), over *requested* bytes; 0 when no time elapsed.
     pub fn bandwidth_mib_s(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs <= 0.0 {
             0.0
         } else {
-            self.bytes.as_mib_f64() / secs
+            self.requested_bytes.as_mib_f64() / secs
         }
     }
 
@@ -62,15 +189,110 @@ impl MetricsSnapshot {
     pub fn mean_latency_ms(&self) -> f64 {
         self.mean_latency.as_millis_f64()
     }
+
+    /// Flash bytes moved per requested byte (reads + writes); 0 when
+    /// nothing was requested. Values above 1 measure redundancy, garbage
+    /// collection, and housekeeping overhead.
+    pub fn amplification(&self) -> f64 {
+        ratio(self.device_bytes, self.requested_bytes)
+    }
+
+    /// Flash bytes written per requested write byte; 0 when no writes
+    /// were requested. The paper's parity/replication overhead surfaces
+    /// here (e.g. 3-replicated dirty objects write ≥ 3×).
+    pub fn write_amplification(&self) -> f64 {
+        ratio(self.device_write_bytes, self.requested_write_bytes)
+    }
+
+    /// Flash bytes read per requested read byte; 0 when no reads were
+    /// requested. Degraded reads and scrub traffic push this above the
+    /// hit-serving baseline.
+    pub fn read_amplification(&self) -> f64 {
+        ratio(
+            self.device_bytes.saturating_sub(self.device_write_bytes),
+            self.requested_bytes
+                .saturating_sub(self.requested_write_bytes),
+        )
+    }
+
+    /// The row for `label`, if any requests were attributed to it.
+    pub fn class(&self, label: &str) -> Option<&ClassSnapshot> {
+        self.classes.iter().find(|c| c.label == label)
+    }
 }
 
-/// Accumulates measurements with both running totals and a resettable
-/// window (the failure experiments report per-window values between
-/// injection points).
+fn ratio(num: ByteSize, den: ByteSize) -> f64 {
+    if den.is_zero() {
+        0.0
+    } else {
+        num.as_bytes() as f64 / den.as_bytes() as f64
+    }
+}
+
+/// Accumulates measurements with running totals, a resettable window (the
+/// failure experiments report per-window values between injection points),
+/// and an independent sampling window for the time-series recorder.
 #[derive(Clone, Debug)]
 pub struct Metrics {
     totals: Accum,
     window: Accum,
+    sample: Accum,
+}
+
+#[derive(Clone, Debug)]
+struct ClassAccum {
+    requests: u64,
+    reads: u64,
+    read_hits: u64,
+    writes: u64,
+    degraded_reads: u64,
+    requested_bytes: ByteSize,
+    latency: Histogram,
+}
+
+impl ClassAccum {
+    fn new() -> Self {
+        ClassAccum {
+            requests: 0,
+            reads: 0,
+            read_hits: 0,
+            writes: 0,
+            degraded_reads: 0,
+            requested_bytes: ByteSize::ZERO,
+            latency: Histogram::new(),
+        }
+    }
+
+    fn record(&mut self, sample: &RequestSample) {
+        self.requests += 1;
+        if sample.is_read {
+            self.reads += 1;
+            if sample.hit {
+                self.read_hits += 1;
+            }
+            if sample.degraded {
+                self.degraded_reads += 1;
+            }
+        } else {
+            self.writes += 1;
+        }
+        self.requested_bytes += sample.requested;
+        self.latency.record(sample.latency);
+    }
+
+    fn snapshot(&self, label: &'static str) -> ClassSnapshot {
+        ClassSnapshot {
+            label,
+            requests: self.requests,
+            reads: self.reads,
+            read_hits: self.read_hits,
+            writes: self.writes,
+            degraded_reads: self.degraded_reads,
+            requested_bytes: self.requested_bytes,
+            mean_latency: self.latency.mean().unwrap_or(SimDuration::ZERO),
+            p99_latency: self.latency.percentile(99.0).unwrap_or(SimDuration::ZERO),
+        }
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -82,12 +304,18 @@ struct Accum {
     read_hits: u64,
     writes: u64,
     degraded_reads: u64,
-    bytes: ByteSize,
+    requested_bytes: ByteSize,
+    requested_write_bytes: ByteSize,
+    device_bytes: ByteSize,
+    device_write_bytes: ByteSize,
+    backend_bytes: ByteSize,
     latency: Histogram,
     medium_errors: u64,
     repairs: u64,
     scrub_passes: u64,
     unrecoverable_fallbacks: u64,
+    /// One slot per [`CLASS_LABELS`] entry, allocated on first use.
+    classes: [Option<Box<ClassAccum>>; 5],
 }
 
 impl Accum {
@@ -100,12 +328,17 @@ impl Accum {
             read_hits: 0,
             writes: 0,
             degraded_reads: 0,
-            bytes: ByteSize::ZERO,
+            requested_bytes: ByteSize::ZERO,
+            requested_write_bytes: ByteSize::ZERO,
+            device_bytes: ByteSize::ZERO,
+            device_write_bytes: ByteSize::ZERO,
+            backend_bytes: ByteSize::ZERO,
             latency: Histogram::new(),
             medium_errors: 0,
             repairs: 0,
             scrub_passes: 0,
             unrecoverable_fallbacks: 0,
+            classes: [None, None, None, None, None],
         }
     }
 
@@ -116,30 +349,29 @@ impl Accum {
         self.unrecoverable_fallbacks += fallbacks;
     }
 
-    fn record(
-        &mut self,
-        is_read: bool,
-        hit: bool,
-        degraded: bool,
-        bytes: ByteSize,
-        latency: SimDuration,
-        now: SimTime,
-    ) {
+    fn record(&mut self, sample: &RequestSample) {
         self.requests += 1;
-        if is_read {
+        if sample.is_read {
             self.reads += 1;
-            if hit {
+            if sample.hit {
                 self.read_hits += 1;
             }
-            if degraded {
+            if sample.degraded {
                 self.degraded_reads += 1;
             }
         } else {
             self.writes += 1;
+            self.requested_write_bytes += sample.requested;
         }
-        self.bytes += bytes;
-        self.latency.record(latency);
-        self.last_seen = now;
+        self.requested_bytes += sample.requested;
+        self.device_bytes += sample.device_bytes;
+        self.device_write_bytes += sample.device_write_bytes;
+        self.backend_bytes += sample.backend_bytes;
+        self.latency.record(sample.latency);
+        self.last_seen = sample.completed_at;
+        self.classes[class_slot(sample.class)]
+            .get_or_insert_with(|| Box::new(ClassAccum::new()))
+            .record(sample);
     }
 
     fn snapshot(&self) -> MetricsSnapshot {
@@ -149,7 +381,11 @@ impl Accum {
             read_hits: self.read_hits,
             writes: self.writes,
             degraded_reads: self.degraded_reads,
-            bytes: self.bytes,
+            requested_bytes: self.requested_bytes,
+            requested_write_bytes: self.requested_write_bytes,
+            device_bytes: self.device_bytes,
+            device_write_bytes: self.device_write_bytes,
+            backend_bytes: self.backend_bytes,
             elapsed: self.last_seen.saturating_since(self.started_at),
             mean_latency: self.latency.mean().unwrap_or(SimDuration::ZERO),
             p99_latency: self.latency.percentile(99.0).unwrap_or(SimDuration::ZERO),
@@ -157,6 +393,12 @@ impl Accum {
             repairs: self.repairs,
             scrub_passes: self.scrub_passes,
             unrecoverable_fallbacks: self.unrecoverable_fallbacks,
+            classes: self
+                .classes
+                .iter()
+                .zip(CLASS_LABELS)
+                .filter_map(|(slot, label)| slot.as_ref().map(|c| c.snapshot(label)))
+                .collect(),
         }
     }
 }
@@ -167,28 +409,21 @@ impl Metrics {
         Metrics {
             totals: Accum::new(now),
             window: Accum::new(now),
+            sample: Accum::new(now),
         }
     }
 
-    /// Records one completed request into both the totals and the window.
-    pub fn record(
-        &mut self,
-        is_read: bool,
-        hit: bool,
-        degraded: bool,
-        bytes: ByteSize,
-        latency: SimDuration,
-        now: SimTime,
-    ) {
-        self.totals
-            .record(is_read, hit, degraded, bytes, latency, now);
-        self.window
-            .record(is_read, hit, degraded, bytes, latency, now);
+    /// Records one completed request into the totals, the window, and the
+    /// sampling window.
+    pub fn record(&mut self, sample: RequestSample) {
+        self.totals.record(&sample);
+        self.window.record(&sample);
+        self.sample.record(&sample);
     }
 
     /// Adds fault-path deltas (medium errors, repairs, scrub passes,
-    /// backend fallbacks after unrecoverable damage) to both the totals
-    /// and the window.
+    /// backend fallbacks after unrecoverable damage) to the totals, the
+    /// window, and the sampling window.
     pub fn note_faults(
         &mut self,
         medium_errors: u64,
@@ -199,6 +434,8 @@ impl Metrics {
         self.totals
             .note_faults(medium_errors, repairs, scrub_passes, fallbacks);
         self.window
+            .note_faults(medium_errors, repairs, scrub_passes, fallbacks);
+        self.sample
             .note_faults(medium_errors, repairs, scrub_passes, fallbacks);
     }
 
@@ -220,10 +457,21 @@ impl Metrics {
         snap
     }
 
+    /// Closes the current *sampling* window (the time-series recorder's
+    /// interval — independent of [`Metrics::roll_window`], which the
+    /// failure experiments own), returning its snapshot, and starts a new
+    /// one at `now`.
+    pub fn roll_sample(&mut self, now: SimTime) -> MetricsSnapshot {
+        let snap = self.sample.snapshot();
+        self.sample = Accum::new(now);
+        snap
+    }
+
     /// Clears everything (end of warm-up).
     pub fn reset_all(&mut self, now: SimTime) {
         self.totals = Accum::new(now);
         self.window = Accum::new(now);
+        self.sample = Accum::new(now);
     }
 }
 
@@ -235,33 +483,30 @@ mod tests {
         SimTime::ZERO + SimDuration::from_millis(ms)
     }
 
+    fn sample(
+        is_read: bool,
+        hit: bool,
+        degraded: bool,
+        mib: u64,
+        lat_ms: u64,
+        at_ms: u64,
+    ) -> RequestSample {
+        RequestSample::basic(
+            is_read,
+            hit,
+            degraded,
+            ByteSize::from_mib(mib),
+            SimDuration::from_millis(lat_ms),
+            t(at_ms),
+        )
+    }
+
     #[test]
     fn hit_ratio_counts_reads_only() {
         let mut m = Metrics::new(SimTime::ZERO);
-        m.record(
-            true,
-            true,
-            false,
-            ByteSize::from_mib(1),
-            SimDuration::from_millis(1),
-            t(1),
-        );
-        m.record(
-            true,
-            false,
-            false,
-            ByteSize::from_mib(1),
-            SimDuration::from_millis(2),
-            t(2),
-        );
-        m.record(
-            false,
-            false,
-            false,
-            ByteSize::from_mib(1),
-            SimDuration::from_millis(1),
-            t(3),
-        );
+        m.record(sample(true, true, false, 1, 1, 1));
+        m.record(sample(true, false, false, 1, 2, 2));
+        m.record(sample(false, false, false, 1, 1, 3));
         let s = m.totals();
         assert_eq!(s.reads, 2);
         assert_eq!(s.writes, 1);
@@ -271,14 +516,7 @@ mod tests {
     #[test]
     fn bandwidth_uses_simulated_elapsed_time() {
         let mut m = Metrics::new(SimTime::ZERO);
-        m.record(
-            true,
-            true,
-            false,
-            ByteSize::from_mib(100),
-            SimDuration::from_millis(500),
-            t(500),
-        );
+        m.record(sample(true, true, false, 100, 500, 500));
         let s = m.totals();
         assert_eq!(s.elapsed, SimDuration::from_millis(500));
         assert!((s.bandwidth_mib_s() - 200.0).abs() < 1e-9);
@@ -287,29 +525,28 @@ mod tests {
     #[test]
     fn window_rolls_independently_of_totals() {
         let mut m = Metrics::new(SimTime::ZERO);
-        m.record(
-            true,
-            true,
-            false,
-            ByteSize::from_mib(1),
-            SimDuration::from_millis(1),
-            t(1),
-        );
+        m.record(sample(true, true, false, 1, 1, 1));
         let w1 = m.roll_window(t(1));
         assert_eq!(w1.requests, 1);
-        m.record(
-            true,
-            false,
-            false,
-            ByteSize::from_mib(1),
-            SimDuration::from_millis(1),
-            t(2),
-        );
+        m.record(sample(true, false, false, 1, 1, 2));
         let w2 = m.window();
         assert_eq!(w2.requests, 1);
         assert_eq!(w2.hit_ratio_pct(), 0.0);
         assert_eq!(m.totals().requests, 2);
         assert_eq!(m.totals().hit_ratio_pct(), 50.0);
+    }
+
+    #[test]
+    fn sample_window_rolls_independently_of_both() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        m.record(sample(true, true, false, 1, 1, 1));
+        let s1 = m.roll_sample(t(1));
+        assert_eq!(s1.requests, 1);
+        m.record(sample(true, false, false, 1, 1, 2));
+        // The sampling roll must not have disturbed totals or window.
+        assert_eq!(m.totals().requests, 2);
+        assert_eq!(m.window().requests, 2);
+        assert_eq!(m.roll_sample(t(2)).requests, 1);
     }
 
     #[test]
@@ -319,36 +556,27 @@ mod tests {
         assert_eq!(s.hit_ratio_pct(), 0.0);
         assert_eq!(s.bandwidth_mib_s(), 0.0);
         assert_eq!(s.mean_latency_ms(), 0.0);
+        assert_eq!(s.amplification(), 0.0);
+        assert_eq!(s.write_amplification(), 0.0);
+        assert_eq!(s.read_amplification(), 0.0);
+        assert!(s.classes.is_empty());
     }
 
     #[test]
     fn degraded_reads_tracked() {
         let mut m = Metrics::new(SimTime::ZERO);
-        m.record(
-            true,
-            true,
-            true,
-            ByteSize::from_mib(1),
-            SimDuration::from_millis(3),
-            t(3),
-        );
+        m.record(sample(true, true, true, 1, 3, 3));
         assert_eq!(m.totals().degraded_reads, 1);
     }
 
     #[test]
     fn reset_all_clears_everything() {
         let mut m = Metrics::new(SimTime::ZERO);
-        m.record(
-            true,
-            true,
-            false,
-            ByteSize::from_mib(1),
-            SimDuration::from_millis(1),
-            t(1),
-        );
+        m.record(sample(true, true, false, 1, 1, 1));
         m.reset_all(t(1));
         assert_eq!(m.totals().requests, 0);
         assert_eq!(m.window().requests, 0);
+        assert_eq!(m.roll_sample(t(1)).requests, 0);
     }
 
     #[test]
@@ -362,5 +590,42 @@ mod tests {
         assert_eq!(w.unrecoverable_fallbacks, 1);
         assert_eq!(m.window().medium_errors, 0, "window reset");
         assert_eq!(m.totals().medium_errors, 3, "totals persist");
+    }
+
+    #[test]
+    fn amplification_derives_from_byte_split() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        let mut s = sample(false, false, false, 1, 1, 1);
+        // A 1 MiB write that moved 3 MiB on flash (3-replication).
+        s.device_bytes = ByteSize::from_mib(3);
+        s.device_write_bytes = ByteSize::from_mib(3);
+        m.record(s);
+        let snap = m.totals();
+        assert_eq!(snap.requested_bytes, ByteSize::from_mib(1));
+        assert_eq!(snap.requested_write_bytes, ByteSize::from_mib(1));
+        assert!((snap.write_amplification() - 3.0).abs() < 1e-9);
+        assert!((snap.amplification() - 3.0).abs() < 1e-9);
+        // Bandwidth stays requested-byte based (paper-comparable).
+        assert!((snap.bandwidth_mib_s() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_class_rows_accumulate_and_report() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        m.record(sample(true, true, false, 1, 1, 1).with_class(Some(ObjectClass::HotClean)));
+        m.record(sample(true, true, true, 1, 5, 2).with_class(Some(ObjectClass::Dirty)));
+        m.record(sample(true, false, false, 1, 9, 3)); // miss → uncached
+        let s = m.totals();
+        assert_eq!(s.classes.len(), 3);
+        let hot = s.class("hot_clean").expect("hot row");
+        assert_eq!(hot.reads, 1);
+        assert_eq!(hot.read_hits, 1);
+        assert_eq!(hot.hit_ratio_pct(), 100.0);
+        let dirty = s.class("dirty").expect("dirty row");
+        assert_eq!(dirty.degraded_reads, 1);
+        assert!(dirty.p99_latency >= SimDuration::from_millis(5));
+        let uncached = s.class("uncached").expect("uncached row");
+        assert_eq!(uncached.read_hits, 0);
+        assert!(s.class("metadata").is_none());
     }
 }

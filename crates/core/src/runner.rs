@@ -52,12 +52,23 @@ pub struct ExperimentPlan {
     /// request with that index of the measured pass. Indices must be
     /// non-decreasing.
     pub events: Vec<(usize, PlannedEvent)>,
+    /// Record a [`TimeSeriesPoint`] every `sample_every` requests of the
+    /// measured pass (`0` disables the recorder). The sampling window is
+    /// independent of the event windows.
+    pub sample_every: usize,
 }
 
 impl ExperimentPlan {
     /// A plan with no warm-up and no events (the normal-run experiments).
     pub fn normal_run() -> Self {
         ExperimentPlan::default()
+    }
+
+    /// Turns on the time-series recorder at `sample_every` requests per
+    /// point.
+    pub fn with_sampling(mut self, sample_every: usize) -> Self {
+        self.sample_every = sample_every;
+        self
     }
 
     /// The paper's failure-resistance schedule: warm cache, then one
@@ -69,6 +80,7 @@ impl ExperimentPlan {
             events: (0..failures)
                 .map(|i| ((i + 1) * step, PlannedEvent::FailDevice(DeviceId(i))))
                 .collect(),
+            ..Default::default()
         }
     }
 }
@@ -86,6 +98,17 @@ pub struct EventOutcome {
     pub failed_devices_after: usize,
 }
 
+/// One point of the periodic time-series recorder.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimeSeriesPoint {
+    /// Request index (of the measured pass) the sampling window closed at.
+    pub at_request: usize,
+    /// Simulated instant the window closed at.
+    pub time: reo_sim::SimTime,
+    /// The measurements of the sampling window.
+    pub window: MetricsSnapshot,
+}
+
 /// Everything an experiment run produced.
 #[derive(Clone, Debug)]
 pub struct ExperimentResult {
@@ -100,6 +123,9 @@ pub struct ExperimentResult {
     pub space_efficiency: f64,
     /// Dirty objects permanently lost during the run.
     pub dirty_data_lost: u64,
+    /// Periodic samples (empty unless [`ExperimentPlan::sample_every`]
+    /// was set).
+    pub series: Vec<TimeSeriesPoint>,
 }
 
 impl ExperimentResult {
@@ -112,7 +138,6 @@ impl ExperimentResult {
         out
     }
 }
-
 
 /// Applies one planned event to the system, maintaining the failed-device
 /// count the windows are labeled with.
@@ -171,6 +196,7 @@ impl ExperimentRunner {
         let mut events = plan.events.iter().peekable();
         let mut outcomes = Vec::new();
         let mut failed: usize = 0;
+        let mut series = Vec::new();
 
         for (i, request) in trace.requests().iter().enumerate() {
             while let Some(&&(at, event)) = events.peek() {
@@ -189,6 +215,14 @@ impl ExperimentRunner {
                 });
             }
             system.handle(request);
+            if plan.sample_every > 0 && (i + 1).is_multiple_of(plan.sample_every) {
+                let now = system.clock().now();
+                series.push(TimeSeriesPoint {
+                    at_request: i + 1,
+                    time: now,
+                    window: system.metrics_mut().roll_sample(now),
+                });
+            }
         }
         // Events scheduled past the end of the trace still fire.
         for &(at, event) in events {
@@ -209,6 +243,7 @@ impl ExperimentRunner {
             final_window: system.metrics().window(),
             space_efficiency: system.space_efficiency(),
             dirty_data_lost: system.dirty_data_lost(),
+            series,
         }
     }
 }
@@ -262,6 +297,7 @@ mod tests {
         let warm_plan = ExperimentPlan {
             warmup_passes: 1,
             events: vec![],
+            ..Default::default()
         };
         let warm_result = ExperimentRunner::run(&mut warm, &t, &warm_plan);
         assert!(
@@ -300,10 +336,35 @@ mod tests {
                 (100, PlannedEvent::FailDevice(DeviceId(0))),
                 (200, PlannedEvent::InsertSpare(DeviceId(0))),
             ],
+            ..Default::default()
         };
         let result = ExperimentRunner::run(&mut sys, &t, &plan);
         assert_eq!(result.events[0].failed_devices_after, 1);
         assert_eq!(result.events[1].failed_devices_after, 0);
+    }
+
+    #[test]
+    fn sampling_records_a_time_series() {
+        let t = trace();
+        let mut sys = system(SchemeConfig::Reo { reserve: 0.20 }, &t);
+        let plan = ExperimentPlan::normal_run().with_sampling(100);
+        let result = ExperimentRunner::run(&mut sys, &t, &plan);
+        assert_eq!(result.series.len(), 6, "600 requests / 100 per sample");
+        assert_eq!(
+            result.series.iter().map(|p| p.window.requests).sum::<u64>(),
+            600,
+            "sampling windows partition the run"
+        );
+        for (i, p) in result.series.iter().enumerate() {
+            assert_eq!(p.at_request, (i + 1) * 100);
+        }
+        assert!(
+            result.series.windows(2).all(|w| w[0].time <= w[1].time),
+            "sample times are monotone"
+        );
+        // The recorder must not disturb the event windows or totals.
+        assert_eq!(result.totals.requests, 600);
+        assert_eq!(result.final_window.requests, 600);
     }
 
     #[test]
@@ -317,6 +378,7 @@ mod tests {
                 (200, PlannedEvent::FailDevice(DeviceId(0))),
                 (100, PlannedEvent::FailDevice(DeviceId(1))),
             ],
+            ..Default::default()
         };
         let _ = ExperimentRunner::run(&mut sys, &t, &plan);
     }
@@ -328,6 +390,7 @@ mod tests {
         let plan = ExperimentPlan {
             warmup_passes: 0,
             events: vec![(10_000, PlannedEvent::FailDevice(DeviceId(0)))],
+            ..Default::default()
         };
         let result = ExperimentRunner::run(&mut sys, &t, &plan);
         assert_eq!(result.events.len(), 1);
@@ -344,11 +407,15 @@ mod tests {
                 (0, PlannedEvent::StartScrub),
                 (0, PlannedEvent::TransientFaults { ppm: 2_000 }),
                 (150, PlannedEvent::CorruptChunks { ppm: 50_000 }),
-                (300, PlannedEvent::SlowDevice {
-                    device: DeviceId(1),
-                    factor_pct: 300,
-                }),
+                (
+                    300,
+                    PlannedEvent::SlowDevice {
+                        device: DeviceId(1),
+                        factor_pct: 300,
+                    },
+                ),
             ],
+            ..Default::default()
         };
         let result = ExperimentRunner::run(&mut sys, &t, &plan);
         assert_eq!(result.events.len(), 4);

@@ -6,12 +6,12 @@ use reo_flashsim::{DeviceId, FaultPlan, FlashArray};
 use reo_osd::control::ControlMessage;
 use reo_osd::{ObjectClass, ObjectKey, SenseCode};
 use reo_osd_target::{OsdTarget, RecoveryOutcome, TargetError};
-use reo_sim::{ByteSize, SimClock, SimDuration, SimTime};
+use reo_sim::{ByteSize, Layer, SimClock, SimDuration, SimTime, Tracer};
 use reo_stripe::StripeManager;
 use reo_workload::{Operation, Request, WorkloadObject};
 
 use crate::config::SystemConfig;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, RequestSample};
 
 /// What happened to one request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,6 +46,15 @@ pub struct CacheSystem {
     /// Target fault counters already folded into the metrics
     /// (medium errors, repairs, scrub passes) — the delta base.
     fault_stats_seen: (u64, u64, u64),
+    /// The shared `reo-trace` handle (disabled unless
+    /// [`CacheSystem::enable_tracing`] is called).
+    tracer: Tracer,
+    /// Flash-array byte counters already attributed to requests
+    /// (`bytes_read`, `bytes_written`) — the delta base.
+    flash_bytes_seen: (u64, u64),
+    /// Backend byte counters already attributed to requests
+    /// (`bytes_read`, `bytes_written`) — the delta base.
+    backend_bytes_seen: (u64, u64),
 }
 
 impl CacheSystem {
@@ -72,9 +81,12 @@ impl CacheSystem {
             hot_parity_overhead: CacheConfig::two_parity_overhead(config.devices),
             size_aware_hotness: config.size_aware_hotness,
         });
-        let backend = BackendStore::new(config.backend, clock.clone());
+        let mut backend = BackendStore::new(config.backend, clock.clone());
         let metrics = Metrics::new(clock.now());
         let faults = FaultPlan::new(config.fault_seed);
+        let tracer = Tracer::new();
+        target.set_tracer(tracer.clone());
+        backend.set_tracer(tracer.clone());
         target
             .format()
             .expect("cache devices must have room for the metadata objects");
@@ -90,6 +102,9 @@ impl CacheSystem {
             offline: false,
             faults,
             fault_stats_seen: (0, 0, 0),
+            tracer,
+            flash_bytes_seen: (0, 0),
+            backend_bytes_seen: (0, 0),
         }
     }
 
@@ -121,6 +136,28 @@ impl CacheSystem {
     /// The measurements so far.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Turns per-layer request tracing on (`reo-trace`). Spans recorded
+    /// from now on are aggregated in [`CacheSystem::tracer`]'s breakdown.
+    pub fn enable_tracing(&mut self) {
+        self.tracer.set_enabled(true);
+    }
+
+    /// The shared tracer handle (disabled unless
+    /// [`CacheSystem::enable_tracing`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The cache manager's policy counters.
+    pub fn cache_stats(&self) -> reo_cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Per-device rows of the flash array (the exporter's device table).
+    pub fn device_stats(&self) -> Vec<reo_flashsim::DeviceReport> {
+        self.target.array().device_stats()
     }
 
     /// Mutable access to the measurements (for window rolling).
@@ -338,24 +375,39 @@ impl CacheSystem {
     pub fn handle(&mut self, request: &Request) -> RequestOutcome {
         let start = self.clock.now();
         self.requests_seen += 1;
+        let trace_started = self.tracer.begin(&self.clock);
+        if trace_started.is_some() {
+            self.tracer.begin_request();
+        }
 
-        let (hit, degraded) = match request.op {
+        let (hit, degraded, class) = match request.op {
             Operation::Read => self.handle_read(request),
             Operation::Write => {
-                self.handle_write(request);
-                (false, false)
+                let class = self.handle_write(request);
+                (false, false, class)
             }
         };
         let completed_at = self.clock.now();
         let latency = completed_at.saturating_since(start);
-        self.metrics.record(
-            request.op == Operation::Read,
+        let op = match request.op {
+            Operation::Read => "read",
+            Operation::Write => "write",
+        };
+        self.tracer
+            .record(Layer::Cache, op, trace_started, completed_at);
+        let (device_bytes, device_write_bytes, backend_bytes) = self.attribute_byte_deltas();
+        self.metrics.record(RequestSample {
+            is_read: request.op == Operation::Read,
             hit,
             degraded,
-            request.size,
+            class,
+            requested: request.size,
+            device_bytes,
+            device_write_bytes,
+            backend_bytes,
             latency,
             completed_at,
-        );
+        });
 
         // Housekeeping happens after the request completes: it consumes
         // device time but is not part of this request's latency.
@@ -391,7 +443,31 @@ impl CacheSystem {
         }
     }
 
-    fn handle_read(&mut self, request: &Request) -> (bool, bool) {
+    /// Attributes flash-array and backend byte-counter movement since the
+    /// last call (all traffic, housekeeping included) to the sample being
+    /// recorded, so amplification totals stay exact.
+    fn attribute_byte_deltas(&mut self) -> (ByteSize, ByteSize, ByteSize) {
+        let astats = self.target.array().stats();
+        let (seen_r, seen_w) = self.flash_bytes_seen;
+        // Saturating: replacing a failed device with a blank spare resets
+        // its per-device counters, so the aggregate can move backwards.
+        let d_read = astats.bytes_read.saturating_sub(seen_r);
+        let d_write = astats.bytes_written.saturating_sub(seen_w);
+        self.flash_bytes_seen = (astats.bytes_read, astats.bytes_written);
+
+        let bstats = self.backend.stats();
+        let (bseen_r, bseen_w) = self.backend_bytes_seen;
+        let d_backend = (bstats.bytes_read - bseen_r) + (bstats.bytes_written - bseen_w);
+        self.backend_bytes_seen = (bstats.bytes_read, bstats.bytes_written);
+
+        (
+            ByteSize::from_bytes(d_read + d_write),
+            ByteSize::from_bytes(d_write),
+            ByteSize::from_bytes(d_backend),
+        )
+    }
+
+    fn handle_read(&mut self, request: &Request) -> (bool, bool, Option<ObjectClass>) {
         let key = request.key;
         if self.offline {
             // The caching layer is down: every request goes to the backend.
@@ -399,13 +475,14 @@ impl CacheSystem {
                 .backend
                 .read(key)
                 .expect("workload objects are always populated in the backend");
-            return (false, false);
+            return (false, false, None);
         }
         if self.cache.contains(key) {
+            let class = self.target.class_of(key);
             match self.target.read_object(key) {
                 Ok(outcome) => {
                     self.cache.record_access(key);
-                    return (true, outcome.degraded);
+                    return (true, outcome.degraded, class);
                 }
                 Err(_) => {
                     // Irrecoverable in cache (or dropped by a failed
@@ -424,15 +501,17 @@ impl CacheSystem {
             .read(key)
             .expect("workload objects are always populated in the backend");
         self.admit(key, fetched.size, false);
-        (false, false)
+        (false, false, None)
     }
 
-    fn handle_write(&mut self, request: &Request) {
+    /// Returns the class that absorbed the write (`None` when it went
+    /// straight through to the backend).
+    fn handle_write(&mut self, request: &Request) -> Option<ObjectClass> {
         let key = request.key;
         if self.offline {
             // No cache to absorb the write: write through to the backend.
             let _ = self.backend.write(key, request.size, None);
-            return;
+            return None;
         }
         if self.cache.contains(key) {
             // Whole-object overwrite of a cached object: rewrite it in
@@ -448,7 +527,7 @@ impl CacheSystem {
                 // Fast path: the object is already under the dirty
                 // scheme; its chunks were overwritten in place with
                 // per-chunk parity maintenance.
-                return;
+                return Some(ObjectClass::Dirty);
             }
             let _ = self.target.remove_object(key);
             if !self.create_with_eviction(key, request.size, ObjectClass::Dirty) {
@@ -456,11 +535,14 @@ impl CacheSystem {
                 // write straight through so nothing is lost.
                 self.cache.remove(key);
                 let _ = self.backend.write(key, request.size, None);
+                return None;
             }
+            Some(ObjectClass::Dirty)
         } else {
             // Write-allocate: the whole object is overwritten, so no
             // backend read is needed; it lands in cache dirty.
             self.admit(key, request.size, true);
+            self.target.class_of(key)
         }
     }
 

@@ -1,6 +1,6 @@
 //! An array of simulated flash devices behind one clock.
 
-use reo_sim::{ByteSize, SimClock, SimTime};
+use reo_sim::{ByteSize, Layer, SimClock, SimTime, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::chunk::{ChunkHandle, StoredChunk};
@@ -21,6 +21,29 @@ pub struct ArrayStats {
     pub failures_injected: u64,
     /// Spare insertions so far.
     pub spares_inserted: u64,
+    /// Sum of per-device transient read timeouts.
+    pub transient_timeouts: u64,
+    /// Sum of simulated nanoseconds spent queueing behind busy devices.
+    pub queued_nanos: u64,
+    /// Sum of simulated nanoseconds devices spent servicing operations.
+    pub busy_nanos: u64,
+}
+
+/// One row of [`FlashArray::device_stats`]: a device's identity, health,
+/// wear, occupancy, and cumulative counters — the exporter's per-device
+/// table.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct DeviceReport {
+    /// The device's slot in the array.
+    pub id: DeviceId,
+    /// `false` once the device has been failed (and not yet replaced).
+    pub healthy: bool,
+    /// Estimated wear as a fraction of the P/E budget consumed.
+    pub wear: f64,
+    /// Bytes currently allocated on the device.
+    pub used: ByteSize,
+    /// Cumulative operation counters.
+    pub stats: DeviceStats,
 }
 
 /// An ordered array of [`FlashDevice`]s sharing a [`SimClock`].
@@ -52,6 +75,7 @@ pub struct ArrayStats {
 pub struct FlashArray {
     devices: Vec<FlashDevice>,
     clock: SimClock,
+    tracer: Tracer,
     failures_injected: u64,
     spares_inserted: u64,
 }
@@ -69,9 +93,21 @@ impl FlashArray {
                 .map(|i| FlashDevice::new(DeviceId(i), config))
                 .collect(),
             clock,
+            tracer: Tracer::new(),
             failures_injected: 0,
             spares_inserted: 0,
         }
+    }
+
+    /// Attaches a shared [`Tracer`]: chunk operations record
+    /// [`Layer::Flash`] spans on it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer handle.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Number of devices (healthy or failed).
@@ -139,14 +175,35 @@ impl FlashArray {
                 writes,
                 bytes_read,
                 bytes_written,
+                queued_nanos,
+                busy_nanos,
+                transient_timeouts,
                 ..
             } = d.stats();
             s.reads += reads;
             s.writes += writes;
             s.bytes_read += bytes_read;
             s.bytes_written += bytes_written;
+            s.queued_nanos += queued_nanos;
+            s.busy_nanos += busy_nanos;
+            s.transient_timeouts += transient_timeouts;
         }
         s
+    }
+
+    /// Per-device statistics in array order, paired with health and wear
+    /// (the exporter's device table).
+    pub fn device_stats(&self) -> Vec<DeviceReport> {
+        self.devices
+            .iter()
+            .map(|d| DeviceReport {
+                id: d.id(),
+                healthy: d.is_healthy(),
+                wear: d.wear_fraction(),
+                used: d.used(),
+                stats: d.stats(),
+            })
+            .collect()
     }
 
     /// Attaches (or clears) a garbage-collection write-amplification
@@ -196,7 +253,9 @@ impl FlashArray {
     ) -> Result<SimTime, FlashError> {
         let now = self.clock.now();
         let done = self.devices[id.0].write_chunk(handle, chunk, now)?;
-        Ok(self.clock.advance_to(done))
+        let t = self.clock.advance_to(done);
+        self.tracer.record_span(Layer::Flash, "write", now, t);
+        Ok(t)
     }
 
     /// Reads one chunk and advances the clock to its completion.
@@ -216,6 +275,7 @@ impl FlashArray {
         let now = self.clock.now();
         let (chunk, done) = self.devices[id.0].read_chunk(handle, now)?;
         let t = self.clock.advance_to(done);
+        self.tracer.record_span(Layer::Flash, "read", now, t);
         Ok((chunk, t))
     }
 
@@ -226,10 +286,15 @@ impl FlashArray {
     /// with the *same* start time (`clock.now()`), collect the returned
     /// completion instants, then call this once.
     pub fn complete_batch<I: IntoIterator<Item = SimTime>>(&self, completions: I) -> SimTime {
+        let start = self.clock.now();
         let latest = completions
             .into_iter()
-            .fold(self.clock.now(), |acc, t| if t > acc { t } else { acc });
-        self.clock.advance_to(latest)
+            .fold(start, |acc, t| if t > acc { t } else { acc });
+        let t = self.clock.advance_to(latest);
+        if latest > start {
+            self.tracer.record_span(Layer::Flash, "batch", start, t);
+        }
+        t
     }
 }
 

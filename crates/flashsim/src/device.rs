@@ -186,6 +186,28 @@ pub struct DeviceStats {
     pub bytes_written: u64,
     /// Estimated erase operations (bytes written / erase-block size).
     pub erases_estimated: u64,
+    /// Simulated nanoseconds operations spent waiting behind the
+    /// device's `busy_until` horizon before starting (queueing delay).
+    pub queued_nanos: u64,
+    /// Simulated nanoseconds the device spent servicing operations.
+    pub busy_nanos: u64,
+    /// Transient read timeouts surfaced (each retried read that timed
+    /// out again counts once per timeout).
+    pub transient_timeouts: u64,
+}
+
+impl DeviceStats {
+    /// Mean queueing delay per completed operation.
+    pub fn mean_queue_delay(&self) -> SimDuration {
+        let ops = self.reads + self.writes;
+        SimDuration::from_nanos(self.queued_nanos.checked_div(ops).unwrap_or(0))
+    }
+
+    /// Mean service time per completed operation.
+    pub fn mean_service_time(&self) -> SimDuration {
+        let ops = self.reads + self.writes;
+        SimDuration::from_nanos(self.busy_nanos.checked_div(ops).unwrap_or(0))
+    }
 }
 
 /// One simulated flash SSD.
@@ -419,6 +441,8 @@ impl FlashDevice {
 
         let start = self.busy_until.max(now);
         let done = start + self.scaled(self.config.write.service_time(physical));
+        self.stats.queued_nanos += start.saturating_since(now).as_nanos();
+        self.stats.busy_nanos += done.saturating_since(start).as_nanos();
         self.busy_until = done;
         Ok(done)
     }
@@ -446,6 +470,7 @@ impl FlashDevice {
         };
         if let Some(t) = &mut self.transient {
             if t.rng.chance(t.rate) {
+                self.stats.transient_timeouts += 1;
                 return Err(FlashError::TransientTimeout {
                     device: self.id,
                     handle,
@@ -456,6 +481,8 @@ impl FlashDevice {
         self.stats.bytes_read += chunk.len().as_bytes();
         let start = self.busy_until.max(now);
         let done = start + self.scaled(self.config.read.service_time(chunk.len()));
+        self.stats.queued_nanos += start.saturating_since(now).as_nanos();
+        self.stats.busy_nanos += done.saturating_since(start).as_nanos();
         self.busy_until = done;
         Ok((chunk, done))
     }

@@ -99,7 +99,9 @@ impl FaultPlan {
     pub fn arm_transient_faults(&mut self, array: &mut FlashArray, rate: f64) {
         for i in 0..array.device_count() {
             let rng = self.transient_root.derive(&format!("device-{i}"));
-            array.device_mut(DeviceId(i)).arm_transient_faults(rate, rng);
+            array
+                .device_mut(DeviceId(i))
+                .arm_transient_faults(rate, rng);
         }
         self.stats.transient_arms += 1;
     }
@@ -170,8 +172,9 @@ mod tests {
         let mut b = small_array();
         FaultPlan::new(1).inject_latent_corruption(&mut a, 0.3);
         FaultPlan::new(2).inject_latent_corruption(&mut b, 0.3);
-        let same = (0..3usize)
-            .all(|d| a.device(DeviceId(d)).intact_handles() == b.device(DeviceId(d)).intact_handles());
+        let same = (0..3usize).all(|d| {
+            a.device(DeviceId(d)).intact_handles() == b.device(DeviceId(d)).intact_handles()
+        });
         assert!(!same, "48 chunks at 30%: identical damage is implausible");
     }
 

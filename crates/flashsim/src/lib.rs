@@ -48,7 +48,7 @@ mod chunk;
 mod device;
 mod fault;
 
-pub use array::{ArrayStats, FlashArray};
+pub use array::{ArrayStats, DeviceReport, FlashArray};
 pub use chunk::{ChunkHandle, ChunkPayload, StoredChunk};
 pub use device::{
     DeviceConfig, DeviceId, DeviceState, DeviceStats, FlashDevice, FlashError, WriteAmplification,

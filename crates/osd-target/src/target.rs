@@ -8,7 +8,7 @@ use reo_osd::attr::{AttributeId, AttributeSet, AttributeValue};
 use reo_osd::command::{CommandStatus, OsdCommand};
 use reo_osd::control::{ControlMessage, ControlMessageError};
 use reo_osd::{ObjectClass, ObjectKey, SenseCode};
-use reo_sim::{ByteSize, SimTime};
+use reo_sim::{ByteSize, Layer, SimTime, Tracer};
 use reo_stripe::{ObjectLayout, ObjectStatus, ReadOutcome, SpaceUsage, StripeError, StripeManager};
 
 use crate::policy::ProtectionPolicy;
@@ -258,6 +258,37 @@ impl OsdTarget {
         self.stats
     }
 
+    /// Installs a shared tracer handle; target-, stripe-, and flash-layer
+    /// spans are recorded through it from then on.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.stripes.set_tracer(tracer);
+    }
+
+    /// The tracer handle (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        self.stripes.tracer()
+    }
+
+    /// Immutable access to the flash array under the stripe layer (for
+    /// per-device stats reporting).
+    pub fn array(&self) -> &reo_flashsim::FlashArray {
+        self.stripes.array()
+    }
+
+    /// Start-of-op timestamp when tracing is on (`None` when off).
+    fn trace_begin(&self) -> Option<SimTime> {
+        self.stripes.tracer().begin(self.clock())
+    }
+
+    /// Records a target-layer span from `started` (if tracing was on at
+    /// the start of the op) to the clock's current instant.
+    fn trace_end(&self, op: &'static str, started: Option<SimTime>) {
+        let end = self.clock().now();
+        self.stripes
+            .tracer()
+            .record(Layer::Target, op, started, end);
+    }
+
     /// Number of indexed objects.
     pub fn object_count(&self) -> usize {
         self.index.len()
@@ -330,6 +361,7 @@ impl OsdTarget {
         if self.index.contains_key(&key) {
             return Err(TargetError::AlreadyExists(key));
         }
+        let t0 = self.trace_begin();
         let scheme = self.policy.scheme_for(class);
         let needed = self.stripes.physical_bytes_needed(size, scheme);
         let available = self.stripes.free_capacity();
@@ -359,6 +391,7 @@ impl OsdTarget {
         self.index
             .insert(key, ObjectRecord::new(layout, class, done));
         self.stats.creates += 1;
+        self.trace_end("create", t0);
         Ok(done)
     }
 
@@ -370,6 +403,7 @@ impl OsdTarget {
     /// * [`TargetError::UnknownObject`] — not indexed.
     /// * [`TargetError::ObjectLost`] — irrecoverable (sense 0x63).
     pub fn read_object(&mut self, key: ObjectKey) -> Result<ReadOutcome, TargetError> {
+        let t0 = self.trace_begin();
         let layout = self
             .index
             .get(&key)
@@ -398,6 +432,7 @@ impl OsdTarget {
         if let Some(record) = self.index.get_mut(&key) {
             record.touch(completed);
         }
+        self.trace_end("read", t0);
         Ok(outcome)
     }
 
@@ -497,6 +532,7 @@ impl OsdTarget {
         }
 
         // Re-encode: read (possibly degraded), then replace.
+        let t0 = self.trace_begin();
         let outcome = self.stripes.read_object(&layout).map_err(|e| match e {
             StripeError::ObjectLost { .. } => TargetError::ObjectLost(key),
             other => TargetError::Stripe(other),
@@ -555,6 +591,7 @@ impl OsdTarget {
         self.index
             .insert(key, ObjectRecord::new(new_layout, class, done));
         self.stats.reencodes += 1;
+        self.trace_end("reencode", t0);
         Ok(done)
     }
 
@@ -594,6 +631,7 @@ impl OsdTarget {
         let chunk = self.stripes.chunk_size().as_bytes();
         let first = offset / chunk;
         let last = (offset + length - 1) / chunk;
+        let t0 = self.trace_begin();
         let mut done = self.stripes.array().clock().now();
         for ci in first..=last {
             let (_, t) = self
@@ -605,6 +643,7 @@ impl OsdTarget {
                 })?;
             done = t;
         }
+        self.trace_end("write_range", t0);
         Ok(done)
     }
 
@@ -653,6 +692,7 @@ impl OsdTarget {
         if budget == 0 {
             return report;
         }
+        let t0 = self.trace_begin();
         let keys = self.keys();
         let mut idx = match self.scrub_cursor {
             // `keys` is sorted; resume just past the cursor even if that
@@ -688,6 +728,7 @@ impl OsdTarget {
         } else {
             self.scrub_cursor = Some(keys[idx - 1]);
         }
+        self.trace_end("scrub", t0);
         report
     }
 
@@ -892,13 +933,17 @@ impl OsdTarget {
         let layout = record.layout.clone();
         match self.stripes.object_status(&layout) {
             Ok(ObjectStatus::Intact) => Some(RecoveryOutcome::Skipped(key)),
-            Ok(ObjectStatus::Degraded) => match self.stripes.rebuild_object(&layout) {
-                Ok(done) => {
-                    self.stats.rebuilds += 1;
-                    Some(RecoveryOutcome::Rebuilt(key, done))
+            Ok(ObjectStatus::Degraded) => {
+                let t0 = self.trace_begin();
+                match self.stripes.rebuild_object(&layout) {
+                    Ok(done) => {
+                        self.stats.rebuilds += 1;
+                        self.trace_end("recover", t0);
+                        Some(RecoveryOutcome::Rebuilt(key, done))
+                    }
+                    Err(_) => Some(RecoveryOutcome::Lost(key)),
                 }
-                Err(_) => Some(RecoveryOutcome::Lost(key)),
-            },
+            }
             _ => Some(RecoveryOutcome::Lost(key)),
         }
     }
@@ -1600,9 +1645,9 @@ mod tests {
     fn medium_error_sense_for_chunk_corruption() {
         // Chunk-level corruption errors map to the medium-error sense
         // (0x68); whole-object loss keeps Table III's 0x63.
-        let e = TargetError::Stripe(StripeError::Flash(
-            reo_flashsim::FlashError::Corrupted(reo_flashsim::ChunkHandle::new(7)),
-        ));
+        let e = TargetError::Stripe(StripeError::Flash(reo_flashsim::FlashError::Corrupted(
+            reo_flashsim::ChunkHandle::new(7),
+        )));
         assert_eq!(e.sense(), SenseCode::MediumError);
         assert!(e.sense().is_error());
         assert_eq!(TargetError::ObjectLost(k(1)).sense(), SenseCode::Corrupted);

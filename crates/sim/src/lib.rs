@@ -18,6 +18,8 @@
 //!   bandwidth, latency).
 //! * [`rng`] — seed-deterministic random number helpers so that every
 //!   experiment is exactly reproducible.
+//! * [`Tracer`] — the `reo-trace` span recorder: sim-clock-stamped,
+//!   per-layer latency attribution with near-zero cost when disabled.
 //!
 //! Nothing in this crate (or its dependents) reads the wall clock; simulated
 //! time only moves when a model says it does.
@@ -40,8 +42,10 @@ mod service;
 mod size;
 mod stats;
 mod time;
+mod trace;
 
 pub use service::ServiceModel;
 pub use size::ByteSize;
 pub use stats::{Histogram, OnlineStats, RateMeter, WindowedSeries};
 pub use time::{SimClock, SimDuration, SimTime};
+pub use trace::{Layer, LayerBreakdown, Span, TraceBreakdown, Tracer};

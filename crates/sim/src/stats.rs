@@ -446,6 +446,72 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "percentile")]
+    fn histogram_negative_percentile_panics() {
+        let h = Histogram::new();
+        let _ = h.percentile(-0.1);
+    }
+
+    #[test]
+    fn histogram_single_sample_is_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(250));
+        let p0 = h.percentile(0.0).unwrap();
+        let p50 = h.percentile(50.0).unwrap();
+        let p100 = h.percentile(100.0).unwrap();
+        assert_eq!(p0, p50);
+        assert_eq!(p50, p100);
+        // The answer is the sample's bucket upper bound: at or just
+        // above the recorded value, within the <10% bucket error.
+        let ns = p50.as_nanos() as f64;
+        assert!((250_000.0..=250_000.0 * 1.1).contains(&ns), "p50 = {ns}ns");
+    }
+
+    #[test]
+    fn histogram_p0_and_p100_bracket_the_data() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(10));
+        for _ in 0..10 {
+            h.record(SimDuration::from_millis(1));
+        }
+        h.record(SimDuration::from_millis(10));
+        // p0 resolves to the smallest observation's bucket, p100 to the
+        // largest's, each within the <10% bucket error above the value.
+        let p0 = h.percentile(0.0).unwrap().as_nanos() as f64;
+        let p100 = h.percentile(100.0).unwrap().as_nanos() as f64;
+        assert!((10_000.0..=11_000.0).contains(&p0), "p0 = {p0}ns");
+        assert!((10e6..=11e6).contains(&p100), "p100 = {p100}ns");
+    }
+
+    #[test]
+    fn histogram_zero_duration_lands_in_the_first_bucket() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::ZERO);
+        let p = h.percentile(0.0).unwrap();
+        assert!(p.as_nanos() <= 2, "first-bucket upper bound, got {p:?}");
+        assert_eq!(h.mean(), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn histogram_percentile_error_is_bounded_by_bucket_width() {
+        // A uniform 1..=10000us ramp: every queried percentile must land
+        // within one log-bucket (~9.05% wide) of the exact order
+        // statistic the rank formula selects.
+        let mut h = Histogram::new();
+        for us in 1..=10_000u64 {
+            h.record(SimDuration::from_micros(us));
+        }
+        for p in [1.0f64, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9] {
+            let exact_us = (p / 100.0 * 10_000.0).ceil().max(1.0);
+            let got_us = h.percentile(p).unwrap().as_nanos() as f64 / 1e3;
+            assert!(
+                (exact_us * 0.9..=exact_us * 1.1).contains(&got_us),
+                "p{p}: got {got_us}us, exact {exact_us}us"
+            );
+        }
+    }
+
+    #[test]
     fn rate_meter_resets() {
         let mut m = RateMeter::new(SimTime::ZERO);
         m.record(ByteSize::from_mib(10));

@@ -1,0 +1,494 @@
+//! `reo-trace`: a lightweight per-layer span recorder.
+//!
+//! The Reo paper explains every headline number — hit ratio, bandwidth,
+//! latency, recovery time — by *where* time and bytes go. This module is
+//! the measurement substrate for that attribution: every layer of the
+//! stack (cache manager, OSD target, stripe manager, flash array,
+//! backend) wraps its operations in [`Tracer`] spans stamped with the
+//! simulated clock, and the tracer aggregates them into a per-layer
+//! latency breakdown plus a bounded ring of recent spans for inspection.
+//!
+//! Design constraints:
+//!
+//! * **No external dependencies** — plain `std` synchronization, the
+//!   same pattern as [`crate::SimClock`].
+//! * **Near-zero cost when disabled** — every instrumentation point is a
+//!   single relaxed atomic load behind [`Tracer::begin`], which returns
+//!   `None` so the subsequent [`Tracer::record`] is a no-op.
+//! * **Shared handle semantics** — cloning a `Tracer` yields a handle to
+//!   the *same* recorder, so one tracer threads through every layer of a
+//!   cache system and aggregates in one place.
+//!
+//! # Examples
+//!
+//! ```
+//! use reo_sim::{Layer, SimClock, SimDuration, Tracer};
+//!
+//! let clock = SimClock::new();
+//! let tracer = Tracer::new();
+//! tracer.set_enabled(true);
+//!
+//! tracer.begin_request();
+//! let t0 = tracer.begin(&clock);
+//! clock.advance(SimDuration::from_micros(250));
+//! tracer.record(reo_sim::Layer::Flash, "read", t0, clock.now());
+//!
+//! let breakdown = tracer.breakdown();
+//! let flash = breakdown.layer(Layer::Flash).unwrap();
+//! assert_eq!(flash.spans, 1);
+//! assert_eq!(flash.total, SimDuration::from_micros(250));
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::Histogram;
+use crate::time::{SimClock, SimDuration, SimTime};
+
+/// The stack layer a span was recorded in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// The cache-manager / request layer (whole-request spans).
+    Cache,
+    /// The object storage target (object index, classes, scrub, recovery).
+    Target,
+    /// The stripe manager (encode/decode, placement, retry).
+    Stripe,
+    /// The flash array (device service time).
+    Flash,
+    /// The backend store (HDD + network behind the cache).
+    Backend,
+}
+
+impl Layer {
+    /// All layers, outermost first — the nesting order of a request.
+    pub const ALL: [Layer; 5] = [
+        Layer::Cache,
+        Layer::Target,
+        Layer::Stripe,
+        Layer::Flash,
+        Layer::Backend,
+    ];
+
+    /// Stable lower-case name (exporter field value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Layer::Cache => "cache",
+            Layer::Target => "target",
+            Layer::Stripe => "stripe",
+            Layer::Flash => "flash",
+            Layer::Backend => "backend",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Layer::Cache => 0,
+            Layer::Target => 1,
+            Layer::Stripe => 2,
+            Layer::Flash => 3,
+            Layer::Backend => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Layer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One recorded span: an operation in one layer over a simulated
+/// interval, tagged with the request it served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct Span {
+    /// The request ordinal ([`Tracer::begin_request`] count) this span
+    /// belongs to; 0 for spans outside any request (background work).
+    pub request: u64,
+    /// The layer that recorded the span.
+    pub layer: Layer,
+    /// A static operation label, e.g. `"read"`, `"store"`, `"scrub"`.
+    pub op: &'static str,
+    /// Span start (simulated).
+    pub start: SimTime,
+    /// Span end (simulated).
+    pub end: SimTime,
+}
+
+impl Span {
+    /// The span's simulated duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Aggregated statistics for one layer.
+#[derive(Clone, Debug, Default)]
+struct LayerAgg {
+    spans: u64,
+    total: SimDuration,
+    latency: Option<Box<Histogram>>,
+}
+
+impl LayerAgg {
+    fn record(&mut self, d: SimDuration) {
+        self.spans += 1;
+        self.total += d;
+        self.latency
+            .get_or_insert_with(|| Box::new(Histogram::new()))
+            .record(d);
+    }
+}
+
+/// The per-layer breakdown of one layer, as reported by
+/// [`Tracer::breakdown`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LayerBreakdown {
+    /// The layer.
+    pub layer: Layer,
+    /// Spans recorded.
+    pub spans: u64,
+    /// Summed (inclusive) simulated time across spans. Inner layers nest
+    /// inside outer ones, so sums are inclusive: subtract the next layer
+    /// in [`Layer::ALL`] order for exclusive time.
+    pub total: SimDuration,
+    /// Mean span duration.
+    pub mean: SimDuration,
+    /// 99th-percentile span duration.
+    pub p99: SimDuration,
+}
+
+/// A snapshot of everything the tracer aggregated.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceBreakdown {
+    /// Requests delimited with [`Tracer::begin_request`].
+    pub requests: u64,
+    /// Per-layer rows, in [`Layer::ALL`] order; layers with no spans are
+    /// omitted.
+    pub layers: Vec<LayerBreakdown>,
+}
+
+impl TraceBreakdown {
+    /// The row for `layer`, if it recorded any spans.
+    pub fn layer(&self, layer: Layer) -> Option<&LayerBreakdown> {
+        self.layers.iter().find(|l| l.layer == layer)
+    }
+
+    /// Exclusive time of `layer`: its inclusive total minus the inclusive
+    /// total of the next-inner layer (per [`Layer::ALL`] nesting). The
+    /// backend is not nested under flash, so its exclusive time equals
+    /// its inclusive time; cache excludes target, target excludes
+    /// stripe, stripe excludes flash.
+    pub fn exclusive(&self, layer: Layer) -> SimDuration {
+        let own = self.layer(layer).map(|l| l.total).unwrap_or_default();
+        let inner = match layer {
+            Layer::Cache => {
+                // Cache contains both the target path and the backend path.
+                self.layer(Layer::Target)
+                    .map(|l| l.total)
+                    .unwrap_or_default()
+                    + self
+                        .layer(Layer::Backend)
+                        .map(|l| l.total)
+                        .unwrap_or_default()
+            }
+            Layer::Target => self
+                .layer(Layer::Stripe)
+                .map(|l| l.total)
+                .unwrap_or_default(),
+            Layer::Stripe => self
+                .layer(Layer::Flash)
+                .map(|l| l.total)
+                .unwrap_or_default(),
+            Layer::Flash | Layer::Backend => SimDuration::ZERO,
+        };
+        own.saturating_sub(inner)
+    }
+}
+
+#[derive(Debug, Default)]
+struct TraceAgg {
+    layers: [LayerAgg; 5],
+    recent: Vec<Span>,
+    recent_cap: usize,
+    recent_next: usize,
+    requests: u64,
+}
+
+#[derive(Debug)]
+struct TracerShared {
+    enabled: AtomicBool,
+    agg: Mutex<TraceAgg>,
+}
+
+/// How many recent spans the tracer retains for inspection.
+const DEFAULT_RECENT_SPANS: usize = 512;
+
+/// A cloneable handle to a shared span recorder (see the module docs).
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    shared: Arc<TracerShared>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// Creates a disabled tracer. Instrumentation points cost one atomic
+    /// load until [`Tracer::set_enabled`] turns recording on.
+    pub fn new() -> Self {
+        Tracer {
+            shared: Arc::new(TracerShared {
+                enabled: AtomicBool::new(false),
+                agg: Mutex::new(TraceAgg {
+                    recent_cap: DEFAULT_RECENT_SPANS,
+                    ..TraceAgg::default()
+                }),
+            }),
+        }
+    }
+
+    /// `true` when spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off. All clones of this handle see the
+    /// change immediately.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.shared.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Starts a span: reads the clock if recording is on. The returned
+    /// token is `None` when disabled, making the matching
+    /// [`Tracer::record`] free.
+    #[inline]
+    pub fn begin(&self, clock: &SimClock) -> Option<SimTime> {
+        if self.is_enabled() {
+            Some(clock.now())
+        } else {
+            None
+        }
+    }
+
+    /// Finishes a span started with [`Tracer::begin`]. No-op when
+    /// `started` is `None`.
+    #[inline]
+    pub fn record(&self, layer: Layer, op: &'static str, started: Option<SimTime>, end: SimTime) {
+        let Some(start) = started else { return };
+        self.push(layer, op, start, end);
+    }
+
+    /// Records a span with explicit bounds, bypassing the begin/record
+    /// pairing (used when the start instant is known for other reasons,
+    /// e.g. batched device completions). No-op when disabled.
+    #[inline]
+    pub fn record_span(&self, layer: Layer, op: &'static str, start: SimTime, end: SimTime) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(layer, op, start, end);
+    }
+
+    fn push(&self, layer: Layer, op: &'static str, start: SimTime, end: SimTime) {
+        let mut agg = self.shared.agg.lock().expect("tracer lock");
+        let request = agg.requests;
+        agg.layers[layer.index()].record(end.saturating_since(start));
+        let cap = agg.recent_cap;
+        if cap == 0 {
+            return;
+        }
+        let span = Span {
+            request,
+            layer,
+            op,
+            start,
+            end,
+        };
+        if agg.recent.len() < cap {
+            agg.recent.push(span);
+        } else {
+            let at = agg.recent_next;
+            agg.recent[at] = span;
+        }
+        agg.recent_next = (agg.recent_next + 1) % cap;
+    }
+
+    /// Delimits a new request: spans recorded until the next call carry
+    /// this request's ordinal. Returns the ordinal (1-based), or 0 when
+    /// recording is off.
+    pub fn begin_request(&self) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        let mut agg = self.shared.agg.lock().expect("tracer lock");
+        agg.requests += 1;
+        agg.requests
+    }
+
+    /// Snapshot of the aggregated per-layer breakdown.
+    pub fn breakdown(&self) -> TraceBreakdown {
+        let agg = self.shared.agg.lock().expect("tracer lock");
+        TraceBreakdown {
+            requests: agg.requests,
+            layers: Layer::ALL
+                .iter()
+                .filter_map(|&layer| {
+                    let a = &agg.layers[layer.index()];
+                    if a.spans == 0 {
+                        return None;
+                    }
+                    let latency = a.latency.as_deref();
+                    Some(LayerBreakdown {
+                        layer,
+                        spans: a.spans,
+                        total: a.total,
+                        mean: latency
+                            .and_then(Histogram::mean)
+                            .unwrap_or(SimDuration::ZERO),
+                        p99: latency
+                            .and_then(|h| h.percentile(99.0))
+                            .unwrap_or(SimDuration::ZERO),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// The most recent spans (up to an internal cap), oldest first.
+    pub fn recent_spans(&self) -> Vec<Span> {
+        let agg = self.shared.agg.lock().expect("tracer lock");
+        if agg.recent.len() < agg.recent_cap {
+            agg.recent.clone()
+        } else {
+            let mut out = Vec::with_capacity(agg.recent.len());
+            out.extend_from_slice(&agg.recent[agg.recent_next..]);
+            out.extend_from_slice(&agg.recent[..agg.recent_next]);
+            out
+        }
+    }
+
+    /// Clears all aggregates and spans (e.g. at the end of warm-up), and
+    /// keeps the enabled flag unchanged.
+    pub fn reset(&self) {
+        let mut agg = self.shared.agg.lock().expect("tracer lock");
+        let cap = agg.recent_cap;
+        *agg = TraceAgg {
+            recent_cap: cap,
+            ..TraceAgg::default()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let clock = SimClock::new();
+        let tracer = Tracer::new();
+        assert!(!tracer.is_enabled());
+        let token = tracer.begin(&clock);
+        assert!(token.is_none());
+        tracer.record(Layer::Flash, "read", token, clock.now());
+        tracer.record_span(Layer::Stripe, "read", t(0), t(10));
+        assert_eq!(tracer.begin_request(), 0);
+        let b = tracer.breakdown();
+        assert_eq!(b.requests, 0);
+        assert!(b.layers.is_empty());
+        assert!(tracer.recent_spans().is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let tracer = Tracer::new();
+        let other = tracer.clone();
+        tracer.set_enabled(true);
+        assert!(other.is_enabled());
+        other.record_span(Layer::Backend, "read", t(0), t(100));
+        let b = tracer.breakdown();
+        assert_eq!(b.layer(Layer::Backend).unwrap().spans, 1);
+    }
+
+    #[test]
+    fn breakdown_aggregates_per_layer() {
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        tracer.begin_request();
+        tracer.record_span(Layer::Stripe, "read", t(0), t(40));
+        tracer.record_span(Layer::Flash, "read", t(0), t(30));
+        tracer.begin_request();
+        tracer.record_span(Layer::Stripe, "read", t(40), t(100));
+        let b = tracer.breakdown();
+        assert_eq!(b.requests, 2);
+        let stripe = b.layer(Layer::Stripe).unwrap();
+        assert_eq!(stripe.spans, 2);
+        assert_eq!(stripe.total, SimDuration::from_micros(100));
+        let flash = b.layer(Layer::Flash).unwrap();
+        assert_eq!(flash.total, SimDuration::from_micros(30));
+        // Exclusive stripe time subtracts nested flash time.
+        assert_eq!(b.exclusive(Layer::Stripe), SimDuration::from_micros(70));
+        assert_eq!(b.exclusive(Layer::Flash), SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn exclusive_cache_subtracts_target_and_backend() {
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        tracer.record_span(Layer::Cache, "request", t(0), t(100));
+        tracer.record_span(Layer::Target, "read", t(0), t(30));
+        tracer.record_span(Layer::Backend, "read", t(30), t(90));
+        let b = tracer.breakdown();
+        assert_eq!(b.exclusive(Layer::Cache), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn recent_spans_are_bounded_and_ordered() {
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        for i in 0..(DEFAULT_RECENT_SPANS as u64 + 10) {
+            tracer.record_span(Layer::Flash, "read", t(i), t(i + 1));
+        }
+        let spans = tracer.recent_spans();
+        assert_eq!(spans.len(), DEFAULT_RECENT_SPANS);
+        // Oldest retained span is number 10; order is oldest → newest.
+        assert_eq!(spans[0].start, t(10));
+        assert_eq!(
+            spans.last().unwrap().start,
+            t(DEFAULT_RECENT_SPANS as u64 + 9)
+        );
+        for w in spans.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_enabled() {
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        tracer.begin_request();
+        tracer.record_span(Layer::Flash, "read", t(0), t(5));
+        tracer.reset();
+        assert!(tracer.is_enabled());
+        let b = tracer.breakdown();
+        assert_eq!(b.requests, 0);
+        assert!(b.layers.is_empty());
+        assert!(tracer.recent_spans().is_empty());
+    }
+
+    #[test]
+    fn layer_names_are_stable() {
+        let names: Vec<&str> = Layer::ALL.iter().map(|l| l.as_str()).collect();
+        assert_eq!(names, ["cache", "target", "stripe", "flash", "backend"]);
+    }
+}

@@ -7,7 +7,7 @@ use std::fmt;
 use bytes::Bytes;
 use reo_erasure::{CodecError, ReedSolomon};
 use reo_flashsim::{ChunkHandle, DeviceId, FaultPlan, FlashArray, FlashError, StoredChunk};
-use reo_sim::{ByteSize, SimDuration, SimTime};
+use reo_sim::{ByteSize, Layer, SimDuration, SimTime, Tracer};
 
 use crate::layout::{ChunkRole, PlacementPolicy, StripeLayout};
 use crate::scheme::RedundancyScheme;
@@ -354,6 +354,17 @@ impl StripeManager {
         &self.array
     }
 
+    /// Installs a shared tracer handle; stripe- and flash-layer spans are
+    /// recorded through it from then on.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.array.set_tracer(tracer);
+    }
+
+    /// The tracer handle (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        self.array.tracer()
+    }
+
     /// Current byte accounting.
     pub fn usage(&self) -> SpaceUsage {
         self.usage
@@ -654,7 +665,10 @@ impl StripeManager {
             return Err(e);
         }
 
-        self.array.complete_batch(completions);
+        let completed_at = self.array.complete_batch(completions);
+        self.array
+            .tracer()
+            .record_span(Layer::Stripe, "store", now, completed_at);
         Ok(ObjectLayout {
             owner,
             size,
@@ -765,6 +779,9 @@ impl StripeManager {
         }
 
         let completed_at = self.array.complete_batch(completions);
+        self.array
+            .tracer()
+            .record_span(Layer::Stripe, "read", now, completed_at);
         let bytes = assembled.map(|per_stripe| {
             let mut out: Vec<u8> = per_stripe.into_iter().flatten().collect();
             out.truncate(layout.size.as_bytes() as usize);
@@ -1039,7 +1056,11 @@ impl StripeManager {
             )?,
         };
 
-        Ok((method, self.array.complete_batch(completions)))
+        let completed_at = self.array.complete_batch(completions);
+        self.array
+            .tracer()
+            .record_span(Layer::Stripe, "overwrite", now, completed_at);
+        Ok((method, completed_at))
     }
 
     /// The parity-maintaining overwrite: picks delta vs direct by read
@@ -1208,7 +1229,8 @@ impl StripeManager {
                     .find(|c| self.chunk_intact(c))
                     .expect("degraded stripe has a survivor")
                     .clone();
-                let (src, done) = self.read_chunk_retrying(survivor.device, survivor.handle, now)?;
+                let (src, done) =
+                    self.read_chunk_retrying(survivor.device, survivor.handle, now)?;
                 completions.push(done);
                 let lost: Vec<StripeChunk> = meta
                     .chunks
@@ -1306,7 +1328,11 @@ impl StripeManager {
                 }
             }
         }
-        Ok(self.array.complete_batch(completions))
+        let completed_at = self.array.complete_batch(completions);
+        self.array
+            .tracer()
+            .record_span(Layer::Stripe, "rebuild", now, completed_at);
+        Ok(completed_at)
     }
 
     /// Corrupts one data chunk of an object in place (a partial flash

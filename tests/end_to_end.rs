@@ -52,7 +52,7 @@ fn runs_are_deterministic_across_repetitions() {
         let result = ExperimentRunner::run(&mut sys, &t, &plan);
         (
             result.totals.read_hits,
-            result.totals.bytes,
+            result.totals.requested_bytes,
             result.totals.elapsed,
             result.events[1].window_before.read_hits,
             result.space_efficiency.to_bits(),

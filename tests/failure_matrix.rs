@@ -237,7 +237,11 @@ fn tolerated_corruption_is_served_exactly_and_read_repaired() {
 
     let out = t.read_object(key(1)).unwrap();
     assert!(out.degraded);
-    assert_eq!(out.bytes.as_deref(), Some(&data[..]), "zero corrupt payloads");
+    assert_eq!(
+        out.bytes.as_deref(),
+        Some(&data[..]),
+        "zero corrupt payloads"
+    );
     let stats = t.stats();
     assert!(stats.medium_errors >= 1);
     assert!(stats.repairs >= 1, "degraded read must repair in place");
@@ -308,7 +312,11 @@ fn transient_timeouts_are_retried_to_byte_exact_reads() {
         for (i, data) in bodies.iter().enumerate() {
             let out = t.read_object(key(i as u64)).unwrap();
             assert!(!out.degraded, "round {round} object {i}");
-            assert_eq!(out.bytes.as_deref(), Some(&data[..]), "round {round} object {i}");
+            assert_eq!(
+                out.bytes.as_deref(),
+                Some(&data[..]),
+                "round {round} object {i}"
+            );
         }
     }
     assert!(
@@ -354,6 +362,7 @@ fn heavy_corruption_degrades_to_backend_fallbacks() {
             (500, PlannedEvent::CorruptChunks { ppm: 800_000 }),
             (700, PlannedEvent::CorruptChunks { ppm: 800_000 }),
         ],
+        ..Default::default()
     };
     let result = ExperimentRunner::run(&mut sys, &t, &plan);
     assert_eq!(result.totals.requests, 900, "every request must be served");
@@ -379,12 +388,16 @@ fn fault_injection_is_deterministic_end_to_end() {
             (0, PlannedEvent::TransientFaults { ppm: 20_000 }),
             (0, PlannedEvent::StartScrub),
             (250, PlannedEvent::CorruptChunks { ppm: 100_000 }),
-            (500, PlannedEvent::SlowDevice {
-                device: DeviceId(2),
-                factor_pct: 400,
-            }),
+            (
+                500,
+                PlannedEvent::SlowDevice {
+                    device: DeviceId(2),
+                    factor_pct: 400,
+                },
+            ),
             (700, PlannedEvent::CorruptChunks { ppm: 200_000 }),
         ],
+        ..Default::default()
     };
     let run = || {
         let mut sys = fault_system(&t);

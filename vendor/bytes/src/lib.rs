@@ -21,17 +21,23 @@ pub struct Bytes {
 impl Bytes {
     /// Creates an empty `Bytes`.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
     }
 
     /// Creates `Bytes` from a static slice without per-clone copies.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes {
+            data: Arc::from(bytes),
+        }
     }
 
     /// Copies `data` into a new `Bytes`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes {
+            data: Arc::from(data),
+        }
     }
 
     /// The number of bytes.

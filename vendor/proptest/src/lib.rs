@@ -67,13 +67,17 @@ pub mod test_runner {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
-            TestRng { inner: SmallRng::seed_from_u64(h) }
+            TestRng {
+                inner: SmallRng::seed_from_u64(h),
+            }
         }
 
         /// Forks an independent generator from this one's stream.
         pub fn fork(&mut self) -> Self {
             let seed = self.inner.next_u64();
-            TestRng { inner: SmallRng::seed_from_u64(seed) }
+            TestRng {
+                inner: SmallRng::seed_from_u64(seed),
+            }
         }
     }
 
@@ -117,7 +121,11 @@ pub mod strategy {
             Self: Sized,
             F: Fn(&Self::Value) -> bool,
         {
-            Filter { inner: self, reason: reason.into(), pred }
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                pred,
+            }
         }
 
         /// Post-processes generated values with access to an RNG.
@@ -261,13 +269,13 @@ pub mod strategy {
         )+};
     }
     impl_tuple_strategy!(
-        (A/0, B/1),
-        (A/0, B/1, C/2),
-        (A/0, B/1, C/2, D/3),
-        (A/0, B/1, C/2, D/3, E/4),
-        (A/0, B/1, C/2, D/3, E/4, F/5),
-        (A/0, B/1, C/2, D/3, E/4, F/5, G/6),
-        (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+        (A / 0, B / 1),
+        (A / 0, B / 1, C / 2),
+        (A / 0, B / 1, C / 2, D / 3),
+        (A / 0, B / 1, C / 2, D / 3, E / 4),
+        (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5),
+        (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6),
+        (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7)
     );
 }
 
@@ -308,7 +316,9 @@ pub mod arbitrary {
 
     /// The whole-domain strategy for `T`.
     pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
-        AnyStrategy { _marker: PhantomData }
+        AnyStrategy {
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -326,19 +336,28 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { lo: n, hi_exclusive: n + 1 }
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
         }
     }
 
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
-            SizeRange { lo: r.start, hi_exclusive: r.end }
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
         }
     }
 
@@ -350,7 +369,10 @@ pub mod collection {
 
     /// `Vec` strategy with lengths drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -430,7 +452,8 @@ macro_rules! prop_assert_ne {
         let (__l, __r) = (&$left, &$right);
         if *__l == *__r {
             return Err($crate::test_runner::TestCaseError::fail(format!(
-                "assertion failed: `{:?}` == `{:?}`", __l, __r
+                "assertion failed: `{:?}` == `{:?}`",
+                __l, __r
             )));
         }
     }};
@@ -548,5 +571,4 @@ mod tests {
         let mut c = TestRng::for_test("other");
         let _ = c.next_u64();
     }
-
 }

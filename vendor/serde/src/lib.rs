@@ -86,17 +86,14 @@ pub fn __get<'a>(v: &'a Value, name: &str) -> Result<&'a Value, DeError> {
 
 /// Deserializes field `name` of a map value.
 pub fn __field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
-    T::from_value(__get(v, name)?)
-        .map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+    T::from_value(__get(v, name)?).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
 }
 
 /// For externally-tagged enums: if `v` is a single-entry map keyed by
 /// `variant`, returns the payload.
 pub fn __variant<'a>(v: &'a Value, variant: &str) -> Option<&'a Value> {
     match v {
-        Value::Map(entries) if entries.len() == 1 && entries[0].0 == variant => {
-            Some(&entries[0].1)
-        }
+        Value::Map(entries) if entries.len() == 1 && entries[0].0 == variant => Some(&entries[0].1),
         _ => None,
     }
 }
@@ -105,7 +102,10 @@ pub fn __variant<'a>(v: &'a Value, variant: &str) -> Option<&'a Value> {
 pub fn __seq(v: &Value) -> Result<&[Value], DeError> {
     match v {
         Value::Seq(items) => Ok(items),
-        other => Err(DeError::custom(format!("expected sequence, found {}", kind(other)))),
+        other => Err(DeError::custom(format!(
+            "expected sequence, found {}",
+            kind(other)
+        ))),
     }
 }
 
@@ -214,7 +214,10 @@ impl Deserialize for bool {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Bool(b) => Ok(*b),
-            other => Err(DeError::custom(format!("expected bool, found {}", kind(other)))),
+            other => Err(DeError::custom(format!(
+                "expected bool, found {}",
+                kind(other)
+            ))),
         }
     }
 }
@@ -229,7 +232,10 @@ impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Str(s) => Ok(s.clone()),
-            other => Err(DeError::custom(format!("expected string, found {}", kind(other)))),
+            other => Err(DeError::custom(format!(
+                "expected string, found {}",
+                kind(other)
+            ))),
         }
     }
 }
@@ -250,7 +256,10 @@ impl Deserialize for char {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
-            other => Err(DeError::custom(format!("expected char, found {}", kind(other)))),
+            other => Err(DeError::custom(format!(
+                "expected char, found {}",
+                kind(other)
+            ))),
         }
     }
 }
@@ -306,8 +315,9 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
 impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let items: Vec<T> = Vec::from_value(v)?;
-        <[T; N]>::try_from(items)
-            .map_err(|items| DeError::custom(format!("expected {N} elements, found {}", items.len())))
+        <[T; N]>::try_from(items).map_err(|items| {
+            DeError::custom(format!("expected {N} elements, found {}", items.len()))
+        })
     }
 }
 
@@ -327,11 +337,11 @@ macro_rules! impl_serde_tuple {
     )+};
 }
 impl_serde_tuple!(
-    (A/0),
-    (A/0, B/1),
-    (A/0, B/1, C/2),
-    (A/0, B/1, C/2, D/3),
-    (A/0, B/1, C/2, D/3, E/4)
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
 );
 
 /// Renders a serialized value as a JSON object key. Maps in this data
@@ -380,7 +390,10 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
                 .iter()
                 .map(|(k, v)| Ok((key_value::<K>(k)?, V::from_value(v)?)))
                 .collect(),
-            other => Err(DeError::custom(format!("expected map, found {}", kind(other)))),
+            other => Err(DeError::custom(format!(
+                "expected map, found {}",
+                kind(other)
+            ))),
         }
     }
 }

@@ -43,7 +43,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 
 /// Parses JSON text into a `T`.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     parser.skip_ws();
     let value = parser.parse_value()?;
     parser.skip_ws();
@@ -205,7 +208,9 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             return Ok(Value::Seq(items));
                         }
-                        _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error(format!("expected `,` or `]` at byte {}", self.pos)))
+                        }
                     }
                 }
             }
@@ -231,7 +236,9 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             return Ok(Value::Map(entries));
                         }
-                        _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos)))
+                        }
                     }
                 }
             }
