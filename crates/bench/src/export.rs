@@ -26,8 +26,10 @@ use reo_sim::{Layer, TraceBreakdown};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Version stamp of the JSON-lines schema; bumped whenever a record kind
-/// gains, loses, or renames a field.
-pub const SCHEMA_VERSION: u64 = 1;
+/// gains, loses, or renames a field. v2 added the crash-consistency
+/// counters (`journal_appends`, `checkpoint_count`, `replayed_records`,
+/// `torn_tail_detected`, `recovery_duration_us`) to `totals`/`series`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The record kinds a JSON-lines document may contain.
 pub const RECORD_KINDS: [&str; 7] = [
@@ -134,6 +136,11 @@ fn totals_fields(snap: &MetricsSnapshot) -> Vec<(&'static str, Value)> {
         ("repairs", u(snap.repairs)),
         ("scrub_passes", u(snap.scrub_passes)),
         ("unrecoverable_fallbacks", u(snap.unrecoverable_fallbacks)),
+        ("journal_appends", u(snap.journal_appends)),
+        ("checkpoint_count", u(snap.checkpoint_count)),
+        ("replayed_records", u(snap.replayed_records)),
+        ("torn_tail_detected", u(snap.torn_tail_detected)),
+        ("recovery_duration_us", u(snap.recovery_duration_us)),
     ]
 }
 
@@ -310,6 +317,11 @@ fn required_numbers(kind: &str) -> &'static [&'static str] {
             "write_amplification",
             "mean_latency_ms",
             "p99_latency_ms",
+            "journal_appends",
+            "checkpoint_count",
+            "replayed_records",
+            "torn_tail_detected",
+            "recovery_duration_us",
         ],
         "class" => &["requests", "reads", "hit_ratio_pct", "p99_latency_ms"],
         "layer" => &["spans", "total_ms", "exclusive_ms", "mean_ms", "p99_ms"],

@@ -140,6 +140,15 @@ pub struct SystemConfig {
     pub scrub_period: usize,
     /// Objects whose chunk integrity one scrubber step verifies.
     pub scrub_budget: usize,
+    /// Auto-flush the metadata journal's staging buffer to durable media
+    /// every this many appended records. Dirty writes flush eagerly
+    /// regardless (the acknowledgment barrier); this knob bounds how many
+    /// *clean* metadata records a power loss can discard.
+    pub fsync_interval: u32,
+    /// Take a journal checkpoint (truncating the log) every this many
+    /// requests; `0` restricts checkpoints to startup and recovery, so
+    /// replay cost grows with the whole history.
+    pub checkpoint_period: usize,
 }
 
 impl SystemConfig {
@@ -176,6 +185,8 @@ impl SystemConfig {
             fault_seed: 0x5EED_FA17,
             scrub_period: 0,
             scrub_budget: 8,
+            fsync_interval: 32,
+            checkpoint_period: 10_000,
         }
     }
 

@@ -159,6 +159,16 @@ pub struct MetricsSnapshot {
     /// Reads whose cache copy was damaged beyond the stripe's tolerance:
     /// served correctly from the backend and counted as misses.
     pub unrecoverable_fallbacks: u64,
+    /// Records appended to the write-ahead metadata journal.
+    pub journal_appends: u64,
+    /// Journal checkpoints taken (superblock flips).
+    pub checkpoint_count: u64,
+    /// Journal records replayed by restart recoveries.
+    pub replayed_records: u64,
+    /// Restart recoveries that found (and discarded) a torn log tail.
+    pub torn_tail_detected: u64,
+    /// Total simulated time spent in restart recovery, in microseconds.
+    pub recovery_duration_us: u64,
     /// Per-redundancy-class breakdown (empty when nothing was recorded).
     pub classes: Vec<ClassSnapshot>,
 }
@@ -314,6 +324,11 @@ struct Accum {
     repairs: u64,
     scrub_passes: u64,
     unrecoverable_fallbacks: u64,
+    journal_appends: u64,
+    checkpoint_count: u64,
+    replayed_records: u64,
+    torn_tail_detected: u64,
+    recovery_duration_us: u64,
     /// One slot per [`CLASS_LABELS`] entry, allocated on first use.
     classes: [Option<Box<ClassAccum>>; 5],
 }
@@ -338,6 +353,11 @@ impl Accum {
             repairs: 0,
             scrub_passes: 0,
             unrecoverable_fallbacks: 0,
+            journal_appends: 0,
+            checkpoint_count: 0,
+            replayed_records: 0,
+            torn_tail_detected: 0,
+            recovery_duration_us: 0,
             classes: [None, None, None, None, None],
         }
     }
@@ -347,6 +367,17 @@ impl Accum {
         self.repairs += repairs;
         self.scrub_passes += scrub_passes;
         self.unrecoverable_fallbacks += fallbacks;
+    }
+
+    fn note_journal(&mut self, appends: u64, checkpoints: u64) {
+        self.journal_appends += appends;
+        self.checkpoint_count += checkpoints;
+    }
+
+    fn note_recovery(&mut self, replayed: u64, torn_tail: bool, duration_us: u64) {
+        self.replayed_records += replayed;
+        self.torn_tail_detected += u64::from(torn_tail);
+        self.recovery_duration_us += duration_us;
     }
 
     fn record(&mut self, sample: &RequestSample) {
@@ -393,6 +424,11 @@ impl Accum {
             repairs: self.repairs,
             scrub_passes: self.scrub_passes,
             unrecoverable_fallbacks: self.unrecoverable_fallbacks,
+            journal_appends: self.journal_appends,
+            checkpoint_count: self.checkpoint_count,
+            replayed_records: self.replayed_records,
+            torn_tail_detected: self.torn_tail_detected,
+            recovery_duration_us: self.recovery_duration_us,
             classes: self
                 .classes
                 .iter()
@@ -437,6 +473,22 @@ impl Metrics {
             .note_faults(medium_errors, repairs, scrub_passes, fallbacks);
         self.sample
             .note_faults(medium_errors, repairs, scrub_passes, fallbacks);
+    }
+
+    /// Adds journal-activity deltas (records appended, checkpoints taken)
+    /// to the totals, the window, and the sampling window.
+    pub fn note_journal(&mut self, appends: u64, checkpoints: u64) {
+        self.totals.note_journal(appends, checkpoints);
+        self.window.note_journal(appends, checkpoints);
+        self.sample.note_journal(appends, checkpoints);
+    }
+
+    /// Records one completed restart recovery: records replayed, whether a
+    /// torn log tail was detected, and the recovery's simulated duration.
+    pub fn note_recovery(&mut self, replayed: u64, torn_tail: bool, duration_us: u64) {
+        self.totals.note_recovery(replayed, torn_tail, duration_us);
+        self.window.note_recovery(replayed, torn_tail, duration_us);
+        self.sample.note_recovery(replayed, torn_tail, duration_us);
     }
 
     /// Snapshot since construction (or [`Metrics::reset_all`]).
@@ -590,6 +642,25 @@ mod tests {
         assert_eq!(w.unrecoverable_fallbacks, 1);
         assert_eq!(m.window().medium_errors, 0, "window reset");
         assert_eq!(m.totals().medium_errors, 3, "totals persist");
+    }
+
+    #[test]
+    fn journal_and_recovery_counters_accumulate() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        m.note_journal(10, 1);
+        m.note_journal(5, 0);
+        m.note_recovery(7, true, 1_500);
+        m.note_recovery(3, false, 500);
+        let s = m.totals();
+        assert_eq!(s.journal_appends, 15);
+        assert_eq!(s.checkpoint_count, 1);
+        assert_eq!(s.replayed_records, 10);
+        assert_eq!(s.torn_tail_detected, 1);
+        assert_eq!(s.recovery_duration_us, 2_000);
+        let w = m.roll_window(t(1));
+        assert_eq!(w.journal_appends, 15);
+        assert_eq!(m.window().journal_appends, 0, "window reset");
+        assert_eq!(m.totals().replayed_records, 10, "totals persist");
     }
 
     #[test]

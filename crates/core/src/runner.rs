@@ -39,6 +39,11 @@ pub enum PlannedEvent {
     /// Turn on the background scrubber (see
     /// [`CacheSystem::enable_scrubber`]).
     StartScrub,
+    /// Sudden power loss followed by an immediate restart recovery: DRAM
+    /// state vanishes (with a randomized torn journal tail drawn from the
+    /// fault plan), then [`CacheSystem::recover`] replays checkpoint +
+    /// journal before the next request is served.
+    Crash,
 }
 
 /// The scripted schedule of an experiment.
@@ -161,6 +166,12 @@ fn apply_event(system: &mut CacheSystem, event: PlannedEvent, failed: &mut usize
             system.slow_device(device, f64::from(factor_pct) / 100.0);
         }
         PlannedEvent::StartScrub => system.enable_scrubber(),
+        PlannedEvent::Crash => {
+            system.crash();
+            system
+                .recover()
+                .expect("restart recovery after a planned crash");
+        }
     }
 }
 
@@ -365,6 +376,26 @@ mod tests {
         // The recorder must not disturb the event windows or totals.
         assert_eq!(result.totals.requests, 600);
         assert_eq!(result.final_window.requests, 600);
+    }
+
+    #[test]
+    fn planned_crash_recovers_and_keeps_serving() {
+        let t = trace();
+        let mut sys = system(SchemeConfig::Reo { reserve: 0.20 }, &t);
+        let plan = ExperimentPlan {
+            warmup_passes: 0,
+            events: vec![(300, PlannedEvent::Crash)],
+            ..Default::default()
+        };
+        let result = ExperimentRunner::run(&mut sys, &t, &plan);
+        assert_eq!(result.events.len(), 1);
+        assert_eq!(result.events[0].failed_devices_after, 0);
+        assert!(result.totals.recovery_duration_us > 0);
+        assert!(result.totals.checkpoint_count >= 2);
+        assert!(
+            result.final_window.hit_ratio_pct() > 0.0,
+            "the recovered cache must serve hits in the post-crash window"
+        );
     }
 
     #[test]

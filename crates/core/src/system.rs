@@ -3,9 +3,10 @@
 use reo_backend::BackendStore;
 use reo_cache::{CacheConfig, CacheManager};
 use reo_flashsim::{DeviceId, FaultPlan, FlashArray};
+use reo_journal::{CrashOutcome, Journal};
 use reo_osd::control::ControlMessage;
 use reo_osd::{ObjectClass, ObjectKey, SenseCode};
-use reo_osd_target::{OsdTarget, RecoveryOutcome, TargetError};
+use reo_osd_target::{OsdTarget, RecoveryOutcome, TargetError, TargetRecovery};
 use reo_sim::{ByteSize, Layer, SimClock, SimDuration, SimTime, Tracer};
 use reo_stripe::StripeManager;
 use reo_workload::{Operation, Request, WorkloadObject};
@@ -25,6 +26,19 @@ pub struct RequestOutcome {
     pub latency: SimDuration,
     /// Completion instant.
     pub completed_at: SimTime,
+}
+
+/// What one restart recovery ([`CacheSystem::recover`]) did.
+#[derive(Clone, Debug)]
+pub struct SystemRecovery {
+    /// The target-level replay report (records replayed, torn tail,
+    /// orphans collected, invariant violations).
+    pub target: TargetRecovery,
+    /// Simulated time the recovery took (journal read + replay + metadata
+    /// reinstallation + orphan collection).
+    pub duration: SimDuration,
+    /// Cache-manager entries rebuilt from the recovered object map.
+    pub cache_entries_restored: usize,
 }
 
 /// The cache server: cache-manager policy on the initiator side, object
@@ -55,6 +69,9 @@ pub struct CacheSystem {
     /// Backend byte counters already attributed to requests
     /// (`bytes_read`, `bytes_written`) — the delta base.
     backend_bytes_seen: (u64, u64),
+    /// Journal counters (`appends`, `checkpoints`) already folded into the
+    /// metrics — the delta base.
+    journal_stats_seen: (u64, u64),
 }
 
 impl CacheSystem {
@@ -87,9 +104,14 @@ impl CacheSystem {
         let tracer = Tracer::new();
         target.set_tracer(tracer.clone());
         backend.set_tracer(tracer.clone());
+        // The journal attaches before format so the reserved metadata
+        // objects are journaled; the initial checkpoint makes an immediate
+        // crash recoverable to the formatted state.
+        target.attach_journal(Journal::format(config.fsync_interval));
         target
             .format()
             .expect("cache devices must have room for the metadata objects");
+        target.take_checkpoint();
         CacheSystem {
             config,
             clock,
@@ -105,6 +127,7 @@ impl CacheSystem {
             tracer,
             flash_bytes_seen: (0, 0),
             backend_bytes_seen: (0, 0),
+            journal_stats_seen: (0, 0),
         }
     }
 
@@ -433,7 +456,15 @@ impl CacheSystem {
         {
             self.run_scrubber();
         }
+        if self.config.checkpoint_period > 0
+            && self
+                .requests_seen
+                .is_multiple_of(self.config.checkpoint_period)
+        {
+            self.target.take_checkpoint();
+        }
         self.sync_fault_metrics();
+        self.sync_journal_metrics();
 
         RequestOutcome {
             hit,
@@ -747,6 +778,92 @@ impl CacheSystem {
             }
         }
     }
+
+    /// Folds the journal's append/checkpoint counters into the metrics as
+    /// deltas since the last call.
+    fn sync_journal_metrics(&mut self) {
+        if let Some(stats) = self.target.journal_stats() {
+            let (seen_a, seen_c) = self.journal_stats_seen;
+            let d_a = stats.appends.saturating_sub(seen_a);
+            let d_c = stats.checkpoints.saturating_sub(seen_c);
+            if d_a != 0 || d_c != 0 {
+                self.metrics.note_journal(d_a, d_c);
+                self.journal_stats_seen = (stats.appends, stats.checkpoints);
+            }
+        }
+    }
+
+    /// Simulates a sudden power loss: every piece of DRAM state — the
+    /// target's object map and allocation tables, the cache manager's
+    /// index, the journal's staging buffer — vanishes; only the flash
+    /// chunks and the durable journal survive. The tail of the journal's
+    /// last flush may be torn (partially persisted), with the tear length
+    /// drawn from the fault plan's dedicated power-loss stream so equal
+    /// seeds crash identically.
+    ///
+    /// The system answers everything with [`SenseCode::NotReady`] until
+    /// [`CacheSystem::recover`] is called.
+    pub fn crash(&mut self) -> CrashOutcome {
+        let tear = self.faults.crash_tear_bytes(128) as usize;
+        let outcome = self
+            .target
+            .simulate_crash(tear)
+            .expect("CacheSystem always attaches a journal");
+        // The initiator-side cache index is DRAM too: rebuild from scratch
+        // (recover() repopulates it from the recovered object map).
+        self.cache = CacheManager::new(CacheConfig {
+            capacity: self.config.cache_capacity,
+            redundancy_reserve: self.config.scheme.redundancy_reserve(),
+            hot_parity_overhead: CacheConfig::two_parity_overhead(self.config.devices),
+            size_aware_hotness: self.config.size_aware_hotness,
+        });
+        outcome
+    }
+
+    /// Deterministic restart recovery after [`CacheSystem::crash`]: replays
+    /// checkpoint + journal into the target, rebuilds the cache manager's
+    /// index from the recovered object map (replaying persisted access
+    /// frequencies so hotness classification survives the restart), and
+    /// charges the modeled recovery time to the simulation clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TargetError`] if the journal is unreadable or the
+    /// replayed metadata is corrupt.
+    pub fn recover(&mut self) -> Result<SystemRecovery, TargetError> {
+        let report = self.target.recover_from_journal()?;
+        // `Journal::recover` starts a fresh stats ledger; re-base the
+        // delta fold so the recovery checkpoint is counted exactly once.
+        self.journal_stats_seen = (0, 0);
+        let mut restored = 0usize;
+        for (key, class, size, freq) in self.target.inventory() {
+            if key.is_system_metadata() {
+                continue;
+            }
+            self.cache
+                .insert(key, size, class == ObjectClass::Dirty, false);
+            // `insert` counts one access; replay the rest, capped — the
+            // hotness classifier saturates long before 32.
+            for _ in 1..freq.min(32) {
+                self.cache.record_access(key);
+            }
+            restored += 1;
+        }
+        // Mount cost plus per-record replay and per-object metadata
+        // reinstallation time, charged to the simulation clock so
+        // recovery shows up in end-to-end timings.
+        let replayed = report.replayed_records as u64;
+        let duration = SimDuration::from_micros(500 + 2 * replayed + 20 * restored as u64);
+        self.clock.advance(duration);
+        self.metrics
+            .note_recovery(replayed, report.torn_tail, duration.as_nanos() / 1_000);
+        self.sync_journal_metrics();
+        Ok(SystemRecovery {
+            target: report,
+            duration,
+            cache_entries_restored: restored,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -990,5 +1107,119 @@ mod tests {
         assert!(max_hot > 0, "no objects were ever promoted to hot");
         assert!(sys.target().stats().control_messages > 0);
         assert!(sys.target().stats().reencodes > 0);
+    }
+
+    fn write_trace(seed: u64) -> reo_workload::Trace {
+        WorkloadSpec {
+            objects: 80,
+            mean_object_size: ByteSize::from_kib(128),
+            size_sigma: 0.5,
+            locality: reo_workload::Locality::Medium,
+            requests: 600,
+            write_ratio: 0.3,
+            temporal_reuse: reo_workload::Locality::Medium.temporal_reuse(),
+            reuse_window: 100,
+        }
+        .generate(seed)
+    }
+
+    #[test]
+    fn crash_and_recover_mid_trace_keeps_serving() {
+        let trace = write_trace(7);
+        let mut sys = system_for(SchemeConfig::Reo { reserve: 0.20 }, &trace, 0.30);
+        for r in trace.requests().iter().take(300) {
+            sys.handle(r);
+        }
+        let cached_before = sys.cached_objects();
+        let outcome = sys.crash();
+        assert!(sys.target().is_warming());
+        assert_eq!(sys.cached_objects(), 0, "the DRAM index must vaporize");
+        let report = sys.recover().expect("restart recovery succeeds");
+        assert!(
+            report.target.violations.is_empty(),
+            "consistency violations: {:?}",
+            report.target.violations
+        );
+        assert!(!sys.target().is_warming());
+        assert!(
+            report.cache_entries_restored > 0 && report.cache_entries_restored <= cached_before,
+            "restored {} of {} entries",
+            report.cache_entries_restored,
+            cached_before
+        );
+        for r in trace.requests().iter().skip(300) {
+            sys.handle(r);
+        }
+        let totals = sys.metrics().totals();
+        assert!(totals.journal_appends > 0);
+        assert!(
+            totals.checkpoint_count >= 2,
+            "format + recovery checkpoints"
+        );
+        assert!(totals.replayed_records > 0 || report.target.replayed_records == 0);
+        assert_eq!(totals.torn_tail_detected, u64::from(outcome.partial_tail));
+        assert!(totals.recovery_duration_us > 0);
+        assert!(
+            sys.metrics().totals().hit_ratio_pct() > 0.0,
+            "the recovered cache must serve hits again"
+        );
+    }
+
+    #[test]
+    fn acknowledged_dirty_writes_survive_a_crash() {
+        let trace = write_trace(8);
+        let cache = trace.summary().data_set_bytes.scale(0.30);
+        let mut config = SystemConfig::paper_defaults(SchemeConfig::Reo { reserve: 0.20 }, cache);
+        config.chunk_size = ByteSize::from_kib(16);
+        // Keep dirty objects dirty: the point here is the ack barrier, not
+        // the flusher.
+        config.dirty_flush_watermark = 1.0;
+        let mut sys = CacheSystem::new(config);
+        sys.populate(trace.objects());
+        for r in trace.requests().iter().take(250) {
+            sys.handle(r);
+        }
+        let dirty_before: Vec<ObjectKey> = sys
+            .target()
+            .inventory()
+            .into_iter()
+            .filter(|(key, class, ..)| *class == ObjectClass::Dirty && !key.is_system_metadata())
+            .map(|(key, ..)| key)
+            .collect();
+        assert!(!dirty_before.is_empty(), "trace produced no dirty objects");
+        sys.crash();
+        let report = sys.recover().expect("restart recovery succeeds");
+        assert!(
+            report.target.violations.is_empty(),
+            "violations: {:?}, lost: {:?}, degraded: {}, restored: {}",
+            report.target.violations,
+            report.target.lost,
+            report.target.degraded,
+            report.target.restored_objects
+        );
+        assert!(
+            report.target.lost.is_empty(),
+            "a pure power loss must not lose objects: {:?}",
+            report.target.lost
+        );
+        // Every dirty object acknowledged before the crash is still
+        // present and still marked dirty (so the flusher will write it
+        // back; a lost dirty ack would silently drop user data).
+        for key in dirty_before {
+            let found = sys
+                .target()
+                .inventory()
+                .into_iter()
+                .find(|(k, ..)| *k == key);
+            match found {
+                Some((_, class, ..)) => assert_eq!(
+                    class,
+                    ObjectClass::Dirty,
+                    "{key:?} lost its dirty label across the crash"
+                ),
+                None => panic!("acknowledged dirty object {key:?} vanished in the crash"),
+            }
+        }
+        assert_eq!(sys.dirty_data_lost(), 0);
     }
 }

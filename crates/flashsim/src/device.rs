@@ -551,6 +551,15 @@ impl FlashDevice {
     pub fn chunk_count(&self) -> usize {
         self.chunks.len()
     }
+
+    /// Handles of every chunk present on the device — intact or lost — in
+    /// sorted order. Recovery walks this list to find orphan chunks whose
+    /// metadata never reached the journal.
+    pub fn chunk_handles(&self) -> Vec<ChunkHandle> {
+        let mut handles: Vec<ChunkHandle> = self.chunks.keys().copied().collect();
+        handles.sort_unstable();
+        handles
+    }
 }
 
 #[cfg(test)]

@@ -29,6 +29,8 @@ pub struct FaultStats {
     pub transient_arms: u64,
     /// Calls to [`FaultPlan::slow_device`].
     pub slowdowns: u64,
+    /// Power losses planned via [`FaultPlan::crash_tear_bytes`].
+    pub crashes: u64,
 }
 
 /// A deterministic source of partial failures for a [`FlashArray`].
@@ -50,6 +52,7 @@ pub struct FaultPlan {
     seed: u64,
     corruption: DetRng,
     transient_root: DetRng,
+    power_loss: DetRng,
     stats: FaultStats,
 }
 
@@ -61,6 +64,7 @@ impl FaultPlan {
             seed,
             corruption: root.derive("latent-corruption"),
             transient_root: root.derive("transient-faults"),
+            power_loss: root.derive("power-loss"),
             stats: FaultStats::default(),
         }
     }
@@ -116,6 +120,15 @@ impl FaultPlan {
     pub fn slow_device(&mut self, array: &mut FlashArray, id: DeviceId, factor: f64) {
         array.device_mut(id).set_slowdown(factor);
         self.stats.slowdowns += 1;
+    }
+
+    /// Plans the tail damage of a power loss: how many bytes of the
+    /// journal's flushed log the interrupted last sector write tears off,
+    /// uniformly drawn from `0..=max`. Equal seeds and call sequences tear
+    /// equal byte counts, keeping crash experiments reproducible.
+    pub fn crash_tear_bytes(&mut self, max: u64) -> u64 {
+        self.stats.crashes += 1;
+        self.power_loss.below(max + 1)
     }
 }
 

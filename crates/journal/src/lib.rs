@@ -1,0 +1,956 @@
+#![warn(missing_docs)]
+//! Crash-consistent metadata journaling for the Reo OSD target.
+//!
+//! The paper keeps Reo's mapping metadata in replicated reserved objects
+//! "similar to how Linux Ext4 handles the superblocks" (§IV) so that the
+//! cache survives ungraceful shutdowns. This crate reproduces that
+//! durability contract for the simulation: a checksummed, sequence-numbered
+//! write-ahead record log plus periodic checkpoints of the OSD target's
+//! durable state, with dual-superblock pointer flips so that a crash in the
+//! middle of a checkpoint can never leave the journal without a valid root.
+//!
+//! The model separates *durable media* ([`JournalMedia`] — what survives a
+//! power loss) from *volatile state* (the staging buffer of appended but
+//! not yet flushed records, which a crash destroys). A crash may
+//! additionally *tear* the tail of the flushed log, emulating a partial
+//! sector write; replay detects the torn record through its CRC and stops
+//! at the last intact prefix.
+//!
+//! # Record flow
+//!
+//! ```
+//! use reo_journal::{Journal, JournalRecord};
+//! use reo_osd::{ObjectClass, ObjectId, ObjectKey, PartitionId};
+//!
+//! let mut journal = Journal::format(4);
+//! let key = ObjectKey::user(PartitionId::FIRST, ObjectId::new(0x2_0000));
+//! journal.append(&JournalRecord::Create { key, class: ObjectClass::Dirty, meta: vec![1, 2] });
+//! journal.flush(); // the durability point: staged records reach the media
+//!
+//! let outcome = journal.replay()?;
+//! assert_eq!(outcome.records.len(), 1);
+//! assert!(!outcome.torn_tail);
+//! # Ok::<(), reo_journal::JournalError>(())
+//! ```
+
+use std::fmt;
+
+use reo_osd::{ObjectClass, ObjectId, ObjectKey, PartitionId};
+
+/// Magic number leading every log record header (`"RJNL"`).
+const RECORD_MAGIC: u32 = 0x524A_4E4C;
+
+/// Size of an encoded record header: magic, sequence, payload length, CRC.
+const HEADER_LEN: usize = 4 + 8 + 4 + 4;
+
+/// Size of an encoded superblock including its trailing CRC.
+const SUPERBLOCK_LEN: usize = 8 + 1 + 8 + 4 + 8 + 4;
+
+/// Largest payload `replay` will accept, guarding against parsing garbage
+/// lengths out of a torn header.
+const MAX_PAYLOAD: usize = 1 << 24;
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 over `bytes` (the checksum used by record headers,
+/// superblocks, and checkpoint images).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    bytes
+        .get(at..at + 4)
+        .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+}
+
+fn get_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    bytes
+        .get(at..at + 8)
+        .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+}
+
+/// Errors surfaced by journal replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalError {
+    /// Neither superblock passed its checksum, or the checkpoint both of
+    /// them point at is damaged — the journal root is unrecoverable.
+    NoValidSuperblock,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::NoValidSuperblock => {
+                write!(f, "no superblock with a valid checksum and checkpoint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// One durable mutation of the OSD target's metadata.
+///
+/// Records carry everything replay needs to reconstruct the object map:
+/// the object key, its semantic class, and an opaque `meta` blob encoding
+/// the stripe-layer layout (owner, stripes, chunk placement) produced by
+/// the stripe manager's metadata exporter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// An object was created and its stripes written.
+    Create {
+        /// The object's `(PID, OID)` address.
+        key: ObjectKey,
+        /// The semantic class the object was stored under.
+        class: ObjectClass,
+        /// Stripe-layer layout metadata (opaque to the journal).
+        meta: Vec<u8>,
+    },
+    /// An object changed class (and was possibly re-encoded onto new
+    /// stripes), or had its stripes rewritten by a rebuild.
+    SetClass {
+        /// The object's `(PID, OID)` address.
+        key: ObjectKey,
+        /// The class after the change.
+        class: ObjectClass,
+        /// The layout metadata after the change.
+        meta: Vec<u8>,
+    },
+    /// A range of a dirty object was overwritten in place. The record is
+    /// the acknowledgement point for dirty writes: it must be flushed
+    /// before the write is acked.
+    DirtyWrite {
+        /// The object's `(PID, OID)` address.
+        key: ObjectKey,
+        /// Byte offset of the overwrite.
+        offset: u64,
+        /// Length of the overwrite in bytes.
+        length: u64,
+        /// The layout metadata after the overwrite.
+        meta: Vec<u8>,
+    },
+    /// An object was logically removed. Logged *before* its chunks are
+    /// freed so a crash in between leaves orphan chunks (garbage
+    /// collected on recovery) rather than metadata pointing at nothing.
+    Remove {
+        /// The object's `(PID, OID)` address.
+        key: ObjectKey,
+    },
+    /// The background scrubber advanced its cursor; `None` marks a
+    /// completed pass.
+    ScrubCursor {
+        /// Last key scrubbed, or `None` when a pass completed.
+        cursor: Option<ObjectKey>,
+    },
+}
+
+impl JournalRecord {
+    /// The key the record mutates, if any.
+    pub fn key(&self) -> Option<ObjectKey> {
+        match self {
+            JournalRecord::Create { key, .. }
+            | JournalRecord::SetClass { key, .. }
+            | JournalRecord::DirtyWrite { key, .. }
+            | JournalRecord::Remove { key } => Some(*key),
+            JournalRecord::ScrubCursor { .. } => None,
+        }
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        fn put_key(out: &mut Vec<u8>, key: ObjectKey) {
+            put_u64(out, key.pid().as_u64());
+            put_u64(out, key.oid().as_u64());
+        }
+        fn put_meta(out: &mut Vec<u8>, meta: &[u8]) {
+            put_u32(out, meta.len() as u32);
+            out.extend_from_slice(meta);
+        }
+        let mut out = Vec::new();
+        match self {
+            JournalRecord::Create { key, class, meta } => {
+                out.push(1);
+                put_key(&mut out, *key);
+                out.push(class.id());
+                put_meta(&mut out, meta);
+            }
+            JournalRecord::SetClass { key, class, meta } => {
+                out.push(2);
+                put_key(&mut out, *key);
+                out.push(class.id());
+                put_meta(&mut out, meta);
+            }
+            JournalRecord::DirtyWrite {
+                key,
+                offset,
+                length,
+                meta,
+            } => {
+                out.push(3);
+                put_key(&mut out, *key);
+                put_u64(&mut out, *offset);
+                put_u64(&mut out, *length);
+                put_meta(&mut out, meta);
+            }
+            JournalRecord::Remove { key } => {
+                out.push(4);
+                put_key(&mut out, *key);
+            }
+            JournalRecord::ScrubCursor { cursor } => {
+                out.push(5);
+                match cursor {
+                    Some(key) => {
+                        out.push(1);
+                        put_key(&mut out, *key);
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+        out
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Option<JournalRecord> {
+        fn get_key(bytes: &[u8], at: usize) -> Option<ObjectKey> {
+            let pid = get_u64(bytes, at)?;
+            let oid = get_u64(bytes, at + 8)?;
+            Some(ObjectKey::new(PartitionId::new(pid), ObjectId::new(oid)))
+        }
+        fn get_meta(bytes: &[u8], at: usize) -> Option<Vec<u8>> {
+            let len = get_u32(bytes, at)? as usize;
+            bytes.get(at + 4..at + 4 + len).map(<[u8]>::to_vec)
+        }
+        let tag = *bytes.first()?;
+        match tag {
+            1 | 2 => {
+                let key = get_key(bytes, 1)?;
+                let class = ObjectClass::from_id(*bytes.get(17)?)?;
+                let meta = get_meta(bytes, 18)?;
+                if bytes.len() != 18 + 4 + meta.len() {
+                    return None;
+                }
+                Some(if tag == 1 {
+                    JournalRecord::Create { key, class, meta }
+                } else {
+                    JournalRecord::SetClass { key, class, meta }
+                })
+            }
+            3 => {
+                let key = get_key(bytes, 1)?;
+                let offset = get_u64(bytes, 17)?;
+                let length = get_u64(bytes, 25)?;
+                let meta = get_meta(bytes, 33)?;
+                if bytes.len() != 33 + 4 + meta.len() {
+                    return None;
+                }
+                Some(JournalRecord::DirtyWrite {
+                    key,
+                    offset,
+                    length,
+                    meta,
+                })
+            }
+            4 => {
+                if bytes.len() != 17 {
+                    return None;
+                }
+                Some(JournalRecord::Remove {
+                    key: get_key(bytes, 1)?,
+                })
+            }
+            5 => {
+                let present = *bytes.get(1)?;
+                match present {
+                    0 if bytes.len() == 2 => Some(JournalRecord::ScrubCursor { cursor: None }),
+                    1 if bytes.len() == 18 => Some(JournalRecord::ScrubCursor {
+                        cursor: Some(get_key(bytes, 2)?),
+                    }),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Decoded form of one of the two superblock slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Superblock {
+    generation: u64,
+    checkpoint_slot: u8,
+    checkpoint_len: u64,
+    checkpoint_crc: u32,
+    base_seq: u64,
+}
+
+impl Superblock {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SUPERBLOCK_LEN);
+        put_u64(&mut out, self.generation);
+        out.push(self.checkpoint_slot);
+        put_u64(&mut out, self.checkpoint_len);
+        put_u32(&mut out, self.checkpoint_crc);
+        put_u64(&mut out, self.base_seq);
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Superblock> {
+        if bytes.len() != SUPERBLOCK_LEN {
+            return None;
+        }
+        let body = &bytes[..SUPERBLOCK_LEN - 4];
+        let crc = get_u32(bytes, SUPERBLOCK_LEN - 4)?;
+        if crc32(body) != crc {
+            return None;
+        }
+        Some(Superblock {
+            generation: get_u64(bytes, 0)?,
+            checkpoint_slot: bytes[8],
+            checkpoint_len: get_u64(bytes, 9)?,
+            checkpoint_crc: get_u32(bytes, 17)?,
+            base_seq: get_u64(bytes, 21)?,
+        })
+    }
+}
+
+/// The journal's durable media: what survives a power loss.
+///
+/// Two superblock slots point (via generation numbers and checksums) at one
+/// of two checkpoint areas; the append-only log holds every record flushed
+/// since the checkpoint the live superblock names.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JournalMedia {
+    superblocks: [Vec<u8>; 2],
+    checkpoints: [Vec<u8>; 2],
+    log: Vec<u8>,
+}
+
+impl JournalMedia {
+    /// Bytes currently occupied by the record log.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Total durable footprint in bytes (superblocks + checkpoints + log).
+    pub fn durable_bytes(&self) -> usize {
+        self.superblocks.iter().map(Vec::len).sum::<usize>()
+            + self.checkpoints.iter().map(Vec::len).sum::<usize>()
+            + self.log.len()
+    }
+
+    /// Fault-injection helper: flips bits in superblock slot `slot`,
+    /// invalidating its checksum. Replay must fall back to the other slot.
+    pub fn corrupt_superblock(&mut self, slot: usize) {
+        for b in self.superblocks[slot % 2].iter_mut() {
+            *b ^= 0xA5;
+        }
+    }
+
+    /// Fault-injection helper: flips bits in checkpoint area `slot`.
+    pub fn corrupt_checkpoint(&mut self, slot: usize) {
+        for b in self.checkpoints[slot % 2].iter_mut() {
+            *b ^= 0xA5;
+        }
+    }
+
+    /// Fault-injection helper: tears `bytes` off the log tail (a partial
+    /// sector write at power loss). Returns the number actually removed.
+    pub fn tear_log_tail(&mut self, bytes: usize) -> usize {
+        let torn = bytes.min(self.log.len());
+        self.log.truncate(self.log.len() - torn);
+        torn
+    }
+
+    fn best_superblock(&self) -> Result<(usize, Superblock), JournalError> {
+        let mut best: Option<(usize, Superblock)> = None;
+        for (idx, raw) in self.superblocks.iter().enumerate() {
+            let Some(sb) = Superblock::decode(raw) else {
+                continue;
+            };
+            let cp = &self.checkpoints[sb.checkpoint_slot as usize % 2];
+            if cp.len() as u64 != sb.checkpoint_len || crc32(cp) != sb.checkpoint_crc {
+                continue;
+            }
+            if best.is_none_or(|(_, b)| sb.generation > b.generation) {
+                best = Some((idx, sb));
+            }
+        }
+        best.ok_or(JournalError::NoValidSuperblock)
+    }
+
+    /// Scans the log, returning the intact record prefix and the byte
+    /// offset where scanning stopped.
+    fn scan_log(&self, base_seq: u64) -> (Vec<JournalRecord>, usize) {
+        let mut records = Vec::new();
+        let mut at = 0usize;
+        while let Some(magic) = get_u32(&self.log, at) {
+            if magic != RECORD_MAGIC {
+                break;
+            }
+            let (Some(seq), Some(len)) = (get_u64(&self.log, at + 4), get_u32(&self.log, at + 12))
+            else {
+                break;
+            };
+            let len = len as usize;
+            if len > MAX_PAYLOAD {
+                break;
+            }
+            let Some(crc) = get_u32(&self.log, at + 16) else {
+                break;
+            };
+            let Some(payload) = self.log.get(at + HEADER_LEN..at + HEADER_LEN + len) else {
+                break;
+            };
+            let mut checked = Vec::with_capacity(12 + len);
+            put_u64(&mut checked, seq);
+            put_u32(&mut checked, len as u32);
+            checked.extend_from_slice(payload);
+            if crc32(&checked) != crc {
+                break;
+            }
+            if seq != base_seq + records.len() as u64 {
+                break;
+            }
+            let Some(record) = JournalRecord::decode_payload(payload) else {
+                break;
+            };
+            records.push(record);
+            at += HEADER_LEN + len;
+        }
+        (records, at)
+    }
+}
+
+/// Everything replay learned from the durable media.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// The checkpoint image the live superblock points at (possibly empty
+    /// for a freshly formatted journal).
+    pub checkpoint: Vec<u8>,
+    /// Generation number of the superblock used.
+    pub generation: u64,
+    /// Sequence number of the first log record after the checkpoint.
+    pub base_seq: u64,
+    /// The intact record prefix of the log, in append order.
+    pub records: Vec<JournalRecord>,
+    /// `true` when trailing bytes after the intact prefix failed their
+    /// checksum or framing — a torn tail from a partial sector write.
+    pub torn_tail: bool,
+    /// Bytes of torn tail discarded (0 when `torn_tail` is false).
+    pub torn_bytes: usize,
+}
+
+/// What a simulated power loss did to the journal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrashOutcome {
+    /// Appended-but-unflushed records that did not survive: the crash
+    /// destroyed them with the staging buffer (records whose bytes fully
+    /// reached the media inside the torn in-flight write DO survive).
+    pub staged_records_lost: u64,
+    /// Staged bytes that never reached the media.
+    pub staged_bytes_lost: usize,
+    /// Bytes of the in-flight write left dangling past the last complete
+    /// record on the media (the torn tail replay will discard).
+    pub torn_bytes: usize,
+    /// `true` when the in-flight write ended mid-record, leaving a partial
+    /// record that replay must detect via its checksum.
+    pub partial_tail: bool,
+}
+
+/// Running counters for journal activity, exported into the system metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records appended (staged) since the journal was created.
+    pub appends: u64,
+    /// Flushes (explicit or fsync-interval triggered) that moved staged
+    /// records to durable media.
+    pub flushes: u64,
+    /// Checkpoints taken (each flips the superblock pointer).
+    pub checkpoints: u64,
+    /// Total encoded record bytes appended.
+    pub appended_bytes: u64,
+}
+
+/// A write-ahead journal over in-simulation durable media.
+///
+/// Appends go to a volatile staging buffer and reach the media on
+/// [`Journal::flush`] — automatically after every `fsync_interval` appends,
+/// or explicitly at durability points (dirty-write acknowledgement).
+#[derive(Clone, Debug)]
+pub struct Journal {
+    media: JournalMedia,
+    staging: Vec<u8>,
+    staged_records: u64,
+    next_seq: u64,
+    appends_since_flush: u32,
+    fsync_interval: u32,
+    active_superblock: usize,
+    stats: JournalStats,
+}
+
+impl Journal {
+    /// Formats fresh media: an empty checkpoint in slot 0 and a valid
+    /// generation-0 superblock in slot 0.
+    pub fn format(fsync_interval: u32) -> Journal {
+        let mut media = JournalMedia::default();
+        let sb = Superblock {
+            generation: 0,
+            checkpoint_slot: 0,
+            checkpoint_len: 0,
+            checkpoint_crc: crc32(&[]),
+            base_seq: 0,
+        };
+        media.superblocks[0] = sb.encode();
+        Journal {
+            media,
+            staging: Vec::new(),
+            staged_records: 0,
+            next_seq: 0,
+            appends_since_flush: 0,
+            fsync_interval,
+            active_superblock: 0,
+            stats: JournalStats::default(),
+        }
+    }
+
+    /// Rebuilds a journal over media that survived a crash: replays it,
+    /// truncates any torn tail, and resumes the sequence numbering after
+    /// the last intact record.
+    pub fn recover(
+        mut media: JournalMedia,
+        fsync_interval: u32,
+    ) -> Result<(Journal, ReplayOutcome), JournalError> {
+        let (active, sb) = media.best_superblock()?;
+        let (records, consumed) = media.scan_log(sb.base_seq);
+        let torn_bytes = media.log.len() - consumed;
+        let outcome = ReplayOutcome {
+            checkpoint: media.checkpoints[sb.checkpoint_slot as usize % 2].clone(),
+            generation: sb.generation,
+            base_seq: sb.base_seq,
+            torn_tail: torn_bytes > 0,
+            torn_bytes,
+            records,
+        };
+        media.log.truncate(consumed);
+        let journal = Journal {
+            media,
+            staging: Vec::new(),
+            staged_records: 0,
+            next_seq: sb.base_seq + outcome.records.len() as u64,
+            appends_since_flush: 0,
+            fsync_interval,
+            active_superblock: active,
+            stats: JournalStats::default(),
+        };
+        Ok((journal, outcome))
+    }
+
+    /// Appends a record to the staging buffer, returning its sequence
+    /// number. Auto-flushes once `fsync_interval` records are staged.
+    pub fn append(&mut self, record: &JournalRecord) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let payload = record.encode_payload();
+        let mut checked = Vec::with_capacity(12 + payload.len());
+        put_u64(&mut checked, seq);
+        put_u32(&mut checked, payload.len() as u32);
+        checked.extend_from_slice(&payload);
+        let crc = crc32(&checked);
+        put_u32(&mut self.staging, RECORD_MAGIC);
+        self.staging.extend_from_slice(&checked[..12]);
+        put_u32(&mut self.staging, crc);
+        self.staging.extend_from_slice(&payload);
+        self.staged_records += 1;
+        self.appends_since_flush += 1;
+        self.stats.appends += 1;
+        self.stats.appended_bytes += (HEADER_LEN + payload.len()) as u64;
+        if self.appends_since_flush >= self.fsync_interval.max(1) {
+            self.flush();
+        }
+        seq
+    }
+
+    /// Moves every staged record to the durable media (fsync semantics).
+    /// The records are crash-safe afterwards.
+    pub fn flush(&mut self) {
+        if self.staging.is_empty() {
+            self.appends_since_flush = 0;
+            return;
+        }
+        self.media.log.extend_from_slice(&self.staging);
+        self.staging.clear();
+        self.staged_records = 0;
+        self.appends_since_flush = 0;
+        self.stats.flushes += 1;
+    }
+
+    /// Writes a checkpoint image and flips the superblock pointer to it.
+    ///
+    /// The image goes to the checkpoint area *not* referenced by the live
+    /// superblock, and the new superblock overwrites the *stale* slot, so
+    /// a crash at any point leaves at least one valid (superblock,
+    /// checkpoint) pair. The log restarts empty at the new base sequence.
+    pub fn checkpoint(&mut self, image: &[u8]) {
+        self.flush();
+        let current = self
+            .media
+            .best_superblock()
+            .map(|(_, sb)| sb)
+            .unwrap_or(Superblock {
+                generation: 0,
+                checkpoint_slot: 1,
+                checkpoint_len: 0,
+                checkpoint_crc: 0,
+                base_seq: 0,
+            });
+        let slot = (current.checkpoint_slot as usize + 1) % 2;
+        self.media.checkpoints[slot] = image.to_vec();
+        let sb = Superblock {
+            generation: current.generation + 1,
+            checkpoint_slot: slot as u8,
+            checkpoint_len: image.len() as u64,
+            checkpoint_crc: crc32(image),
+            base_seq: self.next_seq,
+        };
+        let target = (self.active_superblock + 1) % 2;
+        self.media.superblocks[target] = sb.encode();
+        self.active_superblock = target;
+        self.media.log.clear();
+        self.stats.checkpoints += 1;
+    }
+
+    /// Simulates a power loss that catches a flush mid-write: up to `tear`
+    /// bytes of the *staging buffer* reach the media — possibly ending in
+    /// the middle of a record, which replay detects by checksum and
+    /// discards — and the rest of the staging buffer vanishes. Bytes that
+    /// a completed [`Journal::flush`] already acknowledged are never
+    /// affected: fsync means durable. The journal's media afterwards is
+    /// exactly what a restart sees.
+    pub fn crash(&mut self, tear: usize) -> CrashOutcome {
+        let persisted = tear.min(self.staging.len());
+        // Walk the record boundaries inside the persisted prefix: complete
+        // records survive the crash (their sectors landed), the remainder
+        // is the torn tail.
+        let mut at = 0usize;
+        let mut survived = 0usize;
+        while at + HEADER_LEN <= persisted {
+            let len = u32::from_le_bytes(
+                self.staging[at + 12..at + 16]
+                    .try_into()
+                    .expect("4-byte slice"),
+            ) as usize;
+            if at + HEADER_LEN + len > persisted {
+                break;
+            }
+            survived += 1;
+            at += HEADER_LEN + len;
+        }
+        self.media.log.extend_from_slice(&self.staging[..persisted]);
+        let staged_bytes_lost = self.staging.len() - persisted;
+        let staged_records_lost = self.staged_records - survived as u64;
+        self.staging.clear();
+        self.staged_records = 0;
+        self.appends_since_flush = 0;
+        let base_seq = self
+            .media
+            .best_superblock()
+            .map(|(_, sb)| sb.base_seq)
+            .unwrap_or(0);
+        let (_, consumed) = self.media.scan_log(base_seq);
+        CrashOutcome {
+            staged_records_lost,
+            staged_bytes_lost,
+            torn_bytes: self.media.log.len() - consumed,
+            partial_tail: consumed < self.media.log.len(),
+        }
+    }
+
+    /// Replays the durable media without modifying it.
+    pub fn replay(&self) -> Result<ReplayOutcome, JournalError> {
+        let (_, sb) = self.media.best_superblock()?;
+        let (records, consumed) = self.media.scan_log(sb.base_seq);
+        let torn_bytes = self.media.log.len() - consumed;
+        Ok(ReplayOutcome {
+            checkpoint: self.media.checkpoints[sb.checkpoint_slot as usize % 2].clone(),
+            generation: sb.generation,
+            base_seq: sb.base_seq,
+            torn_tail: torn_bytes > 0,
+            torn_bytes,
+            records,
+        })
+    }
+
+    /// The durable media (for inspection or extraction at crash time).
+    pub fn media(&self) -> &JournalMedia {
+        &self.media
+    }
+
+    /// Mutable access to the durable media for fault injection.
+    pub fn media_mut(&mut self) -> &mut JournalMedia {
+        &mut self.media
+    }
+
+    /// Records appended but not yet flushed to durable media.
+    pub fn staged_records(&self) -> u64 {
+        self.staged_records
+    }
+
+    /// The sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The configured auto-flush interval (appends per fsync).
+    pub fn fsync_interval(&self) -> u32 {
+        self.fsync_interval
+    }
+
+    /// Running activity counters.
+    pub fn stats(&self) -> JournalStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> ObjectKey {
+        ObjectKey::user(PartitionId::FIRST, ObjectId::new(0x2_0000 + i))
+    }
+
+    fn create(i: u64) -> JournalRecord {
+        JournalRecord::Create {
+            key: key(i),
+            class: ObjectClass::ColdClean,
+            meta: vec![i as u8; 5],
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_through_encoding() {
+        let samples = vec![
+            create(1),
+            JournalRecord::SetClass {
+                key: key(2),
+                class: ObjectClass::HotClean,
+                meta: vec![9, 8, 7],
+            },
+            JournalRecord::DirtyWrite {
+                key: key(3),
+                offset: 4096,
+                length: 512,
+                meta: vec![],
+            },
+            JournalRecord::Remove { key: key(4) },
+            JournalRecord::ScrubCursor {
+                cursor: Some(key(5)),
+            },
+            JournalRecord::ScrubCursor { cursor: None },
+        ];
+        for rec in samples {
+            let payload = rec.encode_payload();
+            assert_eq!(JournalRecord::decode_payload(&payload), Some(rec));
+        }
+    }
+
+    #[test]
+    fn replay_returns_flushed_records_in_order() {
+        let mut j = Journal::format(100);
+        for i in 0..5 {
+            j.append(&create(i));
+        }
+        // Nothing flushed yet: replay sees an empty journal.
+        assert!(j.replay().unwrap().records.is_empty());
+        j.flush();
+        let out = j.replay().unwrap();
+        assert_eq!(out.records.len(), 5);
+        assert_eq!(out.base_seq, 0);
+        assert!(!out.torn_tail);
+        assert_eq!(out.records[3], create(3));
+    }
+
+    #[test]
+    fn fsync_interval_auto_flushes() {
+        let mut j = Journal::format(3);
+        j.append(&create(0));
+        j.append(&create(1));
+        assert_eq!(j.staged_records(), 2);
+        j.append(&create(2));
+        assert_eq!(j.staged_records(), 0);
+        assert_eq!(j.replay().unwrap().records.len(), 3);
+        assert_eq!(j.stats().flushes, 1);
+    }
+
+    #[test]
+    fn crash_destroys_staging_but_not_flushed_records() {
+        let mut j = Journal::format(100);
+        j.append(&create(0));
+        j.flush();
+        j.append(&create(1));
+        let crash = j.crash(0);
+        assert_eq!(crash.staged_records_lost, 1);
+        assert!(!crash.partial_tail);
+        let out = j.replay().unwrap();
+        assert_eq!(out.records.len(), 1);
+        assert!(!out.torn_tail);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncated_on_recovery() {
+        let mut j = Journal::format(100);
+        for i in 0..3 {
+            j.append(&create(i));
+        }
+        j.flush();
+        // A fourth record is staged when the power dies mid-flush: 7 of
+        // its bytes reach the media as a torn tail.
+        j.append(&create(3));
+        let crash = j.crash(7);
+        assert_eq!(crash.torn_bytes, 7);
+        assert_eq!(crash.staged_records_lost, 1);
+        assert!(crash.partial_tail);
+        let out = j.replay().unwrap();
+        assert_eq!(out.records.len(), 3);
+        assert!(out.torn_tail);
+        assert!(out.torn_bytes > 0);
+
+        let (recovered, replayed) = Journal::recover(j.media().clone(), 100).unwrap();
+        assert_eq!(replayed.records.len(), 3);
+        assert!(replayed.torn_tail);
+        // The torn tail is gone and sequencing resumes cleanly.
+        assert_eq!(recovered.next_seq(), 3);
+        let clean = recovered.replay().unwrap();
+        assert_eq!(clean.records.len(), 3);
+        assert!(!clean.torn_tail);
+    }
+
+    #[test]
+    fn crash_never_unwrites_acknowledged_records() {
+        // fsync semantics: once flush() returns, no crash — whatever the
+        // tear — may take those records back.
+        let mut j = Journal::format(100);
+        for i in 0..4 {
+            j.append(&create(i));
+        }
+        j.flush();
+        let crash = j.crash(10_000);
+        assert_eq!(crash.staged_records_lost, 0);
+        assert_eq!(crash.torn_bytes, 0);
+        assert!(!crash.partial_tail);
+        assert_eq!(j.replay().unwrap().records.len(), 4);
+    }
+
+    #[test]
+    fn record_boundary_tear_is_not_a_torn_tail() {
+        let mut j = Journal::format(100);
+        let rec = create(0);
+        let encoded_len = HEADER_LEN + rec.encode_payload().len();
+        j.append(&rec);
+        j.append(&create(1));
+        // The in-flight write persists exactly the first staged record:
+        // it survives whole, the second vanishes, nothing is torn.
+        let crash = j.crash(encoded_len);
+        assert_eq!(crash.torn_bytes, 0);
+        assert_eq!(crash.staged_records_lost, 1);
+        assert!(!crash.partial_tail);
+        let out = j.replay().unwrap();
+        assert_eq!(out.records.len(), 1);
+        assert!(!out.torn_tail);
+    }
+
+    #[test]
+    fn checkpoint_flips_superblocks_and_restarts_log() {
+        let mut j = Journal::format(100);
+        j.append(&create(0));
+        j.checkpoint(b"state-v1");
+        assert_eq!(j.media().log_len(), 0);
+        j.append(&create(1));
+        j.flush();
+        let out = j.replay().unwrap();
+        assert_eq!(out.checkpoint, b"state-v1");
+        assert_eq!(out.generation, 1);
+        assert_eq!(out.base_seq, 1);
+        assert_eq!(out.records, vec![create(1)]);
+
+        j.checkpoint(b"state-v2");
+        let out = j.replay().unwrap();
+        assert_eq!(out.checkpoint, b"state-v2");
+        assert_eq!(out.generation, 2);
+        assert_eq!(out.base_seq, 2);
+    }
+
+    #[test]
+    fn corrupted_live_superblock_falls_back_to_the_other() {
+        let mut j = Journal::format(100);
+        j.checkpoint(b"gen1");
+        j.checkpoint(b"gen2");
+        // Corrupt the live superblock; replay must fall back to gen1's.
+        let live = j.active_superblock;
+        j.media_mut().corrupt_superblock(live);
+        let out = j.replay().unwrap();
+        assert_eq!(out.checkpoint, b"gen1");
+        assert_eq!(out.generation, 1);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_invalidates_its_superblock() {
+        let mut j = Journal::format(100);
+        j.checkpoint(b"gen1");
+        j.checkpoint(b"gen2");
+        let (_, sb) = j.media().best_superblock().unwrap();
+        j.media_mut()
+            .corrupt_checkpoint(sb.checkpoint_slot as usize);
+        let out = j.replay().unwrap();
+        assert_eq!(out.checkpoint, b"gen1");
+    }
+
+    #[test]
+    fn both_superblocks_dead_is_an_error() {
+        let mut j = Journal::format(100);
+        j.checkpoint(b"gen1");
+        j.media_mut().corrupt_superblock(0);
+        j.media_mut().corrupt_superblock(1);
+        assert_eq!(j.replay(), Err(JournalError::NoValidSuperblock));
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -50,4 +50,6 @@ mod target;
 
 pub use policy::ProtectionPolicy;
 pub use recovery::{RecoveryEngine, RecoveryItem};
-pub use target::{OsdTarget, RecoveryOutcome, ScrubReport, TargetError, TargetStats};
+pub use target::{
+    OsdTarget, RecoveryOutcome, ScrubReport, TargetError, TargetRecovery, TargetStats,
+};

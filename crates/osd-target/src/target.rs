@@ -1,15 +1,18 @@
 //! The object-storage target: index, command execution, recovery driver.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
 
+use reo_journal::{CrashOutcome, Journal, JournalError, JournalRecord, JournalStats};
 use reo_osd::attr::{AttributeId, AttributeSet, AttributeValue};
 use reo_osd::command::{CommandStatus, OsdCommand};
 use reo_osd::control::{ControlMessage, ControlMessageError};
 use reo_osd::{ObjectClass, ObjectKey, SenseCode};
 use reo_sim::{ByteSize, Layer, SimTime, Tracer};
-use reo_stripe::{ObjectLayout, ObjectStatus, ReadOutcome, SpaceUsage, StripeError, StripeManager};
+use reo_stripe::{
+    ObjectLayout, ObjectStatus, ReadOutcome, SpaceUsage, StripeError, StripeId, StripeManager,
+};
 
 use crate::policy::ProtectionPolicy;
 use crate::recovery::{RecoveryEngine, RecoveryItem};
@@ -40,6 +43,13 @@ pub enum TargetError {
     Stripe(StripeError),
     /// A malformed control message.
     Control(ControlMessageError),
+    /// The target is warming up after a restart: journal replay has not
+    /// finished, so no data can be served yet — the condition behind
+    /// sense code 0x6A.
+    NotReady,
+    /// The metadata journal itself is unrecoverable (both superblocks
+    /// damaged).
+    Journal(JournalError),
 }
 
 impl fmt::Display for TargetError {
@@ -54,6 +64,8 @@ impl fmt::Display for TargetError {
             } => write!(f, "cache full: need {requested}, have {available}"),
             TargetError::Stripe(e) => write!(f, "stripe error: {e}"),
             TargetError::Control(e) => write!(f, "control message error: {e}"),
+            TargetError::NotReady => write!(f, "target warming up: journal replay in progress"),
+            TargetError::Journal(e) => write!(f, "journal error: {e}"),
         }
     }
 }
@@ -63,6 +75,7 @@ impl Error for TargetError {
         match self {
             TargetError::Stripe(e) => Some(e),
             TargetError::Control(e) => Some(e),
+            TargetError::Journal(e) => Some(e),
             _ => None,
         }
     }
@@ -87,6 +100,10 @@ impl TargetError {
                 SenseCode::MediumError
             }
             TargetError::Stripe(_) | TargetError::Control(_) => SenseCode::Failure,
+            TargetError::NotReady => SenseCode::NotReady,
+            // An unrecoverable journal means the metadata root itself is
+            // corrupt.
+            TargetError::Journal(_) => SenseCode::Corrupted,
         }
     }
 }
@@ -179,6 +196,14 @@ pub struct OsdTarget {
     stats: TargetStats,
     /// Last key the bounded scrubber examined; `None` at pass boundaries.
     scrub_cursor: Option<ObjectKey>,
+    /// Optional write-ahead metadata journal. When attached, every index
+    /// mutation is logged before it is acknowledged, making the target's
+    /// durable state crash-recoverable.
+    journal: Option<Journal>,
+    /// `true` between a simulated power loss and the completion of
+    /// [`OsdTarget::recover_from_journal`]: all data paths answer
+    /// [`TargetError::NotReady`] (sense 0x6A).
+    warming: bool,
 }
 
 /// Progress report of one bounded [`OsdTarget::scrub_step`].
@@ -194,6 +219,35 @@ pub struct ScrubReport {
     pub completed_pass: bool,
 }
 
+/// Report of one journal-driven restart recovery
+/// ([`OsdTarget::recover_from_journal`]).
+#[derive(Clone, Debug, Default)]
+pub struct TargetRecovery {
+    /// Journal records replayed on top of the checkpoint image.
+    pub replayed_records: usize,
+    /// Generation of the checkpoint the replay started from.
+    pub checkpoint_generation: u64,
+    /// `true` when the log ended in a torn (checksum-failed or truncated)
+    /// tail that had to be discarded.
+    pub torn_tail: bool,
+    /// Bytes of torn tail discarded from the durable log.
+    pub torn_bytes: usize,
+    /// Orphan chunks collected — flash that was written before the crash
+    /// but whose metadata never became durable.
+    pub orphans_removed: usize,
+    /// Objects whose metadata was restored into the index.
+    pub restored_objects: usize,
+    /// Restored objects found degraded and queued for class-prioritized
+    /// rebuild.
+    pub degraded: usize,
+    /// Objects whose metadata survived but whose chunks did not (dropped
+    /// from the index; the cache layer must treat them as evicted).
+    pub lost: Vec<ObjectKey>,
+    /// Post-recovery invariant violations ([`OsdTarget::verify_consistency`]);
+    /// empty on a sound recovery.
+    pub violations: Vec<String>,
+}
+
 impl OsdTarget {
     /// Creates a target over a stripe manager with the given policy.
     pub fn new(stripes: StripeManager, policy: ProtectionPolicy) -> Self {
@@ -207,6 +261,8 @@ impl OsdTarget {
             recovery_active: false,
             stats: TargetStats::default(),
             scrub_cursor: None,
+            journal: None,
+            warming: false,
         }
     }
 
@@ -289,6 +345,39 @@ impl OsdTarget {
             .record(Layer::Target, op, started, end);
     }
 
+    /// Guard for data-path operations while the target warms up after a
+    /// restart.
+    fn check_ready(&self) -> Result<(), TargetError> {
+        if self.warming {
+            Err(TargetError::NotReady)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Appends a record to the attached journal, if any.
+    fn journal_append(&mut self, record: JournalRecord) {
+        if let Some(j) = self.journal.as_mut() {
+            j.append(&record);
+        }
+    }
+
+    /// Forces staged journal records to durable media, if a journal is
+    /// attached — the fsync barrier acknowledged writes wait behind.
+    fn journal_flush(&mut self) {
+        if let Some(j) = self.journal.as_mut() {
+            j.flush();
+        }
+    }
+
+    /// Exports the current stripe metadata of an indexed object for a
+    /// journal record.
+    fn export_meta(&self, key: ObjectKey) -> Vec<u8> {
+        self.stripes
+            .export_object_meta(&self.index[&key].layout)
+            .expect("indexed layouts always reference live stripes")
+    }
+
     /// Number of indexed objects.
     pub fn object_count(&self) -> usize {
         self.index.len()
@@ -358,6 +447,7 @@ impl OsdTarget {
         class: ObjectClass,
         payload: Option<&[u8]>,
     ) -> Result<SimTime, TargetError> {
+        self.check_ready()?;
         if self.index.contains_key(&key) {
             return Err(TargetError::AlreadyExists(key));
         }
@@ -391,6 +481,18 @@ impl OsdTarget {
         self.index
             .insert(key, ObjectRecord::new(layout, class, done));
         self.stats.creates += 1;
+        // WAL ordering: the metadata record is journaled only after the
+        // chunks are on flash, so a crash in between leaves orphan chunks
+        // (collected by recovery's GC), never metadata without data.
+        if self.journal.is_some() {
+            let meta = self.export_meta(key);
+            self.journal_append(JournalRecord::Create { key, class, meta });
+            // Replicated classes (system metadata and dirty data) are the
+            // ones a crash must not lose: force their records durable now.
+            if class.is_replicated() {
+                self.journal_flush();
+            }
+        }
         self.trace_end("create", t0);
         Ok(done)
     }
@@ -403,6 +505,7 @@ impl OsdTarget {
     /// * [`TargetError::UnknownObject`] — not indexed.
     /// * [`TargetError::ObjectLost`] — irrecoverable (sense 0x63).
     pub fn read_object(&mut self, key: ObjectKey) -> Result<ReadOutcome, TargetError> {
+        self.check_ready()?;
         let t0 = self.trace_begin();
         let layout = self
             .index
@@ -467,10 +570,16 @@ impl OsdTarget {
     ///
     /// [`TargetError::UnknownObject`] — not indexed.
     pub fn remove_object(&mut self, key: ObjectKey) -> Result<(), TargetError> {
+        self.check_ready()?;
         let record = self
             .index
             .remove(&key)
             .ok_or(TargetError::UnknownObject(key))?;
+        // WAL ordering: the removal must be durable *before* the chunks are
+        // freed, or a crash in between would replay metadata that points at
+        // reclaimed flash.
+        self.journal_append(JournalRecord::Remove { key });
+        self.journal_flush();
         self.stripes.remove_object(&record.layout);
         // Collection upkeep: removing a collection drops its membership
         // set; removing a user object drops it from every collection.
@@ -517,6 +626,7 @@ impl OsdTarget {
         key: ObjectKey,
         class: ObjectClass,
     ) -> Result<SimTime, TargetError> {
+        self.check_ready()?;
         let record = self
             .index
             .get(&key)
@@ -528,6 +638,13 @@ impl OsdTarget {
             let record = self.index.get_mut(&key).expect("checked above");
             record.class = class;
             record.attrs.set_class(class);
+            if self.journal.is_some() {
+                let meta = self.export_meta(key);
+                self.journal_append(JournalRecord::SetClass { key, class, meta });
+                if class.is_replicated() {
+                    self.journal_flush();
+                }
+            }
             return Ok(self.stripes.array().clock().now());
         }
 
@@ -565,6 +682,21 @@ impl OsdTarget {
                             let now = self.stripes.array().clock().now();
                             self.index
                                 .insert(key, ObjectRecord::new(restored, old_class, now));
+                            // The object moved to fresh chunks even though
+                            // its class did not change: journal the new
+                            // placement under the old label. Flushed
+                            // unconditionally — the old chunks were freed,
+                            // so the durable log must not keep pointing at
+                            // them past this call.
+                            if self.journal.is_some() {
+                                let meta = self.export_meta(key);
+                                self.journal_append(JournalRecord::SetClass {
+                                    key,
+                                    class: old_class,
+                                    meta,
+                                });
+                                self.journal_flush();
+                            }
                             return Err(match first_err {
                                 StripeError::Flash(reo_flashsim::FlashError::DeviceFull {
                                     requested,
@@ -582,6 +714,8 @@ impl OsdTarget {
                             // is gone; drop the record so state stays
                             // consistent.
                             self.index.remove(&key);
+                            self.journal_append(JournalRecord::Remove { key });
+                            self.journal_flush();
                             return Err(TargetError::ObjectLost(key));
                         }
                     }
@@ -591,6 +725,16 @@ impl OsdTarget {
         self.index
             .insert(key, ObjectRecord::new(new_layout, class, done));
         self.stats.reencodes += 1;
+        // Journaled after the new chunks are stored (see create_object's
+        // ordering note) and flushed unconditionally: the re-encode freed
+        // the old chunks, and a lazily-staged record would leave the
+        // durable log pointing at chunks that no longer exist — a crash
+        // would then replay the stale placement and count the object lost.
+        if self.journal.is_some() {
+            let meta = self.export_meta(key);
+            self.journal_append(JournalRecord::SetClass { key, class, meta });
+            self.journal_flush();
+        }
         self.trace_end("reencode", t0);
         Ok(done)
     }
@@ -616,6 +760,7 @@ impl OsdTarget {
         offset: u64,
         length: u64,
     ) -> Result<SimTime, TargetError> {
+        self.check_ready()?;
         let record = self
             .index
             .get(&key)
@@ -643,6 +788,20 @@ impl OsdTarget {
                 })?;
             done = t;
         }
+        // The dirty-write durability point: the write is acknowledged
+        // (returns Ok) only after its journal record — including the
+        // object's current chunk placement — has been flushed to durable
+        // media, so no acknowledged dirty write can be lost to a crash.
+        if self.journal.is_some() {
+            let meta = self.export_meta(key);
+            self.journal_append(JournalRecord::DirtyWrite {
+                key,
+                offset,
+                length,
+                meta,
+            });
+            self.journal_flush();
+        }
         self.trace_end("write_range", t0);
         Ok(done)
     }
@@ -658,6 +817,9 @@ impl OsdTarget {
     pub fn scrub(&mut self) -> (Vec<ObjectKey>, Vec<ObjectKey>) {
         let mut repaired = Vec::new();
         let mut lost = Vec::new();
+        if self.warming {
+            return (repaired, lost);
+        }
         for key in self.keys() {
             let layout = self.index[&key].layout.clone();
             match self.stripes.object_status(&layout) {
@@ -678,6 +840,7 @@ impl OsdTarget {
         }
         self.scrub_cursor = None;
         self.stats.scrub_passes += 1;
+        self.journal_append(JournalRecord::ScrubCursor { cursor: None });
         (repaired, lost)
     }
 
@@ -689,7 +852,7 @@ impl OsdTarget {
     /// calls scrub the cache continuously.
     pub fn scrub_step(&mut self, budget: usize) -> ScrubReport {
         let mut report = ScrubReport::default();
-        if budget == 0 {
+        if budget == 0 || self.warming {
             return report;
         }
         let t0 = self.trace_begin();
@@ -728,6 +891,11 @@ impl OsdTarget {
         } else {
             self.scrub_cursor = Some(keys[idx - 1]);
         }
+        // Persist the cursor so a restart resumes the pass where it left
+        // off instead of rewinding to the first key.
+        self.journal_append(JournalRecord::ScrubCursor {
+            cursor: self.scrub_cursor,
+        });
         self.trace_end("scrub", t0);
         report
     }
@@ -851,6 +1019,9 @@ impl OsdTarget {
     /// object is accessible (directly or through reconstruction), 0x63 if
     /// corrupted beyond recovery, -1 if unknown.
     pub fn query(&self, key: ObjectKey) -> SenseCode {
+        if self.warming {
+            return SenseCode::NotReady;
+        }
         match self.object_status(key) {
             Ok(ObjectStatus::Intact) | Ok(ObjectStatus::Degraded) => SenseCode::Success,
             Ok(ObjectStatus::Lost) => SenseCode::Corrupted,
@@ -1005,6 +1176,392 @@ impl OsdTarget {
             ControlMessage::Query { key, .. } => Ok(self.query(key)),
         }
     }
+
+    // ----- Crash consistency: journal attachment, checkpoints, power
+    // ----- loss, and restart recovery.
+
+    /// Attaches a write-ahead metadata journal. From this point on every
+    /// index mutation is logged (and dirty writes flushed) before it is
+    /// acknowledged. Attach *before* [`OsdTarget::format`] so the reserved
+    /// metadata objects are journaled too.
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal's cumulative counters, if one is attached.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.journal.as_ref().map(|j| j.stats())
+    }
+
+    /// The attached journal's configured flush interval, if any.
+    pub fn journal_fsync_interval(&self) -> Option<u32> {
+        self.journal.as_ref().map(|j| j.fsync_interval())
+    }
+
+    /// `true` between a simulated power loss and the completion of
+    /// [`OsdTarget::recover_from_journal`] — the window in which data
+    /// paths answer [`SenseCode::NotReady`].
+    pub fn is_warming(&self) -> bool {
+        self.warming
+    }
+
+    /// Serializes the target's durable state — object map, class labels,
+    /// access frequencies, stripe allocation tables (per-object layout
+    /// metadata), scrub cursor, owner counter, and per-device wear — into
+    /// a checkpoint image.
+    pub fn checkpoint_blob(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.next_owner.to_le_bytes());
+        match self.scrub_cursor {
+            Some(cursor) => {
+                out.push(1);
+                out.extend_from_slice(&cursor.pid().as_u64().to_le_bytes());
+                out.extend_from_slice(&cursor.oid().as_u64().to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        // Wear counters ride along for audit; the flash array itself is
+        // the durable authority (wear survives power loss with the media).
+        let reports = self.stripes.array().device_stats();
+        out.extend_from_slice(&(reports.len() as u32).to_le_bytes());
+        for r in &reports {
+            out.extend_from_slice(&r.wear.to_bits().to_le_bytes());
+        }
+        let keys = self.keys();
+        out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+        for key in keys {
+            let record = &self.index[&key];
+            let meta = self
+                .stripes
+                .export_object_meta(&record.layout)
+                .expect("indexed layouts always reference live stripes");
+            out.extend_from_slice(&key.pid().as_u64().to_le_bytes());
+            out.extend_from_slice(&key.oid().as_u64().to_le_bytes());
+            out.push(record.class.id());
+            let freq = record
+                .attrs
+                .get(AttributeId::ACCESS_FREQ)
+                .and_then(AttributeValue::as_u64)
+                .unwrap_or(0);
+            out.extend_from_slice(&freq.to_le_bytes());
+            out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+            out.extend_from_slice(&meta);
+        }
+        out
+    }
+
+    /// Takes a checkpoint: writes the current durable state to the
+    /// journal's inactive checkpoint slot, flips the superblock, and
+    /// truncates the log. No-op without an attached journal.
+    pub fn take_checkpoint(&mut self) {
+        if self.journal.is_some() {
+            let image = self.checkpoint_blob();
+            if let Some(j) = self.journal.as_mut() {
+                j.checkpoint(&image);
+            }
+        }
+    }
+
+    /// Simulates a power loss: every piece of DRAM state vaporizes — the
+    /// object index, collection membership, recovery queue, scrub cursor,
+    /// owner counter, and the stripe layer's allocation tables — while
+    /// flash chunk contents and wear survive. The journal loses its staged
+    /// (unflushed) records and `tear` bytes off the tail of the durable
+    /// log (the torn last sector of an interrupted write). The target then
+    /// answers [`SenseCode::NotReady`] until
+    /// [`OsdTarget::recover_from_journal`] completes.
+    ///
+    /// Cumulative [`TargetStats`] are harness-side counters and survive,
+    /// so experiment totals stay monotonic across a crash.
+    ///
+    /// Returns what the crash destroyed, or `None` if no journal is
+    /// attached (the state is then unrecoverable).
+    pub fn simulate_crash(&mut self, tear: usize) -> Option<CrashOutcome> {
+        self.index.clear();
+        self.collections.clear();
+        self.recovery.clear();
+        self.recovery_active = false;
+        self.scrub_cursor = None;
+        self.next_owner = 0;
+        self.stripes.simulate_crash();
+        self.warming = true;
+        self.journal.as_mut().map(|j| j.crash(tear))
+    }
+
+    /// Deterministic restart recovery: replays the newest valid checkpoint
+    /// plus the intact prefix of the journal, reinstalls every surviving
+    /// object's stripe metadata, collects orphan chunks, audits chunk
+    /// health (feeding degraded objects into the class-prioritized
+    /// recovery queue and dropping lost ones), re-arms the scrubber from
+    /// the persisted cursor, verifies metadata invariants, and finishes
+    /// with a fresh checkpoint. Clears the warming state on success.
+    ///
+    /// # Errors
+    ///
+    /// * [`TargetError::NotReady`] — no journal is attached.
+    /// * [`TargetError::Journal`] — both superblocks are damaged; the
+    ///   metadata root is unrecoverable.
+    /// * [`TargetError::Stripe`] — the checkpoint image is corrupt.
+    pub fn recover_from_journal(&mut self) -> Result<TargetRecovery, TargetError> {
+        let attached = self.journal.as_ref().ok_or(TargetError::NotReady)?;
+        let fsync_interval = attached.fsync_interval();
+        let media = attached.media().clone();
+        let (journal, outcome) =
+            Journal::recover(media, fsync_interval).map_err(TargetError::Journal)?;
+
+        // Fold checkpoint + log into the final durable state per key, then
+        // install only that final state — which makes replay idempotent
+        // and insensitive to intermediate layouts whose chunks are gone.
+        let checkpoint = parse_checkpoint(&outcome.checkpoint)?;
+        let mut entries = checkpoint.entries;
+        let mut cursor = checkpoint.cursor;
+        for record in &outcome.records {
+            match record {
+                JournalRecord::Create { key, class, meta } => {
+                    entries.insert(*key, ReplayEntry::new(*class, 0, meta.clone()));
+                }
+                JournalRecord::SetClass { key, class, meta } => {
+                    let freq = entries.get(key).map_or(0, |e| e.freq);
+                    entries.insert(*key, ReplayEntry::new(*class, freq, meta.clone()));
+                }
+                JournalRecord::DirtyWrite { key, meta, .. } => match entries.get_mut(key) {
+                    Some(e) => e.meta.clone_from(meta),
+                    None => {
+                        entries.insert(*key, ReplayEntry::new(ObjectClass::Dirty, 0, meta.clone()));
+                    }
+                },
+                JournalRecord::Remove { key } => {
+                    entries.remove(key);
+                }
+                JournalRecord::ScrubCursor { cursor: c } => cursor = *c,
+            }
+        }
+
+        // Rebuild from a clean slate so recovery is idempotent even when
+        // invoked on a warm target.
+        self.index.clear();
+        self.collections.clear();
+        self.recovery.clear();
+        self.stripes.simulate_crash();
+
+        let mut report = TargetRecovery {
+            replayed_records: outcome.records.len(),
+            checkpoint_generation: outcome.generation,
+            torn_tail: outcome.torn_tail,
+            torn_bytes: outcome.torn_bytes,
+            ..TargetRecovery::default()
+        };
+        let mut next_owner = checkpoint.next_owner;
+        let now = self.stripes.array().clock().now();
+        for (key, entry) in &entries {
+            match self.stripes.install_object_meta(&entry.meta) {
+                Ok(layout) => {
+                    next_owner = next_owner.max(layout.owner() + 1);
+                    let mut record = ObjectRecord::new(layout, entry.class, now);
+                    record.attrs.set(AttributeId::ACCESS_FREQ, entry.freq);
+                    self.index.insert(*key, record);
+                    report.restored_objects += 1;
+                }
+                // A corrupt per-object blob loses that object, not the
+                // whole recovery.
+                Err(_) => report.lost.push(*key),
+            }
+        }
+        self.next_owner = next_owner;
+
+        // Chunks written before the crash whose metadata never became
+        // durable are unreachable now — collect them.
+        report.orphans_removed = self.stripes.remove_unreferenced_chunks();
+
+        // Audit chunk health: a crash can coincide with wear-out damage.
+        // Degraded objects enter the class-prioritized rebuild queue;
+        // lost ones are dropped for the cache layer to treat as evicted.
+        for key in self.keys() {
+            let record = &self.index[&key];
+            match self.stripes.object_status(&record.layout) {
+                Ok(ObjectStatus::Intact) => {}
+                Ok(ObjectStatus::Degraded) => {
+                    self.recovery.enqueue(key, record.class);
+                    report.degraded += 1;
+                }
+                Ok(ObjectStatus::Lost) | Err(_) => {
+                    // Free whatever chunks survive and drop the stripes so
+                    // the table holds no entries for unindexed objects.
+                    let layout = record.layout.clone();
+                    self.stripes.remove_object(&layout);
+                    self.index.remove(&key);
+                    report.lost.push(key);
+                }
+            }
+        }
+        self.recovery_active = report.degraded > 0;
+        report.lost.sort_unstable();
+        report.lost.dedup();
+
+        // Re-arm the scrubber where the persisted cursor left off.
+        self.scrub_cursor = cursor;
+        self.journal = Some(journal);
+        self.warming = false;
+        report.violations = self.verify_consistency();
+        // Recovery ends in a fresh checkpoint so the next crash replays
+        // from here instead of the whole history.
+        self.take_checkpoint();
+        Ok(report)
+    }
+
+    /// The restored object map in key order — `(key, class, logical size,
+    /// access frequency)` — for the cache layer to rebuild its admission
+    /// and eviction state from after a restart.
+    pub fn inventory(&self) -> Vec<(ObjectKey, ObjectClass, ByteSize, u64)> {
+        self.keys()
+            .into_iter()
+            .map(|key| {
+                let record = &self.index[&key];
+                let freq = record
+                    .attrs
+                    .get(AttributeId::ACCESS_FREQ)
+                    .and_then(AttributeValue::as_u64)
+                    .unwrap_or(0);
+                (key, record.class, record.layout.size(), freq)
+            })
+            .collect()
+    }
+
+    /// Verifies metadata invariants, returning a description of each
+    /// violation (empty means consistent):
+    ///
+    /// * no chunk slot is claimed by more than one stripe
+    ///   (double allocation);
+    /// * the object-map ↔ stripe-table mapping is bidirectionally
+    ///   consistent — every stripe an object references exists, no stripe
+    ///   is claimed by two objects, and no stripe is orphaned.
+    pub fn verify_consistency(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let doubles = self.stripes.double_allocated_chunks();
+        if !doubles.is_empty() {
+            violations.push(format!(
+                "{} chunk slot(s) are referenced by more than one stripe",
+                doubles.len()
+            ));
+        }
+        let mut owner_of: BTreeMap<StripeId, ObjectKey> = BTreeMap::new();
+        for key in self.keys() {
+            for &sid in self.index[&key].layout.stripes() {
+                if let Some(prev) = owner_of.insert(sid, key) {
+                    violations.push(format!("{sid} is claimed by both {prev} and {key}"));
+                }
+            }
+        }
+        let table = self.stripes.stripe_count();
+        if owner_of.len() != table {
+            violations.push(format!(
+                "stripe table holds {table} stripes but object layouts reference {}",
+                owner_of.len()
+            ));
+        }
+        violations
+    }
+}
+
+/// Version tag of the checkpoint image format.
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// Final durable state of one object after folding checkpoint + log.
+struct ReplayEntry {
+    class: ObjectClass,
+    freq: u64,
+    meta: Vec<u8>,
+}
+
+impl ReplayEntry {
+    fn new(class: ObjectClass, freq: u64, meta: Vec<u8>) -> Self {
+        ReplayEntry { class, freq, meta }
+    }
+}
+
+/// Parsed checkpoint image.
+struct CheckpointState {
+    next_owner: u64,
+    cursor: Option<ObjectKey>,
+    entries: BTreeMap<ObjectKey, ReplayEntry>,
+}
+
+/// Parses a checkpoint image (an empty image — a freshly formatted
+/// journal — parses to the empty state).
+fn parse_checkpoint(bytes: &[u8]) -> Result<CheckpointState, TargetError> {
+    use reo_osd::{ObjectId, PartitionId};
+
+    let corrupt = || TargetError::Stripe(StripeError::CorruptMetadata);
+    let mut state = CheckpointState {
+        next_owner: 0,
+        cursor: None,
+        entries: BTreeMap::new(),
+    };
+    if bytes.is_empty() {
+        return Ok(state);
+    }
+
+    struct Cur<'a> {
+        bytes: &'a [u8],
+        at: usize,
+    }
+    impl<'a> Cur<'a> {
+        fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+            let end = self.at.checked_add(n)?;
+            let slice = self.bytes.get(self.at..end)?;
+            self.at = end;
+            Some(slice)
+        }
+        fn u8(&mut self) -> Option<u8> {
+            self.take(1).map(|s| s[0])
+        }
+        fn u32(&mut self) -> Option<u32> {
+            self.take(4)
+                .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+        }
+        fn u64(&mut self) -> Option<u64> {
+            self.take(8)
+                .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+        }
+    }
+
+    let mut cur = Cur { bytes, at: 0 };
+    if cur.u32().ok_or_else(corrupt)? != CHECKPOINT_VERSION {
+        return Err(corrupt());
+    }
+    state.next_owner = cur.u64().ok_or_else(corrupt)?;
+    match cur.u8().ok_or_else(corrupt)? {
+        0 => {}
+        1 => {
+            let pid = cur.u64().ok_or_else(corrupt)?;
+            let oid = cur.u64().ok_or_else(corrupt)?;
+            state.cursor = Some(ObjectKey::new(PartitionId::new(pid), ObjectId::new(oid)));
+        }
+        _ => return Err(corrupt()),
+    }
+    let devices = cur.u32().ok_or_else(corrupt)?;
+    for _ in 0..devices {
+        // Wear snapshot: audit-only, the array is authoritative.
+        cur.u64().ok_or_else(corrupt)?;
+    }
+    let entry_count = cur.u32().ok_or_else(corrupt)?;
+    for _ in 0..entry_count {
+        let pid = cur.u64().ok_or_else(corrupt)?;
+        let oid = cur.u64().ok_or_else(corrupt)?;
+        let key = ObjectKey::new(PartitionId::new(pid), ObjectId::new(oid));
+        let class = ObjectClass::from_id(cur.u8().ok_or_else(corrupt)?).ok_or_else(corrupt)?;
+        let freq = cur.u64().ok_or_else(corrupt)?;
+        let meta_len = cur.u32().ok_or_else(corrupt)? as usize;
+        let meta = cur.take(meta_len).ok_or_else(corrupt)?.to_vec();
+        state
+            .entries
+            .insert(key, ReplayEntry::new(class, freq, meta));
+    }
+    if cur.at != bytes.len() {
+        return Err(corrupt());
+    }
+    Ok(state)
 }
 
 #[cfg(test)]
@@ -1676,5 +2233,221 @@ mod tests {
         assert_eq!(status.bytes_transferred(), data.len() as u64);
         // Read-repair kicked in, so the next read is a plain success.
         assert!(t.execute(&read).is_success());
+    }
+
+    /// A target with a journal attached before format, like the cache
+    /// system builds it.
+    fn journaled_target() -> OsdTarget {
+        let mut t = reo_target();
+        t.attach_journal(Journal::format(8));
+        t.format().unwrap();
+        t.take_checkpoint();
+        t
+    }
+
+    #[test]
+    fn crash_and_recovery_restore_the_object_map() {
+        let mut t = journaled_target();
+        let data: Vec<u8> = (0..16_384u32).map(|i| (i % 241) as u8).collect();
+        t.create_object(
+            k(1),
+            ByteSize::from_bytes(data.len() as u64),
+            ObjectClass::HotClean,
+            Some(&data),
+        )
+        .unwrap();
+        t.create_object(k(2), ByteSize::from_kib(8), ObjectClass::Dirty, None)
+            .unwrap();
+        t.write_range(k(2), 0, 4096).unwrap();
+        let objects_before = t.object_count();
+        let usage_before = t.usage();
+
+        let crash = t.simulate_crash(0).expect("journal attached");
+        assert_eq!(crash.torn_bytes, 0);
+        assert!(t.is_warming());
+        // All data paths answer NOT READY until replay completes.
+        assert!(matches!(t.read_object(k(1)), Err(TargetError::NotReady)));
+        assert!(matches!(
+            t.create_object(k(9), ByteSize::from_kib(4), ObjectClass::ColdClean, None),
+            Err(TargetError::NotReady)
+        ));
+        assert_eq!(t.query(k(1)), SenseCode::NotReady);
+
+        let report = t.recover_from_journal().unwrap();
+        assert!(!t.is_warming());
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.lost.is_empty());
+        assert_eq!(report.restored_objects, objects_before);
+        assert_eq!(t.object_count(), objects_before);
+        assert_eq!(t.usage(), usage_before);
+        assert_eq!(t.class_of(k(2)), Some(ObjectClass::Dirty));
+        // The acknowledged payload is byte-for-byte intact.
+        let out = t.read_object(k(1)).unwrap();
+        assert!(!out.degraded);
+        assert_eq!(out.bytes.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_discarded() {
+        let mut t = journaled_target();
+        // Make a few records durable...
+        for i in 0..6 {
+            t.create_object(k(i), ByteSize::from_kib(4), ObjectClass::ColdClean, None)
+                .unwrap();
+        }
+        t.create_object(k(99), ByteSize::from_kib(4), ObjectClass::Dirty, None)
+            .unwrap();
+        // ...then stage one more and crash mid-flush: 7 bytes of its
+        // record reach the media as a torn tail.
+        t.create_object(k(100), ByteSize::from_kib(4), ObjectClass::ColdClean, None)
+            .unwrap();
+        let crash = t.simulate_crash(7).unwrap();
+        assert!(crash.partial_tail, "7 bytes must cut into a record");
+        let report = t.recover_from_journal().unwrap();
+        assert!(report.torn_tail);
+        assert!(report.torn_bytes > 0);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        // Every object that survived the torn tail is fully intact.
+        for key in t.keys() {
+            assert!(matches!(t.object_status(key), Ok(ObjectStatus::Intact)));
+        }
+    }
+
+    #[test]
+    fn unflushed_clean_creates_are_lost_and_collected_as_orphans() {
+        let mut t = journaled_target();
+        t.take_checkpoint();
+        // fsync_interval is 8: one clean create stays staged.
+        t.create_object(k(1), ByteSize::from_kib(4), ObjectClass::ColdClean, None)
+            .unwrap();
+        let before = t.usage();
+        assert!(before.total() > ByteSize::ZERO);
+        let crash = t.simulate_crash(0).unwrap();
+        assert_eq!(crash.staged_records_lost, 1);
+        let report = t.recover_from_journal().unwrap();
+        assert!(!t.contains(k(1)), "unflushed clean create must vanish");
+        assert!(report.orphans_removed > 0, "its chunks must be collected");
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn dirty_writes_survive_any_crash_once_acknowledged() {
+        let mut t = journaled_target();
+        t.create_object(k(1), ByteSize::from_kib(8), ObjectClass::Dirty, None)
+            .unwrap();
+        // The ack point: write_range returned, so the record is flushed.
+        t.write_range(k(1), 0, 8192).unwrap();
+        let crash = t.simulate_crash(3).unwrap();
+        assert_eq!(crash.staged_records_lost, 0, "dirty writes flush eagerly");
+        let report = t.recover_from_journal().unwrap();
+        assert!(report.violations.is_empty());
+        assert!(t.contains(k(1)), "acknowledged dirty write was lost");
+        assert_eq!(t.class_of(k(1)), Some(ObjectClass::Dirty));
+        assert!(!t.read_object(k(1)).unwrap().degraded);
+    }
+
+    #[test]
+    fn recovery_rearms_the_scrub_cursor() {
+        let mut t = journaled_target();
+        for i in 0..12 {
+            t.create_object(k(i), ByteSize::from_kib(4), ObjectClass::ColdClean, None)
+                .unwrap();
+        }
+        // A bounded step leaves the cursor mid-index; persist it durably
+        // (the cursor record may sit in the staging buffer otherwise).
+        let report = t.scrub_step(5);
+        assert!(!report.completed_pass);
+        let cursor_before = t.scrub_cursor;
+        assert!(cursor_before.is_some());
+        if let Some(j) = t.journal.as_mut() {
+            j.flush();
+        }
+        t.simulate_crash(0).unwrap();
+        assert_eq!(t.scrub_cursor, None, "DRAM cursor vaporized");
+        t.recover_from_journal().unwrap();
+        assert_eq!(
+            t.scrub_cursor, cursor_before,
+            "scrubber must resume from the persisted cursor, not key zero"
+        );
+        // And the next step picks up past the cursor instead of restarting.
+        let next = t.scrub_step(100);
+        assert!(next.completed_pass);
+        assert!(next.examined < t.object_count());
+    }
+
+    #[test]
+    fn fail_replace_recover_roundtrip_is_idempotent() {
+        // Satellite regression: device failure, spare insertion, and
+        // journal recovery compose in any order without corrupting state.
+        let mut t = journaled_target();
+        for i in 0..4 {
+            t.create_object(k(i), ByteSize::from_kib(8), ObjectClass::Dirty, None)
+                .unwrap();
+            t.write_range(k(i), 0, 4096).unwrap();
+        }
+        for round in 0..3 {
+            t.fail_device(DeviceId(round % t.device_count()));
+            let lost = t.insert_spare(DeviceId(round % t.device_count()));
+            assert!(lost.is_empty(), "replicated objects survive one failure");
+            while t.recover_next().is_some() {}
+            t.simulate_crash(round).unwrap();
+            let report = t.recover_from_journal().unwrap();
+            assert!(report.violations.is_empty(), "{:?}", report.violations);
+            for i in 0..4 {
+                assert_eq!(t.class_of(k(i)), Some(ObjectClass::Dirty));
+                assert!(!t.read_object(k(i)).unwrap().degraded);
+            }
+            // Drain any rebuilds the recovery audit queued.
+            while t.recover_next().is_some() {}
+        }
+        // A second recovery on an already-warm target is a no-op
+        // state-wise. (Checkpoint first: access frequencies are persisted
+        // at checkpoint time, and the reads above post-date the last one.)
+        t.take_checkpoint();
+        let snapshot = t.inventory();
+        let report = t.recover_from_journal().unwrap();
+        assert!(report.violations.is_empty());
+        assert_eq!(t.inventory(), snapshot);
+    }
+
+    #[test]
+    fn removes_are_durable_before_chunks_are_freed() {
+        let mut t = journaled_target();
+        t.create_object(k(1), ByteSize::from_kib(4), ObjectClass::Dirty, None)
+            .unwrap();
+        t.remove_object(k(1)).unwrap();
+        t.simulate_crash(0).unwrap();
+        let report = t.recover_from_journal().unwrap();
+        assert!(!t.contains(k(1)), "a removed object must stay removed");
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_truncates_replay_work() {
+        let mut t = journaled_target();
+        for i in 0..10 {
+            t.create_object(k(i), ByteSize::from_kib(4), ObjectClass::Dirty, None)
+                .unwrap();
+        }
+        t.take_checkpoint();
+        t.create_object(k(10), ByteSize::from_kib(4), ObjectClass::Dirty, None)
+            .unwrap();
+        t.simulate_crash(0).unwrap();
+        let report = t.recover_from_journal().unwrap();
+        // Only the post-checkpoint create replays from the log.
+        assert_eq!(report.replayed_records, 1);
+        assert_eq!(t.object_count(), 11 + 5, "10 + 1 user + 5 reserved");
+        let stats = t.journal_stats().unwrap();
+        assert_eq!(stats.appends, 0, "recovery hands back a fresh journal");
+    }
+
+    #[test]
+    fn recovery_without_a_journal_is_refused() {
+        let mut t = reo_target();
+        assert!(matches!(
+            t.recover_from_journal(),
+            Err(TargetError::NotReady)
+        ));
+        assert!(t.simulate_crash(0).is_none());
     }
 }

@@ -25,6 +25,7 @@ use serde::{Deserialize, Serialize};
 /// |-------|-----------------------------------------------|
 /// | 0x68  | Medium error: a chunk read hit corrupt media (T10 `3h`) |
 /// | 0x69  | Recovered error: data was served after repair (T10 `1h`) |
+/// | 0x6A  | Not ready: the target is replaying its journal after a restart (T10 `2h`) |
 ///
 /// # Examples
 ///
@@ -60,6 +61,10 @@ pub enum SenseCode {
     /// degraded read or retried transient fault (the analog of the T10
     /// `RECOVERED ERROR` sense key). Not an error.
     RecoveredError,
+    /// `0x6A`: the target is warming up after a restart — journal replay
+    /// has not finished, so the addressed data cannot be served yet (the
+    /// analog of the T10 `NOT READY` sense key). Retry after recovery.
+    NotReady,
 }
 
 impl SenseCode {
@@ -75,6 +80,7 @@ impl SenseCode {
             SenseCode::RedundancySpaceFull => 0x67,
             SenseCode::MediumError => 0x68,
             SenseCode::RecoveredError => 0x69,
+            SenseCode::NotReady => 0x6A,
         }
     }
 
@@ -90,6 +96,7 @@ impl SenseCode {
             0x67 => Some(SenseCode::RedundancySpaceFull),
             0x68 => Some(SenseCode::MediumError),
             0x69 => Some(SenseCode::RecoveredError),
+            0x6A => Some(SenseCode::NotReady),
             _ => None,
         }
     }
@@ -101,6 +108,9 @@ impl SenseCode {
     /// [`SenseCode::Success`] either; `Failure`, `Corrupted`, and
     /// `MediumError` are hard errors. `RecoveredError` reports success
     /// with a caveat, matching T10's classification of its `1h` key.
+    /// `NotReady` is a retryable condition (the data is not lost, the
+    /// target just has not finished replaying its journal), so like T10's
+    /// `2h` key it is not classified as a hard error.
     pub const fn is_error(self) -> bool {
         matches!(
             self,
@@ -121,6 +131,7 @@ impl fmt::Display for SenseCode {
             SenseCode::RedundancySpaceFull => "the allocated space for data redundancy is full",
             SenseCode::MediumError => "medium error: corrupt media under the addressed data",
             SenseCode::RecoveredError => "the command succeeded after error recovery",
+            SenseCode::NotReady => "the target is not ready: journal replay in progress",
         };
         f.write_str(s)
     }
@@ -130,7 +141,7 @@ impl fmt::Display for SenseCode {
 mod tests {
     use super::*;
 
-    const ALL: [SenseCode; 9] = [
+    const ALL: [SenseCode; 10] = [
         SenseCode::Success,
         SenseCode::Failure,
         SenseCode::Corrupted,
@@ -140,6 +151,7 @@ mod tests {
         SenseCode::RedundancySpaceFull,
         SenseCode::MediumError,
         SenseCode::RecoveredError,
+        SenseCode::NotReady,
     ];
 
     #[test]
@@ -154,6 +166,7 @@ mod tests {
         // Partial-failure extensions, outside Table III's range.
         assert_eq!(SenseCode::MediumError.as_i16(), 0x68);
         assert_eq!(SenseCode::RecoveredError.as_i16(), 0x69);
+        assert_eq!(SenseCode::NotReady.as_i16(), 0x6A);
     }
 
     #[test]
@@ -174,6 +187,7 @@ mod tests {
         assert!(!SenseCode::CacheFull.is_error());
         assert!(SenseCode::MediumError.is_error());
         assert!(!SenseCode::RecoveredError.is_error());
+        assert!(!SenseCode::NotReady.is_error());
     }
 
     #[test]

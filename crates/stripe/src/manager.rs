@@ -59,6 +59,9 @@ pub enum StripeError {
     },
     /// No healthy device remains in the array.
     NoHealthyDevices,
+    /// A serialized layout blob failed to parse (journal corruption that
+    /// slipped past the record checksum, or a version mismatch).
+    CorruptMetadata,
 }
 
 impl fmt::Display for StripeError {
@@ -81,6 +84,7 @@ impl fmt::Display for StripeError {
                 "payload is {payload} bytes but object declares {declared}"
             ),
             StripeError::NoHealthyDevices => write!(f, "no healthy device remains"),
+            StripeError::CorruptMetadata => write!(f, "serialized layout metadata is corrupt"),
         }
     }
 }
@@ -1401,6 +1405,278 @@ impl StripeManager {
     pub fn stripe_count(&self) -> usize {
         self.stripes.len()
     }
+
+    /// Serializes an object's layout *and* the metadata of every stripe it
+    /// references into an opaque blob for the metadata journal. The blob
+    /// contains no chunk payloads — only placement (owner, size, scheme,
+    /// and per-stripe chunk roles/devices/handles/lengths).
+    ///
+    /// # Errors
+    ///
+    /// [`StripeError::UnknownStripe`] if the layout references a stripe
+    /// this manager no longer knows.
+    pub fn export_object_meta(&self, layout: &ObjectLayout) -> Result<Vec<u8>, StripeError> {
+        fn put_u32(out: &mut Vec<u8>, v: u32) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_scheme(out: &mut Vec<u8>, scheme: RedundancyScheme) {
+            match scheme {
+                RedundancyScheme::Parity(k) => {
+                    out.push(0);
+                    out.push(k);
+                }
+                RedundancyScheme::Replication => {
+                    out.push(1);
+                    out.push(0);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        put_u64(&mut out, layout.owner);
+        put_u64(&mut out, layout.size.as_bytes());
+        put_scheme(&mut out, layout.scheme);
+        put_u32(&mut out, layout.stripes.len() as u32);
+        for &sid in &layout.stripes {
+            let meta = self.stripe(sid)?;
+            put_u64(&mut out, sid.as_u64());
+            put_scheme(&mut out, meta.scheme);
+            put_u32(&mut out, meta.encode_m as u32);
+            put_u32(&mut out, meta.chunks.len() as u32);
+            for c in &meta.chunks {
+                let (tag, idx) = match c.role {
+                    ChunkRole::Data(i) => (0u8, i),
+                    ChunkRole::Parity(i) => (1u8, i),
+                    ChunkRole::Replica(i) => (2u8, i),
+                };
+                out.push(tag);
+                put_u32(&mut out, idx as u32);
+                put_u32(&mut out, c.device.0 as u32);
+                put_u64(&mut out, c.handle.as_u64());
+                put_u64(&mut out, c.len.as_bytes());
+                out.push(c.real as u8);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Re-registers an object from a blob produced by
+    /// [`StripeManager::export_object_meta`]: reinstalls every stripe's
+    /// metadata, folds the chunks back into the byte accounting, bumps the
+    /// handle/stripe allocators past every installed identifier, and
+    /// returns the reconstructed layout. Chunk *contents* are not touched —
+    /// they either survived on the array or are found missing by the
+    /// post-recovery audit.
+    ///
+    /// Installing a stripe id that is already registered replaces its
+    /// metadata (last write wins, matching journal replay order).
+    ///
+    /// # Errors
+    ///
+    /// [`StripeError::CorruptMetadata`] if the blob does not parse.
+    pub fn install_object_meta(&mut self, bytes: &[u8]) -> Result<ObjectLayout, StripeError> {
+        struct Cursor<'a> {
+            bytes: &'a [u8],
+            at: usize,
+        }
+        impl Cursor<'_> {
+            fn u8(&mut self) -> Result<u8, StripeError> {
+                let v = *self
+                    .bytes
+                    .get(self.at)
+                    .ok_or(StripeError::CorruptMetadata)?;
+                self.at += 1;
+                Ok(v)
+            }
+            fn u32(&mut self) -> Result<u32, StripeError> {
+                let s = self
+                    .bytes
+                    .get(self.at..self.at + 4)
+                    .ok_or(StripeError::CorruptMetadata)?;
+                self.at += 4;
+                Ok(u32::from_le_bytes(s.try_into().unwrap()))
+            }
+            fn u64(&mut self) -> Result<u64, StripeError> {
+                let s = self
+                    .bytes
+                    .get(self.at..self.at + 8)
+                    .ok_or(StripeError::CorruptMetadata)?;
+                self.at += 8;
+                Ok(u64::from_le_bytes(s.try_into().unwrap()))
+            }
+            fn scheme(&mut self) -> Result<RedundancyScheme, StripeError> {
+                let tag = self.u8()?;
+                let k = self.u8()?;
+                match tag {
+                    0 => Ok(RedundancyScheme::Parity(k)),
+                    1 => Ok(RedundancyScheme::Replication),
+                    _ => Err(StripeError::CorruptMetadata),
+                }
+            }
+        }
+        let mut cur = Cursor { bytes, at: 0 };
+        let owner = cur.u64()?;
+        let size = ByteSize::from_bytes(cur.u64()?);
+        let scheme = cur.scheme()?;
+        let stripe_count = cur.u32()? as usize;
+        if stripe_count > bytes.len() {
+            return Err(StripeError::CorruptMetadata);
+        }
+        let device_count = self.array.device_count();
+        let mut stripes = Vec::with_capacity(stripe_count);
+        let mut metas = Vec::with_capacity(stripe_count);
+        for _ in 0..stripe_count {
+            let sid = StripeId(cur.u64()?);
+            let stripe_scheme = cur.scheme()?;
+            let encode_m = cur.u32()? as usize;
+            let chunk_count = cur.u32()? as usize;
+            if chunk_count > bytes.len() {
+                return Err(StripeError::CorruptMetadata);
+            }
+            let mut chunks = Vec::with_capacity(chunk_count);
+            for _ in 0..chunk_count {
+                let tag = cur.u8()?;
+                let idx = cur.u32()? as usize;
+                let role = match tag {
+                    0 => ChunkRole::Data(idx),
+                    1 => ChunkRole::Parity(idx),
+                    2 => ChunkRole::Replica(idx),
+                    _ => return Err(StripeError::CorruptMetadata),
+                };
+                let device = DeviceId(cur.u32()? as usize);
+                if device.0 >= device_count {
+                    return Err(StripeError::CorruptMetadata);
+                }
+                let handle = ChunkHandle::new(cur.u64()?);
+                let len = ByteSize::from_bytes(cur.u64()?);
+                let real = match cur.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(StripeError::CorruptMetadata),
+                };
+                chunks.push(StripeChunk {
+                    role,
+                    device,
+                    handle,
+                    len,
+                    real,
+                });
+            }
+            stripes.push(sid);
+            metas.push((
+                sid,
+                StripeMeta {
+                    scheme: stripe_scheme,
+                    encode_m,
+                    chunks,
+                },
+            ));
+        }
+        if cur.at != bytes.len() {
+            return Err(StripeError::CorruptMetadata);
+        }
+        // Parse succeeded in full: commit.
+        for (sid, meta) in metas {
+            if let Some(old) = self.stripes.remove(&sid) {
+                for c in &old.chunks {
+                    self.charge_usage(c, false);
+                }
+            }
+            for c in &meta.chunks {
+                self.charge_usage(c, true);
+                self.next_handle = self.next_handle.max(c.handle.as_u64() + 1);
+            }
+            self.next_stripe = self.next_stripe.max(sid.as_u64() + 1);
+            self.stripes.insert(sid, meta);
+        }
+        Ok(ObjectLayout {
+            owner,
+            size,
+            scheme,
+            stripes,
+        })
+    }
+
+    fn charge_usage(&mut self, c: &StripeChunk, add: bool) {
+        let slot = if c.role.is_user_data() {
+            &mut self.usage.user_bytes
+        } else {
+            &mut self.usage.redundancy_bytes
+        };
+        *slot = if add {
+            *slot + c.len
+        } else {
+            slot.saturating_sub(c.len)
+        };
+    }
+
+    /// Simulates the DRAM side of a power loss: every piece of in-memory
+    /// stripe metadata (stripe tables, byte accounting, allocator cursors)
+    /// vanishes. The flash array — the durable medium — is untouched.
+    pub fn simulate_crash(&mut self) {
+        self.stripes.clear();
+        self.usage = SpaceUsage::default();
+        self.next_handle = 0;
+        self.next_stripe = 0;
+    }
+
+    /// Every `(device, handle)` pair referenced by live stripe metadata,
+    /// sorted and deduplicated.
+    pub fn referenced_chunks(&self) -> Vec<(DeviceId, ChunkHandle)> {
+        let mut refs: Vec<(DeviceId, ChunkHandle)> = self
+            .stripes
+            .values()
+            .flat_map(|m| m.chunks.iter().map(|c| (c.device, c.handle)))
+            .collect();
+        refs.sort_unstable_by_key(|(d, h)| (d.0, h.as_u64()));
+        refs.dedup();
+        refs
+    }
+
+    /// `(device, handle)` pairs claimed by more than one stripe chunk — a
+    /// violation of the no-double-allocated-chunk invariant. Empty on a
+    /// consistent manager.
+    pub fn double_allocated_chunks(&self) -> Vec<(DeviceId, ChunkHandle)> {
+        let mut refs: Vec<(DeviceId, ChunkHandle)> = self
+            .stripes
+            .values()
+            .flat_map(|m| m.chunks.iter().map(|c| (c.device, c.handle)))
+            .collect();
+        refs.sort_unstable_by_key(|(d, h)| (d.0, h.as_u64()));
+        let mut dup = Vec::new();
+        for w in refs.windows(2) {
+            if w[0] == w[1] && dup.last() != Some(&w[0]) {
+                dup.push(w[0]);
+            }
+        }
+        dup
+    }
+
+    /// Removes every chunk on the array that no live stripe references —
+    /// the orphans left behind by writes whose metadata never reached the
+    /// journal before a crash, or by removals whose chunk frees raced the
+    /// crash. Returns how many chunks were collected.
+    pub fn remove_unreferenced_chunks(&mut self) -> usize {
+        use std::collections::HashSet;
+        let referenced: HashSet<(usize, u64)> = self
+            .referenced_chunks()
+            .into_iter()
+            .map(|(d, h)| (d.0, h.as_u64()))
+            .collect();
+        let mut removed = 0;
+        for id in 0..self.array.device_count() {
+            let device = self.array.device_mut(DeviceId(id));
+            for handle in device.chunk_handles() {
+                if !referenced.contains(&(id, handle.as_u64())) {
+                    device.remove_chunk(handle);
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -1765,6 +2041,88 @@ mod tests {
     #[test]
     fn usage_space_efficiency_empty_is_one() {
         assert_eq!(SpaceUsage::default().space_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn exported_meta_survives_a_simulated_crash() {
+        let mut m = mgr(5);
+        let data = payload(40_000);
+        let layout = m
+            .store_object(
+                7,
+                ByteSize::from_bytes(data.len() as u64),
+                RedundancyScheme::parity(2),
+                Some(&data),
+            )
+            .unwrap();
+        let usage_before = m.usage();
+        let blob = m.export_object_meta(&layout).unwrap();
+
+        m.simulate_crash();
+        assert_eq!(m.stripe_count(), 0);
+        assert_eq!(m.usage().total(), ByteSize::ZERO);
+
+        let restored = m.install_object_meta(&blob).unwrap();
+        assert_eq!(restored.owner(), 7);
+        assert_eq!(restored.size().as_bytes(), data.len() as u64);
+        assert_eq!(restored.stripes(), layout.stripes());
+        assert_eq!(m.usage(), usage_before);
+        assert!(m.double_allocated_chunks().is_empty());
+        // Chunk contents survived on the array: the object reads back.
+        let out = m.read_object(&restored).unwrap();
+        assert_eq!(out.bytes.unwrap(), data);
+        // A fresh store must not collide with reinstalled handles/stripes.
+        let second = m
+            .store_object(8, ByteSize::from_kib(32), RedundancyScheme::parity(1), None)
+            .unwrap();
+        assert!(m.double_allocated_chunks().is_empty());
+        assert!(second
+            .stripes()
+            .iter()
+            .all(|s| !layout.stripes().contains(s)));
+    }
+
+    #[test]
+    fn orphan_chunks_are_collected_after_crash() {
+        let mut m = mgr(5);
+        let keep = m
+            .store_object(1, ByteSize::from_kib(16), RedundancyScheme::parity(1), None)
+            .unwrap();
+        let orphaned = m
+            .store_object(2, ByteSize::from_kib(16), RedundancyScheme::parity(1), None)
+            .unwrap();
+        let blob = m.export_object_meta(&keep).unwrap();
+        m.simulate_crash();
+        m.install_object_meta(&blob).unwrap();
+        // Only `keep`'s metadata was journaled: `orphaned`'s chunks are
+        // unreferenced and must be garbage collected.
+        let removed = m.remove_unreferenced_chunks();
+        assert!(removed > 0);
+        let total_chunks: usize = (0..m.array().device_count())
+            .map(|i| m.array().device(DeviceId(i)).chunk_count())
+            .sum();
+        assert_eq!(total_chunks, m.referenced_chunks().len());
+        assert!(m.read_object(&keep).is_ok());
+        drop(orphaned);
+    }
+
+    #[test]
+    fn corrupt_meta_blobs_are_rejected() {
+        let mut m = mgr(5);
+        let layout = m
+            .store_object(1, ByteSize::from_kib(16), RedundancyScheme::parity(1), None)
+            .unwrap();
+        let blob = m.export_object_meta(&layout).unwrap();
+        assert!(matches!(
+            m.install_object_meta(&blob[..blob.len() - 3]),
+            Err(StripeError::CorruptMetadata)
+        ));
+        let mut garbage = blob.clone();
+        garbage[16] = 0xFF; // scheme tag
+        assert!(matches!(
+            m.install_object_meta(&garbage),
+            Err(StripeError::CorruptMetadata)
+        ));
     }
 
     #[test]

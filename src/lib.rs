@@ -9,6 +9,7 @@ pub use reo_cache as cache;
 pub use reo_core as core;
 pub use reo_erasure as erasure;
 pub use reo_flashsim as flashsim;
+pub use reo_journal as journal;
 pub use reo_osd as osd;
 pub use reo_osd_target as osd_target;
 pub use reo_sim as sim;

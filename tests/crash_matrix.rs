@@ -1,0 +1,155 @@
+//! Seed-driven crash matrix: randomized power-loss points woven through a
+//! live workload, with the crash-consistency invariants checked at every
+//! restart.
+//!
+//! Each seed runs one trace and crashes the system at 8 randomized
+//! request indices (drawn from a deterministic per-seed stream, so a
+//! failing seed replays identically). At every crash the matrix asserts:
+//!
+//! * the target answers [`SenseCode::NotReady`] until recovery completes;
+//! * recovery reports zero invariant violations (mapping <-> stripe
+//!   consistency, no double-allocated chunk);
+//! * every dirty write acknowledged before the crash is still present —
+//!   and still dirty — after replay (no acknowledged write lost);
+//! * a torn journal tail is detected exactly when the crash actually
+//!   tore one (`partial_tail` <=> `torn_tail_detected` increment);
+//! * the system keeps serving the trace afterwards.
+
+use reo_repro::core::{CacheSystem, SchemeConfig, SystemConfig};
+use reo_repro::osd::{ObjectClass, ObjectKey, SenseCode};
+use reo_repro::sim::rng::DetRng;
+use reo_repro::sim::ByteSize;
+use reo_repro::workload::{Locality, Trace, WorkloadSpec};
+
+const CRASHES: usize = 8;
+const REQUESTS: usize = 1_600;
+
+fn trace(seed: u64) -> Trace {
+    WorkloadSpec {
+        objects: 120,
+        mean_object_size: ByteSize::from_kib(128),
+        size_sigma: 0.7,
+        locality: Locality::Medium,
+        requests: REQUESTS,
+        write_ratio: 0.3,
+        temporal_reuse: Locality::Medium.temporal_reuse(),
+        reuse_window: 120,
+    }
+    .generate(seed)
+}
+
+/// 8 strictly increasing crash points, one drawn from each successive
+/// slice of the trace so every phase of the run (cold, warm, steady)
+/// gets crashed somewhere.
+fn crash_points(seed: u64) -> Vec<usize> {
+    let mut rng = DetRng::from_seed(seed ^ 0x00c5_a5ed);
+    let stride = REQUESTS / CRASHES;
+    (0..CRASHES)
+        .map(|k| k * stride + 20 + rng.below((stride - 40) as u64) as usize)
+        .collect()
+}
+
+fn dirty_keys(sys: &CacheSystem) -> Vec<ObjectKey> {
+    sys.target()
+        .inventory()
+        .into_iter()
+        .filter(|(_, class, _, _)| *class == ObjectClass::Dirty)
+        .map(|(key, _, _, _)| key)
+        .collect()
+}
+
+fn matrix(seed: u64) {
+    let t = trace(seed);
+    let cache = t.summary().data_set_bytes.scale(0.10);
+    let mut config = SystemConfig::paper_defaults(SchemeConfig::Reo { reserve: 0.20 }, cache);
+    config.chunk_size = ByteSize::from_kib(16);
+    // Checkpoint a few times mid-trace so replay exercises both the
+    // checkpoint image and the log suffix behind it.
+    config.checkpoint_period = 300;
+    let mut sys = CacheSystem::new(config);
+    sys.populate(t.objects());
+    // Keep acknowledged dirty writes resident (the write-back flusher
+    // would otherwise clean them between requests), so every crash tests
+    // the no-acknowledged-write-lost invariant against live dirty state.
+    sys.set_dirty_flush_watermark(1.0);
+
+    let points = crash_points(seed);
+    assert_eq!(points.len(), CRASHES);
+    assert!(points.windows(2).all(|w| w[0] < w[1]), "points {points:?}");
+
+    let mut next = 0usize;
+    let mut expected_torn = 0u64;
+    for (i, r) in t.requests().iter().enumerate() {
+        if next < points.len() && i == points[next] {
+            next += 1;
+            let dirty_before = dirty_keys(&sys);
+            let probe = sys
+                .target()
+                .inventory()
+                .first()
+                .map(|(key, _, _, _)| *key)
+                .expect("populated system has objects");
+
+            let outcome = sys.crash();
+            expected_torn += u64::from(outcome.partial_tail);
+            assert!(sys.target().is_warming(), "seed {seed} crash {next}");
+            assert_eq!(
+                sys.target().query(probe),
+                SenseCode::NotReady,
+                "seed {seed} crash {next}: warming target must answer NotReady"
+            );
+            assert_eq!(sys.cached_objects(), 0, "DRAM index must vaporize");
+
+            let report = sys.recover().expect("restart recovery");
+            assert!(
+                report.target.violations.is_empty(),
+                "seed {seed} crash {next}: {:?}",
+                report.target.violations
+            );
+            assert!(!sys.target().is_warming());
+            assert_eq!(
+                sys.metrics().totals().torn_tail_detected,
+                expected_torn,
+                "seed {seed} crash {next}: torn-tail counter out of step \
+                 (partial_tail was {})",
+                outcome.partial_tail
+            );
+
+            let after = dirty_keys(&sys);
+            for key in &dirty_before {
+                assert!(
+                    after.contains(key),
+                    "seed {seed} crash {next}: acknowledged dirty write {key:?} lost"
+                );
+            }
+            assert_eq!(sys.dirty_data_lost(), 0, "seed {seed} crash {next}");
+            let direct = sys.target().verify_consistency();
+            assert!(direct.is_empty(), "seed {seed} crash {next}: {direct:?}");
+        }
+        sys.handle(r);
+    }
+    assert_eq!(next, CRASHES, "every planned crash must have fired");
+
+    let totals = sys.metrics().totals();
+    assert_eq!(totals.requests, REQUESTS as u64);
+    assert!(totals.hit_ratio_pct() > 0.0, "system must keep serving");
+    assert!(totals.journal_appends > 0);
+    assert!(totals.replayed_records > 0);
+    assert!(totals.recovery_duration_us > 0);
+    assert!(totals.checkpoint_count >= 2);
+}
+
+#[test]
+fn crash_matrix_seed_11() {
+    matrix(11);
+}
+
+#[test]
+fn crash_matrix_seed_42() {
+    matrix(42);
+}
+
+#[test]
+fn crash_matrix_seed_1234() {
+    matrix(1234);
+}
