@@ -19,6 +19,13 @@
 //! always be re-fetched from here (at long latency), which is exactly why
 //! the paper gives cold clean objects no redundancy.
 //!
+//! Durable does not mean always reachable: [`BackendFault`] injects outage
+//! windows (the storage server is down; every request fails with
+//! [`BackendError::Unavailable`]) and slow-spindle factors (a degrading
+//! disk serving at a fraction of its nominal rate), symmetric to the flash
+//! array's `FaultPlan`. The cascading-failure experiments compose these
+//! with cache-device faults.
+//!
 //! # Examples
 //!
 //! ```
@@ -86,6 +93,9 @@ pub enum BackendError {
     },
     /// Objects must be non-empty.
     EmptyObject,
+    /// The backend is down (an injected outage window); the request was
+    /// rejected without being queued or charged.
+    Unavailable,
 }
 
 impl fmt::Display for BackendError {
@@ -97,6 +107,7 @@ impl fmt::Display for BackendError {
                 "payload is {payload} bytes but object declares {declared}"
             ),
             BackendError::EmptyObject => write!(f, "objects must be non-empty"),
+            BackendError::Unavailable => write!(f, "backend server is unavailable"),
         }
     }
 }
@@ -127,6 +138,56 @@ pub struct BackendStats {
     pub bytes_written: u64,
 }
 
+/// Counters of injected backend faults and their fallout.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackendFaultStats {
+    /// Outage windows opened ([`BackendStore::fail`] transitions).
+    pub outages: u64,
+    /// Outage windows closed ([`BackendStore::restore`] transitions).
+    pub restores: u64,
+    /// Slow-spindle factors applied (changes away from the nominal rate).
+    pub slowdowns: u64,
+    /// Requests rejected with [`BackendError::Unavailable`] while down.
+    pub rejected_while_down: u64,
+}
+
+/// Fault-injection state of the backend server, symmetric to the flash
+/// array's `FaultPlan`: an outage flag plus a slow-spindle service-time
+/// multiplier, with counters for everything injected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BackendFault {
+    down: bool,
+    slow_factor: f64,
+    stats: BackendFaultStats,
+}
+
+impl Default for BackendFault {
+    fn default() -> Self {
+        BackendFault {
+            down: false,
+            slow_factor: 1.0,
+            stats: BackendFaultStats::default(),
+        }
+    }
+}
+
+impl BackendFault {
+    /// `true` while an outage window is open.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// The current disk service-time multiplier (1.0 = nominal).
+    pub fn slow_factor(&self) -> f64 {
+        self.slow_factor
+    }
+
+    /// Cumulative fault counters.
+    pub fn stats(&self) -> BackendFaultStats {
+        self.stats
+    }
+}
+
 #[derive(Clone, Debug)]
 struct StoredObject {
     size: ByteSize,
@@ -142,6 +203,7 @@ pub struct BackendStore {
     objects: HashMap<ObjectKey, StoredObject>,
     busy_until: SimTime,
     stats: BackendStats,
+    fault: BackendFault,
     tracer: Tracer,
 }
 
@@ -154,6 +216,7 @@ impl BackendStore {
             objects: HashMap::new(),
             busy_until: SimTime::ZERO,
             stats: BackendStats::default(),
+            fault: BackendFault::default(),
             tracer: Tracer::new(),
         }
     }
@@ -177,6 +240,52 @@ impl BackendStore {
     /// Cumulative counters.
     pub fn stats(&self) -> BackendStats {
         self.stats
+    }
+
+    /// Current fault-injection state and its counters.
+    pub fn fault(&self) -> &BackendFault {
+        &self.fault
+    }
+
+    /// `true` while an injected outage window is open.
+    pub fn is_down(&self) -> bool {
+        self.fault.down
+    }
+
+    /// Opens an outage window: every subsequent request fails with
+    /// [`BackendError::Unavailable`] until [`BackendStore::restore`].
+    /// Idempotent — failing an already-down backend is a no-op.
+    pub fn fail(&mut self) {
+        if !self.fault.down {
+            self.fault.down = true;
+            self.fault.stats.outages += 1;
+        }
+    }
+
+    /// Closes the outage window; requests are served again. Idempotent.
+    pub fn restore(&mut self) {
+        if self.fault.down {
+            self.fault.down = false;
+            self.fault.stats.restores += 1;
+        }
+    }
+
+    /// Sets the slow-spindle factor: disk service time is multiplied by
+    /// `factor` (1.0 restores the nominal rate; 4.0 models a drive limping
+    /// at a quarter of its throughput).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    pub fn set_slow_factor(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "slow factor must be finite and positive"
+        );
+        if factor != 1.0 && factor != self.fault.slow_factor {
+            self.fault.stats.slowdowns += 1;
+        }
+        self.fault.slow_factor = factor;
     }
 
     /// Number of objects held.
@@ -244,10 +353,22 @@ impl BackendStore {
         );
     }
 
+    /// Disk service time for `bytes`, scaled by the slow-spindle factor.
+    /// The nominal (1.0) path returns the model's time untouched so that
+    /// fault-free runs are bit-for-bit identical.
+    fn disk_time(&self, bytes: ByteSize) -> SimDuration {
+        let t = self.config.disk.service_time(bytes);
+        if self.fault.slow_factor == 1.0 {
+            t
+        } else {
+            SimDuration::from_secs_f64(t.as_secs_f64() * self.fault.slow_factor)
+        }
+    }
+
     fn service(&mut self, op: &'static str, bytes: ByteSize) -> SimTime {
         let now = self.clock.now();
         let start = self.busy_until.max(now);
-        let disk = self.config.disk.service_time(bytes);
+        let disk = self.disk_time(bytes);
         let net = self.config.network.service_time(bytes);
         let done = start + disk + net;
         self.busy_until = done;
@@ -260,8 +381,13 @@ impl BackendStore {
     ///
     /// # Errors
     ///
-    /// [`BackendError::UnknownObject`] if absent.
+    /// * [`BackendError::Unavailable`] — outage window open (no charge).
+    /// * [`BackendError::UnknownObject`] — absent.
     pub fn read(&mut self, key: ObjectKey) -> Result<FetchedObject, BackendError> {
+        if self.fault.down {
+            self.fault.stats.rejected_while_down += 1;
+            return Err(BackendError::Unavailable);
+        }
         let (size, bytes) = {
             let obj = self
                 .objects
@@ -284,6 +410,7 @@ impl BackendStore {
     ///
     /// # Errors
     ///
+    /// * [`BackendError::Unavailable`] — outage window open (no charge).
     /// * [`BackendError::EmptyObject`] — zero size.
     /// * [`BackendError::PayloadSizeMismatch`] — payload/size disagreement.
     pub fn write(
@@ -292,6 +419,10 @@ impl BackendStore {
         size: ByteSize,
         bytes: Option<Bytes>,
     ) -> Result<SimTime, BackendError> {
+        if self.fault.down {
+            self.fault.stats.rejected_while_down += 1;
+            return Err(BackendError::Unavailable);
+        }
         if size.is_zero() {
             return Err(BackendError::EmptyObject);
         }
@@ -335,6 +466,10 @@ impl BackendStore {
         size: ByteSize,
         bytes: Option<Bytes>,
     ) -> Result<SimTime, BackendError> {
+        if self.fault.down {
+            self.fault.stats.rejected_while_down += 1;
+            return Err(BackendError::Unavailable);
+        }
         if size.is_zero() {
             return Err(BackendError::EmptyObject);
         }
@@ -357,8 +492,7 @@ impl BackendStore {
         );
         let now = self.clock.now();
         let start = self.busy_until.max(now);
-        let done =
-            start + self.config.disk.service_time(size) + self.config.network.service_time(size);
+        let done = start + self.disk_time(size) + self.config.network.service_time(size);
         self.busy_until = done;
         self.stats.writes += 1;
         self.stats.bytes_written += size.as_bytes();
@@ -486,5 +620,131 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn insert_zero_size_panics() {
         store().insert(key(1), ByteSize::ZERO, None);
+    }
+
+    #[test]
+    fn write_background_occupies_the_disk_without_advancing_the_clock() {
+        let mut s = store();
+        let now = s.clock.now();
+        let done = s
+            .write_background(key(1), ByteSize::from_mib(10), None)
+            .unwrap();
+        assert_eq!(s.clock.now(), now, "the caller is not waiting");
+        assert_eq!(s.busy_until(), done);
+        assert!(!s.is_idle_at(now));
+        assert_eq!(s.version_of(key(1)), Some(1));
+        assert_eq!(s.stats().writes, 1);
+        assert_eq!(s.stats().bytes_written, 10 << 20);
+        // A foreground read queues behind the background write.
+        s.insert(key(2), ByteSize::from_kib(4), None);
+        let fetched = s.read(key(2)).unwrap();
+        assert!(fetched.completed_at >= done);
+    }
+
+    #[test]
+    fn write_background_validates_like_write() {
+        let mut s = store();
+        assert_eq!(
+            s.write_background(key(1), ByteSize::ZERO, None)
+                .unwrap_err(),
+            BackendError::EmptyObject
+        );
+        let bytes = Bytes::from_static(b"0123456789");
+        assert_eq!(
+            s.write_background(key(1), ByteSize::from_bytes(5), Some(bytes))
+                .unwrap_err(),
+            BackendError::PayloadSizeMismatch {
+                declared: 5,
+                payload: 10
+            }
+        );
+        assert_eq!(s.stats().writes, 0);
+        assert!(s.is_idle_at(s.clock.now()));
+    }
+
+    #[test]
+    fn outage_rejects_every_path_without_charge() {
+        let mut s = store();
+        s.insert(key(1), ByteSize::from_mib(1), None);
+        s.fail();
+        assert!(s.is_down());
+        let before = s.clock.now();
+        assert_eq!(s.read(key(1)).unwrap_err(), BackendError::Unavailable);
+        assert_eq!(
+            s.write(key(1), ByteSize::from_mib(1), None).unwrap_err(),
+            BackendError::Unavailable
+        );
+        assert_eq!(
+            s.write_background(key(1), ByteSize::from_mib(1), None)
+                .unwrap_err(),
+            BackendError::Unavailable
+        );
+        assert_eq!(s.clock.now(), before, "rejections are free");
+        assert_eq!(s.stats(), BackendStats::default());
+        assert_eq!(s.version_of(key(1)), Some(0), "no write landed");
+        assert_eq!(s.fault().stats().rejected_while_down, 3);
+
+        s.restore();
+        assert!(!s.is_down());
+        assert!(s.read(key(1)).is_ok());
+        let fs = s.fault().stats();
+        assert_eq!((fs.outages, fs.restores), (1, 1));
+    }
+
+    #[test]
+    fn fail_and_restore_are_idempotent() {
+        let mut s = store();
+        s.fail();
+        s.fail();
+        s.restore();
+        s.restore();
+        let fs = s.fault().stats();
+        assert_eq!((fs.outages, fs.restores), (1, 1));
+    }
+
+    #[test]
+    fn slow_spindle_scales_disk_time() {
+        let mut nominal = store();
+        nominal.insert(key(1), ByteSize::from_mib(120), None);
+        let t0 = nominal.clock.now();
+        let base = nominal
+            .read(key(1))
+            .unwrap()
+            .completed_at
+            .saturating_since(t0);
+
+        let mut slow = store();
+        slow.insert(key(1), ByteSize::from_mib(120), None);
+        slow.set_slow_factor(4.0);
+        let t0 = slow.clock.now();
+        let degraded = slow.read(key(1)).unwrap().completed_at.saturating_since(t0);
+
+        // Disk time dominates a 120 MiB HDD read, so 4x spindle slowdown
+        // is close to 4x total.
+        assert!(
+            degraded.as_nanos() > base.as_nanos() * 3,
+            "{degraded} vs {base}"
+        );
+        assert_eq!(slow.fault().stats().slowdowns, 1);
+
+        // Back to nominal: the same-size read costs exactly what a fresh
+        // store charges (the 1.0 path is untouched by fault plumbing).
+        slow.set_slow_factor(1.0);
+        let mut fresh = store();
+        fresh.insert(key(2), ByteSize::from_mib(10), None);
+        slow.insert(key(2), ByteSize::from_mib(10), None);
+        let slow_start = slow.busy_until().max(slow.clock.now());
+        let a = fresh.read(key(2)).unwrap();
+        let b = slow.read(key(2)).unwrap();
+        assert_eq!(
+            a.completed_at.saturating_since(SimTime::ZERO),
+            b.completed_at.saturating_since(slow_start),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn slow_factor_rejects_nonsense() {
+        store().set_slow_factor(0.0);
     }
 }

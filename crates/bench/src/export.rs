@@ -9,7 +9,7 @@
 //!
 //! * [`jsonl`] — machine-readable JSON lines, one record per line, each
 //!   tagged with a `kind` field (`meta`, `totals`, `class`, `layer`,
-//!   `device`, `cache`, `series`). The first line is always the `meta`
+//!   `device`, `cache`, `resilience`, `series`). The first line is always the `meta`
 //!   record carrying [`SCHEMA_VERSION`]; [`validate_jsonl`] checks a
 //!   document against this schema (the CI smoke job runs it on a real
 //!   `exp_normal_run --trace` output).
@@ -29,11 +29,21 @@ use serde::{DeError, Deserialize, Serialize, Value};
 /// gains, loses, or renames a field. v2 added the crash-consistency
 /// counters (`journal_appends`, `checkpoint_count`, `replayed_records`,
 /// `torn_tail_detected`, `recovery_duration_us`) to `totals`/`series`.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3 added the singleton `resilience` record (health machine, degraded
+/// service counters, rebuild-throttle activity, per-class
+/// time-to-restored-redundancy).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The record kinds a JSON-lines document may contain.
-pub const RECORD_KINDS: [&str; 7] = [
-    "meta", "totals", "class", "layer", "device", "cache", "series",
+pub const RECORD_KINDS: [&str; 8] = [
+    "meta",
+    "totals",
+    "class",
+    "layer",
+    "device",
+    "cache",
+    "resilience",
+    "series",
 ];
 
 /// Everything one run exports (see the module docs).
@@ -51,6 +61,8 @@ pub struct RunReport {
     pub devices: Vec<DeviceReport>,
     /// Cache-manager policy counters.
     pub cache: reo_cache::CacheStats,
+    /// Health machine, degraded-mode, and rebuild-QoS counters.
+    pub resilience: reo_core::ResilienceSnapshot,
     /// Periodic samples (empty unless the plan set `sample_every`).
     pub series: Vec<TimeSeriesPoint>,
     /// Space efficiency at the end of the run.
@@ -72,6 +84,7 @@ pub fn collect_run_report(
         breakdown: system.tracer().breakdown(),
         devices: system.device_stats(),
         cache: system.cache_stats(),
+        resilience: system.resilience(),
         series: result.series.clone(),
         space_efficiency: result.space_efficiency,
     }
@@ -103,6 +116,10 @@ fn rec(kind: &str, fields: Vec<(&str, Value)>) -> Value {
 
 fn u(v: u64) -> Value {
     Value::U(v as u128)
+}
+
+fn i(v: i64) -> Value {
+    Value::I(v as i128)
 }
 
 fn f(v: f64) -> Value {
@@ -229,6 +246,24 @@ fn records(report: &RunReport) -> Vec<Value> {
             ("demotions", u(report.cache.demotions)),
         ],
     ));
+    let r = &report.resilience;
+    out.push(rec(
+        "resilience",
+        vec![
+            ("health", s(&r.health)),
+            ("health_transitions", u(r.health_transitions)),
+            ("shed_requests", u(r.shed_requests)),
+            ("write_throughs", u(r.write_throughs)),
+            ("bypassed_fills", u(r.bypassed_fills)),
+            ("rejected_events", u(r.rejected_events)),
+            ("throttle_stalls", u(r.throttle_stalls)),
+            ("rebuild_throttle_bytes", u(r.rebuild_throttle_bytes)),
+            ("ttr_metadata_us", i(r.ttr_us[0])),
+            ("ttr_dirty_us", i(r.ttr_us[1])),
+            ("ttr_hot_clean_us", i(r.ttr_us[2])),
+            ("ttr_cold_clean_us", i(r.ttr_us[3])),
+        ],
+    ));
     for point in &report.series {
         let mut fields = vec![
             ("at_request", u(point.at_request as u64)),
@@ -333,15 +368,28 @@ fn required_numbers(kind: &str) -> &'static [&'static str] {
             "promotions",
             "demotions",
         ],
+        "resilience" => &[
+            "health_transitions",
+            "shed_requests",
+            "write_throughs",
+            "bypassed_fills",
+            "rejected_events",
+            "throttle_stalls",
+            "rebuild_throttle_bytes",
+            "ttr_metadata_us",
+            "ttr_dirty_us",
+            "ttr_hot_clean_us",
+            "ttr_cold_clean_us",
+        ],
         _ => &[],
     }
 }
 
 /// Validates a JSON-lines document against the exporter schema:
 /// every line parses as an object with a known `kind`, the first record
-/// is `meta` with the current [`SCHEMA_VERSION`], `totals` and `cache`
-/// appear exactly once, and each record carries its kind's required
-/// fields.
+/// is `meta` with the current [`SCHEMA_VERSION`], `totals`, `cache`, and
+/// `resilience` appear exactly once, and each record carries its kind's
+/// required fields.
 ///
 /// # Errors
 ///
@@ -389,6 +437,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
             }
             "class" => require_string(map, "class", line)?,
             "layer" => require_string(map, "layer", line)?,
+            "resilience" => require_string(map, "health", line)?,
             _ => {}
         }
         for field in required_numbers(&kind) {
@@ -400,7 +449,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
     if summary.records == 0 {
         return Err("empty document".to_string());
     }
-    for singleton in ["totals", "cache"] {
+    for singleton in ["totals", "cache", "resilience"] {
         match summary.kinds.get(singleton).copied().unwrap_or(0) {
             1 => {}
             n => {
@@ -529,6 +578,30 @@ pub fn render_summary(report: &RunReport) -> String {
         "\ncache policy: admissions {}  refreshes {}  removals {}  promotions {}  demotions {}",
         c.admissions, c.refreshes, c.removals, c.promotions, c.demotions,
     );
+
+    let r = &report.resilience;
+    let ttr = |us: i64| -> String {
+        if us < 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}ms", us as f64 / 1e3)
+        }
+    };
+    let _ = writeln!(
+        out,
+        "resilience: health {}  transitions {}  shed {}  write-through {}  bypassed fills {}  rejected events {}",
+        r.health, r.health_transitions, r.shed_requests, r.write_throughs, r.bypassed_fills, r.rejected_events,
+    );
+    let _ = writeln!(
+        out,
+        "rebuild QoS: stalls {}  throttled {:.1} MiB  ttr meta {} / dirty {} / hot {} / cold {}",
+        r.throttle_stalls,
+        r.rebuild_throttle_bytes as f64 / (1024.0 * 1024.0),
+        ttr(r.ttr_us[0]),
+        ttr(r.ttr_us[1]),
+        ttr(r.ttr_us[2]),
+        ttr(r.ttr_us[3]),
+    );
     out
 }
 
@@ -575,6 +648,7 @@ mod tests {
         assert_eq!(summary.kinds["meta"], 1);
         assert_eq!(summary.kinds["totals"], 1);
         assert_eq!(summary.kinds["cache"], 1);
+        assert_eq!(summary.kinds["resilience"], 1);
         assert_eq!(summary.kinds["device"], 5);
         assert_eq!(summary.kinds["series"], 3);
         assert!(
@@ -634,9 +708,32 @@ mod tests {
             "class",
             "device",
             "cache policy:",
+            "resilience: health healthy",
+            "rebuild QoS:",
         ] {
             assert!(text.contains(needle), "summary missing `{needle}`:\n{text}");
         }
+    }
+
+    #[test]
+    fn resilience_record_reports_faults_when_they_happen() {
+        let trace = WorkloadSpec::medium()
+            .with_objects(60)
+            .with_requests(600)
+            .generate(9);
+        let mut system = crate::build_system(
+            SchemeConfig::Reo { reserve: 0.20 },
+            &trace,
+            0.2,
+            ByteSize::from_kib(32),
+        );
+        let plan = ExperimentPlan::second_failure_during_rebuild(100, 200, 300);
+        let result = ExperimentRunner::run(&mut system, &trace, &plan);
+        let report = collect_run_report("cascade_unit", "Reo-20%", &system, &result);
+        assert!(report.resilience.health_transitions > 0);
+        let text = jsonl(&report);
+        validate_jsonl(&text).expect("faulted run still validates");
+        assert!(text.contains("\"kind\":\"resilience\""));
     }
 
     #[test]

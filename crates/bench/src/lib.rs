@@ -32,9 +32,10 @@ pub enum RunScale {
 }
 
 impl RunScale {
-    /// Parses `--quick` from the process arguments.
+    /// Parses `--quick` (or its CI alias `--smoke`) from the process
+    /// arguments.
     pub fn from_args() -> RunScale {
-        if std::env::args().any(|a| a == "--quick") {
+        if std::env::args().any(|a| a == "--quick" || a == "--smoke") {
             RunScale::Quick
         } else {
             RunScale::Full

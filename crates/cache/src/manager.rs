@@ -56,6 +56,13 @@ pub struct CacheStats {
     pub promotions: u64,
     /// Periodic reclassifications out of [`ObjectClass::HotClean`].
     pub demotions: u64,
+    /// Dirty writes redirected straight to the backend because the cache
+    /// could not meet the Dirty class's redundancy requirement (degraded
+    /// write-through mode).
+    pub write_throughs: u64,
+    /// Clean-miss fills skipped because the array was rebuilding (the
+    /// read was served from the backend without admission).
+    pub bypassed_fills: u64,
 }
 
 /// A class change the manager wants shipped to the object storage as a
@@ -117,6 +124,18 @@ impl CacheManager {
     /// Cumulative policy counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Counts one degraded-mode write-through (a dirty write the cache
+    /// declined because Dirty-class redundancy could not be met).
+    pub fn note_write_through(&mut self) {
+        self.stats.write_throughs += 1;
+    }
+
+    /// Counts one bypassed miss-fill (a clean read served from the
+    /// backend without admission while the array was rebuilding).
+    pub fn note_bypassed_fill(&mut self) {
+        self.stats.bypassed_fills += 1;
     }
 
     /// Updates the topology-dependent parameters after device failures or

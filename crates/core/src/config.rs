@@ -149,6 +149,13 @@ pub struct SystemConfig {
     /// requests; `0` restricts checkpoints to startup and recovery, so
     /// replay cost grows with the whole history.
     pub checkpoint_period: usize,
+    /// Cap rebuild traffic at this percentage of one device's read
+    /// throughput (the rebuild QoS token bucket). `0` disables the
+    /// throttle entirely — rebuilds run as fast as the recovery batch
+    /// allows, the pre-throttle behaviour. When the foreground (flash
+    /// array and backend) is idle the throttle adaptively opens to the
+    /// full device rate regardless of the cap.
+    pub rebuild_bandwidth_pct: u32,
 }
 
 impl SystemConfig {
@@ -187,6 +194,7 @@ impl SystemConfig {
             scrub_budget: 8,
             fsync_interval: 32,
             checkpoint_period: 10_000,
+            rebuild_bandwidth_pct: 0,
         }
     }
 

@@ -62,6 +62,6 @@ pub use metrics::{ClassSnapshot, Metrics, MetricsSnapshot, RequestSample, CLASS_
 pub use runner::{
     EventOutcome, ExperimentPlan, ExperimentResult, ExperimentRunner, PlannedEvent, TimeSeriesPoint,
 };
-pub use system::{CacheSystem, RequestOutcome, SystemRecovery};
+pub use system::{CacheSystem, HealthState, RequestOutcome, ResilienceSnapshot, SystemRecovery};
 
 pub use reo_flashsim::{DeviceId, DeviceReport};

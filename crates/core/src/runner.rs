@@ -39,6 +39,19 @@ pub enum PlannedEvent {
     /// Turn on the background scrubber (see
     /// [`CacheSystem::enable_scrubber`]).
     StartScrub,
+    /// Take the backend server offline: misses, flushes, and write-through
+    /// fallbacks start failing until [`PlannedEvent::RestoreBackend`].
+    FailBackend,
+    /// Bring the backend server back after a [`PlannedEvent::FailBackend`]
+    /// outage.
+    RestoreBackend,
+    /// Scale the backend spindle's service times to `factor_pct` percent
+    /// of nominal cost (e.g. `400` = 4x slower; `100` restores full
+    /// speed).
+    SlowBackend {
+        /// Service-time multiplier in percent (must be positive).
+        factor_pct: u32,
+    },
     /// Sudden power loss followed by an immediate restart recovery: DRAM
     /// state vanishes (with a randomized torn journal tail drawn from the
     /// fault plan), then [`CacheSystem::recover`] replays checkpoint +
@@ -87,6 +100,42 @@ impl ExperimentPlan {
                 .collect(),
             ..Default::default()
         }
+    }
+
+    /// Adds one event at request index `at`, keeping the schedule sorted
+    /// (events already scheduled at the same index stay ahead of the new
+    /// one). The composition brick the cascade plans are built from.
+    pub fn with_event(mut self, at: usize, event: PlannedEvent) -> Self {
+        let insert_at = self.events.partition_point(|&(i, _)| i <= at);
+        self.events.insert(insert_at, (at, event));
+        self
+    }
+
+    /// The cascading-failure schedule of the ISSUE: fail a device, insert
+    /// a spare (starting the rebuild), then fail a *second* device while
+    /// the rebuild is still draining. Within the scheme's tolerance the
+    /// rebuild must complete; beyond it the system degrades to backend
+    /// serving — never a panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fail_at < spare_at < second_at`.
+    pub fn second_failure_during_rebuild(
+        fail_at: usize,
+        spare_at: usize,
+        second_at: usize,
+    ) -> Self {
+        assert!(
+            fail_at < spare_at && spare_at < second_at,
+            "cascade events must be ordered: fail {fail_at} < spare {spare_at} < second {second_at}"
+        );
+        ExperimentPlan {
+            warmup_passes: 1,
+            ..Default::default()
+        }
+        .with_event(fail_at, PlannedEvent::FailDevice(DeviceId(0)))
+        .with_event(spare_at, PlannedEvent::InsertSpare(DeviceId(0)))
+        .with_event(second_at, PlannedEvent::FailDevice(DeviceId(1)))
     }
 }
 
@@ -166,6 +215,11 @@ fn apply_event(system: &mut CacheSystem, event: PlannedEvent, failed: &mut usize
             system.slow_device(device, f64::from(factor_pct) / 100.0);
         }
         PlannedEvent::StartScrub => system.enable_scrubber(),
+        PlannedEvent::FailBackend => system.fail_backend(),
+        PlannedEvent::RestoreBackend => system.restore_backend(),
+        PlannedEvent::SlowBackend { factor_pct } => {
+            system.slow_backend(f64::from(factor_pct) / 100.0);
+        }
         PlannedEvent::Crash => {
             system.crash();
             system
@@ -460,5 +514,72 @@ mod tests {
             "5% chunk corruption over 450 requests must surface"
         );
         assert!(result.totals.scrub_passes > 0, "scrubber ran");
+    }
+
+    #[test]
+    fn with_event_keeps_the_schedule_sorted() {
+        let plan = ExperimentPlan::normal_run()
+            .with_event(300, PlannedEvent::FailBackend)
+            .with_event(100, PlannedEvent::FailDevice(DeviceId(0)))
+            .with_event(300, PlannedEvent::RestoreBackend)
+            .with_event(200, PlannedEvent::SlowBackend { factor_pct: 400 });
+        let indices: Vec<usize> = plan.events.iter().map(|&(i, _)| i).collect();
+        assert_eq!(indices, vec![100, 200, 300, 300]);
+        // Equal indices preserve insertion order: FailBackend fired first.
+        assert_eq!(plan.events[2].1, PlannedEvent::FailBackend);
+        assert_eq!(plan.events[3].1, PlannedEvent::RestoreBackend);
+    }
+
+    #[test]
+    fn backend_outage_events_drive_degraded_service() {
+        let t = trace();
+        let mut sys = system(SchemeConfig::Reo { reserve: 0.20 }, &t);
+        let plan = ExperimentPlan {
+            warmup_passes: 1,
+            ..Default::default()
+        }
+        .with_event(100, PlannedEvent::SlowBackend { factor_pct: 300 })
+        .with_event(200, PlannedEvent::FailBackend)
+        .with_event(400, PlannedEvent::RestoreBackend);
+        let result = ExperimentRunner::run(&mut sys, &t, &plan);
+        assert_eq!(result.events.len(), 3);
+        // Backend faults never touch the flash-device failure count.
+        assert!(result.events.iter().all(|e| e.failed_devices_after == 0));
+        let snap = sys.resilience();
+        assert!(
+            sys.backend().fault().stats().outages == 1
+                && sys.backend().fault().stats().restores == 1,
+            "outage window opened and closed"
+        );
+        assert_eq!(snap.health, "healthy", "restored backend heals the system");
+        assert_eq!(sys.dirty_data_lost(), 0);
+    }
+
+    #[test]
+    fn cascade_plan_composes_the_second_failure() {
+        let plan = ExperimentPlan::second_failure_during_rebuild(100, 200, 300);
+        assert_eq!(plan.warmup_passes, 1);
+        assert_eq!(
+            plan.events,
+            vec![
+                (100, PlannedEvent::FailDevice(DeviceId(0))),
+                (200, PlannedEvent::InsertSpare(DeviceId(0))),
+                (300, PlannedEvent::FailDevice(DeviceId(1))),
+            ]
+        );
+
+        let t = trace();
+        let mut sys = system(SchemeConfig::Reo { reserve: 0.20 }, &t);
+        let result = ExperimentRunner::run(&mut sys, &t, &plan);
+        assert_eq!(result.events.len(), 3);
+        assert_eq!(result.events[2].failed_devices_after, 1);
+        // The run must end without a panic and without losing dirty data.
+        assert_eq!(result.dirty_data_lost, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ordered")]
+    fn cascade_plan_rejects_unordered_indices() {
+        let _ = ExperimentPlan::second_failure_during_rebuild(200, 100, 300);
     }
 }

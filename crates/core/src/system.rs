@@ -1,13 +1,13 @@
 //! The closed-loop cache server.
 
-use reo_backend::BackendStore;
+use reo_backend::{BackendError, BackendStore};
 use reo_cache::{CacheConfig, CacheManager};
 use reo_flashsim::{DeviceId, FaultPlan, FlashArray};
 use reo_journal::{CrashOutcome, Journal};
 use reo_osd::control::ControlMessage;
 use reo_osd::{ObjectClass, ObjectKey, SenseCode};
 use reo_osd_target::{OsdTarget, RecoveryOutcome, TargetError, TargetRecovery};
-use reo_sim::{ByteSize, Layer, SimClock, SimDuration, SimTime, Tracer};
+use reo_sim::{ByteSize, Layer, SimClock, SimDuration, SimTime, TokenBucket, Tracer};
 use reo_stripe::StripeManager;
 use reo_workload::{Operation, Request, WorkloadObject};
 
@@ -26,6 +26,79 @@ pub struct RequestOutcome {
     pub latency: SimDuration,
     /// Completion instant.
     pub completed_at: SimTime,
+    /// The T10 sense code of the completion: [`SenseCode::Success`] on the
+    /// normal path, [`SenseCode::RecoveredError`] for degraded serving,
+    /// [`SenseCode::MediumError`] when the cache copy was unusable and the
+    /// backend served instead, [`SenseCode::NotReady`] when the request
+    /// was shed because neither tier could serve it (never a panic).
+    pub sense: SenseCode,
+}
+
+/// The cache server's overall health, derived from device failures, the
+/// rebuild queue, and backend reachability (the cascading-failure state
+/// machine; see DESIGN.md §9 for the transition table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// All devices healthy, backend reachable, nothing queued for rebuild.
+    Healthy,
+    /// Serving with reduced margins: `n` cache devices are failed (and/or
+    /// the backend is down, with the cache fully covering; that edge is
+    /// `Degraded(0)`), but every class still meets its redundancy floor.
+    Degraded(usize),
+    /// A spare is in and the rebuild queue is draining back toward
+    /// [`HealthState::Healthy`].
+    Recovering,
+    /// The cache can no longer meet Dirty-class redundancy (or is offline
+    /// entirely): dirty writes go straight to the backend, reads fall back
+    /// on a miss. Service continues through the backend.
+    ReadOnly,
+    /// The cache is unusable *and* the backend is down: requests are shed
+    /// with [`SenseCode::NotReady`] — never a panic or a silent wrong
+    /// answer.
+    Unavailable,
+}
+
+impl HealthState {
+    /// A stable lowercase label for export ("healthy", "degraded(2)", …).
+    pub fn label(&self) -> String {
+        match self {
+            HealthState::Healthy => "healthy".to_string(),
+            HealthState::Degraded(n) => format!("degraded({n})"),
+            HealthState::Recovering => "recovering".to_string(),
+            HealthState::ReadOnly => "read-only".to_string(),
+            HealthState::Unavailable => "unavailable".to_string(),
+        }
+    }
+}
+
+/// Point-in-time resilience counters: the health machine, degraded-mode
+/// decisions, rebuild-throttle activity, and per-class
+/// time-to-restored-redundancy. Exported as the JSONL `resilience` record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResilienceSnapshot {
+    /// Current [`HealthState`] label.
+    pub health: String,
+    /// Health-state transitions observed since construction.
+    pub health_transitions: u64,
+    /// Requests shed with [`SenseCode::NotReady`] (cache unusable and
+    /// backend down).
+    pub shed_requests: u64,
+    /// Dirty writes redirected to the backend in degraded write-through
+    /// mode.
+    pub write_throughs: u64,
+    /// Clean-miss fills bypassed while the array was rebuilding.
+    pub bypassed_fills: u64,
+    /// Planned events rejected as no-ops (failing an already-failed
+    /// device, sparing a healthy slot).
+    pub rejected_events: u64,
+    /// Rebuild batches stalled by an empty token bucket.
+    pub throttle_stalls: u64,
+    /// Bytes of rebuild traffic charged against the throttle.
+    pub rebuild_throttle_bytes: u64,
+    /// Per-class time-to-restored-redundancy of the latest completed
+    /// rebuild episode, microseconds, indexed by class id (metadata,
+    /// dirty, hot clean, cold clean); `-1` while not (yet) restored.
+    pub ttr_us: [i64; 4],
 }
 
 /// What one restart recovery ([`CacheSystem::recover`]) did.
@@ -72,6 +145,27 @@ pub struct CacheSystem {
     /// Journal counters (`appends`, `checkpoints`) already folded into the
     /// metrics — the delta base.
     journal_stats_seen: (u64, u64),
+    /// The derived health state as of the last reconciliation.
+    health: HealthState,
+    /// Health-state transitions observed.
+    health_transitions: u64,
+    /// Requests shed with `NotReady` (neither tier could serve).
+    shed_requests: u64,
+    /// Planned events rejected as defensive no-ops.
+    rejected_events: u64,
+    /// The rebuild QoS token bucket, present while a throttled rebuild
+    /// episode is in flight (config `rebuild_bandwidth_pct > 0`).
+    throttle: Option<TokenBucket>,
+    /// Rebuild batches stalled by an empty bucket.
+    throttle_stalls: u64,
+    /// Bytes of rebuild traffic charged against the bucket.
+    rebuild_tokens_consumed: u64,
+    /// Start instant of the in-flight rebuild episode (set by
+    /// `insert_spare`, cleared by a further `fail_device`).
+    rebuild_started_at: Option<SimTime>,
+    /// Per-class instants at which the rebuild queue drained, indexed by
+    /// class id — the time-to-restored-redundancy ledger.
+    redundancy_restored_at: [Option<SimTime>; 4],
 }
 
 impl CacheSystem {
@@ -128,6 +222,15 @@ impl CacheSystem {
             flash_bytes_seen: (0, 0),
             backend_bytes_seen: (0, 0),
             journal_stats_seen: (0, 0),
+            health: HealthState::Healthy,
+            health_transitions: 0,
+            shed_requests: 0,
+            rejected_events: 0,
+            throttle: None,
+            throttle_stalls: 0,
+            rebuild_tokens_consumed: 0,
+            rebuild_started_at: None,
+            redundancy_restored_at: [None; 4],
         }
     }
 
@@ -216,6 +319,106 @@ impl CacheSystem {
         self.dirty_data_lost
     }
 
+    /// The current health state (reconciled after every request and every
+    /// fault event).
+    pub fn health(&self) -> HealthState {
+        self.health
+    }
+
+    /// Point-in-time resilience counters for export and assertions.
+    pub fn resilience(&self) -> ResilienceSnapshot {
+        let cache_stats = self.cache.stats();
+        let mut ttr_us = [-1i64; 4];
+        if let Some(started) = self.rebuild_started_at {
+            for (slot, restored) in ttr_us.iter_mut().zip(self.redundancy_restored_at) {
+                if let Some(at) = restored {
+                    *slot = (at.saturating_since(started).as_nanos() / 1_000) as i64;
+                }
+            }
+        }
+        ResilienceSnapshot {
+            health: self.health.label(),
+            health_transitions: self.health_transitions,
+            shed_requests: self.shed_requests,
+            write_throughs: cache_stats.write_throughs,
+            bypassed_fills: cache_stats.bypassed_fills,
+            rejected_events: self.rejected_events,
+            throttle_stalls: self.throttle_stalls,
+            rebuild_throttle_bytes: self.rebuild_tokens_consumed,
+            ttr_us,
+        }
+    }
+
+    /// `true` while the cache can still give a freshly written dirty
+    /// object the redundancy its class requires. Under differentiated
+    /// protection dirty data is replicated, which takes at least two
+    /// healthy devices; uniform schemes manage the array as one group, so
+    /// the requirement holds exactly while the array is within tolerance
+    /// (not offline).
+    fn dirty_redundancy_met(&self) -> bool {
+        if self.offline {
+            return false;
+        }
+        if self.config.scheme.is_differentiated() {
+            self.config
+                .devices
+                .saturating_sub(self.target.failed_devices())
+                >= 2
+        } else {
+            true
+        }
+    }
+
+    /// Derives the health state from the ground truth (failure counts,
+    /// rebuild queue, backend reachability) and counts the transition if
+    /// it changed.
+    fn reconcile_health(&mut self) {
+        let failed = self.target.failed_devices();
+        let cache_unusable = self.offline || !self.dirty_redundancy_met();
+        let next = if cache_unusable {
+            if self.backend.is_down() {
+                HealthState::Unavailable
+            } else {
+                HealthState::ReadOnly
+            }
+        } else if self.backend.is_down() || failed > 0 {
+            HealthState::Degraded(failed)
+        } else if self.target.recovery_pending() > 0 {
+            HealthState::Recovering
+        } else {
+            HealthState::Healthy
+        };
+        if next != self.health {
+            self.health = next;
+            self.health_transitions += 1;
+        }
+    }
+
+    /// Opens a backend outage window (the `FailBackend` planned event):
+    /// every backend request fails with [`BackendError::Unavailable`]
+    /// until [`CacheSystem::restore_backend`]. The cache keeps serving
+    /// hits; misses and dirty evictions are shed or deferred.
+    pub fn fail_backend(&mut self) {
+        self.backend.fail();
+        self.reconcile_health();
+    }
+
+    /// Closes the backend outage window.
+    pub fn restore_backend(&mut self) {
+        self.backend.restore();
+        self.reconcile_health();
+    }
+
+    /// Scales the backend disk's service time (a slow spindle; `1.0`
+    /// restores nominal speed).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    pub fn slow_backend(&mut self, factor: f64) {
+        self.backend.set_slow_factor(factor);
+    }
+
     /// Loads the authoritative data set into the backend (charge-free).
     pub fn populate(&mut self, objects: &[WorkloadObject]) {
         for o in objects {
@@ -264,13 +467,25 @@ impl CacheSystem {
         self.target.transient_retries()
     }
 
-    /// Injects a whole-device failure (the "shootdown" command).
+    /// Injects a whole-device failure (the "shootdown" command). Failing
+    /// an already-failed device is an explicit no-op that bumps the
+    /// rejected-events counter — a duplicate event must not double-count
+    /// damage or corrupt recovery state.
     ///
     /// # Panics
     ///
     /// Panics if `device` is out of range.
     pub fn fail_device(&mut self, device: DeviceId) {
+        if !self.target.array().device(device).is_healthy() {
+            self.rejected_events += 1;
+            return;
+        }
         self.target.fail_device(device);
+        // A further failure aborts any in-flight rebuild episode: the
+        // queue was cleared, and its time-to-restored ledger with it.
+        self.rebuild_started_at = None;
+        self.redundancy_restored_at = [None; 4];
+        self.throttle = None;
         // Dirty objects that just became irrecoverable are permanent loss.
         let lost_dirty: Vec<ObjectKey> = self
             .cache
@@ -298,6 +513,7 @@ impl CacheSystem {
             }
         }
         self.retune_cache_topology();
+        self.reconcile_health();
     }
 
     /// Re-derives the cache manager's capacity and hot-parity overhead
@@ -363,12 +579,18 @@ impl CacheSystem {
 
     /// Replaces a failed device with a blank spare and schedules the
     /// prioritized rebuild. Irrecoverable objects are evicted immediately
-    /// (their next access is a plain miss).
+    /// (their next access is a plain miss). Sparing a *healthy* slot is an
+    /// explicit no-op that bumps the rejected-events counter — the flash
+    /// layer would happily blank the device, silently destroying its data.
     ///
     /// # Panics
     ///
     /// Panics if `device` is out of range.
     pub fn insert_spare(&mut self, device: DeviceId) {
+        if self.target.array().device(device).is_healthy() {
+            self.rejected_events += 1;
+            return;
+        }
         let lost = self.target.insert_spare(device);
         if self.offline {
             if let Some(tolerated) = self.uniform_tolerance() {
@@ -387,11 +609,34 @@ impl CacheSystem {
             let _ = self.target.remove_object(key);
         }
         self.retune_cache_topology();
+        // A fresh rebuild episode begins: reset the time-to-restored
+        // ledger and the throttle bucket (a new episode starts with a full
+        // burst), then stamp classes that have nothing queued — their
+        // redundancy was never lost, so their restore time is zero.
+        self.rebuild_started_at = Some(self.clock.now());
+        self.redundancy_restored_at = [None; 4];
+        self.throttle = None;
+        self.note_redundancy_progress();
+        self.reconcile_health();
     }
 
     /// Rebuilds still queued by the recovery engine.
     pub fn recovery_pending(&self) -> usize {
         self.target.recovery_pending()
+    }
+
+    /// Runs rebuild batches until the queue drains or `max_batches` is
+    /// exhausted (the chaos harness's quiesce step). Returns `true` when
+    /// nothing is left pending.
+    pub fn drain_recovery(&mut self, max_batches: usize) -> bool {
+        for _ in 0..max_batches {
+            if self.target.recovery_pending() == 0 {
+                break;
+            }
+            self.run_recovery_batch(true);
+        }
+        self.reconcile_health();
+        self.target.recovery_pending() == 0
     }
 
     /// Handles one request end to end and records it in the metrics.
@@ -403,11 +648,11 @@ impl CacheSystem {
             self.tracer.begin_request();
         }
 
-        let (hit, degraded, class) = match request.op {
+        let (hit, degraded, class, sense) = match request.op {
             Operation::Read => self.handle_read(request),
             Operation::Write => {
-                let class = self.handle_write(request);
-                (false, false, class)
+                let (class, sense) = self.handle_write(request);
+                (false, false, class, sense)
             }
         };
         let completed_at = self.clock.now();
@@ -447,7 +692,9 @@ impl CacheSystem {
                 .requests_seen
                 .is_multiple_of(self.config.recovery_period.max(1))
         {
-            self.run_recovery_batch();
+            // Request traffic is in flight by construction here, so the
+            // rebuild throttle stays at its configured cap.
+            self.run_recovery_batch(false);
         }
         self.run_flusher();
         if !self.offline
@@ -465,12 +712,25 @@ impl CacheSystem {
         }
         self.sync_fault_metrics();
         self.sync_journal_metrics();
+        self.reconcile_health();
 
         RequestOutcome {
             hit,
             degraded,
             latency,
             completed_at,
+            sense,
+        }
+    }
+
+    /// Maps a backend error onto the T10 sense code the initiator reports:
+    /// an outage is "not ready", a missing object is a medium error (its
+    /// last copy is gone), anything else a generic failure.
+    fn backend_sense(e: &BackendError) -> SenseCode {
+        match e {
+            BackendError::Unavailable => SenseCode::NotReady,
+            BackendError::UnknownObject(_) => SenseCode::MediumError,
+            _ => SenseCode::Failure,
         }
     }
 
@@ -498,22 +758,32 @@ impl CacheSystem {
         )
     }
 
-    fn handle_read(&mut self, request: &Request) -> (bool, bool, Option<ObjectClass>) {
+    fn handle_read(&mut self, request: &Request) -> (bool, bool, Option<ObjectClass>, SenseCode) {
         let key = request.key;
         if self.offline {
             // The caching layer is down: every request goes to the backend.
-            let _ = self
-                .backend
-                .read(key)
-                .expect("workload objects are always populated in the backend");
-            return (false, false, None);
+            // A backend outage on top of that leaves nothing to serve from
+            // — shed with NotReady rather than panic.
+            return match self.backend.read(key) {
+                Ok(_) => (false, false, None, SenseCode::MediumError),
+                Err(e) => {
+                    self.shed_requests += 1;
+                    (false, false, None, Self::backend_sense(&e))
+                }
+            };
         }
+        let mut cache_copy_lost = false;
         if self.cache.contains(key) {
             let class = self.target.class_of(key);
             match self.target.read_object(key) {
                 Ok(outcome) => {
                     self.cache.record_access(key);
-                    return (true, outcome.degraded, class);
+                    let sense = if outcome.degraded {
+                        SenseCode::RecoveredError
+                    } else {
+                        SenseCode::Success
+                    };
+                    return (true, outcome.degraded, class, sense);
                 }
                 Err(_) => {
                     // Irrecoverable in cache (or dropped by a failed
@@ -523,26 +793,72 @@ impl CacheSystem {
                     // still gets correct bytes; only performance degrades.
                     self.metrics.note_faults(0, 0, 0, 1);
                     self.evict_lost(key);
+                    cache_copy_lost = true;
                 }
             }
         }
-        // Miss: fetch from the backend and admit.
-        let fetched = self
-            .backend
-            .read(key)
-            .expect("workload objects are always populated in the backend");
-        self.admit(key, fetched.size, false);
-        (false, false, None)
+        // Miss: fetch from the backend and admit — unless the array is
+        // rebuilding, in which case the fill is bypassed so rebuild and
+        // on-demand traffic do not also compete with fill writes.
+        let fetched = match self.backend.read(key) {
+            Ok(f) => f,
+            Err(e) => {
+                self.shed_requests += 1;
+                return (false, false, None, Self::backend_sense(&e));
+            }
+        };
+        if self.target.recovery_pending() > 0 {
+            self.cache.note_bypassed_fill();
+        } else {
+            self.admit(key, fetched.size, false);
+        }
+        let sense = if cache_copy_lost {
+            SenseCode::MediumError
+        } else {
+            SenseCode::Success
+        };
+        (false, false, None, sense)
     }
 
     /// Returns the class that absorbed the write (`None` when it went
-    /// straight through to the backend).
-    fn handle_write(&mut self, request: &Request) -> Option<ObjectClass> {
+    /// straight through to the backend) and the completion sense code.
+    fn handle_write(&mut self, request: &Request) -> (Option<ObjectClass>, SenseCode) {
         let key = request.key;
         if self.offline {
             // No cache to absorb the write: write through to the backend.
-            let _ = self.backend.write(key, request.size, None);
-            return None;
+            return match self.backend.write(key, request.size, None) {
+                Ok(_) => {
+                    self.cache.note_write_through();
+                    (None, SenseCode::Success)
+                }
+                Err(e) => {
+                    // Neither tier can take the write: shed, unacked.
+                    self.shed_requests += 1;
+                    (None, Self::backend_sense(&e))
+                }
+            };
+        }
+        if !self.dirty_redundancy_met() {
+            // Degraded write-through mode: the cache cannot give a new
+            // dirty object the redundancy its class requires, so the
+            // write's durable home is the backend. The backend write is
+            // acknowledged *before* any cached (now stale) copy is
+            // dropped, so a backend outage here sheds the new write
+            // without losing the previously acknowledged contents.
+            return match self.backend.write(key, request.size, None) {
+                Ok(_) => {
+                    self.cache.note_write_through();
+                    if self.cache.contains(key) {
+                        self.cache.remove(key);
+                        let _ = self.target.remove_object(key);
+                    }
+                    (None, SenseCode::Success)
+                }
+                Err(e) => {
+                    self.shed_requests += 1;
+                    (None, Self::backend_sense(&e))
+                }
+            };
         }
         if self.cache.contains(key) {
             // Whole-object overwrite of a cached object: rewrite it in
@@ -558,28 +874,43 @@ impl CacheSystem {
                 // Fast path: the object is already under the dirty
                 // scheme; its chunks were overwritten in place with
                 // per-chunk parity maintenance.
-                return Some(ObjectClass::Dirty);
+                return (Some(ObjectClass::Dirty), SenseCode::Success);
+            }
+            if self.backend.is_down() {
+                // Re-storing replaces the object and may need evictions;
+                // with the backend down neither the write-through fallback
+                // nor dirty evictions can land. Shed the new write rather
+                // than risk destroying the acknowledged copy.
+                self.shed_requests += 1;
+                return (None, SenseCode::NotReady);
             }
             let _ = self.target.remove_object(key);
             if !self.create_with_eviction(key, request.size, ObjectClass::Dirty) {
                 // Could not re-store the new contents: drop the entry and
                 // write straight through so nothing is lost.
                 self.cache.remove(key);
-                let _ = self.backend.write(key, request.size, None);
-                return None;
+                return match self.backend.write(key, request.size, None) {
+                    Ok(_) => (None, SenseCode::Success),
+                    Err(e) => {
+                        self.shed_requests += 1;
+                        (None, Self::backend_sense(&e))
+                    }
+                };
             }
-            Some(ObjectClass::Dirty)
+            (Some(ObjectClass::Dirty), SenseCode::Success)
         } else {
             // Write-allocate: the whole object is overwritten, so no
             // backend read is needed; it lands in cache dirty.
-            self.admit(key, request.size, true);
-            self.target.class_of(key)
+            let sense = self.admit(key, request.size, true);
+            (self.target.class_of(key), sense)
         }
     }
 
     /// Admits an object into the cache (evicting as needed). Bypasses the
-    /// cache if the object cannot fit even when empty.
-    fn admit(&mut self, key: ObjectKey, size: ByteSize, dirty: bool) {
+    /// cache if the object cannot fit even when empty. Returns the sense
+    /// code of the absorption (a dirty object that fits nowhere durable is
+    /// shed with `NotReady`).
+    fn admit(&mut self, key: ObjectKey, size: ByteSize, dirty: bool) -> SenseCode {
         // Admission-time classification: under a generous redundancy
         // reserve a newcomer can be hot (and protected) from the start.
         let class = if self.config.scheme.is_differentiated() {
@@ -591,17 +922,32 @@ impl CacheSystem {
         };
         if self.create_with_eviction(key, size, class) {
             self.cache.insert(key, size, dirty, false);
+            SenseCode::Success
         } else if dirty {
             // Could not cache a dirty object: write it straight through to
             // the backend so nothing is lost.
-            let _ = self.backend.write(key, size, None);
+            match self.backend.write(key, size, None) {
+                Ok(_) => SenseCode::Success,
+                Err(e) => {
+                    self.shed_requests += 1;
+                    Self::backend_sense(&e)
+                }
+            }
+        } else {
+            SenseCode::Success
         }
     }
 
     /// Picks the next eviction victim: the least-recently-used object
     /// other than `protect` (the paper uses plain object-level LRU).
+    /// While the backend is down, dirty entries are unevictable — their
+    /// flush would fail — so the scan skips them.
     fn pick_victim(&self, protect: Option<ObjectKey>) -> Option<ObjectKey> {
-        self.cache.lru_iter().find(|&k| Some(k) != protect)
+        let backend_down = self.backend.is_down();
+        self.cache.lru_iter().find(|&k| {
+            Some(k) != protect
+                && (!backend_down || !self.cache.entry(k).map(|e| e.is_dirty()).unwrap_or(false))
+        })
     }
 
     /// Creates the object on the target, evicting LRU victims until it
@@ -621,7 +967,11 @@ impl CacheSystem {
             match self.target.create_object(key, size, class, None) {
                 Ok(_) => return true,
                 Err(TargetError::CacheFull { .. }) => match self.pick_victim(Some(key)) {
-                    Some(v) => self.evict(v),
+                    Some(v) => {
+                        if !self.evict(v) {
+                            return false;
+                        }
+                    }
                     None => return false,
                 },
                 Err(TargetError::AlreadyExists(_)) => {
@@ -634,14 +984,23 @@ impl CacheSystem {
     }
 
     /// Evicts an object, flushing it to the backend first if dirty
-    /// (write-back).
-    fn evict(&mut self, key: ObjectKey) {
-        if let Some(entry) = self.cache.remove(key) {
-            if entry.is_dirty() {
-                let _ = self.backend.write(key, entry.size(), None);
+    /// (write-back). Returns `false` — leaving the entry untouched — when
+    /// the flush fails (backend outage): an acknowledged dirty object must
+    /// never be dropped unflushed.
+    fn evict(&mut self, key: ObjectKey) -> bool {
+        let dirty_size = self
+            .cache
+            .entry(key)
+            .filter(|e| e.is_dirty())
+            .map(|e| e.size());
+        if let Some(size) = dirty_size {
+            if self.backend.write(key, size, None).is_err() {
+                return false;
             }
         }
+        self.cache.remove(key);
         let _ = self.target.remove_object(key);
+        true
     }
 
     /// Evicts an object whose cache copy is unreadable (no flush possible).
@@ -672,7 +1031,11 @@ impl CacheSystem {
                 let mut guard = 0usize;
                 while self.target.free_capacity() < extra && guard < 1024 {
                     match self.pick_victim(Some(change.key)) {
-                        Some(v) => self.evict(v),
+                        Some(v) => {
+                            if !self.evict(v) {
+                                break;
+                            }
+                        }
                         None => break,
                     }
                     guard += 1;
@@ -706,7 +1069,7 @@ impl CacheSystem {
     /// class's redundancy. Bounded per request so on-demand traffic keeps
     /// priority.
     fn run_flusher(&mut self) {
-        if self.offline {
+        if self.offline || self.backend.is_down() {
             return;
         }
         let watermark = self.config.dirty_flush_watermark.clamp(0.0, 1.0);
@@ -768,13 +1131,82 @@ impl CacheSystem {
     }
 
     /// Runs a bounded batch of background rebuilds (between requests, per
-    /// Section IV-D's on-demand-first rule).
-    fn run_recovery_batch(&mut self) {
+    /// Section IV-D's on-demand-first rule). With a configured
+    /// [`SystemConfig::rebuild_bandwidth_pct`], rebuild traffic is metered
+    /// through a token bucket capped at that share of one device's read
+    /// throughput. `foreground_idle` marks runs with no request traffic to
+    /// protect (the quiesce drain, or a caller that checked
+    /// [`reo_flashsim::FlashArray::is_idle_at`] itself): the throttle
+    /// adaptively opens to the full device rate there.
+    fn run_recovery_batch(&mut self, foreground_idle: bool) {
+        let pct = self.config.rebuild_bandwidth_pct;
+        if pct == 0 || foreground_idle {
+            // Unthrottled: either the throttle is disabled (the pre-QoS
+            // behaviour, and the default) or nobody is waiting.
+            for _ in 0..self.config.recovery_batch.max(1) {
+                match self.target.recover_next() {
+                    None => break,
+                    Some(RecoveryOutcome::Rebuilt(..)) | Some(RecoveryOutcome::Skipped(_)) => {}
+                    Some(RecoveryOutcome::Lost(key)) => self.evict_lost(key),
+                }
+            }
+            self.note_redundancy_progress();
+            return;
+        }
+        let now = self.clock.now();
+        let device_rate = self.config.device.read.bytes_per_sec();
+        let rate = ((device_rate as u128 * pct as u128) / 100).max(1) as u64;
+        // Burst sized to a couple of stripes' worth of chunk traffic: deep
+        // enough to absorb one rebuild's overdraft, shallow enough that a
+        // backlog cannot ride the burst past the cap.
+        let burst = self.config.chunk_size.max(ByteSize::from_kib(64)) * 2;
+        let mut bucket = self
+            .throttle
+            .unwrap_or_else(|| TokenBucket::new(rate, burst, now));
+        bucket.set_rate(rate);
+        bucket.refill(now);
         for _ in 0..self.config.recovery_batch.max(1) {
-            match self.target.recover_next() {
+            if !bucket.has_tokens() {
+                self.throttle_stalls += 1;
+                break;
+            }
+            let before = self.target.array().stats();
+            let outcome = self.target.recover_next();
+            let after = self.target.array().stats();
+            // The cost of one rebuild is only known after performing it;
+            // the bucket absorbs the overdraft and repays it from refills.
+            let moved = after.bytes_read.saturating_sub(before.bytes_read)
+                + after.bytes_written.saturating_sub(before.bytes_written);
+            bucket.charge(ByteSize::from_bytes(moved));
+            self.rebuild_tokens_consumed += moved;
+            match outcome {
                 None => break,
                 Some(RecoveryOutcome::Rebuilt(..)) | Some(RecoveryOutcome::Skipped(_)) => {}
                 Some(RecoveryOutcome::Lost(key)) => self.evict_lost(key),
+            }
+        }
+        self.throttle = Some(bucket);
+        self.note_redundancy_progress();
+    }
+
+    /// Stamps the restore instant of every class whose rebuild queue has
+    /// drained — the per-class time-to-restored-redundancy ledger. No-op
+    /// outside a rebuild episode.
+    fn note_redundancy_progress(&mut self) {
+        if self.rebuild_started_at.is_none() {
+            return;
+        }
+        let now = self.clock.now();
+        let engine = self.target.recovery_engine();
+        for class in [
+            ObjectClass::Metadata,
+            ObjectClass::Dirty,
+            ObjectClass::HotClean,
+            ObjectClass::ColdClean,
+        ] {
+            let idx = class.recovery_priority() as usize;
+            if self.redundancy_restored_at[idx].is_none() && engine.pending_of(class) == 0 {
+                self.redundancy_restored_at[idx] = Some(now);
             }
         }
     }
@@ -858,6 +1290,7 @@ impl CacheSystem {
         self.metrics
             .note_recovery(replayed, report.torn_tail, duration.as_nanos() / 1_000);
         self.sync_journal_metrics();
+        self.reconcile_health();
         Ok(SystemRecovery {
             target: report,
             duration,
@@ -1221,5 +1654,214 @@ mod tests {
             }
         }
         assert_eq!(sys.dirty_data_lost(), 0);
+    }
+
+    #[test]
+    fn redundant_fault_events_are_rejected_not_replayed() {
+        let trace = small_trace(11);
+        let mut sys = system_for(SchemeConfig::Reo { reserve: 0.20 }, &trace, 0.20);
+        for r in trace.requests().iter().take(300) {
+            sys.handle(r);
+        }
+        // Spare into a healthy slot first: nothing must be cleared.
+        let cached = sys.cached_objects();
+        sys.insert_spare(DeviceId(2));
+        assert_eq!(sys.resilience().rejected_events, 1);
+        assert_eq!(sys.cached_objects(), cached, "healthy slot untouched");
+
+        // Fail once, then fail the same device again: the second shot is a
+        // no-op (no double-count, no second recovery reset).
+        sys.fail_device(DeviceId(0));
+        let failed = sys.target().failed_devices();
+        sys.fail_device(DeviceId(0));
+        assert_eq!(sys.resilience().rejected_events, 2);
+        assert_eq!(sys.target().failed_devices(), failed);
+
+        // And the reverse ordering: spare in, then a second spare into the
+        // now-healthy slot is rejected too.
+        sys.insert_spare(DeviceId(0));
+        sys.insert_spare(DeviceId(0));
+        assert_eq!(sys.resilience().rejected_events, 3);
+    }
+
+    #[test]
+    fn health_tracks_failures_rebuild_and_restoration() {
+        let trace = small_trace(12);
+        let mut sys = system_for(SchemeConfig::Reo { reserve: 0.20 }, &trace, 0.20);
+        assert_eq!(sys.health(), HealthState::Healthy);
+        for r in trace.requests().iter().take(300) {
+            sys.handle(r);
+        }
+        sys.fail_device(DeviceId(0));
+        sys.handle(&trace.requests()[300]);
+        assert_eq!(sys.health(), HealthState::Degraded(1));
+
+        sys.insert_spare(DeviceId(0));
+        if sys.recovery_pending() > 0 {
+            assert_eq!(sys.health(), HealthState::Recovering);
+        }
+        assert!(sys.drain_recovery(10_000), "rebuild queue drains");
+        assert_eq!(sys.health(), HealthState::Healthy);
+        assert!(sys.resilience().health_transitions >= 2);
+
+        // Per-class time-to-restored-redundancy is stamped for the
+        // rebuild episode: never negative once an episode completed.
+        let ttr = sys.resilience().ttr_us;
+        assert!(ttr.iter().all(|&t| t >= 0), "ttr = {ttr:?}");
+    }
+
+    #[test]
+    fn backend_outage_degrades_and_sheds_only_what_it_must() {
+        let trace = write_trace(9);
+        let mut sys = system_for(SchemeConfig::Reo { reserve: 0.20 }, &trace, 0.30);
+        for r in trace.requests().iter().take(200) {
+            sys.handle(r);
+        }
+        sys.fail_backend();
+        // Cached reads still work; uncached reads and evict-blocked writes
+        // shed with NotReady instead of panicking or losing acks.
+        let mut served = 0u64;
+        for r in trace.requests().iter().skip(200).take(200) {
+            let out = sys.handle(r);
+            match out.sense {
+                SenseCode::NotReady => {}
+                _ => served += 1,
+            }
+        }
+        assert!(served > 0, "cached objects keep being served");
+        assert!(matches!(
+            sys.health(),
+            HealthState::Degraded(_) | HealthState::Unavailable
+        ));
+        assert_eq!(sys.dirty_data_lost(), 0);
+
+        sys.restore_backend();
+        for r in trace.requests().iter().skip(400) {
+            sys.handle(r);
+        }
+        assert_eq!(sys.health(), HealthState::Healthy);
+        assert_eq!(sys.dirty_data_lost(), 0);
+    }
+
+    #[test]
+    fn writes_fall_back_to_write_through_without_dirty_redundancy() {
+        let trace = write_trace(10);
+        let mut sys = system_for(SchemeConfig::Reo { reserve: 0.20 }, &trace, 0.30);
+        for r in trace.requests().iter().take(200) {
+            sys.handle(r);
+        }
+        // Four of five devices down: Dirty-class replication is impossible,
+        // so the admission path must switch to write-through.
+        for d in 0..4 {
+            sys.fail_device(DeviceId(d));
+        }
+        assert!(matches!(
+            sys.health(),
+            HealthState::ReadOnly | HealthState::Unavailable
+        ));
+        let backend_writes_before = sys.backend().stats().writes;
+        for r in trace.requests().iter().skip(200).take(200) {
+            let out = sys.handle(r);
+            assert_ne!(out.sense, SenseCode::Failure, "never an opaque failure");
+        }
+        let snap = sys.resilience();
+        assert!(snap.write_throughs > 0, "no write-through fallbacks");
+        assert!(
+            sys.backend().stats().writes > backend_writes_before,
+            "write-through writes reached the backend"
+        );
+        assert_eq!(sys.dirty_data_lost(), 0, "acks honored via the backend");
+    }
+
+    #[test]
+    fn clean_fills_bypass_the_cache_while_rebuilding() {
+        let trace = small_trace(13);
+        let cache = trace.summary().data_set_bytes.scale(0.20);
+        let mut config = SystemConfig::paper_defaults(SchemeConfig::Reo { reserve: 0.20 }, cache);
+        config.chunk_size = ByteSize::from_kib(16);
+        // Stretch the rebuild window so misses land while recovery is
+        // still pending.
+        config.recovery_batch = 1;
+        config.recovery_period = 64;
+        let mut sys = CacheSystem::new(config);
+        sys.populate(trace.objects());
+        for r in trace.requests().iter().take(400) {
+            sys.handle(r);
+        }
+        sys.fail_device(DeviceId(0));
+        sys.insert_spare(DeviceId(0));
+        assert!(sys.recovery_pending() > 0, "rebuild backlog exists");
+        for r in trace.requests().iter().skip(400) {
+            sys.handle(r);
+            if sys.recovery_pending() == 0 {
+                break;
+            }
+        }
+        assert!(
+            sys.resilience().bypassed_fills > 0,
+            "misses during rebuild must bypass the fill path"
+        );
+    }
+
+    #[test]
+    fn rebuild_throttle_slows_recovery_and_counts_stalls() {
+        // A write-heavy trace leaves hundreds of protected (dirty) objects
+        // in the cache, so the spare insertion builds a rebuild backlog
+        // well past the throttle's burst allowance.
+        let trace = WorkloadSpec {
+            objects: 400,
+            mean_object_size: ByteSize::from_kib(128),
+            size_sigma: 0.5,
+            locality: reo_workload::Locality::Medium,
+            requests: 1200,
+            write_ratio: 0.5,
+            temporal_reuse: reo_workload::Locality::Medium.temporal_reuse(),
+            reuse_window: 100,
+        }
+        .generate(14);
+        let cache = trace.summary().data_set_bytes.scale(0.50);
+        let mut throttled_cfg =
+            SystemConfig::paper_defaults(SchemeConfig::Reo { reserve: 0.20 }, cache);
+        throttled_cfg.chunk_size = ByteSize::from_kib(16);
+        throttled_cfg.dirty_flush_watermark = 1.0;
+        throttled_cfg.recovery_batch = 8;
+        throttled_cfg.rebuild_bandwidth_pct = 1;
+        let mut open_cfg = throttled_cfg.clone();
+        open_cfg.rebuild_bandwidth_pct = 0;
+
+        let run = |mut sys: CacheSystem| {
+            sys.populate(trace.objects());
+            for r in trace.requests().iter().take(800) {
+                sys.handle(r);
+            }
+            sys.fail_device(DeviceId(0));
+            sys.insert_spare(DeviceId(0));
+            assert!(
+                sys.recovery_pending() > 32,
+                "needs a deep rebuild queue, got {}",
+                sys.recovery_pending()
+            );
+            let mut batches = 0usize;
+            for r in trace.requests().iter().cycle().skip(800) {
+                if sys.recovery_pending() == 0 || batches > 20_000 {
+                    break;
+                }
+                sys.handle(r);
+                batches += 1;
+            }
+            (batches, sys.resilience())
+        };
+
+        let (open_batches, open_snap) = run(CacheSystem::new(open_cfg));
+        let (throttled_batches, throttled_snap) = run(CacheSystem::new(throttled_cfg));
+        assert_eq!(open_snap.throttle_stalls, 0, "pct=0 never engages");
+        assert_eq!(open_snap.rebuild_throttle_bytes, 0);
+        assert!(throttled_snap.throttle_stalls > 0, "a 1% cap must stall");
+        assert!(throttled_snap.rebuild_throttle_bytes > 0);
+        assert!(
+            throttled_batches > open_batches,
+            "throttled rebuild ({throttled_batches} rounds) must outlast \
+             the open one ({open_batches})"
+        );
     }
 }

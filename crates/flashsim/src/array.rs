@@ -134,6 +134,13 @@ impl FlashArray {
         self.devices.iter().filter(|d| !d.is_healthy()).count()
     }
 
+    /// `true` when no device is servicing an operation at `now` — the
+    /// whole array's foreground queue has drained. Used by the rebuild
+    /// throttle to open up when on-demand traffic goes idle.
+    pub fn is_idle_at(&self, now: SimTime) -> bool {
+        self.devices.iter().all(|d| d.busy_until() <= now)
+    }
+
     /// Immutable access to a device.
     ///
     /// # Panics
@@ -409,6 +416,24 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_array_panics() {
         let _ = FlashArray::new(0, small_config(), SimClock::new());
+    }
+
+    #[test]
+    fn idleness_tracks_the_busiest_device() {
+        let mut a = array(2);
+        assert!(a.is_idle_at(a.clock().now()));
+        let now = a.clock().now();
+        let done = a
+            .device_mut(DeviceId(1))
+            .write_chunk(
+                ChunkHandle::new(1),
+                StoredChunk::synthetic(ByteSize::from_kib(64)),
+                now,
+            )
+            .unwrap();
+        // The batch has not been completed: device 1 is busy until `done`.
+        assert!(!a.is_idle_at(now));
+        assert!(a.is_idle_at(done));
     }
 
     #[test]

@@ -66,6 +66,10 @@ pub struct RecoveryEngine {
     next_seq: u64,
     enqueued_total: u64,
     completed_total: u64,
+    cancelled_total: u64,
+    /// Pending count per class id (0..=3), maintained alongside the heap
+    /// so time-to-restored-redundancy can be read off without draining.
+    pending_per_class: [usize; 4],
     prioritized: bool,
 }
 
@@ -83,6 +87,8 @@ impl RecoveryEngine {
             next_seq: 0,
             enqueued_total: 0,
             completed_total: 0,
+            cancelled_total: 0,
+            pending_per_class: [0; 4],
             prioritized: true,
         }
     }
@@ -123,6 +129,18 @@ impl RecoveryEngine {
         self.completed_total
     }
 
+    /// Total items dropped by [`RecoveryEngine::clear`] without being
+    /// rebuilt. Every item is accounted for exactly once:
+    /// `enqueued_total == completed_total + pending + cancelled_total`.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled_total
+    }
+
+    /// Number of rebuilds still pending for one class.
+    pub fn pending_of(&self, class: ObjectClass) -> usize {
+        self.pending_per_class[class.recovery_priority() as usize]
+    }
+
     /// Queues an object for rebuild at its class priority (or FIFO when
     /// unprioritized).
     pub fn enqueue(&mut self, key: ObjectKey, class: ObjectClass) {
@@ -140,21 +158,26 @@ impl RecoveryEngine {
             order_class,
         });
         self.enqueued_total += 1;
+        self.pending_per_class[class.recovery_priority() as usize] += 1;
     }
 
     /// Pops the most important pending rebuild.
     pub fn pop(&mut self) -> Option<RecoveryItem> {
         let item = self.heap.pop();
-        if item.is_some() {
+        if let Some(it) = &item {
             self.completed_total += 1;
+            self.pending_per_class[it.class.recovery_priority() as usize] -= 1;
         }
         item
     }
 
     /// Drops every pending item (e.g. after a second failure invalidates
-    /// the queue and the target rebuilds it from scratch).
+    /// the queue and the target rebuilds it from scratch). Dropped items
+    /// count as cancelled, not completed.
     pub fn clear(&mut self) {
+        self.cancelled_total += self.heap.len() as u64;
         self.heap.clear();
+        self.pending_per_class = [0; 4];
     }
 }
 
@@ -207,6 +230,15 @@ mod tests {
         assert_eq!(order, vec![k(3), k(0), k(1)], "insertion order, not class");
     }
 
+    /// Every item is accounted for exactly once across the counters.
+    fn assert_reconciled(e: &RecoveryEngine) {
+        assert_eq!(
+            e.enqueued_total(),
+            e.completed_total() + e.pending() as u64 + e.cancelled_total(),
+            "enqueued must equal completed + pending + cancelled"
+        );
+    }
+
     #[test]
     fn counters_and_idle() {
         let mut e = RecoveryEngine::new();
@@ -214,13 +246,20 @@ mod tests {
         e.enqueue(k(1), ObjectClass::Dirty);
         e.enqueue(k(2), ObjectClass::Dirty);
         assert_eq!(e.pending(), 2);
+        assert_eq!(e.pending_of(ObjectClass::Dirty), 2);
         assert!(!e.is_idle());
+        assert_reconciled(&e);
         e.pop();
         assert_eq!(e.enqueued_total(), 2);
         assert_eq!(e.completed_total(), 1);
+        assert_eq!(e.pending_of(ObjectClass::Dirty), 1);
+        assert_reconciled(&e);
         e.clear();
         assert!(e.is_idle());
         assert_eq!(e.completed_total(), 1, "clear is not completion");
+        assert_eq!(e.cancelled_total(), 1, "clear is cancellation");
+        assert_eq!(e.pending_of(ObjectClass::Dirty), 0);
+        assert_reconciled(&e);
     }
 
     #[test]
@@ -238,6 +277,8 @@ mod tests {
         assert_eq!(e.pop(), None);
         assert_eq!(e.enqueued_total(), 3);
         assert_eq!(e.completed_total(), 1);
+        assert_eq!(e.cancelled_total(), 2, "dropped items are cancelled");
+        assert_reconciled(&e);
         // The engine is reusable after a clear: fresh items queue and
         // drain in class order as usual.
         e.enqueue(k(4), ObjectClass::HotClean);
@@ -245,5 +286,23 @@ mod tests {
         assert_eq!(e.pop().unwrap().key, k(5), "dirty first");
         assert_eq!(e.pop().unwrap().key, k(4));
         assert!(e.is_idle());
+        assert_reconciled(&e);
+    }
+
+    #[test]
+    fn per_class_pending_counts_track_the_heap() {
+        let mut e = RecoveryEngine::new();
+        e.enqueue(k(1), ObjectClass::Metadata);
+        e.enqueue(k(2), ObjectClass::ColdClean);
+        e.enqueue(k(3), ObjectClass::ColdClean);
+        assert_eq!(e.pending_of(ObjectClass::Metadata), 1);
+        assert_eq!(e.pending_of(ObjectClass::Dirty), 0);
+        assert_eq!(e.pending_of(ObjectClass::ColdClean), 2);
+        e.pop(); // metadata drains first
+        assert_eq!(e.pending_of(ObjectClass::Metadata), 0);
+        assert_eq!(e.pending_of(ObjectClass::ColdClean), 2);
+        e.clear();
+        assert_eq!(e.pending_of(ObjectClass::ColdClean), 0);
+        assert_reconciled(&e);
     }
 }

@@ -1092,6 +1092,13 @@ impl OsdTarget {
         self.recovery.pending()
     }
 
+    /// Read-only view of the rebuild queue: per-class pending counts and
+    /// the enqueued/completed/cancelled ledger, for throttling and
+    /// time-to-restored-redundancy reporting.
+    pub fn recovery_engine(&self) -> &RecoveryEngine {
+        &self.recovery
+    }
+
     /// Pops and executes one rebuild from the queue (called between
     /// on-demand requests, never ahead of them).
     ///

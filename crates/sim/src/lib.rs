@@ -18,6 +18,8 @@
 //!   bandwidth, latency).
 //! * [`rng`] — seed-deterministic random number helpers so that every
 //!   experiment is exactly reproducible.
+//! * [`TokenBucket`] — a deterministic byte-rate throttle over simulated
+//!   time, used to cap background (rebuild) bandwidth.
 //! * [`Tracer`] — the `reo-trace` span recorder: sim-clock-stamped,
 //!   per-layer latency attribution with near-zero cost when disabled.
 //!
@@ -37,6 +39,7 @@
 //! assert!(clock.now().as_nanos() > 0);
 //! ```
 
+mod qos;
 pub mod rng;
 mod service;
 mod size;
@@ -44,6 +47,7 @@ mod stats;
 mod time;
 mod trace;
 
+pub use qos::TokenBucket;
 pub use service::ServiceModel;
 pub use size::ByteSize;
 pub use stats::{Histogram, OnlineStats, RateMeter, WindowedSeries};

@@ -1,0 +1,353 @@
+//! Seeded chaos matrix: randomized composed fault schedules — device
+//! shootdowns, spare insertions, latent corruption, transient timeouts,
+//! slow devices, power-loss crashes, and backend outages/slowdowns —
+//! woven through live workloads, with the standing resilience invariants
+//! checked after every quiesce:
+//!
+//! * no acknowledged dirty write is lost (every acked key still serves,
+//!   through the cache or the backend — never a wrong answer, never a
+//!   panic);
+//! * the stripe layer's checksum-verified consistency scan finds nothing;
+//! * the health machine returns to `Healthy` once faults clear and the
+//!   rebuild queue drains;
+//! * the recovery engine's ledger reconciles exactly
+//!   (`enqueued == completed + pending + cancelled`).
+//!
+//! Schedules are drawn from a deterministic per-(seed, schedule) stream,
+//! so a failing combination replays identically. Three pinned seeds run
+//! eight composed schedules each.
+//!
+//! Dedicated scenarios cover the ISSUE's cascade cases: a second device
+//! failure during rebuild inside the scheme's tolerance (recovery must
+//! complete), beyond it (service degrades to backend-only `MediumError`
+//! serving, never a panic), and a backend outage landing while the cache
+//! is already read-only (requests shed with `NotReady` until restore).
+
+use std::collections::BTreeMap;
+
+use reo_repro::core::DeviceId;
+use reo_repro::core::{CacheSystem, HealthState, SchemeConfig, SystemConfig};
+use reo_repro::osd::{ObjectKey, SenseCode};
+use reo_repro::sim::rng::DetRng;
+use reo_repro::sim::ByteSize;
+use reo_repro::workload::{Locality, Operation, Request, Trace, WorkloadSpec};
+
+const SCHEDULES: u64 = 8;
+const FAULT_POINTS: usize = 8;
+const REQUESTS: usize = 1_600;
+const DEVICES: usize = 5;
+
+fn trace(seed: u64) -> Trace {
+    WorkloadSpec {
+        objects: 120,
+        mean_object_size: ByteSize::from_kib(128),
+        size_sigma: 0.7,
+        locality: Locality::Medium,
+        requests: REQUESTS,
+        write_ratio: 0.3,
+        temporal_reuse: Locality::Medium.temporal_reuse(),
+        reuse_window: 120,
+    }
+    .generate(seed)
+}
+
+fn system(t: &Trace) -> CacheSystem {
+    let cache = t.summary().data_set_bytes.scale(0.10);
+    let mut config = SystemConfig::paper_defaults(SchemeConfig::Reo { reserve: 0.20 }, cache);
+    config.chunk_size = ByteSize::from_kib(16);
+    config.checkpoint_period = 300;
+    let mut sys = CacheSystem::new(config);
+    sys.populate(t.objects());
+    sys
+}
+
+fn failed_set(sys: &CacheSystem) -> Vec<DeviceId> {
+    (0..DEVICES)
+        .map(DeviceId)
+        .filter(|&d| !sys.target().array().device(d).is_healthy())
+        .collect()
+}
+
+/// Applies one randomly drawn fault. The first point of every schedule is
+/// pinned to a device failure so each run exercises the health machine.
+fn apply_fault(sys: &mut CacheSystem, rng: &mut DetRng, point: usize) {
+    let roll = if point == 0 { 0 } else { rng.below(8) };
+    match roll {
+        0 => {
+            // Fail a healthy device, staying within Dirty-class tolerance
+            // (replication survives concurrent failures, but the menu caps
+            // at two so clean classes keep a recovery path too).
+            let failed = failed_set(sys);
+            if failed.len() < 2 {
+                let healthy: Vec<DeviceId> = (0..DEVICES)
+                    .map(DeviceId)
+                    .filter(|d| !failed.contains(d))
+                    .collect();
+                let pick = healthy[rng.below(healthy.len() as u64) as usize];
+                sys.fail_device(pick);
+            }
+        }
+        1 => {
+            let failed = failed_set(sys);
+            if !failed.is_empty() {
+                let pick = failed[rng.below(failed.len() as u64) as usize];
+                sys.insert_spare(pick);
+            }
+        }
+        2 => {
+            let _ = sys.inject_chunk_corruption((1_000 + rng.below(19_000)) as f64 / 1e6);
+        }
+        3 => sys.arm_transient_faults((500 + rng.below(4_500)) as f64 / 1e6),
+        4 => {
+            let device = DeviceId(rng.below(DEVICES as u64) as usize);
+            let factor = (150 + rng.below(250)) as f64 / 100.0;
+            sys.slow_device(device, factor);
+        }
+        5 => {
+            sys.crash();
+            sys.recover().expect("restart recovery after chaos crash");
+        }
+        6 => {
+            // Toggle a backend outage window.
+            if sys.backend().is_down() {
+                sys.restore_backend();
+            } else {
+                sys.fail_backend();
+            }
+        }
+        _ => sys.slow_backend((10 + rng.below(30)) as f64 / 10.0),
+    }
+}
+
+/// Clears every standing fault, spares every failed device, and drains
+/// the rebuild queue — the quiesce step the invariants are checked after.
+fn quiesce(sys: &mut CacheSystem) {
+    sys.restore_backend();
+    sys.slow_backend(1.0);
+    sys.arm_transient_faults(0.0);
+    for d in 0..DEVICES {
+        sys.slow_device(DeviceId(d), 1.0);
+    }
+    for d in failed_set(sys) {
+        sys.insert_spare(d);
+    }
+    assert!(sys.drain_recovery(1_000_000), "rebuild queue must drain");
+}
+
+fn assert_ledger_reconciles(sys: &CacheSystem, label: &str) {
+    let engine = sys.target().recovery_engine();
+    assert_eq!(engine.pending(), 0, "{label}: rebuilds left pending");
+    assert_eq!(
+        engine.enqueued_total(),
+        engine.completed_total() + engine.pending() as u64 + engine.cancelled_total(),
+        "{label}: recovery ledger out of balance"
+    );
+}
+
+fn chaos_run(seed: u64, schedule: u64) {
+    let label = format!("seed {seed} schedule {schedule}");
+    let t = trace(seed);
+    let mut sys = system(&t);
+    // Keep acknowledged dirty writes resident so the no-acked-write-lost
+    // invariant is tested against live dirty state, not flushed copies.
+    sys.set_dirty_flush_watermark(1.0);
+    let mut rng = DetRng::from_seed(seed).derive(&format!("chaos-{schedule}"));
+
+    let stride = REQUESTS / FAULT_POINTS;
+    let points: Vec<usize> = (0..FAULT_POINTS)
+        .map(|k| k * stride + 20 + rng.below((stride - 40) as u64) as usize)
+        .collect();
+
+    let mut acked: BTreeMap<ObjectKey, ByteSize> = BTreeMap::new();
+    let mut next = 0usize;
+    for (i, r) in t.requests().iter().enumerate() {
+        if next < points.len() && i == points[next] {
+            apply_fault(&mut sys, &mut rng, next);
+            next += 1;
+        }
+        let outcome = sys.handle(r);
+        assert_ne!(
+            outcome.sense,
+            SenseCode::Failure,
+            "{label}: request {i} returned an opaque failure"
+        );
+        if r.op == Operation::Write
+            && matches!(
+                outcome.sense,
+                SenseCode::Success | SenseCode::RecoveredError
+            )
+        {
+            acked.insert(r.key, r.size);
+        }
+    }
+    assert_eq!(next, FAULT_POINTS, "{label}: every fault point must fire");
+
+    quiesce(&mut sys);
+
+    let snap = sys.resilience();
+    assert_eq!(
+        sys.health(),
+        HealthState::Healthy,
+        "{label}: quiesced system must heal (snapshot: {snap:?})"
+    );
+    assert!(
+        snap.health_transitions > 0,
+        "{label}: the pinned first failure must move the health machine"
+    );
+    assert_eq!(
+        sys.dirty_data_lost(),
+        0,
+        "{label}: acknowledged dirty data lost"
+    );
+    let violations = sys.target().verify_consistency();
+    assert!(violations.is_empty(), "{label}: {violations:?}");
+    assert_ledger_reconciles(&sys, &label);
+
+    // Every acknowledged write still serves correct (checksum-verified)
+    // bytes — from the cache, degraded reconstruction, or the backend.
+    for (&key, &size) in &acked {
+        let read = Request {
+            key,
+            op: Operation::Read,
+            size,
+        };
+        let outcome = sys.handle(&read);
+        assert!(
+            matches!(
+                outcome.sense,
+                SenseCode::Success | SenseCode::RecoveredError | SenseCode::MediumError
+            ),
+            "{label}: acked write {key:?} unreadable after quiesce ({:?})",
+            outcome.sense
+        );
+    }
+}
+
+fn chaos_matrix(seed: u64) {
+    for schedule in 0..SCHEDULES {
+        chaos_run(seed, schedule);
+    }
+}
+
+#[test]
+fn chaos_matrix_seed_11() {
+    chaos_matrix(11);
+}
+
+#[test]
+fn chaos_matrix_seed_42() {
+    chaos_matrix(42);
+}
+
+#[test]
+fn chaos_matrix_seed_1234() {
+    chaos_matrix(1234);
+}
+
+/// A second device failure landing mid-rebuild, inside Reo's Dirty-class
+/// tolerance: recovery must still complete and the system must heal.
+#[test]
+fn second_failure_during_rebuild_within_tolerance_completes() {
+    let t = trace(7);
+    let mut sys = system(&t);
+    sys.set_dirty_flush_watermark(1.0);
+    for r in t.requests().iter().take(800) {
+        sys.handle(r);
+    }
+    sys.fail_device(DeviceId(0));
+    sys.insert_spare(DeviceId(0));
+    assert!(sys.recovery_pending() > 0, "rebuild must be in flight");
+    assert_eq!(sys.health(), HealthState::Recovering);
+
+    // The cascade: a second device dies while the first rebuild drains.
+    sys.fail_device(DeviceId(1));
+    assert_eq!(sys.health(), HealthState::Degraded(1));
+    for r in t.requests().iter().skip(800) {
+        let outcome = sys.handle(r);
+        assert_ne!(outcome.sense, SenseCode::Failure);
+    }
+    sys.insert_spare(DeviceId(1));
+    assert!(sys.drain_recovery(1_000_000));
+    assert_eq!(sys.health(), HealthState::Healthy);
+    assert_eq!(sys.dirty_data_lost(), 0);
+    assert_ledger_reconciles(&sys, "within tolerance");
+}
+
+/// The same cascade beyond a uniform scheme's tolerance: 1-parity cannot
+/// survive two concurrent failures, so the cache goes read-only and every
+/// request is served by the backend (`MediumError` for reads) — never a
+/// panic, never a wrong answer.
+#[test]
+fn second_failure_beyond_tolerance_degrades_to_backend_serving() {
+    let t = trace(8);
+    let cache = t.summary().data_set_bytes.scale(0.10);
+    let mut config = SystemConfig::paper_defaults(SchemeConfig::Parity(1), cache);
+    config.chunk_size = ByteSize::from_kib(16);
+    let mut sys = CacheSystem::new(config);
+    sys.populate(t.objects());
+    for r in t.requests().iter().take(800) {
+        sys.handle(r);
+    }
+    sys.fail_device(DeviceId(0));
+    sys.insert_spare(DeviceId(0));
+    assert!(sys.recovery_pending() > 0, "rebuild must be in flight");
+    // Two devices die while the rebuild is still draining: with the spare
+    // not yet rebuilt, 1-parity is past its tolerance and the cache folds.
+    sys.fail_device(DeviceId(1));
+    sys.fail_device(DeviceId(0));
+    assert!(sys.is_offline(), "1-parity dies beyond its tolerance");
+    assert_eq!(sys.health(), HealthState::ReadOnly);
+
+    let mut backend_served = 0u64;
+    for r in t.requests().iter().skip(800) {
+        let outcome = sys.handle(r);
+        match (r.op, outcome.sense) {
+            (Operation::Read, SenseCode::MediumError) => backend_served += 1,
+            (Operation::Read, SenseCode::NotReady) => {}
+            (Operation::Write, SenseCode::Success | SenseCode::NotReady) => {}
+            (op, sense) => panic!("unexpected outcome {op:?}/{sense:?} while read-only"),
+        }
+    }
+    assert!(backend_served > 0, "the backend must carry the reads");
+    assert!(sys.resilience().write_throughs > 0, "writes fall through");
+}
+
+/// A backend outage while the cache is already read-only: the system is
+/// `Unavailable`, requests are shed with `NotReady` (never a panic), and
+/// service returns once the backend does.
+#[test]
+fn backend_outage_while_read_only_becomes_unavailable() {
+    let t = trace(9);
+    let cache = t.summary().data_set_bytes.scale(0.10);
+    let mut config = SystemConfig::paper_defaults(SchemeConfig::Parity(1), cache);
+    config.chunk_size = ByteSize::from_kib(16);
+    let mut sys = CacheSystem::new(config);
+    sys.populate(t.objects());
+    for r in t.requests().iter().take(400) {
+        sys.handle(r);
+    }
+    sys.fail_device(DeviceId(0));
+    sys.fail_device(DeviceId(1));
+    assert_eq!(sys.health(), HealthState::ReadOnly);
+
+    sys.fail_backend();
+    let probe = sys.handle(&t.requests()[400]);
+    assert_eq!(sys.health(), HealthState::Unavailable);
+    assert_eq!(probe.sense, SenseCode::NotReady, "shed, not served wrong");
+    for r in t.requests().iter().skip(401).take(200) {
+        let outcome = sys.handle(r);
+        assert_eq!(outcome.sense, SenseCode::NotReady);
+    }
+    assert!(sys.resilience().shed_requests > 0);
+
+    sys.restore_backend();
+    sys.handle(&t.requests()[601]);
+    assert_eq!(sys.health(), HealthState::ReadOnly, "backend is back");
+    sys.insert_spare(DeviceId(0));
+    sys.insert_spare(DeviceId(1));
+    assert!(sys.drain_recovery(1_000_000));
+    for r in t.requests().iter().skip(602) {
+        sys.handle(r);
+    }
+    assert_eq!(sys.health(), HealthState::Healthy, "full service restored");
+}
