@@ -13,14 +13,15 @@
 //!    schedule composed with a slow-then-down-then-restored backend, run
 //!    end to end through the health state machine. The run must end
 //!    healthy after quiesce with zero dirty data lost, and exports the
-//!    full v3 JSONL report (including the `resilience` record).
+//!    full JSONL report (including the `resilience` record).
 //!
 //! Usage:
 //!   cargo run --release -p reo-bench --bin exp_cascade [-- --quick|--smoke]
 
 use reo_bench::{export, FigureReport, Panel, RunScale};
 use reo_core::{
-    CacheSystem, ExperimentPlan, ExperimentRunner, PlannedEvent, SchemeConfig, SystemConfig,
+    parallel_map_ordered, sweep_threads, CacheSystem, ExperimentPlan, ExperimentRunner,
+    PlannedEvent, SchemeConfig, SystemConfig,
 };
 use reo_flashsim::DeviceId;
 use reo_sim::ByteSize;
@@ -68,7 +69,10 @@ fn main() {
     let mut stalls = Panel::new("Throttle Stalls", "Rebuild Bandwidth Cap (%)", xs.clone());
     let mut metered = Panel::new("Rebuild Bytes (MiB)", "Rebuild Bandwidth Cap (%)", xs);
 
-    for pct in THROTTLE_PCTS {
+    // Each throttle cap is an independent end-to-end run; fan the caps
+    // across cores. Progress lines are captured per cell and printed
+    // after index-ordered collection so stdout matches the serial loop.
+    let cap_runs = parallel_map_ordered(&THROTTLE_PCTS, sweep_threads(), |_, &pct| {
         let mut system = cascade_system(&trace, pct);
         for r in trace.requests() {
             system.handle(r);
@@ -87,6 +91,14 @@ fn main() {
             extra += 1;
         }
         let snap = system.resilience();
+        let line = format!(
+            "cap {pct:>3}%  backlog {backlog:>5}  extra requests {extra:>6}  stalls {:>5}  \
+             ttr(us) meta {} dirty {} hot {} cold {}",
+            snap.throttle_stalls, snap.ttr_us[0], snap.ttr_us[1], snap.ttr_us[2], snap.ttr_us[3],
+        );
+        (snap, line)
+    });
+    for (snap, line) in &cap_runs {
         for (idx, label) in CLASS_ORDER.iter().enumerate() {
             ttr.push(label, snap.ttr_us[idx] as f64 / 1e3);
         }
@@ -95,11 +107,7 @@ fn main() {
             "Reo-20%",
             snap.rebuild_throttle_bytes as f64 / (1024.0 * 1024.0),
         );
-        println!(
-            "cap {pct:>3}%  backlog {backlog:>5}  extra requests {extra:>6}  stalls {:>5}  \
-             ttr(us) meta {} dirty {} hot {} cold {}",
-            snap.throttle_stalls, snap.ttr_us[0], snap.ttr_us[1], snap.ttr_us[2], snap.ttr_us[3],
-        );
+        println!("{line}");
     }
 
     // -- Part 2: composed cascade -----------------------------------------

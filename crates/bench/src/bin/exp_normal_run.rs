@@ -12,7 +12,9 @@
 //!   cargo run --release -p reo-bench --bin exp_normal_run [-- --locality weak|medium|strong] [--quick] [--trace]
 
 use reo_bench::{build_system, cache_size_sweep, export, run_once, FigureReport, Panel, RunScale};
-use reo_core::{ExperimentPlan, ExperimentRunner, SchemeConfig};
+use reo_core::{
+    parallel_map_ordered, sweep_threads, ExperimentPlan, ExperimentRunner, SchemeConfig,
+};
 use reo_sim::ByteSize;
 use reo_workload::{Locality, Trace, WorkloadSpec};
 
@@ -81,20 +83,31 @@ fn main() {
         let mut bw = Panel::new("Bandwidth (MB/sec)", "Cache Size (%)", xs.clone());
         let mut lat = Panel::new("Latency (ms)", "Cache Size (%)", xs.clone());
 
-        for fraction in cache_size_sweep() {
-            for scheme in SchemeConfig::normal_run_set() {
-                let result = run_once(
-                    scheme,
-                    &trace,
-                    fraction,
-                    ByteSize::from_kib(64),
-                    &ExperimentPlan::normal_run(),
-                );
-                let label = scheme.label();
-                hit.push(&label, result.totals.hit_ratio_pct());
-                bw.push(&label, result.totals.bandwidth_mib_s());
-                lat.push(&label, result.totals.mean_latency_ms());
-            }
+        // Each (cache size, scheme) cell is an independent simulation;
+        // fan them across cores and collect index-ordered so the panels
+        // fill in exactly the serial nested-loop order.
+        let cells: Vec<(f64, SchemeConfig)> = cache_size_sweep()
+            .iter()
+            .flat_map(|&fraction| {
+                SchemeConfig::normal_run_set()
+                    .into_iter()
+                    .map(move |scheme| (fraction, scheme))
+            })
+            .collect();
+        let results = parallel_map_ordered(&cells, sweep_threads(), |_, &(fraction, scheme)| {
+            run_once(
+                scheme,
+                &trace,
+                fraction,
+                ByteSize::from_kib(64),
+                &ExperimentPlan::normal_run(),
+            )
+        });
+        for (&(_, scheme), result) in cells.iter().zip(&results) {
+            let label = scheme.label();
+            hit.push(&label, result.totals.hit_ratio_pct());
+            bw.push(&label, result.totals.bandwidth_mib_s());
+            lat.push(&label, result.totals.mean_latency_ms());
         }
 
         FigureReport::new("normal_run")

@@ -9,10 +9,10 @@
 //!
 //! * [`jsonl`] — machine-readable JSON lines, one record per line, each
 //!   tagged with a `kind` field (`meta`, `totals`, `class`, `layer`,
-//!   `device`, `cache`, `resilience`, `series`). The first line is always the `meta`
-//!   record carrying [`SCHEMA_VERSION`]; [`validate_jsonl`] checks a
-//!   document against this schema (the CI smoke job runs it on a real
-//!   `exp_normal_run --trace` output).
+//!   `device`, `cache`, `resilience`, `perf`, `series`). The first line is
+//!   always the `meta` record carrying [`SCHEMA_VERSION`]; [`validate_jsonl`]
+//!   checks a document against this schema (the CI smoke job runs it on a
+//!   real `exp_normal_run --trace` output).
 //! * [`render_summary`] — the aligned human tables the binaries print.
 //!
 //! Latencies are exported in milliseconds, byte volumes in MiB; raw
@@ -31,11 +31,13 @@ use serde::{DeError, Deserialize, Serialize, Value};
 /// `torn_tail_detected`, `recovery_duration_us`) to `totals`/`series`.
 /// v3 added the singleton `resilience` record (health machine, degraded
 /// service counters, rebuild-throttle activity, per-class
-/// time-to-restored-redundancy).
-pub const SCHEMA_VERSION: u64 = 3;
+/// time-to-restored-redundancy). v4 added the optional repeated `perf`
+/// record (one microbenchmark measurement per line, emitted by the
+/// `perfbench` binary).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The record kinds a JSON-lines document may contain.
-pub const RECORD_KINDS: [&str; 8] = [
+pub const RECORD_KINDS: [&str; 9] = [
     "meta",
     "totals",
     "class",
@@ -43,6 +45,7 @@ pub const RECORD_KINDS: [&str; 8] = [
     "device",
     "cache",
     "resilience",
+    "perf",
     "series",
 ];
 
@@ -67,6 +70,19 @@ pub struct RunReport {
     pub series: Vec<TimeSeriesPoint>,
     /// Space efficiency at the end of the run.
     pub space_efficiency: f64,
+    /// Microbenchmark measurements (empty except for `perfbench` runs).
+    pub perf: Vec<PerfPoint>,
+}
+
+/// One microbenchmark measurement, exported as a `perf` record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfPoint {
+    /// Benchmark name, e.g. `"erasure_encode"`.
+    pub bench: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit of `value`, e.g. `"GiB/s"` or `"req/s"`.
+    pub unit: String,
 }
 
 /// Gathers a [`RunReport`] from a finished system and its experiment
@@ -87,6 +103,7 @@ pub fn collect_run_report(
         resilience: system.resilience(),
         series: result.series.clone(),
         space_efficiency: result.space_efficiency,
+        perf: Vec::new(),
     }
 }
 
@@ -264,6 +281,16 @@ fn records(report: &RunReport) -> Vec<Value> {
             ("ttr_cold_clean_us", i(r.ttr_us[3])),
         ],
     ));
+    for p in &report.perf {
+        out.push(rec(
+            "perf",
+            vec![
+                ("bench", s(&p.bench)),
+                ("value", f(p.value)),
+                ("unit", s(&p.unit)),
+            ],
+        ));
+    }
     for point in &report.series {
         let mut fields = vec![
             ("at_request", u(point.at_request as u64)),
@@ -381,6 +408,7 @@ fn required_numbers(kind: &str) -> &'static [&'static str] {
             "ttr_hot_clean_us",
             "ttr_cold_clean_us",
         ],
+        "perf" => &["value"],
         _ => &[],
     }
 }
@@ -438,6 +466,10 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
             "class" => require_string(map, "class", line)?,
             "layer" => require_string(map, "layer", line)?,
             "resilience" => require_string(map, "health", line)?,
+            "perf" => {
+                require_string(map, "bench", line)?;
+                require_string(map, "unit", line)?;
+            }
             _ => {}
         }
         for field in required_numbers(&kind) {
@@ -734,6 +766,31 @@ mod tests {
         let text = jsonl(&report);
         validate_jsonl(&text).expect("faulted run still validates");
         assert!(text.contains("\"kind\":\"resilience\""));
+    }
+
+    #[test]
+    fn perf_records_round_trip_through_the_validator() {
+        let mut report = traced_report();
+        report.perf = vec![
+            PerfPoint {
+                bench: "erasure_encode".to_string(),
+                value: 3.25,
+                unit: "GiB/s".to_string(),
+            },
+            PerfPoint {
+                bench: "requests".to_string(),
+                value: 120_000.0,
+                unit: "req/s".to_string(),
+            },
+        ];
+        let text = jsonl(&report);
+        let summary = validate_jsonl(&text).expect("perf records must validate");
+        assert_eq!(summary.kinds["perf"], 2);
+        assert!(text.contains("\"bench\":\"erasure_encode\""));
+
+        // A perf record without its unit is schema drift, not a new point.
+        let broken = text.replace("\"unit\":\"GiB/s\"", "\"units\":\"GiB/s\"");
+        assert!(validate_jsonl(&broken).unwrap_err().contains("unit"));
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! The parallel sweep pool must be invisible in every exported artifact:
+//! fanning sweep cells across worker threads has to produce byte-identical
+//! JSONL documents to the serial loop on a fixed seed.
+
+use reo_bench::{build_system, export, run_once, Panel};
+use reo_core::{parallel_map_ordered, ExperimentPlan, ExperimentRunner, SchemeConfig};
+use reo_sim::ByteSize;
+use reo_workload::WorkloadSpec;
+
+fn sweep_cells() -> Vec<(f64, SchemeConfig)> {
+    [0.06, 0.10]
+        .iter()
+        .flat_map(|&fraction| {
+            SchemeConfig::normal_run_set()
+                .into_iter()
+                .map(move |scheme| (fraction, scheme))
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_sweep_jsonl_is_byte_identical_to_serial() {
+    let trace = WorkloadSpec::medium()
+        .with_objects(50)
+        .with_requests(600)
+        .generate(42);
+    let cells = sweep_cells();
+    let run_cell = |_: usize, &(fraction, scheme): &(f64, SchemeConfig)| {
+        let mut system = build_system(scheme, &trace, fraction, ByteSize::from_kib(64));
+        let result = ExperimentRunner::run(&mut system, &trace, &ExperimentPlan::normal_run());
+        export::jsonl(&export::collect_run_report(
+            "determinism",
+            &scheme.label(),
+            &system,
+            &result,
+        ))
+    };
+
+    let serial = parallel_map_ordered(&cells, 1, run_cell);
+    for doc in &serial {
+        export::validate_jsonl(doc).expect("serial documents are real reports");
+    }
+    for threads in [2, 4, 16] {
+        let parallel = parallel_map_ordered(&cells, threads, run_cell);
+        assert_eq!(serial, parallel, "threads={threads}");
+    }
+}
+
+#[test]
+fn parallel_sweep_fills_panels_in_serial_order() {
+    let trace = WorkloadSpec::medium()
+        .with_objects(50)
+        .with_requests(400)
+        .generate(7);
+    let cells = sweep_cells();
+    let run_cell = |_: usize, &(fraction, scheme): &(f64, SchemeConfig)| {
+        run_once(
+            scheme,
+            &trace,
+            fraction,
+            ByteSize::from_kib(64),
+            &ExperimentPlan::normal_run(),
+        )
+        .totals
+        .hit_ratio_pct()
+    };
+
+    let fill = |values: &[f64]| {
+        let mut panel = Panel::new("Hit Ratio (%)", "Cache Size (%)", vec![6.0, 10.0]);
+        for (&(_, scheme), &v) in cells.iter().zip(values) {
+            panel.push(&scheme.label(), v);
+        }
+        serde_json::to_string(&panel).expect("panel serializes")
+    };
+
+    let serial = fill(&parallel_map_ordered(&cells, 1, run_cell));
+    let parallel = fill(&parallel_map_ordered(&cells, 8, run_cell));
+    assert_eq!(serial, parallel, "figure JSON must not depend on threading");
+}

@@ -87,6 +87,10 @@ pub struct CacheManager {
     dirty_used: ByteSize,
     h_hot: f64,
     stats: CacheStats,
+    /// Reusable scan buffer for [`Self::recompute_hot_threshold`]: the
+    /// periodic threshold sweep sorts every clean entry, and reusing the
+    /// buffer keeps that sweep allocation-free at steady state.
+    hot_scan: Vec<(f64, u64, ObjectKey)>,
 }
 
 impl CacheManager {
@@ -113,6 +117,7 @@ impl CacheManager {
             dirty_used: ByteSize::ZERO,
             h_hot: f64::INFINITY,
             stats: CacheStats::default(),
+            hot_scan: Vec::new(),
         }
     }
 
@@ -372,15 +377,16 @@ impl CacheManager {
     /// Returns the new threshold.
     pub fn recompute_hot_threshold(&mut self) -> f64 {
         let budget = self.config.capacity.as_bytes() as f64 * self.config.redundancy_reserve;
-        let mut candidates: Vec<(f64, u64, ObjectKey)> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| !e.is_dirty() && !e.is_metadata() && e.freq() > 0)
-            .map(|(k, e)| (Self::hotness_of(&self.config, e), e.size().as_bytes(), *k))
-            .collect();
+        self.hot_scan.clear();
+        self.hot_scan.extend(
+            self.entries
+                .iter()
+                .filter(|(_, e)| !e.is_dirty() && !e.is_metadata() && e.freq() > 0)
+                .map(|(k, e)| (Self::hotness_of(&self.config, e), e.size().as_bytes(), *k)),
+        );
         // Ties broken by key so the threshold is independent of hash-map
         // iteration order (experiments must be bit-reproducible).
-        candidates.sort_by(|a, b| {
+        self.hot_scan.sort_by(|a, b| {
             b.0.partial_cmp(&a.0)
                 .expect("hotness is finite")
                 .then(a.2.cmp(&b.2))
@@ -388,7 +394,7 @@ impl CacheManager {
 
         let mut consumed = 0.0;
         let mut threshold = f64::INFINITY;
-        for (h, size, _key) in candidates {
+        for &(h, size, _key) in &self.hot_scan {
             let overhead = size as f64 * self.config.hot_parity_overhead;
             if consumed + overhead > budget {
                 break;

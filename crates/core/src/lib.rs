@@ -60,7 +60,8 @@ mod system;
 pub use config::{SchemeConfig, SystemConfig};
 pub use metrics::{ClassSnapshot, Metrics, MetricsSnapshot, RequestSample, CLASS_LABELS};
 pub use runner::{
-    EventOutcome, ExperimentPlan, ExperimentResult, ExperimentRunner, PlannedEvent, TimeSeriesPoint,
+    parallel_map_ordered, sweep_threads, EventOutcome, ExperimentPlan, ExperimentResult,
+    ExperimentRunner, PlannedEvent, TimeSeriesPoint,
 };
 pub use system::{CacheSystem, HealthState, RequestOutcome, ResilienceSnapshot, SystemRecovery};
 

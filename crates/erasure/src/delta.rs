@@ -16,7 +16,6 @@
 //! The paper chooses "the encoding method that incurs the least disk
 //! reads"; [`cheapest_strategy`] encodes exactly that decision rule.
 
-use crate::gf256;
 use crate::rs::{CodecError, ReedSolomon};
 
 /// Which parity-update strategy to use for an in-place chunk overwrite.
@@ -115,12 +114,11 @@ pub fn apply_delta_update(
         return Err(CodecError::UnevenShards);
     }
 
-    let mut delta = old_data.to_vec();
-    gf256::xor_slice(&mut delta, new_data);
-
+    // Fused kernel: the delta XOR and the coefficient multiply happen in
+    // one pass per parity shard, with no intermediate delta buffer.
     for (p, shard) in parity.iter_mut().enumerate() {
-        let c = rs.parity_coefficient(p, d);
-        gf256::mul_acc_slice(shard, &delta, c);
+        rs.parity_kernel(p, d)
+            .mul_delta_xor(shard, old_data, new_data);
     }
     Ok(())
 }

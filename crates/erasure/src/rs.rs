@@ -87,6 +87,10 @@ pub struct ReedSolomon {
     parity: usize,
     /// Full `(data + parity) × data` encoding matrix with identity on top.
     encode_matrix: Matrix,
+    /// Multiply kernels for the parity rows, row-major `parity × data`,
+    /// built once at construction so encode/delta paths never rebuild
+    /// per-coefficient tables on the hot path.
+    parity_kernels: Vec<gf256::MulTable>,
 }
 
 impl ReedSolomon {
@@ -114,10 +118,15 @@ impl ReedSolomon {
             Matrix::identity(data),
             "systematic encode matrix must start with identity"
         );
+        let parity_kernels = (0..parity)
+            .flat_map(|p| (0..data).map(move |d| (p, d)))
+            .map(|(p, d)| gf256::MulTable::new(encode_matrix.get(data + p, d)))
+            .collect();
         Ok(ReedSolomon {
             data,
             parity,
             encode_matrix,
+            parity_kernels,
         })
     }
 
@@ -151,6 +160,21 @@ impl ReedSolomon {
         self.encode_matrix.get(self.data + p, d)
     }
 
+    /// The precomputed multiply kernel for parity row `p`, data shard `d`.
+    ///
+    /// The kernel multiplies by [`Self::parity_coefficient`]`(p, d)`; the
+    /// delta parity-update path uses it to fold the coefficient multiply
+    /// into a single fused pass over the changed chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= parity_shards()` or `d >= data_shards()`.
+    pub fn parity_kernel(&self, p: usize, d: usize) -> &gf256::MulTable {
+        assert!(p < self.parity, "parity index out of range");
+        assert!(d < self.data, "data index out of range");
+        &self.parity_kernels[p * self.data + d]
+    }
+
     fn check_shards<T: AsRef<[u8]>>(&self, shards: &[T]) -> Result<usize, CodecError> {
         let len = shards
             .first()
@@ -174,27 +198,71 @@ impl ReedSolomon {
     /// * [`CodecError::UnevenShards`] — shards of differing lengths.
     /// * [`CodecError::EmptyShards`] — zero-length shards.
     pub fn encode<T: AsRef<[u8]>>(&self, data: &[T]) -> Result<Vec<Vec<u8>>, CodecError> {
+        let mut parity = vec![Vec::new(); self.parity];
+        self.encode_into(data, &mut parity)?;
+        Ok(parity)
+    }
+
+    /// Encodes parity into caller-provided buffers, the zero-allocation
+    /// variant of [`Self::encode`].
+    ///
+    /// `parity` must hold exactly `parity_shards()` vectors; each is
+    /// cleared and resized to the shard length, so buffers reused across
+    /// calls reach a steady state where no heap allocation happens at all.
+    /// Output contents are identical to [`Self::encode`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CodecError::WrongShardCount`] — wrong number of data shards or
+    ///   parity buffers.
+    /// * [`CodecError::UnevenShards`] — shards of differing lengths.
+    /// * [`CodecError::EmptyShards`] — zero-length shards.
+    pub fn encode_into<T: AsRef<[u8]>>(
+        &self,
+        data: &[T],
+        parity: &mut [Vec<u8>],
+    ) -> Result<(), CodecError> {
         if data.len() != self.data {
             return Err(CodecError::WrongShardCount {
                 expected: self.data,
                 actual: data.len(),
             });
         }
-        let len = self.check_shards(data)?;
-        let mut parity = vec![vec![0u8; len]; self.parity];
-        for (p, out) in parity.iter_mut().enumerate() {
-            for (d, shard) in data.iter().enumerate() {
-                let c = self.encode_matrix.get(self.data + p, d);
-                match c {
-                    0 => {}
-                    1 => gf256::xor_slice(out, shard.as_ref()),
-                    // Per-coefficient nibble tables amortize over the
-                    // whole chunk (64 KiB ≫ 32 table entries).
-                    _ => gf256::MulTable::new(c).mul_acc_slice(out, shard.as_ref()),
-                }
-            }
+        if parity.len() != self.parity {
+            return Err(CodecError::WrongShardCount {
+                expected: self.parity,
+                actual: parity.len(),
+            });
         }
-        Ok(parity)
+        let len = self.check_shards(data)?;
+        for (p, out) in parity.iter_mut().enumerate() {
+            // The row kernel overwrites every byte, so the buffer only
+            // needs the right length — no re-zeroing of reused capacity.
+            out.resize(len, 0);
+            self.encode_row_into(p, data, out);
+        }
+        Ok(())
+    }
+
+    /// Computes parity row `p` into `out`, overwriting it (length checked
+    /// by the caller; `out` need not be zeroed).
+    fn encode_row_into<T: AsRef<[u8]>>(&self, p: usize, data: &[T], out: &mut [u8]) {
+        // One register-resident pass over the destination for the whole
+        // row; the stack array keeps the source-ref gather allocation-free
+        // for every realistic stripe width.
+        const MAX_FUSED: usize = 16;
+        let row = &self.parity_kernels[p * self.data..(p + 1) * self.data];
+        if self.data <= MAX_FUSED {
+            let mut srcs: [&[u8]; MAX_FUSED] = [&[]; MAX_FUSED];
+            for (slot, shard) in srcs.iter_mut().zip(data) {
+                *slot = shard.as_ref();
+            }
+            return gf256::mul_row_slice(row, &srcs[..self.data], out);
+        }
+        row[0].mul_slice(out, data[0].as_ref());
+        for (table, shard) in row[1..].iter().zip(&data[1..]) {
+            table.mul_slice_xor(out, shard.as_ref());
+        }
     }
 
     /// Verifies that the given full shard set (data followed by parity) is
@@ -275,37 +343,43 @@ impl ReedSolomon {
             .inverse()
             .expect("any data-many rows of an RS encode matrix are independent");
 
-        // Recover original data shards for any that are missing.
+        // Recover original data shards for any that are missing. Row
+        // buffers are allocated up front (one block, outside the decode
+        // loop) and moved into place afterwards — never cloned.
         let data_missing: Vec<usize> = missing.iter().copied().filter(|&i| i < self.data).collect();
-        let mut recovered: Vec<(usize, Vec<u8>)> = Vec::with_capacity(missing.len());
-        for &dm in &data_missing {
-            let mut out = vec![0u8; len];
+        let mut recovered: Vec<Vec<u8>> = data_missing.iter().map(|_| vec![0u8; len]).collect();
+        for (&dm, out) in data_missing.iter().zip(recovered.iter_mut()) {
             for (j, shard) in survivors.iter().enumerate() {
                 match decode.get(dm, j) {
                     0 => {}
-                    1 => gf256::xor_slice(&mut out, shard),
-                    c => gf256::MulTable::new(c).mul_acc_slice(&mut out, shard),
+                    1 => gf256::xor_slice(out, shard),
+                    c => gf256::MulTable::new(c).mul_slice_xor(out, shard),
                 }
             }
-            recovered.push((dm, out));
         }
-        for (i, buf) in recovered {
+        for (&i, buf) in data_missing.iter().zip(recovered) {
             shards[i] = Some(buf);
         }
 
-        // With all data shards present, re-encode any missing parity shards.
+        // With all data shards present, re-encode only the missing parity
+        // rows, straight into freshly owned buffers that are moved in.
         let parity_missing: Vec<usize> = missing
             .iter()
             .copied()
             .filter(|&i| i >= self.data)
             .collect();
         if !parity_missing.is_empty() {
-            let data_refs: Vec<&[u8]> = (0..self.data)
-                .map(|i| shards[i].as_deref().expect("data recovered above"))
-                .collect();
-            let parity = self.encode(&data_refs)?;
-            for i in parity_missing {
-                shards[i] = Some(parity[i - self.data].clone());
+            let mut rebuilt: Vec<Vec<u8>> = parity_missing.iter().map(|_| vec![0u8; len]).collect();
+            {
+                let data_refs: Vec<&[u8]> = (0..self.data)
+                    .map(|i| shards[i].as_deref().expect("data recovered above"))
+                    .collect();
+                for (&i, out) in parity_missing.iter().zip(rebuilt.iter_mut()) {
+                    self.encode_row_into(i - self.data, &data_refs, out);
+                }
+            }
+            for (&i, buf) in parity_missing.iter().zip(rebuilt) {
+                shards[i] = Some(buf);
             }
         }
         Ok(())
@@ -456,6 +530,39 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_matches_encode_and_reuses_buffers() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 33); // odd length exercises the word tail
+        let expect = rs.encode(&data).unwrap();
+
+        // Dirty, differently-sized reusable buffers converge to the same
+        // output as `encode` without reallocating once capacity suffices.
+        let mut parity = vec![vec![0xffu8; 64], vec![0x11u8; 7]];
+        rs.encode_into(&data, &mut parity).unwrap();
+        assert_eq!(parity, expect);
+
+        let caps: Vec<usize> = parity.iter().map(Vec::capacity).collect();
+        rs.encode_into(&data, &mut parity).unwrap();
+        assert_eq!(parity, expect);
+        let caps_after: Vec<usize> = parity.iter().map(Vec::capacity).collect();
+        assert_eq!(caps, caps_after, "steady state must not reallocate");
+    }
+
+    #[test]
+    fn encode_into_checks_parity_buffer_count() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let data = sample_data(3, 8);
+        let mut parity = vec![Vec::new(); 3];
+        assert!(matches!(
+            rs.encode_into(&data, &mut parity),
+            Err(CodecError::WrongShardCount {
+                expected: 2,
+                actual: 3
+            })
+        ));
+    }
+
+    #[test]
     fn errors_display_cleanly() {
         let e = CodecError::TooManyMissing {
             missing: 3,
@@ -469,6 +576,29 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn encode_into_matches_encode_for_random_geometry(
+            m in 1usize..6,
+            k in 0usize..4,
+            len in 1usize..64,
+            seed: u64,
+        ) {
+            let rs = ReedSolomon::new(m, k).unwrap();
+            let data: Vec<Vec<u8>> = (0..m)
+                .map(|i| {
+                    (0..len)
+                        .map(|j| (seed
+                            .wrapping_mul(2862933555777941757)
+                            .wrapping_add((i * 733 + j) as u64) >> 29) as u8)
+                        .collect()
+                })
+                .collect();
+            let expect = rs.encode(&data).unwrap();
+            let mut parity = vec![vec![0xc3u8; (seed % 80) as usize]; k];
+            rs.encode_into(&data, &mut parity).unwrap();
+            prop_assert_eq!(parity, expect);
+        }
 
         #[test]
         fn random_reconstruct_roundtrip(

@@ -208,7 +208,7 @@ impl ObjectLayout {
     }
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 struct StripeChunk {
     role: ChunkRole,
     device: DeviceId,
@@ -238,6 +238,56 @@ impl StripeMeta {
     }
 }
 
+/// Cache of constructed codecs keyed by `(data, parity)` geometry.
+///
+/// Building a codec inverts a Vandermonde block and precomputes all
+/// per-coefficient multiply kernels — far too expensive to repeat per
+/// stripe operation, and an array only ever uses a handful of geometries.
+#[derive(Clone, Debug, Default)]
+struct CodecCache(HashMap<(usize, usize), ReedSolomon>);
+
+impl CodecCache {
+    fn get(&mut self, m: usize, k: usize) -> Result<&ReedSolomon, CodecError> {
+        use std::collections::hash_map::Entry;
+        match self.0.entry((m, k)) {
+            Entry::Occupied(e) => Ok(e.into_mut()),
+            Entry::Vacant(e) => Ok(e.insert(ReedSolomon::new(m, k)?)),
+        }
+    }
+}
+
+/// Reusable encode buffers. Stripe operations clear and refill these,
+/// leaving capacity behind for the next request — the write path performs
+/// no heap allocation once buffer capacities reach steady state.
+#[derive(Clone, Debug, Default)]
+struct StripeScratch {
+    /// Padded data shards fed to the encoder (also old/new chunk images on
+    /// the delta path).
+    shards: Vec<Vec<u8>>,
+    /// Encoded parity rows.
+    parity: Vec<Vec<u8>>,
+}
+
+/// Sizes `pool` to exactly `count` buffers of `len` zero bytes, reusing
+/// whatever capacity previous requests left behind.
+fn reset_buffers(pool: &mut Vec<Vec<u8>>, count: usize, len: usize) {
+    pool.resize_with(count, Vec::new);
+    for b in pool.iter_mut() {
+        b.clear();
+        b.resize(len, 0);
+    }
+}
+
+/// The mutable halves of a [`StripeManager`] that stripe I/O needs,
+/// borrowed disjointly from the `stripes` map so per-request paths can
+/// hold `&StripeMeta` straight out of the map instead of cloning it.
+struct StripeIo<'a> {
+    array: &'a mut FlashArray,
+    transient_retries: &'a mut u64,
+    codecs: &'a mut CodecCache,
+    scratch: &'a mut StripeScratch,
+}
+
 /// Stores objects as variable-redundancy stripes on a [`FlashArray`].
 ///
 /// See the crate docs for the model. One manager owns one array.
@@ -251,6 +301,8 @@ pub struct StripeManager {
     stripes: HashMap<StripeId, StripeMeta>,
     usage: SpaceUsage,
     transient_retries: u64,
+    codecs: CodecCache,
+    scratch: StripeScratch,
 }
 
 /// Retries per chunk read before a transient timeout is escalated.
@@ -290,34 +342,23 @@ impl StripeManager {
             stripes: HashMap::new(),
             usage: SpaceUsage::default(),
             transient_retries: 0,
+            codecs: CodecCache::default(),
+            scratch: StripeScratch::default(),
         }
     }
 
-    /// Reads a chunk, absorbing transient timeouts: waits out a doubling
-    /// backoff and retries up to [`TRANSIENT_RETRY_LIMIT`] times before
-    /// letting the error escalate. The backoff is charged to the
-    /// operation's timeline (the retried read starts later), so transient
-    /// faults surface as latency, not data loss.
-    fn read_chunk_retrying(
-        &mut self,
-        device: DeviceId,
-        handle: ChunkHandle,
-        now: SimTime,
-    ) -> Result<(StoredChunk, SimTime), FlashError> {
-        let mut at = now;
-        let mut backoff = TRANSIENT_BACKOFF;
-        let mut attempts = 0;
-        loop {
-            match self.array.device_mut(device).read_chunk(handle, at) {
-                Err(FlashError::TransientTimeout { .. }) if attempts < TRANSIENT_RETRY_LIMIT => {
-                    attempts += 1;
-                    self.transient_retries += 1;
-                    at += backoff;
-                    backoff = backoff * 2;
-                }
-                other => return other,
-            }
-        }
+    /// Splits the manager into its I/O half and the stripe map, so request
+    /// paths can mutate devices/buffers while borrowing metadata in place.
+    fn split_io(&mut self) -> (StripeIo<'_>, &HashMap<StripeId, StripeMeta>) {
+        (
+            StripeIo {
+                array: &mut self.array,
+                transient_retries: &mut self.transient_retries,
+                codecs: &mut self.codecs,
+                scratch: &mut self.scratch,
+            },
+            &self.stripes,
+        )
     }
 
     /// Chunk reads retried after a transient timeout, cumulatively.
@@ -554,43 +595,32 @@ impl StripeManager {
                 match scheme {
                     RedundancyScheme::Parity(0) => {}
                     RedundancyScheme::Parity(k) => {
-                        let parity_payloads: Option<Vec<Vec<u8>>> = match payload {
-                            Some(_) => {
-                                // Pad each data chunk to parity_len and encode.
-                                let shards: Vec<Vec<u8>> = chunks
-                                    .iter()
-                                    .map(|c| {
-                                        let mut v = vec![0u8; parity_len.as_bytes() as usize];
-                                        if let Some(p) = payload {
-                                            let off = stripe_offset(
-                                                stripe_no,
-                                                m,
-                                                c.role,
-                                                this.chunk_size,
-                                            );
-                                            v[..c.len.as_bytes() as usize].copy_from_slice(
-                                                &p[off as usize..(off + c.len.as_bytes()) as usize],
-                                            );
-                                        }
-                                        v
-                                    })
-                                    .collect();
-                                // The codec wants exactly m data shards;
-                                // pad missing tail shards with zeros.
-                                let mut shards = shards;
-                                while shards.len() < m {
-                                    shards.push(vec![0u8; parity_len.as_bytes() as usize]);
-                                }
-                                let rs = ReedSolomon::new(m, k as usize)?;
-                                Some(rs.encode(&shards)?)
+                        if let Some(p) = payload {
+                            // Pad each data chunk to parity_len in the
+                            // scratch pool and encode into reusable parity
+                            // buffers. The codec wants exactly m data
+                            // shards; rows past the stripe's real chunks
+                            // stay zero (phantom tail shards).
+                            let plen = parity_len.as_bytes() as usize;
+                            reset_buffers(&mut this.scratch.shards, m, plen);
+                            this.scratch.parity.resize_with(k as usize, Vec::new);
+                            for (j, c) in chunks.iter().enumerate() {
+                                let off = stripe_offset(stripe_no, m, c.role, this.chunk_size);
+                                this.scratch.shards[j][..c.len.as_bytes() as usize]
+                                    .copy_from_slice(
+                                        &p[off as usize..(off + c.len.as_bytes()) as usize],
+                                    );
                             }
-                            None => None,
-                        };
+                            let rs = this.codecs.get(m, k as usize)?;
+                            rs.encode_into(&this.scratch.shards, &mut this.scratch.parity)?;
+                        }
                         for p in 0..k as usize {
                             let device = healthy[layout.parity_device(p).0];
                             let handle = this.alloc_handle();
-                            let stored = match &parity_payloads {
-                                Some(pp) => StoredChunk::real(Bytes::copy_from_slice(&pp[p])),
+                            let stored = match payload {
+                                Some(_) => StoredChunk::real(Bytes::copy_from_slice(
+                                    &this.scratch.parity[p],
+                                )),
                                 None => StoredChunk::synthetic(parity_len),
                             };
                             let done = this
@@ -685,10 +715,6 @@ impl StripeManager {
         self.stripes.get(&id).ok_or(StripeError::UnknownStripe(id))
     }
 
-    fn chunk_intact(&self, c: &StripeChunk) -> bool {
-        self.array.device(c.device).chunk_is_intact(c.handle)
-    }
-
     /// The object's health, computed from chunk intactness. Free — no
     /// service time is charged (a metadata scan).
     ///
@@ -714,25 +740,7 @@ impl StripeManager {
     }
 
     fn stripe_health(&self, meta: &StripeMeta) -> StripeHealth {
-        let lost = meta.chunks.iter().filter(|c| !self.chunk_intact(c)).count();
-        if lost == 0 {
-            return StripeHealth::Intact;
-        }
-        if meta.scheme.is_replication() {
-            // Recoverable while any replica survives.
-            if lost == meta.chunks.len() {
-                StripeHealth::Lost(lost)
-            } else {
-                StripeHealth::Degraded(lost)
-            }
-        } else {
-            let width = meta.chunks.len();
-            if lost <= meta.tolerated(width) {
-                StripeHealth::Degraded(lost)
-            } else {
-                StripeHealth::Lost(lost)
-            }
-        }
+        stripe_health_on(&self.array, meta)
     }
 
     /// Reads an object, reconstructing lost chunks on the fly when needed
@@ -750,13 +758,10 @@ impl StripeManager {
         let mut degraded = false;
         let mut assembled: Option<Vec<Vec<u8>>> = None;
 
+        let (mut io, stripes) = self.split_io();
         for &sid in &layout.stripes {
-            let meta = self
-                .stripes
-                .get(&sid)
-                .ok_or(StripeError::UnknownStripe(sid))?
-                .clone();
-            match self.stripe_health(&meta) {
+            let meta = stripes.get(&sid).ok_or(StripeError::UnknownStripe(sid))?;
+            match stripe_health_on(io.array, meta) {
                 StripeHealth::Lost(lost) => {
                     let tolerated = meta.tolerated(meta.chunks.len());
                     return Err(StripeError::ObjectLost {
@@ -767,14 +772,14 @@ impl StripeManager {
                 }
                 StripeHealth::Intact => {
                     // Plain read of data chunks / primary replica.
-                    let stripe_bytes = self.read_stripe_data(&meta, now, &mut completions)?;
+                    let stripe_bytes = io.read_stripe_data(meta, now, &mut completions)?;
                     if let Some(b) = stripe_bytes {
                         assembled.get_or_insert_with(Vec::new).push(b);
                     }
                 }
                 StripeHealth::Degraded(_) => {
                     degraded = true;
-                    let stripe_bytes = self.degraded_read_stripe(&meta, now, &mut completions)?;
+                    let stripe_bytes = io.degraded_read_stripe(meta, now, &mut completions)?;
                     if let Some(b) = stripe_bytes {
                         assembled.get_or_insert_with(Vec::new).push(b);
                     }
@@ -796,145 +801,6 @@ impl StripeManager {
             degraded,
             completed_at,
         })
-    }
-
-    /// Reads the data chunks of an intact stripe. Returns assembled bytes
-    /// if the stripe holds real payloads.
-    fn read_stripe_data(
-        &mut self,
-        meta: &StripeMeta,
-        now: SimTime,
-        completions: &mut Vec<SimTime>,
-    ) -> Result<Option<Vec<u8>>, StripeError> {
-        if meta.scheme.is_replication() {
-            // Primary replica only.
-            let primary = meta
-                .chunks
-                .iter()
-                .find(|c| matches!(c.role, ChunkRole::Replica(0)))
-                .expect("replicated stripe has a primary");
-            let (chunk, done) = self.read_chunk_retrying(primary.device, primary.handle, now)?;
-            completions.push(done);
-            return Ok(chunk.payload().as_bytes().map(|b| b.to_vec()));
-        }
-        let mut parts: Vec<(usize, Option<Vec<u8>>)> = Vec::new();
-        for c in &meta.chunks {
-            if let ChunkRole::Data(j) = c.role {
-                let (chunk, done) = self.read_chunk_retrying(c.device, c.handle, now)?;
-                completions.push(done);
-                parts.push((j, chunk.payload().as_bytes().map(|b| b.to_vec())));
-            }
-        }
-        parts.sort_by_key(|(j, _)| *j);
-        if parts.iter().all(|(_, b)| b.is_some()) && !parts.is_empty() {
-            Ok(Some(
-                parts.into_iter().flat_map(|(_, b)| b.unwrap()).collect(),
-            ))
-        } else {
-            Ok(None)
-        }
-    }
-
-    /// Degraded read: read enough surviving chunks to reconstruct the
-    /// stripe's data, decode if payloads are real.
-    fn degraded_read_stripe(
-        &mut self,
-        meta: &StripeMeta,
-        now: SimTime,
-        completions: &mut Vec<SimTime>,
-    ) -> Result<Option<Vec<u8>>, StripeError> {
-        if meta.scheme.is_replication() {
-            // Any surviving replica serves the read.
-            let replica = meta
-                .chunks
-                .iter()
-                .find(|c| self.chunk_intact(c))
-                .expect("degraded (not lost) stripe has a survivor");
-            let (chunk, done) = self.read_chunk_retrying(replica.device, replica.handle, now)?;
-            completions.push(done);
-            return Ok(chunk.payload().as_bytes().map(|b| b.to_vec()));
-        }
-
-        // Parity stripe: collect survivors (data + parity), read the first
-        // `m` of them, reconstruct.
-        let m_actual = meta
-            .chunks
-            .iter()
-            .filter(|c| matches!(c.role, ChunkRole::Data(_)))
-            .count();
-        let parity_count = meta.chunks.len() - m_actual;
-        let parity_len = meta
-            .chunks
-            .iter()
-            .map(|c| c.len)
-            .fold(ByteSize::ZERO, ByteSize::max);
-
-        // Build the shard array in codec order: data shards (padded to the
-        // encode-time `m` with phantom zero shards for short stripes),
-        // then parity shards.
-        let codec_m = meta.encode_m;
-
-        let mut shards: Vec<Option<Vec<u8>>> = vec![None; codec_m + parity_count];
-        let mut reads_done = 0usize;
-        let real = meta.chunks.first().map(|c| c.real).unwrap_or(false);
-
-        // Phantom zero shards (short stripes) are always "present".
-        for shard in shards.iter_mut().take(codec_m).skip(m_actual) {
-            *shard = Some(vec![0u8; parity_len.as_bytes() as usize]);
-        }
-
-        let mut missing_real = 0usize;
-        for c in &meta.chunks {
-            let idx = match c.role {
-                ChunkRole::Data(j) => j,
-                ChunkRole::Parity(p) => codec_m + p,
-                ChunkRole::Replica(_) => unreachable!("parity stripe"),
-            };
-            if self.chunk_intact(c) {
-                // Only read up to m shards total (phantoms are free).
-                if reads_done + (codec_m - m_actual) < codec_m {
-                    let (chunk, done) = self.read_chunk_retrying(c.device, c.handle, now)?;
-                    completions.push(done);
-                    reads_done += 1;
-                    shards[idx] = Some(match chunk.payload().as_bytes() {
-                        Some(b) => {
-                            let mut v = b.to_vec();
-                            v.resize(parity_len.as_bytes() as usize, 0);
-                            v
-                        }
-                        None => vec![0u8; parity_len.as_bytes() as usize],
-                    });
-                }
-            } else {
-                missing_real += 1;
-            }
-        }
-        debug_assert!(missing_real <= parity_count);
-
-        if !real {
-            // Synthetic mode: timing already charged; nothing to decode.
-            return Ok(None);
-        }
-
-        let rs = ReedSolomon::new(codec_m, parity_count)?;
-        rs.reconstruct(&mut shards)?;
-
-        // Assemble data bytes in order, trimming to recorded lengths.
-        let mut out = Vec::new();
-        let mut lens: Vec<(usize, ByteSize)> = meta
-            .chunks
-            .iter()
-            .filter_map(|c| match c.role {
-                ChunkRole::Data(j) => Some((j, c.len)),
-                _ => None,
-            })
-            .collect();
-        lens.sort_by_key(|(j, _)| *j);
-        for (j, len) in lens {
-            let shard = shards[j].as_ref().expect("reconstructed");
-            out.extend_from_slice(&shard[..len.as_bytes() as usize]);
-        }
-        Ok(Some(out))
     }
 
     /// Overwrites one data chunk of an object in place, maintaining
@@ -986,15 +852,17 @@ impl StripeManager {
                 layout.owner
             )
         });
-        let meta = self
-            .stripes
-            .get(&sid)
-            .ok_or(StripeError::UnknownStripe(sid))?
-            .clone();
+        let now = self.array.clock().now();
+        let mut completions: Vec<SimTime> = Vec::new();
+
+        let (mut io, stripes) = self.split_io();
+        let meta = stripes.get(&sid).ok_or(StripeError::UnknownStripe(sid))?;
 
         // Overwrites need the stripe intact: reconstructing *and*
         // updating in one step is the rebuild path's job.
-        if let StripeHealth::Degraded(lost) | StripeHealth::Lost(lost) = self.stripe_health(&meta) {
+        if let StripeHealth::Degraded(lost) | StripeHealth::Lost(lost) =
+            stripe_health_on(io.array, meta)
+        {
             return Err(StripeError::ObjectLost {
                 stripe: sid,
                 lost,
@@ -1002,16 +870,12 @@ impl StripeManager {
             });
         }
 
-        let now = self.array.clock().now();
-        let mut completions: Vec<SimTime> = Vec::new();
-
-        let target_chunk = meta
+        let target_chunk = *meta
             .chunks
             .iter()
             .filter(|c| c.role.is_user_data())
             .nth(local_j)
-            .expect("local index within stripe")
-            .clone();
+            .expect("local index within stripe");
         if let Some(p) = new_payload {
             if p.len() as u64 != target_chunk.len.as_bytes() {
                 return Err(StripeError::PayloadSizeMismatch {
@@ -1029,7 +893,7 @@ impl StripeManager {
                         Some(p) => StoredChunk::real(Bytes::copy_from_slice(p)),
                         None => StoredChunk::synthetic(c.len),
                     };
-                    let done = self
+                    let done = io
                         .array
                         .device_mut(c.device)
                         .write_chunk(c.handle, stored, now)?;
@@ -1042,7 +906,7 @@ impl StripeManager {
                     Some(p) => StoredChunk::real(Bytes::copy_from_slice(p)),
                     None => StoredChunk::synthetic(target_chunk.len),
                 };
-                let done = self.array.device_mut(target_chunk.device).write_chunk(
+                let done = io.array.device_mut(target_chunk.device).write_chunk(
                     target_chunk.handle,
                     stored,
                     now,
@@ -1050,8 +914,8 @@ impl StripeManager {
                 completions.push(done);
                 ParityUpdate::Rewrite
             }
-            RedundancyScheme::Parity(_) => self.overwrite_with_parity(
-                &meta,
+            RedundancyScheme::Parity(_) => io.overwrite_with_parity(
+                meta,
                 &target_chunk,
                 local_j,
                 new_payload,
@@ -1065,130 +929,6 @@ impl StripeManager {
             .tracer()
             .record_span(Layer::Stripe, "overwrite", now, completed_at);
         Ok((method, completed_at))
-    }
-
-    /// The parity-maintaining overwrite: picks delta vs direct by read
-    /// count, reads what it needs, recomputes parity, writes back.
-    fn overwrite_with_parity(
-        &mut self,
-        meta: &StripeMeta,
-        target: &StripeChunk,
-        local_j: usize,
-        new_payload: Option<&[u8]>,
-        now: SimTime,
-        completions: &mut Vec<SimTime>,
-    ) -> Result<ParityUpdate, StripeError> {
-        let parity_chunks: Vec<StripeChunk> = meta
-            .chunks
-            .iter()
-            .filter(|c| matches!(c.role, ChunkRole::Parity(_)))
-            .cloned()
-            .collect();
-        let data_chunks: Vec<StripeChunk> = meta
-            .chunks
-            .iter()
-            .filter(|c| matches!(c.role, ChunkRole::Data(_)))
-            .cloned()
-            .collect();
-        let k = parity_chunks.len();
-        let m_actual = data_chunks.len();
-        let parity_len = meta
-            .chunks
-            .iter()
-            .map(|c| c.len)
-            .fold(ByteSize::ZERO, ByteSize::max);
-        let real = target.real;
-
-        // Section II-B's rule: the method with the fewest chunk reads.
-        let delta_reads = 1 + k;
-        let direct_reads = m_actual.saturating_sub(1);
-        let use_delta = delta_reads <= direct_reads;
-
-        let pad = |v: &[u8]| {
-            let mut out = v.to_vec();
-            out.resize(parity_len.as_bytes() as usize, 0);
-            out
-        };
-
-        let new_parities: Option<Vec<Vec<u8>>> = if use_delta {
-            // Read the old chunk and all parity chunks.
-            let (old_chunk, done) = self.read_chunk_retrying(target.device, target.handle, now)?;
-            completions.push(done);
-            let mut old_parities = Vec::with_capacity(k);
-            for c in &parity_chunks {
-                let (chunk, done) = self.read_chunk_retrying(c.device, c.handle, now)?;
-                completions.push(done);
-                old_parities.push(chunk);
-            }
-            if real {
-                let rs = ReedSolomon::new(meta.encode_m, k)?;
-                let old = pad(old_chunk.payload().as_bytes().expect("real stripe"));
-                let new = pad(new_payload.expect("real stripes get real payloads"));
-                let mut parities: Vec<Vec<u8>> = old_parities
-                    .iter()
-                    .map(|c| pad(c.payload().as_bytes().expect("real stripe")))
-                    .collect();
-                reo_erasure::delta::apply_delta_update(&rs, local_j, &old, &new, &mut parities)?;
-                Some(parities)
-            } else {
-                None
-            }
-        } else {
-            // Read the sibling data chunks and re-encode from scratch.
-            let mut shards: Vec<Vec<u8>> = Vec::with_capacity(meta.encode_m);
-            for (j, c) in data_chunks.iter().enumerate() {
-                if j == local_j {
-                    shards.push(match new_payload {
-                        Some(p) => pad(p),
-                        None => vec![0u8; parity_len.as_bytes() as usize],
-                    });
-                    continue;
-                }
-                let (chunk, done) = self.read_chunk_retrying(c.device, c.handle, now)?;
-                completions.push(done);
-                shards.push(match chunk.payload().as_bytes() {
-                    Some(b) => pad(b),
-                    None => vec![0u8; parity_len.as_bytes() as usize],
-                });
-            }
-            while shards.len() < meta.encode_m {
-                shards.push(vec![0u8; parity_len.as_bytes() as usize]);
-            }
-            if real {
-                let rs = ReedSolomon::new(meta.encode_m, k)?;
-                Some(rs.encode(&shards)?)
-            } else {
-                None
-            }
-        };
-
-        // Write the new data chunk and the refreshed parity chunks.
-        let stored = match new_payload {
-            Some(p) => StoredChunk::real(Bytes::copy_from_slice(p)),
-            None => StoredChunk::synthetic(target.len),
-        };
-        let done = self
-            .array
-            .device_mut(target.device)
-            .write_chunk(target.handle, stored, now)?;
-        completions.push(done);
-        for (p, c) in parity_chunks.iter().enumerate() {
-            let stored = match &new_parities {
-                Some(np) => StoredChunk::real(Bytes::copy_from_slice(&np[p])),
-                None => StoredChunk::synthetic(c.len),
-            };
-            let done = self
-                .array
-                .device_mut(c.device)
-                .write_chunk(c.handle, stored, now)?;
-            completions.push(done);
-        }
-
-        Ok(if use_delta {
-            ParityUpdate::Delta
-        } else {
-            ParityUpdate::Direct
-        })
     }
 
     /// Rebuilds every lost chunk of an object back onto its (replaced)
@@ -1207,13 +947,10 @@ impl StripeManager {
         let now = self.array.clock().now();
         let mut completions: Vec<SimTime> = Vec::new();
 
+        let (mut io, stripes) = self.split_io();
         for &sid in &layout.stripes {
-            let meta = self
-                .stripes
-                .get(&sid)
-                .ok_or(StripeError::UnknownStripe(sid))?
-                .clone();
-            match self.stripe_health(&meta) {
+            let meta = stripes.get(&sid).ok_or(StripeError::UnknownStripe(sid))?;
+            match stripe_health_on(io.array, meta) {
                 StripeHealth::Intact => continue,
                 StripeHealth::Lost(lost) => {
                     return Err(StripeError::ObjectLost {
@@ -1224,113 +961,7 @@ impl StripeManager {
                 }
                 StripeHealth::Degraded(_) => {}
             }
-
-            if meta.scheme.is_replication() {
-                // Copy a surviving replica onto each lost slot.
-                let survivor = meta
-                    .chunks
-                    .iter()
-                    .find(|c| self.chunk_intact(c))
-                    .expect("degraded stripe has a survivor")
-                    .clone();
-                let (src, done) =
-                    self.read_chunk_retrying(survivor.device, survivor.handle, now)?;
-                completions.push(done);
-                let lost: Vec<StripeChunk> = meta
-                    .chunks
-                    .iter()
-                    .filter(|c| !self.chunk_intact(c))
-                    .cloned()
-                    .collect();
-                for c in lost {
-                    let stored = match src.payload().as_bytes() {
-                        Some(b) => StoredChunk::real(b.clone()),
-                        None => StoredChunk::synthetic(c.len),
-                    };
-                    let done = self
-                        .array
-                        .device_mut(c.device)
-                        .write_chunk(c.handle, stored, now)?;
-                    completions.push(done);
-                }
-            } else {
-                // Parity stripe: reconstruct all shards, write back lost.
-                let parity_len = meta
-                    .chunks
-                    .iter()
-                    .map(|c| c.len)
-                    .fold(ByteSize::ZERO, ByteSize::max);
-                let codec_m = meta.encode_m;
-                let real = meta.chunks.first().map(|c| c.real).unwrap_or(false);
-                let parity_count = meta
-                    .chunks
-                    .iter()
-                    .filter(|c| matches!(c.role, ChunkRole::Parity(_)))
-                    .count();
-                let m_actual = meta.chunks.len() - parity_count;
-
-                let mut shards: Vec<Option<Vec<u8>>> = vec![None; codec_m + parity_count];
-                for shard in shards.iter_mut().take(codec_m).skip(m_actual) {
-                    *shard = Some(vec![0u8; parity_len.as_bytes() as usize]);
-                }
-                let mut survivors_read = 0usize;
-                for c in &meta.chunks {
-                    if !self.chunk_intact(c) {
-                        continue;
-                    }
-                    if survivors_read + (codec_m - m_actual) >= codec_m {
-                        break;
-                    }
-                    let idx = match c.role {
-                        ChunkRole::Data(j) => j,
-                        ChunkRole::Parity(p) => codec_m + p,
-                        ChunkRole::Replica(_) => unreachable!(),
-                    };
-                    let (chunk, done) = self.read_chunk_retrying(c.device, c.handle, now)?;
-                    completions.push(done);
-                    survivors_read += 1;
-                    shards[idx] = Some(match chunk.payload().as_bytes() {
-                        Some(b) => {
-                            let mut v = b.to_vec();
-                            v.resize(parity_len.as_bytes() as usize, 0);
-                            v
-                        }
-                        None => vec![0u8; parity_len.as_bytes() as usize],
-                    });
-                }
-
-                if real {
-                    let rs = ReedSolomon::new(codec_m, parity_count)?;
-                    rs.reconstruct(&mut shards)?;
-                }
-
-                let lost: Vec<StripeChunk> = meta
-                    .chunks
-                    .iter()
-                    .filter(|c| !self.chunk_intact(c))
-                    .cloned()
-                    .collect();
-                for c in lost {
-                    let idx = match c.role {
-                        ChunkRole::Data(j) => j,
-                        ChunkRole::Parity(p) => codec_m + p,
-                        ChunkRole::Replica(_) => unreachable!(),
-                    };
-                    let stored = if real {
-                        let shard = shards[idx].as_ref().expect("reconstructed");
-                        StoredChunk::real(Bytes::copy_from_slice(
-                            &shard[..c.len.as_bytes() as usize],
-                        ))
-                    } else {
-                        StoredChunk::synthetic(c.len)
-                    };
-                    let done = self
-                        .array
-                        .device_mut(c.device)
-                        .write_chunk(c.handle, stored, now)?;
-                    completions.push(done);
-                }
-            }
+            io.rebuild_stripe(meta, now, &mut completions)?;
         }
         let completed_at = self.array.complete_batch(completions);
         self.array
@@ -1679,11 +1310,494 @@ impl StripeManager {
     }
 }
 
+impl StripeIo<'_> {
+    /// Reads the data chunks of an intact stripe. Returns assembled bytes
+    /// if the stripe holds real payloads.
+    fn read_stripe_data(
+        &mut self,
+        meta: &StripeMeta,
+        now: SimTime,
+        completions: &mut Vec<SimTime>,
+    ) -> Result<Option<Vec<u8>>, StripeError> {
+        if meta.scheme.is_replication() {
+            // Primary replica only.
+            let primary = meta
+                .chunks
+                .iter()
+                .find(|c| matches!(c.role, ChunkRole::Replica(0)))
+                .expect("replicated stripe has a primary");
+            let (chunk, done) = read_chunk_retrying(
+                self.array,
+                self.transient_retries,
+                primary.device,
+                primary.handle,
+                now,
+            )?;
+            completions.push(done);
+            return Ok(chunk.payload().as_bytes().map(|b| b.to_vec()));
+        }
+        let mut parts: Vec<(usize, Option<Vec<u8>>)> = Vec::new();
+        for c in &meta.chunks {
+            if let ChunkRole::Data(j) = c.role {
+                let (chunk, done) = read_chunk_retrying(
+                    self.array,
+                    self.transient_retries,
+                    c.device,
+                    c.handle,
+                    now,
+                )?;
+                completions.push(done);
+                parts.push((j, chunk.payload().as_bytes().map(|b| b.to_vec())));
+            }
+        }
+        parts.sort_by_key(|(j, _)| *j);
+        if parts.iter().all(|(_, b)| b.is_some()) && !parts.is_empty() {
+            Ok(Some(
+                parts.into_iter().flat_map(|(_, b)| b.unwrap()).collect(),
+            ))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Degraded read: read enough surviving chunks to reconstruct the
+    /// stripe's data, decode if payloads are real.
+    fn degraded_read_stripe(
+        &mut self,
+        meta: &StripeMeta,
+        now: SimTime,
+        completions: &mut Vec<SimTime>,
+    ) -> Result<Option<Vec<u8>>, StripeError> {
+        if meta.scheme.is_replication() {
+            // Any surviving replica serves the read.
+            let replica = meta
+                .chunks
+                .iter()
+                .find(|c| chunk_intact_on(self.array, c))
+                .expect("degraded (not lost) stripe has a survivor");
+            let (chunk, done) = read_chunk_retrying(
+                self.array,
+                self.transient_retries,
+                replica.device,
+                replica.handle,
+                now,
+            )?;
+            completions.push(done);
+            return Ok(chunk.payload().as_bytes().map(|b| b.to_vec()));
+        }
+
+        // Parity stripe: collect survivors (data + parity), read the first
+        // `m` of them, reconstruct.
+        let m_actual = meta
+            .chunks
+            .iter()
+            .filter(|c| matches!(c.role, ChunkRole::Data(_)))
+            .count();
+        let parity_count = meta.chunks.len() - m_actual;
+        let parity_len = meta
+            .chunks
+            .iter()
+            .map(|c| c.len)
+            .fold(ByteSize::ZERO, ByteSize::max);
+
+        // Build the shard array in codec order: data shards (padded to the
+        // encode-time `m` with phantom zero shards for short stripes),
+        // then parity shards.
+        let codec_m = meta.encode_m;
+
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; codec_m + parity_count];
+        let mut reads_done = 0usize;
+        let real = meta.chunks.first().map(|c| c.real).unwrap_or(false);
+
+        // Phantom zero shards (short stripes) are always "present".
+        for shard in shards.iter_mut().take(codec_m).skip(m_actual) {
+            *shard = Some(vec![0u8; parity_len.as_bytes() as usize]);
+        }
+
+        let mut missing_real = 0usize;
+        for c in &meta.chunks {
+            let idx = match c.role {
+                ChunkRole::Data(j) => j,
+                ChunkRole::Parity(p) => codec_m + p,
+                ChunkRole::Replica(_) => unreachable!("parity stripe"),
+            };
+            if chunk_intact_on(self.array, c) {
+                // Only read up to m shards total (phantoms are free).
+                if reads_done + (codec_m - m_actual) < codec_m {
+                    let (chunk, done) = read_chunk_retrying(
+                        self.array,
+                        self.transient_retries,
+                        c.device,
+                        c.handle,
+                        now,
+                    )?;
+                    completions.push(done);
+                    reads_done += 1;
+                    shards[idx] = Some(match chunk.payload().as_bytes() {
+                        Some(b) => {
+                            let mut v = b.to_vec();
+                            v.resize(parity_len.as_bytes() as usize, 0);
+                            v
+                        }
+                        None => vec![0u8; parity_len.as_bytes() as usize],
+                    });
+                }
+            } else {
+                missing_real += 1;
+            }
+        }
+        debug_assert!(missing_real <= parity_count);
+
+        if !real {
+            // Synthetic mode: timing already charged; nothing to decode.
+            return Ok(None);
+        }
+
+        let rs = self.codecs.get(codec_m, parity_count)?;
+        rs.reconstruct(&mut shards)?;
+
+        // Assemble data bytes in order, trimming to recorded lengths.
+        let mut out = Vec::new();
+        let mut lens: Vec<(usize, ByteSize)> = meta
+            .chunks
+            .iter()
+            .filter_map(|c| match c.role {
+                ChunkRole::Data(j) => Some((j, c.len)),
+                _ => None,
+            })
+            .collect();
+        lens.sort_by_key(|(j, _)| *j);
+        for (j, len) in lens {
+            let shard = shards[j].as_ref().expect("reconstructed");
+            out.extend_from_slice(&shard[..len.as_bytes() as usize]);
+        }
+        Ok(Some(out))
+    }
+
+    /// The parity-maintaining overwrite: picks delta vs direct by read
+    /// count, reads what it needs, recomputes parity, writes back.
+    ///
+    /// All encode inputs and outputs live in the manager's scratch pool,
+    /// so the steady-state write path allocates nothing.
+    fn overwrite_with_parity(
+        &mut self,
+        meta: &StripeMeta,
+        target: &StripeChunk,
+        local_j: usize,
+        new_payload: Option<&[u8]>,
+        now: SimTime,
+        completions: &mut Vec<SimTime>,
+    ) -> Result<ParityUpdate, StripeError> {
+        let is_parity = |c: &&StripeChunk| matches!(c.role, ChunkRole::Parity(_));
+        let is_data = |c: &&StripeChunk| matches!(c.role, ChunkRole::Data(_));
+        let k = meta.chunks.iter().filter(is_parity).count();
+        let m_actual = meta.chunks.iter().filter(is_data).count();
+        let parity_len = meta
+            .chunks
+            .iter()
+            .map(|c| c.len)
+            .fold(ByteSize::ZERO, ByteSize::max);
+        let plen = parity_len.as_bytes() as usize;
+        let real = target.real;
+
+        // Section II-B's rule: the method with the fewest chunk reads.
+        let delta_reads = 1 + k;
+        let direct_reads = m_actual.saturating_sub(1);
+        let use_delta = delta_reads <= direct_reads;
+
+        if use_delta {
+            // Read the old chunk and all parity chunks, padding each into
+            // scratch; patch parity in place with the fused delta kernel.
+            // scratch.shards[0] holds the old image, [1] the new one.
+            reset_buffers(&mut self.scratch.shards, 2, plen);
+            reset_buffers(&mut self.scratch.parity, k, plen);
+            let (old_chunk, done) = read_chunk_retrying(
+                self.array,
+                self.transient_retries,
+                target.device,
+                target.handle,
+                now,
+            )?;
+            completions.push(done);
+            if real {
+                let b = old_chunk.payload().as_bytes().expect("real stripe");
+                self.scratch.shards[0][..b.len()].copy_from_slice(b);
+                let new = new_payload.expect("real stripes get real payloads");
+                self.scratch.shards[1][..new.len()].copy_from_slice(new);
+            }
+            for (p, c) in meta.chunks.iter().filter(is_parity).enumerate() {
+                let (chunk, done) = read_chunk_retrying(
+                    self.array,
+                    self.transient_retries,
+                    c.device,
+                    c.handle,
+                    now,
+                )?;
+                completions.push(done);
+                if real {
+                    let b = chunk.payload().as_bytes().expect("real stripe");
+                    self.scratch.parity[p][..b.len()].copy_from_slice(b);
+                }
+            }
+            if real {
+                let rs = self.codecs.get(meta.encode_m, k)?;
+                let (old, new) = (&self.scratch.shards[0], &self.scratch.shards[1]);
+                reo_erasure::delta::apply_delta_update(
+                    rs,
+                    local_j,
+                    old,
+                    new,
+                    &mut self.scratch.parity,
+                )?;
+            }
+        } else {
+            // Read the sibling data chunks and re-encode from scratch.
+            // Rows past `m_actual` stay zero — the phantom shards of a
+            // short stripe.
+            reset_buffers(&mut self.scratch.shards, meta.encode_m, plen);
+            self.scratch.parity.resize_with(k, Vec::new);
+            for (j, c) in meta.chunks.iter().filter(is_data).enumerate() {
+                if j == local_j {
+                    if let Some(p) = new_payload {
+                        self.scratch.shards[j][..p.len()].copy_from_slice(p);
+                    }
+                    continue;
+                }
+                let (chunk, done) = read_chunk_retrying(
+                    self.array,
+                    self.transient_retries,
+                    c.device,
+                    c.handle,
+                    now,
+                )?;
+                completions.push(done);
+                if real {
+                    if let Some(b) = chunk.payload().as_bytes() {
+                        self.scratch.shards[j][..b.len()].copy_from_slice(b);
+                    }
+                }
+            }
+            if real {
+                let rs = self.codecs.get(meta.encode_m, k)?;
+                rs.encode_into(&self.scratch.shards, &mut self.scratch.parity)?;
+            }
+        }
+
+        // Write the new data chunk and the refreshed parity chunks.
+        let stored = match new_payload {
+            Some(p) => StoredChunk::real(Bytes::copy_from_slice(p)),
+            None => StoredChunk::synthetic(target.len),
+        };
+        let done = self
+            .array
+            .device_mut(target.device)
+            .write_chunk(target.handle, stored, now)?;
+        completions.push(done);
+        for (p, c) in meta.chunks.iter().filter(is_parity).enumerate() {
+            let stored = if real {
+                StoredChunk::real(Bytes::copy_from_slice(&self.scratch.parity[p]))
+            } else {
+                StoredChunk::synthetic(c.len)
+            };
+            let done = self
+                .array
+                .device_mut(c.device)
+                .write_chunk(c.handle, stored, now)?;
+            completions.push(done);
+        }
+
+        Ok(if use_delta {
+            ParityUpdate::Delta
+        } else {
+            ParityUpdate::Direct
+        })
+    }
+
+    /// Rebuilds the lost chunks of one degraded stripe back onto their
+    /// (replaced) devices.
+    fn rebuild_stripe(
+        &mut self,
+        meta: &StripeMeta,
+        now: SimTime,
+        completions: &mut Vec<SimTime>,
+    ) -> Result<(), StripeError> {
+        if meta.scheme.is_replication() {
+            // Copy a surviving replica onto each lost slot.
+            let survivor = *meta
+                .chunks
+                .iter()
+                .find(|c| chunk_intact_on(self.array, c))
+                .expect("degraded stripe has a survivor");
+            let (src, done) = read_chunk_retrying(
+                self.array,
+                self.transient_retries,
+                survivor.device,
+                survivor.handle,
+                now,
+            )?;
+            completions.push(done);
+            let lost: Vec<StripeChunk> = meta
+                .chunks
+                .iter()
+                .filter(|c| !chunk_intact_on(self.array, c))
+                .copied()
+                .collect();
+            for c in lost {
+                let stored = match src.payload().as_bytes() {
+                    Some(b) => StoredChunk::real(b.clone()),
+                    None => StoredChunk::synthetic(c.len),
+                };
+                let done = self
+                    .array
+                    .device_mut(c.device)
+                    .write_chunk(c.handle, stored, now)?;
+                completions.push(done);
+            }
+            return Ok(());
+        }
+
+        // Parity stripe: reconstruct all shards, write back lost.
+        let parity_len = meta
+            .chunks
+            .iter()
+            .map(|c| c.len)
+            .fold(ByteSize::ZERO, ByteSize::max);
+        let codec_m = meta.encode_m;
+        let real = meta.chunks.first().map(|c| c.real).unwrap_or(false);
+        let parity_count = meta
+            .chunks
+            .iter()
+            .filter(|c| matches!(c.role, ChunkRole::Parity(_)))
+            .count();
+        let m_actual = meta.chunks.len() - parity_count;
+
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; codec_m + parity_count];
+        for shard in shards.iter_mut().take(codec_m).skip(m_actual) {
+            *shard = Some(vec![0u8; parity_len.as_bytes() as usize]);
+        }
+        let mut survivors_read = 0usize;
+        for c in &meta.chunks {
+            if !chunk_intact_on(self.array, c) {
+                continue;
+            }
+            if survivors_read + (codec_m - m_actual) >= codec_m {
+                break;
+            }
+            let idx = match c.role {
+                ChunkRole::Data(j) => j,
+                ChunkRole::Parity(p) => codec_m + p,
+                ChunkRole::Replica(_) => unreachable!(),
+            };
+            let (chunk, done) =
+                read_chunk_retrying(self.array, self.transient_retries, c.device, c.handle, now)?;
+            completions.push(done);
+            survivors_read += 1;
+            shards[idx] = Some(match chunk.payload().as_bytes() {
+                Some(b) => {
+                    let mut v = b.to_vec();
+                    v.resize(parity_len.as_bytes() as usize, 0);
+                    v
+                }
+                None => vec![0u8; parity_len.as_bytes() as usize],
+            });
+        }
+
+        if real {
+            let rs = self.codecs.get(codec_m, parity_count)?;
+            rs.reconstruct(&mut shards)?;
+        }
+
+        let lost: Vec<StripeChunk> = meta
+            .chunks
+            .iter()
+            .filter(|c| !chunk_intact_on(self.array, c))
+            .copied()
+            .collect();
+        for c in lost {
+            let idx = match c.role {
+                ChunkRole::Data(j) => j,
+                ChunkRole::Parity(p) => codec_m + p,
+                ChunkRole::Replica(_) => unreachable!(),
+            };
+            let stored = if real {
+                let shard = shards[idx].as_ref().expect("reconstructed");
+                StoredChunk::real(Bytes::copy_from_slice(&shard[..c.len.as_bytes() as usize]))
+            } else {
+                StoredChunk::synthetic(c.len)
+            };
+            let done = self
+                .array
+                .device_mut(c.device)
+                .write_chunk(c.handle, stored, now)?;
+            completions.push(done);
+        }
+        Ok(())
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum StripeHealth {
     Intact,
     Degraded(usize),
     Lost(usize),
+}
+
+/// Reads a chunk, absorbing transient timeouts: waits out a doubling
+/// backoff and retries up to [`TRANSIENT_RETRY_LIMIT`] times before
+/// letting the error escalate. The backoff is charged to the operation's
+/// timeline (the retried read starts later), so transient faults surface
+/// as latency, not data loss.
+fn read_chunk_retrying(
+    array: &mut FlashArray,
+    transient_retries: &mut u64,
+    device: DeviceId,
+    handle: ChunkHandle,
+    now: SimTime,
+) -> Result<(StoredChunk, SimTime), FlashError> {
+    let mut at = now;
+    let mut backoff = TRANSIENT_BACKOFF;
+    let mut attempts = 0;
+    loop {
+        match array.device_mut(device).read_chunk(handle, at) {
+            Err(FlashError::TransientTimeout { .. }) if attempts < TRANSIENT_RETRY_LIMIT => {
+                attempts += 1;
+                *transient_retries += 1;
+                at += backoff;
+                backoff = backoff * 2;
+            }
+            other => return other,
+        }
+    }
+}
+
+fn chunk_intact_on(array: &FlashArray, c: &StripeChunk) -> bool {
+    array.device(c.device).chunk_is_intact(c.handle)
+}
+
+fn stripe_health_on(array: &FlashArray, meta: &StripeMeta) -> StripeHealth {
+    let lost = meta
+        .chunks
+        .iter()
+        .filter(|c| !chunk_intact_on(array, c))
+        .count();
+    if lost == 0 {
+        return StripeHealth::Intact;
+    }
+    if meta.scheme.is_replication() {
+        // Recoverable while any replica survives.
+        if lost == meta.chunks.len() {
+            StripeHealth::Lost(lost)
+        } else {
+            StripeHealth::Degraded(lost)
+        }
+    } else {
+        let width = meta.chunks.len();
+        if lost <= meta.tolerated(width) {
+            StripeHealth::Degraded(lost)
+        } else {
+            StripeHealth::Lost(lost)
+        }
+    }
 }
 
 fn clamp_scheme(scheme: RedundancyScheme, healthy: usize) -> RedundancyScheme {

@@ -66,6 +66,34 @@ fn runs_are_deterministic_across_repetitions() {
 }
 
 #[test]
+fn parallel_sweep_matches_serial_cell_for_cell() {
+    use reo_repro::core::parallel_map_ordered;
+
+    // The sweep pool must be invisible in the results: every cell's
+    // metrics identical to the serial loop, in the serial loop's order.
+    let t = trace(600, 0.1, 11);
+    let cells = [0.08, 0.12, 0.16];
+    let run_cell = |_: usize, &frac: &f64| {
+        let mut sys = system(SchemeConfig::Reo { reserve: 0.20 }, &t, frac);
+        let result = ExperimentRunner::run(&mut sys, &t, &ExperimentPlan::normal_run());
+        (
+            result.totals.read_hits,
+            result.totals.requested_bytes,
+            result.totals.elapsed,
+            result.space_efficiency.to_bits(),
+        )
+    };
+    let serial = parallel_map_ordered(&cells, 1, run_cell);
+    for threads in [2, 8] {
+        assert_eq!(
+            parallel_map_ordered(&cells, threads, run_cell),
+            serial,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
 fn space_efficiency_anchors_match_the_paper() {
     // Section VI-B: 0-parity 100%, 1-parity 80%, 2-parity 60%,
     // full replication 20% on a five-device array.
