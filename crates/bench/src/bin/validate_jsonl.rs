@@ -36,7 +36,7 @@ fn main() {
                 println!(
                     "{file}: ok — {} records (schema v{}; {})",
                     summary.records,
-                    export::SCHEMA_VERSION,
+                    summary.schema_version,
                     kinds.join(" ")
                 );
             }

@@ -9,10 +9,11 @@
 //!
 //! * [`jsonl`] — machine-readable JSON lines, one record per line, each
 //!   tagged with a `kind` field (`meta`, `totals`, `class`, `layer`,
-//!   `device`, `cache`, `resilience`, `perf`, `series`). The first line is
-//!   always the `meta` record carrying [`SCHEMA_VERSION`]; [`validate_jsonl`]
-//!   checks a document against this schema (the CI smoke job runs it on a
-//!   real `exp_normal_run --trace` output).
+//!   `device`, `cache`, `resilience`, `perf`, `placement`, `series`). The
+//!   first line is always the `meta` record carrying [`SCHEMA_VERSION`];
+//!   [`validate_jsonl`] checks a document against this schema — accepting
+//!   [`MIN_SCHEMA_VERSION`] through current — (the CI smoke jobs run it on
+//!   real experiment outputs and the committed perf baseline).
 //! * [`render_summary`] — the aligned human tables the binaries print.
 //!
 //! Latencies are exported in milliseconds, byte volumes in MiB; raw
@@ -21,7 +22,10 @@
 use std::collections::BTreeMap;
 use std::io::Write as _;
 
-use reo_core::{CacheSystem, DeviceReport, ExperimentResult, MetricsSnapshot, TimeSeriesPoint};
+use reo_core::{
+    CacheSystem, ClusterRunResult, ClusterSystem, DeviceId, DeviceReport, ExperimentResult,
+    MetricsSnapshot, TargetMetricsRow, TimeSeriesPoint,
+};
 use reo_sim::{Layer, TraceBreakdown};
 use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -33,11 +37,19 @@ use serde::{DeError, Deserialize, Serialize, Value};
 /// service counters, rebuild-throttle activity, per-class
 /// time-to-restored-redundancy). v4 added the optional repeated `perf`
 /// record (one microbenchmark measurement per line, emitted by the
-/// `perfbench` binary).
-pub const SCHEMA_VERSION: u64 = 4;
+/// `perfbench` binary). v5 added the optional repeated `placement`
+/// record (one per cluster target, emitted by scale-out runs) plus the
+/// `internal_errors` counter and `rejected_events_by_reason` breakdown
+/// on `resilience`.
+pub const SCHEMA_VERSION: u64 = 5;
+
+/// Oldest schema version [`validate_jsonl`] still accepts: v5 only adds
+/// record kinds and fields, so v4 documents (e.g. the committed perf
+/// baseline) remain valid.
+pub const MIN_SCHEMA_VERSION: u64 = 4;
 
 /// The record kinds a JSON-lines document may contain.
-pub const RECORD_KINDS: [&str; 9] = [
+pub const RECORD_KINDS: [&str; 10] = [
     "meta",
     "totals",
     "class",
@@ -46,6 +58,7 @@ pub const RECORD_KINDS: [&str; 9] = [
     "cache",
     "resilience",
     "perf",
+    "placement",
     "series",
 ];
 
@@ -103,6 +116,84 @@ pub fn collect_run_report(
         resilience: system.resilience(),
         series: result.series.clone(),
         space_efficiency: result.space_efficiency,
+        perf: Vec::new(),
+    }
+}
+
+/// Gathers a [`RunReport`] from a finished cluster and its run result:
+/// per-target rows ride in [`MetricsSnapshot::targets`] (exported as
+/// `placement` records), node counters are summed (device rows get
+/// global ids, `devices_per_node * target + local`), and the
+/// `resilience` record carries the cluster-level view — health label,
+/// summed degraded-service counters, merged rejection breakdown, and
+/// the worst per-class time-to-restored-redundancy.
+pub fn collect_cluster_report(
+    experiment: &str,
+    scheme: &str,
+    cluster: &ClusterSystem,
+    result: &ClusterRunResult,
+) -> RunReport {
+    let per_node = cluster.config().devices;
+    let mut devices = Vec::new();
+    let mut cache = reo_cache::CacheStats::default();
+    let mut resilience = reo_core::ResilienceSnapshot {
+        health: result.health.clone(),
+        health_transitions: 0,
+        shed_requests: 0,
+        write_throughs: 0,
+        bypassed_fills: 0,
+        rejected_events: result.rejected_events,
+        rejected_events_by_reason: Vec::new(),
+        internal_errors: 0,
+        throttle_stalls: result.migration_stalls,
+        rebuild_throttle_bytes: result.migration_throttle_bytes,
+        ttr_us: [-1; 4],
+    };
+    let mut by_reason: BTreeMap<String, u64> =
+        result.rejected_events_by_reason.iter().cloned().collect();
+    let mut efficiency = 0.0;
+    for t in 0..cluster.targets_created() {
+        let node = cluster.node(t);
+        for mut d in node.device_stats() {
+            d.id = DeviceId(per_node * t + d.id.0);
+            devices.push(d);
+        }
+        let c = node.cache_stats();
+        cache.admissions += c.admissions;
+        cache.refreshes += c.refreshes;
+        cache.removals += c.removals;
+        cache.promotions += c.promotions;
+        cache.demotions += c.demotions;
+        cache.write_throughs += c.write_throughs;
+        cache.bypassed_fills += c.bypassed_fills;
+        let r = node.resilience();
+        resilience.health_transitions += r.health_transitions;
+        resilience.shed_requests += r.shed_requests;
+        resilience.write_throughs += r.write_throughs;
+        resilience.bypassed_fills += r.bypassed_fills;
+        resilience.rejected_events += r.rejected_events;
+        resilience.internal_errors += r.internal_errors;
+        resilience.throttle_stalls += r.throttle_stalls;
+        resilience.rebuild_throttle_bytes += r.rebuild_throttle_bytes;
+        for (reason, count) in r.rejected_events_by_reason {
+            *by_reason.entry(reason).or_default() += count;
+        }
+        for (slot, us) in resilience.ttr_us.iter_mut().zip(r.ttr_us) {
+            *slot = (*slot).max(us);
+        }
+        efficiency += node.space_efficiency();
+    }
+    resilience.rejected_events_by_reason = by_reason.into_iter().collect();
+    RunReport {
+        experiment: experiment.to_string(),
+        scheme: scheme.to_string(),
+        totals: result.totals.clone(),
+        breakdown: TraceBreakdown::default(),
+        devices,
+        cache,
+        resilience,
+        series: Vec::new(),
+        space_efficiency: efficiency / cluster.targets_created().max(1) as f64,
         perf: Vec::new(),
     }
 }
@@ -175,6 +266,32 @@ fn totals_fields(snap: &MetricsSnapshot) -> Vec<(&'static str, Value)> {
         ("replayed_records", u(snap.replayed_records)),
         ("torn_tail_detected", u(snap.torn_tail_detected)),
         ("recovery_duration_us", u(snap.recovery_duration_us)),
+    ]
+}
+
+fn placement_fields(row: &TargetMetricsRow) -> Vec<(&'static str, Value)> {
+    vec![
+        ("target", u(row.target as u64)),
+        ("health", s(&row.health)),
+        ("requests", u(row.requests)),
+        ("reads", u(row.reads)),
+        ("read_hits", u(row.read_hits)),
+        ("hit_ratio_pct", f(row.hit_ratio_pct())),
+        ("degraded_reads", u(row.degraded_reads)),
+        ("shed_requests", u(row.shed_requests)),
+        ("outages", u(row.outages)),
+        ("rebuild_window_us", i(row.rebuild_window_us)),
+        ("migrated_in", u(row.migrated_in)),
+        ("migrated_out", u(row.migrated_out)),
+        (
+            "sense_mix",
+            Value::Map(
+                row.sense_mix
+                    .iter()
+                    .map(|(label, count)| (label.clone(), u(*count)))
+                    .collect(),
+            ),
+        ),
     ]
 }
 
@@ -279,8 +396,21 @@ fn records(report: &RunReport) -> Vec<Value> {
             ("ttr_dirty_us", i(r.ttr_us[1])),
             ("ttr_hot_clean_us", i(r.ttr_us[2])),
             ("ttr_cold_clean_us", i(r.ttr_us[3])),
+            ("internal_errors", u(r.internal_errors)),
+            (
+                "rejected_events_by_reason",
+                Value::Map(
+                    r.rejected_events_by_reason
+                        .iter()
+                        .map(|(reason, count)| (reason.clone(), u(*count)))
+                        .collect(),
+                ),
+            ),
         ],
     ));
+    for row in &report.totals.targets {
+        out.push(rec("placement", placement_fields(row)));
+    }
     for p in &report.perf {
         out.push(rec(
             "perf",
@@ -337,6 +467,8 @@ pub fn write_jsonl(name: &str, report: &RunReport) {
 pub struct JsonlSummary {
     /// Total records.
     pub records: usize,
+    /// The document's declared schema version (from its `meta` record).
+    pub schema_version: u64,
     /// Record count per kind.
     pub kinds: BTreeMap<String, usize>,
 }
@@ -409,15 +541,29 @@ fn required_numbers(kind: &str) -> &'static [&'static str] {
             "ttr_cold_clean_us",
         ],
         "perf" => &["value"],
+        "placement" => &[
+            "target",
+            "requests",
+            "reads",
+            "read_hits",
+            "hit_ratio_pct",
+            "degraded_reads",
+            "shed_requests",
+            "outages",
+            "rebuild_window_us",
+            "migrated_in",
+            "migrated_out",
+        ],
         _ => &[],
     }
 }
 
 /// Validates a JSON-lines document against the exporter schema:
 /// every line parses as an object with a known `kind`, the first record
-/// is `meta` with the current [`SCHEMA_VERSION`], `totals`, `cache`, and
-/// `resilience` appear exactly once, and each record carries its kind's
-/// required fields.
+/// is `meta` with a supported schema version
+/// ([`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`]), `totals`, `cache`,
+/// and `resilience` appear exactly once, and each record carries its
+/// kind's required fields.
 ///
 /// # Errors
 ///
@@ -447,10 +593,15 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
                 ));
             }
             match get(map, "schema_version") {
-                Some(Value::U(v)) if *v == SCHEMA_VERSION as u128 => {}
+                Some(Value::U(v))
+                    if (MIN_SCHEMA_VERSION as u128..=SCHEMA_VERSION as u128).contains(v) =>
+                {
+                    summary.schema_version = *v as u64;
+                }
                 Some(Value::U(v)) => {
                     return Err(format!(
-                        "line {line}: schema_version {v} (this validator knows {SCHEMA_VERSION})"
+                        "line {line}: schema_version {v} (this validator knows \
+                         {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
                     ));
                 }
                 _ => return Err(format!("line {line}: missing numeric `schema_version`")),
@@ -466,6 +617,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
             "class" => require_string(map, "class", line)?,
             "layer" => require_string(map, "layer", line)?,
             "resilience" => require_string(map, "health", line)?,
+            "placement" => require_string(map, "health", line)?,
             "perf" => {
                 require_string(map, "bench", line)?;
                 require_string(map, "unit", line)?;
@@ -569,6 +721,46 @@ pub fn render_summary(report: &RunReport) -> String {
                 class.degraded_reads,
                 class.mean_latency.as_millis_f64(),
                 class.p99_latency.as_millis_f64(),
+            );
+        }
+    }
+
+    if !t.targets.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<8}{:<12}{:>9}{:>8}{:>8}{:>10}{:>7}{:>9}{:>12}{:>8}{:>8}",
+            "target",
+            "health",
+            "reqs",
+            "reads",
+            "hit %",
+            "degraded",
+            "shed",
+            "outages",
+            "rebuild ms",
+            "mig in",
+            "mig out"
+        );
+        for row in &t.targets {
+            let rebuild = if row.rebuild_window_us < 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", row.rebuild_window_us as f64 / 1e3)
+            };
+            let _ = writeln!(
+                out,
+                "{:<8}{:<12}{:>9}{:>8}{:>8.1}{:>10}{:>7}{:>9}{:>12}{:>8}{:>8}",
+                row.target,
+                row.health,
+                row.requests,
+                row.reads,
+                row.hit_ratio_pct(),
+                row.degraded_reads,
+                row.shed_requests,
+                row.outages,
+                rebuild,
+                row.migrated_in,
+                row.migrated_out,
             );
         }
     }
@@ -791,6 +983,62 @@ mod tests {
         // A perf record without its unit is schema drift, not a new point.
         let broken = text.replace("\"unit\":\"GiB/s\"", "\"units\":\"GiB/s\"");
         assert!(validate_jsonl(&broken).unwrap_err().contains("unit"));
+    }
+
+    fn scaleout_jsonl() -> String {
+        use reo_core::{ClusterSystem, PlannedEvent};
+        let trace = WorkloadSpec::medium()
+            .with_objects(80)
+            .with_requests(600)
+            .generate(11);
+        let config = reo_core::SystemConfig::paper_defaults(
+            SchemeConfig::Reo { reserve: 0.20 },
+            trace.summary().data_set_bytes.scale(0.25),
+        );
+        let mut cluster = ClusterSystem::new(config, 4);
+        let plan = ExperimentPlan {
+            warmup_passes: 1,
+            ..Default::default()
+        }
+        .with_event(200, PlannedEvent::FailTarget(1))
+        .with_event(400, PlannedEvent::RestoreTarget(1));
+        let result = cluster.run(&trace, &plan);
+        let report = collect_cluster_report("scaleout_unit", "Reo-20%", &cluster, &result);
+        jsonl(&report)
+    }
+
+    #[test]
+    fn cluster_report_exports_placement_records() {
+        let text = scaleout_jsonl();
+        let summary = validate_jsonl(&text).expect("cluster report must validate");
+        assert_eq!(summary.schema_version, SCHEMA_VERSION);
+        assert_eq!(summary.kinds["placement"], 4, "one row per target");
+        assert_eq!(summary.kinds["device"], 20, "global device namespace");
+        assert!(text.contains("\"rebuild_window_us\""));
+        assert!(text.contains("\"sense_mix\""));
+        assert!(text.contains("\"rejected_events_by_reason\""));
+    }
+
+    #[test]
+    fn cluster_jsonl_is_identical_across_repeated_runs() {
+        assert_eq!(
+            scaleout_jsonl(),
+            scaleout_jsonl(),
+            "same seed must replay a byte-identical cluster export"
+        );
+    }
+
+    #[test]
+    fn validator_accepts_the_previous_schema_version() {
+        let report = traced_report();
+        let good = jsonl(&report);
+        let old = good.replacen(
+            &format!("\"schema_version\":{SCHEMA_VERSION}"),
+            &format!("\"schema_version\":{MIN_SCHEMA_VERSION}"),
+            1,
+        );
+        let summary = validate_jsonl(&old).expect("v4 documents must stay valid");
+        assert_eq!(summary.schema_version, MIN_SCHEMA_VERSION);
     }
 
     #[test]

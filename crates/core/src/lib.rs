@@ -52,13 +52,17 @@
 //! assert!(snap.requests > 0);
 //! ```
 
+mod cluster;
 mod config;
 mod metrics;
 mod runner;
 mod system;
 
+pub use cluster::{ClusterHealth, ClusterRunResult, ClusterSystem, TargetState};
 pub use config::{SchemeConfig, SystemConfig};
-pub use metrics::{ClassSnapshot, Metrics, MetricsSnapshot, RequestSample, CLASS_LABELS};
+pub use metrics::{
+    ClassSnapshot, Metrics, MetricsSnapshot, RequestSample, TargetMetricsRow, CLASS_LABELS,
+};
 pub use runner::{
     parallel_map_ordered, sweep_threads, EventOutcome, ExperimentPlan, ExperimentResult,
     ExperimentRunner, PlannedEvent, TimeSeriesPoint,
@@ -66,3 +70,4 @@ pub use runner::{
 pub use system::{CacheSystem, HealthState, RequestOutcome, ResilienceSnapshot, SystemRecovery};
 
 pub use reo_flashsim::{DeviceId, DeviceReport};
+pub use reo_placement::{PlacementRing, TargetId};

@@ -119,6 +119,55 @@ impl ClassSnapshot {
     }
 }
 
+/// One per-target row of a cluster-level snapshot: the blast-radius
+/// view. Single-target runs leave [`MetricsSnapshot::targets`] empty;
+/// the cluster layer fills one row per target it routed requests to.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TargetMetricsRow {
+    /// The target's index (its `TargetId`).
+    pub target: usize,
+    /// The target's health label at snapshot time ("healthy",
+    /// "degraded(1)", …, or the cluster-level "down" / "removed").
+    pub health: String,
+    /// Requests routed to this target (degraded backend-first serves
+    /// during its outages included).
+    pub requests: u64,
+    /// Read requests routed to this target.
+    pub reads: u64,
+    /// Reads served from the target's cache.
+    pub read_hits: u64,
+    /// Reads answered degraded: on-the-fly reconstruction on the target,
+    /// or backend-first service while the target was down.
+    pub degraded_reads: u64,
+    /// Requests shed with `NotReady` (target down and backend unable to
+    /// serve).
+    pub shed_requests: u64,
+    /// Outages (`FailTarget` events) this target suffered.
+    pub outages: u64,
+    /// Duration of the target's latest fail→restore window in
+    /// microseconds (`-1` if it never went down or has not returned).
+    pub rebuild_window_us: i64,
+    /// Objects migrated *into* this target by ring-delta rebalancing.
+    pub migrated_in: u64,
+    /// Objects migrated *out of* this target by ring-delta rebalancing.
+    pub migrated_out: u64,
+    /// Completion sense-code mix as `(label, count)` rows sorted by
+    /// label — the per-target honesty ledger (e.g. an unaffected target
+    /// must show the same mix as a no-fault baseline).
+    pub sense_mix: Vec<(String, u64)>,
+}
+
+impl TargetMetricsRow {
+    /// Read hit ratio in percent; 0 when no reads were observed.
+    pub fn hit_ratio_pct(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            100.0 * self.read_hits as f64 / self.reads as f64
+        }
+    }
+}
+
 /// A snapshot of the measurements over some interval.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsSnapshot {
@@ -171,6 +220,9 @@ pub struct MetricsSnapshot {
     pub recovery_duration_us: u64,
     /// Per-redundancy-class breakdown (empty when nothing was recorded).
     pub classes: Vec<ClassSnapshot>,
+    /// Per-target breakdown of a cluster run (empty on single-target
+    /// runs; filled by the cluster layer).
+    pub targets: Vec<TargetMetricsRow>,
 }
 
 impl MetricsSnapshot {
@@ -435,6 +487,7 @@ impl Accum {
                 .zip(CLASS_LABELS)
                 .filter_map(|(slot, label)| slot.as_ref().map(|c| c.snapshot(label)))
                 .collect(),
+            targets: Vec::new(),
         }
     }
 }

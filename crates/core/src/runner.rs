@@ -57,6 +57,25 @@ pub enum PlannedEvent {
     /// fault plan), then [`CacheSystem::recover`] replays checkpoint +
     /// journal before the next request is served.
     Crash,
+    /// Take an entire target (cache node) of a cluster down — a
+    /// node-level power loss: its DRAM state vanishes and its mapped
+    /// objects flip to backend-first degraded service until
+    /// [`PlannedEvent::RestoreTarget`]. Rejected (counted, never a
+    /// panic) on single-target runs and on targets already down.
+    FailTarget(usize),
+    /// Bring a downed target (or its replacement hardware) back: journal
+    /// replay restores its pre-outage state, then ring-delta
+    /// invalidation drops exactly the entries that went stale behind the
+    /// outage — never a full rescan.
+    RestoreTarget(usize),
+    /// Join a brand-new target to the cluster and start throttled
+    /// ring-delta rebalancing toward it.
+    AddTarget,
+    /// Gracefully retire a target: flush its dirty set, migrate its
+    /// mapped objects to the survivors, and drop it from the ring.
+    /// Rejected for targets that are down (their journal is the only
+    /// copy of their acknowledged dirty writes) and for the last target.
+    RemoveTarget(usize),
 }
 
 /// The scripted schedule of an experiment.
@@ -225,6 +244,16 @@ fn apply_event(system: &mut CacheSystem, event: PlannedEvent, failed: &mut usize
             system
                 .recover()
                 .expect("restart recovery after a planned crash");
+        }
+        // Cluster-scoped events have no meaning on a single CacheSystem:
+        // reject them (counted under a stable reason, traced, never a
+        // panic) exactly like other misaddressed fault events. The
+        // cluster runner handles them for real.
+        PlannedEvent::FailTarget(_)
+        | PlannedEvent::RestoreTarget(_)
+        | PlannedEvent::AddTarget
+        | PlannedEvent::RemoveTarget(_) => {
+            system.reject_event("cluster-event-single-target");
         }
     }
 }

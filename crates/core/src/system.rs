@@ -1,5 +1,7 @@
 //! The closed-loop cache server.
 
+use std::collections::BTreeMap;
+
 use reo_backend::{BackendError, BackendStore};
 use reo_cache::{CacheConfig, CacheManager};
 use reo_flashsim::{DeviceId, FaultPlan, FlashArray};
@@ -89,8 +91,18 @@ pub struct ResilienceSnapshot {
     /// Clean-miss fills bypassed while the array was rebuilding.
     pub bypassed_fills: u64,
     /// Planned events rejected as no-ops (failing an already-failed
-    /// device, sparing a healthy slot).
+    /// device, sparing a healthy slot, addressing an unknown device).
     pub rejected_events: u64,
+    /// Per-reason breakdown of `rejected_events` as `(reason, count)`
+    /// rows sorted by reason — chaos-schedule authoring mistakes are
+    /// debuggable instead of a bare count. Reasons are stable labels
+    /// (e.g. `"fail-device-already-failed"`, `"spare-device-unknown"`).
+    pub rejected_events_by_reason: Vec<(String, u64)>,
+    /// Internal accounting invariants found violated by the debug-mode
+    /// post-reconcile ledger check. Always 0 in correct operation; a
+    /// nonzero count means a bug was surfaced as a sense-coded error
+    /// instead of silent drift.
+    pub internal_errors: u64,
     /// Rebuild batches stalled by an empty token bucket.
     pub throttle_stalls: u64,
     /// Bytes of rebuild traffic charged against the throttle.
@@ -153,6 +165,14 @@ pub struct CacheSystem {
     shed_requests: u64,
     /// Planned events rejected as defensive no-ops.
     rejected_events: u64,
+    /// Rejections broken down by stable reason label.
+    rejected_events_by_reason: BTreeMap<&'static str, u64>,
+    /// Internal-invariant violations detected by the debug-mode
+    /// post-reconcile check.
+    internal_errors: u64,
+    /// Sense code of a freshly detected internal fault, reported on the
+    /// completion of the request that detected it.
+    internal_fault: Option<SenseCode>,
     /// The rebuild QoS token bucket, present while a throttled rebuild
     /// episode is in flight (config `rebuild_bandwidth_pct > 0`).
     throttle: Option<TokenBucket>,
@@ -226,6 +246,9 @@ impl CacheSystem {
             health_transitions: 0,
             shed_requests: 0,
             rejected_events: 0,
+            rejected_events_by_reason: BTreeMap::new(),
+            internal_errors: 0,
+            internal_fault: None,
             throttle: None,
             throttle_stalls: 0,
             rebuild_tokens_consumed: 0,
@@ -343,10 +366,38 @@ impl CacheSystem {
             write_throughs: cache_stats.write_throughs,
             bypassed_fills: cache_stats.bypassed_fills,
             rejected_events: self.rejected_events,
+            rejected_events_by_reason: self
+                .rejected_events_by_reason
+                .iter()
+                .map(|(&reason, &count)| (reason.to_string(), count))
+                .collect(),
+            internal_errors: self.internal_errors,
             throttle_stalls: self.throttle_stalls,
             rebuild_throttle_bytes: self.rebuild_tokens_consumed,
             ttr_us,
         }
+    }
+
+    /// Records one rejected planned event: bumps the aggregate counter
+    /// and the per-reason breakdown, and logs a structured zero-length
+    /// trace span under the stable reason label so a traced run shows
+    /// *why* each event was dropped, not just that one was.
+    pub(crate) fn reject_event(&mut self, reason: &'static str) {
+        self.rejected_events += 1;
+        *self.rejected_events_by_reason.entry(reason).or_insert(0) += 1;
+        let now = self.clock.now();
+        self.tracer.record_span(Layer::Cache, reason, now, now);
+    }
+
+    /// Runs the target's recovery-ledger invariant check on demand (the
+    /// same check debug builds run after every health reconcile).
+    ///
+    /// # Errors
+    ///
+    /// Returns the sense-coded [`TargetError::Internal`] on a ledger
+    /// imbalance.
+    pub fn verify_internal(&self) -> Result<(), TargetError> {
+        self.target.verify_recovery_ledger()
     }
 
     /// `true` while the cache can still give a freshly written dirty
@@ -392,6 +443,14 @@ impl CacheSystem {
             self.health = next;
             self.health_transitions += 1;
         }
+        // Debug builds re-verify the rebuild ledger after every
+        // reconcile: drift is counted and surfaced as a sense-coded
+        // error on the detecting request's completion — never silent.
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.target.verify_recovery_ledger() {
+            self.internal_errors += 1;
+            self.internal_fault = Some(e.sense());
+        }
     }
 
     /// Opens a backend outage window (the `FailBackend` planned event):
@@ -424,6 +483,69 @@ impl CacheSystem {
         for o in objects {
             self.backend.insert(o.key, o.size, None);
         }
+    }
+
+    /// Keys of every cached user object (system metadata excluded) — the
+    /// cluster layer's enumeration for ring-delta migration.
+    pub fn cached_keys(&self) -> Vec<ObjectKey> {
+        self.cache
+            .lru_iter()
+            .filter(|k| !k.is_system_metadata())
+            .collect()
+    }
+
+    /// Drops one cached object *without* flushing — pure invalidation for
+    /// when the authoritative copy lives elsewhere (ownership migrated
+    /// away, or the copy went stale behind an outage while writes landed
+    /// on the backend). The caller asserts durability is already met;
+    /// dirty entries are dropped too and do **not** count as dirty loss.
+    /// Returns `true` if the object was cached.
+    pub fn invalidate_cached(&mut self, key: ObjectKey) -> bool {
+        let existed = self.cache.remove(key).is_some();
+        let _ = self.target.remove_object(key);
+        existed
+    }
+
+    /// Flushes (if dirty) and removes one cached object — migration out
+    /// of a healthy node. Returns the object's size when it was cached,
+    /// `Ok(None)` when it was not, and the sense-coded error when a
+    /// required flush failed (backend outage) — the entry is then left
+    /// untouched so no acknowledged write is lost.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseCode::NotReady`] when the dirty flush could not land.
+    pub fn flush_and_remove(&mut self, key: ObjectKey) -> Result<Option<ByteSize>, SenseCode> {
+        let Some(size) = self.cache.entry(key).map(|e| e.size()) else {
+            return Ok(None);
+        };
+        if self.evict(key) {
+            Ok(Some(size))
+        } else {
+            Err(SenseCode::NotReady)
+        }
+    }
+
+    /// Admits a clean warm copy (migration in), charging normal write
+    /// time. Returns `true` when the object is cached afterwards (an
+    /// object too large to ever fit is bypassed, not an error).
+    pub fn warm_object(&mut self, key: ObjectKey, size: ByteSize) -> bool {
+        if self.offline {
+            return false;
+        }
+        if self.cache.contains(key) {
+            return true;
+        }
+        self.admit(key, size, false);
+        self.cache.contains(key)
+    }
+
+    /// Registers an object in this node's backend key map charge-free.
+    /// The cluster layer mirrors every acknowledged write into all
+    /// nodes' backends so a read lands correctly wherever placement or
+    /// failover routes it next.
+    pub fn mirror_backend_object(&mut self, key: ObjectKey, size: ByteSize) {
+        self.backend.insert(key, size, None);
     }
 
     /// One round of seeded latent corruption across the cache's flash
@@ -468,16 +590,17 @@ impl CacheSystem {
     }
 
     /// Injects a whole-device failure (the "shootdown" command). Failing
-    /// an already-failed device is an explicit no-op that bumps the
-    /// rejected-events counter — a duplicate event must not double-count
-    /// damage or corrupt recovery state.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `device` is out of range.
+    /// an already-failed or unknown device is an explicit rejected no-op
+    /// (counted per reason and traced) — a duplicate or misaddressed
+    /// event must not double-count damage, corrupt recovery state, or
+    /// panic.
     pub fn fail_device(&mut self, device: DeviceId) {
+        if device.0 >= self.config.devices {
+            self.reject_event("fail-device-unknown");
+            return;
+        }
         if !self.target.array().device(device).is_healthy() {
-            self.rejected_events += 1;
+            self.reject_event("fail-device-already-failed");
             return;
         }
         self.target.fail_device(device);
@@ -579,16 +702,17 @@ impl CacheSystem {
 
     /// Replaces a failed device with a blank spare and schedules the
     /// prioritized rebuild. Irrecoverable objects are evicted immediately
-    /// (their next access is a plain miss). Sparing a *healthy* slot is an
-    /// explicit no-op that bumps the rejected-events counter — the flash
-    /// layer would happily blank the device, silently destroying its data.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `device` is out of range.
+    /// (their next access is a plain miss). Sparing a *healthy* slot or an
+    /// unknown one is an explicit rejected no-op (counted per reason and
+    /// traced) — the flash layer would happily blank a healthy device,
+    /// silently destroying its data.
     pub fn insert_spare(&mut self, device: DeviceId) {
+        if device.0 >= self.config.devices {
+            self.reject_event("spare-device-unknown");
+            return;
+        }
         if self.target.array().device(device).is_healthy() {
-            self.rejected_events += 1;
+            self.reject_event("spare-slot-healthy");
             return;
         }
         let lost = self.target.insert_spare(device);
@@ -713,6 +837,11 @@ impl CacheSystem {
         self.sync_fault_metrics();
         self.sync_journal_metrics();
         self.reconcile_health();
+
+        // A detected internal-invariant violation overrides the outcome's
+        // sense code: the answer may rest on corrupted accounting, so the
+        // completion reports the malfunction honestly.
+        let sense = self.internal_fault.take().unwrap_or(sense);
 
         RequestOutcome {
             hit,
@@ -1682,6 +1811,58 @@ mod tests {
         sys.insert_spare(DeviceId(0));
         sys.insert_spare(DeviceId(0));
         assert_eq!(sys.resilience().rejected_events, 3);
+
+        // Unknown devices are rejected (never a panic) under their own
+        // reasons, and the breakdown reconciles with the aggregate.
+        sys.fail_device(DeviceId(99));
+        sys.insert_spare(DeviceId(99));
+        let resilience = sys.resilience();
+        assert_eq!(resilience.rejected_events, 5);
+        let by_reason: std::collections::BTreeMap<&str, u64> = resilience
+            .rejected_events_by_reason
+            .iter()
+            .map(|(r, n)| (r.as_str(), *n))
+            .collect();
+        assert_eq!(by_reason["spare-slot-healthy"], 2);
+        assert_eq!(by_reason["fail-device-already-failed"], 1);
+        assert_eq!(by_reason["fail-device-unknown"], 1);
+        assert_eq!(by_reason["spare-device-unknown"], 1);
+        assert_eq!(
+            by_reason.values().sum::<u64>(),
+            resilience.rejected_events,
+            "breakdown must reconcile with the aggregate"
+        );
+    }
+
+    #[test]
+    fn rejected_events_emit_structured_trace_spans() {
+        let trace = small_trace(11);
+        let mut sys = system_for(SchemeConfig::Reo { reserve: 0.20 }, &trace, 0.20);
+        sys.enable_tracing();
+        sys.handle(&trace.requests()[0]);
+        sys.fail_device(DeviceId(42));
+        let spans = sys.tracer().recent_spans();
+        assert!(
+            spans.iter().any(|s| s.op == "fail-device-unknown"),
+            "rejection reason missing from recent spans"
+        );
+    }
+
+    #[test]
+    fn internal_ledger_check_is_clean_in_normal_operation() {
+        let trace = small_trace(13);
+        let mut sys = system_for(SchemeConfig::Reo { reserve: 0.20 }, &trace, 0.20);
+        for r in trace.requests().iter().take(300) {
+            sys.handle(r);
+        }
+        sys.fail_device(DeviceId(0));
+        sys.insert_spare(DeviceId(0));
+        sys.drain_recovery(10_000);
+        for r in trace.requests().iter().skip(300).take(100) {
+            sys.handle(r);
+        }
+        assert!(sys.verify_internal().is_ok());
+        assert_eq!(sys.resilience().internal_errors, 0);
     }
 
     #[test]

@@ -74,6 +74,23 @@ impl FaultPlan {
         self.seed
     }
 
+    /// Derives an independent fault seed for one stream (e.g. one target
+    /// of a cluster) from a base experiment seed. Pure and stable:
+    /// `(base, stream)` always yields the same seed, distinct streams get
+    /// decorrelated draws, and stream 0 is *not* the base seed — so a
+    /// 1-target cluster still replays its own schedule, not the
+    /// single-node experiment's.
+    pub fn derive_stream_seed(base: u64, stream: u64) -> u64 {
+        // SplitMix64 over the combined words; the same mixer the
+        // deterministic RNG family uses.
+        let mut x = base
+            .rotate_left(17)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
     /// Cumulative injection counters.
     pub fn stats(&self) -> FaultStats {
         self.stats

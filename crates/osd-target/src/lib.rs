@@ -49,7 +49,7 @@ mod recovery;
 mod target;
 
 pub use policy::ProtectionPolicy;
-pub use recovery::{RecoveryEngine, RecoveryItem};
+pub use recovery::{LedgerImbalance, RecoveryEngine, RecoveryItem};
 pub use target::{
     OsdTarget, RecoveryOutcome, ScrubReport, TargetError, TargetRecovery, TargetStats,
 };

@@ -2,8 +2,41 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 use reo_osd::{ObjectClass, ObjectKey};
+
+/// A violated rebuild-ledger invariant: the engine's counters no longer
+/// account for every item exactly once. This is always a bug in the
+/// engine (or memory corruption), never a caller mistake — callers get
+/// it surfaced as a sense-coded internal error rather than silent
+/// counter drift.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LedgerImbalance {
+    /// Items ever enqueued.
+    pub enqueued: u64,
+    /// Items popped for rebuild.
+    pub completed: u64,
+    /// Items still pending in the heap.
+    pub pending: u64,
+    /// Items dropped by `clear` without being rebuilt.
+    pub cancelled: u64,
+    /// Sum of the per-class pending counters (must equal `pending`).
+    pub pending_by_class: u64,
+}
+
+impl fmt::Display for LedgerImbalance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recovery ledger imbalance: enqueued {} != completed {} + pending {} + cancelled {} \
+             (per-class pending sum {})",
+            self.enqueued, self.completed, self.pending, self.cancelled, self.pending_by_class
+        )
+    }
+}
+
+impl std::error::Error for LedgerImbalance {}
 
 /// One pending rebuild.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -171,6 +204,35 @@ impl RecoveryEngine {
         item
     }
 
+    /// Checks the accounting invariants: every item ever enqueued is
+    /// completed, pending, or cancelled — exactly one of the three — and
+    /// the per-class pending counters sum to the heap size. Cheap
+    /// (counter arithmetic only), so callers can run it after every
+    /// reconcile in debug builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full counter snapshot as a [`LedgerImbalance`] when
+    /// the ledger no longer reconciles.
+    pub fn verify_ledger(&self) -> Result<(), LedgerImbalance> {
+        let pending = self.heap.len() as u64;
+        let pending_by_class: u64 = self.pending_per_class.iter().map(|&n| n as u64).sum();
+        let reconciles = self.enqueued_total
+            == self.completed_total + pending + self.cancelled_total
+            && pending_by_class == pending;
+        if reconciles {
+            Ok(())
+        } else {
+            Err(LedgerImbalance {
+                enqueued: self.enqueued_total,
+                completed: self.completed_total,
+                pending,
+                cancelled: self.cancelled_total,
+                pending_by_class,
+            })
+        }
+    }
+
     /// Drops every pending item (e.g. after a second failure invalidates
     /// the queue and the target rebuilds it from scratch). Dropped items
     /// count as cancelled, not completed.
@@ -232,11 +294,31 @@ mod tests {
 
     /// Every item is accounted for exactly once across the counters.
     fn assert_reconciled(e: &RecoveryEngine) {
-        assert_eq!(
-            e.enqueued_total(),
-            e.completed_total() + e.pending() as u64 + e.cancelled_total(),
-            "enqueued must equal completed + pending + cancelled"
-        );
+        if let Err(imbalance) = e.verify_ledger() {
+            panic!("{imbalance}");
+        }
+    }
+
+    #[test]
+    fn verify_ledger_catches_counter_drift() {
+        let mut e = RecoveryEngine::new();
+        e.enqueue(k(1), ObjectClass::Dirty);
+        e.enqueue(k(2), ObjectClass::ColdClean);
+        e.pop();
+        assert!(e.verify_ledger().is_ok());
+        // Simulate a lost completion (the drift the invariant exists to
+        // catch); only an in-crate test can corrupt the private counter.
+        e.completed_total += 1;
+        let imbalance = e.verify_ledger().unwrap_err();
+        assert_eq!(imbalance.enqueued, 2);
+        assert_eq!(imbalance.completed, 2);
+        assert_eq!(imbalance.pending, 1);
+        assert!(imbalance.to_string().contains("ledger imbalance"));
+        e.completed_total -= 1;
+        assert!(e.verify_ledger().is_ok());
+        // Per-class counters drifting from the heap is also an imbalance.
+        e.pending_per_class[0] += 1;
+        assert!(e.verify_ledger().is_err());
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub enum TargetError {
     /// The metadata journal itself is unrecoverable (both superblocks
     /// damaged).
     Journal(JournalError),
+    /// An internal accounting invariant was found violated — a bug in
+    /// the target itself, never a caller mistake. Carries the rebuild
+    /// ledger snapshot that failed to reconcile.
+    Internal(crate::recovery::LedgerImbalance),
 }
 
 impl fmt::Display for TargetError {
@@ -66,6 +70,7 @@ impl fmt::Display for TargetError {
             TargetError::Control(e) => write!(f, "control message error: {e}"),
             TargetError::NotReady => write!(f, "target warming up: journal replay in progress"),
             TargetError::Journal(e) => write!(f, "journal error: {e}"),
+            TargetError::Internal(e) => write!(f, "internal invariant violated: {e}"),
         }
     }
 }
@@ -104,6 +109,9 @@ impl TargetError {
             // An unrecoverable journal means the metadata root itself is
             // corrupt.
             TargetError::Journal(_) => SenseCode::Corrupted,
+            // A broken internal invariant is a target malfunction: report
+            // the generic failure code, never a silently wrong answer.
+            TargetError::Internal(_) => SenseCode::Failure,
         }
     }
 }
@@ -1097,6 +1105,21 @@ impl OsdTarget {
     /// time-to-restored-redundancy reporting.
     pub fn recovery_engine(&self) -> &RecoveryEngine {
         &self.recovery
+    }
+
+    /// Checks the rebuild queue's accounting invariants
+    /// ([`RecoveryEngine::verify_ledger`]) and maps a violation onto the
+    /// sense-coded [`TargetError::Internal`] — the debug-mode
+    /// post-reconcile check the cache server runs so ledger drift
+    /// surfaces as an honest error instead of silently corrupting
+    /// time-to-restored-redundancy reporting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TargetError::Internal`] when the ledger does not
+    /// reconcile.
+    pub fn verify_recovery_ledger(&self) -> Result<(), TargetError> {
+        self.recovery.verify_ledger().map_err(TargetError::Internal)
     }
 
     /// Pops and executes one rebuild from the queue (called between

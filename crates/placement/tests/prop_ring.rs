@@ -1,0 +1,105 @@
+//! Property tests for the placement ring: balance, minimal movement,
+//! exact reversibility, and seed determinism.
+
+use proptest::prelude::*;
+use reo_osd::{ObjectId, ObjectKey, PartitionId};
+use reo_placement::{PlacementRing, TargetId};
+
+fn key(i: u64) -> ObjectKey {
+    ObjectKey::user(PartitionId::FIRST, ObjectId::new(0x20000 + i))
+}
+
+fn keyset(count: u64, stride: u64) -> Vec<ObjectKey> {
+    (0..count).map(|i| key(1 + i * stride)).collect()
+}
+
+fn ring_of(seed: u64, targets: usize) -> PlacementRing {
+    let mut ring = PlacementRing::new(seed);
+    for t in 0..targets {
+        ring.add_target(TargetId(t));
+    }
+    ring
+}
+
+proptest! {
+    /// Balance at 16 targets: with the default vnode count, the busiest
+    /// target's share of a large uniform keyspace stays within a small
+    /// constant factor of the idlest target's.
+    #[test]
+    fn sixteen_target_shares_are_balanced(seed in 0u64..1 << 48, stride in 1u64..64) {
+        let ring = ring_of(seed, 16);
+        let keys = keyset(8192, stride);
+        let shares = ring.shares(keys.iter().copied());
+        prop_assert_eq!(shares.len(), 16, "every target owns part of the keyspace");
+        let max = *shares.values().max().unwrap();
+        let min = *shares.values().min().unwrap();
+        prop_assert!(min > 0, "a starved target means broken vnode spreading");
+        // Ideal share is 512 keys; the consistent-hash spread with 96
+        // vnodes stays comfortably within 3x max/min in practice.
+        prop_assert!(
+            max <= min * 3,
+            "imbalance beyond bound: max={} min={} shares={:?}", max, min, shares
+        );
+    }
+
+    /// Minimal movement: adding one target to an N-target ring remaps
+    /// roughly 1/(N+1) of keys — never more than that plus slack — and
+    /// every moved key lands on the newcomer.
+    #[test]
+    fn adding_a_target_moves_few_keys(seed in 0u64..1 << 48, n in 1usize..12) {
+        let before = ring_of(seed, n);
+        let mut after = before.clone();
+        after.add_target(TargetId(n));
+        let keys = keyset(4096, 3);
+        let moved = after.remapped(&before, keys.iter().copied());
+        for k in &moved {
+            prop_assert_eq!(
+                after.target_of(*k), Some(TargetId(n)),
+                "a key moved between two surviving targets"
+            );
+        }
+        // Expected fraction 1/(N+1); allow generous sampling slack (2x + 64)
+        // so the bound stays meaningful while never flaking.
+        let bound = (2 * keys.len()) / (n + 1) + 64;
+        prop_assert!(
+            moved.len() <= bound,
+            "add moved {} of {} keys (N={} bound={})", moved.len(), keys.len(), n, bound
+        );
+    }
+
+    /// Exact reversibility: removing the target just added restores the
+    /// *identical* prior mapping for every key, because no surviving
+    /// vnode ever changes position.
+    #[test]
+    fn removing_a_target_restores_the_prior_map(seed in 0u64..1 << 48, n in 1usize..12) {
+        let before = ring_of(seed, n);
+        let mut ring = before.clone();
+        ring.add_target(TargetId(n));
+        ring.remove_target(TargetId(n));
+        let keys = keyset(4096, 5);
+        prop_assert_eq!(ring.targets(), before.targets());
+        for k in keys {
+            prop_assert_eq!(
+                ring.target_of(k), before.target_of(k),
+                "mapping not restored after add+remove round trip"
+            );
+        }
+    }
+
+    /// Same seed + membership → same map; a different seed shuffles it.
+    #[test]
+    fn seed_determines_the_map(seed in 0u64..1 << 48) {
+        let a = ring_of(seed, 6);
+        let b = ring_of(seed, 6);
+        let other = ring_of(seed ^ 0x5bd1_e995, 6);
+        let keys = keyset(1024, 7);
+        let mut differs = 0usize;
+        for k in keys {
+            prop_assert_eq!(a.target_of(k), b.target_of(k), "same seed must agree");
+            if a.target_of(k) != other.target_of(k) {
+                differs += 1;
+            }
+        }
+        prop_assert!(differs > 0, "a different seed should produce a different map");
+    }
+}

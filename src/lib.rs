@@ -12,6 +12,7 @@ pub use reo_flashsim as flashsim;
 pub use reo_journal as journal;
 pub use reo_osd as osd;
 pub use reo_osd_target as osd_target;
+pub use reo_placement as placement;
 pub use reo_sim as sim;
 pub use reo_stripe as stripe;
 pub use reo_workload as workload;

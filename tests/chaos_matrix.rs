@@ -23,10 +23,20 @@
 //! serving, never a panic), and a backend outage landing while the cache
 //! is already read-only (requests shed with `NotReady` until restore).
 
+//!
+//! Node-level schedules extend the matrix to the cluster: a target
+//! outage landing mid-device-rebuild, a rebalance interrupted by a
+//! target failure, and a replace-then-rejoin membership dance — each
+//! driven twice per seed to assert byte-identical replay, with the
+//! no-acked-dirty-write-loss and quiesce-to-healthy invariants checked
+//! at cluster scope.
+
 use std::collections::BTreeMap;
 
 use reo_repro::core::DeviceId;
-use reo_repro::core::{CacheSystem, HealthState, SchemeConfig, SystemConfig};
+use reo_repro::core::{
+    CacheSystem, ClusterSystem, HealthState, PlannedEvent, SchemeConfig, SystemConfig, TargetState,
+};
 use reo_repro::osd::{ObjectKey, SenseCode};
 use reo_repro::sim::rng::DetRng;
 use reo_repro::sim::ByteSize;
@@ -242,6 +252,183 @@ fn chaos_matrix_seed_42() {
 #[test]
 fn chaos_matrix_seed_1234() {
     chaos_matrix(1234);
+}
+
+// ---- node-level (cluster) chaos -----------------------------------------
+
+/// The three node-level schedules, as `(request index, event)` lists.
+/// Device ids are global (`devices_per_node * target + local`).
+fn node_schedule(which: usize, n: usize) -> (usize, Vec<(usize, PlannedEvent)>) {
+    match which {
+        // Target outage mid-rebuild: target 1 loses a device, its spare
+        // rebuild starts, then the whole node crashes while the rebuild
+        // drains. Restore must journal-replay and finish the rebuild.
+        0 => (
+            4,
+            vec![
+                (n / 8, PlannedEvent::FailDevice(DeviceId(DEVICES))),
+                (n / 8 + 40, PlannedEvent::InsertSpare(DeviceId(DEVICES))),
+                (n / 4, PlannedEvent::FailTarget(1)),
+                (5 * n / 8, PlannedEvent::RestoreTarget(1)),
+            ],
+        ),
+        // Rebalance interrupted by a target failure: a newcomer joins
+        // (migrations start flowing), then a target fails while the
+        // rebalance is still draining.
+        1 => (
+            3,
+            vec![
+                (n / 4, PlannedEvent::AddTarget),
+                (n / 4 + 30, PlannedEvent::FailTarget(0)),
+                (3 * n / 4, PlannedEvent::RestoreTarget(0)),
+            ],
+        ),
+        // Replace-then-rejoin: a target dies, a replacement joins and
+        // takes over part of the ring, then the original rejoins —
+        // ring-delta migration must hand off keys it no longer owns.
+        _ => (
+            3,
+            vec![
+                (n / 5, PlannedEvent::FailTarget(2)),
+                (2 * n / 5, PlannedEvent::AddTarget),
+                (3 * n / 5, PlannedEvent::RestoreTarget(2)),
+            ],
+        ),
+    }
+}
+
+/// One deterministic cluster drive: every request routed with the
+/// schedule's events applied at their indices, the full outcome
+/// sequence recorded as the replay fingerprint, acked writes tracked.
+struct ClusterDrive {
+    cluster: ClusterSystem,
+    fingerprint: Vec<(SenseCode, bool, bool)>,
+    acked: BTreeMap<ObjectKey, ByteSize>,
+}
+
+fn drive_cluster(t: &Trace, which: usize, label: &str) -> ClusterDrive {
+    let cache = t.summary().data_set_bytes.scale(0.10);
+    let mut config = SystemConfig::paper_defaults(SchemeConfig::Reo { reserve: 0.20 }, cache);
+    config.chunk_size = ByteSize::from_kib(16);
+    config.checkpoint_period = 300;
+    // Keep acknowledged dirty writes resident so the no-loss invariant
+    // is tested against live dirty state, not flushed copies.
+    config.dirty_flush_watermark = 1.0;
+    let n = t.requests().len();
+    let (targets, events) = node_schedule(which, n);
+    let mut cluster = ClusterSystem::new(config, targets);
+    cluster.populate(t.objects());
+
+    let mut fingerprint = Vec::with_capacity(n);
+    let mut acked: BTreeMap<ObjectKey, ByteSize> = BTreeMap::new();
+    let mut next = 0usize;
+    for (i, r) in t.requests().iter().enumerate() {
+        while next < events.len() && events[next].0 == i {
+            cluster.apply_event(events[next].1);
+            next += 1;
+        }
+        let outcome = cluster.handle(r);
+        assert_ne!(
+            outcome.sense,
+            SenseCode::Failure,
+            "{label}: request {i} returned an opaque failure"
+        );
+        fingerprint.push((outcome.sense, outcome.hit, outcome.degraded));
+        if r.op == Operation::Write
+            && matches!(
+                outcome.sense,
+                SenseCode::Success | SenseCode::RecoveredError
+            )
+        {
+            acked.insert(r.key, r.size);
+        }
+    }
+    assert_eq!(next, events.len(), "{label}: every event must fire");
+    ClusterDrive {
+        cluster,
+        fingerprint,
+        acked,
+    }
+}
+
+fn node_chaos_run(seed: u64, which: usize) {
+    let label = format!("seed {seed} node-schedule {which}");
+    let t = trace(seed);
+
+    // Determinism: the same seed and schedule replay an identical
+    // outcome sequence and identical per-target rows.
+    let mut drive = drive_cluster(&t, which, &label);
+    let replay = drive_cluster(&t, which, &label);
+    assert_eq!(
+        drive.fingerprint, replay.fingerprint,
+        "{label}: replay diverged"
+    );
+    assert_eq!(
+        drive.cluster.target_rows(),
+        replay.cluster.target_rows(),
+        "{label}: per-target rows diverged"
+    );
+
+    // Quiesce: restore anything still down, drain rebuilds and the
+    // rebalance queue, and require the cluster to heal.
+    let cluster = &mut drive.cluster;
+    for target in 0..cluster.targets_created() {
+        if cluster.target_state(target) == TargetState::Down {
+            cluster.apply_event(PlannedEvent::RestoreTarget(target));
+        }
+    }
+    assert!(
+        cluster.drain_recovery(1_000_000),
+        "{label}: rebuild/rebalance queues must drain"
+    );
+    let health = cluster.health();
+    assert_eq!(health.down, 0, "{label}: {health:?}");
+    assert_eq!(health.label, "healthy", "{label}: {health:?}");
+    assert_eq!(
+        cluster.dirty_data_lost(),
+        0,
+        "{label}: acknowledged dirty data lost"
+    );
+
+    // Every acknowledged write still serves through the ring — from the
+    // owner's cache, a degraded path, or the backend; never a failure.
+    for (&key, &size) in &drive.acked {
+        let read = Request {
+            key,
+            op: Operation::Read,
+            size,
+        };
+        let outcome = cluster.handle(&read);
+        assert!(
+            matches!(
+                outcome.sense,
+                SenseCode::Success | SenseCode::RecoveredError | SenseCode::MediumError
+            ),
+            "{label}: acked write {key:?} unreadable after quiesce ({:?})",
+            outcome.sense
+        );
+    }
+}
+
+fn node_chaos_matrix(seed: u64) {
+    for which in 0..3 {
+        node_chaos_run(seed, which);
+    }
+}
+
+#[test]
+fn node_chaos_matrix_seed_11() {
+    node_chaos_matrix(11);
+}
+
+#[test]
+fn node_chaos_matrix_seed_42() {
+    node_chaos_matrix(42);
+}
+
+#[test]
+fn node_chaos_matrix_seed_1234() {
+    node_chaos_matrix(1234);
 }
 
 /// A second device failure landing mid-rebuild, inside Reo's Dirty-class
