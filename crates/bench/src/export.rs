@@ -9,10 +9,12 @@
 //!
 //! * [`jsonl`] — machine-readable JSON lines, one record per line, each
 //!   tagged with a `kind` field (`meta`, `totals`, `class`, `layer`,
-//!   `device`, `cache`, `resilience`, `perf`, `placement`, `series`). The
+//!   `device`, `cache`, `resilience`, `perf`, `placement`, `series`,
+//!   `slo`, `trace`, `postmortem`). The
 //!   first line is always the `meta` record carrying [`SCHEMA_VERSION`];
 //!   [`validate_jsonl`] checks a document against this schema — accepting
-//!   [`MIN_SCHEMA_VERSION`] through current — (the CI smoke jobs run it on
+//!   [`MIN_SCHEMA_VERSION`] through current, and flagging unknown fields
+//!   with a line number — (the CI smoke jobs run it on
 //!   real experiment outputs and the committed perf baseline).
 //! * [`render_summary`] — the aligned human tables the binaries print.
 //!
@@ -24,9 +26,9 @@ use std::io::Write as _;
 
 use reo_core::{
     CacheSystem, ClusterRunResult, ClusterSystem, DeviceId, DeviceReport, ExperimentResult,
-    MetricsSnapshot, TargetMetricsRow, TimeSeriesPoint,
+    MetricsSnapshot, SloSnapshot, TargetMetricsRow, TimeSeriesPoint,
 };
-use reo_sim::{Layer, TraceBreakdown};
+use reo_sim::{Layer, Postmortem, TraceBreakdown, TraceTree};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Version stamp of the JSON-lines schema; bumped whenever a record kind
@@ -40,16 +42,20 @@ use serde::{DeError, Deserialize, Serialize, Value};
 /// `perfbench` binary). v5 added the optional repeated `placement`
 /// record (one per cluster target, emitted by scale-out runs) plus the
 /// `internal_errors` counter and `rejected_events_by_reason` breakdown
-/// on `resilience`.
-pub const SCHEMA_VERSION: u64 = 5;
+/// on `resilience`. v6 added the observability records: repeated `slo`
+/// (one per redundancy class with multi-window burn rates), repeated
+/// `trace` (one retained exemplar trace tree per line, spans nested as
+/// an id-keyed map), and repeated `postmortem` (one flight-recorder
+/// dump per line, events keyed by sequence number).
+pub const SCHEMA_VERSION: u64 = 6;
 
-/// Oldest schema version [`validate_jsonl`] still accepts: v5 only adds
-/// record kinds and fields, so v4 documents (e.g. the committed perf
-/// baseline) remain valid.
+/// Oldest schema version [`validate_jsonl`] still accepts: v5 and v6
+/// only add record kinds and fields, so v4 documents (e.g. the committed
+/// perf baseline) remain valid.
 pub const MIN_SCHEMA_VERSION: u64 = 4;
 
 /// The record kinds a JSON-lines document may contain.
-pub const RECORD_KINDS: [&str; 10] = [
+pub const RECORD_KINDS: [&str; 13] = [
     "meta",
     "totals",
     "class",
@@ -60,6 +66,9 @@ pub const RECORD_KINDS: [&str; 10] = [
     "perf",
     "placement",
     "series",
+    "slo",
+    "trace",
+    "postmortem",
 ];
 
 /// Everything one run exports (see the module docs).
@@ -85,6 +94,11 @@ pub struct RunReport {
     pub space_efficiency: f64,
     /// Microbenchmark measurements (empty except for `perfbench` runs).
     pub perf: Vec<PerfPoint>,
+    /// Retained exemplar trace trees — every sense-coded request plus
+    /// the slowest-percentile requests (empty when tracing was off).
+    pub exemplars: Vec<reo_sim::TraceTree>,
+    /// Flight-recorder post-mortem dumps (empty on clean runs).
+    pub postmortems: Vec<reo_sim::Postmortem>,
 }
 
 /// One microbenchmark measurement, exported as a `perf` record.
@@ -117,6 +131,8 @@ pub fn collect_run_report(
         series: result.series.clone(),
         space_efficiency: result.space_efficiency,
         perf: Vec::new(),
+        exemplars: system.tracer().exemplars(),
+        postmortems: system.flight().postmortems(),
     }
 }
 
@@ -188,13 +204,15 @@ pub fn collect_cluster_report(
         experiment: experiment.to_string(),
         scheme: scheme.to_string(),
         totals: result.totals.clone(),
-        breakdown: TraceBreakdown::default(),
+        breakdown: cluster.tracer().breakdown(),
         devices,
         cache,
         resilience,
         series: Vec::new(),
         space_efficiency: efficiency / cluster.targets_created().max(1) as f64,
         perf: Vec::new(),
+        exemplars: cluster.tracer().exemplars(),
+        postmortems: cluster.flight().postmortems(),
     }
 }
 
@@ -293,6 +311,111 @@ fn placement_fields(row: &TargetMetricsRow) -> Vec<(&'static str, Value)> {
             ),
         ),
     ]
+}
+
+fn slo_fields(row: &SloSnapshot) -> Vec<(&'static str, Value)> {
+    vec![
+        ("class", s(row.class)),
+        ("requests", u(row.requests)),
+        (
+            "latency_threshold_ms",
+            f(row.latency_threshold.as_millis_f64()),
+        ),
+        ("latency_target_pct", f(row.latency_target_pct)),
+        ("availability_target_pct", f(row.availability_target_pct)),
+        ("latency_compliance_pct", f(row.latency_compliance_pct())),
+        ("availability_pct", f(row.availability_pct())),
+        ("latency_burn_fast", f(row.latency_burn_fast())),
+        ("latency_burn_slow", f(row.latency_burn_slow())),
+        ("availability_burn_fast", f(row.availability_burn_fast())),
+        ("availability_burn_slow", f(row.availability_burn_slow())),
+        ("latency_breaches", u(row.latency_breaches)),
+        ("errors", u(row.errors)),
+    ]
+}
+
+/// One exemplar trace tree as a `trace` record. The vendored JSON value
+/// tree has no array type, so spans nest as a map keyed by the (1-based,
+/// zero-padded) span id — key order is span order — and annotations by
+/// their index.
+fn trace_record(tree: &TraceTree) -> Value {
+    let spans = Value::Map(
+        tree.spans
+            .iter()
+            .map(|span| {
+                (
+                    format!("{:03}", span.id),
+                    Value::Map(vec![
+                        ("parent".to_string(), u(span.parent as u64)),
+                        ("layer".to_string(), s(span.layer.as_str())),
+                        ("op".to_string(), s(span.op)),
+                        ("start_ms".to_string(), f(span.start.as_secs_f64() * 1e3)),
+                        ("end_ms".to_string(), f(span.end.as_secs_f64() * 1e3)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let annotations = Value::Map(
+        tree.annotations
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                (
+                    format!("{i:03}"),
+                    Value::Map(vec![
+                        ("label".to_string(), s(a.label)),
+                        ("at_ms".to_string(), f(a.at.as_secs_f64() * 1e3)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    rec(
+        "trace",
+        vec![
+            ("trace_id", u(tree.trace_id)),
+            ("reason", s(tree.reason)),
+            ("sense", s(tree.sense.unwrap_or("success"))),
+            ("latency_ms", f(tree.latency.as_millis_f64())),
+            ("span_count", u(tree.spans.len() as u64)),
+            ("truncated_spans", u(tree.truncated_spans)),
+            ("spans", spans),
+            ("annotations", annotations),
+        ],
+    )
+}
+
+/// One flight-recorder dump as a `postmortem` record; events nest as a
+/// map keyed by their (zero-padded) sequence number, oldest first.
+fn postmortem_record(pm: &Postmortem) -> Value {
+    let events = Value::Map(
+        pm.events
+            .iter()
+            .map(|e| {
+                (
+                    format!("{:06}", e.seq),
+                    Value::Map(vec![
+                        ("at_ms".to_string(), f(e.at.as_secs_f64() * 1e3)),
+                        ("target".to_string(), i(e.target)),
+                        ("event".to_string(), s(e.kind)),
+                        ("detail".to_string(), s(&e.detail)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    rec(
+        "postmortem",
+        vec![
+            ("at_ms", f(pm.at.as_secs_f64() * 1e3)),
+            ("target", i(pm.target)),
+            ("trigger", s(&pm.trigger)),
+            ("dropped_events", u(pm.dropped_events)),
+            ("event_count", u(pm.events.len() as u64)),
+            ("events", events),
+        ],
+    )
 }
 
 fn records(report: &RunReport) -> Vec<Value> {
@@ -429,6 +552,15 @@ fn records(report: &RunReport) -> Vec<Value> {
         fields.extend(totals_fields(&point.window));
         out.push(rec("series", fields));
     }
+    for row in &report.totals.slos {
+        out.push(rec("slo", slo_fields(row)));
+    }
+    for tree in &report.exemplars {
+        out.push(trace_record(tree));
+    }
+    for pm in &report.postmortems {
+        out.push(postmortem_record(pm));
+    }
     out
 }
 
@@ -554,6 +686,185 @@ fn required_numbers(kind: &str) -> &'static [&'static str] {
             "migrated_in",
             "migrated_out",
         ],
+        "slo" => &[
+            "requests",
+            "latency_threshold_ms",
+            "latency_target_pct",
+            "availability_target_pct",
+            "latency_compliance_pct",
+            "availability_pct",
+            "latency_burn_fast",
+            "latency_burn_slow",
+            "availability_burn_fast",
+            "availability_burn_slow",
+            "latency_breaches",
+            "errors",
+        ],
+        "trace" => &["trace_id", "latency_ms", "span_count", "truncated_spans"],
+        "postmortem" => &["at_ms", "target", "dropped_events", "event_count"],
+        _ => &[],
+    }
+}
+
+/// Every field a record of `kind` may carry. [`validate_jsonl`] flags
+/// anything else as schema drift with a line number. The lists are
+/// supersets of every schema version back to [`MIN_SCHEMA_VERSION`]
+/// (older versions only ever *lack* fields).
+fn allowed_fields(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "meta" => &[
+            "kind",
+            "schema_version",
+            "experiment",
+            "scheme",
+            "requests",
+            "traced_requests",
+            "space_efficiency_pct",
+        ],
+        "totals" | "series" => &[
+            "kind",
+            "at_request",
+            "time_ms",
+            "requests",
+            "reads",
+            "read_hits",
+            "hit_ratio_pct",
+            "writes",
+            "degraded_reads",
+            "requested_mib",
+            "device_mib",
+            "backend_mib",
+            "amplification",
+            "write_amplification",
+            "read_amplification",
+            "bandwidth_mib_s",
+            "mean_latency_ms",
+            "p99_latency_ms",
+            "medium_errors",
+            "repairs",
+            "scrub_passes",
+            "unrecoverable_fallbacks",
+            "journal_appends",
+            "checkpoint_count",
+            "replayed_records",
+            "torn_tail_detected",
+            "recovery_duration_us",
+        ],
+        "class" => &[
+            "kind",
+            "class",
+            "requests",
+            "reads",
+            "read_hits",
+            "hit_ratio_pct",
+            "writes",
+            "degraded_reads",
+            "requested_mib",
+            "mean_latency_ms",
+            "p99_latency_ms",
+        ],
+        "layer" => &[
+            "kind",
+            "layer",
+            "spans",
+            "total_ms",
+            "exclusive_ms",
+            "mean_ms",
+            "p99_ms",
+        ],
+        "device" => &[
+            "kind",
+            "device",
+            "healthy",
+            "wear_pct",
+            "used_mib",
+            "reads",
+            "writes",
+            "read_mib",
+            "written_mib",
+            "erases",
+            "mean_queue_delay_ms",
+            "mean_service_time_ms",
+            "transient_timeouts",
+        ],
+        "cache" => &[
+            "kind",
+            "admissions",
+            "refreshes",
+            "removals",
+            "promotions",
+            "demotions",
+        ],
+        "resilience" => &[
+            "kind",
+            "health",
+            "health_transitions",
+            "shed_requests",
+            "write_throughs",
+            "bypassed_fills",
+            "rejected_events",
+            "throttle_stalls",
+            "rebuild_throttle_bytes",
+            "ttr_metadata_us",
+            "ttr_dirty_us",
+            "ttr_hot_clean_us",
+            "ttr_cold_clean_us",
+            "internal_errors",
+            "rejected_events_by_reason",
+        ],
+        "perf" => &["kind", "bench", "value", "unit"],
+        "placement" => &[
+            "kind",
+            "target",
+            "health",
+            "requests",
+            "reads",
+            "read_hits",
+            "hit_ratio_pct",
+            "degraded_reads",
+            "shed_requests",
+            "outages",
+            "rebuild_window_us",
+            "migrated_in",
+            "migrated_out",
+            "sense_mix",
+        ],
+        "slo" => &[
+            "kind",
+            "class",
+            "requests",
+            "latency_threshold_ms",
+            "latency_target_pct",
+            "availability_target_pct",
+            "latency_compliance_pct",
+            "availability_pct",
+            "latency_burn_fast",
+            "latency_burn_slow",
+            "availability_burn_fast",
+            "availability_burn_slow",
+            "latency_breaches",
+            "errors",
+        ],
+        "trace" => &[
+            "kind",
+            "trace_id",
+            "reason",
+            "sense",
+            "latency_ms",
+            "span_count",
+            "truncated_spans",
+            "spans",
+            "annotations",
+        ],
+        "postmortem" => &[
+            "kind",
+            "at_ms",
+            "target",
+            "trigger",
+            "dropped_events",
+            "event_count",
+            "events",
+        ],
         _ => &[],
     }
 }
@@ -562,8 +873,11 @@ fn required_numbers(kind: &str) -> &'static [&'static str] {
 /// every line parses as an object with a known `kind`, the first record
 /// is `meta` with a supported schema version
 /// ([`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`]), `totals`, `cache`,
-/// and `resilience` appear exactly once, and each record carries its
-/// kind's required fields.
+/// and `resilience` appear exactly once, each record carries its kind's
+/// required fields, and no record carries a field outside its kind's
+/// [`allowed_fields`] (unknown fields are reported with the offending
+/// line number — they mean the document came from a *newer* exporter
+/// than this validator).
 ///
 /// # Errors
 ///
@@ -622,10 +936,24 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
                 require_string(map, "bench", line)?;
                 require_string(map, "unit", line)?;
             }
+            "slo" => require_string(map, "class", line)?,
+            "trace" => {
+                require_string(map, "reason", line)?;
+                require_string(map, "sense", line)?;
+            }
+            "postmortem" => require_string(map, "trigger", line)?,
             _ => {}
         }
         for field in required_numbers(&kind) {
             require_number(map, field, line)?;
+        }
+        let allowed = allowed_fields(&kind);
+        for (key, _) in map {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "line {line}: unknown field `{key}` on `{kind}` record"
+                ));
+            }
         }
         summary.records += 1;
         *summary.kinds.entry(kind).or_default() += 1;
@@ -826,6 +1154,144 @@ pub fn render_summary(report: &RunReport) -> String {
         ttr(r.ttr_us[2]),
         ttr(r.ttr_us[3]),
     );
+
+    if !t.slos.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<12}{:>9}{:>9}{:>11}{:>9}{:>12}{:>12}{:>12}{:>12}",
+            "slo class",
+            "reqs",
+            "thresh",
+            "lat ok %",
+            "avail %",
+            "lat burn 5s",
+            "lat burn 1m",
+            "av burn 5s",
+            "av burn 1m"
+        );
+        for slo in &t.slos {
+            let _ = writeln!(
+                out,
+                "{:<12}{:>9}{:>7.0}ms{:>11.2}{:>9.2}{:>12.2}{:>12.2}{:>12.2}{:>12.2}",
+                slo.class,
+                slo.requests,
+                slo.latency_threshold.as_millis_f64(),
+                slo.latency_compliance_pct(),
+                slo.availability_pct(),
+                slo.latency_burn_fast(),
+                slo.latency_burn_slow(),
+                slo.availability_burn_fast(),
+                slo.availability_burn_slow(),
+            );
+        }
+    }
+    out
+}
+
+/// Renders exemplar trace trees as indented span hierarchies — the
+/// causal path of a request from the placement root down through cache,
+/// target, stripe/journal, and flash/backend leaves, with annotations
+/// (`retry`, `read-repair`, `degraded-path`, `qos-stall`) inline.
+pub fn render_trace_trees(trees: &[reo_sim::TraceTree]) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    for tree in trees {
+        let _ = writeln!(
+            out,
+            "\ntrace {:>4}  {:<10}  sense {:<16}  latency {:.3} ms  ({} spans{})",
+            tree.trace_id,
+            tree.reason,
+            tree.sense.unwrap_or("success"),
+            tree.latency.as_millis_f64(),
+            tree.spans.len(),
+            if tree.truncated_spans > 0 {
+                format!(", {} truncated", tree.truncated_spans)
+            } else {
+                String::new()
+            },
+        );
+        // The root (Placement) is recorded last, so span ids are not in
+        // parent-before-child order: walk the tree depth-first instead,
+        // siblings ordered by start time.
+        let mut children: Vec<Vec<&reo_sim::TraceSpanNode>> =
+            vec![Vec::new(); tree.spans.len() + 1];
+        for span in &tree.spans {
+            children[span.parent as usize].push(span);
+        }
+        for list in &mut children {
+            list.sort_by_key(|s| (s.start, s.id));
+        }
+        let mut stack: Vec<(&reo_sim::TraceSpanNode, usize)> =
+            children[0].iter().rev().map(|s| (*s, 0)).collect();
+        while let Some((span, d)) = stack.pop() {
+            let _ = writeln!(
+                out,
+                "  {:>9.3} ms  {}{:<10} {:<12} ({:.3} ms)",
+                span.start.as_nanos() as f64 / 1e6,
+                "  ".repeat(d),
+                span.layer.as_str(),
+                span.op,
+                span.end.saturating_since(span.start).as_millis_f64(),
+            );
+            for child in children[span.id as usize].iter().rev() {
+                stack.push((child, d + 1));
+            }
+        }
+        for ann in &tree.annotations {
+            let _ = writeln!(
+                out,
+                "  {:>9.3} ms  ! {}",
+                ann.at.as_nanos() as f64 / 1e6,
+                ann.label
+            );
+        }
+    }
+    out
+}
+
+/// Renders flight-recorder postmortem dumps: the trigger plus the
+/// look-back window of structured events leading up to it.
+pub fn render_postmortems(postmortems: &[reo_sim::Postmortem]) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    for pm in postmortems {
+        let scope = if pm.target < 0 {
+            "cluster".to_string()
+        } else {
+            format!("target {}", pm.target)
+        };
+        let _ = writeln!(
+            out,
+            "\npostmortem @ {:.3} ms  [{}]  trigger: {}  ({} events{})",
+            pm.at.as_nanos() as f64 / 1e6,
+            scope,
+            pm.trigger,
+            pm.events.len(),
+            if pm.dropped_events > 0 {
+                format!(", {} dropped", pm.dropped_events)
+            } else {
+                String::new()
+            },
+        );
+        for ev in &pm.events {
+            let tag = if ev.target < 0 {
+                "cluster".to_string()
+            } else {
+                format!("t{}", ev.target)
+            };
+            let _ = writeln!(
+                out,
+                "  #{:<5} {:>9.3} ms  {:<8} {:<18} {}",
+                ev.seq,
+                ev.at.as_nanos() as f64 / 1e6,
+                tag,
+                ev.kind,
+                ev.detail,
+            );
+        }
+    }
     out
 }
 
@@ -1055,5 +1521,88 @@ mod tests {
         let summary = validate_jsonl(&jsonl(&report)).expect("valid without layer records");
         assert!(!summary.kinds.contains_key("layer"));
         assert!(!summary.kinds.contains_key("series"));
+    }
+
+    #[test]
+    fn slo_and_trace_records_round_trip_through_the_validator() {
+        let report = traced_report();
+        assert!(
+            !report.exemplars.is_empty(),
+            "a traced run retains slow-percentile exemplars"
+        );
+        let text = jsonl(&report);
+        let summary = validate_jsonl(&text).expect("slo/trace records must validate");
+        assert!(
+            summary.kinds["slo"] >= 1,
+            "every active class exports one slo record"
+        );
+        assert_eq!(summary.kinds["trace"], report.exemplars.len());
+        assert!(text.contains("\"latency_burn_fast\""));
+        assert!(text.contains("\"availability_burn_slow\""));
+        assert!(text.contains("\"trace_id\""));
+    }
+
+    #[test]
+    fn postmortem_records_round_trip_through_the_validator() {
+        let trace = WorkloadSpec::medium()
+            .with_objects(60)
+            .with_requests(600)
+            .generate(9);
+        let mut system = crate::build_system(
+            SchemeConfig::Reo { reserve: 0.20 },
+            &trace,
+            0.2,
+            ByteSize::from_kib(32),
+        );
+        let plan = ExperimentPlan::second_failure_during_rebuild(100, 200, 300);
+        let result = ExperimentRunner::run(&mut system, &trace, &plan);
+        let report = collect_run_report("cascade_unit", "Reo-20%", &system, &result);
+        assert!(
+            !report.postmortems.is_empty(),
+            "leaving Healthy dumps the flight recorder"
+        );
+        let text = jsonl(&report);
+        let summary = validate_jsonl(&text).expect("postmortem records must validate");
+        assert_eq!(summary.kinds["postmortem"], report.postmortems.len());
+        assert!(text.contains("\"trigger\":\"health-left-healthy:"));
+
+        let rendered = render_postmortems(&report.postmortems);
+        assert!(rendered.contains("trigger: health-left-healthy:"));
+        assert!(rendered.contains("fault-injected"));
+    }
+
+    #[test]
+    fn validator_reports_unknown_fields_with_a_line_number() {
+        let report = traced_report();
+        let good = jsonl(&report);
+
+        // An extra field on the cache record is schema drift from a
+        // newer exporter: named, with the offending line.
+        let cache_line = good
+            .lines()
+            .position(|l| l.contains("\"kind\":\"cache\""))
+            .expect("cache record")
+            + 1;
+        let drifted = good.replace("\"kind\":\"cache\"", "\"kind\":\"cache\",\"evictions\":3");
+        let err = validate_jsonl(&drifted).unwrap_err();
+        assert!(
+            err.contains("unknown field `evictions` on `cache` record"),
+            "got: {err}"
+        );
+        assert!(err.contains(&format!("line {cache_line}")), "got: {err}");
+    }
+
+    #[test]
+    fn trace_tree_renders_the_span_hierarchy() {
+        let report = traced_report();
+        let text = render_trace_trees(&report.exemplars);
+        for needle in ["trace", "cache", "target", "flash"] {
+            assert!(text.contains(needle), "render missing `{needle}`:\n{text}");
+        }
+        // Children are indented under the cache root.
+        assert!(
+            text.contains("  cache") || text.contains("\ncache"),
+            "missing root:\n{text}"
+        );
     }
 }

@@ -41,29 +41,20 @@ use reo_backend::{BackendError, BackendStore};
 use reo_flashsim::{DeviceId, FaultPlan};
 use reo_osd::{ObjectKey, SenseCode};
 use reo_placement::{PlacementRing, TargetId};
-use reo_sim::{ByteSize, SimClock, SimDuration, SimTime, TokenBucket};
+use reo_sim::{
+    ByteSize, FlightRecorder, Layer, SimClock, SimDuration, SimTime, TokenBucket, Tracer,
+};
 use reo_workload::{Operation, Request, Trace, WorkloadObject};
 
 use crate::config::SystemConfig;
-use crate::metrics::{MetricsSnapshot, TargetMetricsRow};
+use crate::metrics::{MetricsSnapshot, SloSnapshot, TargetMetricsRow, CLASS_LABELS};
 use crate::runner::{ExperimentPlan, PlannedEvent};
 use crate::system::{CacheSystem, RequestOutcome};
 
 /// A stable lowercase label for a sense code, used in per-target
 /// sense-mix rows and JSONL export.
 pub(crate) fn sense_label(sense: SenseCode) -> &'static str {
-    match sense {
-        SenseCode::Success => "success",
-        SenseCode::Failure => "failure",
-        SenseCode::Corrupted => "corrupted",
-        SenseCode::CacheFull => "cache-full",
-        SenseCode::RecoveryStarts => "recovery-starts",
-        SenseCode::RecoveryEnds => "recovery-ends",
-        SenseCode::RedundancySpaceFull => "redundancy-space-full",
-        SenseCode::MediumError => "medium-error",
-        SenseCode::RecoveredError => "recovered-error",
-        SenseCode::NotReady => "not-ready",
-    }
+    sense.label()
 }
 
 /// Cluster-level lifecycle state of one target.
@@ -222,6 +213,13 @@ pub struct ClusterSystem {
     rejected_events: u64,
     rejected_by_reason: BTreeMap<&'static str, u64>,
     measure_started: SimTime,
+    /// One shared `reo-trace` recorder across every node: cluster-level
+    /// [`Layer::Placement`] spans root each request's trace tree, and the
+    /// owning node's spans nest under them.
+    tracer: Tracer,
+    /// One shared black-box ring across every node; each node records
+    /// through a handle tagged with its target id.
+    flight: FlightRecorder,
 }
 
 impl ClusterSystem {
@@ -237,7 +235,9 @@ impl ClusterSystem {
         assert!(targets > 0, "a cluster needs at least one target");
         let seed = config.fault_seed;
         let origin_clock = SimClock::new();
-        let origin = BackendStore::new(config.backend, origin_clock.clone());
+        let tracer = Tracer::new();
+        let mut origin = BackendStore::new(config.backend, origin_clock.clone());
+        origin.set_tracer(tracer.clone());
         let mut cluster = ClusterSystem {
             config,
             seed,
@@ -256,6 +256,8 @@ impl ClusterSystem {
             rejected_events: 0,
             rejected_by_reason: BTreeMap::new(),
             measure_started: SimTime::ZERO,
+            tracer,
+            flight: FlightRecorder::new(),
         };
         for _ in 0..targets {
             cluster.add_target();
@@ -266,6 +268,24 @@ impl ClusterSystem {
     /// The per-node configuration template.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// Turns cluster-wide request tracing on: one shared recorder spans
+    /// every node, and the cluster's own [`Layer::Placement`] span roots
+    /// each request's trace tree.
+    pub fn enable_tracing(&mut self) {
+        self.tracer.set_enabled(true);
+    }
+
+    /// The shared tracer handle (disabled unless
+    /// [`ClusterSystem::enable_tracing`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The shared black-box flight recorder (always on).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// The placement ring (read-only).
@@ -325,10 +345,13 @@ impl ClusterSystem {
         t
     }
 
-    /// Records one rejected cluster event under a stable reason label.
+    /// Records one rejected cluster event under a stable reason label
+    /// (and into the flight recorder — a rejected event near a trigger
+    /// is exactly what a post-mortem wants to show).
     fn reject(&mut self, reason: &'static str) {
         self.rejected_events += 1;
         *self.rejected_by_reason.entry(reason).or_insert(0) += 1;
+        self.flight.record(self.now(), "rejected-event", reason);
     }
 
     /// Cluster-level planned events rejected so far.
@@ -438,7 +461,8 @@ impl ClusterSystem {
         let t = TargetId(self.nodes.len());
         let mut cfg = self.config.clone();
         cfg.fault_seed = FaultPlan::derive_stream_seed(self.seed, t.0 as u64);
-        let system = CacheSystem::new(cfg);
+        let mut system = CacheSystem::new(cfg);
+        system.share_observability(self.tracer.clone(), self.flight.with_target(t.0 as i64));
         let now = self.now();
         system.clock().advance_to(now);
         let mut node = Node::new(system);
@@ -448,10 +472,17 @@ impl ClusterSystem {
         let prev = self.ring.clone();
         self.ring.add_target(t);
         self.nodes.push(node);
+        let mut moved = 0u64;
         for key in self.ring.remapped(&prev, self.objects.keys().copied()) {
             let from = prev.target_of(key).map(|x| x.0);
             self.migrations.push_back((key, from));
+            moved += 1;
         }
+        self.flight.record(
+            now,
+            "target-added",
+            format!("target {} joined, {moved} keys remapped", t.0),
+        );
         t
     }
 
@@ -487,10 +518,17 @@ impl ClusterSystem {
         let prev = self.ring.clone();
         self.ring.remove_target(TargetId(t));
         self.nodes[t].state = TargetState::Removed;
+        let mut moved = 0u64;
         for key in self.ring.remapped(&prev, self.objects.keys().copied()) {
             self.migrations.push_back((key, Some(t)));
+            moved += 1;
         }
-        self.merge_clocks();
+        let now = self.merge_clocks();
+        self.flight.record(
+            now,
+            "target-removed",
+            format!("target {t} retired, {moved} keys remapped"),
+        );
     }
 
     /// Takes a target down: a node-level power loss. Its DRAM state
@@ -516,6 +554,11 @@ impl ClusterSystem {
                 self.mapped_degraded.insert(key);
             }
         }
+        // A member leaving `Up` is the cluster-level analog of a target
+        // leaving `Healthy`: capture the lookback window now.
+        self.flight
+            .record(now, "target-down", format!("target {t} power loss"));
+        self.flight.dump(now, format!("target-down:{t}"));
     }
 
     /// Brings a downed target (or its replacement hardware holding the
@@ -563,6 +606,14 @@ impl ClusterSystem {
             self.nodes[t].rebuild_window_us =
                 (now.saturating_since(started).as_nanos() / 1_000) as i64;
         }
+        self.flight.record(
+            now,
+            "target-restored",
+            format!(
+                "target {t} rebuilt in {} us",
+                self.nodes[t].rebuild_window_us
+            ),
+        );
     }
 
     /// Maps a backend error onto the sense code reported to the client
@@ -618,8 +669,21 @@ impl ClusterSystem {
     /// migration batch.
     pub fn handle(&mut self, request: &Request) -> RequestOutcome {
         let now = self.merge_clocks();
+        // The cluster mints the trace: its Placement-layer span roots the
+        // request tree, and the owning node's scope nests inside (nested
+        // `begin_request` calls do not mint a second trace id).
+        let trace_started = self.tracer.begin(&self.origin_clock);
+        if trace_started.is_some() {
+            self.tracer.begin_request();
+        }
         let Some(owner) = self.ring.target_of(request.key) else {
             // An empty ring cannot serve anything: shed honestly.
+            if trace_started.is_some() {
+                self.tracer
+                    .record(Layer::Placement, "shed", trace_started, now);
+                self.tracer
+                    .end_request(SimDuration::ZERO, Some(SenseCode::NotReady.label()));
+            }
             return RequestOutcome {
                 hit: false,
                 degraded: false,
@@ -633,7 +697,10 @@ impl ClusterSystem {
             TargetState::Up => self.nodes[t].system.handle(request),
             // The ring never maps to removed targets; `Down` is the
             // only degraded routing state.
-            TargetState::Down | TargetState::Removed => self.serve_degraded(t, request),
+            TargetState::Down | TargetState::Removed => {
+                self.tracer.annotate("outage-serve", now);
+                self.serve_degraded(t, request)
+            }
         };
         let stats = &mut self.nodes[t].stats;
         stats.requests += 1;
@@ -663,7 +730,16 @@ impl ClusterSystem {
             self.mirror_write(t, request.key, request.size);
         }
         self.pump_migrations(false);
-        self.merge_clocks();
+        let end = self.merge_clocks();
+        if trace_started.is_some() {
+            // Recorded last so it covers every span the serve produced
+            // (including async write-backs completing past `end`): the
+            // tree builder roots the request at this Placement span.
+            self.tracer
+                .record_enclosing(Layer::Placement, "request", trace_started, end);
+            let label = (outcome.sense != SenseCode::Success).then(|| outcome.sense.label());
+            self.tracer.end_request(outcome.latency, label);
+        }
         outcome
     }
 
@@ -706,10 +782,14 @@ impl ClusterSystem {
             None
         };
         let batch = self.config.recovery_batch.max(1);
+        let moved_before = self.migrated_objects;
         for _ in 0..batch {
             if let Some(b) = &bucket {
                 if !b.has_tokens() {
                     self.migration_stalls += 1;
+                    self.tracer.annotate("qos-stall", now);
+                    self.flight
+                        .record(now, "migration-stall", "rebalance token bucket empty");
                     break;
                 }
             }
@@ -750,6 +830,14 @@ impl ClusterSystem {
             // A down owner warms on demand after its restore instead.
         }
         self.migration_throttle = bucket;
+        let moved = self.migrated_objects - moved_before;
+        if moved > 0 {
+            self.flight.record(
+                now,
+                "rebalance-batch",
+                format!("{moved} objects moved, {} pending", self.migrations.len()),
+            );
+        }
         self.merge_clocks();
     }
 
@@ -902,6 +990,11 @@ impl ClusterSystem {
         self.migration_throttle_bytes = 0;
         self.migrated_objects = 0;
         self.measure_started = now;
+        // Observability state restarts with measurement: warm-up spans,
+        // exemplars, flight events, and postmortems would otherwise leak
+        // into the measured pass.
+        self.tracer.reset();
+        self.flight.reset();
     }
 
     /// One row per created target: the blast-radius view
@@ -980,8 +1073,30 @@ impl ClusterSystem {
             agg.mean_latency =
                 SimDuration::from_nanos((weighted_mean_nanos / agg.requests as u128) as u64);
         }
+        agg.slos = self.merged_slos();
         agg.targets = self.target_rows();
         agg
+    }
+
+    /// Folds every node's per-class SLO rows into cluster rows: raw
+    /// counters add exactly ([`SloSnapshot::merge`]), and the derived
+    /// burn rates are recomputed from the merged counters. Rows keep
+    /// [`CLASS_LABELS`] order.
+    fn merged_slos(&self) -> Vec<SloSnapshot> {
+        let mut merged: Vec<Option<SloSnapshot>> = vec![None; CLASS_LABELS.len()];
+        for node in &self.nodes {
+            for row in node.system.metrics().totals().slos {
+                let slot = CLASS_LABELS
+                    .iter()
+                    .position(|&l| l == row.class)
+                    .expect("SLO row uses a known class label");
+                match &mut merged[slot] {
+                    Some(agg) => agg.merge(&row),
+                    slot @ None => *slot = Some(row),
+                }
+            }
+        }
+        merged.into_iter().flatten().collect()
     }
 
     /// Runs `trace` through the cluster under `plan` (warm-up passes,
@@ -997,11 +1112,16 @@ impl ClusterSystem {
             "event indices must be non-decreasing"
         );
         self.populate(trace.objects());
+        // Warm-up observability is discarded by `reset_stats` anyway, so
+        // don't pay for recording it (same as `ExperimentRunner::run`).
+        let was_tracing = self.tracer.is_enabled();
+        self.tracer.set_enabled(false);
         for _ in 0..plan.warmup_passes {
             for request in trace.requests() {
                 self.handle(request);
             }
         }
+        self.tracer.set_enabled(was_tracing);
         self.reset_stats();
         let mut events = plan.events.iter().peekable();
         for (i, request) in trace.requests().iter().enumerate() {
@@ -1241,6 +1361,92 @@ mod tests {
         assert_eq!(by_reason["restore-target-not-down"], 1);
         assert_eq!(by_reason["remove-last-target"], 1);
         assert_eq!(c.rejected_events(), 5);
+    }
+
+    #[test]
+    fn cluster_traces_root_at_the_placement_layer() {
+        let t = trace(8, 400);
+        let mut c = cluster(2, &t);
+        c.enable_tracing();
+        for r in t.requests() {
+            c.handle(r);
+        }
+        assert!(c.tracer().same_recorder(c.node(0).tracer()));
+        assert!(c.tracer().same_recorder(c.node(1).tracer()));
+        let breakdown = c.tracer().breakdown();
+        let placement = breakdown
+            .layers
+            .iter()
+            .find(|l| l.layer == Layer::Placement)
+            .expect("placement spans recorded");
+        assert_eq!(placement.spans, 400, "one root span per request");
+        // Exemplars exist (slow top-K at minimum) and every tree roots
+        // at the cluster's Placement span.
+        let exemplars = c.tracer().exemplars();
+        assert!(!exemplars.is_empty());
+        for tree in &exemplars {
+            let roots: Vec<_> = tree.spans.iter().filter(|s| s.parent == 0).collect();
+            assert_eq!(roots.len(), 1, "exactly one root: {tree:?}");
+            assert_eq!(roots[0].layer, Layer::Placement);
+        }
+    }
+
+    #[test]
+    fn target_outage_dumps_a_postmortem_with_lookback() {
+        let t = trace(9, 300);
+        let mut c = cluster(3, &t);
+        for r in t.requests().iter().take(100) {
+            c.handle(r);
+        }
+        c.fail_target(7); // rejected: lands in the lookback window
+        c.fail_target(1);
+        let pms = c.flight().postmortems();
+        assert_eq!(pms.len(), 1);
+        assert_eq!(pms[0].trigger, "target-down:1");
+        assert!(
+            pms[0]
+                .events
+                .iter()
+                .any(|e| e.kind == "rejected-event" && e.detail == "fail-target-unknown"),
+            "the rejected event precedes the trigger in the window"
+        );
+        c.restore_target(1);
+        assert!(c
+            .flight()
+            .events()
+            .iter()
+            .any(|e| e.kind == "target-restored"),);
+    }
+
+    #[test]
+    fn cluster_snapshot_merges_slo_rows_across_nodes() {
+        let t = trace(10, 600);
+        let mut c = cluster(3, &t);
+        for r in t.requests() {
+            c.handle(r);
+        }
+        let snap = c.metrics_snapshot();
+        assert!(!snap.slos.is_empty(), "SLO rows must be merged in");
+        let per_node: u64 = (0..3)
+            .map(|i| {
+                c.node(i)
+                    .metrics()
+                    .totals()
+                    .slos
+                    .iter()
+                    .map(|r| r.requests)
+                    .sum::<u64>()
+            })
+            .sum();
+        let merged: u64 = snap.slos.iter().map(|r| r.requests).sum();
+        assert_eq!(merged, per_node, "counters add exactly");
+        // Rows keep CLASS_LABELS order.
+        let positions: Vec<usize> = snap
+            .slos
+            .iter()
+            .map(|r| CLASS_LABELS.iter().position(|&l| l == r.class).unwrap())
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

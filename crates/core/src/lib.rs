@@ -61,7 +61,9 @@ mod system;
 pub use cluster::{ClusterHealth, ClusterRunResult, ClusterSystem, TargetState};
 pub use config::{SchemeConfig, SystemConfig};
 pub use metrics::{
-    ClassSnapshot, Metrics, MetricsSnapshot, RequestSample, TargetMetricsRow, CLASS_LABELS,
+    ClassSnapshot, Metrics, MetricsSnapshot, RequestSample, SloSnapshot, TargetMetricsRow,
+    CLASS_LABELS, SLO_AVAILABILITY_TARGET_PCT, SLO_FAST_WINDOW_SECS, SLO_LATENCY_TARGET_PCT,
+    SLO_LATENCY_THRESHOLDS_MS, SLO_SLOW_WINDOW_SECS,
 };
 pub use runner::{
     parallel_map_ordered, sweep_threads, EventOutcome, ExperimentPlan, ExperimentResult,

@@ -36,6 +36,10 @@ pub struct RequestSample {
     pub latency: SimDuration,
     /// Completion instant.
     pub completed_at: SimTime,
+    /// `true` when the request completed successfully from the client's
+    /// point of view (recovered errors count as available; hard errors
+    /// and `NotReady` shedding do not). Feeds the availability SLO.
+    pub ok: bool,
 }
 
 impl RequestSample {
@@ -60,12 +64,19 @@ impl RequestSample {
             backend_bytes: ByteSize::ZERO,
             latency,
             completed_at,
+            ok: true,
         }
     }
 
     /// Sets the serving class.
     pub fn with_class(mut self, class: Option<ObjectClass>) -> Self {
         self.class = class;
+        self
+    }
+
+    /// Sets the availability outcome (see [`RequestSample::ok`]).
+    pub fn with_ok(mut self, ok: bool) -> Self {
+        self.ok = ok;
         self
     }
 }
@@ -168,6 +179,256 @@ impl TargetMetricsRow {
     }
 }
 
+/// Default per-class latency SLO thresholds, aligned with the service
+/// models: metadata is replicated and tiny, dirty writes absorb parity,
+/// cold-clean reads may touch the backend, uncached requests always do.
+pub const SLO_LATENCY_THRESHOLDS_MS: [u64; 5] = [5, 50, 25, 100, 500];
+
+/// Fraction of requests that must complete under the class threshold.
+pub const SLO_LATENCY_TARGET_PCT: f64 = 99.0;
+
+/// Fraction of requests that must complete available (see
+/// [`RequestSample::ok`]).
+pub const SLO_AVAILABILITY_TARGET_PCT: f64 = 99.9;
+
+/// Fast burn-rate window, in simulated seconds ("page now" signal).
+pub const SLO_FAST_WINDOW_SECS: u64 = 5;
+
+/// Slow burn-rate window, in simulated seconds ("ticket" signal).
+pub const SLO_SLOW_WINDOW_SECS: u64 = 60;
+
+/// Per-class service-level objective state, surfaced in
+/// [`MetricsSnapshot::slos`]. Carries raw counters (lifetime and per
+/// burn-rate window) so cluster-level snapshots can merge rows across
+/// targets and recompute the derived rates exactly.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SloSnapshot {
+    /// The class row label (see [`CLASS_LABELS`]).
+    pub class: &'static str,
+    /// Latency objective: requests must finish under this threshold.
+    pub latency_threshold: SimDuration,
+    /// Fraction of requests (percent) that must meet the threshold.
+    pub latency_target_pct: f64,
+    /// Fraction of requests (percent) that must complete available.
+    pub availability_target_pct: f64,
+    /// Requests observed since the last reset.
+    pub requests: u64,
+    /// Requests that missed the latency threshold.
+    pub latency_breaches: u64,
+    /// Requests that completed unavailable (`ok == false`).
+    pub errors: u64,
+    /// Requests in the trailing fast window.
+    pub fast_requests: u64,
+    /// Latency breaches in the trailing fast window.
+    pub fast_latency_breaches: u64,
+    /// Errors in the trailing fast window.
+    pub fast_errors: u64,
+    /// Requests in the trailing slow window.
+    pub slow_requests: u64,
+    /// Latency breaches in the trailing slow window.
+    pub slow_latency_breaches: u64,
+    /// Errors in the trailing slow window.
+    pub slow_errors: u64,
+}
+
+fn burn_rate(bad: u64, total: u64, target_pct: f64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let budget = (100.0 - target_pct) / 100.0;
+    if budget <= 0.0 {
+        return 0.0;
+    }
+    (bad as f64 / total as f64) / budget
+}
+
+fn compliance_pct(bad: u64, total: u64) -> f64 {
+    if total == 0 {
+        100.0
+    } else {
+        100.0 * (total - bad) as f64 / total as f64
+    }
+}
+
+impl SloSnapshot {
+    /// Lifetime latency compliance in percent (100 when idle).
+    pub fn latency_compliance_pct(&self) -> f64 {
+        compliance_pct(self.latency_breaches, self.requests)
+    }
+
+    /// Lifetime availability in percent (100 when idle).
+    pub fn availability_pct(&self) -> f64 {
+        compliance_pct(self.errors, self.requests)
+    }
+
+    /// Latency burn rate over the fast window: the rate at which the
+    /// error budget `1 - target` is being consumed (1.0 = exactly on
+    /// budget, >1 = burning faster than the objective allows).
+    pub fn latency_burn_fast(&self) -> f64 {
+        burn_rate(
+            self.fast_latency_breaches,
+            self.fast_requests,
+            self.latency_target_pct,
+        )
+    }
+
+    /// Latency burn rate over the slow window.
+    pub fn latency_burn_slow(&self) -> f64 {
+        burn_rate(
+            self.slow_latency_breaches,
+            self.slow_requests,
+            self.latency_target_pct,
+        )
+    }
+
+    /// Availability burn rate over the fast window.
+    pub fn availability_burn_fast(&self) -> f64 {
+        burn_rate(
+            self.fast_errors,
+            self.fast_requests,
+            self.availability_target_pct,
+        )
+    }
+
+    /// Availability burn rate over the slow window.
+    pub fn availability_burn_slow(&self) -> f64 {
+        burn_rate(
+            self.slow_errors,
+            self.slow_requests,
+            self.availability_target_pct,
+        )
+    }
+
+    /// Folds another target's row for the same class into this one
+    /// (cluster-level aggregation). Objectives must match; counters add.
+    pub fn merge(&mut self, other: &SloSnapshot) {
+        debug_assert_eq!(self.class, other.class);
+        self.requests += other.requests;
+        self.latency_breaches += other.latency_breaches;
+        self.errors += other.errors;
+        self.fast_requests += other.fast_requests;
+        self.fast_latency_breaches += other.fast_latency_breaches;
+        self.fast_errors += other.fast_errors;
+        self.slow_requests += other.slow_requests;
+        self.slow_latency_breaches += other.slow_latency_breaches;
+        self.slow_errors += other.slow_errors;
+    }
+}
+
+/// One simulated second of SLO counters (the burn-rate windows are
+/// sliding sums over these buckets).
+#[derive(Clone, Debug, Default)]
+struct SloBucket {
+    second: u64,
+    requests: u64,
+    latency_breaches: u64,
+    errors: u64,
+}
+
+/// Per-class SLO accumulator: lifetime counters plus a bounded deque of
+/// per-second buckets covering the slow window.
+#[derive(Clone, Debug, Default)]
+struct SloClassAccum {
+    requests: u64,
+    latency_breaches: u64,
+    errors: u64,
+    buckets: std::collections::VecDeque<SloBucket>,
+}
+
+impl SloClassAccum {
+    fn record(&mut self, second: u64, breach: bool, error: bool) {
+        self.requests += 1;
+        self.latency_breaches += u64::from(breach);
+        self.errors += u64::from(error);
+        // Completion times are monotone per system; a merged-clock
+        // straggler folds into the newest bucket to stay deterministic.
+        let fold_into_back = self
+            .buckets
+            .back()
+            .is_some_and(|back| second <= back.second);
+        if fold_into_back {
+            let back = self.buckets.back_mut().expect("non-empty deque");
+            back.requests += 1;
+            back.latency_breaches += u64::from(breach);
+            back.errors += u64::from(error);
+        } else {
+            self.buckets.push_back(SloBucket {
+                second,
+                requests: 1,
+                latency_breaches: u64::from(breach),
+                errors: u64::from(error),
+            });
+            let horizon = second.saturating_sub(SLO_SLOW_WINDOW_SECS - 1);
+            while self
+                .buckets
+                .front()
+                .is_some_and(|front| front.second < horizon)
+            {
+                self.buckets.pop_front();
+            }
+        }
+    }
+
+    fn window(&self, latest: u64, span_secs: u64) -> (u64, u64, u64) {
+        let from = latest.saturating_sub(span_secs - 1);
+        let mut totals = (0, 0, 0);
+        for b in self.buckets.iter().filter(|b| b.second >= from) {
+            totals.0 += b.requests;
+            totals.1 += b.latency_breaches;
+            totals.2 += b.errors;
+        }
+        totals
+    }
+
+    fn snapshot(&self, class: usize) -> SloSnapshot {
+        let latest = self.buckets.back().map(|b| b.second).unwrap_or(0);
+        let (fast_requests, fast_latency_breaches, fast_errors) =
+            self.window(latest, SLO_FAST_WINDOW_SECS);
+        let (slow_requests, slow_latency_breaches, slow_errors) =
+            self.window(latest, SLO_SLOW_WINDOW_SECS);
+        SloSnapshot {
+            class: CLASS_LABELS[class],
+            latency_threshold: SimDuration::from_millis(SLO_LATENCY_THRESHOLDS_MS[class]),
+            latency_target_pct: SLO_LATENCY_TARGET_PCT,
+            availability_target_pct: SLO_AVAILABILITY_TARGET_PCT,
+            requests: self.requests,
+            latency_breaches: self.latency_breaches,
+            errors: self.errors,
+            fast_requests,
+            fast_latency_breaches,
+            fast_errors,
+            slow_requests,
+            slow_latency_breaches,
+            slow_errors,
+        }
+    }
+}
+
+/// The SLO monitor: per-class latency/availability objectives with
+/// multi-window burn rates over simulated time.
+#[derive(Clone, Debug, Default)]
+struct SloMonitor {
+    classes: [SloClassAccum; 5],
+}
+
+impl SloMonitor {
+    fn record(&mut self, sample: &RequestSample) {
+        let slot = class_slot(sample.class);
+        let second = sample.completed_at.as_nanos() / 1_000_000_000;
+        let breach = sample.latency > SimDuration::from_millis(SLO_LATENCY_THRESHOLDS_MS[slot]);
+        self.classes[slot].record(second, breach, !sample.ok);
+    }
+
+    fn snapshot(&self) -> Vec<SloSnapshot> {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.requests > 0)
+            .map(|(slot, c)| c.snapshot(slot))
+            .collect()
+    }
+}
+
 /// A snapshot of the measurements over some interval.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsSnapshot {
@@ -223,6 +484,10 @@ pub struct MetricsSnapshot {
     /// Per-target breakdown of a cluster run (empty on single-target
     /// runs; filled by the cluster layer).
     pub targets: Vec<TargetMetricsRow>,
+    /// Per-class SLO state with multi-window burn rates. Filled by
+    /// [`Metrics::totals`] (window/sample snapshots leave it empty —
+    /// the burn-rate windows already slide on their own).
+    pub slos: Vec<SloSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -299,6 +564,7 @@ pub struct Metrics {
     totals: Accum,
     window: Accum,
     sample: Accum,
+    slo: SloMonitor,
 }
 
 #[derive(Clone, Debug)]
@@ -488,6 +754,7 @@ impl Accum {
                 .filter_map(|(slot, label)| slot.as_ref().map(|c| c.snapshot(label)))
                 .collect(),
             targets: Vec::new(),
+            slos: Vec::new(),
         }
     }
 }
@@ -499,15 +766,17 @@ impl Metrics {
             totals: Accum::new(now),
             window: Accum::new(now),
             sample: Accum::new(now),
+            slo: SloMonitor::default(),
         }
     }
 
-    /// Records one completed request into the totals, the window, and the
-    /// sampling window.
+    /// Records one completed request into the totals, the window, the
+    /// sampling window, and the SLO monitor.
     pub fn record(&mut self, sample: RequestSample) {
         self.totals.record(&sample);
         self.window.record(&sample);
         self.sample.record(&sample);
+        self.slo.record(&sample);
     }
 
     /// Adds fault-path deltas (medium errors, repairs, scrub passes,
@@ -544,9 +813,12 @@ impl Metrics {
         self.sample.note_recovery(replayed, torn_tail, duration_us);
     }
 
-    /// Snapshot since construction (or [`Metrics::reset_all`]).
+    /// Snapshot since construction (or [`Metrics::reset_all`]),
+    /// including the per-class SLO rows.
     pub fn totals(&self) -> MetricsSnapshot {
-        self.totals.snapshot()
+        let mut snap = self.totals.snapshot();
+        snap.slos = self.slo.snapshot();
+        snap
     }
 
     /// Snapshot since the last [`Metrics::roll_window`].
@@ -577,6 +849,7 @@ impl Metrics {
         self.totals = Accum::new(now);
         self.window = Accum::new(now);
         self.sample = Accum::new(now);
+        self.slo = SloMonitor::default();
     }
 }
 
@@ -731,6 +1004,71 @@ mod tests {
         assert!((snap.amplification() - 3.0).abs() < 1e-9);
         // Bandwidth stays requested-byte based (paper-comparable).
         assert!((snap.bandwidth_mib_s() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slo_rows_track_breaches_errors_and_burn_rates() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        // All requests are uncached (threshold 500 ms) in second 0.
+        for i in 0..10 {
+            m.record(sample(true, false, false, 1, 100, i + 1));
+        }
+        m.record(sample(true, false, false, 1, 600, 20)); // latency breach
+        m.record(sample(true, false, false, 1, 100, 21).with_ok(false)); // unavailable
+        let s = m.totals();
+        assert_eq!(s.slos.len(), 1);
+        let slo = &s.slos[0];
+        assert_eq!(slo.class, "uncached");
+        assert_eq!(slo.requests, 12);
+        assert_eq!(slo.latency_breaches, 1);
+        assert_eq!(slo.errors, 1);
+        assert!((slo.latency_compliance_pct() - 100.0 * 11.0 / 12.0).abs() < 1e-9);
+        assert!((slo.availability_pct() - 100.0 * 11.0 / 12.0).abs() < 1e-9);
+        // Everything is inside both windows; burn = bad_fraction / budget.
+        let bad = 1.0 / 12.0;
+        assert!((slo.latency_burn_fast() - bad / 0.01).abs() < 1e-9);
+        assert!((slo.latency_burn_slow() - bad / 0.01).abs() < 1e-9);
+        assert!((slo.availability_burn_fast() - bad / 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slo_burn_windows_slide_with_simulated_time() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        // Second 0: two breaches. Second 100: one clean request.
+        m.record(sample(true, false, false, 1, 900, 10));
+        m.record(sample(true, false, false, 1, 900, 20));
+        m.record(sample(true, false, false, 1, 100, 100_500));
+        let s = m.totals();
+        let slo = &s.slos[0];
+        assert_eq!(slo.latency_breaches, 2, "lifetime counters persist");
+        // The old breaches fell out of both trailing windows.
+        assert_eq!(slo.fast_requests, 1);
+        assert_eq!(slo.fast_latency_breaches, 0);
+        assert_eq!(slo.slow_latency_breaches, 0);
+        assert_eq!(slo.latency_burn_fast(), 0.0);
+    }
+
+    #[test]
+    fn slo_rows_merge_by_summing_counters() {
+        let mut a = Metrics::new(SimTime::ZERO);
+        let mut b = Metrics::new(SimTime::ZERO);
+        a.record(sample(true, false, false, 1, 900, 1));
+        b.record(sample(true, false, false, 1, 100, 1).with_ok(false));
+        b.record(sample(true, false, false, 1, 100, 2));
+        let mut merged = a.totals().slos[0].clone();
+        merged.merge(&b.totals().slos[0]);
+        assert_eq!(merged.requests, 3);
+        assert_eq!(merged.latency_breaches, 1);
+        assert_eq!(merged.errors, 1);
+        assert_eq!(merged.fast_requests, 3);
+    }
+
+    #[test]
+    fn slo_reset_clears_rows() {
+        let mut m = Metrics::new(SimTime::ZERO);
+        m.record(sample(true, false, false, 1, 900, 1));
+        m.reset_all(t(2));
+        assert!(m.totals().slos.is_empty());
     }
 
     #[test]

@@ -279,13 +279,22 @@ impl ExperimentRunner {
         );
         system.populate(trace.objects());
 
+        // Warm-up spans, exemplars, and flight events are discarded at
+        // measurement start anyway, so don't pay for recording them:
+        // tracing pauses across the warm-up passes.
+        let was_tracing = system.tracer().is_enabled();
+        system.tracer().set_enabled(false);
         for _ in 0..plan.warmup_passes {
             for request in trace.requests() {
                 system.handle(request);
             }
         }
+        system.tracer().set_enabled(was_tracing);
         let now = system.clock().now();
         system.metrics_mut().reset_all(now);
+        // Observability state restarts with measurement.
+        system.tracer().reset();
+        system.flight().reset();
 
         let mut events = plan.events.iter().peekable();
         let mut outcomes = Vec::new();

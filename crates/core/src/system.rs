@@ -9,7 +9,9 @@ use reo_journal::{CrashOutcome, Journal};
 use reo_osd::control::ControlMessage;
 use reo_osd::{ObjectClass, ObjectKey, SenseCode};
 use reo_osd_target::{OsdTarget, RecoveryOutcome, TargetError, TargetRecovery};
-use reo_sim::{ByteSize, Layer, SimClock, SimDuration, SimTime, TokenBucket, Tracer};
+use reo_sim::{
+    ByteSize, FlightRecorder, Layer, SimClock, SimDuration, SimTime, TokenBucket, Tracer,
+};
 use reo_stripe::StripeManager;
 use reo_workload::{Operation, Request, WorkloadObject};
 
@@ -148,6 +150,11 @@ pub struct CacheSystem {
     /// The shared `reo-trace` handle (disabled unless
     /// [`CacheSystem::enable_tracing`] is called).
     tracer: Tracer,
+    /// The black-box flight recorder: always on (control-plane events
+    /// are rare), dumped into postmortems when health leaves `Healthy`
+    /// or an internal error fires. The cluster layer replaces it with a
+    /// target-tagged handle to one shared ring.
+    flight: FlightRecorder,
     /// Flash-array byte counters already attributed to requests
     /// (`bytes_read`, `bytes_written`) — the delta base.
     flash_bytes_seen: (u64, u64),
@@ -239,6 +246,7 @@ impl CacheSystem {
             faults,
             fault_stats_seen: (0, 0, 0),
             tracer,
+            flight: FlightRecorder::new(),
             flash_bytes_seen: (0, 0),
             backend_bytes_seen: (0, 0),
             journal_stats_seen: (0, 0),
@@ -297,6 +305,22 @@ impl CacheSystem {
     /// [`CacheSystem::enable_tracing`] was called).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The black-box flight recorder (always on; see
+    /// [`reo_sim::FlightRecorder`]).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Replaces this system's tracer and flight recorder with shared
+    /// handles (the cluster layer's one-recorder-per-cluster wiring),
+    /// re-propagating the tracer through every instrumented layer.
+    pub fn share_observability(&mut self, tracer: Tracer, flight: FlightRecorder) {
+        self.target.set_tracer(tracer.clone());
+        self.backend.set_tracer(tracer.clone());
+        self.tracer = tracer;
+        self.flight = flight;
     }
 
     /// The cache manager's policy counters.
@@ -387,6 +411,7 @@ impl CacheSystem {
         *self.rejected_events_by_reason.entry(reason).or_insert(0) += 1;
         let now = self.clock.now();
         self.tracer.record_span(Layer::Cache, reason, now, now);
+        self.flight.record(now, "rejected-event", reason);
     }
 
     /// Runs the target's recovery-ledger invariant check on demand (the
@@ -440,8 +465,21 @@ impl CacheSystem {
             HealthState::Healthy
         };
         if next != self.health {
+            let prev = self.health;
             self.health = next;
             self.health_transitions += 1;
+            let now = self.clock.now();
+            self.flight.record(
+                now,
+                "health-transition",
+                format!("{} -> {}", prev.label(), next.label()),
+            );
+            // Leaving Healthy is the black-box trigger: snapshot the
+            // event ring into a postmortem while the context is fresh.
+            if prev == HealthState::Healthy {
+                self.flight
+                    .dump(now, format!("health-left-healthy:{}", next.label()));
+            }
         }
         // Debug builds re-verify the rebuild ledger after every
         // reconcile: drift is counted and surfaced as a sense-coded
@@ -450,6 +488,9 @@ impl CacheSystem {
         if let Err(e) = self.target.verify_recovery_ledger() {
             self.internal_errors += 1;
             self.internal_fault = Some(e.sense());
+            let now = self.clock.now();
+            self.flight.record(now, "internal-error", e.sense().label());
+            self.flight.dump(now, "internal-error");
         }
     }
 
@@ -458,12 +499,16 @@ impl CacheSystem {
     /// until [`CacheSystem::restore_backend`]. The cache keeps serving
     /// hits; misses and dirty evictions are shed or deferred.
     pub fn fail_backend(&mut self) {
+        self.flight
+            .record(self.clock.now(), "fault-injected", "fail-backend");
         self.backend.fail();
         self.reconcile_health();
     }
 
     /// Closes the backend outage window.
     pub fn restore_backend(&mut self) {
+        self.flight
+            .record(self.clock.now(), "fault-injected", "restore-backend");
         self.backend.restore();
         self.reconcile_health();
     }
@@ -475,6 +520,11 @@ impl CacheSystem {
     ///
     /// Panics unless `factor` is finite and positive.
     pub fn slow_backend(&mut self, factor: f64) {
+        self.flight.record(
+            self.clock.now(),
+            "fault-injected",
+            format!("slow-backend x{factor}"),
+        );
         self.backend.set_slow_factor(factor);
     }
 
@@ -603,6 +653,11 @@ impl CacheSystem {
             self.reject_event("fail-device-already-failed");
             return;
         }
+        self.flight.record(
+            self.clock.now(),
+            "fault-injected",
+            format!("fail-device {}", device.0),
+        );
         self.target.fail_device(device);
         // A further failure aborts any in-flight rebuild episode: the
         // queue was cleared, and its time-to-restored ledger with it.
@@ -715,6 +770,11 @@ impl CacheSystem {
             self.reject_event("spare-slot-healthy");
             return;
         }
+        self.flight.record(
+            self.clock.now(),
+            "fault-injected",
+            format!("insert-spare {}", device.0),
+        );
         let lost = self.target.insert_spare(device);
         if self.offline {
             if let Some(tolerated) = self.uniform_tolerance() {
@@ -787,19 +847,10 @@ impl CacheSystem {
         };
         self.tracer
             .record(Layer::Cache, op, trace_started, completed_at);
+        if degraded {
+            self.tracer.annotate("degraded-path", completed_at);
+        }
         let (device_bytes, device_write_bytes, backend_bytes) = self.attribute_byte_deltas();
-        self.metrics.record(RequestSample {
-            is_read: request.op == Operation::Read,
-            hit,
-            degraded,
-            class,
-            requested: request.size,
-            device_bytes,
-            device_write_bytes,
-            backend_bytes,
-            latency,
-            completed_at,
-        });
 
         // Housekeeping happens after the request completes: it consumes
         // device time but is not part of this request's latency.
@@ -842,6 +893,24 @@ impl CacheSystem {
         // sense code: the answer may rest on corrupted accounting, so the
         // completion reports the malfunction honestly.
         let sense = self.internal_fault.take().unwrap_or(sense);
+
+        self.metrics.record(RequestSample {
+            is_read: request.op == Operation::Read,
+            hit,
+            degraded,
+            class,
+            requested: request.size,
+            device_bytes,
+            device_write_bytes,
+            backend_bytes,
+            latency,
+            completed_at,
+            ok: sense.is_available(),
+        });
+        if trace_started.is_some() {
+            let label = (sense != SenseCode::Success).then(|| sense.label());
+            self.tracer.end_request(latency, label);
+        }
 
         RequestOutcome {
             hit,
@@ -1297,6 +1366,7 @@ impl CacheSystem {
         for _ in 0..self.config.recovery_batch.max(1) {
             if !bucket.has_tokens() {
                 self.throttle_stalls += 1;
+                self.tracer.annotate("qos-stall", now);
                 break;
             }
             let before = self.target.array().stats();
@@ -1365,6 +1435,8 @@ impl CacheSystem {
     /// The system answers everything with [`SenseCode::NotReady`] until
     /// [`CacheSystem::recover`] is called.
     pub fn crash(&mut self) -> CrashOutcome {
+        self.flight
+            .record(self.clock.now(), "fault-injected", "crash");
         let tear = self.faults.crash_tear_bytes(128) as usize;
         let outcome = self
             .target
@@ -1414,8 +1486,19 @@ impl CacheSystem {
         // reinstallation time, charged to the simulation clock so
         // recovery shows up in end-to-end timings.
         let replayed = report.replayed_records as u64;
+        let started = self.clock.now();
         let duration = SimDuration::from_micros(500 + 2 * replayed + 20 * restored as u64);
         self.clock.advance(duration);
+        self.tracer
+            .record_span(Layer::Journal, "replay", started, self.clock.now());
+        self.flight.record(
+            self.clock.now(),
+            "journal-replay",
+            format!(
+                "replayed {replayed} records, restored {restored} objects, torn_tail {}",
+                report.torn_tail
+            ),
+        );
         self.metrics
             .note_recovery(replayed, report.torn_tail, duration.as_nanos() / 1_000);
         self.sync_journal_metrics();

@@ -365,16 +365,30 @@ impl OsdTarget {
 
     /// Appends a record to the attached journal, if any.
     fn journal_append(&mut self, record: JournalRecord) {
-        if let Some(j) = self.journal.as_mut() {
-            j.append(&record);
+        if self.journal.is_some() {
+            let started = self.trace_begin();
+            if let Some(j) = self.journal.as_mut() {
+                j.append(&record);
+            }
+            let end = self.clock().now();
+            self.stripes
+                .tracer()
+                .record(Layer::Journal, "append", started, end);
         }
     }
 
     /// Forces staged journal records to durable media, if a journal is
     /// attached — the fsync barrier acknowledged writes wait behind.
     fn journal_flush(&mut self) {
-        if let Some(j) = self.journal.as_mut() {
-            j.flush();
+        if self.journal.is_some() {
+            let started = self.trace_begin();
+            if let Some(j) = self.journal.as_mut() {
+                j.flush();
+            }
+            let end = self.clock().now();
+            self.stripes
+                .tracer()
+                .record(Layer::Journal, "flush", started, end);
         }
     }
 
@@ -1286,10 +1300,15 @@ impl OsdTarget {
     /// truncates the log. No-op without an attached journal.
     pub fn take_checkpoint(&mut self) {
         if self.journal.is_some() {
+            let started = self.trace_begin();
             let image = self.checkpoint_blob();
             if let Some(j) = self.journal.as_mut() {
                 j.checkpoint(&image);
             }
+            let end = self.clock().now();
+            self.stripes
+                .tracer()
+                .record(Layer::Journal, "checkpoint", started, end);
         }
     }
 

@@ -101,6 +101,30 @@ impl SenseCode {
         }
     }
 
+    /// A stable lower-case label for export (the JSONL `sense_mix`,
+    /// `trace`, and flight-recorder records all use these).
+    pub const fn label(self) -> &'static str {
+        match self {
+            SenseCode::Success => "success",
+            SenseCode::Failure => "failure",
+            SenseCode::Corrupted => "corrupted",
+            SenseCode::CacheFull => "cache-full",
+            SenseCode::RecoveryStarts => "recovery-starts",
+            SenseCode::RecoveryEnds => "recovery-ends",
+            SenseCode::RedundancySpaceFull => "redundancy-space-full",
+            SenseCode::MediumError => "medium-error",
+            SenseCode::RecoveredError => "recovered-error",
+            SenseCode::NotReady => "not-ready",
+        }
+    }
+
+    /// `true` when the completion counts as *available* to the client:
+    /// hard errors ([`SenseCode::is_error`]) and `NotReady` shedding do
+    /// not; recovered errors do. Feeds the availability SLO.
+    pub const fn is_available(self) -> bool {
+        !self.is_error() && !matches!(self, SenseCode::NotReady)
+    }
+
     /// `true` for codes indicating the command did not succeed outright.
     ///
     /// Informational codes (recovery start/end, cache full, redundancy
@@ -188,6 +212,26 @@ mod tests {
         assert!(SenseCode::MediumError.is_error());
         assert!(!SenseCode::RecoveredError.is_error());
         assert!(!SenseCode::NotReady.is_error());
+    }
+
+    #[test]
+    fn labels_are_stable_and_unique() {
+        let labels: Vec<&str> = ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels[0], "success");
+        assert_eq!(labels[9], "not-ready");
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn availability_classification() {
+        assert!(SenseCode::Success.is_available());
+        assert!(SenseCode::RecoveredError.is_available());
+        assert!(!SenseCode::NotReady.is_available());
+        assert!(!SenseCode::MediumError.is_available());
+        assert!(!SenseCode::Failure.is_available());
     }
 
     #[test]

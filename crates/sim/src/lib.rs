@@ -21,7 +21,10 @@
 //! * [`TokenBucket`] — a deterministic byte-rate throttle over simulated
 //!   time, used to cap background (rebuild) bandwidth.
 //! * [`Tracer`] — the `reo-trace` span recorder: sim-clock-stamped,
-//!   per-layer latency attribution with near-zero cost when disabled.
+//!   per-layer latency attribution with near-zero cost when disabled, plus
+//!   per-request [`TraceTree`] exemplar capture.
+//! * [`FlightRecorder`] — a black-box ring of structured control-plane
+//!   events with deterministic [`Postmortem`] dumps.
 //!
 //! Nothing in this crate (or its dependents) reads the wall clock; simulated
 //! time only moves when a model says it does.
@@ -39,6 +42,7 @@
 //! assert!(clock.now().as_nanos() > 0);
 //! ```
 
+mod flight;
 mod qos;
 pub mod rng;
 mod service;
@@ -47,9 +51,12 @@ mod stats;
 mod time;
 mod trace;
 
+pub use flight::{FlightEvent, FlightRecorder, Postmortem};
 pub use qos::TokenBucket;
 pub use service::ServiceModel;
 pub use size::ByteSize;
 pub use stats::{Histogram, OnlineStats, RateMeter, WindowedSeries};
 pub use time::{SimClock, SimDuration, SimTime};
-pub use trace::{Layer, LayerBreakdown, Span, TraceBreakdown, Tracer};
+pub use trace::{
+    Layer, LayerBreakdown, Span, TraceAnnotation, TraceBreakdown, TraceSpanNode, TraceTree, Tracer,
+};

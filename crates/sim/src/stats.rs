@@ -153,6 +153,22 @@ pub struct Histogram {
 const BUCKETS_PER_DECADE: usize = 100;
 const DECADES: usize = 13;
 
+/// Lower bound of every bucket: `BOUNDS[i] = ceil(10^(i/100))`. Built
+/// once so the record path needs only `ilog10` plus a binary search of
+/// one decade's 100 boundaries — no per-observation `log10` libm call
+/// (the histogram sits on the tracer's span hot path).
+fn bucket_bounds() -> &'static [u64; BUCKETS_PER_DECADE * DECADES] {
+    use std::sync::OnceLock;
+    static BOUNDS: OnceLock<[u64; BUCKETS_PER_DECADE * DECADES]> = OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut bounds = [0u64; BUCKETS_PER_DECADE * DECADES];
+        for (i, b) in bounds.iter_mut().enumerate() {
+            *b = 10f64.powf(i as f64 / BUCKETS_PER_DECADE as f64).ceil() as u64;
+        }
+        bounds
+    })
+}
+
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
@@ -167,8 +183,16 @@ impl Histogram {
         if nanos <= 1 {
             return 0;
         }
-        let idx = ((nanos as f64).log10() * BUCKETS_PER_DECADE as f64) as usize;
-        idx.min(BUCKETS_PER_DECADE * DECADES - 1)
+        let decade = nanos.ilog10() as usize;
+        if decade >= DECADES {
+            return BUCKETS_PER_DECADE * DECADES - 1;
+        }
+        let base = decade * BUCKETS_PER_DECADE;
+        let window = &bucket_bounds()[base..base + BUCKETS_PER_DECADE];
+        // `nanos >= 10^decade` makes the first boundary always pass, but
+        // clamp anyway: a one-ulp-high `powf` at a decade edge must not
+        // underflow the subtraction.
+        base + window.partition_point(|&lb| lb <= nanos).max(1) - 1
     }
 
     fn bucket_upper_bound(index: usize) -> u64 {

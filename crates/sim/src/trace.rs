@@ -1,12 +1,25 @@
-//! `reo-trace`: a lightweight per-layer span recorder.
+//! `reo-trace`: a lightweight per-layer span recorder with causal
+//! per-request trace trees.
 //!
 //! The Reo paper explains every headline number — hit ratio, bandwidth,
 //! latency, recovery time — by *where* time and bytes go. This module is
 //! the measurement substrate for that attribution: every layer of the
 //! stack (cache manager, OSD target, stripe manager, flash array,
-//! backend) wraps its operations in [`Tracer`] spans stamped with the
-//! simulated clock, and the tracer aggregates them into a per-layer
-//! latency breakdown plus a bounded ring of recent spans for inspection.
+//! backend, journal, placement) wraps its operations in [`Tracer`] spans
+//! stamped with the simulated clock, and the tracer aggregates them into
+//! a per-layer latency breakdown plus a bounded ring of recent spans for
+//! inspection.
+//!
+//! On top of the aggregates the tracer keeps **per-request trace trees**:
+//! [`Tracer::begin_request`] mints a trace id at the outermost entry
+//! point, every span recorded until the matching [`Tracer::end_request`]
+//! is buffered, and on completion the buffer is either discarded (the
+//! common case) or resolved into a parent/child [`TraceTree`] and
+//! retained as an **exemplar** — every request that ends with a sense
+//! code keeps its full tree, as do the slowest requests seen so far.
+//! Event annotations ([`Tracer::annotate`]) such as `retry`,
+//! `read-repair`, `degraded-path` and `qos-stall` ride along inside the
+//! tree.
 //!
 //! Design constraints:
 //!
@@ -17,7 +30,10 @@
 //!   `None` so the subsequent [`Tracer::record`] is a no-op.
 //! * **Shared handle semantics** — cloning a `Tracer` yields a handle to
 //!   the *same* recorder, so one tracer threads through every layer of a
-//!   cache system and aggregates in one place.
+//!   cache system (or a whole cluster) and aggregates in one place.
+//! * **Determinism** — retention decisions and parent resolution depend
+//!   only on simulated time and arrival order, so identical seeds yield
+//!   byte-identical exemplar sets.
 //!
 //! # Examples
 //!
@@ -32,6 +48,7 @@
 //! let t0 = tracer.begin(&clock);
 //! clock.advance(SimDuration::from_micros(250));
 //! tracer.record(reo_sim::Layer::Flash, "read", t0, clock.now());
+//! tracer.end_request(SimDuration::from_micros(250), None);
 //!
 //! let breakdown = tracer.breakdown();
 //! let flash = breakdown.layer(Layer::Flash).unwrap();
@@ -39,6 +56,7 @@
 //! assert_eq!(flash.total, SimDuration::from_micros(250));
 //! ```
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -60,16 +78,25 @@ pub enum Layer {
     Flash,
     /// The backend store (HDD + network behind the cache).
     Backend,
+    /// The metadata journal (append/flush/checkpoint/replay).
+    Journal,
+    /// The cluster placement layer (routing, whole-cluster-request spans).
+    Placement,
 }
 
 impl Layer {
-    /// All layers, outermost first — the nesting order of a request.
-    pub const ALL: [Layer; 5] = [
+    /// All layers. The first five are in request-nesting order, outermost
+    /// first; `Journal` and `Placement` are appended at the end so that
+    /// exporter row order for the original layers stays stable across
+    /// schema versions.
+    pub const ALL: [Layer; 7] = [
         Layer::Cache,
         Layer::Target,
         Layer::Stripe,
         Layer::Flash,
         Layer::Backend,
+        Layer::Journal,
+        Layer::Placement,
     ];
 
     /// Stable lower-case name (exporter field value).
@@ -80,6 +107,8 @@ impl Layer {
             Layer::Stripe => "stripe",
             Layer::Flash => "flash",
             Layer::Backend => "backend",
+            Layer::Journal => "journal",
+            Layer::Placement => "placement",
         }
     }
 
@@ -90,6 +119,22 @@ impl Layer {
             Layer::Stripe => 2,
             Layer::Flash => 3,
             Layer::Backend => 4,
+            Layer::Journal => 5,
+            Layer::Placement => 6,
+        }
+    }
+
+    /// Causal nesting depth used to resolve parent/child structure in a
+    /// [`TraceTree`]: a span's parent must sit at a strictly smaller
+    /// depth and contain it in time. Placement (cluster entry) is the
+    /// outermost; flash devices are the innermost.
+    fn tree_depth(self) -> u32 {
+        match self {
+            Layer::Placement => 0,
+            Layer::Cache => 1,
+            Layer::Target | Layer::Backend => 2,
+            Layer::Stripe | Layer::Journal => 3,
+            Layer::Flash => 4,
         }
     }
 }
@@ -124,6 +169,62 @@ impl Span {
     }
 }
 
+/// A timestamped event annotation attached to a request's trace tree
+/// (e.g. `retry`, `read-repair`, `degraded-path`, `qos-stall`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceAnnotation {
+    /// When the event fired (simulated).
+    pub at: SimTime,
+    /// A static event label.
+    pub label: &'static str,
+}
+
+/// One span in a retained [`TraceTree`], with its parent resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSpanNode {
+    /// 1-based span id within the tree (buffer arrival order).
+    pub id: u32,
+    /// Parent span id; 0 marks a root.
+    pub parent: u32,
+    /// The layer that recorded the span.
+    pub layer: Layer,
+    /// The operation label.
+    pub op: &'static str,
+    /// Span start (simulated).
+    pub start: SimTime,
+    /// Span end (simulated).
+    pub end: SimTime,
+}
+
+impl TraceSpanNode {
+    /// The node's simulated duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// A fully retained per-request trace: every span the request touched,
+/// parent/child structure resolved, plus its event annotations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceTree {
+    /// The trace id ([`Tracer::begin_request`] ordinal).
+    pub trace_id: u64,
+    /// Why the tree was retained: `"sense"` (the request returned a
+    /// sense code) or `"slow"` (slowest-percentile capture).
+    pub reason: &'static str,
+    /// The sense label the request completed with, when `reason` is
+    /// `"sense"`.
+    pub sense: Option<&'static str>,
+    /// End-to-end request latency as reported by the caller.
+    pub latency: SimDuration,
+    /// Spans in arrival order with parents resolved.
+    pub spans: Vec<TraceSpanNode>,
+    /// Event annotations in arrival order.
+    pub annotations: Vec<TraceAnnotation>,
+    /// Spans dropped because the per-request buffer overflowed.
+    pub truncated_spans: u64,
+}
+
 /// Aggregated statistics for one layer.
 #[derive(Clone, Debug, Default)]
 struct LayerAgg {
@@ -151,8 +252,8 @@ pub struct LayerBreakdown {
     /// Spans recorded.
     pub spans: u64,
     /// Summed (inclusive) simulated time across spans. Inner layers nest
-    /// inside outer ones, so sums are inclusive: subtract the next layer
-    /// in [`Layer::ALL`] order for exclusive time.
+    /// inside outer ones, so sums are inclusive: subtract the nested
+    /// layers (see [`TraceBreakdown::exclusive`]) for exclusive time.
     pub total: SimDuration,
     /// Mean span duration.
     pub mean: SimDuration,
@@ -177,32 +278,22 @@ impl TraceBreakdown {
     }
 
     /// Exclusive time of `layer`: its inclusive total minus the inclusive
-    /// total of the next-inner layer (per [`Layer::ALL`] nesting). The
-    /// backend is not nested under flash, so its exclusive time equals
-    /// its inclusive time; cache excludes target, target excludes
-    /// stripe, stripe excludes flash.
+    /// totals of the layers nested directly inside it. Placement (cluster
+    /// entry) contains cache; cache contains the target path and the
+    /// backend path; target contains stripe and journal; stripe contains
+    /// flash. Flash, backend and journal are leaves.
     pub fn exclusive(&self, layer: Layer) -> SimDuration {
-        let own = self.layer(layer).map(|l| l.total).unwrap_or_default();
+        let total_of = |layer: Layer| self.layer(layer).map(|l| l.total).unwrap_or_default();
+        let own = total_of(layer);
         let inner = match layer {
+            Layer::Placement => total_of(Layer::Cache),
             Layer::Cache => {
                 // Cache contains both the target path and the backend path.
-                self.layer(Layer::Target)
-                    .map(|l| l.total)
-                    .unwrap_or_default()
-                    + self
-                        .layer(Layer::Backend)
-                        .map(|l| l.total)
-                        .unwrap_or_default()
+                total_of(Layer::Target) + total_of(Layer::Backend)
             }
-            Layer::Target => self
-                .layer(Layer::Stripe)
-                .map(|l| l.total)
-                .unwrap_or_default(),
-            Layer::Stripe => self
-                .layer(Layer::Flash)
-                .map(|l| l.total)
-                .unwrap_or_default(),
-            Layer::Flash | Layer::Backend => SimDuration::ZERO,
+            Layer::Target => total_of(Layer::Stripe) + total_of(Layer::Journal),
+            Layer::Stripe => total_of(Layer::Flash),
+            Layer::Flash | Layer::Backend | Layer::Journal => SimDuration::ZERO,
         };
         own.saturating_sub(inner)
     }
@@ -210,11 +301,51 @@ impl TraceBreakdown {
 
 #[derive(Debug, Default)]
 struct TraceAgg {
-    layers: [LayerAgg; 5],
+    layers: [LayerAgg; 7],
     recent: Vec<Span>,
     recent_cap: usize,
     recent_next: usize,
     requests: u64,
+    /// Request scope nesting depth: `begin_request` at depth 0 mints a
+    /// new trace id; nested calls (a cluster wrapping a node's own
+    /// `handle`) only bump the depth so inner scopes are no-ops.
+    depth: u32,
+    current: Vec<Span>,
+    current_truncated: u64,
+    current_annotations: Vec<TraceAnnotation>,
+    annotation_totals: BTreeMap<&'static str, u64>,
+    sense_exemplars: Vec<PendingTree>,
+    sense_dropped: u64,
+    slow_exemplars: Vec<PendingTree>,
+}
+
+/// A retained request's raw buffers. Tree assembly is O(spans²), so it
+/// is deferred to [`Tracer::exemplars`] — the request hot path only
+/// moves the buffers here (top-K replacement included), keeping the
+/// enabled tracer's per-request cost flat.
+#[derive(Debug)]
+struct PendingTree {
+    trace_id: u64,
+    reason: &'static str,
+    sense: Option<&'static str>,
+    latency: SimDuration,
+    spans: Vec<Span>,
+    annotations: Vec<TraceAnnotation>,
+    truncated_spans: u64,
+}
+
+impl PendingTree {
+    fn build(&self) -> TraceTree {
+        build_tree(
+            self.trace_id,
+            self.reason,
+            self.sense,
+            self.latency,
+            &self.spans,
+            self.annotations.clone(),
+            self.truncated_spans,
+        )
+    }
 }
 
 #[derive(Debug)]
@@ -225,6 +356,19 @@ struct TracerShared {
 
 /// How many recent spans the tracer retains for inspection.
 const DEFAULT_RECENT_SPANS: usize = 512;
+
+/// Span cap per in-flight request tree; overflow increments
+/// [`TraceTree::truncated_spans`] instead of growing without bound.
+const MAX_TREE_SPANS: usize = 256;
+
+/// Annotation cap per in-flight request tree.
+const MAX_TREE_ANNOTATIONS: usize = 64;
+
+/// How many sense-coded request trees are retained (first come).
+const SENSE_EXEMPLARS_CAP: usize = 24;
+
+/// How many slowest-request trees are retained (top-K by latency).
+const SLOW_EXEMPLARS_CAP: usize = 8;
 
 /// A cloneable handle to a shared span recorder (see the module docs).
 #[derive(Clone, Debug)]
@@ -264,6 +408,11 @@ impl Tracer {
         self.shared.enabled.store(enabled, Ordering::Relaxed);
     }
 
+    /// `true` when both tracers are handles to the same recorder.
+    pub fn same_recorder(&self, other: &Tracer) -> bool {
+        Arc::ptr_eq(&self.shared, &other.shared)
+    }
+
     /// Starts a span: reads the clock if recording is on. The returned
     /// token is `None` when disabled, making the matching
     /// [`Tracer::record`] free.
@@ -295,14 +444,32 @@ impl Tracer {
         self.push(layer, op, start, end);
     }
 
+    /// Records a request-enclosing span: like [`Tracer::record`], but the
+    /// end is extended to cover every span already buffered for the
+    /// in-flight request. Background completions (e.g. an async
+    /// write-back) finish at a *future* simulated instant beyond the
+    /// caller's clock; extending the enclosing span keeps the tree
+    /// builder's containment rule rooting them under this span. No-op
+    /// when `started` is `None`.
+    pub fn record_enclosing(
+        &self,
+        layer: Layer,
+        op: &'static str,
+        started: Option<SimTime>,
+        end: SimTime,
+    ) {
+        let Some(start) = started else { return };
+        let covered = {
+            let agg = self.shared.agg.lock().expect("tracer lock");
+            agg.current.iter().map(|s| s.end).fold(end, SimTime::max)
+        };
+        self.push(layer, op, start, covered);
+    }
+
     fn push(&self, layer: Layer, op: &'static str, start: SimTime, end: SimTime) {
         let mut agg = self.shared.agg.lock().expect("tracer lock");
         let request = agg.requests;
         agg.layers[layer.index()].record(end.saturating_since(start));
-        let cap = agg.recent_cap;
-        if cap == 0 {
-            return;
-        }
         let span = Span {
             request,
             layer,
@@ -310,6 +477,17 @@ impl Tracer {
             start,
             end,
         };
+        if agg.depth > 0 {
+            if agg.current.len() < MAX_TREE_SPANS {
+                agg.current.push(span);
+            } else {
+                agg.current_truncated += 1;
+            }
+        }
+        let cap = agg.recent_cap;
+        if cap == 0 {
+            return;
+        }
         if agg.recent.len() < cap {
             agg.recent.push(span);
         } else {
@@ -319,16 +497,127 @@ impl Tracer {
         agg.recent_next = (agg.recent_next + 1) % cap;
     }
 
-    /// Delimits a new request: spans recorded until the next call carry
-    /// this request's ordinal. Returns the ordinal (1-based), or 0 when
-    /// recording is off.
+    /// Enters a request scope. At the outermost level this mints a new
+    /// trace id (spans recorded until the matching
+    /// [`Tracer::end_request`] carry it and are buffered for exemplar
+    /// capture); nested calls — a cluster wrapping a node's own request
+    /// path — are no-ops that return the in-flight id. Returns the
+    /// 1-based trace id, or 0 when recording is off.
     pub fn begin_request(&self) -> u64 {
         if !self.is_enabled() {
             return 0;
         }
         let mut agg = self.shared.agg.lock().expect("tracer lock");
-        agg.requests += 1;
+        agg.depth += 1;
+        if agg.depth == 1 {
+            agg.requests += 1;
+            agg.current.clear();
+            agg.current_truncated = 0;
+            agg.current_annotations.clear();
+        }
         agg.requests
+    }
+
+    /// Leaves a request scope opened with [`Tracer::begin_request`]. The
+    /// outermost call finalizes the buffered spans: sense-coded requests
+    /// (`sense` is `Some`) always retain their full [`TraceTree`]
+    /// (bounded first-come), otherwise the tree is kept only while it
+    /// ranks among the slowest requests seen. No-op when disabled or
+    /// when nested.
+    pub fn end_request(&self, latency: SimDuration, sense: Option<&'static str>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut agg = self.shared.agg.lock().expect("tracer lock");
+        if agg.depth == 0 {
+            return;
+        }
+        agg.depth -= 1;
+        if agg.depth > 0 {
+            return;
+        }
+        let spans = std::mem::take(&mut agg.current);
+        let annotations = std::mem::take(&mut agg.current_annotations);
+        let truncated = std::mem::take(&mut agg.current_truncated);
+        if spans.is_empty() && annotations.is_empty() {
+            return;
+        }
+        let trace_id = agg.requests;
+        let pending = |reason, sense| PendingTree {
+            trace_id,
+            reason,
+            sense,
+            latency,
+            spans,
+            annotations,
+            truncated_spans: truncated,
+        };
+        if let Some(label) = sense {
+            if agg.sense_exemplars.len() >= SENSE_EXEMPLARS_CAP {
+                agg.sense_dropped += 1;
+                return;
+            }
+            agg.sense_exemplars.push(pending("sense", Some(label)));
+        } else if agg.slow_exemplars.len() < SLOW_EXEMPLARS_CAP {
+            agg.slow_exemplars.push(pending("slow", None));
+        } else {
+            // Deterministic top-K: replace the (first) minimum only on a
+            // strictly slower request, so ties keep the earlier trace.
+            let min_at = agg
+                .slow_exemplars
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| t.latency)
+                .map(|(i, _)| i)
+                .expect("non-empty slow exemplars");
+            if latency > agg.slow_exemplars[min_at].latency {
+                agg.slow_exemplars[min_at] = pending("slow", None);
+            }
+        }
+    }
+
+    /// Attaches a timestamped event annotation (e.g. `"retry"`,
+    /// `"degraded-path"`) to the in-flight request tree and counts it in
+    /// the per-label totals. No-op when disabled.
+    pub fn annotate(&self, label: &'static str, at: SimTime) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut agg = self.shared.agg.lock().expect("tracer lock");
+        *agg.annotation_totals.entry(label).or_insert(0) += 1;
+        if agg.depth > 0 && agg.current_annotations.len() < MAX_TREE_ANNOTATIONS {
+            agg.current_annotations.push(TraceAnnotation { at, label });
+        }
+    }
+
+    /// Per-label annotation totals since the last reset, sorted by label.
+    pub fn annotation_counts(&self) -> Vec<(&'static str, u64)> {
+        let agg = self.shared.agg.lock().expect("tracer lock");
+        agg.annotation_totals
+            .iter()
+            .map(|(&label, &count)| (label, count))
+            .collect()
+    }
+
+    /// The retained exemplar trees (sense-coded and slowest requests),
+    /// sorted by trace id. Trees are assembled here, at snapshot time —
+    /// the request path only buffers raw spans.
+    pub fn exemplars(&self) -> Vec<TraceTree> {
+        let agg = self.shared.agg.lock().expect("tracer lock");
+        let mut out: Vec<TraceTree> = agg
+            .sense_exemplars
+            .iter()
+            .chain(agg.slow_exemplars.iter())
+            .map(PendingTree::build)
+            .collect();
+        out.sort_by_key(|t| t.trace_id);
+        out
+    }
+
+    /// Sense-coded trees that were dropped because the exemplar store
+    /// was full.
+    pub fn exemplars_dropped(&self) -> u64 {
+        self.shared.agg.lock().expect("tracer lock").sense_dropped
     }
 
     /// Snapshot of the aggregated per-layer breakdown.
@@ -373,8 +662,8 @@ impl Tracer {
         }
     }
 
-    /// Clears all aggregates and spans (e.g. at the end of warm-up), and
-    /// keeps the enabled flag unchanged.
+    /// Clears all aggregates, spans, annotations and exemplars (e.g. at
+    /// the end of warm-up), and keeps the enabled flag unchanged.
     pub fn reset(&self) {
         let mut agg = self.shared.agg.lock().expect("tracer lock");
         let cap = agg.recent_cap;
@@ -382,6 +671,61 @@ impl Tracer {
             recent_cap: cap,
             ..TraceAgg::default()
         };
+    }
+}
+
+/// Resolves parent/child structure over a request's buffered spans. A
+/// span's parent is the span that (a) sits at a strictly smaller
+/// [`Layer::tree_depth`], (b) contains it in simulated time, and (c) is
+/// the closest such container — maximum depth, then latest start, then
+/// highest id. Spans with no container are roots (`parent == 0`). The
+/// rule is a pure function of the buffer, so identical runs resolve
+/// identical trees.
+fn build_tree(
+    trace_id: u64,
+    reason: &'static str,
+    sense: Option<&'static str>,
+    latency: SimDuration,
+    spans: &[Span],
+    annotations: Vec<TraceAnnotation>,
+    truncated_spans: u64,
+) -> TraceTree {
+    let mut nodes: Vec<TraceSpanNode> = spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| TraceSpanNode {
+            id: (i + 1) as u32,
+            parent: 0,
+            layer: s.layer,
+            op: s.op,
+            start: s.start,
+            end: s.end,
+        })
+        .collect();
+    for i in 0..nodes.len() {
+        let depth = nodes[i].layer.tree_depth();
+        let (start, end) = (nodes[i].start, nodes[i].end);
+        let mut best: Option<(u32, SimTime, u32)> = None;
+        for candidate in &nodes {
+            let cd = candidate.layer.tree_depth();
+            if cd >= depth || candidate.start > start || candidate.end < end {
+                continue;
+            }
+            let key = (cd, candidate.start, candidate.id);
+            if best.is_none_or(|b| key > b) {
+                best = Some(key);
+            }
+        }
+        nodes[i].parent = best.map_or(0, |(_, _, id)| id);
+    }
+    TraceTree {
+        trace_id,
+        reason,
+        sense,
+        latency,
+        spans: nodes,
+        annotations,
+        truncated_spans,
     }
 }
 
@@ -402,17 +746,22 @@ mod tests {
         assert!(token.is_none());
         tracer.record(Layer::Flash, "read", token, clock.now());
         tracer.record_span(Layer::Stripe, "read", t(0), t(10));
+        tracer.annotate("retry", t(5));
         assert_eq!(tracer.begin_request(), 0);
+        tracer.end_request(SimDuration::from_micros(10), Some("failure"));
         let b = tracer.breakdown();
         assert_eq!(b.requests, 0);
         assert!(b.layers.is_empty());
         assert!(tracer.recent_spans().is_empty());
+        assert!(tracer.exemplars().is_empty());
+        assert!(tracer.annotation_counts().is_empty());
     }
 
     #[test]
     fn clones_share_the_recorder() {
         let tracer = Tracer::new();
         let other = tracer.clone();
+        assert!(tracer.same_recorder(&other));
         tracer.set_enabled(true);
         assert!(other.is_enabled());
         other.record_span(Layer::Backend, "read", t(0), t(100));
@@ -427,8 +776,10 @@ mod tests {
         tracer.begin_request();
         tracer.record_span(Layer::Stripe, "read", t(0), t(40));
         tracer.record_span(Layer::Flash, "read", t(0), t(30));
+        tracer.end_request(SimDuration::from_micros(40), None);
         tracer.begin_request();
         tracer.record_span(Layer::Stripe, "read", t(40), t(100));
+        tracer.end_request(SimDuration::from_micros(60), None);
         let b = tracer.breakdown();
         assert_eq!(b.requests, 2);
         let stripe = b.layer(Layer::Stripe).unwrap();
@@ -450,6 +801,21 @@ mod tests {
         tracer.record_span(Layer::Backend, "read", t(30), t(90));
         let b = tracer.breakdown();
         assert_eq!(b.exclusive(Layer::Cache), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn exclusive_nesting_covers_new_layers() {
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        tracer.record_span(Layer::Placement, "request", t(0), t(120));
+        tracer.record_span(Layer::Cache, "request", t(0), t(100));
+        tracer.record_span(Layer::Target, "write", t(0), t(80));
+        tracer.record_span(Layer::Journal, "append", t(10), t(20));
+        tracer.record_span(Layer::Stripe, "store", t(20), t(70));
+        let b = tracer.breakdown();
+        assert_eq!(b.exclusive(Layer::Placement), SimDuration::from_micros(20));
+        assert_eq!(b.exclusive(Layer::Target), SimDuration::from_micros(20));
+        assert_eq!(b.exclusive(Layer::Journal), SimDuration::from_micros(10));
     }
 
     #[test]
@@ -478,17 +844,151 @@ mod tests {
         tracer.set_enabled(true);
         tracer.begin_request();
         tracer.record_span(Layer::Flash, "read", t(0), t(5));
+        tracer.annotate("retry", t(3));
+        tracer.end_request(SimDuration::from_micros(5), Some("failure"));
         tracer.reset();
         assert!(tracer.is_enabled());
         let b = tracer.breakdown();
         assert_eq!(b.requests, 0);
         assert!(b.layers.is_empty());
         assert!(tracer.recent_spans().is_empty());
+        assert!(tracer.exemplars().is_empty());
+        assert!(tracer.annotation_counts().is_empty());
     }
 
     #[test]
     fn layer_names_are_stable() {
         let names: Vec<&str> = Layer::ALL.iter().map(|l| l.as_str()).collect();
-        assert_eq!(names, ["cache", "target", "stripe", "flash", "backend"]);
+        assert_eq!(
+            names,
+            [
+                "cache",
+                "target",
+                "stripe",
+                "flash",
+                "backend",
+                "journal",
+                "placement"
+            ]
+        );
+    }
+
+    #[test]
+    fn sense_coded_requests_retain_their_tree() {
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        let id = tracer.begin_request();
+        tracer.record_span(Layer::Cache, "read", t(0), t(100));
+        tracer.record_span(Layer::Target, "read", t(0), t(80));
+        tracer.record_span(Layer::Stripe, "read", t(10), t(70));
+        tracer.record_span(Layer::Flash, "read", t(20), t(60));
+        tracer.annotate("retry", t(30));
+        tracer.end_request(SimDuration::from_micros(100), Some("medium-error"));
+        let exemplars = tracer.exemplars();
+        assert_eq!(exemplars.len(), 1);
+        let tree = &exemplars[0];
+        assert_eq!(tree.trace_id, id);
+        assert_eq!(tree.reason, "sense");
+        assert_eq!(tree.sense, Some("medium-error"));
+        assert_eq!(tree.spans.len(), 4);
+        // Cache is root, target under cache, stripe under target, flash
+        // under stripe: full causal chain.
+        assert_eq!(tree.spans[0].parent, 0);
+        assert_eq!(tree.spans[1].parent, tree.spans[0].id);
+        assert_eq!(tree.spans[2].parent, tree.spans[1].id);
+        assert_eq!(tree.spans[3].parent, tree.spans[2].id);
+        assert_eq!(tree.annotations.len(), 1);
+        assert_eq!(tree.annotations[0].label, "retry");
+    }
+
+    #[test]
+    fn placement_span_roots_the_cluster_tree() {
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        tracer.begin_request();
+        // Cluster wraps the node's own request scope.
+        tracer.begin_request();
+        tracer.record_span(Layer::Cache, "read", t(0), t(90));
+        tracer.record_span(Layer::Backend, "read", t(10), t(80));
+        tracer.end_request(SimDuration::from_micros(90), None);
+        tracer.record_span(Layer::Placement, "request", t(0), t(100));
+        tracer.end_request(SimDuration::from_micros(100), Some("recovered-error"));
+        let b = tracer.breakdown();
+        // Nested begin_request does not mint a second trace.
+        assert_eq!(b.requests, 1);
+        let exemplars = tracer.exemplars();
+        assert_eq!(exemplars.len(), 1);
+        let tree = &exemplars[0];
+        let placement = tree
+            .spans
+            .iter()
+            .find(|s| s.layer == Layer::Placement)
+            .unwrap();
+        let cache = tree.spans.iter().find(|s| s.layer == Layer::Cache).unwrap();
+        let backend = tree
+            .spans
+            .iter()
+            .find(|s| s.layer == Layer::Backend)
+            .unwrap();
+        assert_eq!(placement.parent, 0);
+        assert_eq!(cache.parent, placement.id);
+        assert_eq!(backend.parent, cache.id);
+    }
+
+    #[test]
+    fn slow_exemplars_keep_the_top_k_deterministically() {
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        for i in 0..(SLOW_EXEMPLARS_CAP as u64 + 6) {
+            tracer.begin_request();
+            tracer.record_span(Layer::Cache, "read", t(i * 1000), t(i * 1000 + 10 + i));
+            tracer.end_request(SimDuration::from_micros(10 + i), None);
+        }
+        let exemplars = tracer.exemplars();
+        assert_eq!(exemplars.len(), SLOW_EXEMPLARS_CAP);
+        // The slowest K survive; all retained latencies beat the evicted.
+        let min = exemplars.iter().map(|e| e.latency).min().unwrap();
+        assert_eq!(min, SimDuration::from_micros(10 + 6));
+        assert!(exemplars.iter().all(|e| e.reason == "slow"));
+        // Ties do not evict: replaying the minimum latency keeps the set.
+        let before: Vec<u64> = exemplars.iter().map(|e| e.trace_id).collect();
+        tracer.begin_request();
+        tracer.record_span(Layer::Cache, "read", t(900_000), t(900_016));
+        tracer.end_request(min, None);
+        let after: Vec<u64> = tracer.exemplars().iter().map(|e| e.trace_id).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn tree_span_buffer_is_bounded() {
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        tracer.begin_request();
+        for i in 0..(MAX_TREE_SPANS as u64 + 5) {
+            tracer.record_span(Layer::Flash, "read", t(i), t(i + 1));
+        }
+        tracer.end_request(SimDuration::from_micros(1), Some("failure"));
+        let exemplars = tracer.exemplars();
+        assert_eq!(exemplars.len(), 1);
+        assert_eq!(exemplars[0].spans.len(), MAX_TREE_SPANS);
+        assert_eq!(exemplars[0].truncated_spans, 5);
+        // The aggregate breakdown still counted every span.
+        assert_eq!(
+            tracer.breakdown().layer(Layer::Flash).unwrap().spans,
+            MAX_TREE_SPANS as u64 + 5
+        );
+    }
+
+    #[test]
+    fn annotation_totals_count_outside_requests() {
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        tracer.annotate("qos-stall", t(1));
+        tracer.annotate("qos-stall", t(2));
+        tracer.annotate("retry", t(3));
+        assert_eq!(
+            tracer.annotation_counts(),
+            vec![("qos-stall", 2), ("retry", 1)]
+        );
     }
 }

@@ -754,6 +754,7 @@ impl StripeManager {
     /// * [`StripeError::Flash`] — unexpected device error.
     pub fn read_object(&mut self, layout: &ObjectLayout) -> Result<ReadOutcome, StripeError> {
         let now = self.array.clock().now();
+        let retries_before = self.transient_retries;
         let mut completions: Vec<SimTime> = Vec::new();
         let mut degraded = false;
         let mut assembled: Option<Vec<Vec<u8>>> = None;
@@ -791,6 +792,14 @@ impl StripeManager {
         self.array
             .tracer()
             .record_span(Layer::Stripe, "read", now, completed_at);
+        if degraded {
+            // On-the-fly reconstruction served this read: flag the event
+            // on the request's trace tree.
+            self.array.tracer().annotate("read-repair", completed_at);
+        }
+        if self.transient_retries > retries_before {
+            self.array.tracer().annotate("retry", completed_at);
+        }
         let bytes = assembled.map(|per_stripe| {
             let mut out: Vec<u8> = per_stripe.into_iter().flatten().collect();
             out.truncate(layout.size.as_bytes() as usize);

@@ -1,10 +1,14 @@
 //! Observability integration tests: the `reo-trace` per-layer span
 //! recorder threaded through a full system, the per-class metric rows,
-//! and the interaction of fault counters with window rolling while the
-//! background scrubber is running.
+//! the interaction of fault counters with window rolling while the
+//! background scrubber is running, causal trace trees across the
+//! cluster, flight-recorder postmortems, and per-class SLO burn rates.
 
-use reo_repro::core::{CacheSystem, SchemeConfig, SystemConfig};
-use reo_repro::sim::{ByteSize, Layer};
+use reo_repro::core::{
+    CacheSystem, ClusterSystem, ExperimentPlan, PlannedEvent, SchemeConfig, SystemConfig,
+    CLASS_LABELS,
+};
+use reo_repro::sim::{ByteSize, Layer, TraceTree};
 use reo_repro::workload::{Locality, Trace, WorkloadSpec};
 
 fn trace(requests: usize, write_ratio: f64, seed: u64) -> Trace {
@@ -174,4 +178,134 @@ fn scrubber_repairs_show_in_window_and_tracer_scrub_spans() {
         .filter(|s| s.layer == Layer::Target && s.op == "scrub")
         .count();
     assert!(scrubs > 0, "scrub steps must be traced");
+}
+
+fn outage_cluster(seed: u64) -> (ClusterSystem, Vec<TraceTree>) {
+    let t = trace(1_200, 0.2, seed);
+    let cache = t.summary().data_set_bytes.scale(0.25);
+    let config = SystemConfig::paper_defaults(SchemeConfig::Reo { reserve: 0.20 }, cache)
+        .with_chunk_size(ByteSize::from_kib(32));
+    let mut cluster = ClusterSystem::new(config, 4);
+    cluster.enable_tracing();
+    let n = t.requests().len();
+    let plan = ExperimentPlan {
+        warmup_passes: 1,
+        ..Default::default()
+    }
+    .with_event(n / 3, PlannedEvent::FailTarget(1))
+    .with_event(2 * n / 3, PlannedEvent::RestoreTarget(1));
+    cluster.run(&t, &plan);
+    let exemplars = cluster.tracer().exemplars();
+    (cluster, exemplars)
+}
+
+/// Walks up the parent chain of `span` and returns the layers visited,
+/// innermost first (excluding `span` itself).
+fn ancestor_layers(tree: &TraceTree, span_id: u32) -> Vec<Layer> {
+    let mut layers = Vec::new();
+    let mut at = span_id;
+    loop {
+        let node = tree.spans.iter().find(|s| s.id == at).expect("known span");
+        if node.parent == 0 {
+            break;
+        }
+        at = node.parent;
+        layers.push(
+            tree.spans
+                .iter()
+                .find(|s| s.id == at)
+                .expect("parent")
+                .layer,
+        );
+    }
+    layers
+}
+
+#[test]
+fn degraded_exemplar_traces_causality_from_cluster_to_flash() {
+    let (_, exemplars) = outage_cluster(41);
+    let sense_coded: Vec<&TraceTree> = exemplars.iter().filter(|t| t.sense.is_some()).collect();
+    assert!(
+        !sense_coded.is_empty(),
+        "the outage window must retain sense-coded exemplars"
+    );
+    // Every exemplar roots at the placement layer (cluster entry).
+    for tree in &exemplars {
+        let roots: Vec<_> = tree.spans.iter().filter(|s| s.parent == 0).collect();
+        assert_eq!(roots.len(), 1, "one root per request tree");
+        assert_eq!(roots[0].layer, Layer::Placement, "cluster entry roots");
+    }
+    // At least one exemplar shows the full causal path: a flash or
+    // backend leaf whose ancestry climbs stripe → target → cache →
+    // placement (backend leaves hang directly under cache).
+    let full_path = exemplars.iter().any(|tree| {
+        tree.spans.iter().any(|s| {
+            let above = ancestor_layers(tree, s.id);
+            s.layer == Layer::Flash
+                && above.contains(&Layer::Stripe)
+                && above.contains(&Layer::Target)
+                && above.contains(&Layer::Cache)
+                && above.contains(&Layer::Placement)
+        })
+    });
+    assert!(
+        full_path,
+        "an exemplar must trace placement → cache → target → stripe → flash"
+    );
+    // Degraded service leaves its mark: some sense-coded exemplar either
+    // served from the backend or carries an outage annotation.
+    let degraded_visible = sense_coded.iter().any(|tree| {
+        tree.spans.iter().any(|s| s.layer == Layer::Backend)
+            || tree.annotations.iter().any(|a| a.label == "outage-serve")
+    });
+    assert!(
+        degraded_visible,
+        "degraded exemplars must show the alternate serving path"
+    );
+}
+
+#[test]
+fn same_seed_runs_retain_identical_exemplars_and_postmortems() {
+    let (cluster_a, exemplars_a) = outage_cluster(43);
+    let (cluster_b, exemplars_b) = outage_cluster(43);
+    assert_eq!(
+        exemplars_a, exemplars_b,
+        "trace trees must replay identically for the same seed"
+    );
+    assert_eq!(
+        cluster_a.flight().postmortems(),
+        cluster_b.flight().postmortems(),
+        "postmortem event sequences must replay identically for the same seed"
+    );
+    assert!(!cluster_a.flight().postmortems().is_empty());
+}
+
+#[test]
+fn slo_snapshot_tracks_burn_rates_per_class() {
+    let t = trace(1_500, 0.3, 25);
+    let mut sys = system(SchemeConfig::Reo { reserve: 0.20 }, &t, 0.12);
+    for r in t.requests() {
+        sys.handle(r);
+    }
+    let totals = sys.metrics().totals();
+    assert!(!totals.slos.is_empty(), "active classes export SLO rows");
+    let mut last_slot = 0;
+    for slo in &totals.slos {
+        let slot = CLASS_LABELS
+            .iter()
+            .position(|&l| l == slo.class)
+            .expect("known class label");
+        assert!(slot >= last_slot, "SLO rows keep CLASS_LABELS order");
+        last_slot = slot;
+        assert!(slo.requests > 0, "only active classes appear");
+        assert!((0.0..=100.0).contains(&slo.latency_compliance_pct()));
+        assert!((0.0..=100.0).contains(&slo.availability_pct()));
+        assert!(slo.latency_burn_fast() >= 0.0);
+        assert!(slo.availability_burn_slow() >= 0.0);
+    }
+    let slo_requests: u64 = totals.slos.iter().map(|s| s.requests).sum();
+    assert_eq!(
+        slo_requests, totals.requests,
+        "every request lands in exactly one SLO class"
+    );
 }
