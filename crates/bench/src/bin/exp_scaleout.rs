@@ -171,7 +171,7 @@ fn main() {
     FigureReport::new("scaleout")
         .param(
             "targets",
-            &targets_swept
+            targets_swept
                 .iter()
                 .map(|t| t.to_string())
                 .collect::<Vec<_>>()

@@ -46,16 +46,20 @@ use serde::{DeError, Deserialize, Serialize, Value};
 /// (one per redundancy class with multi-window burn rates), repeated
 /// `trace` (one retained exemplar trace tree per line, spans nested as
 /// an id-keyed map), and repeated `postmortem` (one flight-recorder
-/// dump per line, events keyed by sequence number).
-pub const SCHEMA_VERSION: u64 = 6;
+/// dump per line, events keyed by sequence number). v7 added the
+/// optional singleton `replication` record (cross-target replication
+/// policy and counters, emitted by cluster runs with a replication
+/// policy), `served_by_replica` on `totals`, and `replica_serves` on
+/// `placement` rows.
+pub const SCHEMA_VERSION: u64 = 7;
 
-/// Oldest schema version [`validate_jsonl`] still accepts: v5 and v6
-/// only add record kinds and fields, so v4 documents (e.g. the committed
-/// perf baseline) remain valid.
+/// Oldest schema version [`validate_jsonl`] still accepts: v5, v6, and
+/// v7 only add record kinds and fields, so v4 documents (e.g. the
+/// committed perf baseline) remain valid.
 pub const MIN_SCHEMA_VERSION: u64 = 4;
 
 /// The record kinds a JSON-lines document may contain.
-pub const RECORD_KINDS: [&str; 13] = [
+pub const RECORD_KINDS: [&str; 14] = [
     "meta",
     "totals",
     "class",
@@ -69,6 +73,7 @@ pub const RECORD_KINDS: [&str; 13] = [
     "slo",
     "trace",
     "postmortem",
+    "replication",
 ];
 
 /// Everything one run exports (see the module docs).
@@ -99,6 +104,22 @@ pub struct RunReport {
     pub exemplars: Vec<reo_sim::TraceTree>,
     /// Flight-recorder post-mortem dumps (empty on clean runs).
     pub postmortems: Vec<reo_sim::Postmortem>,
+    /// Cross-target replication counters (`None` on single-target runs
+    /// and clusters without a replication policy — the record is then
+    /// omitted entirely, keeping pre-v7 documents byte-identical).
+    pub replication: Option<ReplicationReport>,
+}
+
+/// The schema-v7 `replication` record: the active policy plus the
+/// cluster's replication counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplicationReport {
+    /// Largest per-class copy count of the policy.
+    pub max_factor: u64,
+    /// Per-class copy counts `[metadata, dirty, hot_clean, cold_clean]`.
+    pub factors: [u64; 4],
+    /// The cluster's cumulative replication counters.
+    pub counters: reo_core::ReplicationSnapshot,
 }
 
 /// One microbenchmark measurement, exported as a `perf` record.
@@ -133,6 +154,7 @@ pub fn collect_run_report(
         perf: Vec::new(),
         exemplars: system.tracer().exemplars(),
         postmortems: system.flight().postmortems(),
+        replication: None,
     }
 }
 
@@ -182,6 +204,7 @@ pub fn collect_cluster_report(
         cache.demotions += c.demotions;
         cache.write_throughs += c.write_throughs;
         cache.bypassed_fills += c.bypassed_fills;
+        cache.replica_refreshes += c.replica_refreshes;
         let r = node.resilience();
         resilience.health_transitions += r.health_transitions;
         resilience.shed_requests += r.shed_requests;
@@ -213,6 +236,19 @@ pub fn collect_cluster_report(
         perf: Vec::new(),
         exemplars: cluster.tracer().exemplars(),
         postmortems: cluster.flight().postmortems(),
+        replication: {
+            let policy = cluster.replication_policy();
+            policy.enabled().then(|| ReplicationReport {
+                max_factor: policy.max_factor() as u64,
+                factors: [
+                    policy.metadata as u64,
+                    policy.dirty as u64,
+                    policy.hot_clean as u64,
+                    policy.cold_clean as u64,
+                ],
+                counters: result.replication,
+            })
+        },
     }
 }
 
@@ -284,6 +320,7 @@ fn totals_fields(snap: &MetricsSnapshot) -> Vec<(&'static str, Value)> {
         ("replayed_records", u(snap.replayed_records)),
         ("torn_tail_detected", u(snap.torn_tail_detected)),
         ("recovery_duration_us", u(snap.recovery_duration_us)),
+        ("served_by_replica", u(snap.served_by_replica)),
     ]
 }
 
@@ -301,6 +338,7 @@ fn placement_fields(row: &TargetMetricsRow) -> Vec<(&'static str, Value)> {
         ("rebuild_window_us", i(row.rebuild_window_us)),
         ("migrated_in", u(row.migrated_in)),
         ("migrated_out", u(row.migrated_out)),
+        ("replica_serves", u(row.replica_serves)),
         (
             "sense_mix",
             Value::Map(
@@ -501,6 +539,7 @@ fn records(report: &RunReport) -> Vec<Value> {
             ("removals", u(report.cache.removals)),
             ("promotions", u(report.cache.promotions)),
             ("demotions", u(report.cache.demotions)),
+            ("replica_refreshes", u(report.cache.replica_refreshes)),
         ],
     ));
     let r = &report.resilience;
@@ -560,6 +599,27 @@ fn records(report: &RunReport) -> Vec<Value> {
     }
     for pm in &report.postmortems {
         out.push(postmortem_record(pm));
+    }
+    if let Some(repl) = &report.replication {
+        let c = &repl.counters;
+        out.push(rec(
+            "replication",
+            vec![
+                ("max_factor", u(repl.max_factor)),
+                ("factor_metadata", u(repl.factors[0])),
+                ("factor_dirty", u(repl.factors[1])),
+                ("factor_hot_clean", u(repl.factors[2])),
+                ("factor_cold_clean", u(repl.factors[3])),
+                ("replica_serves", u(c.replica_serves)),
+                ("fanout_writes", u(c.fanout_writes)),
+                ("fanout_refreshes", u(c.fanout_refreshes)),
+                ("divergences_injected", u(c.divergences_injected)),
+                ("divergences_detected", u(c.divergences_detected)),
+                ("divergences_repaired", u(c.divergences_repaired)),
+                ("anti_entropy_passes", u(c.anti_entropy_passes)),
+                ("failbacks_completed", u(c.failbacks_completed)),
+            ],
+        ));
     }
     out
 }
@@ -702,6 +762,21 @@ fn required_numbers(kind: &str) -> &'static [&'static str] {
         ],
         "trace" => &["trace_id", "latency_ms", "span_count", "truncated_spans"],
         "postmortem" => &["at_ms", "target", "dropped_events", "event_count"],
+        "replication" => &[
+            "max_factor",
+            "factor_metadata",
+            "factor_dirty",
+            "factor_hot_clean",
+            "factor_cold_clean",
+            "replica_serves",
+            "fanout_writes",
+            "fanout_refreshes",
+            "divergences_injected",
+            "divergences_detected",
+            "divergences_repaired",
+            "anti_entropy_passes",
+            "failbacks_completed",
+        ],
         _ => &[],
     }
 }
@@ -749,6 +824,7 @@ fn allowed_fields(kind: &str) -> &'static [&'static str] {
             "replayed_records",
             "torn_tail_detected",
             "recovery_duration_us",
+            "served_by_replica",
         ],
         "class" => &[
             "kind",
@@ -794,6 +870,7 @@ fn allowed_fields(kind: &str) -> &'static [&'static str] {
             "removals",
             "promotions",
             "demotions",
+            "replica_refreshes",
         ],
         "resilience" => &[
             "kind",
@@ -827,6 +904,7 @@ fn allowed_fields(kind: &str) -> &'static [&'static str] {
             "rebuild_window_us",
             "migrated_in",
             "migrated_out",
+            "replica_serves",
             "sense_mix",
         ],
         "slo" => &[
@@ -864,6 +942,22 @@ fn allowed_fields(kind: &str) -> &'static [&'static str] {
             "dropped_events",
             "event_count",
             "events",
+        ],
+        "replication" => &[
+            "kind",
+            "max_factor",
+            "factor_metadata",
+            "factor_dirty",
+            "factor_hot_clean",
+            "factor_cold_clean",
+            "replica_serves",
+            "fanout_writes",
+            "fanout_refreshes",
+            "divergences_injected",
+            "divergences_detected",
+            "divergences_repaired",
+            "anti_entropy_passes",
+            "failbacks_completed",
         ],
         _ => &[],
     }

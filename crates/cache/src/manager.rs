@@ -63,6 +63,10 @@ pub struct CacheStats {
     /// Clean-miss fills skipped because the array was rebuilding (the
     /// read was served from the backend without admission).
     pub bypassed_fills: u64,
+    /// Replica copies admitted or re-stamped by the cluster layer's
+    /// cross-target write fan-out (replication overhead, distinct from
+    /// on-demand admissions).
+    pub replica_refreshes: u64,
 }
 
 /// A class change the manager wants shipped to the object storage as a
@@ -141,6 +145,12 @@ impl CacheManager {
     /// backend without admission while the array was rebuilding).
     pub fn note_bypassed_fill(&mut self) {
         self.stats.bypassed_fills += 1;
+    }
+
+    /// Counts one replica refresh (the cluster write fan-out admitted
+    /// or re-stamped a replica copy on this node).
+    pub fn note_replica_refresh(&mut self) {
+        self.stats.replica_refreshes += 1;
     }
 
     /// Updates the topology-dependent parameters after device failures or

@@ -29,6 +29,17 @@
 //!   the seeded ring, all bookkeeping lives in ordered containers, and
 //!   per-target virtual clocks are merged to their max at request
 //!   barriers — equal seeds replay byte-identical cluster histories.
+//! * **Full-speed failover** — with a [`ReplicationPolicy`], acked
+//!   writes fan out to the key's ring replica set at the request
+//!   barrier (stamped with an authoritative content version), so a
+//!   target outage routes its range to a peer's *cache* (`replica-serve`)
+//!   instead of degrading to backend-first; an anti-entropy pass
+//!   piggybacked on the request cadence compares version stamps and
+//!   repairs diverged replicas, and a restore runs failback as
+//!   ring-delta reconciliation through the same QoS token bucket the
+//!   rebuild path uses. The default policy is
+//!   [`ReplicationPolicy::none`], which keeps single-copy semantics
+//!   byte-identical to the pre-replication cluster.
 //!
 //! The backend tier (the `origin` store plus each node's mirror of the
 //! key map) survives node outages by construction: it is the durable
@@ -39,17 +50,142 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use reo_backend::{BackendError, BackendStore};
 use reo_flashsim::{DeviceId, FaultPlan};
-use reo_osd::{ObjectKey, SenseCode};
-use reo_placement::{PlacementRing, TargetId};
+use reo_osd::{ObjectClass, ObjectKey, SenseCode};
+use reo_placement::{mix64, PlacementRing, TargetId};
 use reo_sim::{
     ByteSize, FlightRecorder, Layer, SimClock, SimDuration, SimTime, TokenBucket, Tracer,
 };
 use reo_workload::{Operation, Request, Trace, WorkloadObject};
 
 use crate::config::SystemConfig;
-use crate::metrics::{MetricsSnapshot, SloSnapshot, TargetMetricsRow, CLASS_LABELS};
+use crate::metrics::{MetricsSnapshot, RequestSample, SloSnapshot, TargetMetricsRow, CLASS_LABELS};
 use crate::runner::{ExperimentPlan, PlannedEvent};
 use crate::system::{CacheSystem, RequestOutcome};
+
+/// Requests between piggybacked anti-entropy steps (the cluster-level
+/// analog of the scrubber cursor's cadence).
+const ANTI_ENTROPY_PERIOD: u64 = 16;
+
+/// Replicated keys examined per anti-entropy step.
+const ANTI_ENTROPY_BUDGET: usize = 32;
+
+/// Per-class cross-target replication factors (total copies including
+/// the primary; `1` = no replication for that class). The policy maps
+/// the paper's per-class redundancy idea onto the cluster: scan-class
+/// clean data is cheap to refetch (no replicas), hot read classes earn
+/// a second cache copy for full-speed failover, and dirty metadata is
+/// replicated ahead of its journal-backed flush so an outage does not
+/// drop its range to backend-first service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicationPolicy {
+    /// Copies of replicated-metadata-class objects.
+    pub metadata: usize,
+    /// Copies of dirty (write-back) objects.
+    pub dirty: usize,
+    /// Copies of hot clean objects.
+    pub hot_clean: usize,
+    /// Copies of cold clean objects (scan class — usually 1).
+    pub cold_clean: usize,
+}
+
+impl ReplicationPolicy {
+    /// No replication anywhere: single-copy semantics, byte-identical
+    /// to the pre-replication cluster. The default.
+    pub fn none() -> Self {
+        ReplicationPolicy {
+            metadata: 1,
+            dirty: 1,
+            hot_clean: 1,
+            cold_clean: 1,
+        }
+    }
+
+    /// The reference policy: 2-way for everything that hurts on an
+    /// outage (metadata, dirty, hot clean), single-copy for the scan
+    /// class whose misses the backend absorbs cheaply.
+    pub fn two_way() -> Self {
+        ReplicationPolicy {
+            metadata: 2,
+            dirty: 2,
+            hot_clean: 2,
+            cold_clean: 1,
+        }
+    }
+
+    /// Uniform `n`-way replication for every class (sweep experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn n_way(n: usize) -> Self {
+        assert!(n > 0, "a replication factor counts the primary copy");
+        ReplicationPolicy {
+            metadata: n,
+            dirty: n,
+            hot_clean: n,
+            cold_clean: n,
+        }
+    }
+
+    /// The factor for one serving class. Unknown (`None`) classes are
+    /// writes not yet classified or backend-first serves: treat them as
+    /// dirty, the most conservative class.
+    pub fn factor_for(&self, class: Option<ObjectClass>) -> usize {
+        match class {
+            Some(ObjectClass::Metadata) => self.metadata,
+            Some(ObjectClass::Dirty) | None => self.dirty,
+            Some(ObjectClass::HotClean) => self.hot_clean,
+            Some(ObjectClass::ColdClean) => self.cold_clean,
+        }
+    }
+
+    /// The largest factor any class uses (`1` = replication off).
+    pub fn max_factor(&self) -> usize {
+        self.metadata
+            .max(self.dirty)
+            .max(self.hot_clean)
+            .max(self.cold_clean)
+            .max(1)
+    }
+
+    /// `true` when at least one class keeps more than one copy.
+    pub fn enabled(&self) -> bool {
+        self.max_factor() > 1
+    }
+}
+
+impl Default for ReplicationPolicy {
+    fn default() -> Self {
+        ReplicationPolicy::none()
+    }
+}
+
+/// Cumulative replication counters, exported as the schema-v7
+/// `replication` record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplicationSnapshot {
+    /// Requests for a down target's range served at full speed from a
+    /// replica holder's cache.
+    pub replica_serves: u64,
+    /// Acked writes fanned out to at least one replica holder.
+    pub fanout_writes: u64,
+    /// Replica copies refreshed (admitted or re-stamped) by the fan-out.
+    pub fanout_refreshes: u64,
+    /// Replica divergences injected by
+    /// [`PlannedEvent::InjectReplicaDivergence`].
+    pub divergences_injected: u64,
+    /// Diverged replica copies detected (anti-entropy compare, read-path
+    /// version check, or healed by a newer write's fan-out).
+    pub divergences_detected: u64,
+    /// Diverged replica copies repaired (refreshed to the authoritative
+    /// version, or invalidated when no longer a holder).
+    pub divergences_repaired: u64,
+    /// Completed anti-entropy passes over the replicated namespace.
+    pub anti_entropy_passes: u64,
+    /// Completed failback reconciliations (restored target re-warmed
+    /// through the QoS token bucket).
+    pub failbacks_completed: u64,
+}
 
 /// A stable lowercase label for a sense code, used in per-target
 /// sense-mix rows and JSONL export.
@@ -90,10 +226,14 @@ struct TargetStats {
     degraded_reads: u64,
     shed: u64,
     /// The subset of the above served by the cluster's backend-first
-    /// outage path (not present in the node's own metrics).
+    /// outage path (recorded into the node's metrics as external
+    /// samples so availability burn rates stay honest).
     outage_requests: u64,
     outage_reads: u64,
     outage_degraded_reads: u64,
+    /// The subset of `requests` served at full speed from a replica
+    /// holder's cache while this (owning) target was down.
+    replica_serves: u64,
     sense_mix: BTreeMap<&'static str, u64>,
 }
 
@@ -113,6 +253,9 @@ struct Node {
     rebuild_window_us: i64,
     migrated_in: u64,
     migrated_out: u64,
+    /// Failback warms still pending for this target after a restore
+    /// (replication only); `failback-complete` fires when it hits zero.
+    failback_pending: u64,
 }
 
 impl Node {
@@ -127,8 +270,20 @@ impl Node {
             rebuild_window_us: -1,
             migrated_in: 0,
             migrated_out: 0,
+            failback_pending: 0,
         }
     }
+}
+
+/// One pending rebalance/failback move. `to == None` warms the key's
+/// current ring owner (membership rebalancing); `to == Some(t)` is a
+/// failback warm toward a restored target `t` (which may hold the key
+/// as a replica, not the primary).
+#[derive(Clone, Copy, Debug)]
+struct Migration {
+    key: ObjectKey,
+    from: Option<usize>,
+    to: Option<usize>,
 }
 
 /// The cluster-level health view derived from per-target
@@ -183,6 +338,9 @@ pub struct ClusterRunResult {
     pub rejected_events_by_reason: Vec<(String, u64)>,
     /// Cluster health label at the end of the run.
     pub health: String,
+    /// Replication counters (all zero when the policy is
+    /// [`ReplicationPolicy::none`]).
+    pub replication: ReplicationSnapshot,
 }
 
 /// N cache nodes behind a seeded placement ring (see the module docs).
@@ -200,8 +358,8 @@ pub struct ClusterSystem {
     origin_clock: SimClock,
     /// The authoritative key → size map of the namespace.
     objects: BTreeMap<ObjectKey, ByteSize>,
-    /// Pending rebalance moves as `(key, previous_owner)`.
-    migrations: VecDeque<(ObjectKey, Option<usize>)>,
+    /// Pending rebalance/failback moves.
+    migrations: VecDeque<Migration>,
     migration_throttle: Option<TokenBucket>,
     migration_stalls: u64,
     migration_throttle_bytes: u64,
@@ -220,6 +378,25 @@ pub struct ClusterSystem {
     /// One shared black-box ring across every node; each node records
     /// through a handle tagged with its target id.
     flight: FlightRecorder,
+    /// Per-class cross-target replication factors (default: none).
+    replication: ReplicationPolicy,
+    /// Authoritative content versions of the replicated namespace:
+    /// `key → (version, factor)`, bumped by every acked write whose
+    /// class replicates. Replica copies are stamped with the version at
+    /// fan-out time; anti-entropy compares stamps against this map.
+    versions: BTreeMap<ObjectKey, (u64, usize)>,
+    /// Replica copies deliberately rolled back by
+    /// [`PlannedEvent::InjectReplicaDivergence`], as `(key, target)` —
+    /// the ledger the 100%-detection acceptance check audits.
+    injected_divergences: BTreeSet<(ObjectKey, usize)>,
+    /// Divergence-injection rounds applied (salts the seeded draws).
+    injection_rounds: u64,
+    /// Resume point of the bounded anti-entropy walk (`None` at pass
+    /// boundaries, like the scrubber cursor).
+    anti_entropy_cursor: Option<ObjectKey>,
+    /// Requests handled since construction (anti-entropy cadence).
+    requests_handled: u64,
+    repl_stats: ReplicationSnapshot,
 }
 
 impl ClusterSystem {
@@ -258,6 +435,13 @@ impl ClusterSystem {
             measure_started: SimTime::ZERO,
             tracer,
             flight: FlightRecorder::new(),
+            replication: ReplicationPolicy::none(),
+            versions: BTreeMap::new(),
+            injected_divergences: BTreeSet::new(),
+            injection_rounds: 0,
+            anti_entropy_cursor: None,
+            requests_handled: 0,
+            repl_stats: ReplicationSnapshot::default(),
         };
         for _ in 0..targets {
             cluster.add_target();
@@ -268,6 +452,29 @@ impl ClusterSystem {
     /// The per-node configuration template.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// Sets the per-class replication policy. Takes effect for writes
+    /// acked from now on; already-cached single copies replicate
+    /// lazily as they are next written.
+    pub fn set_replication_policy(&mut self, policy: ReplicationPolicy) {
+        self.replication = policy;
+    }
+
+    /// Builder-style [`ClusterSystem::set_replication_policy`].
+    pub fn with_replication_policy(mut self, policy: ReplicationPolicy) -> Self {
+        self.set_replication_policy(policy);
+        self
+    }
+
+    /// The active replication policy.
+    pub fn replication_policy(&self) -> ReplicationPolicy {
+        self.replication
+    }
+
+    /// Cumulative replication counters.
+    pub fn replication_snapshot(&self) -> ReplicationSnapshot {
+        self.repl_stats
     }
 
     /// Turns cluster-wide request tracing on: one shared recorder spans
@@ -475,7 +682,11 @@ impl ClusterSystem {
         let mut moved = 0u64;
         for key in self.ring.remapped(&prev, self.objects.keys().copied()) {
             let from = prev.target_of(key).map(|x| x.0);
-            self.migrations.push_back((key, from));
+            self.migrations.push_back(Migration {
+                key,
+                from,
+                to: None,
+            });
             moved += 1;
         }
         self.flight.record(
@@ -520,7 +731,11 @@ impl ClusterSystem {
         self.nodes[t].state = TargetState::Removed;
         let mut moved = 0u64;
         for key in self.ring.remapped(&prev, self.objects.keys().copied()) {
-            self.migrations.push_back((key, Some(t)));
+            self.migrations.push_back(Migration {
+                key,
+                from: Some(t),
+                to: None,
+            });
             moved += 1;
         }
         let now = self.merge_clocks();
@@ -586,7 +801,7 @@ impl ClusterSystem {
         // outage are stale; everything else replayed from the journal
         // is authoritative.
         let stale: Vec<ObjectKey> = self.nodes[t].written_while_down.iter().copied().collect();
-        for key in stale {
+        for &key in &stale {
             self.nodes[t].system.invalidate_cached(key);
             if let Some(&size) = self.objects.get(&key) {
                 self.nodes[t].system.mirror_backend_object(key, size);
@@ -595,11 +810,35 @@ impl ClusterSystem {
         self.nodes[t].written_while_down.clear();
         // Membership may have changed while the node was away: hand off
         // keys it no longer owns through the normal migration path.
+        // With replication on, "owns" extends to the key's replica set.
         for key in self.nodes[t].system.cached_keys() {
-            if self.ring.target_of(key) != Some(TargetId(t)) {
-                self.migrations.push_back((key, Some(t)));
+            if !self.holds(key, t) {
+                self.migrations.push_back(Migration {
+                    key,
+                    from: Some(t),
+                    to: None,
+                });
             }
         }
+        // Failback as ring-delta reconciliation: every key written
+        // behind the outage that the returning target still holds
+        // (primary or replica) re-warms through the same QoS token
+        // bucket the rebuild path uses — a restored node re-enters at
+        // full speed without an unthrottled rescan.
+        let mut failback = 0u64;
+        if self.replication.enabled() {
+            for &key in &stale {
+                if self.holds(key, t) {
+                    self.migrations.push_back(Migration {
+                        key,
+                        from: None,
+                        to: Some(t),
+                    });
+                    failback += 1;
+                }
+            }
+        }
+        self.nodes[t].failback_pending = failback;
         self.nodes[t].state = TargetState::Up;
         let now = self.merge_clocks();
         if let Some(started) = self.nodes[t].outage_started.take() {
@@ -610,10 +849,26 @@ impl ClusterSystem {
             now,
             "target-restored",
             format!(
-                "target {t} rebuilt in {} us",
+                "target {t} rebuilt in {} us, {failback} failback warms queued",
                 self.nodes[t].rebuild_window_us
             ),
         );
+        if self.replication.enabled() && failback == 0 {
+            self.repl_stats.failbacks_completed += 1;
+            self.flight.record(
+                now,
+                "failback-complete",
+                format!("target {t}: nothing to reconcile"),
+            );
+        }
+    }
+
+    /// `true` when target `t` is in `key`'s current replica set (the
+    /// primary owner counts; factor comes from the key's recorded
+    /// replication entry, single-copy for never-replicated keys).
+    fn holds(&self, key: ObjectKey, t: usize) -> bool {
+        let factor = self.versions.get(&key).map_or(1, |&(_, f)| f);
+        self.ring.replicas_of(key, factor).contains(&TargetId(t))
     }
 
     /// Maps a backend error onto the sense code reported to the client
@@ -646,6 +901,7 @@ impl ClusterSystem {
             },
         };
         let completed_at = self.origin_clock.now();
+        let latency = completed_at.saturating_since(start);
         let stats = &mut self.nodes[t].stats;
         stats.outage_requests += 1;
         if request.op == Operation::Read {
@@ -654,10 +910,26 @@ impl ClusterSystem {
                 stats.outage_degraded_reads += 1;
             }
         }
+        // Record the serve into the owner's metrics as an external
+        // sample (class unknown — the node never saw the request), so
+        // cluster aggregates stay exact sums over node metrics and the
+        // owner's availability burn rate reflects the outage honestly:
+        // a recovered backend-first serve is available, a shed is not.
+        self.nodes[t].system.record_external_sample(
+            RequestSample::basic(
+                request.op == Operation::Read,
+                false,
+                degraded,
+                request.size,
+                latency,
+                completed_at,
+            )
+            .with_ok(sense.is_available()),
+        );
         RequestOutcome {
             hit: false,
             degraded,
-            latency: completed_at.saturating_since(start),
+            latency,
             completed_at,
             sense,
         }
@@ -693,17 +965,60 @@ impl ClusterSystem {
             };
         };
         let t = owner.0;
-        let outcome = match self.nodes[t].state {
-            TargetState::Up => self.nodes[t].system.handle(request),
-            // The ring never maps to removed targets; `Down` is the
-            // only degraded routing state.
-            TargetState::Down | TargetState::Removed => {
+        // Failover routing: an up owner serves normally; a down owner's
+        // range goes to the first up member of the key's replica set at
+        // full speed (its cache holds a fanned-out copy, or at worst
+        // fills from its own backend mirror); only when the outage
+        // exceeds the replication factor does the range degrade
+        // honestly to backend-first service.
+        let server = if self.nodes[t].state == TargetState::Up {
+            Some(t)
+        } else if self.replication.enabled() {
+            self.ring
+                .replicas_of(request.key, self.replication.max_factor())
+                .into_iter()
+                .skip(1)
+                .find(|h| self.nodes[h.0].state == TargetState::Up)
+                .map(|h| h.0)
+        } else {
+            None
+        };
+        let via_replica = server.is_some() && server != Some(t);
+        if via_replica {
+            let s = server.unwrap();
+            // Never silently serve stale: a replica copy whose version
+            // stamp trails the authoritative version is repaired before
+            // it serves (the read-path half of anti-entropy).
+            if let Some(&(version, _)) = self.versions.get(&request.key) {
+                if let Some(stamp) = self.nodes[s].system.cached_version(request.key) {
+                    if stamp != version {
+                        self.note_divergence(now, request.key, s, stamp, version);
+                        if let Some(&size) = self.objects.get(&request.key) {
+                            self.nodes[s]
+                                .system
+                                .refresh_replica(request.key, size, version);
+                            self.repl_stats.divergences_repaired += 1;
+                        }
+                    }
+                }
+            }
+            self.tracer.annotate("replica-serve", now);
+        }
+        let outcome = match server {
+            Some(s) => self.nodes[s].system.handle(request),
+            None => {
                 self.tracer.annotate("outage-serve", now);
                 self.serve_degraded(t, request)
             }
         };
+        if via_replica {
+            self.repl_stats.replica_serves += 1;
+        }
         let stats = &mut self.nodes[t].stats;
         stats.requests += 1;
+        if via_replica {
+            stats.replica_serves += 1;
+        }
         if request.op == Operation::Read {
             stats.reads += 1;
             if outcome.hit {
@@ -727,7 +1042,17 @@ impl ClusterSystem {
             outcome.sense == SenseCode::Success || outcome.sense == SenseCode::RecoveredError;
         if request.op == Operation::Write && acked {
             self.objects.insert(request.key, request.size);
-            self.mirror_write(t, request.key, request.size);
+            self.mirror_write(server.unwrap_or(t), request.key, request.size);
+            if self.replication.enabled() {
+                self.fan_out_write(server, request.key, request.size);
+            }
+        }
+        self.requests_handled += 1;
+        if self.replication.enabled()
+            && !self.versions.is_empty()
+            && self.requests_handled.is_multiple_of(ANTI_ENTROPY_PERIOD)
+        {
+            self.anti_entropy_step(ANTI_ENTROPY_BUDGET);
         }
         self.pump_migrations(false);
         let end = self.merge_clocks();
@@ -752,6 +1077,211 @@ impl ClusterSystem {
         for (i, node) in self.nodes.iter_mut().enumerate() {
             if i != acked_by && node.state != TargetState::Removed {
                 node.system.mirror_backend_object(key, size);
+            }
+        }
+    }
+
+    /// Fans one acknowledged write out to the key's replica set at the
+    /// request barrier (so replication cannot reorder against the
+    /// foreground): bumps the authoritative content version, refreshes
+    /// and stamps every up holder's copy (the server included — its
+    /// own stamp must advance past any older fan-out), and marks the
+    /// key written-behind-the-back of every down holder so its stale
+    /// copy is invalidated at restore. Replication never substitutes
+    /// for durability: the ack already happened under the serving
+    /// node's journal rules (or on the origin store, backend-first).
+    fn fan_out_write(&mut self, server: Option<usize>, key: ObjectKey, size: ByteSize) {
+        let class = server.and_then(|s| self.nodes[s].system.target().class_of(key));
+        let factor = self.replication.factor_for(class).min(self.ring.len());
+        if factor <= 1 {
+            return;
+        }
+        let version = match self.versions.get(&key) {
+            Some(&(v, _)) => v + 1,
+            None => 1,
+        };
+        self.versions.insert(key, (version, factor));
+        let mut refreshed = 0u64;
+        for holder in self.ring.replicas_of(key, factor) {
+            let h = holder.0;
+            match self.nodes[h].state {
+                TargetState::Up => {
+                    // A newer write's fan-out supersedes (and thereby
+                    // repairs) any injected divergence on this copy.
+                    if self.injected_divergences.remove(&(key, h)) {
+                        let now = self.now();
+                        self.repl_stats.divergences_detected += 1;
+                        self.repl_stats.divergences_repaired += 1;
+                        self.flight.record(
+                            now,
+                            "replica-divergence",
+                            format!("target {h} copy healed by newer write"),
+                        );
+                    }
+                    if self.nodes[h].system.refresh_replica(key, size, version) {
+                        refreshed += 1;
+                    }
+                }
+                TargetState::Down => {
+                    self.nodes[h].written_while_down.insert(key);
+                }
+                TargetState::Removed => {}
+            }
+        }
+        self.repl_stats.fanout_writes += 1;
+        self.repl_stats.fanout_refreshes += refreshed;
+    }
+
+    /// Records one detected replica divergence (shared by the
+    /// anti-entropy walk and the read-path version check).
+    fn note_divergence(&mut self, now: SimTime, key: ObjectKey, t: usize, stamp: u64, auth: u64) {
+        self.injected_divergences.remove(&(key, t));
+        self.repl_stats.divergences_detected += 1;
+        self.flight.record(
+            now,
+            "replica-divergence",
+            format!("target {t} stamp v{stamp} != authoritative v{auth}"),
+        );
+    }
+
+    /// Seeded replica-divergence injection
+    /// ([`PlannedEvent::InjectReplicaDivergence`]): every *current*
+    /// stamped replica copy on an up non-primary holder independently
+    /// rolls its version stamp back with probability `ppm` parts per
+    /// million. Draws are a pure function of the cluster seed, the
+    /// injection round, the key, and the holder — equal seeds diverge
+    /// equal copies. Returns the number of copies diverged.
+    fn inject_replica_divergence(&mut self, ppm: u32) -> u64 {
+        self.injection_rounds += 1;
+        let round = self.injection_rounds;
+        let mut injected = 0u64;
+        let entries: Vec<(ObjectKey, u64, usize)> = self
+            .versions
+            .iter()
+            .map(|(&k, &(v, f))| (k, v, f))
+            .collect();
+        for (key, version, factor) in entries {
+            for holder in self.ring.replicas_of(key, factor).into_iter().skip(1) {
+                let h = holder.0;
+                if self.nodes[h].state != TargetState::Up
+                    || self.nodes[h].system.cached_version(key) != Some(version)
+                {
+                    continue;
+                }
+                let draw = mix64(
+                    self.seed
+                        ^ mix64(round)
+                        ^ self.ring.key_position(key)
+                        ^ mix64(0x5EED_0000 | h as u64),
+                );
+                if draw % 1_000_000 < u64::from(ppm) {
+                    self.nodes[h]
+                        .system
+                        .stamp_cached_version(key, version.wrapping_sub(1));
+                    self.injected_divergences.insert((key, h));
+                    injected += 1;
+                }
+            }
+        }
+        self.repl_stats.divergences_injected += injected;
+        let now = self.now();
+        self.flight.record(
+            now,
+            "divergence-injected",
+            format!("{injected} replica copies rolled back (round {round})"),
+        );
+        injected
+    }
+
+    /// One bounded anti-entropy step: walks up to `budget` replicated
+    /// keys from the cursor (the cluster-level analog of the scrubber
+    /// cursor), compares every up node's version stamp against the
+    /// authoritative version, and repairs mismatches — current holders
+    /// are refreshed to the authoritative version, stale non-holders
+    /// are invalidated. Returns `true` when this step completed a full
+    /// pass over the replicated namespace.
+    fn anti_entropy_step(&mut self, budget: usize) -> bool {
+        if self.versions.is_empty() {
+            return true;
+        }
+        let keys: Vec<(ObjectKey, u64, usize)> = match self.anti_entropy_cursor {
+            Some(cursor) => self
+                .versions
+                .range((
+                    std::ops::Bound::Excluded(cursor),
+                    std::ops::Bound::Unbounded,
+                ))
+                .take(budget)
+                .map(|(&k, &(v, f))| (k, v, f))
+                .collect(),
+            None => self
+                .versions
+                .iter()
+                .take(budget)
+                .map(|(&k, &(v, f))| (k, v, f))
+                .collect(),
+        };
+        let completed = keys.len() < budget;
+        self.anti_entropy_cursor = keys.last().map(|&(k, _, _)| k);
+        for (key, version, factor) in keys {
+            let holders = self.ring.replicas_of(key, factor);
+            for i in 0..self.nodes.len() {
+                if self.nodes[i].state != TargetState::Up {
+                    continue;
+                }
+                let Some(stamp) = self.nodes[i].system.cached_version(key) else {
+                    // The copy is gone (evicted, crashed out, or
+                    // invalidated since). If it was a deliberately
+                    // diverged copy, audit the ledger: eviction IS the
+                    // non-holder repair action, so the divergence is
+                    // resolved — count it so the 100%-detection check
+                    // stays balanced.
+                    if self.injected_divergences.remove(&(key, i)) {
+                        let now = self.now();
+                        self.repl_stats.divergences_detected += 1;
+                        self.repl_stats.divergences_repaired += 1;
+                        self.flight.record(
+                            now,
+                            "replica-divergence",
+                            format!("target {i} stale copy already evicted"),
+                        );
+                    }
+                    continue;
+                };
+                if stamp == version {
+                    continue;
+                }
+                let now = self.now();
+                self.note_divergence(now, key, i, stamp, version);
+                if holders.contains(&TargetId(i)) {
+                    if let Some(&size) = self.objects.get(&key) {
+                        self.nodes[i].system.refresh_replica(key, size, version);
+                    }
+                } else {
+                    // No longer a holder: the stale copy has no reason
+                    // to exist at all.
+                    self.nodes[i].system.invalidate_cached(key);
+                }
+                self.repl_stats.divergences_repaired += 1;
+            }
+        }
+        if completed {
+            self.anti_entropy_cursor = None;
+            self.repl_stats.anti_entropy_passes += 1;
+        }
+        completed
+    }
+
+    /// Runs one *complete* anti-entropy pass over the replicated
+    /// namespace (the quiesce-time drain; the steady-state path
+    /// piggybacks bounded steps on the request cadence). Any partial
+    /// walk in flight is abandoned first, so the pass provably covers
+    /// every replicated key.
+    pub fn run_anti_entropy_pass(&mut self) {
+        self.anti_entropy_cursor = None;
+        loop {
+            if self.anti_entropy_step(ANTI_ENTROPY_BUDGET) {
+                break;
             }
         }
     }
@@ -793,39 +1323,65 @@ impl ClusterSystem {
                     break;
                 }
             }
-            let Some((key, from)) = self.migrations.pop_front() else {
+            let Some(migration) = self.migrations.pop_front() else {
                 break;
             };
-            let Some(owner) = self.ring.target_of(key) else {
+            let Migration { key, from, to } = migration;
+            // A failback warm completes (for pending accounting) once
+            // it leaves the queue for good — warmed, or skipped because
+            // the world moved on (key gone, holder down again, …).
+            let dest = match to {
+                Some(d) => {
+                    if self.nodes[d].state == TargetState::Up && self.holds(key, d) {
+                        Some(d)
+                    } else {
+                        self.complete_failback(d);
+                        continue;
+                    }
+                }
+                None => self.ring.target_of(key).map(|o| o.0),
+            };
+            let Some(dest) = dest else {
                 continue;
             };
             let Some(&size) = self.objects.get(&key) else {
+                if let Some(d) = to {
+                    self.complete_failback(d);
+                }
                 continue;
             };
             // Retire the old owner's copy first (write-back discipline).
             if let Some(f) = from {
-                if f != owner.0 && self.nodes[f].state == TargetState::Up {
+                if f != dest && self.nodes[f].state == TargetState::Up {
                     match self.nodes[f].system.flush_and_remove(key) {
                         Ok(Some(_)) => self.nodes[f].migrated_out += 1,
                         Ok(None) => {}
                         Err(_) => {
                             // Flush blocked (backend outage): retry later,
                             // never drop an acknowledged dirty object.
-                            self.migrations.push_back((key, from));
+                            self.migrations.push_back(migration);
                             continue;
                         }
                     }
                 }
             }
-            if self.nodes[owner.0].state == TargetState::Up {
-                if self.nodes[owner.0].system.warm_object(key, size) {
-                    self.nodes[owner.0].migrated_in += 1;
+            if self.nodes[dest].state == TargetState::Up {
+                if self.nodes[dest].system.warm_object(key, size) {
+                    self.nodes[dest].migrated_in += 1;
                     self.migrated_objects += 1;
+                    // Warmed copies are current by construction: stamp
+                    // them so anti-entropy agrees.
+                    if let Some(&(version, _)) = self.versions.get(&key) {
+                        self.nodes[dest].system.stamp_cached_version(key, version);
+                    }
                 }
                 if let Some(b) = &mut bucket {
                     b.charge(size);
                     self.migration_throttle_bytes += size.as_bytes();
                 }
+            }
+            if let Some(d) = to {
+                self.complete_failback(d);
             }
             // A down owner warms on demand after its restore instead.
         }
@@ -839,6 +1395,26 @@ impl ClusterSystem {
             );
         }
         self.merge_clocks();
+    }
+
+    /// Retires one pending failback warm for target `d`; the last one
+    /// completes the reconciliation (a control-plane event the
+    /// postmortem arc wants to show).
+    fn complete_failback(&mut self, d: usize) {
+        let node = &mut self.nodes[d];
+        if node.failback_pending == 0 {
+            return;
+        }
+        node.failback_pending -= 1;
+        if node.failback_pending == 0 {
+            self.repl_stats.failbacks_completed += 1;
+            let now = self.now();
+            self.flight.record(
+                now,
+                "failback-complete",
+                format!("target {d} reconciled through the rebuild throttle"),
+            );
+        }
     }
 
     /// Runs rebalance batches until the queue drains or `max_batches`
@@ -887,6 +1463,12 @@ impl ClusterSystem {
         match event {
             PlannedEvent::FailTarget(t) => self.fail_target(t),
             PlannedEvent::RestoreTarget(t) => self.restore_target(t),
+            PlannedEvent::InjectReplicaDivergence { ppm } => {
+                if !self.replication.enabled() {
+                    return self.reject("divergence-no-replication");
+                }
+                self.inject_replica_divergence(ppm);
+            }
             PlannedEvent::AddTarget => {
                 self.add_target();
             }
@@ -989,6 +1571,7 @@ impl ClusterSystem {
         self.migration_stalls = 0;
         self.migration_throttle_bytes = 0;
         self.migrated_objects = 0;
+        self.repl_stats = ReplicationSnapshot::default();
         self.measure_started = now;
         // Observability state restarts with measurement: warm-up spans,
         // exemplars, flight events, and postmortems would otherwise leak
@@ -1020,6 +1603,7 @@ impl ClusterSystem {
                     rebuild_window_us: node.rebuild_window_us,
                     migrated_in: node.migrated_in,
                     migrated_out: node.migrated_out,
+                    replica_serves: node.stats.replica_serves,
                     sense_mix: node
                         .stats
                         .sense_mix
@@ -1032,11 +1616,11 @@ impl ClusterSystem {
     }
 
     /// Aggregated measurements across the cluster with per-target rows
-    /// filled in. Counters are exact sums (node-handled requests from
-    /// each node's metrics, outage-window serves from the cluster
-    /// ledger); the mean latency is request-weighted and the p99 is
-    /// the max over nodes (an upper bound, since per-node histograms
-    /// cannot be merged exactly).
+    /// filled in. Counters are exact sums over node metrics (outage
+    /// serves are recorded into the owning node as external samples);
+    /// the mean latency is request-weighted and the p99 is the max
+    /// over nodes (an upper bound, since per-node histograms cannot be
+    /// merged exactly).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut agg = MetricsSnapshot::default();
         let mut weighted_mean_nanos = 0u128;
@@ -1064,11 +1648,11 @@ impl ClusterSystem {
             agg.elapsed = agg.elapsed.max(s.elapsed);
             agg.p99_latency = agg.p99_latency.max(s.p99_latency);
             weighted_mean_nanos += s.mean_latency.as_nanos() as u128 * s.requests as u128;
-            // Outage-window serves bypass node metrics; fold them in.
-            agg.requests += node.stats.outage_requests;
-            agg.reads += node.stats.outage_reads;
-            agg.degraded_reads += node.stats.outage_degraded_reads;
+            // Outage-window serves are recorded into the owning node's
+            // metrics as external samples, so the sums above already
+            // cover them (and the SLO monitor saw them too).
         }
+        agg.served_by_replica = self.repl_stats.replica_serves;
         if agg.requests > 0 {
             agg.mean_latency =
                 SimDuration::from_nanos((weighted_mean_nanos / agg.requests as u128) as u64);
@@ -1157,6 +1741,7 @@ impl ClusterSystem {
             rejected_events: self.rejected_events,
             rejected_events_by_reason: self.rejected_events_by_reason(),
             health: self.health().label,
+            replication: self.repl_stats,
             totals,
         }
     }
@@ -1467,5 +2052,179 @@ mod tests {
         assert_eq!(result.dirty_data_lost, 0);
         assert_eq!(result.totals.targets[2].outages, 1);
         assert!(result.totals.targets[2].rebuild_window_us >= 0);
+    }
+
+    #[test]
+    fn default_policy_keeps_replication_machinery_cold() {
+        let t = trace(11, 600);
+        let mut c = cluster(4, &t);
+        for r in t.requests() {
+            c.handle(r);
+        }
+        let snap = c.replication_snapshot();
+        assert_eq!(snap, ReplicationSnapshot::default());
+        assert!(c.versions.is_empty(), "no versions without a policy");
+        assert_eq!(c.metrics_snapshot().served_by_replica, 0);
+    }
+
+    #[test]
+    fn replica_serve_keeps_a_failed_range_on_cache_speed() {
+        let t = trace(13, 1200);
+        let mut c = cluster(4, &t).with_replication_policy(ReplicationPolicy::two_way());
+        for r in t.requests().iter().take(600) {
+            c.handle(r);
+        }
+        let snap = c.replication_snapshot();
+        assert!(snap.fanout_writes > 0, "writes must fan out");
+        assert!(snap.fanout_refreshes > 0);
+        c.fail_target(0);
+        for r in t.requests().iter().skip(600) {
+            let owner = c.ring().target_of(r.key).unwrap();
+            let out = c.handle(r);
+            if owner.0 == 0 {
+                // The replica holder serves the range at full fidelity:
+                // never shed, never backend-first recovered errors on
+                // writes — plain acks and (mostly) cache hits.
+                assert_ne!(out.sense, SenseCode::NotReady, "range was shed");
+            }
+        }
+        let snap = c.replication_snapshot();
+        assert!(
+            snap.replica_serves > 0,
+            "outage range must be replica-served"
+        );
+        let totals = c.metrics_snapshot();
+        assert_eq!(totals.served_by_replica, snap.replica_serves);
+        assert_eq!(totals.targets[0].replica_serves, snap.replica_serves);
+        // Replica serves are not degraded service: the observed
+        // degraded namespace stays well below the mapped-down range.
+        assert!(c.observed_degraded_fraction() < c.mapped_degraded_fraction());
+        assert_eq!(c.dirty_data_lost(), 0);
+    }
+
+    #[test]
+    fn double_outage_beyond_factor_degrades_honestly() {
+        let t = trace(17, 1200);
+        let mut c = cluster(4, &t).with_replication_policy(ReplicationPolicy::two_way());
+        for r in t.requests().iter().take(600) {
+            c.handle(r);
+        }
+        c.fail_target(0);
+        c.fail_target(1);
+        let mut backend_first = 0u64;
+        for r in t.requests().iter().skip(600) {
+            let out = c.handle(r);
+            assert_ne!(out.sense, SenseCode::Failure, "never a hard failure");
+            if out.sense == SenseCode::RecoveredError {
+                backend_first += 1;
+            }
+        }
+        // Keys whose whole 2-way replica set is down fall back to
+        // honest backend-first service.
+        assert!(
+            backend_first > 0,
+            "an outage exceeding the replication factor must reach the backend path"
+        );
+        c.restore_target(0);
+        c.restore_target(1);
+        assert!(c.drain_recovery(1_000_000));
+        assert_eq!(c.dirty_data_lost(), 0);
+    }
+
+    #[test]
+    fn injected_divergences_are_fully_detected_and_repaired() {
+        let t = trace(19, 900);
+        let mut c = cluster(4, &t).with_replication_policy(ReplicationPolicy::two_way());
+        for r in t.requests() {
+            c.handle(r);
+        }
+        let injected = c.inject_replica_divergence(1_000_000); // every current copy
+        assert!(injected > 0, "a saturated injection must diverge something");
+        c.run_anti_entropy_pass();
+        let snap = c.replication_snapshot();
+        assert_eq!(snap.divergences_injected, injected);
+        assert_eq!(
+            snap.divergences_detected, injected,
+            "anti-entropy must detect 100% of injected divergences: {snap:?}, ledger {:?}",
+            c.injected_divergences
+        );
+        assert!(snap.divergences_repaired >= injected);
+        assert!(c.injected_divergences.is_empty(), "ledger fully audited");
+        // A second pass finds nothing new.
+        c.run_anti_entropy_pass();
+        assert_eq!(c.replication_snapshot().divergences_detected, injected);
+        assert!(
+            c.flight
+                .events()
+                .iter()
+                .any(|e| e.kind == "replica-divergence"),
+            "divergence detections are control-plane flight events"
+        );
+    }
+
+    #[test]
+    fn failback_reconciles_through_the_throttle_and_completes() {
+        let t = trace(23, 1500);
+        let mut c = cluster(4, &t).with_replication_policy(ReplicationPolicy::two_way());
+        for r in t.requests().iter().take(500) {
+            c.handle(r);
+        }
+        c.fail_target(2);
+        for r in t.requests().iter().skip(500).take(500) {
+            c.handle(r);
+        }
+        c.restore_target(2);
+        for r in t.requests().iter().skip(1000) {
+            c.handle(r);
+        }
+        assert!(c.drain_recovery(1_000_000));
+        assert_eq!(c.nodes[2].failback_pending, 0);
+        let snap = c.replication_snapshot();
+        assert!(
+            snap.failbacks_completed >= 1,
+            "restore must complete a failback reconciliation"
+        );
+        assert!(
+            c.flight
+                .events()
+                .iter()
+                .any(|e| e.kind == "failback-complete"),
+            "failback completion is a control-plane flight event"
+        );
+        assert_eq!(c.dirty_data_lost(), 0);
+    }
+
+    #[test]
+    fn replicated_clusters_replay_identically() {
+        let t = trace(29, 900);
+        let run = |_| {
+            let mut c = cluster(4, &t).with_replication_policy(ReplicationPolicy::two_way());
+            for r in t.requests().iter().take(300) {
+                c.handle(r);
+            }
+            c.fail_target(0);
+            for r in t.requests().iter().skip(300).take(200) {
+                c.handle(r);
+            }
+            c.apply_event(PlannedEvent::InjectReplicaDivergence { ppm: 500_000 });
+            for r in t.requests().iter().skip(500).take(200) {
+                c.handle(r);
+            }
+            c.restore_target(0);
+            for r in t.requests().iter().skip(700) {
+                c.handle(r);
+            }
+            c.run_anti_entropy_pass();
+            (
+                c.replication_snapshot(),
+                c.target_rows(),
+                c.metrics_snapshot(),
+            )
+        };
+        let a = run(0);
+        let b = run(1);
+        assert_eq!(a.0, b.0, "replication counters must replay exactly");
+        assert_eq!(a.1, b.1, "per-target rows must replay exactly");
+        assert_eq!(a.2, b.2, "aggregates must replay exactly");
     }
 }

@@ -58,7 +58,10 @@ mod metrics;
 mod runner;
 mod system;
 
-pub use cluster::{ClusterHealth, ClusterRunResult, ClusterSystem, TargetState};
+pub use cluster::{
+    ClusterHealth, ClusterRunResult, ClusterSystem, ReplicationPolicy, ReplicationSnapshot,
+    TargetState,
+};
 pub use config::{SchemeConfig, SystemConfig};
 pub use metrics::{
     ClassSnapshot, Metrics, MetricsSnapshot, RequestSample, SloSnapshot, TargetMetricsRow,

@@ -162,6 +162,9 @@ pub struct TargetMetricsRow {
     pub migrated_in: u64,
     /// Objects migrated *out of* this target by ring-delta rebalancing.
     pub migrated_out: u64,
+    /// Requests for this target's range served at full speed from a
+    /// replica holder's cache while the target was down.
+    pub replica_serves: u64,
     /// Completion sense-code mix as `(label, count)` rows sorted by
     /// label — the per-target honesty ledger (e.g. an unaffected target
     /// must show the same mix as a no-fault baseline).
@@ -479,6 +482,10 @@ pub struct MetricsSnapshot {
     pub torn_tail_detected: u64,
     /// Total simulated time spent in restart recovery, in microseconds.
     pub recovery_duration_us: u64,
+    /// Requests served at full speed from a replica holder's cache while
+    /// the owning target was down (cluster runs with a replication
+    /// policy; these count as successes in SLO availability).
+    pub served_by_replica: u64,
     /// Per-redundancy-class breakdown (empty when nothing was recorded).
     pub classes: Vec<ClassSnapshot>,
     /// Per-target breakdown of a cluster run (empty on single-target
@@ -747,6 +754,9 @@ impl Accum {
             replayed_records: self.replayed_records,
             torn_tail_detected: self.torn_tail_detected,
             recovery_duration_us: self.recovery_duration_us,
+            // Replica serves are routed by the cluster layer; single-node
+            // metrics never observe them. The cluster fills this in.
+            served_by_replica: 0,
             classes: self
                 .classes
                 .iter()

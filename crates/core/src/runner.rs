@@ -76,6 +76,17 @@ pub enum PlannedEvent {
     /// Rejected for targets that are down (their journal is the only
     /// copy of their acknowledged dirty writes) and for the last target.
     RemoveTarget(usize),
+    /// Seeded replica-divergence injection: every stamped, current
+    /// replica copy in the cluster independently goes stale with
+    /// probability `ppm` parts per million (its content-version stamp
+    /// is rolled back). The anti-entropy pass must detect and repair
+    /// every injected divergence — this event is the fault half of that
+    /// acceptance check. Rejected on single-target runs and on clusters
+    /// without a replication policy.
+    InjectReplicaDivergence {
+        /// Per-replica-copy divergence probability in parts per million.
+        ppm: u32,
+    },
 }
 
 /// The scripted schedule of an experiment.
@@ -252,7 +263,8 @@ fn apply_event(system: &mut CacheSystem, event: PlannedEvent, failed: &mut usize
         PlannedEvent::FailTarget(_)
         | PlannedEvent::RestoreTarget(_)
         | PlannedEvent::AddTarget
-        | PlannedEvent::RemoveTarget(_) => {
+        | PlannedEvent::RemoveTarget(_)
+        | PlannedEvent::InjectReplicaDivergence { .. } => {
             system.reject_event("cluster-event-single-target");
         }
     }

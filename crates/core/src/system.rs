@@ -598,6 +598,46 @@ impl CacheSystem {
         self.backend.insert(key, size, None);
     }
 
+    /// The replication content version stamped on this node's cached
+    /// copy of `key` (`None` when uncached or never stamped — an
+    /// unstamped copy came through the primary serving path and is
+    /// authoritative by construction).
+    pub fn cached_version(&self, key: ObjectKey) -> Option<u64> {
+        self.target.replica_version(key)
+    }
+
+    /// Stamps the replication content version on this node's cached
+    /// copy of `key` (metadata-only; a no-op when uncached).
+    pub fn stamp_cached_version(&mut self, key: ObjectKey, version: u64) {
+        let _ = self.target.stamp_replica_version(key, version);
+    }
+
+    /// Refreshes this node's replica copy of `key` to `version`: admits
+    /// a clean warm copy if absent (charging normal write time, like
+    /// [`CacheSystem::warm_object`]) and stamps the content version.
+    /// Returns `true` when a stamped copy is cached afterwards. Called
+    /// by the cluster layer's write fan-out and anti-entropy repair;
+    /// never touches dirtiness or the journal — durability of the
+    /// acknowledged write is the *acking* node's journal's job, the
+    /// replica copy exists purely to serve reads at full speed.
+    pub fn refresh_replica(&mut self, key: ObjectKey, size: ByteSize, version: u64) -> bool {
+        if !self.warm_object(key, size) {
+            return false;
+        }
+        self.stamp_cached_version(key, version);
+        self.cache.note_replica_refresh();
+        true
+    }
+
+    /// Records one externally-served request sample into this node's
+    /// metrics and SLO monitor. The cluster's backend-first outage path
+    /// serves a down target's range without the node's participation;
+    /// recording the serve here keeps the owner's availability burn
+    /// rates honest (a shed request burns, a recovered serve does not).
+    pub fn record_external_sample(&mut self, sample: RequestSample) {
+        self.metrics.record(sample);
+    }
+
     /// One round of seeded latent corruption across the cache's flash
     /// array: every intact chunk is independently lost with probability
     /// `rate` (the uncorrectable-error-rate failure mode). Returns the

@@ -586,6 +586,36 @@ impl OsdTarget {
         Ok(())
     }
 
+    /// The replication content version stamped on `key`'s record by the
+    /// cluster layer's write fan-out ([`AttributeId::REPLICA_VERSION`]).
+    /// `None` when the object is not indexed *or* was never stamped —
+    /// an unstamped copy was admitted by the primary serving path and
+    /// is authoritative by construction, so anti-entropy only compares
+    /// stamped copies.
+    pub fn replica_version(&self, key: ObjectKey) -> Option<u64> {
+        self.index
+            .get(&key)?
+            .attrs
+            .get(AttributeId::REPLICA_VERSION)
+            .and_then(AttributeValue::as_u64)
+    }
+
+    /// Stamps the replication content version on `key`'s record — a
+    /// metadata-only write (no chunk I/O, no journal record: the stamp
+    /// is cluster bookkeeping that a restart re-derives from the write
+    /// fan-out, so losing it over a crash is safe, never wrong).
+    ///
+    /// # Errors
+    ///
+    /// [`TargetError::UnknownObject`] — not indexed.
+    pub fn stamp_replica_version(
+        &mut self,
+        key: ObjectKey,
+        version: u64,
+    ) -> Result<(), TargetError> {
+        self.set_attribute(key, AttributeId::REPLICA_VERSION, version)
+    }
+
     /// Removes an object and frees its stripes.
     ///
     /// # Errors

@@ -98,6 +98,14 @@ impl AttributeId {
         page: AttributePage::ReoCache,
         number: 0x3,
     };
+    /// Reo: replication content version. Stamped by the cluster layer's
+    /// write fan-out on every replica copy; absent on copies that were
+    /// never replicated. Anti-entropy compares this stamp against the
+    /// cluster's authoritative version to detect diverged replicas.
+    pub const REPLICA_VERSION: AttributeId = AttributeId {
+        page: AttributePage::ReoCache,
+        number: 0x4,
+    };
 }
 
 impl fmt::Display for AttributeId {

@@ -206,6 +206,41 @@ impl PlacementRing {
         Some(point.target)
     }
 
+    /// The replica set for `key`: up to `n` pairwise-distinct targets,
+    /// collected by continuing the successor walk clockwise past the
+    /// owning vnode and keeping the first vnode of each not-yet-seen
+    /// target. The first element always equals
+    /// [`PlacementRing::target_of`]; if the ring has fewer than `n`
+    /// members the walk stops early, so `len == min(n, members)`.
+    ///
+    /// Because vnode positions are a pure function of
+    /// `(seed, target, vnode)` and never move, replica sets inherit the
+    /// ring's exact-reversal property: removing a target and re-adding
+    /// it restores every replica set bit-for-bit. A join inserts the
+    /// newcomer into (some) walks without reordering the survivors, so
+    /// a single membership change touches only the minimal set of
+    /// replica assignments.
+    pub fn replicas_of(&self, key: ObjectKey, n: usize) -> Vec<TargetId> {
+        let mut out = Vec::new();
+        if self.points.is_empty() || n == 0 {
+            return out;
+        }
+        let members = self.len();
+        let want = n.min(members);
+        let position = self.key_position(key);
+        let start = self.points.partition_point(|p| p.position < position);
+        for step in 0..self.points.len() {
+            let point = &self.points[(start + step) % self.points.len()];
+            if !out.contains(&point.target) {
+                out.push(point.target);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
     /// Key counts per target over an arbitrary key set (the balance
     /// metric the proptests and the scale-out report use).
     pub fn shares<I: IntoIterator<Item = ObjectKey>>(&self, keys: I) -> BTreeMap<TargetId, usize> {
@@ -300,6 +335,41 @@ mod tests {
         assert_eq!(shares.values().sum::<usize>(), 1000);
         assert_eq!(shares.len(), 5);
         assert!(shares.values().all(|&n| n > 0), "shares = {shares:?}");
+    }
+
+    #[test]
+    fn replica_sets_start_at_the_owner_and_are_distinct() {
+        let ring = ring_of(11, 6);
+        for i in 0..400 {
+            let k = key(i);
+            let set = ring.replicas_of(k, 3);
+            assert_eq!(set.len(), 3);
+            assert_eq!(set[0], ring.target_of(k).unwrap());
+            let mut sorted = set.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), set.len(), "duplicate target in {set:?}");
+        }
+    }
+
+    #[test]
+    fn replica_sets_saturate_at_membership() {
+        let ring = ring_of(5, 2);
+        let set = ring.replicas_of(key(7), 4);
+        assert_eq!(set.len(), 2, "cannot place more replicas than targets");
+        assert!(ring.replicas_of(key(7), 0).is_empty());
+        assert!(PlacementRing::new(1).replicas_of(key(7), 2).is_empty());
+    }
+
+    #[test]
+    fn replica_sets_reverse_exactly_on_leave() {
+        let before = ring_of(8, 5);
+        let mut ring = before.clone();
+        ring.add_target(TargetId(5));
+        ring.remove_target(TargetId(5));
+        for i in 0..300 {
+            assert_eq!(ring.replicas_of(key(i), 3), before.replicas_of(key(i), 3));
+        }
     }
 
     #[test]

@@ -86,6 +86,68 @@ proptest! {
         }
     }
 
+    /// Replica sets are always pairwise-distinct targets, start at the
+    /// primary owner, and saturate at ring membership.
+    #[test]
+    fn replica_sets_are_pairwise_distinct(
+        seed in 0u64..1 << 48,
+        n in 1usize..10,
+        factor in 1usize..5,
+        stride in 1u64..32,
+    ) {
+        let ring = ring_of(seed, n);
+        for k in keyset(512, stride) {
+            let set = ring.replicas_of(k, factor);
+            prop_assert_eq!(set.len(), factor.min(n));
+            prop_assert_eq!(set[0], ring.target_of(k).unwrap());
+            let mut sorted = set.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), set.len(), "duplicate target in replica set {:?}", set);
+        }
+    }
+
+    /// Minimal replica movement: a single join only ever *inserts* the
+    /// newcomer into a key's replica set (survivors keep their relative
+    /// order and no key swaps one old target for another), and the
+    /// matching leave restores every replica set exactly.
+    #[test]
+    fn single_join_changes_minimal_replica_assignments(
+        seed in 0u64..1 << 48,
+        n in 2usize..10,
+        factor in 1usize..4,
+    ) {
+        let before = ring_of(seed, n);
+        let mut after = before.clone();
+        after.add_target(TargetId(n));
+        let keys = keyset(1024, 3);
+        for k in keys.iter().copied() {
+            let old = before.replicas_of(k, factor);
+            let new = after.replicas_of(k, factor);
+            // Survivors that remain in the set keep their relative order,
+            // and every member dropped or added is explained by the
+            // newcomer pushing the walk along — so the only legal change
+            // is "newcomer inserted, tail member displaced".
+            let new_without: Vec<TargetId> =
+                new.iter().copied().filter(|t| *t != TargetId(n)).collect();
+            prop_assert!(
+                new_without.iter().zip(old.iter()).all(|(a, b)| a == b),
+                "join reordered surviving replicas: old={:?} new={:?}", old, new
+            );
+            if !new.contains(&TargetId(n)) {
+                prop_assert_eq!(
+                    &new, &old,
+                    "replica set changed without involving the newcomer"
+                );
+            }
+        }
+        // Exact reversal extends to replica sets.
+        after.remove_target(TargetId(n));
+        for k in keys {
+            prop_assert_eq!(after.replicas_of(k, factor), before.replicas_of(k, factor));
+        }
+    }
+
     /// Same seed + membership → same map; a different seed shuffles it.
     #[test]
     fn seed_determines_the_map(seed in 0u64..1 << 48) {

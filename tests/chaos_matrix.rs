@@ -30,12 +30,21 @@
 //! driven twice per seed to assert byte-identical replay, with the
 //! no-acked-dirty-write-loss and quiesce-to-healthy invariants checked
 //! at cluster scope.
+//!
+//! Replica-level schedules drive the same matrix under a 2-way
+//! replication policy: an outage landing during the replica flush
+//! window (with seeded divergence injection), a double outage
+//! exceeding the factor (must degrade honestly), and a cluster-wide
+//! crash mid-failback — each replayed for byte-identical fingerprints,
+//! with the divergence ledger required to balance (100% of injected
+//! divergences detected and repaired) after quiesce.
 
 use std::collections::BTreeMap;
 
 use reo_repro::core::DeviceId;
 use reo_repro::core::{
-    CacheSystem, ClusterSystem, HealthState, PlannedEvent, SchemeConfig, SystemConfig, TargetState,
+    CacheSystem, ClusterSystem, HealthState, PlannedEvent, ReplicationPolicy, SchemeConfig,
+    SystemConfig, TargetState,
 };
 use reo_repro::osd::{ObjectKey, SenseCode};
 use reo_repro::sim::rng::DetRng;
@@ -429,6 +438,221 @@ fn node_chaos_matrix_seed_42() {
 #[test]
 fn node_chaos_matrix_seed_1234() {
     node_chaos_matrix(1234);
+}
+
+// ---- replica-level (cross-target replication) chaos ----------------------
+
+/// The three replica-level schedules, driven under a 2-way replication
+/// policy on four targets.
+fn replica_schedule(which: usize, n: usize) -> (usize, Vec<(usize, PlannedEvent)>) {
+    match which {
+        // Outage landing during the replica flush window: divergence is
+        // injected while acked writes are still fanning out, then the
+        // primary dies and its range is served from replica holders'
+        // caches until restore.
+        0 => (
+            4,
+            vec![
+                (
+                    n / 8,
+                    PlannedEvent::InjectReplicaDivergence { ppm: 500_000 },
+                ),
+                (n / 4, PlannedEvent::FailTarget(0)),
+                (
+                    n / 2,
+                    PlannedEvent::InjectReplicaDivergence { ppm: 500_000 },
+                ),
+                (5 * n / 8, PlannedEvent::RestoreTarget(0)),
+            ],
+        ),
+        // Double outage beyond the 2-way factor: part of the namespace
+        // loses every holder and must degrade honestly to backend-first
+        // service — never a phantom hit, never a panic.
+        1 => (
+            4,
+            vec![
+                (n / 4, PlannedEvent::FailTarget(0)),
+                (n / 4 + 20, PlannedEvent::FailTarget(1)),
+                (5 * n / 8, PlannedEvent::RestoreTarget(0)),
+                (5 * n / 8 + 20, PlannedEvent::RestoreTarget(1)),
+            ],
+        ),
+        // Crash mid-failback: the restored target is still reconciling
+        // its stale range through the rebuild throttle when every node
+        // power-cuts and journal-replays.
+        _ => (
+            4,
+            vec![
+                (n / 5, PlannedEvent::FailTarget(2)),
+                (2 * n / 5, PlannedEvent::RestoreTarget(2)),
+                (2 * n / 5 + 5, PlannedEvent::Crash),
+            ],
+        ),
+    }
+}
+
+fn drive_replica_cluster(t: &Trace, which: usize, label: &str) -> ClusterDrive {
+    let cache = t.summary().data_set_bytes.scale(0.10);
+    let mut config = SystemConfig::paper_defaults(SchemeConfig::Reo { reserve: 0.20 }, cache);
+    config.chunk_size = ByteSize::from_kib(16);
+    config.checkpoint_period = 300;
+    config.dirty_flush_watermark = 1.0;
+    let n = t.requests().len();
+    let (targets, events) = replica_schedule(which, n);
+    let mut cluster =
+        ClusterSystem::new(config, targets).with_replication_policy(ReplicationPolicy::two_way());
+    cluster.populate(t.objects());
+
+    let mut fingerprint = Vec::with_capacity(n);
+    let mut acked: BTreeMap<ObjectKey, ByteSize> = BTreeMap::new();
+    let mut next = 0usize;
+    for (i, r) in t.requests().iter().enumerate() {
+        while next < events.len() && events[next].0 == i {
+            cluster.apply_event(events[next].1);
+            next += 1;
+        }
+        let outcome = cluster.handle(r);
+        assert_ne!(
+            outcome.sense,
+            SenseCode::Failure,
+            "{label}: request {i} returned an opaque failure"
+        );
+        fingerprint.push((outcome.sense, outcome.hit, outcome.degraded));
+        if r.op == Operation::Write
+            && matches!(
+                outcome.sense,
+                SenseCode::Success | SenseCode::RecoveredError
+            )
+        {
+            acked.insert(r.key, r.size);
+        }
+    }
+    assert_eq!(next, events.len(), "{label}: every event must fire");
+    ClusterDrive {
+        cluster,
+        fingerprint,
+        acked,
+    }
+}
+
+fn replica_chaos_run(seed: u64, which: usize) {
+    let label = format!("seed {seed} replica-schedule {which}");
+    let t = trace(seed);
+
+    // Determinism: the same seed and schedule replay an identical
+    // outcome sequence, identical per-target rows, and identical
+    // replication counters.
+    let mut drive = drive_replica_cluster(&t, which, &label);
+    let replay = drive_replica_cluster(&t, which, &label);
+    assert_eq!(
+        drive.fingerprint, replay.fingerprint,
+        "{label}: replay diverged"
+    );
+    assert_eq!(
+        drive.cluster.target_rows(),
+        replay.cluster.target_rows(),
+        "{label}: per-target rows diverged"
+    );
+    assert_eq!(
+        drive.cluster.replication_snapshot(),
+        replay.cluster.replication_snapshot(),
+        "{label}: replication counters diverged"
+    );
+
+    let cluster = &mut drive.cluster;
+    let mid_run = cluster.replication_snapshot();
+    assert!(
+        mid_run.fanout_writes > 0,
+        "{label}: the 2-way policy must fan acked writes out"
+    );
+    if which == 0 {
+        assert!(
+            mid_run.divergences_injected > 0,
+            "{label}: the seeded injection must diverge something"
+        );
+        assert!(
+            mid_run.replica_serves > 0,
+            "{label}: the failed range must be served from replica holders"
+        );
+    }
+    if which == 1 {
+        assert!(
+            cluster.observed_degraded_fraction() > 0.0,
+            "{label}: a double outage beyond the factor must degrade honestly"
+        );
+    }
+
+    // Quiesce: restore anything still down, drain rebuilds/failback,
+    // then run a complete anti-entropy pass and require the divergence
+    // ledger to balance — every injected divergence detected and
+    // repaired, nothing ever served silently stale.
+    for target in 0..cluster.targets_created() {
+        if cluster.target_state(target) == TargetState::Down {
+            cluster.apply_event(PlannedEvent::RestoreTarget(target));
+        }
+    }
+    assert!(
+        cluster.drain_recovery(1_000_000),
+        "{label}: rebuild/failback queues must drain"
+    );
+    cluster.run_anti_entropy_pass();
+    let snap = cluster.replication_snapshot();
+    assert_eq!(
+        snap.divergences_detected, snap.divergences_injected,
+        "{label}: anti-entropy missed injected divergences ({snap:?})"
+    );
+    assert_eq!(
+        snap.divergences_repaired, snap.divergences_detected,
+        "{label}: detected divergences left unrepaired ({snap:?})"
+    );
+
+    let health = cluster.health();
+    assert_eq!(health.down, 0, "{label}: {health:?}");
+    assert_eq!(health.label, "healthy", "{label}: {health:?}");
+    assert_eq!(
+        cluster.dirty_data_lost(),
+        0,
+        "{label}: acknowledged dirty data lost"
+    );
+
+    // Every acknowledged write still serves through the ring.
+    for (&key, &size) in &drive.acked {
+        let read = Request {
+            key,
+            op: Operation::Read,
+            size,
+        };
+        let outcome = cluster.handle(&read);
+        assert!(
+            matches!(
+                outcome.sense,
+                SenseCode::Success | SenseCode::RecoveredError | SenseCode::MediumError
+            ),
+            "{label}: acked write {key:?} unreadable after quiesce ({:?})",
+            outcome.sense
+        );
+    }
+}
+
+fn replica_chaos_matrix(seed: u64) {
+    for which in 0..3 {
+        replica_chaos_run(seed, which);
+    }
+}
+
+#[test]
+fn replica_chaos_matrix_seed_11() {
+    replica_chaos_matrix(11);
+}
+
+#[test]
+fn replica_chaos_matrix_seed_42() {
+    replica_chaos_matrix(42);
+}
+
+#[test]
+fn replica_chaos_matrix_seed_1234() {
+    replica_chaos_matrix(1234);
 }
 
 /// A second device failure landing mid-rebuild, inside Reo's Dirty-class
