@@ -50,16 +50,20 @@ use serde::{DeError, Deserialize, Serialize, Value};
 /// optional singleton `replication` record (cross-target replication
 /// policy and counters, emitted by cluster runs with a replication
 /// policy), `served_by_replica` on `totals`, and `replica_serves` on
-/// `placement` rows.
-pub const SCHEMA_VERSION: u64 = 7;
+/// `placement` rows. v8 added the optional singleton `parity_group`
+/// record (erasure-coded cross-target protection: group geometry,
+/// degraded-serve / repair counters, per-class time-to-restored-
+/// redundancy, and the flash overhead split), `served_by_parity` on
+/// `totals`, and `parity_serves` on `placement` rows.
+pub const SCHEMA_VERSION: u64 = 8;
 
-/// Oldest schema version [`validate_jsonl`] still accepts: v5, v6, and
-/// v7 only add record kinds and fields, so v4 documents (e.g. the
+/// Oldest schema version [`validate_jsonl`] still accepts: v5 through
+/// v8 only add record kinds and fields, so v4 documents (e.g. the
 /// committed perf baseline) remain valid.
 pub const MIN_SCHEMA_VERSION: u64 = 4;
 
 /// The record kinds a JSON-lines document may contain.
-pub const RECORD_KINDS: [&str; 14] = [
+pub const RECORD_KINDS: [&str; 15] = [
     "meta",
     "totals",
     "class",
@@ -74,6 +78,7 @@ pub const RECORD_KINDS: [&str; 14] = [
     "trace",
     "postmortem",
     "replication",
+    "parity_group",
 ];
 
 /// Everything one run exports (see the module docs).
@@ -108,6 +113,10 @@ pub struct RunReport {
     /// and clusters without a replication policy — the record is then
     /// omitted entirely, keeping pre-v7 documents byte-identical).
     pub replication: Option<ReplicationReport>,
+    /// Cross-target parity-group counters (`None` on single-target
+    /// runs and clusters without a parity policy — the record is then
+    /// omitted entirely, keeping pre-v8 documents byte-identical).
+    pub parity: Option<ParityGroupReport>,
 }
 
 /// The schema-v7 `replication` record: the active policy plus the
@@ -120,6 +129,20 @@ pub struct ReplicationReport {
     pub factors: [u64; 4],
     /// The cluster's cumulative replication counters.
     pub counters: reo_core::ReplicationSnapshot,
+}
+
+/// The schema-v8 `parity_group` record: the active group geometry, the
+/// cluster's parity counters, and the end-of-run flash overhead split.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParityGroupReport {
+    /// Data shards per group (`k`).
+    pub data_shards: u64,
+    /// Parity shards per group (`m` — the outage tolerance).
+    pub parity_shards: u64,
+    /// The cluster's cumulative parity counters.
+    pub counters: reo_core::ParityGroupSnapshot,
+    /// End-of-run flash usage split (primary / replica / parity bytes).
+    pub overhead: reo_core::FlashOverheadReport,
 }
 
 /// One microbenchmark measurement, exported as a `perf` record.
@@ -155,6 +178,7 @@ pub fn collect_run_report(
         exemplars: system.tracer().exemplars(),
         postmortems: system.flight().postmortems(),
         replication: None,
+        parity: None,
     }
 }
 
@@ -249,6 +273,15 @@ pub fn collect_cluster_report(
                 counters: result.replication,
             })
         },
+        parity: {
+            let policy = cluster.parity_policy();
+            policy.enabled().then(|| ParityGroupReport {
+                data_shards: policy.data as u64,
+                parity_shards: policy.parity as u64,
+                counters: result.parity,
+                overhead: result.flash_overhead,
+            })
+        },
     }
 }
 
@@ -321,6 +354,7 @@ fn totals_fields(snap: &MetricsSnapshot) -> Vec<(&'static str, Value)> {
         ("torn_tail_detected", u(snap.torn_tail_detected)),
         ("recovery_duration_us", u(snap.recovery_duration_us)),
         ("served_by_replica", u(snap.served_by_replica)),
+        ("served_by_parity", u(snap.served_by_parity)),
     ]
 }
 
@@ -339,6 +373,7 @@ fn placement_fields(row: &TargetMetricsRow) -> Vec<(&'static str, Value)> {
         ("migrated_in", u(row.migrated_in)),
         ("migrated_out", u(row.migrated_out)),
         ("replica_serves", u(row.replica_serves)),
+        ("parity_serves", u(row.parity_serves)),
         (
             "sense_mix",
             Value::Map(
@@ -621,6 +656,35 @@ fn records(report: &RunReport) -> Vec<Value> {
             ],
         ));
     }
+    if let Some(pg) = &report.parity {
+        let c = &pg.counters;
+        let o = &pg.overhead;
+        out.push(rec(
+            "parity_group",
+            vec![
+                ("data_shards", u(pg.data_shards)),
+                ("parity_shards", u(pg.parity_shards)),
+                ("parity_serves", u(c.parity_serves)),
+                ("stripe_updates", u(c.stripe_updates)),
+                ("coverage_invalidations", u(c.coverage_invalidations)),
+                (
+                    "reconstructed_mib",
+                    f(c.reconstructed_bytes as f64 / (1024.0 * 1024.0)),
+                ),
+                ("repair_warms", u(c.repair_warms)),
+                ("repairs_completed", u(c.repairs_completed)),
+                ("beyond_tolerance_serves", u(c.beyond_tolerance_serves)),
+                ("ttr_metadata_us", i(c.ttr_us[0])),
+                ("ttr_dirty_us", i(c.ttr_us[1])),
+                ("ttr_hot_clean_us", i(c.ttr_us[2])),
+                ("ttr_cold_clean_us", i(c.ttr_us[3])),
+                ("primary_mib", f(o.primary_bytes as f64 / (1024.0 * 1024.0))),
+                ("replica_mib", f(o.replica_bytes as f64 / (1024.0 * 1024.0))),
+                ("parity_mib", f(o.parity_bytes as f64 / (1024.0 * 1024.0))),
+                ("overhead_pct", f(100.0 * o.overhead_fraction())),
+            ],
+        ));
+    }
     out
 }
 
@@ -777,6 +841,24 @@ fn required_numbers(kind: &str) -> &'static [&'static str] {
             "anti_entropy_passes",
             "failbacks_completed",
         ],
+        "parity_group" => &[
+            "data_shards",
+            "parity_shards",
+            "parity_serves",
+            "stripe_updates",
+            "coverage_invalidations",
+            "reconstructed_mib",
+            "repair_warms",
+            "repairs_completed",
+            "beyond_tolerance_serves",
+            "ttr_metadata_us",
+            "ttr_dirty_us",
+            "ttr_hot_clean_us",
+            "ttr_cold_clean_us",
+            "primary_mib",
+            "parity_mib",
+            "overhead_pct",
+        ],
         _ => &[],
     }
 }
@@ -825,6 +907,7 @@ fn allowed_fields(kind: &str) -> &'static [&'static str] {
             "torn_tail_detected",
             "recovery_duration_us",
             "served_by_replica",
+            "served_by_parity",
         ],
         "class" => &[
             "kind",
@@ -905,6 +988,7 @@ fn allowed_fields(kind: &str) -> &'static [&'static str] {
             "migrated_in",
             "migrated_out",
             "replica_serves",
+            "parity_serves",
             "sense_mix",
         ],
         "slo" => &[
@@ -959,6 +1043,26 @@ fn allowed_fields(kind: &str) -> &'static [&'static str] {
             "anti_entropy_passes",
             "failbacks_completed",
         ],
+        "parity_group" => &[
+            "kind",
+            "data_shards",
+            "parity_shards",
+            "parity_serves",
+            "stripe_updates",
+            "coverage_invalidations",
+            "reconstructed_mib",
+            "repair_warms",
+            "repairs_completed",
+            "beyond_tolerance_serves",
+            "ttr_metadata_us",
+            "ttr_dirty_us",
+            "ttr_hot_clean_us",
+            "ttr_cold_clean_us",
+            "primary_mib",
+            "replica_mib",
+            "parity_mib",
+            "overhead_pct",
+        ],
         _ => &[],
     }
 }
@@ -969,7 +1073,7 @@ fn allowed_fields(kind: &str) -> &'static [&'static str] {
 /// ([`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`]), `totals`, `cache`,
 /// and `resilience` appear exactly once, each record carries its kind's
 /// required fields, and no record carries a field outside its kind's
-/// [`allowed_fields`] (unknown fields are reported with the offending
+/// allowed set (unknown fields are reported with the offending
 /// line number — they mean the document came from a *newer* exporter
 /// than this validator).
 ///
@@ -1577,6 +1681,55 @@ mod tests {
         assert!(text.contains("\"rebuild_window_us\""));
         assert!(text.contains("\"sense_mix\""));
         assert!(text.contains("\"rejected_events_by_reason\""));
+    }
+
+    fn parity_jsonl() -> String {
+        use reo_core::{ClusterSystem, ParityGroupPolicy, PlannedEvent};
+        let trace = WorkloadSpec::medium()
+            .with_objects(80)
+            .with_requests(600)
+            .generate(13);
+        let config = reo_core::SystemConfig::paper_defaults(
+            SchemeConfig::Reo { reserve: 0.20 },
+            trace.summary().data_set_bytes.scale(0.25),
+        );
+        let mut cluster =
+            ClusterSystem::new(config, 4).with_parity_policy(ParityGroupPolicy::reo(3, 1));
+        let plan = ExperimentPlan {
+            warmup_passes: 1,
+            ..Default::default()
+        }
+        .with_event(150, PlannedEvent::FailTarget(1))
+        .with_event(450, PlannedEvent::RestoreTarget(1));
+        let result = cluster.run(&trace, &plan);
+        let report = collect_cluster_report("parity_unit", "Reo-20%", &cluster, &result);
+        jsonl(&report)
+    }
+
+    #[test]
+    fn parity_group_record_round_trips_through_the_validator() {
+        let text = parity_jsonl();
+        let summary = validate_jsonl(&text).expect("parity report must validate");
+        assert_eq!(summary.schema_version, SCHEMA_VERSION);
+        assert_eq!(summary.kinds["parity_group"], 1, "singleton parity record");
+        assert!(text.contains("\"data_shards\":3"));
+        assert!(text.contains("\"parity_shards\":1"));
+        assert!(text.contains("\"served_by_parity\""));
+        assert!(text.contains("\"parity_serves\""));
+        assert!(text.contains("\"overhead_pct\""));
+
+        // A parity record missing its geometry is schema drift.
+        let broken = text.replace("\"data_shards\":3", "\"shards\":3");
+        assert!(validate_jsonl(&broken).unwrap_err().contains("data_shards"));
+    }
+
+    #[test]
+    fn parity_jsonl_is_identical_across_repeated_runs() {
+        assert_eq!(
+            parity_jsonl(),
+            parity_jsonl(),
+            "same seed must replay a byte-identical parity export"
+        );
     }
 
     #[test]

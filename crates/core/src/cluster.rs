@@ -49,9 +49,10 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use reo_backend::{BackendError, BackendStore};
+use reo_erasure::ReedSolomon;
 use reo_flashsim::{DeviceId, FaultPlan};
 use reo_osd::{ObjectClass, ObjectKey, SenseCode};
-use reo_placement::{mix64, PlacementRing, TargetId};
+use reo_placement::{mix64, ParityGroupMap, PlacementRing, TargetId};
 use reo_sim::{
     ByteSize, FlightRecorder, Layer, SimClock, SimDuration, SimTime, TokenBucket, Tracer,
 };
@@ -187,6 +188,210 @@ pub struct ReplicationSnapshot {
     pub failbacks_completed: u64,
 }
 
+/// Per-class cross-target parity-group protection: targets partition
+/// into seeded groups of `data + parity` members
+/// ([`ParityGroupMap`]), and each protected cached object's stripe
+/// spans its owner's group — `data` co-located cache extents plus
+/// `parity` erasure shards. A downed member's range keeps serving at
+/// cache speed by degraded reconstruction from the surviving group
+/// members, for `parity / data` extra flash instead of replication's
+/// `(n-1)×`. Up to `parity` concurrent member outages are absorbed;
+/// beyond that the range degrades honestly to backend-first service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParityGroupPolicy {
+    /// Data shards per group (`k`).
+    pub data: usize,
+    /// Parity shards per group (`m` — the outage tolerance).
+    pub parity: usize,
+    /// Protect replicated-metadata-class objects.
+    pub metadata: bool,
+    /// Protect dirty (write-back) objects.
+    pub dirty: bool,
+    /// Protect hot clean objects.
+    pub hot_clean: bool,
+    /// Protect cold clean objects (scan class — usually not).
+    pub cold_clean: bool,
+}
+
+impl ParityGroupPolicy {
+    /// No parity protection anywhere: byte-identical to the
+    /// pre-parity cluster. The default.
+    pub fn none() -> Self {
+        ParityGroupPolicy {
+            data: 1,
+            parity: 0,
+            metadata: false,
+            dirty: false,
+            hot_clean: false,
+            cold_clean: false,
+        }
+    }
+
+    /// The reference policy: `k + m` groups protecting every class
+    /// that hurts on an outage (metadata, dirty, hot clean), leaving
+    /// the scan class to the backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is zero.
+    pub fn reo(data: usize, parity: usize) -> Self {
+        assert!(data > 0, "a parity group needs at least one data shard");
+        ParityGroupPolicy {
+            data,
+            parity,
+            metadata: true,
+            dirty: true,
+            hot_clean: true,
+            cold_clean: false,
+        }
+    }
+
+    /// `k + m` groups protecting every class (sweep experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is zero.
+    pub fn uniform(data: usize, parity: usize) -> Self {
+        assert!(data > 0, "a parity group needs at least one data shard");
+        ParityGroupPolicy {
+            metadata: true,
+            dirty: true,
+            hot_clean: true,
+            cold_clean: true,
+            ..ParityGroupPolicy::reo(data, parity)
+        }
+    }
+
+    /// Whether the policy protects one serving class. Unknown (`None`)
+    /// classes are writes not yet classified: treat them as dirty, the
+    /// most conservative class (same rule as
+    /// [`ReplicationPolicy::factor_for`]).
+    pub fn protects(&self, class: Option<ObjectClass>) -> bool {
+        if self.parity == 0 {
+            return false;
+        }
+        match class {
+            Some(ObjectClass::Metadata) => self.metadata,
+            Some(ObjectClass::Dirty) | None => self.dirty,
+            Some(ObjectClass::HotClean) => self.hot_clean,
+            Some(ObjectClass::ColdClean) => self.cold_clean,
+        }
+    }
+
+    /// `true` when at least one class is protected with real parity.
+    pub fn enabled(&self) -> bool {
+        self.parity > 0 && (self.metadata || self.dirty || self.hot_clean || self.cold_clean)
+    }
+
+    /// The flash-capacity overhead fraction the policy pays per
+    /// protected byte: `m / k` (vs. replication's `factor - 1`).
+    pub fn overhead(&self) -> f64 {
+        self.parity as f64 / self.data as f64
+    }
+}
+
+impl Default for ParityGroupPolicy {
+    fn default() -> Self {
+        ParityGroupPolicy::none()
+    }
+}
+
+/// Cumulative parity-group counters, exported as the schema-v8
+/// `parity_group` record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParityGroupSnapshot {
+    /// Reads of a down target's range answered by degraded erasure
+    /// reconstruction from its surviving group peers, at cache speed.
+    pub parity_serves: u64,
+    /// Stripe (re-)encodes: acked writes whose protected class updated
+    /// the owner group's parity coverage.
+    pub stripe_updates: u64,
+    /// Coverage entries dropped because a stripe could no longer match
+    /// the authoritative content (write behind a down owner, or group
+    /// membership change re-striping the group).
+    pub coverage_invalidations: u64,
+    /// Object bytes rebuilt by degraded reconstruction.
+    pub reconstructed_bytes: u64,
+    /// Repair moves drained through the rebuild QoS token bucket
+    /// (peer shard re-syncs plus owner re-covers) after restores.
+    pub repair_warms: u64,
+    /// Completed group-aware repairs (a restored target's redundancy
+    /// fully re-established).
+    pub repairs_completed: u64,
+    /// Reads of a down target's covered range that exceeded the
+    /// group's tolerance (more than `m` members lost) and degraded
+    /// honestly to backend-first service.
+    pub beyond_tolerance_serves: u64,
+    /// Per-class time-to-restored-redundancy of the latest completed
+    /// repair, microseconds (`[metadata, dirty, hot_clean,
+    /// cold_clean]`; `-1` until a class completes a repair).
+    pub ttr_us: [i64; 4],
+}
+
+impl Default for ParityGroupSnapshot {
+    fn default() -> Self {
+        ParityGroupSnapshot {
+            parity_serves: 0,
+            stripe_updates: 0,
+            coverage_invalidations: 0,
+            reconstructed_bytes: 0,
+            repair_warms: 0,
+            repairs_completed: 0,
+            beyond_tolerance_serves: 0,
+            ttr_us: [-1; 4],
+        }
+    }
+}
+
+/// Flash-capacity accounting across the cluster's up members, split
+/// into primary bytes (owner-cached user objects) and the two
+/// redundancy flavors — what the equal-budget replication-vs-parity
+/// sweep reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlashOverheadReport {
+    /// Cached user bytes held by their ring owner.
+    pub primary_bytes: u64,
+    /// Cached user bytes held as replica copies (replication policy).
+    pub replica_bytes: u64,
+    /// Parity-shard bytes held for covered stripes (`size × m / k` per
+    /// covered, owner-cached object).
+    pub parity_bytes: u64,
+}
+
+impl FlashOverheadReport {
+    /// Redundancy bytes (replica + parity) per primary byte — `0` when
+    /// nothing is cached.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.primary_bytes == 0 {
+            0.0
+        } else {
+            (self.replica_bytes + self.parity_bytes) as f64 / self.primary_bytes as f64
+        }
+    }
+}
+
+/// Per-key parity-coverage state: the stripe's content version, the
+/// class bucket it was encoded under, and the group members whose
+/// shards missed an update (down at encode time) and need a repair
+/// re-sync before they can serve reconstructions again.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct ParityCoverage {
+    version: u64,
+    class_bucket: u8,
+    stale: BTreeSet<usize>,
+}
+
+/// What a queued migration is for: ring-delta rebalancing after a
+/// membership change, failback reconciliation toward a restored
+/// replica holder, or a parity-group repair re-establishing a restored
+/// member's redundancy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MigrationKind {
+    Rebalance,
+    Failback,
+    Repair,
+}
+
 /// A stable lowercase label for a sense code, used in per-target
 /// sense-mix rows and JSONL export.
 pub(crate) fn sense_label(sense: SenseCode) -> &'static str {
@@ -234,6 +439,9 @@ struct TargetStats {
     /// The subset of `requests` served at full speed from a replica
     /// holder's cache while this (owning) target was down.
     replica_serves: u64,
+    /// The subset of `reads` answered by degraded erasure
+    /// reconstruction from this (owning, down) target's group peers.
+    parity_serves: u64,
     sense_mix: BTreeMap<&'static str, u64>,
 }
 
@@ -256,6 +464,15 @@ struct Node {
     /// Failback warms still pending for this target after a restore
     /// (replication only); `failback-complete` fires when it hits zero.
     failback_pending: u64,
+    /// Parity repairs still pending for this target after a restore;
+    /// `parity-repair-complete` fires when it hits zero.
+    repair_pending: u64,
+    /// The per-class split of `repair_pending` (class buckets in
+    /// [`CLASS_LABELS`] order, `uncached` excluded) — each class's
+    /// time-to-restored-redundancy stops when its bucket drains.
+    repair_pending_by_class: [u64; 4],
+    /// When the pending repair was queued (restore time).
+    repair_started: Option<SimTime>,
 }
 
 impl Node {
@@ -271,19 +488,26 @@ impl Node {
             migrated_in: 0,
             migrated_out: 0,
             failback_pending: 0,
+            repair_pending: 0,
+            repair_pending_by_class: [0; 4],
+            repair_started: None,
         }
     }
 }
 
-/// One pending rebalance/failback move. `to == None` warms the key's
-/// current ring owner (membership rebalancing); `to == Some(t)` is a
-/// failback warm toward a restored target `t` (which may hold the key
-/// as a replica, not the primary).
+/// One pending rebalance/failback/repair move. `to == None` warms the
+/// key's current ring owner (membership rebalancing); `to == Some(t)`
+/// is a failback warm or parity repair toward a restored target `t`
+/// (which may hold the key as a replica or group shard, not the
+/// primary).
 #[derive(Clone, Copy, Debug)]
 struct Migration {
     key: ObjectKey,
     from: Option<usize>,
     to: Option<usize>,
+    kind: MigrationKind,
+    /// Class bucket for per-class repair accounting (repairs only).
+    class_bucket: u8,
 }
 
 /// The cluster-level health view derived from per-target
@@ -341,6 +565,11 @@ pub struct ClusterRunResult {
     /// Replication counters (all zero when the policy is
     /// [`ReplicationPolicy::none`]).
     pub replication: ReplicationSnapshot,
+    /// Parity-group counters (all cold when the policy is
+    /// [`ParityGroupPolicy::none`]).
+    pub parity: ParityGroupSnapshot,
+    /// End-of-run flash-capacity split (primary vs. redundancy bytes).
+    pub flash_overhead: FlashOverheadReport,
 }
 
 /// N cache nodes behind a seeded placement ring (see the module docs).
@@ -397,6 +626,20 @@ pub struct ClusterSystem {
     /// Requests handled since construction (anti-entropy cadence).
     requests_handled: u64,
     repl_stats: ReplicationSnapshot,
+    /// Per-class parity-group protection (default: none).
+    parity: ParityGroupPolicy,
+    /// Seeded target → parity-group partition (empty unless the policy
+    /// is enabled).
+    parity_groups: ParityGroupMap,
+    /// The `k + m` systematic Reed–Solomon codec degraded serves
+    /// reconstruct through (its per-erasure-pattern decode plans are
+    /// cached, so steady-state outage serves skip the matrix inversion).
+    parity_codec: Option<ReedSolomon>,
+    /// Per-key stripe coverage: which protected keys are currently
+    /// erasure-coded across their owner's group, at which version, and
+    /// which members' shards are stale (missed an encode while down).
+    parity_coverage: BTreeMap<ObjectKey, ParityCoverage>,
+    parity_stats: ParityGroupSnapshot,
 }
 
 impl ClusterSystem {
@@ -442,6 +685,11 @@ impl ClusterSystem {
             anti_entropy_cursor: None,
             requests_handled: 0,
             repl_stats: ReplicationSnapshot::default(),
+            parity: ParityGroupPolicy::none(),
+            parity_groups: ParityGroupMap::new(seed, 1, 0),
+            parity_codec: None,
+            parity_coverage: BTreeMap::new(),
+            parity_stats: ParityGroupSnapshot::default(),
         };
         for _ in 0..targets {
             cluster.add_target();
@@ -475,6 +723,92 @@ impl ClusterSystem {
     /// Cumulative replication counters.
     pub fn replication_snapshot(&self) -> ReplicationSnapshot {
         self.repl_stats
+    }
+
+    /// Sets the parity-group protection policy: current ring members
+    /// are partitioned into seeded `k + m` groups and protected-class
+    /// content starts striping as it is next written (existing cached
+    /// copies gain coverage lazily, like replication).
+    pub fn set_parity_policy(&mut self, policy: ParityGroupPolicy) {
+        self.parity = policy;
+        self.parity_groups = ParityGroupMap::new(self.seed, policy.data, policy.parity);
+        self.parity_codec = None;
+        if !self.parity_coverage.is_empty() {
+            self.parity_stats.coverage_invalidations += self.parity_coverage.len() as u64;
+            self.parity_coverage.clear();
+        }
+        if policy.enabled() {
+            for t in self.ring.targets() {
+                self.parity_groups.add_target(t);
+            }
+            self.parity_codec = Some(
+                ReedSolomon::new(policy.data, policy.parity)
+                    .expect("parity policy is a valid codec geometry"),
+            );
+        }
+    }
+
+    /// Builder-style [`ClusterSystem::set_parity_policy`].
+    pub fn with_parity_policy(mut self, policy: ParityGroupPolicy) -> Self {
+        self.set_parity_policy(policy);
+        self
+    }
+
+    /// The active parity-group policy.
+    pub fn parity_policy(&self) -> ParityGroupPolicy {
+        self.parity
+    }
+
+    /// Cumulative parity-group counters.
+    pub fn parity_snapshot(&self) -> ParityGroupSnapshot {
+        self.parity_stats
+    }
+
+    /// The seeded target → parity-group partition (empty unless the
+    /// policy is enabled).
+    pub fn parity_groups(&self) -> &ParityGroupMap {
+        &self.parity_groups
+    }
+
+    /// Current flash-capacity split across up members: primary bytes
+    /// (owner-cached user objects), replica bytes (non-owner cached
+    /// copies), and parity bytes (`size × m / k` per covered,
+    /// owner-cached stripe) — the equal-budget sweep's overhead ledger.
+    pub fn flash_overhead(&self) -> FlashOverheadReport {
+        let cached: Vec<Option<BTreeMap<ObjectKey, ByteSize>>> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                (n.state == TargetState::Up)
+                    .then(|| n.system.cached_user_entries().into_iter().collect())
+            })
+            .collect();
+        let mut report = FlashOverheadReport::default();
+        for (i, entries) in cached.iter().enumerate() {
+            let Some(entries) = entries else { continue };
+            for (&key, &size) in entries {
+                if self.ring.target_of(key) == Some(TargetId(i)) {
+                    report.primary_bytes += size.as_bytes();
+                } else {
+                    report.replica_bytes += size.as_bytes();
+                }
+            }
+        }
+        if self.parity.enabled() {
+            let overhead = self.parity.overhead();
+            for &key in self.parity_coverage.keys() {
+                let Some(owner) = self.ring.target_of(key) else {
+                    continue;
+                };
+                let holds = cached[owner.0]
+                    .as_ref()
+                    .and_then(|entries| entries.get(&key));
+                if let Some(size) = holds {
+                    report.parity_bytes += (size.as_bytes() as f64 * overhead).round() as u64;
+                }
+            }
+        }
+        report
     }
 
     /// Turns cluster-wide request tracing on: one shared recorder spans
@@ -679,6 +1013,16 @@ impl ClusterSystem {
         let prev = self.ring.clone();
         self.ring.add_target(t);
         self.nodes.push(node);
+        if self.parity.enabled() {
+            self.parity_groups.add_target(t);
+            // Minimal re-striping: only the one group that gained the
+            // newcomer has a changed stripe layout; its members' covered
+            // keys re-encode on their next write or repair.
+            if let Some(gid) = self.parity_groups.group_of(t) {
+                let members = self.parity_groups.members(gid).to_vec();
+                self.invalidate_group_coverage(&members, "group gained a member");
+            }
+        }
         let mut moved = 0u64;
         for key in self.ring.remapped(&prev, self.objects.keys().copied()) {
             let from = prev.target_of(key).map(|x| x.0);
@@ -686,6 +1030,8 @@ impl ClusterSystem {
                 key,
                 from,
                 to: None,
+                kind: MigrationKind::Rebalance,
+                class_bucket: 0,
             });
             moved += 1;
         }
@@ -695,6 +1041,38 @@ impl ClusterSystem {
             format!("target {} joined, {moved} keys remapped", t.0),
         );
         t
+    }
+
+    /// Drops parity coverage for every covered key owned by one of
+    /// `members` — the group's stripe layout changed (join/leave), so
+    /// its stripes no longer match and must re-encode. Exactly the
+    /// affected group pays; every other group's coverage is untouched
+    /// (the cluster-level payoff of the map's minimal-movement rule).
+    fn invalidate_group_coverage(&mut self, members: &[TargetId], why: &str) {
+        let stale: Vec<ObjectKey> = self
+            .parity_coverage
+            .keys()
+            .filter(|&&k| {
+                self.ring
+                    .target_of(k)
+                    .is_some_and(|owner| members.contains(&owner))
+            })
+            .copied()
+            .collect();
+        if stale.is_empty() {
+            return;
+        }
+        let dropped = stale.len() as u64;
+        for key in stale {
+            self.parity_coverage.remove(&key);
+        }
+        self.parity_stats.coverage_invalidations += dropped;
+        let now = self.now();
+        self.flight.record(
+            now,
+            "parity-coverage-reset",
+            format!("{dropped} stripes dropped ({why})"),
+        );
     }
 
     /// Gracefully retires a target: flushes its cached set (dirty
@@ -729,12 +1107,25 @@ impl ClusterSystem {
         let prev = self.ring.clone();
         self.ring.remove_target(TargetId(t));
         self.nodes[t].state = TargetState::Removed;
+        if self.parity.enabled() && self.parity_groups.contains(TargetId(t)) {
+            let gid = self.parity_groups.group_of(TargetId(t)).expect("member");
+            let members = self.parity_groups.members(gid).to_vec();
+            self.parity_groups.remove_target(TargetId(t));
+            self.invalidate_group_coverage(&members, "group lost a member");
+        }
         let mut moved = 0u64;
         for key in self.ring.remapped(&prev, self.objects.keys().copied()) {
+            // A remapped key's stripe group changes with its owner:
+            // stale coverage must not serve reconstructions.
+            if self.parity_coverage.remove(&key).is_some() {
+                self.parity_stats.coverage_invalidations += 1;
+            }
             self.migrations.push_back(Migration {
                 key,
                 from: Some(t),
                 to: None,
+                kind: MigrationKind::Rebalance,
+                class_bucket: 0,
             });
             moved += 1;
         }
@@ -773,7 +1164,45 @@ impl ClusterSystem {
         // leaving `Healthy`: capture the lookback window now.
         self.flight
             .record(now, "target-down", format!("target {t} power loss"));
+        if self.parity.enabled() {
+            if let Some(gid) = self.parity_groups.group_of(TargetId(t)) {
+                let lost = self.parity_group_losses(gid);
+                if lost > self.parity.parity {
+                    self.flight.record(
+                        now,
+                        "parity-tolerance-exceeded",
+                        format!(
+                            "group {gid}: {lost} shards lost > m={}, covered range \
+                             degrades to backend-first",
+                            self.parity.parity
+                        ),
+                    );
+                } else {
+                    self.flight.record(
+                        now,
+                        "parity-group-degraded",
+                        format!(
+                            "group {gid}: {lost}/{} shards lost, serving by reconstruction",
+                            self.parity.parity
+                        ),
+                    );
+                }
+            }
+        }
         self.flight.dump(now, format!("target-down:{t}"));
+    }
+
+    /// Shards of group `gid` unavailable right now, before per-key
+    /// staleness: members not `Up` plus phantom shards (a group
+    /// narrower than `k + m` never had its tail shards).
+    fn parity_group_losses(&self, gid: usize) -> usize {
+        let members = self.parity_groups.members(gid);
+        let phantom = self.parity_groups.width().saturating_sub(members.len());
+        phantom
+            + members
+                .iter()
+                .filter(|m| self.nodes[m.0].state != TargetState::Up)
+                .count()
     }
 
     /// Brings a downed target (or its replacement hardware holding the
@@ -817,6 +1246,8 @@ impl ClusterSystem {
                     key,
                     from: Some(t),
                     to: None,
+                    kind: MigrationKind::Rebalance,
+                    class_bucket: 0,
                 });
             }
         }
@@ -833,14 +1264,76 @@ impl ClusterSystem {
                         key,
                         from: None,
                         to: Some(t),
+                        kind: MigrationKind::Failback,
+                        class_bucket: 0,
                     });
                     failback += 1;
                 }
             }
         }
         self.nodes[t].failback_pending = failback;
+        // Group-aware repair: redundancy the outage cost is
+        // re-established through the same QoS bucket, in two flavors —
+        // peer shard re-syncs (stripes that re-encoded behind the
+        // returning member's back) and owner re-covers (its own keys
+        // whose stripes were invalidated by outage-window writes).
+        let mut repairs = 0u64;
+        let mut repairs_by_class = [0u64; 4];
+        if self.parity.enabled() {
+            let resync: Vec<(ObjectKey, u8)> = self
+                .parity_coverage
+                .iter()
+                .filter(|(_, cov)| cov.stale.contains(&t))
+                .map(|(&key, cov)| (key, cov.class_bucket))
+                .collect();
+            for (key, class_bucket) in resync {
+                self.migrations.push_back(Migration {
+                    key,
+                    from: None,
+                    to: Some(t),
+                    kind: MigrationKind::Repair,
+                    class_bucket,
+                });
+                repairs += 1;
+                repairs_by_class[usize::from(class_bucket) % 4] += 1;
+            }
+            for &key in &stale {
+                if self.ring.target_of(key) == Some(TargetId(t))
+                    && !self.parity_coverage.contains_key(&key)
+                {
+                    // Class unknown until the re-warm classifies the
+                    // copy: account it as dirty, the conservative bucket.
+                    self.migrations.push_back(Migration {
+                        key,
+                        from: None,
+                        to: Some(t),
+                        kind: MigrationKind::Repair,
+                        class_bucket: 1,
+                    });
+                    repairs += 1;
+                    repairs_by_class[1] += 1;
+                }
+            }
+        }
+        self.nodes[t].repair_pending = repairs;
+        self.nodes[t].repair_pending_by_class = repairs_by_class;
         self.nodes[t].state = TargetState::Up;
         let now = self.merge_clocks();
+        self.nodes[t].repair_started = (repairs > 0).then_some(now);
+        if repairs > 0 {
+            self.flight.record(
+                now,
+                "parity-repair-queued",
+                format!("target {t}: {repairs} shard repairs through the rebuild throttle"),
+            );
+        } else if self.parity.enabled() {
+            self.parity_stats.repairs_completed += 1;
+            self.flight.record(
+                now,
+                "parity-repair-complete",
+                format!("target {t}: redundancy already current"),
+            );
+        }
         if let Some(started) = self.nodes[t].outage_started.take() {
             self.nodes[t].rebuild_window_us =
                 (now.saturating_since(started).as_nanos() / 1_000) as i64;
@@ -935,6 +1428,184 @@ impl ClusterSystem {
         }
     }
 
+    /// `true` when a read of `key` (owned by the down target `owner`)
+    /// can be served by degraded reconstruction: the key has current
+    /// stripe coverage and its owner's group has lost at most `m`
+    /// shards (down, stale, or phantom — a group narrower than `k + m`
+    /// honestly counts its missing tail as lost).
+    fn parity_reconstructible(&self, key: ObjectKey, owner: usize) -> bool {
+        let Some(cov) = self.parity_coverage.get(&key) else {
+            return false;
+        };
+        let Some(gid) = self.parity_groups.group_of(TargetId(owner)) else {
+            return false;
+        };
+        let members = self.parity_groups.members(gid);
+        let phantom = self.parity_groups.width().saturating_sub(members.len());
+        let lost = phantom
+            + members
+                .iter()
+                .filter(|m| self.nodes[m.0].state != TargetState::Up || cov.stale.contains(&m.0))
+                .count();
+        lost <= self.parity.parity
+    }
+
+    /// Serves one read of a downed owner's range by degraded erasure
+    /// reconstruction from the surviving group members, at cache speed:
+    /// `k` shard reads proceed in parallel, so the serve costs one
+    /// shard read — honest [`SenseCode::RecoveredError`] sense, counted
+    /// as an available degraded hit in the owner's SLO burn (the
+    /// cluster analog of a single-node degraded stripe read).
+    fn serve_parity(&mut self, owner: usize, request: &Request) -> RequestOutcome {
+        let start = self.origin_clock.now();
+        let size = self
+            .objects
+            .get(&request.key)
+            .copied()
+            .unwrap_or(request.size);
+        self.reconstruct_stripe(owner, request.key, size);
+        let k = self.parity.data.max(1) as u64;
+        let shard_bytes = (size.as_bytes() / k).max(1);
+        let rate = self.config.device.read.bytes_per_sec().max(1);
+        let nanos = ((u128::from(shard_bytes) * 1_000_000_000) / u128::from(rate)) as u64;
+        let completed_at = self.origin_clock.advance(SimDuration::from_nanos(nanos));
+        let latency = completed_at.saturating_since(start);
+        self.parity_stats.parity_serves += 1;
+        self.parity_stats.reconstructed_bytes += size.as_bytes();
+        self.nodes[owner].system.record_external_sample(
+            RequestSample::basic(true, true, true, request.size, latency, completed_at)
+                .with_ok(true),
+        );
+        RequestOutcome {
+            hit: true,
+            degraded: true,
+            latency,
+            completed_at,
+            sense: SenseCode::RecoveredError,
+        }
+    }
+
+    /// Runs the real `k + m` codec for one degraded serve. Stripe
+    /// shards are deterministic functions of `(seed, key, stripe
+    /// version, member)`, so the serve re-synthesizes the surviving
+    /// extents, erases every down/stale/phantom shard, and decodes
+    /// through [`ReedSolomon::reconstruct`] — whose per-erasure-pattern
+    /// cached plans make repeat serves under the same outage skip the
+    /// matrix inversion. The decode is verified against the original
+    /// shards, so every outage serve is a kernel-fidelity check.
+    fn reconstruct_stripe(&mut self, owner: usize, key: ObjectKey, size: ByteSize) {
+        let Some(codec) = &self.parity_codec else {
+            return;
+        };
+        let Some(gid) = self.parity_groups.group_of(TargetId(owner)) else {
+            return;
+        };
+        let Some(cov) = self.parity_coverage.get(&key) else {
+            return;
+        };
+        let members = self.parity_groups.members(gid);
+        let k = self.parity.data;
+        let shard_len = (size.as_bytes() as usize / k.max(1)).clamp(64, 4096);
+        let key_pos = self.ring.key_position(key);
+        let synth = |slot: usize| -> Vec<u8> {
+            let member = members
+                .get(slot)
+                .map_or(u64::MAX - slot as u64, |m| m.0 as u64);
+            let mut x =
+                mix64(self.seed ^ key_pos ^ mix64(cov.version) ^ mix64(member.wrapping_add(1)));
+            let mut out = vec![0u8; shard_len];
+            for b in out.iter_mut() {
+                x = mix64(x);
+                *b = x as u8;
+            }
+            out
+        };
+        let data: Vec<Vec<u8>> = (0..k).map(synth).collect();
+        let parity = codec
+            .encode(&data)
+            .expect("stripe shards share one length by construction");
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        for (slot, shard) in shards.iter_mut().enumerate() {
+            let erased = match members.get(slot) {
+                Some(m) => self.nodes[m.0].state != TargetState::Up || cov.stale.contains(&m.0),
+                None => true, // phantom shard: never existed
+            };
+            if erased {
+                *shard = None;
+            }
+        }
+        codec
+            .reconstruct(&mut shards)
+            .expect("losses within tolerance were checked before routing here");
+        for (slot, original) in data.iter().enumerate() {
+            debug_assert_eq!(
+                shards[slot].as_deref(),
+                Some(original.as_slice()),
+                "degraded reconstruction must restore the exact extents"
+            );
+        }
+    }
+
+    /// Re-points `key`'s parity coverage after an acked write. A write
+    /// served by its up owner re-encodes the stripe (members down right
+    /// now miss the update and are marked stale until repair); a write
+    /// acked anywhere else (backend-first or a replica holder) cannot
+    /// re-encode — any existing stripe no longer matches the
+    /// authoritative content and is dropped, honestly.
+    fn update_parity_coverage(&mut self, server: Option<usize>, owner: usize, key: ObjectKey) {
+        if server != Some(owner) {
+            if self.parity_coverage.remove(&key).is_some() {
+                self.parity_stats.coverage_invalidations += 1;
+            }
+            return;
+        }
+        let class = self.nodes[owner].system.target().class_of(key);
+        if !self.parity.protects(class) {
+            if self.parity_coverage.remove(&key).is_some() {
+                self.parity_stats.coverage_invalidations += 1;
+            }
+            return;
+        }
+        self.cover_key(owner, key, class);
+    }
+
+    /// (Re-)encodes `key`'s stripe across its owner's group at the next
+    /// content version: members down at encode time are stale until the
+    /// repair path re-syncs their shards.
+    fn cover_key(&mut self, owner: usize, key: ObjectKey, class: Option<ObjectClass>) {
+        let Some(gid) = self.parity_groups.group_of(TargetId(owner)) else {
+            return;
+        };
+        let stale: BTreeSet<usize> = self
+            .parity_groups
+            .members(gid)
+            .iter()
+            .filter(|m| self.nodes[m.0].state != TargetState::Up)
+            .map(|m| m.0)
+            .collect();
+        let class_bucket = match class {
+            Some(ObjectClass::Metadata) => 0,
+            Some(ObjectClass::Dirty) | None => 1,
+            Some(ObjectClass::HotClean) => 2,
+            Some(ObjectClass::ColdClean) => 3,
+        };
+        let version = self.parity_coverage.get(&key).map_or(0, |c| c.version) + 1;
+        self.parity_coverage.insert(
+            key,
+            ParityCoverage {
+                version,
+                class_bucket,
+                stale,
+            },
+        );
+        self.parity_stats.stripe_updates += 1;
+    }
+
     /// Handles one request end to end: merge clocks, route by the ring,
     /// serve (full fidelity on an up target, backend-first on a down
     /// one), mirror acknowledged writes, then pump one throttled
@@ -1004,9 +1675,27 @@ impl ClusterSystem {
             }
             self.tracer.annotate("replica-serve", now);
         }
+        // Parity failover: with no up server (owner down, no replica
+        // holder), a covered read whose group is within tolerance is
+        // reconstructed from the surviving members at cache speed;
+        // losses beyond `m` degrade honestly to backend-first.
+        let via_parity = server.is_none()
+            && request.op == Operation::Read
+            && self.parity.enabled()
+            && self.parity_reconstructible(request.key, t);
         let outcome = match server {
             Some(s) => self.nodes[s].system.handle(request),
+            None if via_parity => {
+                self.tracer.annotate("parity-serve", now);
+                self.serve_parity(t, request)
+            }
             None => {
+                if request.op == Operation::Read
+                    && self.parity.enabled()
+                    && self.parity_coverage.contains_key(&request.key)
+                {
+                    self.parity_stats.beyond_tolerance_serves += 1;
+                }
                 self.tracer.annotate("outage-serve", now);
                 self.serve_degraded(t, request)
             }
@@ -1018,6 +1707,9 @@ impl ClusterSystem {
         stats.requests += 1;
         if via_replica {
             stats.replica_serves += 1;
+        }
+        if via_parity {
+            stats.parity_serves += 1;
         }
         if request.op == Operation::Read {
             stats.reads += 1;
@@ -1045,6 +1737,9 @@ impl ClusterSystem {
             self.mirror_write(server.unwrap_or(t), request.key, request.size);
             if self.replication.enabled() {
                 self.fan_out_write(server, request.key, request.size);
+            }
+            if self.parity.enabled() {
+                self.update_parity_coverage(server, t, request.key);
             }
         }
         self.requests_handled += 1;
@@ -1326,7 +2021,47 @@ impl ClusterSystem {
             let Some(migration) = self.migrations.pop_front() else {
                 break;
             };
-            let Migration { key, from, to } = migration;
+            let Migration {
+                key,
+                from,
+                to,
+                kind,
+                class_bucket,
+            } = migration;
+            if kind == MigrationKind::Repair {
+                // Group-aware repair: an owner re-cover re-warms the
+                // extent and encodes a fresh stripe; a peer shard
+                // re-sync catches the restored member's shard up to the
+                // encoded version. Either way the move is shard-sized
+                // against the QoS bucket, and skipped moves (key gone,
+                // member down again) still retire the pending count.
+                let d = to.expect("repairs target a restored member");
+                if self.nodes[d].state != TargetState::Up {
+                    self.complete_repair(d, class_bucket);
+                    continue;
+                }
+                let Some(&size) = self.objects.get(&key) else {
+                    self.complete_repair(d, class_bucket);
+                    continue;
+                };
+                if self.ring.target_of(key) == Some(TargetId(d)) {
+                    self.nodes[d].system.warm_object(key, size);
+                    let class = self.nodes[d].system.target().class_of(key);
+                    if self.parity.protects(class) {
+                        self.cover_key(d, key, class);
+                    }
+                } else if let Some(cov) = self.parity_coverage.get_mut(&key) {
+                    cov.stale.remove(&d);
+                }
+                self.parity_stats.repair_warms += 1;
+                if let Some(b) = &mut bucket {
+                    let shard = size.scale(1.0 / self.parity.data.max(1) as f64);
+                    b.charge(shard);
+                    self.migration_throttle_bytes += shard.as_bytes();
+                }
+                self.complete_repair(d, class_bucket);
+                continue;
+            }
             // A failback warm completes (for pending accounting) once
             // it leaves the queue for good — warmed, or skipped because
             // the world moved on (key gone, holder down again, …).
@@ -1395,6 +2130,38 @@ impl ClusterSystem {
             );
         }
         self.merge_clocks();
+    }
+
+    /// Retires one pending parity repair for target `d`. The last move
+    /// of a class bucket stops that class's time-to-restored-redundancy
+    /// clock; the last move overall completes the repair (a
+    /// control-plane event the postmortem arc wants to show).
+    fn complete_repair(&mut self, d: usize, class_bucket: u8) {
+        let now = self.now();
+        let node = &mut self.nodes[d];
+        if node.repair_pending == 0 {
+            return;
+        }
+        node.repair_pending -= 1;
+        let cb = usize::from(class_bucket) % 4;
+        if node.repair_pending_by_class[cb] > 0 {
+            node.repair_pending_by_class[cb] -= 1;
+            if node.repair_pending_by_class[cb] == 0 {
+                if let Some(started) = node.repair_started {
+                    self.parity_stats.ttr_us[cb] =
+                        (now.saturating_since(started).as_nanos() / 1_000) as i64;
+                }
+            }
+        }
+        if node.repair_pending == 0 {
+            node.repair_started = None;
+            self.parity_stats.repairs_completed += 1;
+            self.flight.record(
+                now,
+                "parity-repair-complete",
+                format!("target {d}: redundancy restored through the rebuild throttle"),
+            );
+        }
     }
 
     /// Retires one pending failback warm for target `d`; the last one
@@ -1572,6 +2339,7 @@ impl ClusterSystem {
         self.migration_throttle_bytes = 0;
         self.migrated_objects = 0;
         self.repl_stats = ReplicationSnapshot::default();
+        self.parity_stats = ParityGroupSnapshot::default();
         self.measure_started = now;
         // Observability state restarts with measurement: warm-up spans,
         // exemplars, flight events, and postmortems would otherwise leak
@@ -1604,6 +2372,7 @@ impl ClusterSystem {
                     migrated_in: node.migrated_in,
                     migrated_out: node.migrated_out,
                     replica_serves: node.stats.replica_serves,
+                    parity_serves: node.stats.parity_serves,
                     sense_mix: node
                         .stats
                         .sense_mix
@@ -1653,6 +2422,7 @@ impl ClusterSystem {
             // cover them (and the SLO monitor saw them too).
         }
         agg.served_by_replica = self.repl_stats.replica_serves;
+        agg.served_by_parity = self.parity_stats.parity_serves;
         if agg.requests > 0 {
             agg.mean_latency =
                 SimDuration::from_nanos((weighted_mean_nanos / agg.requests as u128) as u64);
@@ -1742,6 +2512,8 @@ impl ClusterSystem {
             rejected_events_by_reason: self.rejected_events_by_reason(),
             health: self.health().label,
             replication: self.repl_stats,
+            parity: self.parity_stats,
+            flash_overhead: self.flash_overhead(),
             totals,
         }
     }
@@ -2192,6 +2964,183 @@ mod tests {
             "failback completion is a control-plane flight event"
         );
         assert_eq!(c.dirty_data_lost(), 0);
+    }
+
+    #[test]
+    fn default_policy_keeps_parity_machinery_cold() {
+        let t = trace(31, 600);
+        let mut c = cluster(4, &t);
+        for r in t.requests() {
+            c.handle(r);
+        }
+        assert_eq!(c.parity_snapshot(), ParityGroupSnapshot::default());
+        assert!(c.parity_coverage.is_empty(), "no stripes without a policy");
+        assert!(c.parity_groups().is_empty());
+        let totals = c.metrics_snapshot();
+        assert_eq!(totals.served_by_parity, 0);
+        let overhead = c.flash_overhead();
+        assert_eq!(overhead.parity_bytes, 0);
+        assert_eq!(overhead.replica_bytes, 0);
+        assert!(overhead.primary_bytes > 0, "the cache is warm");
+    }
+
+    #[test]
+    fn parity_serve_keeps_a_failed_range_on_cache_speed() {
+        let t = trace(37, 1200);
+        let mut c = cluster(4, &t).with_parity_policy(ParityGroupPolicy::reo(3, 1));
+        for r in t.requests().iter().take(600) {
+            c.handle(r);
+        }
+        let snap = c.parity_snapshot();
+        assert!(snap.stripe_updates > 0, "protected writes must stripe");
+        // m/k overhead, not replication's (n-1)x: the parity bytes for
+        // the covered set stay at or below a third of primary (+ slack
+        // for integer rounding).
+        let overhead = c.flash_overhead();
+        assert_eq!(overhead.replica_bytes, 0);
+        assert!(
+            (overhead.parity_bytes as f64) <= overhead.primary_bytes as f64 * (1.0 / 3.0 + 0.05),
+            "parity overhead exceeded m/k: {overhead:?}"
+        );
+        c.fail_target(0);
+        let mut parity_hits = 0u64;
+        for r in t.requests().iter().skip(600) {
+            let owner = c.ring().target_of(r.key).unwrap();
+            let covered = c.parity_coverage.contains_key(&r.key);
+            let out = c.handle(r);
+            if owner.0 == 0 && r.op == Operation::Read && covered {
+                // Covered reads of the down range are reconstructed at
+                // cache speed: honest recovered-error hits, never shed.
+                assert_eq!(out.sense, SenseCode::RecoveredError);
+                assert!(out.hit, "a parity serve counts as a cache hit");
+                parity_hits += 1;
+            }
+        }
+        let snap = c.parity_snapshot();
+        assert!(snap.parity_serves > 0, "outage range must parity-serve");
+        assert!(snap.parity_serves >= parity_hits);
+        assert!(snap.reconstructed_bytes > 0);
+        assert_eq!(snap.beyond_tolerance_serves, 0, "one outage is within m=1");
+        let totals = c.metrics_snapshot();
+        assert_eq!(totals.served_by_parity, snap.parity_serves);
+        assert_eq!(totals.targets[0].parity_serves, snap.parity_serves);
+        assert_eq!(c.dirty_data_lost(), 0);
+        // Degraded serves re-used the same erasure pattern: the codec's
+        // decode-plan cache stayed per-pattern, not per-serve.
+        let patterns = c.parity_codec.as_ref().unwrap().cached_decode_patterns();
+        assert!(
+            (1..=4).contains(&patterns),
+            "repeat serves under one outage share cached plans, got {patterns}"
+        );
+    }
+
+    #[test]
+    fn double_outage_beyond_tolerance_degrades_honestly() {
+        let t = trace(41, 1200);
+        let mut c = cluster(4, &t).with_parity_policy(ParityGroupPolicy::reo(3, 1));
+        for r in t.requests().iter().take(600) {
+            c.handle(r);
+        }
+        // One group of four members at k=3 tolerates exactly one loss.
+        c.fail_target(0);
+        c.fail_target(1);
+        for r in t.requests().iter().skip(600) {
+            let out = c.handle(r);
+            assert_ne!(out.sense, SenseCode::Failure, "never a hard failure");
+            let owner = c.ring().target_of(r.key).unwrap();
+            if (owner.0 == 0 || owner.0 == 1) && r.op == Operation::Read {
+                assert!(!out.hit, "beyond-m losses must not fake cache hits");
+            }
+        }
+        let snap = c.parity_snapshot();
+        assert_eq!(snap.parity_serves, 0, "no reconstruction beyond tolerance");
+        assert!(
+            snap.beyond_tolerance_serves > 0,
+            "covered reads beyond m degrade honestly to backend-first: {snap:?}"
+        );
+        assert!(c
+            .flight()
+            .events()
+            .iter()
+            .any(|e| e.kind == "parity-tolerance-exceeded"));
+        c.restore_target(0);
+        c.restore_target(1);
+        assert!(c.drain_recovery(1_000_000));
+        assert_eq!(c.dirty_data_lost(), 0);
+    }
+
+    #[test]
+    fn parity_repair_restores_redundancy_through_the_throttle() {
+        let t = trace(43, 1500);
+        let mut c = cluster(4, &t).with_parity_policy(ParityGroupPolicy::reo(3, 1));
+        for r in t.requests().iter().take(500) {
+            c.handle(r);
+        }
+        c.fail_target(2);
+        for r in t.requests().iter().skip(500).take(500) {
+            c.handle(r);
+        }
+        // Stripes re-encoded behind target 2's back marked it stale.
+        assert!(
+            c.parity_coverage.values().any(|cov| cov.stale.contains(&2)),
+            "outage-window writes must leave stale shards to repair"
+        );
+        c.restore_target(2);
+        assert!(
+            c.flight()
+                .events()
+                .iter()
+                .any(|e| e.kind == "parity-repair-queued"),
+            "a lossy outage queues repair work"
+        );
+        for r in t.requests().iter().skip(1000) {
+            c.handle(r);
+        }
+        assert!(c.drain_recovery(1_000_000));
+        assert_eq!(c.nodes[2].repair_pending, 0);
+        let snap = c.parity_snapshot();
+        assert!(snap.repair_warms > 0, "repairs drain through the queue");
+        assert!(snap.repairs_completed >= 1);
+        assert!(
+            snap.ttr_us.iter().any(|&ttr| ttr >= 0),
+            "at least one class records time-to-restored-redundancy: {snap:?}"
+        );
+        assert!(
+            !c.parity_coverage.values().any(|cov| cov.stale.contains(&2)),
+            "repair must clear every stale shard"
+        );
+        assert!(c
+            .flight()
+            .events()
+            .iter()
+            .any(|e| e.kind == "parity-repair-complete"));
+        assert_eq!(c.dirty_data_lost(), 0);
+    }
+
+    #[test]
+    fn parity_clusters_replay_identically() {
+        let t = trace(47, 900);
+        let run = |_| {
+            let mut c = cluster(4, &t).with_parity_policy(ParityGroupPolicy::reo(3, 1));
+            for r in t.requests().iter().take(300) {
+                c.handle(r);
+            }
+            c.fail_target(0);
+            for r in t.requests().iter().skip(300).take(300) {
+                c.handle(r);
+            }
+            c.restore_target(0);
+            for r in t.requests().iter().skip(600) {
+                c.handle(r);
+            }
+            c.drain_recovery(1_000_000);
+            (c.parity_snapshot(), c.target_rows(), c.metrics_snapshot())
+        };
+        let a = run(0);
+        let b = run(1);
+        assert_eq!(a.0, b.0, "parity counters must replay exactly");
+        assert_eq!(a.1, b.1, "per-target rows must replay exactly");
+        assert_eq!(a.2, b.2, "aggregates must replay exactly");
     }
 
     #[test]

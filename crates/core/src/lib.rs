@@ -59,8 +59,8 @@ mod runner;
 mod system;
 
 pub use cluster::{
-    ClusterHealth, ClusterRunResult, ClusterSystem, ReplicationPolicy, ReplicationSnapshot,
-    TargetState,
+    ClusterHealth, ClusterRunResult, ClusterSystem, FlashOverheadReport, ParityGroupPolicy,
+    ParityGroupSnapshot, ReplicationPolicy, ReplicationSnapshot, TargetState,
 };
 pub use config::{SchemeConfig, SystemConfig};
 pub use metrics::{

@@ -165,6 +165,9 @@ pub struct TargetMetricsRow {
     /// Requests for this target's range served at full speed from a
     /// replica holder's cache while the target was down.
     pub replica_serves: u64,
+    /// Reads of this target's range answered by degraded erasure
+    /// reconstruction from its parity-group peers while it was down.
+    pub parity_serves: u64,
     /// Completion sense-code mix as `(label, count)` rows sorted by
     /// label — the per-target honesty ledger (e.g. an unaffected target
     /// must show the same mix as a no-fault baseline).
@@ -486,6 +489,11 @@ pub struct MetricsSnapshot {
     /// the owning target was down (cluster runs with a replication
     /// policy; these count as successes in SLO availability).
     pub served_by_replica: u64,
+    /// Reads answered by degraded erasure reconstruction from the down
+    /// owner's parity-group peers (cluster runs with a parity-group
+    /// policy; honest `RecoveredError` serves that count as available in
+    /// SLO burn, like replica serves).
+    pub served_by_parity: u64,
     /// Per-redundancy-class breakdown (empty when nothing was recorded).
     pub classes: Vec<ClassSnapshot>,
     /// Per-target breakdown of a cluster run (empty on single-target
@@ -754,9 +762,11 @@ impl Accum {
             replayed_records: self.replayed_records,
             torn_tail_detected: self.torn_tail_detected,
             recovery_duration_us: self.recovery_duration_us,
-            // Replica serves are routed by the cluster layer; single-node
-            // metrics never observe them. The cluster fills this in.
+            // Replica and parity serves are routed by the cluster layer;
+            // single-node metrics never observe them. The cluster fills
+            // these in.
             served_by_replica: 0,
+            served_by_parity: 0,
             classes: self
                 .classes
                 .iter()

@@ -544,6 +544,16 @@ impl CacheSystem {
             .collect()
     }
 
+    /// Every cached user object with its size (system metadata excluded)
+    /// — the cluster layer's enumeration for flash-capacity accounting
+    /// (primary vs. redundancy bytes).
+    pub fn cached_user_entries(&self) -> Vec<(ObjectKey, ByteSize)> {
+        self.cached_keys()
+            .into_iter()
+            .filter_map(|k| self.cache.entry(k).map(|e| (k, e.size())))
+            .collect()
+    }
+
     /// Drops one cached object *without* flushing — pure invalidation for
     /// when the authoritative copy lives elsewhere (ownership migrated
     /// away, or the copy went stale behind an outage while writes landed

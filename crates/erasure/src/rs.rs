@@ -1,10 +1,16 @@
 //! Systematic Reed–Solomon encoding and reconstruction.
 
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use crate::gf256;
 use crate::matrix::Matrix;
+
+/// Widest stripe the fused row kernel gathers on the stack; wider
+/// geometries fall back to the per-source kernels.
+const MAX_FUSED: usize = 16;
 
 /// Errors returned by the Reed–Solomon codec.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -91,6 +97,47 @@ pub struct ReedSolomon {
     /// built once at construction so encode/delta paths never rebuild
     /// per-coefficient tables on the hot path.
     parity_kernels: Vec<gf256::MulTable>,
+    /// Per-erasure-pattern decode plans (see [`DecodePlan`]).
+    decode_cache: DecodeCache,
+}
+
+/// The decode work for one erasure pattern, ready to replay: the fused
+/// multiply kernels of the inverted survivor matrix, one row of `data`
+/// tables per missing data shard (rows in ascending missing-index
+/// order). Building a plan pays the matrix inversion plus table
+/// construction once; replaying it is pure [`gf256::mul_row_slice`]
+/// passes — the same kernel the encode path uses.
+#[derive(Clone, Debug)]
+struct DecodePlan {
+    /// Ascending indices of the data shards this plan recovers.
+    data_missing: Vec<usize>,
+    /// Row-major `data_missing.len() × data` multiply kernels mapping
+    /// the first `data` surviving shards onto each missing data shard.
+    kernels: Vec<gf256::MulTable>,
+}
+
+/// Cache of decode plans keyed by the present-shard bitmask (patterns
+/// are only cacheable while `total_shards() <= 64`; wider codes build
+/// plans per call). Interior mutability keeps
+/// [`ReedSolomon::reconstruct`] on `&self`; clones start cold because
+/// plans are derived state — cheap to rebuild, never part of codec
+/// identity.
+#[derive(Default)]
+struct DecodeCache(Mutex<HashMap<u64, Arc<DecodePlan>>>);
+
+impl Clone for DecodeCache {
+    fn clone(&self) -> Self {
+        DecodeCache::default()
+    }
+}
+
+impl fmt::Debug for DecodeCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let patterns = self.0.lock().map(|m| m.len()).unwrap_or(0);
+        f.debug_struct("DecodeCache")
+            .field("patterns", &patterns)
+            .finish()
+    }
 }
 
 impl ReedSolomon {
@@ -127,6 +174,7 @@ impl ReedSolomon {
             parity,
             encode_matrix,
             parity_kernels,
+            decode_cache: DecodeCache::default(),
         })
     }
 
@@ -250,7 +298,6 @@ impl ReedSolomon {
         // One register-resident pass over the destination for the whole
         // row; the stack array keeps the source-ref gather allocation-free
         // for every realistic stripe width.
-        const MAX_FUSED: usize = 16;
         let row = &self.parity_kernels[p * self.data..(p + 1) * self.data];
         if self.data <= MAX_FUSED {
             let mut srcs: [&[u8]; MAX_FUSED] = [&[]; MAX_FUSED];
@@ -333,31 +380,38 @@ impl ReedSolomon {
             .collect();
         let len = self.check_shards(&survivors)?;
 
-        // Rows of the encode matrix for the first `data` surviving shards
-        // form an invertible matrix; inverting it maps survivors back to the
-        // original data shards.
-        let survivor_rows = self
-            .encode_matrix
-            .select_rows(&present[..self.data.min(present.len())]);
-        let decode = survivor_rows
-            .inverse()
-            .expect("any data-many rows of an RS encode matrix are independent");
-
-        // Recover original data shards for any that are missing. Row
+        // Recover original data shards for any that are missing, through
+        // the per-pattern decode plan: the inverted survivor matrix is
+        // cached as fused multiply kernels, so repeated degraded reads of
+        // one erasure pattern replay pure `mul_row_slice` passes instead
+        // of re-inverting and rebuilding per-coefficient tables. Row
         // buffers are allocated up front (one block, outside the decode
         // loop) and moved into place afterwards — never cloned.
-        let data_missing: Vec<usize> = missing.iter().copied().filter(|&i| i < self.data).collect();
-        let mut recovered: Vec<Vec<u8>> = data_missing.iter().map(|_| vec![0u8; len]).collect();
-        for (&dm, out) in data_missing.iter().zip(recovered.iter_mut()) {
-            for (j, shard) in survivors.iter().enumerate() {
-                match decode.get(dm, j) {
-                    0 => {}
-                    1 => gf256::xor_slice(out, shard),
-                    c => gf256::MulTable::new(c).mul_slice_xor(out, shard),
+        let plan = self.decode_plan(&present);
+        let mut recovered: Vec<Vec<u8>> =
+            plan.data_missing.iter().map(|_| vec![0u8; len]).collect();
+        if self.data <= MAX_FUSED {
+            let mut srcs: [&[u8]; MAX_FUSED] = [&[]; MAX_FUSED];
+            for (slot, shard) in srcs.iter_mut().zip(&survivors) {
+                *slot = shard.as_slice();
+            }
+            for (row, out) in recovered.iter_mut().enumerate() {
+                gf256::mul_row_slice(
+                    &plan.kernels[row * self.data..(row + 1) * self.data],
+                    &srcs[..self.data],
+                    out,
+                );
+            }
+        } else {
+            for (row, out) in recovered.iter_mut().enumerate() {
+                let kernels = &plan.kernels[row * self.data..(row + 1) * self.data];
+                kernels[0].mul_slice(out, survivors[0]);
+                for (table, shard) in kernels[1..].iter().zip(&survivors[1..]) {
+                    table.mul_slice_xor(out, shard);
                 }
             }
         }
-        for (&i, buf) in data_missing.iter().zip(recovered) {
+        for (&i, buf) in plan.data_missing.iter().zip(recovered) {
             shards[i] = Some(buf);
         }
 
@@ -383,6 +437,75 @@ impl ReedSolomon {
             }
         }
         Ok(())
+    }
+
+    /// The decode plan for one erasure pattern, from the cache when the
+    /// pattern was seen before. `present` is the ascending list of
+    /// surviving shard indices (at least `data` of them — the caller's
+    /// too-many-missing check already ruled the rest out). The cache key
+    /// is the bitmask of the first `data` survivors: every present data
+    /// index sorts ahead of the parity ones, so that prefix determines
+    /// both the inverted matrix and the set of missing data shards.
+    fn decode_plan(&self, present: &[usize]) -> Arc<DecodePlan> {
+        let key = (self.total_shards() <= 64).then(|| {
+            present
+                .iter()
+                .take(self.data)
+                .fold(0u64, |mask, &i| mask | (1 << i))
+        });
+        if let Some(k) = key {
+            if let Some(plan) = self
+                .decode_cache
+                .0
+                .lock()
+                .expect("decode cache lock")
+                .get(&k)
+            {
+                return Arc::clone(plan);
+            }
+        }
+        let plan = Arc::new(self.build_decode_plan(present));
+        if let Some(k) = key {
+            self.decode_cache
+                .0
+                .lock()
+                .expect("decode cache lock")
+                .insert(k, Arc::clone(&plan));
+        }
+        plan
+    }
+
+    /// Inverts the survivor rows of the encode matrix and bakes the
+    /// result into fused multiply kernels (the slow path the cache
+    /// amortizes — one inversion plus `missing × data` table builds).
+    fn build_decode_plan(&self, present: &[usize]) -> DecodePlan {
+        // Rows of the encode matrix for the first `data` surviving shards
+        // form an invertible matrix; inverting it maps survivors back to
+        // the original data shards.
+        let survivor_rows = self
+            .encode_matrix
+            .select_rows(&present[..self.data.min(present.len())]);
+        let decode = survivor_rows
+            .inverse()
+            .expect("any data-many rows of an RS encode matrix are independent");
+        let data_missing: Vec<usize> = (0..self.data)
+            .filter(|i| present.binary_search(i).is_err())
+            .collect();
+        let kernels = data_missing
+            .iter()
+            .flat_map(|&dm| (0..self.data).map(move |j| (dm, j)))
+            .map(|(dm, j)| gf256::MulTable::new(decode.get(dm, j)))
+            .collect();
+        DecodePlan {
+            data_missing,
+            kernels,
+        }
+    }
+
+    /// Number of distinct erasure patterns currently cached (test and
+    /// diagnostics hook; the cache is otherwise invisible).
+    pub fn cached_decode_patterns(&self) -> usize {
+        self.decode_cache.0.lock().map(|m| m.len()).unwrap_or(0)
     }
 }
 
@@ -563,6 +686,86 @@ mod tests {
     }
 
     #[test]
+    fn decode_plans_are_cached_per_erasure_pattern() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 48);
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+        assert_eq!(rs.cached_decode_patterns(), 0);
+
+        let mut lose = |lost: &[usize]| {
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            for &i in lost {
+                shards[i] = None;
+            }
+            rs.reconstruct(&mut shards).unwrap();
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(s.as_ref().unwrap(), &full[i], "lost {lost:?}, shard {i}");
+            }
+        };
+        lose(&[1]);
+        lose(&[1]); // same pattern: replayed from the cache
+        assert_eq!(rs.cached_decode_patterns(), 1);
+        lose(&[4]);
+        lose(&[5]); // same survivor prefix {0,1,2,3} ⇒ same plan
+        assert_eq!(rs.cached_decode_patterns(), 2);
+        lose(&[0, 2]); // a new pattern pays one more inversion
+        assert_eq!(rs.cached_decode_patterns(), 3);
+
+        // A clone starts cold (plans are derived state, not identity).
+        let other = rs.clone();
+        assert_eq!(other.cached_decode_patterns(), 0);
+        lose(&[0, 2]);
+        assert_eq!(rs.cached_decode_patterns(), 3);
+    }
+
+    /// The per-byte reference decode: invert the survivor rows and apply
+    /// the coefficients with scalar [`gf256::mul`], one byte at a time —
+    /// no tables, no fused kernels, no caching.
+    fn per_byte_reference(rs: &ReedSolomon, holes: &[Option<Vec<u8>>]) -> Vec<Option<Vec<u8>>> {
+        let present: Vec<usize> = holes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_some().then_some(i))
+            .collect();
+        let survivors: Vec<&Vec<u8>> = present
+            .iter()
+            .take(rs.data)
+            .map(|&i| holes[i].as_ref().unwrap())
+            .collect();
+        let len = survivors.first().map_or(0, |s| s.len());
+        let decode = rs
+            .encode_matrix
+            .select_rows(&present[..rs.data.min(present.len())])
+            .inverse()
+            .unwrap();
+        let mut out: Vec<Option<Vec<u8>>> = holes.to_vec();
+        for dm in (0..rs.data).filter(|i| !present.contains(i)) {
+            let mut buf = vec![0u8; len];
+            for (b, slot) in buf.iter_mut().enumerate() {
+                for (j, shard) in survivors.iter().enumerate() {
+                    *slot ^= gf256::mul(decode.get(dm, j), shard[b]);
+                }
+            }
+            out[dm] = Some(buf);
+        }
+        for p in 0..rs.parity {
+            if out[rs.data + p].is_some() {
+                continue;
+            }
+            let mut buf = vec![0u8; len];
+            for (b, slot) in buf.iter_mut().enumerate() {
+                for d in 0..rs.data {
+                    let byte = out[d].as_ref().unwrap()[b];
+                    *slot ^= gf256::mul(rs.encode_matrix.get(rs.data + p, d), byte);
+                }
+            }
+            out[rs.data + p] = Some(buf);
+        }
+        out
+    }
+
+    #[test]
     fn errors_display_cleanly() {
         let e = CodecError::TooManyMissing {
             missing: 3,
@@ -639,6 +842,61 @@ mod tests {
             for (i, s) in shards.iter().enumerate() {
                 prop_assert_eq!(s.as_ref().unwrap(), &full[i]);
             }
+        }
+
+        /// Kernel equivalence: the cached-plan `mul_row_slice` decode
+        /// produces byte-identical output to the scalar per-byte
+        /// reference for every random geometry and erasure pattern —
+        /// on both a cold cache and a warm replay of the same pattern.
+        #[test]
+        fn cached_decode_matches_per_byte_reference(
+            m in 1usize..8,
+            k in 1usize..4,
+            len in 1usize..96,
+            seed: u64,
+        ) {
+            let rs = ReedSolomon::new(m, k).unwrap();
+            let data: Vec<Vec<u8>> = (0..m)
+                .map(|i| {
+                    (0..len)
+                        .map(|j| (seed
+                            .wrapping_mul(0x9E3779B97F4A7C15)
+                            .wrapping_add((i * 8191 + j) as u64) >> 31) as u8)
+                        .collect()
+                })
+                .collect();
+            let parity = rs.encode(&data).unwrap();
+            let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+
+            // Knock out 1..=k shards, deterministically from the seed.
+            let total = m + k;
+            let losses = 1 + (seed as usize) % k;
+            let mut holes: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            let mut idx = (seed as usize >> 8) % total;
+            let mut lost = 0usize;
+            while lost < losses {
+                if holes[idx].is_some() {
+                    holes[idx] = None;
+                    lost += 1;
+                }
+                idx = (idx + 1) % total;
+            }
+
+            let reference = per_byte_reference(&rs, &holes);
+            for _round in 0..2 {
+                // Round 0 builds the plan, round 1 replays it cached.
+                let mut shards = holes.clone();
+                rs.reconstruct(&mut shards).unwrap();
+                for (i, (got, want)) in shards.iter().zip(&reference).enumerate() {
+                    prop_assert_eq!(
+                        got.as_ref().unwrap(),
+                        want.as_ref().unwrap(),
+                        "shard {} diverged from the per-byte reference",
+                        i
+                    );
+                }
+            }
+            prop_assert!(rs.cached_decode_patterns() <= 1);
         }
     }
 }

@@ -267,6 +267,201 @@ impl PlacementRing {
     }
 }
 
+/// A seeded partition of cluster targets into parity groups of
+/// `data + parity` members each (`k` data + `m` parity shards per
+/// stripe). The map gives the cluster's erasure-coded protection mode
+/// the same three properties the ring gives placement:
+///
+/// * **Distinct targets, full coverage** — every member target belongs
+///   to exactly one group, and a group never lists a target twice, so
+///   a stripe's shards land on pairwise-distinct fault domains.
+/// * **Minimal movement** — a single join or leave changes *only* the
+///   one group that gains or loses the changed target; every other
+///   group's member list is untouched, so their stripes stay valid and
+///   repair work is contained to the affected group (the group-local
+///   repair property of Koh et al.).
+/// * **Determinism** — group choice and intra-group shard order are
+///   pure functions of `(seed, group, target)`, so equal seeds and
+///   equal membership histories produce byte-identical maps.
+///
+/// Joins fill the emptiest eligible group first (seeded hash as the
+/// tie-break) and only open a new group when every existing one is
+/// full; leaves shrink the member's group in place. A group with fewer
+/// than `data + parity` members still works, at reduced tolerance: a
+/// stripe needs `data` surviving members, so a group of `w` members
+/// tolerates `w - data` outages (zero or negative ⇒ no protection —
+/// honest, never inflated).
+///
+/// Like the ring, the map is membership-only: failure is not a
+/// membership change, so a downed target keeps its group slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParityGroupMap {
+    seed: u64,
+    data: usize,
+    parity: usize,
+    /// Member lists per group, each kept in seeded shard order. Groups
+    /// are never deleted (an emptied group is refilled by later joins),
+    /// so a group's index is a stable identity.
+    groups: Vec<Vec<TargetId>>,
+}
+
+impl ParityGroupMap {
+    /// An empty map for groups of `data + parity` targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is zero (a stripe needs at least one data
+    /// shard).
+    pub fn new(seed: u64, data: usize, parity: usize) -> Self {
+        assert!(data > 0, "a parity group needs at least one data shard");
+        ParityGroupMap {
+            seed,
+            data,
+            parity,
+            groups: Vec::new(),
+        }
+    }
+
+    /// The construction seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Data shards per group (`k`).
+    pub fn data_shards(&self) -> usize {
+        self.data
+    }
+
+    /// Parity shards per group (`m`).
+    pub fn parity_shards(&self) -> usize {
+        self.parity
+    }
+
+    /// Full group width (`k + m`).
+    pub fn width(&self) -> usize {
+        self.data + self.parity
+    }
+
+    /// Number of member targets.
+    pub fn len(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when no target is a member.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` if `target` is a member.
+    pub fn contains(&self, target: TargetId) -> bool {
+        self.group_of(target).is_some()
+    }
+
+    /// Member targets in ascending id order.
+    pub fn targets(&self) -> Vec<TargetId> {
+        let mut out: Vec<TargetId> = self.groups.iter().flatten().copied().collect();
+        out.sort();
+        out
+    }
+
+    /// Non-empty groups, each member list in seeded shard order (the
+    /// first [`ParityGroupMap::data_shards`] members hold data shards,
+    /// the rest parity).
+    pub fn groups(&self) -> Vec<Vec<TargetId>> {
+        self.groups
+            .iter()
+            .filter(|g| !g.is_empty())
+            .cloned()
+            .collect()
+    }
+
+    /// The group index `target` belongs to, if a member. Group indices
+    /// are stable across joins and leaves of *other* targets.
+    pub fn group_of(&self, target: TargetId) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&target))
+    }
+
+    /// Members of group `group` in seeded shard order; empty for
+    /// out-of-range or emptied groups.
+    pub fn members(&self, group: usize) -> &[TargetId] {
+        self.groups.get(group).map_or(&[], Vec::as_slice)
+    }
+
+    /// The other members of `target`'s group (the shard holders a
+    /// degraded reconstruction of `target`'s range reads from).
+    pub fn peers_of(&self, target: TargetId) -> Vec<TargetId> {
+        match self.group_of(target) {
+            Some(g) => self.groups[g]
+                .iter()
+                .copied()
+                .filter(|&t| t != target)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Concurrent outages group `group` tolerates while still serving
+    /// its members' ranges by reconstruction: a stripe needs
+    /// [`ParityGroupMap::data_shards`] surviving members, so a group of
+    /// `w` members tolerates `w - data` (clamped at zero — a short
+    /// group is honestly unprotected, never over-promised).
+    pub fn tolerance_of(&self, group: usize) -> usize {
+        self.members(group).len().saturating_sub(self.data)
+    }
+
+    /// The seeded intra-group order position of `target` in `group` —
+    /// shard order is a pure function of `(seed, group, target)`, with
+    /// the id as tie-break.
+    fn shard_position(&self, group: usize, target: TargetId) -> (u64, usize) {
+        (
+            mix64(self.seed ^ mix64(group as u64).rotate_left(32) ^ mix64(target.0 as u64)),
+            target.0,
+        )
+    }
+
+    /// Joins `target`: it enters the *emptiest* group with a free slot
+    /// (seeded hash breaks ties), or opens a new group when every
+    /// existing one is full. Exactly one group changes. Returns `false`
+    /// (map untouched) if the target is already a member.
+    pub fn add_target(&mut self, target: TargetId) -> bool {
+        if self.contains(target) {
+            return false;
+        }
+        let width = self.width();
+        let chosen = self
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.len() < width)
+            .min_by_key(|&(gid, g)| (g.len(), self.shard_position(gid, target)))
+            .map(|(gid, _)| gid);
+        let gid = match chosen {
+            Some(gid) => gid,
+            None => {
+                self.groups.push(Vec::with_capacity(width));
+                self.groups.len() - 1
+            }
+        };
+        let pos = self.shard_position(gid, target);
+        let at = self.groups[gid].partition_point(|&t| self.shard_position(gid, t) < pos);
+        self.groups[gid].insert(at, target);
+        true
+    }
+
+    /// Leaves `target`: its group shrinks in place; every other group
+    /// is untouched (the emptied slot is refilled by a later join).
+    /// Returns `false` if the target was not a member.
+    pub fn remove_target(&mut self, target: TargetId) -> bool {
+        match self.group_of(target) {
+            Some(gid) => {
+                self.groups[gid].retain(|&t| t != target);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,5 +579,87 @@ mod tests {
         for k in &moved {
             assert_eq!(after.target_of(*k), Some(TargetId(4)));
         }
+    }
+
+    fn groups_of(seed: u64, data: usize, parity: usize, n: usize) -> ParityGroupMap {
+        let mut map = ParityGroupMap::new(seed, data, parity);
+        for t in 0..n {
+            map.add_target(TargetId(t));
+        }
+        map
+    }
+
+    #[test]
+    fn parity_groups_partition_the_targets() {
+        let map = groups_of(9, 3, 2, 13);
+        assert_eq!(map.len(), 13);
+        assert_eq!(map.width(), 5);
+        let all: Vec<TargetId> = (0..13).map(TargetId).collect();
+        assert_eq!(map.targets(), all);
+        for g in map.groups() {
+            assert!(g.len() <= map.width());
+            let mut sorted = g.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), g.len(), "duplicate target in group {g:?}");
+        }
+        // 13 targets at width 5 fill groups before opening new ones:
+        // no more than ceil(13/5) = 3 groups exist.
+        assert_eq!(map.groups().len(), 3);
+    }
+
+    #[test]
+    fn parity_group_tolerance_is_honest_for_short_groups() {
+        let mut map = ParityGroupMap::new(4, 3, 2);
+        for t in 0..4 {
+            map.add_target(TargetId(t));
+        }
+        // One group of 4 members for a k=3 code: tolerance 1, not 2.
+        assert_eq!(map.groups().len(), 1);
+        assert_eq!(map.tolerance_of(0), 1);
+        map.add_target(TargetId(4));
+        assert_eq!(map.tolerance_of(0), 2);
+        map.remove_target(TargetId(1));
+        map.remove_target(TargetId(2));
+        assert_eq!(
+            map.tolerance_of(0),
+            0,
+            "a 3-member k=3 group protects nothing"
+        );
+    }
+
+    #[test]
+    fn parity_group_leave_only_touches_the_members_group() {
+        let before = groups_of(21, 2, 1, 9);
+        let gone = TargetId(4);
+        let hit = before.group_of(gone).unwrap();
+        let mut after = before.clone();
+        assert!(after.remove_target(gone));
+        assert!(!after.contains(gone));
+        for gid in 0..before.groups.len() {
+            if gid == hit {
+                continue;
+            }
+            assert_eq!(
+                after.members(gid),
+                before.members(gid),
+                "group {gid} was disturbed"
+            );
+        }
+        // The rejoin refills the same slot and restores the exact map.
+        after.add_target(gone);
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn parity_peers_exclude_the_member_itself() {
+        let map = groups_of(33, 3, 1, 8);
+        for t in 0..8 {
+            let t = TargetId(t);
+            let peers = map.peers_of(t);
+            assert!(!peers.contains(&t));
+            assert_eq!(peers.len(), map.members(map.group_of(t).unwrap()).len() - 1);
+        }
+        assert!(map.peers_of(TargetId(99)).is_empty());
     }
 }

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use reo_osd::{ObjectId, ObjectKey, PartitionId};
-use reo_placement::{PlacementRing, TargetId};
+use reo_placement::{ParityGroupMap, PlacementRing, TargetId};
 
 fn key(i: u64) -> ObjectKey {
     ObjectKey::user(PartitionId::FIRST, ObjectId::new(0x20000 + i))
@@ -146,6 +146,133 @@ proptest! {
         for k in keys {
             prop_assert_eq!(after.replicas_of(k, factor), before.replicas_of(k, factor));
         }
+    }
+
+    /// Parity groups are distinct-target and cover every member: each
+    /// target is in exactly one group, no group lists a target twice,
+    /// and no group exceeds the k+m width.
+    #[test]
+    fn parity_groups_are_distinct_and_cover_all_targets(
+        seed in 0u64..1 << 48,
+        data in 1usize..6,
+        parity in 0usize..4,
+        n in 1usize..24,
+    ) {
+        let mut map = ParityGroupMap::new(seed, data, parity);
+        for t in 0..n {
+            map.add_target(TargetId(t));
+        }
+        prop_assert_eq!(map.len(), n);
+        let expected: Vec<TargetId> = (0..n).map(TargetId).collect();
+        prop_assert_eq!(map.targets(), expected, "groups must cover every target exactly once");
+        let mut seen = 0usize;
+        for g in map.groups() {
+            prop_assert!(!g.is_empty());
+            prop_assert!(g.len() <= data + parity, "group wider than k+m: {:?}", g);
+            let mut sorted = g.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), g.len(), "duplicate target in group {:?}", g);
+            seen += g.len();
+        }
+        prop_assert_eq!(seen, n);
+        for t in 0..n {
+            let t = TargetId(t);
+            let gid = map.group_of(t).unwrap();
+            prop_assert!(map.members(gid).contains(&t));
+            prop_assert!(!map.peers_of(t).contains(&t));
+        }
+    }
+
+    /// Minimal movement: a single join or leave only remaps the one
+    /// group that gains or loses the changed target — every other
+    /// group's member list (and shard order) is byte-identical.
+    #[test]
+    fn parity_join_and_leave_touch_only_one_group(
+        seed in 0u64..1 << 48,
+        data in 1usize..6,
+        parity in 0usize..4,
+        n in 2usize..20,
+        victim in 0usize..20,
+    ) {
+        let victim = TargetId(victim % n);
+        let mut before = ParityGroupMap::new(seed, data, parity);
+        for t in 0..n {
+            before.add_target(TargetId(t));
+        }
+
+        // Join: the newcomer lands in exactly one group; all groups it
+        // is absent from match the prior map exactly.
+        let mut joined = before.clone();
+        prop_assert!(joined.add_target(TargetId(n)));
+        let gained = joined.group_of(TargetId(n)).unwrap();
+        for gid in 0..joined.groups().len().max(before.groups().len()) {
+            if gid == gained {
+                let without: Vec<TargetId> = joined
+                    .members(gid)
+                    .iter()
+                    .copied()
+                    .filter(|&t| t != TargetId(n))
+                    .collect();
+                prop_assert_eq!(
+                    without.as_slice(), before.members(gid),
+                    "join reshuffled survivors inside the gaining group"
+                );
+            } else {
+                prop_assert_eq!(
+                    joined.members(gid), before.members(gid),
+                    "join disturbed unrelated group {}", gid
+                );
+            }
+        }
+
+        // Leave: only the victim's group shrinks; every other group's
+        // member list (and shard order) is byte-identical.
+        let hit = before.group_of(victim).unwrap();
+        let mut left = before.clone();
+        prop_assert!(left.remove_target(victim));
+        for gid in 0..before.groups().len() {
+            if gid == hit {
+                let without: Vec<TargetId> = before
+                    .members(gid)
+                    .iter()
+                    .copied()
+                    .filter(|&t| t != victim)
+                    .collect();
+                prop_assert_eq!(
+                    left.members(gid), without.as_slice(),
+                    "leave reshuffled survivors inside the losing group"
+                );
+            } else {
+                prop_assert_eq!(
+                    left.members(gid), before.members(gid),
+                    "leave disturbed unrelated group {}", gid
+                );
+            }
+        }
+    }
+
+    /// Same seed + op sequence → identical parity maps; a different
+    /// seed shuffles assignment for enough targets to matter.
+    #[test]
+    fn parity_map_seed_determinism(seed in 0u64..1 << 48) {
+        let build = |s: u64| {
+            let mut map = ParityGroupMap::new(s, 3, 2);
+            for t in 0..17 {
+                map.add_target(TargetId(t));
+            }
+            map.remove_target(TargetId(5));
+            map.add_target(TargetId(17));
+            map
+        };
+        prop_assert_eq!(build(seed), build(seed), "same seed and ops must agree");
+        let other = build(seed ^ 0x5bd1_e995);
+        let same = build(seed);
+        let differs = (0..17).filter(|&t| t != 5).any(|t| {
+            let t = TargetId(t);
+            same.members(same.group_of(t).unwrap()) != other.members(other.group_of(t).unwrap())
+        });
+        prop_assert!(differs, "a different seed should produce a different grouping");
     }
 
     /// Same seed + membership → same map; a different seed shuffles it.

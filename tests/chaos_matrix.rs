@@ -38,13 +38,22 @@
 //! crash mid-failback — each replayed for byte-identical fingerprints,
 //! with the divergence ledger required to balance (100% of injected
 //! divergences detected and repaired) after quiesce.
+//!
+//! Parity-level schedules drive a `k=4, m=2` parity group over six
+//! targets: a single outage served by degraded reconstruction, a
+//! double outage inside the `m=2` tolerance (still served by parity,
+//! zero beyond-tolerance serves), a second outage landing while the
+//! first target's group-aware repair is still draining, and a
+//! cluster-wide crash mid-repair — each replayed for byte-identical
+//! fingerprints (outcome sequence, per-target rows, and parity
+//! counters), with zero acked dirty-write loss after quiesce.
 
 use std::collections::BTreeMap;
 
 use reo_repro::core::DeviceId;
 use reo_repro::core::{
-    CacheSystem, ClusterSystem, HealthState, PlannedEvent, ReplicationPolicy, SchemeConfig,
-    SystemConfig, TargetState,
+    CacheSystem, ClusterSystem, HealthState, ParityGroupPolicy, PlannedEvent, ReplicationPolicy,
+    SchemeConfig, SystemConfig, TargetState,
 };
 use reo_repro::osd::{ObjectKey, SenseCode};
 use reo_repro::sim::rng::DetRng;
@@ -653,6 +662,216 @@ fn replica_chaos_matrix_seed_42() {
 #[test]
 fn replica_chaos_matrix_seed_1234() {
     replica_chaos_matrix(1234);
+}
+
+// ---- parity-level (cross-target parity group) chaos ----------------------
+
+/// The four parity-level schedules, driven under a `k=4, m=2` parity
+/// group spanning six targets (one group, tolerance 2).
+fn parity_schedule(which: usize, n: usize) -> (usize, Vec<(usize, PlannedEvent)>) {
+    match which {
+        // Single outage: the downed member's covered range is served by
+        // degraded reconstruction from the surviving five shards until
+        // the restore's group-aware repair completes.
+        0 => (
+            6,
+            vec![
+                (n / 4, PlannedEvent::FailTarget(1)),
+                (5 * n / 8, PlannedEvent::RestoreTarget(1)),
+            ],
+        ),
+        // Double outage inside the m=2 tolerance: both downed ranges
+        // keep reconstructing from the remaining four shards — never a
+        // beyond-tolerance fallback.
+        1 => (
+            6,
+            vec![
+                (n / 4, PlannedEvent::FailTarget(0)),
+                (n / 4 + 20, PlannedEvent::FailTarget(1)),
+                (5 * n / 8, PlannedEvent::RestoreTarget(0)),
+                (5 * n / 8 + 20, PlannedEvent::RestoreTarget(1)),
+            ],
+        ),
+        // Outage during repair: a second member dies while the first
+        // restore's shard re-syncs are still draining through the
+        // throttle — the group must keep serving and both repairs must
+        // complete after quiesce.
+        2 => (
+            6,
+            vec![
+                (n / 5, PlannedEvent::FailTarget(2)),
+                (2 * n / 5, PlannedEvent::RestoreTarget(2)),
+                (n / 2, PlannedEvent::FailTarget(3)),
+                (3 * n / 4, PlannedEvent::RestoreTarget(3)),
+            ],
+        ),
+        // Crash mid-repair: every node power-cuts and journal-replays
+        // while the restored member's redundancy is still being
+        // re-established.
+        _ => (
+            6,
+            vec![
+                (n / 5, PlannedEvent::FailTarget(2)),
+                (2 * n / 5, PlannedEvent::RestoreTarget(2)),
+                (2 * n / 5 + 5, PlannedEvent::Crash),
+            ],
+        ),
+    }
+}
+
+fn drive_parity_cluster(t: &Trace, which: usize, label: &str) -> ClusterDrive {
+    let cache = t.summary().data_set_bytes.scale(0.10);
+    let mut config = SystemConfig::paper_defaults(SchemeConfig::Reo { reserve: 0.20 }, cache);
+    config.chunk_size = ByteSize::from_kib(16);
+    config.checkpoint_period = 300;
+    config.dirty_flush_watermark = 1.0;
+    let n = t.requests().len();
+    let (targets, events) = parity_schedule(which, n);
+    let mut cluster =
+        ClusterSystem::new(config, targets).with_parity_policy(ParityGroupPolicy::reo(4, 2));
+    cluster.populate(t.objects());
+
+    let mut fingerprint = Vec::with_capacity(n);
+    let mut acked: BTreeMap<ObjectKey, ByteSize> = BTreeMap::new();
+    let mut next = 0usize;
+    for (i, r) in t.requests().iter().enumerate() {
+        while next < events.len() && events[next].0 == i {
+            cluster.apply_event(events[next].1);
+            next += 1;
+        }
+        let outcome = cluster.handle(r);
+        assert_ne!(
+            outcome.sense,
+            SenseCode::Failure,
+            "{label}: request {i} returned an opaque failure"
+        );
+        fingerprint.push((outcome.sense, outcome.hit, outcome.degraded));
+        if r.op == Operation::Write
+            && matches!(
+                outcome.sense,
+                SenseCode::Success | SenseCode::RecoveredError
+            )
+        {
+            acked.insert(r.key, r.size);
+        }
+    }
+    assert_eq!(next, events.len(), "{label}: every event must fire");
+    ClusterDrive {
+        cluster,
+        fingerprint,
+        acked,
+    }
+}
+
+fn parity_chaos_run(seed: u64, which: usize) {
+    let label = format!("seed {seed} parity-schedule {which}");
+    let t = trace(seed);
+
+    // Determinism: the same seed and schedule replay an identical
+    // outcome sequence, identical per-target rows, and identical
+    // parity counters.
+    let mut drive = drive_parity_cluster(&t, which, &label);
+    let replay = drive_parity_cluster(&t, which, &label);
+    assert_eq!(
+        drive.fingerprint, replay.fingerprint,
+        "{label}: replay diverged"
+    );
+    assert_eq!(
+        drive.cluster.target_rows(),
+        replay.cluster.target_rows(),
+        "{label}: per-target rows diverged"
+    );
+    assert_eq!(
+        drive.cluster.parity_snapshot(),
+        replay.cluster.parity_snapshot(),
+        "{label}: parity counters diverged"
+    );
+
+    let cluster = &mut drive.cluster;
+    let mid_run = cluster.parity_snapshot();
+    assert!(
+        mid_run.stripe_updates > 0,
+        "{label}: acked writes must keep encoding stripes"
+    );
+    assert!(
+        mid_run.parity_serves > 0,
+        "{label}: the downed range must be served by degraded reconstruction"
+    );
+    if which <= 1 {
+        // Single and double outage both sit inside the m=2 tolerance:
+        // no covered read may fall back beyond it.
+        assert_eq!(
+            mid_run.beyond_tolerance_serves, 0,
+            "{label}: outages within tolerance must never exceed it"
+        );
+    }
+
+    // Quiesce: restore anything still down, drain rebuilds and the
+    // group-aware repair queue, and require the cluster to heal with
+    // every queued repair completed.
+    for target in 0..cluster.targets_created() {
+        if cluster.target_state(target) == TargetState::Down {
+            cluster.apply_event(PlannedEvent::RestoreTarget(target));
+        }
+    }
+    assert!(
+        cluster.drain_recovery(1_000_000),
+        "{label}: rebuild/repair queues must drain"
+    );
+    let snap = cluster.parity_snapshot();
+    assert!(
+        snap.repairs_completed >= 1,
+        "{label}: every restore must complete its group repair ({snap:?})"
+    );
+
+    let health = cluster.health();
+    assert_eq!(health.down, 0, "{label}: {health:?}");
+    assert_eq!(health.label, "healthy", "{label}: {health:?}");
+    assert_eq!(
+        cluster.dirty_data_lost(),
+        0,
+        "{label}: acknowledged dirty data lost"
+    );
+
+    // Every acknowledged write still serves through the ring — from
+    // the owner's cache, a reconstruction, or the backend.
+    for (&key, &size) in &drive.acked {
+        let read = Request {
+            key,
+            op: Operation::Read,
+            size,
+        };
+        let outcome = cluster.handle(&read);
+        assert!(
+            matches!(
+                outcome.sense,
+                SenseCode::Success | SenseCode::RecoveredError | SenseCode::MediumError
+            ),
+            "{label}: acked write {key:?} unreadable after quiesce ({:?})",
+            outcome.sense
+        );
+    }
+}
+
+fn parity_chaos_matrix(seed: u64) {
+    for which in 0..4 {
+        parity_chaos_run(seed, which);
+    }
+}
+
+#[test]
+fn parity_chaos_matrix_seed_11() {
+    parity_chaos_matrix(11);
+}
+
+#[test]
+fn parity_chaos_matrix_seed_42() {
+    parity_chaos_matrix(42);
+}
+
+#[test]
+fn parity_chaos_matrix_seed_1234() {
+    parity_chaos_matrix(1234);
 }
 
 /// A second device failure landing mid-rebuild, inside Reo's Dirty-class
