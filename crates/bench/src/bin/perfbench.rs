@@ -13,11 +13,16 @@
 //!    through `parallel_map_ordered`: once forced serial, once at
 //!    `sweep_threads()`. On a multi-core box the speedup point shows the
 //!    pool's scaling; on one core it honestly reports ~1x.
-//! 3. **End-to-end request rate** — one timed Reo-20% run, reported as
-//!    requests per second.
+//! 3. **End-to-end request rate** — one timed Reo-20% run through the
+//!    sharded request engine (1 shard = the inline serial path;
+//!    `REO_SHARDS` overrides), reported as requests per second.
 //! 4. **Tracing overhead** — paired off/on runs; the most favorable
 //!    pair ratio estimates the enabled tracer's intrinsic cost (the
 //!    `exp_observability` binary gates the same number at ≤ 2%).
+//! 5. **Shard metadata path** — index-resolve throughput against the
+//!    shard-loop mirrors: per-request dispatch (a batch-of-one round
+//!    trip per request) vs batched dispatch at the configured batch
+//!    cap, on the same transport. Batching must clear 2x.
 //!
 //! The full run report (with the `perf` records appended) is validated
 //! against the exporter schema and written to `BENCH_perf.json` in the
@@ -30,6 +35,7 @@ use reo_bench::export::{self, PerfPoint};
 use reo_bench::{build_system, run_once, RunScale};
 use reo_core::{
     parallel_map_ordered, sweep_threads, ExperimentPlan, ExperimentRunner, SchemeConfig,
+    ShardedSystem,
 };
 use reo_erasure::{delta, gf256, ReedSolomon};
 use reo_sim::ByteSize;
@@ -104,7 +110,11 @@ fn kernel_benches(min_secs: f64, points: &mut Vec<PerfPoint>) {
     });
     assert_eq!(parity, ref_parity, "kernel and reference encodes agree");
 
-    // Reconstruct one lost data shard from the survivors.
+    // Reconstruct one lost data shard from the survivors. The first
+    // iteration builds the erasure pattern's decode plan; every later
+    // one reuses it from the codec's plan cache, so the reported figure
+    // is the warm (steady-state) decode path — the cache-hit-rate
+    // record below documents how warm the measurement ran.
     let encoded = rs.encode(&data).expect("encode");
     let mut template: Vec<Option<Vec<u8>>> = data.iter().cloned().map(Some).collect();
     template.extend(encoded.into_iter().map(Some));
@@ -114,6 +124,8 @@ fn kernel_benches(min_secs: f64, points: &mut Vec<PerfPoint>) {
         shards[0] = None;
         rs.reconstruct(&mut shards).expect("reconstruct");
     });
+    let (plan_hits, plan_misses) = rs.decode_cache_stats();
+    let plan_hit_rate = plan_hits as f64 / (plan_hits + plan_misses).max(1) as f64;
 
     // Delta-update every parity shard for one rewritten data shard.
     let old = &data[1];
@@ -142,6 +154,11 @@ fn kernel_benches(min_secs: f64, points: &mut Vec<PerfPoint>) {
         bench: "erasure_reconstruct".to_string(),
         value: reconstruct,
         unit: "GiB/s".to_string(),
+    });
+    points.push(PerfPoint {
+        bench: "decode_plan_cache_hit_rate".to_string(),
+        value: plan_hit_rate,
+        unit: "ratio".to_string(),
     });
     points.push(PerfPoint {
         bench: "erasure_delta_update".to_string(),
@@ -179,6 +196,9 @@ fn sweep_benches(scale: RunScale, points: &mut Vec<PerfPoint>) {
     };
 
     let threads = sweep_threads();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let start = Instant::now();
     let serial = parallel_map_ordered(&cells, 1, run_cell);
     let serial_s = start.elapsed().as_secs_f64();
@@ -186,6 +206,20 @@ fn sweep_benches(scale: RunScale, points: &mut Vec<PerfPoint>) {
     let parallel = parallel_map_ordered(&cells, threads, run_cell);
     let parallel_s = start.elapsed().as_secs_f64();
     assert_eq!(serial, parallel, "pool result order matches serial");
+
+    // The speedup *measurement* always ships; the *assert* only runs
+    // where a speedup is physically possible. On a 1-core host the pool
+    // degenerates to the serial loop and ~1.0x is the honest (and
+    // correct) figure — asserting > 1 there would fail every run.
+    let speedup = serial_s / parallel_s;
+    if cores > 1 && threads > 1 {
+        assert!(
+            speedup >= 0.8,
+            "parallel sweep slower than serial on {cores} cores: {speedup:.2}x"
+        );
+    } else {
+        println!("  [sweep speedup assert skipped: {cores} core(s), {threads} thread(s)]");
+    }
 
     points.push(PerfPoint {
         bench: "sweep_serial".to_string(),
@@ -199,13 +233,18 @@ fn sweep_benches(scale: RunScale, points: &mut Vec<PerfPoint>) {
     });
     points.push(PerfPoint {
         bench: "sweep_speedup_x".to_string(),
-        value: serial_s / parallel_s,
+        value: speedup,
         unit: "x".to_string(),
     });
     points.push(PerfPoint {
         bench: "sweep_threads".to_string(),
         value: threads as f64,
         unit: "threads".to_string(),
+    });
+    points.push(PerfPoint {
+        bench: "available_cores".to_string(),
+        value: cores as f64,
+        unit: "cores".to_string(),
     });
     points.push(PerfPoint {
         bench: "sweep_cells".to_string(),
@@ -253,6 +292,91 @@ fn tracing_benches(scale: RunScale, points: &mut Vec<PerfPoint>) {
     });
 }
 
+/// The shard metadata hot path: index resolves against the shard-loop
+/// mirrors, per-request dispatch vs batched dispatch on the *same*
+/// transport (forced service threads even at one shard, so the only
+/// variable is how many requests share a loop turn).
+fn shard_benches(scale: RunScale, min_secs: f64, points: &mut Vec<PerfPoint>) {
+    let spec = match scale {
+        RunScale::Quick => WorkloadSpec::medium().with_objects(50).with_requests(2_000),
+        RunScale::Full => WorkloadSpec::medium(),
+    };
+    let trace = spec.generate(42);
+    let scheme = SchemeConfig::Reo { reserve: 0.20 };
+    let batch = 64usize;
+    let build_engine = |shards: usize| {
+        // Run the trace once first so the mirrors hold a realistic,
+        // fully warmed index; resolve commits nothing, so the measured
+        // path is pure metadata.
+        let mut system = build_system(scheme, &trace, 0.10, ByteSize::from_kib(64));
+        ExperimentRunner::run(&mut system, &trace, &ExperimentPlan::normal_run());
+        ShardedSystem::with_service_threads(system, shards, batch)
+    };
+    let requests = trace.requests();
+    let resolves_per_s = |engine: &mut ShardedSystem, per_request: bool| -> f64 {
+        let mut window = || {
+            let start = Instant::now();
+            let mut done = 0u64;
+            loop {
+                if per_request {
+                    for request in requests {
+                        engine.resolve_batch(std::slice::from_ref(request));
+                    }
+                } else {
+                    engine.resolve_batch(requests);
+                }
+                done += requests.len() as u64;
+                if start.elapsed().as_secs_f64() >= min_secs {
+                    break;
+                }
+            }
+            done as f64 / start.elapsed().as_secs_f64()
+        };
+        let first = window();
+        window().max(first)
+    };
+
+    let mut one = build_engine(1);
+    let per_request = resolves_per_s(&mut one, true);
+    let batched = resolves_per_s(&mut one, false);
+    drop(one);
+    let mut four = build_engine(4);
+    let batched_4 = resolves_per_s(&mut four, false);
+    drop(four);
+
+    assert!(
+        batched >= 2.0 * per_request,
+        "batched metadata path must clear 2x per-request dispatch \
+         (batched {batched:.0} vs per-request {per_request:.0} resolves/s)"
+    );
+
+    points.push(PerfPoint {
+        bench: "shard_meta_per_request".to_string(),
+        value: per_request,
+        unit: "resolves/s".to_string(),
+    });
+    points.push(PerfPoint {
+        bench: "shard_meta_batched".to_string(),
+        value: batched,
+        unit: "resolves/s".to_string(),
+    });
+    points.push(PerfPoint {
+        bench: "shard_meta_batch_speedup_x".to_string(),
+        value: batched / per_request,
+        unit: "x".to_string(),
+    });
+    points.push(PerfPoint {
+        bench: "shard_meta_batched_4shards".to_string(),
+        value: batched_4,
+        unit: "resolves/s".to_string(),
+    });
+    points.push(PerfPoint {
+        bench: "shard_batch".to_string(),
+        value: batch as f64,
+        unit: "requests".to_string(),
+    });
+}
+
 fn main() {
     let scale = RunScale::from_args();
     let min_secs = match scale {
@@ -261,27 +385,38 @@ fn main() {
     };
     let mut points = Vec::new();
 
-    println!("### perfbench — erasure kernels, sweep pool, end-to-end rate, tracing overhead");
+    println!("### perfbench — erasure kernels, sweep pool, shard metadata path, end-to-end rate");
     kernel_benches(min_secs, &mut points);
     sweep_benches(scale, &mut points);
     tracing_benches(scale, &mut points);
+    shard_benches(scale, min_secs, &mut points);
 
     // End-to-end rate plus the run report BENCH_perf.json is built from.
+    // The run goes through the sharded engine at its configured shard
+    // count (1 = the inline serial path; `REO_SHARDS` overrides), so
+    // this figure *is* the engine's throughput, not a path around it.
     let spec = match scale {
         RunScale::Quick => WorkloadSpec::medium().with_objects(50).with_requests(500),
         RunScale::Full => WorkloadSpec::medium(),
     };
     let trace = spec.generate(42);
     let scheme = SchemeConfig::Reo { reserve: 0.20 };
-    let mut system = build_system(scheme, &trace, 0.10, ByteSize::from_kib(64));
+    let mut engine =
+        ShardedSystem::from_config(build_system(scheme, &trace, 0.10, ByteSize::from_kib(64)));
     let start = Instant::now();
-    let result = ExperimentRunner::run(&mut system, &trace, &ExperimentPlan::normal_run());
+    let result = ExperimentRunner::run_sharded(&mut engine, &trace, &ExperimentPlan::normal_run());
     let secs = start.elapsed().as_secs_f64();
     points.push(PerfPoint {
         bench: "end_to_end_requests".to_string(),
         value: result.totals.requests as f64 / secs,
         unit: "req/s".to_string(),
     });
+    points.push(PerfPoint {
+        bench: "engine_shards".to_string(),
+        value: engine.shard_count() as f64,
+        unit: "shards".to_string(),
+    });
+    let system = engine.into_system();
 
     for p in &points {
         println!("{:<36} {:>12.3} {}", p.bench, p.value, p.unit);

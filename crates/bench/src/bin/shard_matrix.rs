@@ -1,0 +1,170 @@
+//! Shard matrix — the determinism and throughput gate for the sharded
+//! request engine, run on the release build in CI.
+//!
+//! For one fixed seed it runs the eventful reference workload through
+//! the serial runner, then through the sharded engine at shard counts
+//! 1, 2, 4, and 8, and asserts the canonical JSONL document is
+//! **byte-identical** in every case. It then measures the metadata
+//! resolve path per-request vs batched on the forced-service-thread
+//! transport and asserts batching clears its 2x floor, and checks the
+//! inline 1-shard end-to-end rate against an absolute throughput floor.
+//!
+//! The diagnostic document written to `results/shard_matrix.jsonl`
+//! carries the per-shard occupancy rows (`kind: "shard"`), which are
+//! deliberately excluded from canonical reports — they depend on the
+//! shard count, and canonical output must not.
+//!
+//! Usage:
+//!   cargo run --release -p reo-bench --bin shard_matrix [-- --quick]
+
+use std::time::Instant;
+
+use reo_bench::{build_system, export, RunScale};
+use reo_core::{ExperimentPlan, ExperimentRunner, PlannedEvent, SchemeConfig, ShardedSystem};
+use reo_flashsim::DeviceId;
+use reo_sim::ByteSize;
+use reo_workload::{Trace, WorkloadSpec};
+
+/// Floors enforced on the release build. The end-to-end floor is set
+/// far below the measured ~50k req/s so scheduler noise on shared CI
+/// runners cannot trip it, while still catching order-of-magnitude
+/// regressions (an accidental channel round trip per request, say).
+const END_TO_END_FLOOR_REQ_S: f64 = 5_000.0;
+const BATCH_SPEEDUP_FLOOR_X: f64 = 2.0;
+
+fn eventful_plan() -> ExperimentPlan {
+    ExperimentPlan {
+        warmup_passes: 1,
+        events: vec![
+            (200, PlannedEvent::FailDevice(DeviceId(1))),
+            (400, PlannedEvent::InsertSpare(DeviceId(1))),
+        ],
+        sample_every: 150,
+    }
+}
+
+fn reference_trace(scale: RunScale) -> Trace {
+    let spec = match scale {
+        RunScale::Quick => WorkloadSpec::medium().with_objects(50).with_requests(600),
+        RunScale::Full => WorkloadSpec::medium().with_objects(80).with_requests(4_000),
+    };
+    spec.generate(42)
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let scheme = SchemeConfig::Reo { reserve: 0.20 };
+    let plan = eventful_plan();
+    let trace = reference_trace(scale);
+
+    println!("### shard matrix — byte-identity, batching floor, throughput floor");
+
+    // Serial reference document.
+    let mut system = build_system(scheme, &trace, 0.10, ByteSize::from_kib(64));
+    let result = ExperimentRunner::run(&mut system, &trace, &plan);
+    let serial = export::jsonl(&export::collect_run_report(
+        "shard_matrix",
+        &scheme.label(),
+        &system,
+        &result,
+    ));
+    export::validate_jsonl(&serial).expect("serial reference document must validate");
+    println!(
+        "serial reference: {} requests, {} bytes of JSONL",
+        trace.requests().len(),
+        serial.len()
+    );
+
+    // Byte-identity across the shard matrix; keep the last engine for
+    // the diagnostic document.
+    let mut diagnostic = None;
+    for shards in [1usize, 2, 4, 8] {
+        let system = build_system(scheme, &trace, 0.10, ByteSize::from_kib(64));
+        let mut engine = ShardedSystem::new(system, shards, 64);
+        let result = ExperimentRunner::run_sharded(&mut engine, &trace, &plan);
+        let sharded = export::jsonl(&export::collect_run_report(
+            "shard_matrix",
+            &scheme.label(),
+            engine.system(),
+            &result,
+        ));
+        assert_eq!(
+            serial, sharded,
+            "canonical JSONL diverged from serial at shards={shards}"
+        );
+        println!("shards={shards}: canonical JSONL byte-identical to serial");
+        if shards == 4 {
+            let mut report = export::collect_run_report(
+                "shard_matrix",
+                &scheme.label(),
+                engine.system(),
+                &result,
+            );
+            report.totals = engine.totals_with_shards();
+            diagnostic = Some(report);
+        }
+    }
+
+    // Batched vs per-request metadata dispatch on the same transport.
+    let mut warmed = build_system(scheme, &trace, 0.10, ByteSize::from_kib(64));
+    ExperimentRunner::run(&mut warmed, &trace, &ExperimentPlan::normal_run());
+    let mut engine = ShardedSystem::with_service_threads(warmed, 1, 64);
+    let requests = trace.requests();
+    let min_secs = match scale {
+        RunScale::Quick => 0.1,
+        RunScale::Full => 0.3,
+    };
+    let mut rate = |per_request: bool| {
+        let start = Instant::now();
+        let mut done = 0u64;
+        loop {
+            if per_request {
+                for request in requests {
+                    engine.resolve_batch(std::slice::from_ref(request));
+                }
+            } else {
+                engine.resolve_batch(requests);
+            }
+            done += requests.len() as u64;
+            if start.elapsed().as_secs_f64() >= min_secs {
+                break;
+            }
+        }
+        done as f64 / start.elapsed().as_secs_f64()
+    };
+    let per_request = rate(true);
+    let batched = rate(false);
+    let speedup = batched / per_request;
+    println!(
+        "metadata path: per-request {per_request:.0} resolves/s, batched {batched:.0} resolves/s ({speedup:.1}x)"
+    );
+    assert!(
+        speedup >= BATCH_SPEEDUP_FLOOR_X,
+        "batched metadata dispatch below its {BATCH_SPEEDUP_FLOOR_X}x floor: {speedup:.2}x"
+    );
+    drop(engine);
+
+    // Inline 1-shard end-to-end throughput floor.
+    let system = build_system(scheme, &trace, 0.10, ByteSize::from_kib(64));
+    let mut engine = ShardedSystem::new(system, 1, 64);
+    let start = Instant::now();
+    let result = ExperimentRunner::run_sharded(&mut engine, &trace, &ExperimentPlan::normal_run());
+    let rate = result.totals.requests as f64 / start.elapsed().as_secs_f64();
+    println!("end-to-end (1 shard, inline): {rate:.0} req/s");
+    assert!(
+        rate >= END_TO_END_FLOOR_REQ_S,
+        "inline end-to-end rate below its floor: {rate:.0} req/s < {END_TO_END_FLOOR_REQ_S} req/s"
+    );
+
+    // Diagnostic document with per-shard rows.
+    let report = diagnostic.expect("4-shard diagnostic report was collected");
+    let text = export::jsonl(&report);
+    let summary = export::validate_jsonl(&text).expect("diagnostic document must validate");
+    let shard_rows = summary.kinds.get("shard").copied().unwrap_or(0);
+    assert_eq!(
+        shard_rows, 4,
+        "diagnostic document must carry one row per shard"
+    );
+    export::write_jsonl("shard_matrix", &report);
+    println!("[shard matrix passed: byte-identity at shards 1/2/4/8, {shard_rows} diagnostic shard rows]");
+}

@@ -1,0 +1,96 @@
+//! The sharded request engine must be invisible in every exported
+//! artifact: for a fixed seed, the canonical JSONL document must be
+//! byte-identical whether the run went through the serial runner or the
+//! sharded engine at any shard count — faults, sampling, and warm-up
+//! included. (This is the tentpole determinism gate; the CI shard
+//! matrix re-asserts it on the release build via `REO_SHARDS`.)
+
+use reo_bench::{build_system, export};
+use reo_core::{ExperimentPlan, ExperimentRunner, PlannedEvent, SchemeConfig, ShardedSystem};
+use reo_flashsim::DeviceId;
+use reo_sim::ByteSize;
+use reo_workload::WorkloadSpec;
+
+fn eventful_plan() -> ExperimentPlan {
+    ExperimentPlan {
+        warmup_passes: 1,
+        events: vec![
+            (200, PlannedEvent::FailDevice(DeviceId(1))),
+            (400, PlannedEvent::InsertSpare(DeviceId(1))),
+        ],
+        sample_every: 150,
+    }
+}
+
+fn export_serial(scheme: SchemeConfig, plan: &ExperimentPlan) -> String {
+    let trace = WorkloadSpec::medium()
+        .with_objects(50)
+        .with_requests(600)
+        .generate(42);
+    let mut system = build_system(scheme, &trace, 0.1, ByteSize::from_kib(64));
+    let result = ExperimentRunner::run(&mut system, &trace, plan);
+    export::jsonl(&export::collect_run_report(
+        "shard_determinism",
+        &scheme.label(),
+        &system,
+        &result,
+    ))
+}
+
+fn export_sharded(scheme: SchemeConfig, plan: &ExperimentPlan, shards: usize) -> String {
+    let trace = WorkloadSpec::medium()
+        .with_objects(50)
+        .with_requests(600)
+        .generate(42);
+    let system = build_system(scheme, &trace, 0.1, ByteSize::from_kib(64));
+    let mut engine = ShardedSystem::new(system, shards, 64);
+    let result = ExperimentRunner::run_sharded(&mut engine, &trace, plan);
+    export::jsonl(&export::collect_run_report(
+        "shard_determinism",
+        &scheme.label(),
+        engine.system(),
+        &result,
+    ))
+}
+
+#[test]
+fn sharded_jsonl_is_byte_identical_to_serial() {
+    let plan = eventful_plan();
+    for scheme in [SchemeConfig::Reo { reserve: 0.20 }, SchemeConfig::Parity(1)] {
+        let serial = export_serial(scheme, &plan);
+        export::validate_jsonl(&serial).expect("serial document is a real report");
+        for shards in [1usize, 2, 8] {
+            let sharded = export_sharded(scheme, &plan, shards);
+            assert_eq!(
+                serial, sharded,
+                "JSONL diverged: scheme={scheme:?} shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shard_batch_size_is_also_invisible() {
+    let plan = eventful_plan();
+    let scheme = SchemeConfig::Reo { reserve: 0.10 };
+    let trace = WorkloadSpec::medium()
+        .with_objects(50)
+        .with_requests(500)
+        .generate(9);
+    let run = |batch: usize| {
+        let system = build_system(scheme, &trace, 0.1, ByteSize::from_kib(64));
+        let mut engine = ShardedSystem::new(system, 4, batch);
+        let result = ExperimentRunner::run_sharded(&mut engine, &trace, &plan);
+        export::jsonl(&export::collect_run_report(
+            "shard_determinism",
+            &scheme.label(),
+            engine.system(),
+            &result,
+        ))
+    };
+    let baseline = run(64);
+    export::validate_jsonl(&baseline).expect("baseline document is a real report");
+    for batch in [1usize, 3, 17, 256] {
+        assert_eq!(baseline, run(batch), "JSONL diverged at batch={batch}");
+    }
+}

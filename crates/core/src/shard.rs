@@ -1,0 +1,942 @@
+//! The sharded concurrent request engine.
+//!
+//! The object namespace is hash-partitioned ([`shard_of`]) across N
+//! *shard loops* — actor-style server threads in the eccfs
+//! `ROCacheServer` mold: each owns an mpsc work queue and a private
+//! slice of index state, blocks on `recv`, then drains up to the batch
+//! cap of additionally queued messages per loop turn so queue
+//! bookkeeping amortizes across a whole batch.
+//!
+//! # Determinism model
+//!
+//! Shard loops hold *mirrors* of their slice of the cache index (key →
+//! size/class/dirty), not authoritative state. A request batch runs in
+//! two phases:
+//!
+//! 1. **Resolve** (parallel): each shard looks its requests up in its
+//!    mirror and returns presence/class *hints* — the metadata hot
+//!    path. No key clones, no per-request allocation: request and hint
+//!    buffers are recycled between the engine and the shards.
+//! 2. **Commit** (serial, authoritative): the engine replays the batch
+//!    through [`CacheSystem::handle`] in original request order. The
+//!    commit never trusts a hint — a hint made stale by an earlier
+//!    request of the same batch is *counted*
+//!    ([`ShardMetricsRow::stale_hints`]), never an error.
+//!
+//! Because the commit path is exactly the serial engine in exactly the
+//! serial order, every observable output (metrics, JSONL exports, the
+//! virtual clock) is byte-identical for *any* shard count — the same
+//! discipline `parallel_map_ordered` uses for sweep cells. Each shard
+//! holds a fork of the authoritative [`SimClock`]
+//! ([`SimClock::fork`]) that only ever catches *up* to the
+//! authoritative instant at batch barriers ([`SimClock::advance_to`]),
+//! so merged time is partition-invariant too.
+//!
+//! After each commit the engine drains the cache manager's changelog
+//! ([`reo_cache::CacheManager::take_changes`]) and ships each delta to
+//! its owning shard, so mirrors are exact again at the barrier.
+//!
+//! With one shard (the default config) the engine runs *inline*: no
+//! threads, no channels, no changelog — byte-for-byte the serial path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use reo_cache::IndexDelta;
+use reo_osd::{ObjectClass, ObjectKey};
+use reo_sim::{SimClock, SimTime};
+use reo_workload::Request;
+
+use crate::metrics::{MetricsSnapshot, ShardMetricsRow};
+use crate::system::{CacheSystem, RequestOutcome};
+
+/// The shard owning `key` among `shards` partitions: splitmix64 over
+/// the key's `(PID, OID)` bits, reduced modulo the shard count. Stable
+/// across runs, platforms, and hash-map seeds — the partition is part
+/// of the engine's deterministic contract.
+pub fn shard_of(key: ObjectKey, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard count must be positive");
+    let mut x = key
+        .pid()
+        .as_u64()
+        .rotate_left(32)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        ^ key.oid().as_u64();
+    // splitmix64 finalizer: avalanches low-entropy OID sequences.
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+/// What a shard's mirror knows about one key — the resolve phase's
+/// entire vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct MirrorEntry {
+    size: u64,
+    class: ObjectClass,
+    dirty: bool,
+}
+
+/// One resolved hint, aligned by `index` with the engine's batch.
+#[derive(Clone, Copy, Debug)]
+struct ResolveHint {
+    index: u32,
+    present: bool,
+    /// The mirrored class/dirty bits ride along so admission-adjacent
+    /// consumers (and the diagnostics tests) need no second round trip.
+    #[allow(dead_code)]
+    class: ObjectClass,
+    #[allow(dead_code)]
+    dirty: bool,
+}
+
+/// Work messages of one shard loop. Buffers travel inside the messages
+/// and come back in the replies, so steady state allocates nothing.
+enum ShardMsg {
+    /// Resolve hints for `requests` into `hints` (cleared, recycled).
+    Resolve {
+        requests: Vec<(u32, Request)>,
+        hints: Vec<ResolveHint>,
+    },
+    /// Apply index deltas at a request barrier and advance the shard
+    /// clock to the authoritative `barrier` instant.
+    Apply {
+        deltas: Vec<IndexDelta>,
+        barrier: SimTime,
+    },
+    /// Report the shard's diagnostic row.
+    Snapshot,
+    /// Drain and exit.
+    Shutdown,
+}
+
+enum ShardReply {
+    Resolved {
+        requests: Vec<(u32, Request)>,
+        hints: Vec<ResolveHint>,
+    },
+    Applied {
+        deltas: Vec<IndexDelta>,
+    },
+    Snapshot(Box<ShardMetricsRow>),
+}
+
+/// The state one shard loop owns (runs on its own thread).
+struct ShardActor {
+    id: usize,
+    batch_cap: usize,
+    mirror: HashMap<ObjectKey, MirrorEntry>,
+    mirror_bytes: u64,
+    clock: SimClock,
+    rx: Receiver<ShardMsg>,
+    tx: Sender<ShardReply>,
+    queue_depth: Arc<AtomicUsize>,
+    requests: u64,
+    batches: u64,
+    max_batch: u64,
+    mirror_hits: u64,
+}
+
+impl ShardActor {
+    /// The server loop: block for one message, then — the eccfs
+    /// `ROCacheServer` drain — keep pulling already-queued messages up
+    /// to the batch cap before blocking again, so a burst of small
+    /// dispatches amortizes into one loop turn.
+    fn run(mut self) {
+        loop {
+            let Ok(msg) = self.rx.recv() else { return };
+            self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            if !self.process(msg) {
+                return;
+            }
+            let mut turns = 1usize;
+            while turns < self.batch_cap {
+                match self.rx.try_recv() {
+                    Ok(msg) => {
+                        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        turns += 1;
+                        if !self.process(msg) {
+                            return;
+                        }
+                    }
+                    Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                }
+            }
+        }
+    }
+
+    /// Handles one message; `false` means shutdown.
+    fn process(&mut self, msg: ShardMsg) -> bool {
+        match msg {
+            ShardMsg::Resolve {
+                requests,
+                mut hints,
+            } => {
+                hints.clear();
+                for &(index, ref req) in &requests {
+                    match self.mirror.get(&req.key) {
+                        Some(e) => {
+                            self.mirror_hits += 1;
+                            hints.push(ResolveHint {
+                                index,
+                                present: true,
+                                class: e.class,
+                                dirty: e.dirty,
+                            });
+                        }
+                        None => hints.push(ResolveHint {
+                            index,
+                            present: false,
+                            class: ObjectClass::ColdClean,
+                            dirty: false,
+                        }),
+                    }
+                }
+                self.requests += requests.len() as u64;
+                self.batches += 1;
+                self.max_batch = self.max_batch.max(requests.len() as u64);
+                // A dropped engine mid-teardown is not an error.
+                let _ = self.tx.send(ShardReply::Resolved { requests, hints });
+            }
+            ShardMsg::Apply {
+                mut deltas,
+                barrier,
+            } => {
+                for &delta in &deltas {
+                    match delta {
+                        IndexDelta::Upsert {
+                            key,
+                            size,
+                            class,
+                            dirty,
+                        } => {
+                            let entry = MirrorEntry {
+                                size: size.as_bytes(),
+                                class,
+                                dirty,
+                            };
+                            if let Some(old) = self.mirror.insert(key, entry) {
+                                self.mirror_bytes -= old.size;
+                            }
+                            self.mirror_bytes += entry.size;
+                        }
+                        IndexDelta::Remove { key } => {
+                            if let Some(old) = self.mirror.remove(&key) {
+                                self.mirror_bytes -= old.size;
+                            }
+                        }
+                    }
+                }
+                deltas.clear();
+                // The shard clock only catches *up* to the
+                // authoritative instant — it never drags the merge
+                // forward, so merged time is partition-invariant.
+                self.clock.advance_to(barrier);
+                let _ = self.tx.send(ShardReply::Applied { deltas });
+            }
+            ShardMsg::Snapshot => {
+                let row = ShardMetricsRow {
+                    shard: self.id,
+                    requests: self.requests,
+                    batches: self.batches,
+                    max_batch: self.max_batch,
+                    queue_depth: self.queue_depth.load(Ordering::Relaxed) as u64,
+                    mirror_hits: self.mirror_hits,
+                    mirror_objects: self.mirror.len() as u64,
+                    mirror_bytes: self.mirror_bytes,
+                    stale_hints: 0, // engine-side; merged by the caller
+                };
+                let _ = self.tx.send(ShardReply::Snapshot(Box::new(row)));
+            }
+            ShardMsg::Shutdown => return false,
+        }
+        true
+    }
+}
+
+/// The engine's handle on one shard loop.
+struct ShardHandle {
+    tx: Sender<ShardMsg>,
+    rx: Receiver<ShardReply>,
+    /// Shared handle on the shard's forked clock (clones share state,
+    /// so the engine merges clocks without a message round trip).
+    clock: SimClock,
+    queue_depth: Arc<AtomicUsize>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ShardHandle {
+    fn send(&self, msg: ShardMsg) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .send(msg)
+            .expect("shard loop alive while the engine holds its handle");
+    }
+}
+
+/// The shard loops, owned separately from the engine state so teardown
+/// (shutdown + join) lives in exactly one `Drop` and
+/// [`ShardedSystem::into_system`] can destructure the engine.
+#[derive(Default)]
+struct ShardPool {
+    handles: Vec<ShardHandle>,
+}
+
+impl ShardPool {
+    fn shutdown(&mut self) {
+        for handle in &self.handles {
+            let _ = handle.tx.send(ShardMsg::Shutdown);
+        }
+        for handle in &mut self.handles {
+            if let Some(join) = handle.join.take() {
+                let _ = join.join();
+            }
+        }
+        self.handles.clear();
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The sharded concurrent request engine: a [`CacheSystem`] fronted by
+/// N shard loops (see the module docs for the two-phase batch model and
+/// the determinism argument). Construct via [`ShardedSystem::new`] (or
+/// [`ShardedSystem::from_config`] to honor the `REO_SHARDS` override),
+/// drive it with [`ShardedSystem::handle_batch`] or through
+/// [`crate::ExperimentRunner::run_sharded`].
+pub struct ShardedSystem {
+    system: CacheSystem,
+    pool: ShardPool,
+    batch: usize,
+    /// Per-shard routed request buffers, recycled every batch.
+    routes: Vec<Vec<(u32, Request)>>,
+    /// Per-shard hint buffers riding the message cycle.
+    hint_pool: Vec<Vec<ResolveHint>>,
+    /// Flat per-request presence hints of the current batch.
+    presence: Vec<bool>,
+    /// Which shards the current batch touched, in shard order.
+    touched: Vec<usize>,
+    /// Changelog drain buffer.
+    deltas: Vec<IndexDelta>,
+    /// Per-shard routed delta buffers.
+    delta_routes: Vec<Vec<IndexDelta>>,
+    /// Commit-side contradictions of resolve hints, per shard.
+    stale_hints: Vec<u64>,
+    /// The last committed outcome (so batch-of-one keeps
+    /// [`CacheSystem::handle`]'s signature).
+    last_outcome: Option<RequestOutcome>,
+}
+
+impl ShardedSystem {
+    /// Wraps `system` in an engine with `shards` shard loops draining
+    /// up to `batch` requests per turn. `shards <= 1` runs inline (no
+    /// threads); [`ShardedSystem::with_service_threads`] forces loops
+    /// even for one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn new(system: CacheSystem, shards: usize, batch: usize) -> Self {
+        Self::build(system, shards.max(1), batch, false)
+    }
+
+    /// Engine honoring the system's configured `shards`/`shard_batch`
+    /// with the `REO_SHARDS` environment override applied.
+    pub fn from_config(system: CacheSystem) -> Self {
+        let shards = crate::runner::engine_shards(system.config().shards);
+        let batch = system.config().shard_batch;
+        Self::new(system, shards, batch)
+    }
+
+    /// Like [`ShardedSystem::new`] but always spawns shard loops, even
+    /// for a single shard — the metadata-service benchmarks use this so
+    /// per-request vs batched dispatch compare on the same transport.
+    pub fn with_service_threads(system: CacheSystem, shards: usize, batch: usize) -> Self {
+        Self::build(system, shards.max(1), batch, true)
+    }
+
+    fn build(mut system: CacheSystem, shards: usize, batch: usize, force_threads: bool) -> Self {
+        assert!(batch > 0, "shard batch must be positive");
+        let threaded = shards > 1 || force_threads;
+        let mut pool = ShardPool::default();
+        if threaded {
+            system.cache_manager_mut().set_changelog(true);
+            let origin = system.clock();
+            for id in 0..shards {
+                let (tx, actor_rx) = channel();
+                let (actor_tx, rx) = channel();
+                let queue_depth = Arc::new(AtomicUsize::new(0));
+                let fork = origin.fork();
+                let actor = ShardActor {
+                    id,
+                    batch_cap: batch,
+                    mirror: HashMap::new(),
+                    mirror_bytes: 0,
+                    clock: fork.clone(),
+                    rx: actor_rx,
+                    tx: actor_tx,
+                    queue_depth: Arc::clone(&queue_depth),
+                    requests: 0,
+                    batches: 0,
+                    max_batch: 0,
+                    mirror_hits: 0,
+                };
+                let join = std::thread::Builder::new()
+                    .name(format!("reo-shard-{id}"))
+                    .spawn(move || actor.run())
+                    .expect("spawn shard loop");
+                pool.handles.push(ShardHandle {
+                    tx,
+                    rx,
+                    clock: fork,
+                    queue_depth,
+                    join: Some(join),
+                });
+            }
+        }
+        let mut engine = ShardedSystem {
+            system,
+            pool,
+            batch,
+            routes: (0..shards).map(|_| Vec::new()).collect(),
+            hint_pool: (0..shards).map(|_| Vec::new()).collect(),
+            presence: Vec::new(),
+            touched: Vec::new(),
+            deltas: Vec::new(),
+            delta_routes: (0..shards).map(|_| Vec::new()).collect(),
+            stale_hints: vec![0; shards],
+            last_outcome: None,
+        };
+        if threaded {
+            // Seed the mirrors with the pre-existing index (populate /
+            // warm-up state); all future sync is incremental.
+            let count = shards;
+            for delta in engine.system.cache_manager().index_deltas() {
+                engine.delta_routes[shard_of(delta.key(), count)].push(delta);
+            }
+            engine.apply_deltas();
+        }
+        engine
+    }
+
+    /// `true` when requests go through shard loops (threads) rather
+    /// than inline.
+    pub fn is_threaded(&self) -> bool {
+        !self.pool.handles.is_empty()
+    }
+
+    /// The shard count (1 in inline mode).
+    pub fn shard_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// The per-turn batch cap.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The wrapped system (events, metrics, exports).
+    pub fn system(&self) -> &CacheSystem {
+        &self.system
+    }
+
+    /// Mutable access to the wrapped system (the runner injects planned
+    /// events and resets metrics through this).
+    pub fn system_mut(&mut self) -> &mut CacheSystem {
+        &mut self.system
+    }
+
+    /// Tears the shard loops down and returns the wrapped system.
+    pub fn into_system(mut self) -> CacheSystem {
+        self.pool.shutdown();
+        let ShardedSystem { mut system, .. } = self;
+        system.cache_manager_mut().set_changelog(false);
+        system
+    }
+
+    /// Handles one request end to end. Exactly
+    /// [`CacheSystem::handle`]'s semantics for any shard count.
+    pub fn handle(&mut self, request: &Request) -> RequestOutcome {
+        if !self.is_threaded() {
+            return self.system.handle(request);
+        }
+        self.handle_batch(std::slice::from_ref(request));
+        self.last_outcome
+            .take()
+            .expect("batch of one produced one outcome")
+    }
+
+    /// Handles a batch: parallel resolve on the shard loops, then the
+    /// serial authoritative commit in request order, then the barrier
+    /// (mirror sync + clock merge). See the module docs.
+    pub fn handle_batch(&mut self, requests: &[Request]) {
+        if requests.is_empty() {
+            return;
+        }
+        if !self.is_threaded() {
+            for request in requests {
+                self.last_outcome = Some(self.system.handle(request));
+            }
+            return;
+        }
+        for chunk in requests.chunks(self.batch) {
+            self.handle_chunk(chunk);
+        }
+    }
+
+    fn handle_chunk(&mut self, requests: &[Request]) {
+        let hints = self.resolve(requests);
+        debug_assert_eq!(hints, requests.len());
+        let count = self.shard_count();
+        // Serial authoritative commit, original request order.
+        for (i, request) in requests.iter().enumerate() {
+            let present = self.system.cache_manager().contains(request.key);
+            if present != self.presence[i] {
+                self.stale_hints[shard_of(request.key, count)] += 1;
+            }
+            self.last_outcome = Some(self.system.handle(request));
+        }
+        self.barrier();
+    }
+
+    /// The resolve phase: route requests to their shards, dispatch, and
+    /// gather presence hints into `self.presence` (index-aligned with
+    /// `requests`). Returns the number of hints gathered.
+    fn resolve(&mut self, requests: &[Request]) -> usize {
+        self.presence.clear();
+        self.presence.resize(requests.len(), false);
+        self.touched.clear();
+        let count = self.shard_count();
+        for (i, request) in requests.iter().enumerate() {
+            let s = shard_of(request.key, count);
+            if self.routes[s].is_empty() {
+                self.touched.push(s);
+            }
+            self.routes[s].push((i as u32, *request));
+        }
+        self.touched.sort_unstable();
+        for &s in &self.touched {
+            let batch = std::mem::take(&mut self.routes[s]);
+            let hints = std::mem::take(&mut self.hint_pool[s]);
+            self.pool.handles[s].send(ShardMsg::Resolve {
+                requests: batch,
+                hints,
+            });
+        }
+        // Collect in shard order — deterministic, and each recv blocks
+        // only until that shard's loop turns.
+        let mut resolved = 0usize;
+        for &s in &self.touched {
+            match self.pool.handles[s].rx.recv() {
+                Ok(ShardReply::Resolved { requests, hints }) => {
+                    for hint in &hints {
+                        self.presence[hint.index as usize] = hint.present;
+                        resolved += 1;
+                    }
+                    self.routes[s] = requests;
+                    self.routes[s].clear();
+                    self.hint_pool[s] = hints;
+                }
+                Ok(_) => unreachable!("resolve is answered by Resolved"),
+                Err(_) => panic!("shard loop died mid-resolve"),
+            }
+        }
+        resolved
+    }
+
+    /// The request barrier: drain the commit's changelog to the owning
+    /// shards and merge every shard clock up to the authoritative
+    /// instant (the cluster `merge_clocks` pattern — forks only catch
+    /// up, so merged time is partition-invariant).
+    fn barrier(&mut self) {
+        let count = self.shard_count();
+        self.system
+            .cache_manager_mut()
+            .take_changes(&mut self.deltas);
+        if self.deltas.is_empty() {
+            let barrier = self.system.clock().now();
+            for handle in &self.pool.handles {
+                handle.clock.advance_to(barrier);
+            }
+            return;
+        }
+        for delta in self.deltas.drain(..) {
+            self.delta_routes[shard_of(delta.key(), count)].push(delta);
+        }
+        self.apply_deltas();
+    }
+
+    /// Ships routed deltas to their shards (clock-merging as part of
+    /// the same message) and recycles the buffers.
+    fn apply_deltas(&mut self) {
+        let barrier = self.system.clock().now();
+        self.touched.clear();
+        for (s, route) in self.delta_routes.iter().enumerate() {
+            if route.is_empty() {
+                // No mirror change, but the clock still merges.
+                self.pool.handles[s].clock.advance_to(barrier);
+            } else {
+                self.touched.push(s);
+            }
+        }
+        for &s in &self.touched {
+            let deltas = std::mem::take(&mut self.delta_routes[s]);
+            self.pool.handles[s].send(ShardMsg::Apply { deltas, barrier });
+        }
+        for &s in &self.touched {
+            match self.pool.handles[s].rx.recv() {
+                Ok(ShardReply::Applied { deltas }) => {
+                    self.delta_routes[s] = deltas;
+                }
+                Ok(_) => unreachable!("apply is answered by Applied"),
+                Err(_) => panic!("shard loop died mid-apply"),
+            }
+        }
+    }
+
+    /// The metadata hot path: resolve a batch of requests against the
+    /// shard mirrors *without* committing anything, returning how many
+    /// keys resolved present. This is the path the perf baselines
+    /// measure per-request-dispatch vs batched; in inline mode it
+    /// probes the authoritative index directly.
+    pub fn resolve_batch(&mut self, requests: &[Request]) -> usize {
+        if !self.is_threaded() {
+            return requests
+                .iter()
+                .filter(|r| self.system.cache_manager().contains(r.key))
+                .count();
+        }
+        let mut present = 0usize;
+        for chunk in requests.chunks(self.batch) {
+            self.resolve(chunk);
+            present += self.presence.iter().filter(|&&p| p).count();
+        }
+        present
+    }
+
+    /// The totals snapshot with the per-shard diagnostic rows filled
+    /// in. The canonical export path never calls this — shard rows are
+    /// definitionally shard-count-dependent, so they stay off the
+    /// byte-identity surface.
+    pub fn totals_with_shards(&mut self) -> MetricsSnapshot {
+        let mut snapshot = self.system.metrics().totals();
+        snapshot.shards = self.shard_rows();
+        snapshot
+    }
+
+    /// The per-shard diagnostic rows (empty in inline mode).
+    pub fn shard_rows(&mut self) -> Vec<ShardMetricsRow> {
+        let mut rows = Vec::with_capacity(self.pool.handles.len());
+        for handle in &self.pool.handles {
+            handle.send(ShardMsg::Snapshot);
+        }
+        for (s, handle) in self.pool.handles.iter().enumerate() {
+            match handle.rx.recv() {
+                Ok(ShardReply::Snapshot(mut row)) => {
+                    row.stale_hints = self.stale_hints[s];
+                    rows.push(*row);
+                }
+                Ok(_) => unreachable!("snapshot is answered by Snapshot"),
+                Err(_) => panic!("shard loop died mid-snapshot"),
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use reo_osd::{ObjectId, PartitionId};
+
+    fn key(pid: u64, oid: u64) -> ObjectKey {
+        // `new`, not `user`: the partition function must behave on
+        // reserved/metadata keys too.
+        ObjectKey::new(PartitionId::new(pid), ObjectId::new(oid))
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 8, 16] {
+            for oid in 0..256u64 {
+                let k = key(1, 0x2_0000 + oid);
+                let s = shard_of(k, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(k, shards), "must be deterministic");
+            }
+        }
+        // One shard degenerates to the identity partition.
+        assert_eq!(shard_of(key(7, 42), 1), 0);
+    }
+
+    proptest! {
+        /// Every key maps to exactly one shard: the partition is a
+        /// function (deterministic, in-range) and two evaluations never
+        /// disagree — the property the mirror-routing correctness of
+        /// the engine rests on.
+        #[test]
+        fn every_key_maps_to_exactly_one_shard(
+            pid in 0u64..1 << 32,
+            oid in any::<u64>(),
+            shards in 1usize..32,
+        ) {
+            let k = key(pid, oid);
+            let owners: Vec<usize> =
+                (0..4).map(|_| shard_of(k, shards)).collect();
+            prop_assert!(owners[0] < shards);
+            prop_assert!(owners.iter().all(|&s| s == owners[0]));
+        }
+
+        /// The partition spreads keys: with enough sequential OIDs every
+        /// shard owns at least one (no dead shard loops).
+        #[test]
+        fn sequential_oids_touch_every_shard(
+            base in 0u64..1 << 40,
+            shards in 2usize..9,
+        ) {
+            let mut seen = vec![false; shards];
+            for oid in 0..512u64 {
+                seen[shard_of(key(1, base + oid), shards)] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s), "dead shard: {seen:?}");
+        }
+    }
+
+    use crate::config::{SchemeConfig, SystemConfig};
+    use crate::runner::{ExperimentPlan, ExperimentRunner, PlannedEvent};
+    use reo_flashsim::DeviceId;
+    use reo_sim::ByteSize;
+    use reo_workload::{Locality, Trace, WorkloadSpec};
+
+    fn trace(seed: u64) -> Trace {
+        WorkloadSpec {
+            objects: 60,
+            mean_object_size: ByteSize::from_kib(96),
+            size_sigma: 0.5,
+            locality: Locality::Medium,
+            requests: 500,
+            write_ratio: 0.3,
+            temporal_reuse: Locality::Medium.temporal_reuse(),
+            reuse_window: 80,
+        }
+        .generate(seed)
+    }
+
+    fn system(trace: &Trace) -> CacheSystem {
+        let cache = trace.summary().data_set_bytes.scale(0.15);
+        let mut cfg = SystemConfig::paper_defaults(SchemeConfig::Reo { reserve: 0.10 }, cache);
+        cfg.chunk_size = ByteSize::from_kib(16);
+        CacheSystem::new(cfg)
+    }
+
+    /// A plan that exercises every barrier interaction: warm-up,
+    /// mid-run faults, and exact-index sampling.
+    fn eventful_plan() -> ExperimentPlan {
+        ExperimentPlan {
+            warmup_passes: 1,
+            events: vec![
+                (150, PlannedEvent::FailDevice(DeviceId(1))),
+                (300, PlannedEvent::InsertSpare(DeviceId(1))),
+            ],
+            sample_every: 100,
+        }
+    }
+
+    /// The tentpole's determinism gate at the result level: totals,
+    /// event outcomes (windows included), and time-series points must
+    /// be *equal* — not just close — for any shard count, barriers,
+    /// faults, and sampling included. (The byte-level JSONL identity is
+    /// asserted again on exported documents in the bench crate.)
+    #[test]
+    fn sharded_results_equal_serial_for_any_shard_count() {
+        let t = trace(11);
+        let plan = eventful_plan();
+        let mut serial_sys = system(&t);
+        let serial = ExperimentRunner::run(&mut serial_sys, &t, &plan);
+
+        for shards in [1usize, 2, 8] {
+            for batch in [1usize, 7, 64] {
+                let mut engine = ShardedSystem::new(system(&t), shards, batch);
+                let sharded = ExperimentRunner::run_sharded(&mut engine, &t, &plan);
+                assert_eq!(
+                    serial.totals, sharded.totals,
+                    "totals diverged at shards={shards} batch={batch}"
+                );
+                assert_eq!(
+                    serial.events, sharded.events,
+                    "event outcomes diverged at shards={shards} batch={batch}"
+                );
+                assert_eq!(
+                    serial.series, sharded.series,
+                    "series diverged at shards={shards} batch={batch}"
+                );
+                assert_eq!(
+                    serial_sys.clock().now(),
+                    engine.system().clock().now(),
+                    "virtual time diverged at shards={shards} batch={batch}"
+                );
+            }
+        }
+    }
+
+    /// Per-shard clock merge never reorders barrier-visible events:
+    /// while a batch is in flight a shard clock may only *lag* the
+    /// authoritative clock, and at every barrier it has caught up
+    /// exactly — so nothing a shard timestamps can land after an event
+    /// the authoritative engine already committed.
+    #[test]
+    fn shard_clocks_lag_then_merge_at_barriers() {
+        let t = trace(5);
+        let mut engine = ShardedSystem::new(system(&t), 4, 16);
+        engine.system_mut().populate(t.objects());
+        for chunk in t.requests().chunks(16) {
+            engine.handle_batch(chunk);
+            let now = engine.system().clock().now();
+            for handle in &engine.pool.handles {
+                assert_eq!(
+                    handle.clock.now(),
+                    now,
+                    "shard clock not merged at the barrier"
+                );
+            }
+        }
+    }
+
+    /// Mirrors are exact at barriers: after any batch, the union of the
+    /// shard mirrors is the authoritative index, entry for entry.
+    #[test]
+    fn mirrors_match_authoritative_index_at_barriers() {
+        let t = trace(23);
+        let shards = 4usize;
+        let mut engine = ShardedSystem::new(system(&t), shards, 32);
+        engine.system_mut().populate(t.objects());
+        for chunk in t.requests().chunks(97) {
+            engine.handle_batch(chunk);
+        }
+        // Rebuild the expected mirror contents from the authoritative
+        // index and diff them against what the shard loops hold.
+        let mut expect_objects = vec![0u64; shards];
+        let mut expect_bytes = vec![0u64; shards];
+        for delta in engine.system.cache_manager().index_deltas() {
+            let IndexDelta::Upsert { key, size, .. } = delta else {
+                panic!("index_deltas yields upserts only");
+            };
+            let s = shard_of(key, shards);
+            expect_objects[s] += 1;
+            expect_bytes[s] += size.as_bytes();
+        }
+        let rows = engine.shard_rows();
+        assert_eq!(rows.len(), shards);
+        for row in rows {
+            assert_eq!(
+                row.mirror_objects, expect_objects[row.shard],
+                "shard {} object count drifted",
+                row.shard
+            );
+            assert_eq!(
+                row.mirror_bytes, expect_bytes[row.shard],
+                "shard {} byte count drifted",
+                row.shard
+            );
+            assert_eq!(row.queue_depth, 0, "queues drain at barriers");
+        }
+    }
+
+    /// Hints made stale by earlier requests of the same batch are
+    /// counted, never fatal, and never disturb the committed outcome.
+    #[test]
+    fn stale_hints_are_counted_not_fatal() {
+        let t = trace(7);
+        let mut engine = ShardedSystem::new(system(&t), 2, 64);
+        engine.system_mut().populate(t.objects());
+        // The same (cold) key twice in one batch: both resolve
+        // "absent", the first commit admits it, so the second hint is
+        // stale. Must be a *read* — cold-start writes go write-through
+        // (dirty redundancy not yet met) and admit nothing.
+        let read = *t
+            .requests()
+            .iter()
+            .find(|r| r.op == reo_workload::Operation::Read)
+            .expect("trace has reads");
+        let pair = [read, read];
+        engine.handle_batch(&pair);
+        let stale: u64 = engine.shard_rows().iter().map(|r| r.stale_hints).sum();
+        assert!(stale >= 1, "duplicate-key batch must record a stale hint");
+
+        let mut serial_sys = system(&t);
+        serial_sys.populate(t.objects());
+        for request in &pair {
+            serial_sys.handle(request);
+        }
+        assert_eq!(
+            serial_sys.metrics().totals(),
+            engine.system().metrics().totals(),
+            "stale hints must not leak into committed metrics"
+        );
+    }
+
+    /// One shard (the default config) spawns no threads; the forced
+    /// service-thread variant spawns loops even for one shard.
+    #[test]
+    fn inline_mode_spawns_no_threads() {
+        let t = trace(3);
+        let inline = ShardedSystem::new(system(&t), 1, 64);
+        assert!(!inline.is_threaded());
+        assert_eq!(inline.shard_count(), 1);
+        assert!(inline.pool.handles.is_empty());
+
+        let forced = ShardedSystem::with_service_threads(system(&t), 1, 64);
+        assert!(forced.is_threaded());
+        assert_eq!(forced.shard_count(), 1);
+    }
+
+    /// `into_system` hands the wrapped system back with the changelog
+    /// off (no quietly accumulating delta buffer afterwards).
+    #[test]
+    fn into_system_disables_the_changelog() {
+        let t = trace(9);
+        let mut engine = ShardedSystem::new(system(&t), 2, 8);
+        engine.system_mut().populate(t.objects());
+        engine.handle_batch(&t.requests()[..50]);
+        let mut system = engine.into_system();
+        system.handle(&t.requests()[0]);
+        let mut drained = Vec::new();
+        system.cache_manager_mut().take_changes(&mut drained);
+        assert!(drained.is_empty(), "changelog still armed after teardown");
+    }
+
+    /// The metadata path agrees with the authoritative index once
+    /// mirrors are synced, threaded and inline alike.
+    #[test]
+    fn resolve_batch_counts_present_keys() {
+        let t = trace(13);
+        let mut engine = ShardedSystem::new(system(&t), 4, 32);
+        engine.system_mut().populate(t.objects());
+        engine.handle_batch(t.requests());
+        let expected = t
+            .requests()
+            .iter()
+            .filter(|r| engine.system().cache_manager().contains(r.key))
+            .count();
+        assert_eq!(engine.resolve_batch(t.requests()), expected);
+
+        let mut inline = ShardedSystem::new(system(&t), 1, 32);
+        inline.system_mut().populate(t.objects());
+        inline.handle_batch(t.requests());
+        let inline_expected = t
+            .requests()
+            .iter()
+            .filter(|r| inline.system().cache_manager().contains(r.key))
+            .count();
+        assert_eq!(inline.resolve_batch(t.requests()), inline_expected);
+    }
+}

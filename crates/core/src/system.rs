@@ -328,6 +328,18 @@ impl CacheSystem {
         self.cache.stats()
     }
 
+    /// The cache manager (crate-internal: the sharded request engine
+    /// seeds index mirrors from it and drains its changelog).
+    pub(crate) fn cache_manager(&self) -> &CacheManager {
+        &self.cache
+    }
+
+    /// Mutable cache manager (crate-internal; see
+    /// [`CacheSystem::cache_manager`]).
+    pub(crate) fn cache_manager_mut(&mut self) -> &mut CacheManager {
+        &mut self.cache
+    }
+
     /// Per-device rows of the flash array (the exporter's device table).
     pub fn device_stats(&self) -> Vec<reo_flashsim::DeviceReport> {
         self.target.array().device_stats()
@@ -1191,11 +1203,7 @@ impl CacheSystem {
     /// While the backend is down, dirty entries are unevictable — their
     /// flush would fail — so the scan skips them.
     fn pick_victim(&self, protect: Option<ObjectKey>) -> Option<ObjectKey> {
-        let backend_down = self.backend.is_down();
-        self.cache.lru_iter().find(|&k| {
-            Some(k) != protect
-                && (!backend_down || !self.cache.entry(k).map(|e| e.is_dirty()).unwrap_or(false))
-        })
+        self.cache.pick_victim(protect, self.backend.is_down())
     }
 
     /// Creates the object on the target, evicting LRU victims until it
@@ -1334,11 +1342,9 @@ impl CacheSystem {
                 break;
             }
             budget -= 1;
-            let victim = self
-                .cache
-                .lru_iter()
-                .find(|&k| self.cache.entry(k).map(|e| e.is_dirty()).unwrap_or(false));
-            let Some(key) = victim else { break };
+            let Some(key) = self.cache.first_dirty() else {
+                break;
+            };
             let size = self.cache.entry(key).expect("victim is cached").size();
             let _ = self.backend.write_background(key, size, None);
             if let Some(new_class) = self.cache.mark_clean(key) {

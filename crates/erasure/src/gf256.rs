@@ -325,7 +325,11 @@ impl MulTable {
     /// `dst[i] ^= c * (old[i] ^ new[i])` — the fused delta-parity kernel.
     ///
     /// Folds the data delta and the coefficient multiply into one pass so
-    /// parity updates need no intermediate delta buffer.
+    /// parity updates need no intermediate delta buffer. On x86-64 with
+    /// SSSE3 the body runs the same `PSHUFB` nibble-table kernel as
+    /// [`mul_row_slice`]: xor the old and new blocks in-register, two
+    /// table shuffles for the coefficient multiply, xor into the loaded
+    /// destination — the exact per-byte op count of one encode source.
     ///
     /// # Panics
     ///
@@ -336,28 +340,37 @@ impl MulTable {
         if self.c == 0 {
             return;
         }
+        #[cfg(target_arch = "x86_64")]
+        if dst.len() >= 16 && x86::ssse3_available() {
+            let blocks = dst.len() / 16;
+            // SAFETY: SSSE3 support was just verified, lengths were just
+            // verified, and `blocks * 16 <= dst.len() == old.len()`.
+            unsafe { x86::mul_delta_blocks_ssse3(self, dst, old, new, blocks) };
+            return self.mul_delta_xor_scalar(dst, old, new, blocks * 16);
+        }
+        self.mul_delta_xor_scalar(dst, old, new, 0)
+    }
+
+    /// The portable body of [`Self::mul_delta_xor`], starting at byte
+    /// `off` (callers guarantee `off` is a multiple of 8 and ≤
+    /// `dst.len()`; the caller already handled `c == 0`).
+    fn mul_delta_xor_scalar(&self, dst: &mut [u8], old: &[u8], new: &[u8], mut off: usize) {
         let split = dst.len() - dst.len() % 8;
-        let (d_words, d_tail) = dst.split_at_mut(split);
-        let (o_words, o_tail) = old.split_at(split);
-        let (n_words, n_tail) = new.split_at(split);
-        for ((d, o), n) in d_words
-            .chunks_exact_mut(8)
-            .zip(o_words.chunks_exact(8))
-            .zip(n_words.chunks_exact(8))
-        {
-            let delta = u64::from_ne_bytes(o.try_into().expect("8-byte chunk"))
-                ^ u64::from_ne_bytes(n.try_into().expect("8-byte chunk"));
-            let w = u64::from_ne_bytes(d.try_into().expect("8-byte chunk"))
+        while off < split {
+            let delta = u64::from_ne_bytes(old[off..off + 8].try_into().expect("8-byte chunk"))
+                ^ u64::from_ne_bytes(new[off..off + 8].try_into().expect("8-byte chunk"));
+            let w = u64::from_ne_bytes(dst[off..off + 8].try_into().expect("8-byte chunk"))
                 ^ if self.c == 1 {
                     delta
                 } else {
                     self.mul_word(delta)
                 };
-            d.copy_from_slice(&w.to_ne_bytes());
+            dst[off..off + 8].copy_from_slice(&w.to_ne_bytes());
+            off += 8;
         }
-        for ((d, o), n) in d_tail.iter_mut().zip(o_tail).zip(n_tail) {
-            let delta = o ^ n;
-            *d ^= self.low[(delta & 0x0f) as usize] ^ self.high[(delta >> 4) as usize];
+        for i in split..dst.len() {
+            let delta = old[i] ^ new[i];
+            dst[i] ^= self.low[(delta & 0x0f) as usize] ^ self.high[(delta >> 4) as usize];
         }
     }
 
@@ -528,6 +541,42 @@ mod x86 {
                 acc = _mm_xor_si128(acc, _mm_shuffle_epi8(high[i], hi));
             }
             _mm_storeu_si128(dst.as_mut_ptr().add(off).cast::<__m128i>(), acc);
+        }
+    }
+
+    /// Computes `dst[i] ^= c * (old[i] ^ new[i])` for the first
+    /// `blocks * 16` bytes — the fused delta kernel of
+    /// [`MulTable::mul_delta_xor`].
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support SSSE3 and `dst`, `old`, and `new` must each
+    /// hold at least `blocks * 16` bytes.
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn mul_delta_blocks_ssse3(
+        t: &MulTable,
+        dst: &mut [u8],
+        old: &[u8],
+        new: &[u8],
+        blocks: usize,
+    ) {
+        let nibble = _mm_set1_epi8(0x0f);
+        let low = _mm_loadu_si128(t.low.as_ptr().cast::<__m128i>());
+        let high = _mm_loadu_si128(t.high.as_ptr().cast::<__m128i>());
+        for b in 0..blocks {
+            let off = b * 16;
+            let delta = _mm_xor_si128(
+                _mm_loadu_si128(old.as_ptr().add(off).cast::<__m128i>()),
+                _mm_loadu_si128(new.as_ptr().add(off).cast::<__m128i>()),
+            );
+            let lo = _mm_and_si128(delta, nibble);
+            let hi = _mm_and_si128(_mm_srli_epi64::<4>(delta), nibble);
+            let prod = _mm_xor_si128(_mm_shuffle_epi8(low, lo), _mm_shuffle_epi8(high, hi));
+            let d = _mm_loadu_si128(dst.as_ptr().add(off).cast::<__m128i>());
+            _mm_storeu_si128(
+                dst.as_mut_ptr().add(off).cast::<__m128i>(),
+                _mm_xor_si128(d, prod),
+            );
         }
     }
 }
@@ -738,6 +787,32 @@ mod tests {
             let mut dst = base.clone();
             MulTable::new(c).mul_delta_xor(&mut dst, &old, &new);
             prop_assert_eq!(dst, expect);
+        }
+
+        #[test]
+        fn mul_delta_xor_fused_matches_scalar_kernel(
+            c: u8,
+            old in proptest::collection::vec(any::<u8>(), 0..200),
+            seed: u8,
+        ) {
+            // Kernel equivalence for the fused delta path: the dispatching
+            // entry point (SSSE3 blocks + scalar tail where available)
+            // must agree byte-for-byte with the portable scalar body at
+            // every length straddling the 16-byte block boundary.
+            let new: Vec<u8> = old
+                .iter()
+                .enumerate()
+                .map(|(i, o)| o.rotate_left(3) ^ seed.wrapping_mul(i as u8 | 1))
+                .collect();
+            let base: Vec<u8> = old.iter().map(|o| o.wrapping_mul(7) ^ seed).collect();
+            let t = MulTable::new(c);
+            let mut fused = base.clone();
+            t.mul_delta_xor(&mut fused, &old, &new);
+            let mut scalar = base.clone();
+            if c != 0 {
+                t.mul_delta_xor_scalar(&mut scalar, &old, &new, 0);
+            }
+            prop_assert_eq!(fused, scalar);
         }
 
         #[test]

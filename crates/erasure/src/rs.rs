@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::gf256;
@@ -123,7 +124,14 @@ struct DecodePlan {
 /// plans are derived state — cheap to rebuild, never part of codec
 /// identity.
 #[derive(Default)]
-struct DecodeCache(Mutex<HashMap<u64, Arc<DecodePlan>>>);
+struct DecodeCache {
+    plans: Mutex<HashMap<u64, Arc<DecodePlan>>>,
+    /// Lookups answered from a cached plan.
+    hits: AtomicU64,
+    /// Lookups that had to build a plan (including uncacheable wide
+    /// codes, which rebuild on every call).
+    misses: AtomicU64,
+}
 
 impl Clone for DecodeCache {
     fn clone(&self) -> Self {
@@ -133,9 +141,11 @@ impl Clone for DecodeCache {
 
 impl fmt::Debug for DecodeCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let patterns = self.0.lock().map(|m| m.len()).unwrap_or(0);
+        let patterns = self.plans.lock().map(|m| m.len()).unwrap_or(0);
         f.debug_struct("DecodeCache")
             .field("patterns", &patterns)
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -456,18 +466,20 @@ impl ReedSolomon {
         if let Some(k) = key {
             if let Some(plan) = self
                 .decode_cache
-                .0
+                .plans
                 .lock()
                 .expect("decode cache lock")
                 .get(&k)
             {
+                self.decode_cache.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(plan);
             }
         }
+        self.decode_cache.misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(self.build_decode_plan(present));
         if let Some(k) = key {
             self.decode_cache
-                .0
+                .plans
                 .lock()
                 .expect("decode cache lock")
                 .insert(k, Arc::clone(&plan));
@@ -505,7 +517,17 @@ impl ReedSolomon {
     /// Number of distinct erasure patterns currently cached (test and
     /// diagnostics hook; the cache is otherwise invisible).
     pub fn cached_decode_patterns(&self) -> usize {
-        self.decode_cache.0.lock().map(|m| m.len()).unwrap_or(0)
+        self.decode_cache.plans.lock().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Decode-plan cache lookup counters as `(hits, misses)`. A miss is
+    /// any lookup that built a plan, so `hits / (hits + misses)` is the
+    /// warm-path fraction perf baselines report.
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        (
+            self.decode_cache.hits.load(Ordering::Relaxed),
+            self.decode_cache.misses.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -693,7 +715,7 @@ mod tests {
         let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
         assert_eq!(rs.cached_decode_patterns(), 0);
 
-        let mut lose = |lost: &[usize]| {
+        let lose = |lost: &[usize]| {
             let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
             for &i in lost {
                 shards[i] = None;
@@ -711,10 +733,13 @@ mod tests {
         assert_eq!(rs.cached_decode_patterns(), 2);
         lose(&[0, 2]); // a new pattern pays one more inversion
         assert_eq!(rs.cached_decode_patterns(), 3);
+        // Five reconstructs: three built plans, two replayed cached ones.
+        assert_eq!(rs.decode_cache_stats(), (2, 3));
 
         // A clone starts cold (plans are derived state, not identity).
         let other = rs.clone();
         assert_eq!(other.cached_decode_patterns(), 0);
+        assert_eq!(other.decode_cache_stats(), (0, 0));
         lose(&[0, 2]);
         assert_eq!(rs.cached_decode_patterns(), 3);
     }
